@@ -1,0 +1,57 @@
+//! Micro-benchmarks for the PCSA sketch: insert throughput, union
+//! composition, and estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mube_sketch::pcsa::{PcsaConfig, PcsaSignature};
+use std::hint::black_box;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcsa_insert");
+    for &n in &[10_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sig = PcsaSignature::new(PcsaConfig::new(64, 32, 7));
+                for k in 0..n {
+                    sig.insert(black_box(k));
+                }
+                sig
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_and_estimate(c: &mut Criterion) {
+    let config = PcsaConfig::new(64, 32, 7);
+    let sigs: Vec<PcsaSignature> = (0..32u64)
+        .map(|i| {
+            let mut s = PcsaSignature::new(config.clone());
+            for k in 0..50_000 {
+                s.insert(i * 10_000 + k);
+            }
+            s
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("pcsa_union");
+    for &k in &[2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut acc = sigs[0].clone();
+                for s in &sigs[1..k] {
+                    acc.union_assign(black_box(s)).unwrap();
+                }
+                acc.estimate()
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("pcsa_estimate", |b| {
+        b.iter(|| black_box(&sigs[0]).estimate());
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_union_and_estimate);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end solve benchmarks: one µBE iteration under each optimizer at
+//! a fixed small budget. This is the wall-clock a user feels per feedback
+//! round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mube_bench::{Setup, Variant, EXPERIMENT_SEED};
+use mube_opt::{
+    ParticleSwarm, SimulatedAnnealing, StochasticLocalSearch, SubsetSolver, TabuSearch,
+};
+
+const BUDGET: u64 = 400;
+
+fn solvers() -> Vec<Box<dyn SubsetSolver>> {
+    vec![
+        Box::new(TabuSearch { max_evaluations: BUDGET, ..TabuSearch::default() }),
+        Box::new(StochasticLocalSearch { max_evaluations: BUDGET, ..Default::default() }),
+        Box::new(SimulatedAnnealing { max_evaluations: BUDGET, ..Default::default() }),
+        Box::new(ParticleSwarm { max_evaluations: BUDGET, ..Default::default() }),
+    ]
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let setup = Setup::small(40);
+    let constraints = Variant::Unconstrained.constraints(&setup, 10, EXPERIMENT_SEED);
+    let problem = setup.problem(constraints).unwrap();
+    let mut group = c.benchmark_group("solve_one_iteration");
+    group.sample_size(10);
+    for solver in solvers() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(solver.name()),
+            &solver,
+            |b, solver| {
+                b.iter(|| problem.solve(solver.as_ref(), EXPERIMENT_SEED).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablation: swap the attribute-similarity measure and score the schemas
+//! against the ground truth. Pass `--quick` for a scaled-down smoke run.
+fn main() {
+    let scale = mube_bench::Scale::from_args();
+    print!("{}", mube_bench::experiments::ablate_measures::run(scale));
+}

@@ -1,0 +1,6 @@
+//! Ablation: tabu starting-solution construction (random vs greedy).
+//! Pass `--quick` for a scaled-down smoke run.
+fn main() {
+    let scale = mube_bench::Scale::from_args();
+    print!("{}", mube_bench::experiments::ablate_seeding::run(scale));
+}

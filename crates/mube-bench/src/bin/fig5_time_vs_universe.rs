@@ -1,0 +1,7 @@
+//! Reproduces Figure 5: execution time to choose 20 sources from universes
+//! of 100-700 sources, with and without user constraints.
+//! Pass `--quick` for a scaled-down smoke run.
+fn main() {
+    let scale = mube_bench::Scale::from_args();
+    print!("{}", mube_bench::experiments::fig5::run(scale));
+}

@@ -1,0 +1,6 @@
+//! Reproduces Figure 6: execution time to choose 10-50 sources from a
+//! universe of 200 sources. Pass `--quick` for a scaled-down smoke run.
+fn main() {
+    let scale = mube_bench::Scale::from_args();
+    print!("{}", mube_bench::experiments::fig67::run_fig6(scale));
+}

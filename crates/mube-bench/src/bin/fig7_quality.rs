@@ -1,0 +1,6 @@
+//! Reproduces Figure 7: overall solution quality for the Figure 6 settings.
+//! Pass `--quick` for a scaled-down smoke run.
+fn main() {
+    let scale = mube_bench::Scale::from_args();
+    print!("{}", mube_bench::experiments::fig67::run_fig7(scale));
+}

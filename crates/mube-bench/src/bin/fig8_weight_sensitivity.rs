@@ -1,0 +1,6 @@
+//! Reproduces Figure 8: cardinality of the chosen solution as the Card QEF
+//! weight sweeps 0.1-1.0. Pass `--quick` for a scaled-down smoke run.
+fn main() {
+    let scale = mube_bench::Scale::from_args();
+    print!("{}", mube_bench::experiments::fig8::run(scale));
+}

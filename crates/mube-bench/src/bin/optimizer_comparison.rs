@@ -1,0 +1,7 @@
+//! Reproduces the §6/§7 optimizer comparison: tabu search vs stochastic
+//! local search vs constrained simulated annealing vs binary PSO, with
+//! equal evaluation budgets. Pass `--quick` for a scaled-down smoke run.
+fn main() {
+    let scale = mube_bench::Scale::from_args();
+    print!("{}", mube_bench::experiments::optcmp::run(scale));
+}

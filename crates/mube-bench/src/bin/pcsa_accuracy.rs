@@ -1,0 +1,7 @@
+//! Reproduces the §7.3 claim: PCSA counting error vs exact counting
+//! (the paper reports a worst case of 7%).
+//! Pass `--quick` for a scaled-down smoke run.
+fn main() {
+    let scale = mube_bench::Scale::from_args();
+    print!("{}", mube_bench::experiments::pcsa::run(scale));
+}

@@ -1,0 +1,7 @@
+//! Extension experiment: the §1 cost argument quantified — query-time
+//! transfer/duplication/makespan as the solution grows from 5 to 40
+//! sources. Pass `--quick` for a scaled-down smoke run.
+fn main() {
+    let scale = mube_bench::Scale::from_args();
+    print!("{}", mube_bench::experiments::costs::run(scale));
+}

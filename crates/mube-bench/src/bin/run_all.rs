@@ -1,0 +1,25 @@
+//! Runs every experiment in sequence — regenerates all the data reported in
+//! EXPERIMENTS.md. Pass `--quick` for a scaled-down smoke run.
+use mube_bench::experiments::*;
+use mube_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# µBE experiment suite ({scale:?} scale)\n");
+    let sweep = fig67::sweep(scale);
+    for section in [
+        fig5::run(scale),
+        fig67::render_fig6(&sweep),
+        fig67::render_fig7(&sweep),
+        fig8::run(scale),
+        table1::run(scale),
+        pcsa::run(scale),
+        perturb::run(scale),
+        optcmp::run(scale),
+        ablate_measures::run(scale),
+        ablate_seeding::run(scale),
+        costs::run(scale),
+    ] {
+        println!("{section}");
+    }
+}

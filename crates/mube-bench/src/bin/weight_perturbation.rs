@@ -1,0 +1,7 @@
+//! Reproduces the §7.4 robustness experiment: perturb all QEF weights by
+//! up to ±15% and diff the solutions against the baseline.
+//! Pass `--quick` for a scaled-down smoke run.
+fn main() {
+    let scale = mube_bench::Scale::from_args();
+    print!("{}", mube_bench::experiments::perturb::run(scale));
+}

@@ -1,0 +1,73 @@
+//! Figure 5 — execution time to choose 20 sources from universes of
+//! increasing size (100–700 sources), under the paper's five constraint
+//! variants.
+//!
+//! Expected shape: time grows with the universe size; adding constraints
+//! *reduces* time (they shrink the feasible region the search explores).
+
+use crate::{header, row, timed_solve, Scale, Variant, EXPERIMENT_SEED};
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Universe size.
+    pub universe: usize,
+    /// Constraint variant label.
+    pub variant: String,
+    /// Solve time in seconds.
+    pub seconds: f64,
+    /// Overall quality of the chosen solution.
+    pub quality: f64,
+}
+
+/// Runs the sweep and returns the measured points.
+pub fn sweep(scale: Scale) -> Vec<Point> {
+    let (sizes, m): (Vec<usize>, usize) = match scale {
+        Scale::Paper => ((1..=7).map(|i| i * 100).collect(), 20),
+        Scale::Quick => (vec![20, 40, 60], 8),
+    };
+    let mut points = Vec::new();
+    for n in sizes {
+        let setup = match scale {
+            Scale::Paper => crate::Setup::paper(n),
+            Scale::Quick => crate::Setup::small(n),
+        };
+        let tabu = match scale {
+            Scale::Paper => crate::tabu_for_universe(n),
+            Scale::Quick => scale.tabu(),
+        };
+        for variant in Variant::paper_sweep() {
+            let constraints = variant.constraints(&setup, m, EXPERIMENT_SEED);
+            let problem = setup.problem(constraints).expect("variant constraints are valid");
+            let solved = timed_solve(&problem, &tabu, EXPERIMENT_SEED)
+                .expect("paper workloads are feasible");
+            points.push(Point {
+                universe: n,
+                variant: variant.label(),
+                seconds: solved.elapsed.as_secs_f64(),
+                quality: solved.solution.quality,
+            });
+        }
+    }
+    points
+}
+
+/// Runs the experiment and renders the Figure 5 table.
+pub fn run(scale: Scale) -> String {
+    let points = sweep(scale);
+    let mut out = String::from(
+        "## Figure 5 — execution time vs universe size (choose 20 sources)\n\n",
+    );
+    out.push_str(&header(&["universe size", "constraints", "time (s)", "quality"]));
+    out.push('\n');
+    for p in &points {
+        out.push_str(&row(&[
+            p.universe.to_string(),
+            p.variant.clone(),
+            format!("{:.2}", p.seconds),
+            format!("{:.4}", p.quality),
+        ]));
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,101 @@
+//! Figures 6 and 7 — execution time (Fig. 6) and overall quality (Fig. 7)
+//! when choosing 10–50 sources from a universe of 200, under the paper's
+//! five constraint variants.
+//!
+//! Expected shapes: time grows with the number of sources to choose and
+//! shrinks with constraints (Fig. 6); quality grows with the number of
+//! sources to choose (more options for the search to exploit) and shrinks
+//! with constraints (fewer valid options) (Fig. 7).
+
+use crate::{header, row, timed_solve, Scale, Setup, Variant, EXPERIMENT_SEED};
+
+/// One measured point of the shared sweep.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// `m`, the number of sources to choose.
+    pub m: usize,
+    /// Constraint variant label.
+    pub variant: String,
+    /// Solve time in seconds.
+    pub seconds: f64,
+    /// Overall quality of the chosen solution.
+    pub quality: f64,
+    /// Sources actually selected.
+    pub selected: usize,
+}
+
+/// Runs the shared Fig. 6 / Fig. 7 sweep once.
+pub fn sweep(scale: Scale) -> Vec<Point> {
+    let (universe, ms): (usize, Vec<usize>) = match scale {
+        Scale::Paper => (200, vec![10, 20, 30, 40, 50]),
+        Scale::Quick => (50, vec![5, 10, 15]),
+    };
+    let setup = match scale {
+        Scale::Paper => Setup::paper(universe),
+        Scale::Quick => Setup::small(universe),
+    };
+    let mut points = Vec::new();
+    for &m in &ms {
+        for variant in Variant::paper_sweep() {
+            let constraints = variant.constraints(&setup, m, EXPERIMENT_SEED);
+            let problem = setup.problem(constraints).expect("variant constraints are valid");
+            let solved = timed_solve(&problem, &scale.tabu(), EXPERIMENT_SEED)
+                .expect("paper workloads are feasible");
+            points.push(Point {
+                m,
+                variant: variant.label(),
+                seconds: solved.elapsed.as_secs_f64(),
+                quality: solved.solution.quality,
+                selected: solved.solution.sources.len(),
+            });
+        }
+    }
+    points
+}
+
+/// Renders the Figure 6 (time) table from sweep points.
+pub fn render_fig6(points: &[Point]) -> String {
+    let mut out = String::from(
+        "## Figure 6 — execution time vs number of sources to choose (universe of 200)\n\n",
+    );
+    out.push_str(&header(&["m (sources to choose)", "constraints", "time (s)"]));
+    out.push('\n');
+    for p in points {
+        out.push_str(&row(&[
+            p.m.to_string(),
+            p.variant.clone(),
+            format!("{:.2}", p.seconds),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Figure 7 (quality) table from sweep points.
+pub fn render_fig7(points: &[Point]) -> String {
+    let mut out = String::from(
+        "## Figure 7 — overall quality vs number of sources to choose (universe of 200)\n\n",
+    );
+    out.push_str(&header(&["m (sources to choose)", "constraints", "quality Q(S)", "|S|"]));
+    out.push('\n');
+    for p in points {
+        out.push_str(&row(&[
+            p.m.to_string(),
+            p.variant.clone(),
+            format!("{:.4}", p.quality),
+            p.selected.to_string(),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs the sweep and renders the Figure 6 table.
+pub fn run_fig6(scale: Scale) -> String {
+    render_fig6(&sweep(scale))
+}
+
+/// Runs the sweep and renders the Figure 7 table.
+pub fn run_fig7(scale: Scale) -> String {
+    render_fig7(&sweep(scale))
+}

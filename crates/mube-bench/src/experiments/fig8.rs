@@ -1,0 +1,85 @@
+//! Figure 8 — sensitivity to weights: the cardinality of the chosen
+//! solution as the weight of the Card QEF sweeps from 0.1 to 1.0 (the
+//! remaining weight split equally among the other QEFs).
+//!
+//! Expected shape: cardinality grows with the weight and the curve flattens
+//! after ≈ 0.5, "because by that time µBE is already choosing the solution
+//! that has the top cardinality sources satisfying the matching threshold".
+
+use mube_core::qefs::paper_default_qefs;
+
+use crate::{header, row, timed_solve, Scale, Setup, Variant, EXPERIMENT_SEED};
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Weight of the cardinality QEF.
+    pub weight: f64,
+    /// Total tuples of the chosen solution.
+    pub cardinality: u64,
+    /// The Card QEF score of the chosen solution.
+    pub card_score: f64,
+    /// Overall quality.
+    pub quality: f64,
+}
+
+/// Runs the sweep.
+pub fn sweep(scale: Scale) -> Vec<Point> {
+    let (universe, m) = match scale {
+        Scale::Paper => (200, 20),
+        Scale::Quick => (50, 8),
+    };
+    let setup = match scale {
+        Scale::Paper => Setup::paper(universe),
+        Scale::Quick => Setup::small(universe),
+    };
+    let base_qefs = paper_default_qefs("mttf");
+    let mut points = Vec::new();
+    for step in 1..=10 {
+        let w = f64::from(step) / 10.0;
+        let rest = (1.0 - w) / 4.0;
+        // QEF order in paper_default_qefs: matching, cardinality, coverage,
+        // redundancy, mttf.
+        let qefs = base_qefs
+            .with_weights(&[rest, w, rest, rest, rest])
+            .expect("sweep weights are valid");
+        let constraints = Variant::Unconstrained.constraints(&setup, m, EXPERIMENT_SEED);
+        let mut problem = setup.problem(constraints).expect("constraints are valid");
+        problem.set_qefs(qefs);
+        let solved = timed_solve(&problem, &scale.tabu(), EXPERIMENT_SEED)
+            .expect("paper workloads are feasible");
+        let cardinality: u64 = solved
+            .solution
+            .sources
+            .iter()
+            .map(|&s| setup.universe().source(s).cardinality())
+            .sum();
+        points.push(Point {
+            weight: w,
+            cardinality,
+            card_score: solved.solution.qef_score("cardinality").unwrap_or(0.0),
+            quality: solved.solution.quality,
+        });
+    }
+    points
+}
+
+/// Runs the experiment and renders the Figure 8 table.
+pub fn run(scale: Scale) -> String {
+    let points = sweep(scale);
+    let mut out = String::from(
+        "## Figure 8 — solution cardinality vs weight of the Card QEF (choose 20 of 200)\n\n",
+    );
+    out.push_str(&header(&["Card weight", "solution tuples", "Card score", "overall Q"]));
+    out.push('\n');
+    for p in &points {
+        out.push_str(&row(&[
+            format!("{:.1}", p.weight),
+            p.cardinality.to_string(),
+            format!("{:.4}", p.card_score),
+            format!("{:.4}", p.quality),
+        ]));
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,16 @@
+//! One module per table/figure of the paper's evaluation (§7).
+//!
+//! Every module exposes `run(scale) -> String` producing the markdown
+//! report the corresponding binary prints; `run_all` stitches them
+//! together. All experiments are deterministic in [`crate::EXPERIMENT_SEED`].
+
+pub mod ablate_measures;
+pub mod ablate_seeding;
+pub mod costs;
+pub mod fig5;
+pub mod fig67;
+pub mod fig8;
+pub mod optcmp;
+pub mod pcsa;
+pub mod perturb;
+pub mod table1;

@@ -1,0 +1,303 @@
+//! Hand-rolled argument parsing (no external crates).
+
+use mube_synth::DomainKind;
+
+use crate::commands::CliError;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `mube gen`.
+    Gen {
+        /// Number of sources.
+        sources: usize,
+        /// Generator seed.
+        seed: u64,
+        /// Schema domain.
+        domain: DomainKind,
+        /// Use the paper's cardinalities/pools instead of test scale.
+        paper_scale: bool,
+        /// Output file.
+        out: String,
+    },
+    /// `mube validate`.
+    Validate {
+        /// Catalog file.
+        file: String,
+    },
+    /// `mube match`.
+    Match {
+        /// Catalog file.
+        file: String,
+        /// Matching threshold θ.
+        theta: f64,
+        /// Restrict to these source names (all if empty).
+        sources: Vec<String>,
+    },
+    /// `mube solve`.
+    Solve {
+        /// Catalog file.
+        file: String,
+        /// Maximum sources `m`.
+        max: usize,
+        /// Matching threshold θ.
+        theta: f64,
+        /// Minimum GA size β.
+        beta: usize,
+        /// Solver seed.
+        seed: u64,
+        /// Which solver to use.
+        solver: String,
+        /// Source names to pin (source constraints).
+        pins: Vec<String>,
+        /// `(qef, weight)` overrides.
+        weights: Vec<(String, f64)>,
+        /// Print the leave-one-out explanation.
+        explain: bool,
+    },
+    /// `mube help`.
+    Help,
+}
+
+fn bad(detail: impl Into<String>) -> CliError {
+    CliError::Usage(detail.into())
+}
+
+fn take_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    iter: &mut I,
+) -> Result<&'a str, CliError> {
+    iter.next().ok_or_else(|| bad(format!("{flag} needs a value")))
+}
+
+fn parse_domain(s: &str) -> Result<DomainKind, CliError> {
+    match s {
+        "books" => Ok(DomainKind::Books),
+        "airfares" => Ok(DomainKind::Airfares),
+        "movies" => Ok(DomainKind::Movies),
+        "music" => Ok(DomainKind::MusicRecords),
+        other => Err(bad(format!("unknown domain `{other}`"))),
+    }
+}
+
+/// Parses the argument vector (without the program name).
+pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
+    let mut iter = argv.iter().map(AsRef::as_ref);
+    let Some(command) = iter.next() else {
+        return Ok(Command::Help);
+    };
+    match command {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "gen" => {
+            let mut sources = 60usize;
+            let mut seed = 2007u64;
+            let mut domain = DomainKind::Books;
+            let mut paper_scale = false;
+            let mut out: Option<String> = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--sources" => {
+                        sources = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--sources needs an integer"))?
+                    }
+                    "--seed" => {
+                        seed = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--seed needs an integer"))?
+                    }
+                    "--domain" => domain = parse_domain(take_value(flag, &mut iter)?)?,
+                    "--paper-scale" => paper_scale = true,
+                    "--out" => out = Some(take_value(flag, &mut iter)?.to_string()),
+                    other => return Err(bad(format!("unknown flag `{other}` for gen"))),
+                }
+            }
+            let out = out.ok_or_else(|| bad("gen requires --out FILE"))?;
+            Ok(Command::Gen { sources, seed, domain, paper_scale, out })
+        }
+        "validate" => {
+            let file = iter.next().ok_or_else(|| bad("validate requires a FILE"))?;
+            if let Some(extra) = iter.next() {
+                return Err(bad(format!("unexpected argument `{extra}`")));
+            }
+            Ok(Command::Validate { file: file.to_string() })
+        }
+        "match" => {
+            let file =
+                iter.next().ok_or_else(|| bad("match requires a FILE"))?.to_string();
+            let mut theta = 0.75f64;
+            let mut sources = Vec::new();
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--theta" => {
+                        theta = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--theta needs a number"))?
+                    }
+                    "--sources" => {
+                        sources = take_value(flag, &mut iter)?
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect()
+                    }
+                    other => return Err(bad(format!("unknown flag `{other}` for match"))),
+                }
+            }
+            Ok(Command::Match { file, theta, sources })
+        }
+        "solve" => {
+            let file =
+                iter.next().ok_or_else(|| bad("solve requires a FILE"))?.to_string();
+            let mut max = 10usize;
+            let mut theta = 0.75f64;
+            let mut beta = 2usize;
+            let mut seed = 42u64;
+            let mut solver = "tabu".to_string();
+            let mut pins = Vec::new();
+            let mut weights = Vec::new();
+            let mut explain = false;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--max" => {
+                        max = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--max needs an integer"))?
+                    }
+                    "--theta" => {
+                        theta = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--theta needs a number"))?
+                    }
+                    "--beta" => {
+                        beta = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--beta needs an integer"))?
+                    }
+                    "--seed" => {
+                        seed = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--seed needs an integer"))?
+                    }
+                    "--solver" => {
+                        solver = take_value(flag, &mut iter)?.to_string();
+                        if !["tabu", "sls", "annealing", "pso"].contains(&solver.as_str()) {
+                            return Err(bad(format!("unknown solver `{solver}`")));
+                        }
+                    }
+                    "--pin" => pins.push(take_value(flag, &mut iter)?.to_string()),
+                    "--weight" => {
+                        let spec = take_value(flag, &mut iter)?;
+                        let (name, value) = spec
+                            .split_once('=')
+                            .ok_or_else(|| bad("--weight needs QEF=W"))?;
+                        let value: f64 =
+                            value.parse().map_err(|_| bad("--weight needs QEF=W"))?;
+                        weights.push((name.to_string(), value));
+                    }
+                    "--explain" => explain = true,
+                    other => return Err(bad(format!("unknown flag `{other}` for solve"))),
+                }
+            }
+            Ok(Command::Solve { file, max, theta, beta, seed, solver, pins, weights, explain })
+        }
+        other => Err(bad(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, CliError> {
+        parse(args)
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(p(&[]).unwrap(), Command::Help);
+        assert_eq!(p(&["help"]).unwrap(), Command::Help);
+        assert_eq!(p(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn gen_defaults_and_flags() {
+        let c = p(&["gen", "--out", "x.cat"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Gen {
+                sources: 60,
+                seed: 2007,
+                domain: DomainKind::Books,
+                paper_scale: false,
+                out: "x.cat".into()
+            }
+        );
+        let c = p(&[
+            "gen", "--sources", "10", "--seed", "5", "--domain", "movies", "--paper-scale",
+            "--out", "m.cat",
+        ])
+        .unwrap();
+        assert!(matches!(c, Command::Gen { sources: 10, seed: 5, domain: DomainKind::Movies, paper_scale: true, .. }));
+    }
+
+    #[test]
+    fn gen_requires_out() {
+        assert!(p(&["gen", "--sources", "3"]).is_err());
+        assert!(p(&["gen", "--sources"]).is_err());
+        assert!(p(&["gen", "--domain", "poetry", "--out", "x"]).is_err());
+    }
+
+    #[test]
+    fn validate_takes_exactly_one_file() {
+        assert_eq!(p(&["validate", "a.cat"]).unwrap(), Command::Validate { file: "a.cat".into() });
+        assert!(p(&["validate"]).is_err());
+        assert!(p(&["validate", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn match_parses_sources_list() {
+        let c = p(&["match", "a.cat", "--theta", "0.5", "--sources", "x, y,z"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Match {
+                file: "a.cat".into(),
+                theta: 0.5,
+                sources: vec!["x".into(), "y".into(), "z".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn solve_full_flags() {
+        let c = p(&[
+            "solve", "a.cat", "--max", "5", "--theta", "0.4", "--beta", "3", "--seed", "9",
+            "--solver", "annealing", "--pin", "s1", "--pin", "s2", "--weight",
+            "coverage=0.4", "--explain",
+        ])
+        .unwrap();
+        match c {
+            Command::Solve { max, theta, beta, seed, solver, pins, weights, explain, .. } => {
+                assert_eq!(max, 5);
+                assert_eq!(theta, 0.4);
+                assert_eq!(beta, 3);
+                assert_eq!(seed, 9);
+                assert_eq!(solver, "annealing");
+                assert_eq!(pins, vec!["s1", "s2"]);
+                assert_eq!(weights, vec![("coverage".to_string(), 0.4)]);
+                assert!(explain);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_rejects_bad_input() {
+        assert!(p(&["solve"]).is_err());
+        assert!(p(&["solve", "a.cat", "--solver", "gradient-descent"]).is_err());
+        assert!(p(&["solve", "a.cat", "--weight", "coverage"]).is_err());
+        assert!(p(&["solve", "a.cat", "--max", "many"]).is_err());
+        assert!(p(&["frobnicate"]).is_err());
+    }
+}

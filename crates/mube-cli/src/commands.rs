@@ -1,0 +1,309 @@
+//! Command implementations. Each returns the text to print, so the
+//! commands are unit-testable without capturing stdout.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use mube_core::catalog;
+use mube_core::constraints::Constraints;
+use mube_core::matchop::{MatchOperator, MatchOutcome};
+use mube_core::problem::Problem;
+use mube_core::qefs::{data_only_qefs, paper_default_qefs};
+use mube_core::source::Universe;
+use mube_core::{explain, MubeError, SourceId};
+use mube_match::similarity::JaccardNGram;
+use mube_match::ClusterMatcher;
+use mube_opt::{
+    ParticleSwarm, SimulatedAnnealing, StochasticLocalSearch, SubsetSolver, TabuSearch,
+};
+use mube_synth::{generate, SynthConfig};
+
+use crate::args::Command;
+
+/// CLI-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; print usage.
+    Usage(String),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Engine error (bad catalog, conflicting constraints, ...).
+    Engine(MubeError),
+}
+
+impl PartialEq for CliError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (CliError::Usage(a), CliError::Usage(b)) => a == b,
+            (CliError::Engine(a), CliError::Engine(b)) => a == b,
+            (CliError::Io(a), CliError::Io(b)) => a.kind() == b.kind(),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(detail) => write!(f, "usage error: {detail}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<MubeError> for CliError {
+    fn from(e: MubeError) -> Self {
+        CliError::Engine(e)
+    }
+}
+
+/// Executes a parsed command and returns its output text.
+pub fn run(command: Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(crate::USAGE.to_string()),
+        Command::Gen { sources, seed, domain, paper_scale, out } => {
+            let mut config =
+                if paper_scale { SynthConfig::paper(sources) } else { SynthConfig::small(sources) };
+            config.schema.domain = domain;
+            let synth = generate(&config, seed);
+            let text = catalog::to_text(&synth.universe);
+            std::fs::write(&out, &text)?;
+            Ok(format!(
+                "wrote {} sources ({} attributes, {} tuples) to {out}",
+                synth.universe.len(),
+                synth.universe.total_attrs(),
+                synth.universe.total_cardinality(),
+            ))
+        }
+        Command::Validate { file } => {
+            let universe = load(&file)?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "{}: {} sources, {} attributes, {} total tuples",
+                file,
+                universe.len(),
+                universe.total_attrs(),
+                universe.total_cardinality()
+            )
+            .expect("string write");
+            let cooperating = universe.sources().filter(|s| s.cooperates()).count();
+            writeln!(out, "cooperating (signature + cardinality): {cooperating}")
+                .expect("string write");
+            for source in universe.sources() {
+                writeln!(
+                    out,
+                    "  {} — {} attrs, {} tuples{}",
+                    source.name(),
+                    source.schema().len(),
+                    source.cardinality(),
+                    if source.cooperates() { "" } else { " (no signature)" }
+                )
+                .expect("string write");
+            }
+            Ok(out)
+        }
+        Command::Match { file, theta, sources } => {
+            let universe = Arc::new(load(&file)?);
+            let selected = resolve_sources(&universe, &sources)?;
+            let matcher = ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram());
+            let constraints = Constraints::with_max_sources(universe.len()).theta(theta);
+            match matcher.match_sources(&universe, &selected, &constraints) {
+                MatchOutcome::Matched { schema, quality } => Ok(format!(
+                    "matching quality F1 = {quality:.4}, {} GAs over {} sources:\n{}",
+                    schema.len(),
+                    selected.len(),
+                    schema.display(&universe)
+                )),
+                MatchOutcome::Infeasible => Err(CliError::Engine(MubeError::ConstraintConflict {
+                    detail: "no matching satisfies the threshold on these sources".into(),
+                })),
+            }
+        }
+        Command::Solve { file, max, theta, beta, seed, solver, pins, weights, explain: want_explain } => {
+            let universe = Arc::new(load(&file)?);
+            let mut constraints = Constraints::with_max_sources(max).theta(theta).beta(beta);
+            for pin in &pins {
+                let id = universe
+                    .source_by_name(pin)
+                    .map(|s| s.id())
+                    .ok_or_else(|| MubeError::UnknownAttribute {
+                        detail: format!("source `{pin}`"),
+                    })?;
+                constraints.required_sources.insert(id);
+            }
+            // Use the characteristic-aware mix when sources carry an MTTF,
+            // else the data-only mix.
+            let has_mttf = universe.sources().any(|s| s.characteristic("mttf").is_some());
+            let mut qefs =
+                if has_mttf { paper_default_qefs("mttf") } else { data_only_qefs() };
+            for (name, weight) in &weights {
+                qefs = qefs.reweighted(name, *weight)?;
+            }
+            let matcher: Arc<dyn MatchOperator> =
+                Arc::new(ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram()));
+            let problem = Problem::new(Arc::clone(&universe), matcher, qefs, constraints)?;
+            let solver = make_solver(&solver);
+            let solution = problem.solve(solver.as_ref(), seed)?;
+            let mut out = solution.display(&universe).to_string();
+            if want_explain {
+                writeln!(out, "Why each source (leave-one-out ΔQ):").expect("string write");
+                let explanation = explain::explain(&problem, &solution);
+                write!(out, "{}", explanation.display(&universe)).expect("string write");
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn load(file: &str) -> Result<Universe, CliError> {
+    let text = std::fs::read_to_string(file)?;
+    Ok(catalog::from_text(&text)?)
+}
+
+fn resolve_sources(
+    universe: &Universe,
+    names: &[String],
+) -> Result<BTreeSet<SourceId>, CliError> {
+    if names.is_empty() {
+        return Ok(universe.source_ids().collect());
+    }
+    names
+        .iter()
+        .map(|name| {
+            universe.source_by_name(name).map(|s| s.id()).ok_or_else(|| {
+                CliError::Engine(MubeError::UnknownAttribute {
+                    detail: format!("source `{name}`"),
+                })
+            })
+        })
+        .collect()
+}
+
+fn make_solver(name: &str) -> Box<dyn SubsetSolver> {
+    match name {
+        "sls" => Box::new(StochasticLocalSearch::default()),
+        "annealing" => Box::new(SimulatedAnnealing::default()),
+        "pso" => Box::new(ParticleSwarm::default()),
+        _ => Box::new(TabuSearch::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mube-cli-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn gen_catalog(name: &str, n: usize) -> String {
+        let path = tmp(name);
+        let cmd = parse(&[
+            "gen",
+            "--sources",
+            &n.to_string(),
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        run(cmd).unwrap();
+        path
+    }
+
+    #[test]
+    fn gen_then_validate_roundtrips() {
+        let path = gen_catalog("roundtrip.cat", 12);
+        let report = run(parse(&["validate", &path]).unwrap()).unwrap();
+        assert!(report.contains("12 sources"));
+        assert!(report.contains("cooperating (signature + cardinality): 12"));
+    }
+
+    #[test]
+    fn match_reports_gas() {
+        let path = gen_catalog("match.cat", 10);
+        let report = run(parse(&["match", &path, "--theta", "0.75"]).unwrap()).unwrap();
+        assert!(report.contains("matching quality F1"));
+        assert!(report.contains("GA0"));
+    }
+
+    #[test]
+    fn solve_selects_and_pins() {
+        let path = gen_catalog("solve.cat", 15);
+        let report = run(parse(&[
+            "solve", &path, "--max", "4", "--pin", "site0003", "--seed", "7",
+        ])
+        .unwrap())
+        .unwrap();
+        assert!(report.contains("Overall quality"));
+        assert!(report.contains("site0003"));
+    }
+
+    #[test]
+    fn solve_with_explain_and_weights() {
+        let path = gen_catalog("explain.cat", 10);
+        let report = run(parse(&[
+            "solve", &path, "--max", "3", "--weight", "coverage=0.5", "--explain",
+        ])
+        .unwrap())
+        .unwrap();
+        assert!(report.contains("leave-one-out"));
+        assert!(report.contains("ΔQ"));
+    }
+
+    #[test]
+    fn solve_rejects_unknown_pin_and_weight() {
+        let path = gen_catalog("errs.cat", 5);
+        assert!(run(parse(&["solve", &path, "--pin", "ghost"]).unwrap()).is_err());
+        assert!(run(parse(&["solve", &path, "--weight", "karma=0.5"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn validate_missing_file_is_io_error() {
+        let err = run(parse(&["validate", "/nonexistent/x.cat"]).unwrap()).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+
+    #[test]
+    fn match_on_named_subset() {
+        let path = gen_catalog("subset.cat", 10);
+        let report = run(parse(&[
+            "match", &path, "--theta", "0.75", "--sources", "site0000,site0001",
+        ])
+        .unwrap())
+        .unwrap();
+        assert!(report.contains("over 2 sources"));
+    }
+
+    #[test]
+    fn gen_other_domains() {
+        let path = tmp("movies.cat");
+        let report = run(parse(&[
+            "gen", "--sources", "8", "--domain", "movies", "--out", &path,
+        ])
+        .unwrap())
+        .unwrap();
+        assert!(report.contains("wrote 8 sources"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("movie") || text.contains("film") || text.contains("genre"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run(Command::Help).unwrap();
+        assert!(text.contains("USAGE"));
+    }
+}

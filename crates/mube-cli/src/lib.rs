@@ -1,0 +1,44 @@
+//! # mube-cli — the `mube` command-line tool
+//!
+//! A thin, dependency-free command-line front end over the µBE engine,
+//! working on plain-text source catalogs (see `mube_core::catalog`):
+//!
+//! ```text
+//! mube gen --sources 60 --out books.catalog          # synthesize a catalog
+//! mube validate books.catalog                        # parse + stats
+//! mube match books.catalog --theta 0.5               # mediate all sources
+//! mube solve books.catalog --max 8 --pin site0003 \
+//!            --weight coverage=0.4 --explain         # select + mediate
+//! ```
+//!
+//! The library half holds the argument parsing and command implementations
+//! (all returning `Result<String, CliError>` so they are unit-testable);
+//! `main.rs` only dispatches.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command};
+pub use commands::{run, CliError};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mube — user-guided source selection and schema mediation (µBE, ICDE 2007)
+
+USAGE:
+    mube gen      --sources N [--seed S] [--domain D] [--paper-scale] --out FILE
+    mube validate FILE
+    mube match    FILE [--theta T] [--sources a,b,c]
+    mube solve    FILE [--max M] [--theta T] [--beta B] [--seed S]
+                       [--solver tabu|sls|annealing|pso]
+                       [--pin NAME]... [--weight QEF=W]... [--explain]
+    mube help
+
+COMMANDS:
+    gen        Generate a synthetic catalog (domains: books, airfares,
+               movies, music; default books at test scale, --paper-scale
+               for the paper's cardinalities)
+    validate   Parse a catalog and print per-source statistics
+    match      Run schema matching over sources (no selection)
+    solve      Select at most --max sources and mediate a schema
+    help       Show this message";

@@ -1,0 +1,20 @@
+//! The `mube` binary: parse, dispatch, print.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match mube_cli::parse(&argv).and_then(mube_cli::run) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("mube: {error}");
+            if matches!(error, mube_cli::CliError::Usage(_)) {
+                eprintln!("\n{}", mube_cli::USAGE);
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Plain-text catalogs of source descriptions.
+//!
+//! µBE's input is "the descriptions of a large number of data sources,
+//! their schemas, their data characteristics, and other source
+//! characteristics" (§1), obtained from a source-discovery mechanism or
+//! provided by the user. This module defines a simple line-oriented text
+//! format for such catalogs so universes can be stored in files, diffed,
+//! and hand-edited:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! source tonyawards.com
+//!   attr keywords
+//!   cardinality 12000
+//!   characteristic mttf 93.5
+//!   signature 64 32 1234abcd 0f 1a ... (num_maps hex words)
+//! ```
+//!
+//! Every `source` line starts a new source; the indented lines describe it.
+//! The `signature` line carries the PCSA configuration (`num_maps`,
+//! `map_bits`, hex seed) followed by one hex word per bitmap, exactly what
+//! a cooperating source would publish.
+
+use std::fmt::Write as _;
+
+use mube_sketch::pcsa::{PcsaConfig, PcsaSignature};
+
+use crate::error::MubeError;
+use crate::schema::Schema;
+use crate::source::{SourceSpec, Universe};
+
+/// Serializes a universe to catalog text.
+pub fn to_text(universe: &Universe) -> String {
+    let mut out = String::new();
+    for source in universe.sources() {
+        writeln!(out, "source {}", source.name()).expect("string write");
+        for (_, attr) in source.schema().iter() {
+            writeln!(out, "  attr {}", attr.name()).expect("string write");
+        }
+        writeln!(out, "  cardinality {}", source.cardinality()).expect("string write");
+        for (name, value) in source.characteristics() {
+            writeln!(out, "  characteristic {name} {value}").expect("string write");
+        }
+        if let Some(sig) = source.signature() {
+            let cfg = sig.config();
+            write!(
+                out,
+                "  signature {} {} {:x}",
+                cfg.num_maps(),
+                cfg.map_bits(),
+                cfg.seed()
+            )
+            .expect("string write");
+            for map in sig.maps() {
+                write!(out, " {map:x}").expect("string write");
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses catalog text into a universe.
+///
+/// Fails with a descriptive [`MubeError::InvalidParameter`] on malformed
+/// lines, and with the usual builder errors (empty universe/schema,
+/// mismatched signature configurations) at the end.
+pub fn from_text(text: &str) -> Result<Universe, MubeError> {
+    let mut builder = Universe::builder();
+    let mut current: Option<PendingSource> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().expect("non-empty line has a first word");
+        let err = |detail: String| MubeError::InvalidParameter {
+            detail: format!("catalog line {}: {detail}", lineno + 1),
+        };
+        match keyword {
+            "source" => {
+                let name: Vec<&str> = words.collect();
+                if name.is_empty() {
+                    return Err(err("`source` needs a name".into()));
+                }
+                if let Some(done) = current.take() {
+                    builder.add_source(done.into_spec());
+                }
+                current = Some(PendingSource::new(name.join(" ")));
+            }
+            "attr" => {
+                let pending =
+                    current.as_mut().ok_or_else(|| err("`attr` before any `source`".into()))?;
+                let name: Vec<&str> = words.collect();
+                if name.is_empty() {
+                    return Err(err("`attr` needs a name".into()));
+                }
+                pending.attrs.push(name.join(" "));
+            }
+            "cardinality" => {
+                let pending = current
+                    .as_mut()
+                    .ok_or_else(|| err("`cardinality` before any `source`".into()))?;
+                let value = words
+                    .next()
+                    .and_then(|w| w.parse::<u64>().ok())
+                    .ok_or_else(|| err("`cardinality` needs an unsigned integer".into()))?;
+                pending.cardinality = value;
+            }
+            "characteristic" => {
+                let pending = current
+                    .as_mut()
+                    .ok_or_else(|| err("`characteristic` before any `source`".into()))?;
+                let name = words
+                    .next()
+                    .ok_or_else(|| err("`characteristic` needs a name and value".into()))?;
+                let value = words
+                    .next()
+                    .and_then(|w| w.parse::<f64>().ok())
+                    .ok_or_else(|| err("`characteristic` needs a numeric value".into()))?;
+                pending.characteristics.push((name.to_string(), value));
+            }
+            "signature" => {
+                let pending = current
+                    .as_mut()
+                    .ok_or_else(|| err("`signature` before any `source`".into()))?;
+                let num_maps = words
+                    .next()
+                    .and_then(|w| w.parse::<usize>().ok())
+                    .ok_or_else(|| err("`signature` needs num_maps".into()))?;
+                let map_bits = words
+                    .next()
+                    .and_then(|w| w.parse::<u32>().ok())
+                    .ok_or_else(|| err("`signature` needs map_bits".into()))?;
+                let seed = words
+                    .next()
+                    .and_then(|w| u64::from_str_radix(w, 16).ok())
+                    .ok_or_else(|| err("`signature` needs a hex seed".into()))?;
+                let maps: Result<Vec<u64>, _> =
+                    words.map(|w| u64::from_str_radix(w, 16)).collect();
+                let maps = maps.map_err(|_| err("signature bitmaps must be hex".into()))?;
+                if num_maps == 0 || !num_maps.is_power_of_two() || !(1..=64).contains(&map_bits) {
+                    return Err(err(format!(
+                        "invalid signature configuration {num_maps}x{map_bits}"
+                    )));
+                }
+                let config = PcsaConfig::new(num_maps, map_bits, seed);
+                let sig = PcsaSignature::from_maps(config, maps)
+                    .ok_or_else(|| err("signature bitmaps inconsistent with config".into()))?;
+                pending.signature = Some(sig);
+            }
+            other => return Err(err(format!("unknown keyword `{other}`"))),
+        }
+    }
+    if let Some(done) = current.take() {
+        builder.add_source(done.into_spec());
+    }
+    builder.build()
+}
+
+struct PendingSource {
+    name: String,
+    attrs: Vec<String>,
+    cardinality: u64,
+    characteristics: Vec<(String, f64)>,
+    signature: Option<PcsaSignature>,
+}
+
+impl PendingSource {
+    fn new(name: String) -> Self {
+        PendingSource {
+            name,
+            attrs: Vec::new(),
+            cardinality: 0,
+            characteristics: Vec::new(),
+            signature: None,
+        }
+    }
+
+    fn into_spec(self) -> SourceSpec {
+        let mut spec = SourceSpec::new(self.name, Schema::new(self.attrs));
+        spec = spec.cardinality(self.cardinality);
+        for (name, value) in self.characteristics {
+            spec = spec.characteristic(name, value);
+        }
+        if let Some(sig) = self.signature {
+            spec = spec.signature(sig);
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SourceId;
+
+    fn sample_universe() -> Universe {
+        let mut sig = PcsaSignature::new(PcsaConfig::new(4, 16, 0xAB));
+        for k in 0..100u64 {
+            sig.insert(k);
+        }
+        let mut b = Universe::builder();
+        b.add_source(
+            SourceSpec::new("tonyawards.com", Schema::new(["keywords"]))
+                .cardinality(12_000)
+                .characteristic("mttf", 93.5)
+                .signature(sig),
+        );
+        b.add_source(SourceSpec::new("aceticket.com", Schema::new(["state", "city", "event name"])));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let u = sample_universe();
+        let text = to_text(&u);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.len(), u.len());
+        for (a, b) in u.sources().zip(back.sources()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.schema(), b.schema());
+            assert_eq!(a.cardinality(), b.cardinality());
+            assert_eq!(a.characteristics(), b.characteristics());
+            assert_eq!(a.signature(), b.signature());
+        }
+    }
+
+    #[test]
+    fn multiword_names_survive() {
+        let u = sample_universe();
+        let text = to_text(&u);
+        let back = from_text(&text).unwrap();
+        assert_eq!(
+            back.attr_name(crate::ids::AttrId::new(SourceId(1), 2)),
+            Some("event name")
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a catalog\n\nsource x\n  attr a\n\n# done\n";
+        let u = from_text(text).unwrap();
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.source(SourceId(0)).name(), "x");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "source x\n  attr a\n  cardinality oops\n";
+        let err = from_text(text).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn attr_before_source_rejected() {
+        assert!(from_text("attr a\n").is_err());
+    }
+
+    #[test]
+    fn unknown_keyword_rejected() {
+        assert!(from_text("source x\n  attr a\n  frobnicate 3\n").is_err());
+    }
+
+    #[test]
+    fn bad_signature_rejected() {
+        // 3 maps claimed but config says 4.
+        let text = "source x\n  attr a\n  signature 4 16 ab 1 2 3\n";
+        assert!(from_text(text).is_err());
+        // Non-power-of-two maps.
+        let text = "source x\n  attr a\n  signature 3 16 ab 1 2 3\n";
+        assert!(from_text(text).is_err());
+    }
+
+    #[test]
+    fn empty_catalog_rejected() {
+        assert!(matches!(from_text("# nothing\n"), Err(MubeError::EmptyUniverse)));
+    }
+
+    #[test]
+    fn source_without_attrs_rejected() {
+        assert!(from_text("source x\n  cardinality 5\n").is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! User constraints on the optimization problem (§2.4 of the paper).
+//!
+//! Users guide µBE with two kinds of constraints: *source constraints* (a
+//! particular source must be part of the solution) and *GA constraints* (a
+//! partial GA the output mediated schema must subsume — "matching by
+//! example"). Together with the scalar parameters `m` (max sources), `θ`
+//! (matching threshold), and `β` (minimum GA size), they define the feasible
+//! region of the search.
+
+use std::collections::BTreeSet;
+
+use crate::error::MubeError;
+use crate::ga::GlobalAttribute;
+use crate::ids::SourceId;
+use crate::source::Universe;
+
+/// The constraint set `(C, G, m, θ, β)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraints {
+    /// `C`: sources that must appear in the solution.
+    pub required_sources: BTreeSet<SourceId>,
+    /// `G`: partial GAs the output schema must subsume.
+    pub required_gas: Vec<GlobalAttribute>,
+    /// `m`: maximum number of sources the user is willing to select.
+    pub max_sources: usize,
+    /// `θ`: lower bound on matching quality for every GA not in `G`.
+    pub theta: f64,
+    /// `β`: lower bound on the number of attributes in every GA not in `G`.
+    pub beta: usize,
+}
+
+impl Constraints {
+    /// Unconstrained defaults matching the paper's experiments: `θ = 0.75`,
+    /// `β = 2` (a GA must actually match something), and a caller-chosen `m`.
+    pub fn with_max_sources(max_sources: usize) -> Self {
+        Constraints {
+            required_sources: BTreeSet::new(),
+            required_gas: Vec::new(),
+            max_sources,
+            theta: 0.75,
+            beta: 2,
+        }
+    }
+
+    /// Adds a source constraint (builder style).
+    pub fn require_source(mut self, source: SourceId) -> Self {
+        self.required_sources.insert(source);
+        self
+    }
+
+    /// Adds a GA constraint (builder style).
+    pub fn require_ga(mut self, ga: GlobalAttribute) -> Self {
+        self.required_gas.push(ga);
+        self
+    }
+
+    /// Sets the matching threshold (builder style).
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Sets the minimum GA size (builder style).
+    pub fn beta(mut self, beta: usize) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// The *effective* required sources: `C` plus every source implicitly
+    /// required by a GA constraint (§2.4: "a GA constraint implicitly
+    /// specifies a set of source constraints").
+    pub fn effective_required_sources(&self) -> BTreeSet<SourceId> {
+        let mut out = self.required_sources.clone();
+        for ga in &self.required_gas {
+            out.extend(ga.sources());
+        }
+        out
+    }
+
+    /// Validates the constraints against a universe.
+    ///
+    /// Checks that every referenced source and attribute exists, that `θ` is
+    /// in [0, 1], that the effective required sources fit within
+    /// `max_sources`, and that no two GA constraints conflict (two GA
+    /// constraints that share a source through *different* attributes can
+    /// never both be subsumed by a valid mediated schema unless they are
+    /// mergeable; sharing an attribute forces them into the same output GA,
+    /// which must still be a valid GA).
+    pub fn validate(&self, universe: &Universe) -> Result<(), MubeError> {
+        if !(0.0..=1.0).contains(&self.theta) {
+            return Err(MubeError::InvalidParameter {
+                detail: format!("theta must be in [0,1], got {}", self.theta),
+            });
+        }
+        if self.max_sources == 0 {
+            return Err(MubeError::InvalidParameter {
+                detail: "max_sources must be at least 1".into(),
+            });
+        }
+        for s in &self.required_sources {
+            if universe.get(*s).is_none() {
+                return Err(MubeError::UnknownSource { source: *s });
+            }
+        }
+        for ga in &self.required_gas {
+            for a in ga.attrs() {
+                if !universe.contains_attr(*a) {
+                    return Err(MubeError::UnknownAttribute { detail: a.to_string() });
+                }
+            }
+        }
+        let required = self.effective_required_sources();
+        if required.len() > self.max_sources {
+            return Err(MubeError::ConstraintConflict {
+                detail: format!(
+                    "{} sources are required but max_sources is {}",
+                    required.len(),
+                    self.max_sources
+                ),
+            });
+        }
+        // GA constraints that overlap (share an attribute) must be mergeable
+        // into a single valid GA, because the output GAs are disjoint.
+        for (i, g1) in self.required_gas.iter().enumerate() {
+            for g2 in &self.required_gas[i + 1..] {
+                if g1.intersects(g2) && g1.merge(g2).is_none() {
+                    return Err(MubeError::ConstraintConflict {
+                        detail: format!(
+                            "GA constraints overlap but cannot merge into a valid GA: \
+                             {:?} and {:?}",
+                            g1, g2
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Collapses overlapping GA constraints into merged seed GAs. The
+    /// clustering algorithm seeds one cluster per entry of the result.
+    ///
+    /// Assumes [`Constraints::validate`] passed; conflicting overlaps panic.
+    pub fn merged_ga_seeds(&self) -> Vec<GlobalAttribute> {
+        let mut seeds: Vec<GlobalAttribute> = Vec::new();
+        for ga in &self.required_gas {
+            let mut current = ga.clone();
+            // Repeatedly absorb any seed that overlaps the growing GA.
+            loop {
+                let mut absorbed = false;
+                seeds.retain(|s| {
+                    if current.intersects(s) {
+                        current = current
+                            .merge(s)
+                            .expect("validated GA constraints must be mergeable");
+                        absorbed = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if !absorbed {
+                    break;
+                }
+            }
+            seeds.push(current);
+        }
+        seeds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::AttrId;
+    use crate::schema::Schema;
+    use crate::source::SourceSpec;
+
+    fn a(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    fn small_universe() -> Universe {
+        let mut b = Universe::builder();
+        for name in ["u", "v", "w"] {
+            b.add_source(SourceSpec::new(name, Schema::new(["x", "y", "z"])));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn defaults_are_papers() {
+        let c = Constraints::with_max_sources(20);
+        assert_eq!(c.theta, 0.75);
+        assert_eq!(c.beta, 2);
+        assert_eq!(c.max_sources, 20);
+    }
+
+    #[test]
+    fn ga_constraints_imply_source_constraints() {
+        let ga = GlobalAttribute::try_new([a(0, 0), a(2, 1)]).unwrap();
+        let c = Constraints::with_max_sources(5).require_source(SourceId(1)).require_ga(ga);
+        let eff = c.effective_required_sources();
+        assert_eq!(eff, [SourceId(0), SourceId(1), SourceId(2)].into());
+    }
+
+    #[test]
+    fn validate_catches_unknown_source() {
+        let c = Constraints::with_max_sources(5).require_source(SourceId(99));
+        assert!(matches!(
+            c.validate(&small_universe()),
+            Err(MubeError::UnknownSource { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_unknown_attribute() {
+        let ga = GlobalAttribute::try_new([a(0, 9)]).unwrap();
+        let c = Constraints::with_max_sources(5).require_ga(ga);
+        assert!(matches!(
+            c.validate(&small_universe()),
+            Err(MubeError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_too_many_required() {
+        let c = Constraints::with_max_sources(1)
+            .require_source(SourceId(0))
+            .require_source(SourceId(1));
+        assert!(matches!(
+            c.validate(&small_universe()),
+            Err(MubeError::ConstraintConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_bad_theta() {
+        let c = Constraints { theta: 1.5, ..Constraints::with_max_sources(5) };
+        assert!(matches!(
+            c.validate(&small_universe()),
+            Err(MubeError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_conflicting_ga_overlap() {
+        // g1 and g2 share a0.0 but bring different attributes of source 1.
+        let g1 = GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap();
+        let g2 = GlobalAttribute::try_new([a(0, 0), a(1, 1)]).unwrap();
+        let c = Constraints::with_max_sources(5).require_ga(g1).require_ga(g2);
+        assert!(matches!(
+            c.validate(&small_universe()),
+            Err(MubeError::ConstraintConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn merged_seeds_collapse_overlaps() {
+        let g1 = GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap();
+        let g2 = GlobalAttribute::try_new([a(0, 0), a(2, 0)]).unwrap();
+        let g3 = GlobalAttribute::try_new([a(1, 1)]).unwrap();
+        let c = Constraints::with_max_sources(5)
+            .require_ga(g1)
+            .require_ga(g2)
+            .require_ga(g3);
+        let seeds = c.merged_ga_seeds();
+        assert_eq!(seeds.len(), 2);
+        let big = seeds.iter().find(|s| s.len() == 3).unwrap();
+        assert!(big.contains(a(0, 0)) && big.contains(a(1, 0)) && big.contains(a(2, 0)));
+    }
+
+    #[test]
+    fn merged_seeds_chain_transitively() {
+        // g1 ∩ g2 through a1.0, g2 ∩ g3 through a2.0: all three become one.
+        let g1 = GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap();
+        let g2 = GlobalAttribute::try_new([a(1, 0), a(2, 0)]).unwrap();
+        let g3 = GlobalAttribute::try_new([a(2, 0), a(3, 0)]).unwrap();
+        let c = Constraints::with_max_sources(9)
+            .require_ga(g1)
+            .require_ga(g3)
+            .require_ga(g2);
+        let seeds = c.merged_ga_seeds();
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0].len(), 4);
+    }
+}

@@ -1,0 +1,71 @@
+//! Identifier newtypes.
+//!
+//! Sources are numbered densely by the [`crate::source::UniverseBuilder`], and
+//! attributes are addressed by (source, position-in-schema). Using newtypes
+//! rather than bare integers keeps the two index spaces from being mixed up.
+
+use std::fmt;
+
+/// Identifier of a data source within a [`crate::source::Universe`].
+///
+/// Ids are dense: a universe of `n` sources uses ids `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceId(pub u32);
+
+impl SourceId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifier of one attribute of one source's schema.
+///
+/// The paper writes this as `a_ij`: attribute `j` of source `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId {
+    /// The source the attribute belongs to.
+    pub source: SourceId,
+    /// Zero-based position within the source's schema.
+    pub index: u32,
+}
+
+impl AttrId {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(source: SourceId, index: u32) -> Self {
+        AttrId { source, index }
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}.{}", self.source.0, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_groups_by_source_then_index() {
+        let a = AttrId::new(SourceId(0), 5);
+        let b = AttrId::new(SourceId(1), 0);
+        let c = AttrId::new(SourceId(1), 3);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SourceId(3).to_string(), "s3");
+        assert_eq!(AttrId::new(SourceId(3), 1).to_string(), "a3.1");
+    }
+}

@@ -1,0 +1,88 @@
+//! # mube-core — the µBE data-integration engine
+//!
+//! A from-scratch Rust implementation of **µBE** ("Matching By Example"),
+//! the user-guided source-selection and schema-mediation tool of Aboulnaga &
+//! El Gebaly (ICDE 2007). Given hundreds of candidate data sources, µBE
+//! simultaneously *selects* a bounded subset and *mediates* a global schema
+//! over it by solving a constrained combinatorial optimization problem, then
+//! lets the user steer the answer across iterations by pinning sources,
+//! providing example matchings (GA constraints), and re-weighting quality
+//! dimensions.
+//!
+//! ## Crate layout
+//!
+//! * [`source`] — sources, schemas, characteristics, and the [`source::Universe`];
+//! * [`ga`] — Global Attributes and mediated schemas (Definitions 1–3);
+//! * [`constraints`] — the user constraint set `(C, G, m, θ, β)`;
+//! * [`qef`] / [`qefs`] — the quality-evaluation framework and the paper's
+//!   built-in QEFs (matching, cardinality, coverage, redundancy, and
+//!   characteristic aggregations such as `wsum`);
+//! * [`matchop`] — the pluggable `Match(S)` operator (the reference
+//!   clustering matcher lives in the `mube-match` crate);
+//! * [`problem`] — the optimization problem, bridging to the solvers in
+//!   `mube-opt`;
+//! * [`session`] — the iterative feedback loop;
+//! * [`solution`] — solutions and solution diffs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mube_core::constraints::Constraints;
+//! use mube_core::matchop::IdentityMatcher;
+//! use mube_core::problem::Problem;
+//! use mube_core::qefs::data_only_qefs;
+//! use mube_core::schema::Schema;
+//! use mube_core::session::Session;
+//! use mube_core::source::{SourceSpec, Universe};
+//! use mube_opt::TabuSearch;
+//!
+//! // Describe a (tiny) universe of sources.
+//! let mut builder = Universe::builder();
+//! builder.add_source(SourceSpec::new("books-r-us", Schema::new(["title", "author"]))
+//!     .cardinality(50_000));
+//! builder.add_source(SourceSpec::new("libropolis", Schema::new(["book title", "writer"]))
+//!     .cardinality(80_000));
+//! let universe = Arc::new(builder.build().unwrap());
+//!
+//! // Pose the optimization problem and run a session iteration.
+//! let problem = Problem::new(
+//!     universe,
+//!     Arc::new(IdentityMatcher), // swap in mube_match::ClusterMatcher for real matching
+//!     data_only_qefs(),
+//!     Constraints::with_max_sources(2).beta(1),
+//! ).unwrap();
+//! let mut session = Session::new(problem, Box::new(TabuSearch::default()), 42);
+//! let solution = session.run().unwrap();
+//! assert!(!solution.sources.is_empty());
+//! ```
+
+pub mod catalog;
+pub mod constraints;
+pub mod error;
+pub mod explain;
+pub mod ga;
+pub mod ids;
+pub mod matchop;
+pub mod overlap;
+pub mod problem;
+pub mod qef;
+pub mod qefs;
+pub mod schema;
+pub mod session;
+pub mod solution;
+pub mod source;
+
+pub use constraints::Constraints;
+pub use error::MubeError;
+pub use explain::{explain, Explanation, SourceContribution};
+pub use ga::{GlobalAttribute, MediatedSchema};
+pub use ids::{AttrId, SourceId};
+pub use matchop::{MatchOperator, MatchOutcome};
+pub use overlap::{overlap_matrix, OverlapMatrix};
+pub use problem::{CandidateEval, Problem};
+pub use qef::{EvalContext, EvalInput, Qef, WeightedQefs};
+pub use schema::{Attribute, Schema};
+pub use session::Session;
+pub use solution::{Solution, SolutionDiff};
+pub use source::{Source, SourceSpec, Universe, UniverseBuilder};

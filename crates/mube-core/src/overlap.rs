@@ -1,0 +1,191 @@
+//! Pairwise overlap diagnostics.
+//!
+//! The redundancy QEF scores a selection as a whole; when the user asks
+//! *which* sources duplicate each other (to decide what to drop or pin),
+//! per-pair numbers are needed. PCSA signatures support them directly
+//! through inclusion–exclusion: `|A∩B| = |A| + |B| − |A∪B|`, with every
+//! term estimable from the cached signatures — still without touching any
+//! tuples.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ids::SourceId;
+use crate::source::Universe;
+
+/// Pairwise overlap estimates for a set of sources.
+#[derive(Debug, Clone)]
+pub struct OverlapMatrix {
+    sources: Vec<SourceId>,
+    /// `fractions[i][j]` ≈ |s_i ∩ s_j| / min(|s_i|, |s_j|), in [0, 1].
+    fractions: Vec<Vec<f64>>,
+}
+
+/// Estimates the pairwise overlap of the cooperating sources in the
+/// selection. Sources without signatures are skipped.
+pub fn overlap_matrix(universe: &Universe, sources: &BTreeSet<SourceId>) -> OverlapMatrix {
+    let cooperating: Vec<SourceId> = sources
+        .iter()
+        .copied()
+        .filter(|&s| universe.source(s).cooperates())
+        .collect();
+    let estimates: Vec<f64> = cooperating
+        .iter()
+        .map(|&s| universe.source(s).signature().expect("filtered").estimate())
+        .collect();
+    let n = cooperating.len();
+    let mut fractions = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        fractions[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let a = universe.source(cooperating[i]).signature().expect("filtered");
+            let b = universe.source(cooperating[j]).signature().expect("filtered");
+            let union = a.union(b).expect("universe signatures share configs").estimate();
+            // Inclusion–exclusion; PCSA noise can push the estimate
+            // slightly negative, so clamp.
+            let intersection = (estimates[i] + estimates[j] - union).max(0.0);
+            let denom = estimates[i].min(estimates[j]).max(1.0);
+            let frac = (intersection / denom).clamp(0.0, 1.0);
+            fractions[i][j] = frac;
+            fractions[j][i] = frac;
+        }
+    }
+    OverlapMatrix { sources: cooperating, fractions }
+}
+
+impl OverlapMatrix {
+    /// The sources covered, in matrix order.
+    pub fn sources(&self) -> &[SourceId] {
+        &self.sources
+    }
+
+    /// Estimated `|a ∩ b| / min(|a|, |b|)`, or `None` if either source is
+    /// not in the matrix.
+    pub fn fraction(&self, a: SourceId, b: SourceId) -> Option<f64> {
+        let i = self.sources.iter().position(|&s| s == a)?;
+        let j = self.sources.iter().position(|&s| s == b)?;
+        Some(self.fractions[i][j])
+    }
+
+    /// Pairs whose overlap fraction is at least `threshold`, sorted most
+    /// overlapping first — the "consider dropping one of these" shortlist.
+    pub fn heavy_pairs(&self, threshold: f64) -> Vec<(SourceId, SourceId, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.sources.len() {
+            for j in (i + 1)..self.sources.len() {
+                if self.fractions[i][j] >= threshold {
+                    out.push((self.sources[i], self.sources[j], self.fractions[i][j]));
+                }
+            }
+        }
+        out.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("fractions are finite"));
+        out
+    }
+
+    /// Renders with resolved source names.
+    pub fn display<'a>(&'a self, universe: &'a Universe) -> OverlapDisplay<'a> {
+        OverlapDisplay { matrix: self, universe }
+    }
+}
+
+/// Helper returned by [`OverlapMatrix::display`].
+pub struct OverlapDisplay<'a> {
+    matrix: &'a OverlapMatrix,
+    universe: &'a Universe,
+}
+
+impl fmt::Display for OverlapDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (a, b, frac) in self.matrix.heavy_pairs(0.0) {
+            writeln!(
+                f,
+                "  {} ∩ {} ≈ {:.0}%",
+                self.universe.source(a).name(),
+                self.universe.source(b).name(),
+                frac * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::source::SourceSpec;
+    use mube_sketch::pcsa::{PcsaConfig, PcsaSignature};
+
+    fn sig(keys: std::ops::Range<u64>) -> PcsaSignature {
+        let mut s = PcsaSignature::new(PcsaConfig::new(256, 32, 7));
+        for k in keys {
+            s.insert(k);
+        }
+        s
+    }
+
+    fn universe() -> Universe {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("a", Schema::new(["x"])).cardinality(20_000).signature(sig(0..20_000)));
+        b.add_source(SourceSpec::new("half", Schema::new(["y"])).cardinality(20_000).signature(sig(10_000..30_000)));
+        b.add_source(SourceSpec::new("disjoint", Schema::new(["z"])).cardinality(20_000).signature(sig(50_000..70_000)));
+        b.add_source(SourceSpec::new("shy", Schema::new(["w"])).cardinality(9));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn estimates_track_true_overlap() {
+        let u = universe();
+        let sources: BTreeSet<_> = u.source_ids().collect();
+        let m = overlap_matrix(&u, &sources);
+        // a ∩ half = 10k of 20k = 50%; tolerate PCSA noise.
+        let ah = m.fraction(SourceId(0), SourceId(1)).unwrap();
+        assert!((ah - 0.5).abs() < 0.2, "a∩half = {ah}");
+        // a ∩ disjoint ≈ 0.
+        let ad = m.fraction(SourceId(0), SourceId(2)).unwrap();
+        assert!(ad < 0.2, "a∩disjoint = {ad}");
+        // Diagonal is exactly 1.
+        assert_eq!(m.fraction(SourceId(0), SourceId(0)), Some(1.0));
+    }
+
+    #[test]
+    fn uncooperative_sources_are_skipped() {
+        let u = universe();
+        let sources: BTreeSet<_> = u.source_ids().collect();
+        let m = overlap_matrix(&u, &sources);
+        assert_eq!(m.sources().len(), 3);
+        assert!(m.fraction(SourceId(3), SourceId(0)).is_none());
+    }
+
+    #[test]
+    fn heavy_pairs_sorted_and_thresholded() {
+        let u = universe();
+        let sources: BTreeSet<_> = u.source_ids().collect();
+        let m = overlap_matrix(&u, &sources);
+        let heavy = m.heavy_pairs(0.3);
+        assert_eq!(heavy.len(), 1);
+        assert_eq!((heavy[0].0, heavy[0].1), (SourceId(0), SourceId(1)));
+        let all = m.heavy_pairs(0.0);
+        assert_eq!(all.len(), 3);
+        assert!(all.windows(2).all(|w| w[0].2 >= w[1].2), "sorted descending");
+    }
+
+    #[test]
+    fn display_renders_names() {
+        let u = universe();
+        let sources: BTreeSet<_> = [SourceId(0), SourceId(1)].into();
+        let text = overlap_matrix(&u, &sources).display(&u).to_string();
+        assert!(text.contains("a ∩ half"));
+    }
+
+    #[test]
+    fn symmetric() {
+        let u = universe();
+        let sources: BTreeSet<_> = u.source_ids().collect();
+        let m = overlap_matrix(&u, &sources);
+        assert_eq!(
+            m.fraction(SourceId(0), SourceId(1)),
+            m.fraction(SourceId(1), SourceId(0))
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! `F_2` — cardinality: the amount of data in the selected sources.
+//!
+//! `Card(S) = Σ_{s∈S} |s| / Σ_{t∈U} |t|`, i.e. the fraction of the
+//! universe's total tuple count held by the selection. Uses the cardinality
+//! each source reports; sources that report nothing contribute zero.
+
+use crate::qef::{EvalContext, EvalInput, Qef};
+
+/// The cardinality QEF (`Card(S)` in the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CardinalityQef;
+
+impl Qef for CardinalityQef {
+    fn name(&self) -> &str {
+        "cardinality"
+    }
+
+    fn evaluate(&self, ctx: &EvalContext, input: &EvalInput<'_>) -> f64 {
+        if ctx.universe_cardinality == 0 {
+            return 0.0;
+        }
+        let selected: u64 =
+            input.sources.iter().map(|&s| input.universe.source(s).cardinality()).sum();
+        selected as f64 / ctx.universe_cardinality as f64
+    }
+}
+
+/// Raw (unnormalized) tuple count of a selection — used by the Figure 8
+/// experiment, which plots the absolute cardinality of the chosen solution.
+pub fn selection_cardinality(input: &EvalInput<'_>) -> u64 {
+    input.sources.iter().map(|&s| input.universe.source(s).cardinality()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::MediatedSchema;
+    use crate::ids::SourceId;
+    use crate::schema::Schema;
+    use crate::source::{SourceSpec, Universe};
+    use std::collections::BTreeSet;
+
+    fn universe() -> Universe {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("a", Schema::new(["x"])).cardinality(30));
+        b.add_source(SourceSpec::new("b", Schema::new(["y"])).cardinality(70));
+        b.build().unwrap()
+    }
+
+    fn eval(u: &Universe, picks: &[u32]) -> f64 {
+        let ctx = EvalContext::for_universe(u);
+        let sources: BTreeSet<_> = picks.iter().map(|&i| SourceId(i)).collect();
+        let schema = MediatedSchema::empty();
+        let input = EvalInput { universe: u, sources: &sources, schema: &schema, match_quality: 0.0 };
+        CardinalityQef.evaluate(&ctx, &input)
+    }
+
+    #[test]
+    fn fraction_of_universe_total() {
+        let u = universe();
+        assert!((eval(&u, &[0]) - 0.3).abs() < 1e-12);
+        assert!((eval(&u, &[1]) - 0.7).abs() < 1e-12);
+        assert!((eval(&u, &[0, 1]) - 1.0).abs() < 1e-12);
+        assert_eq!(eval(&u, &[]), 0.0);
+    }
+
+    #[test]
+    fn zero_universe_cardinality_scores_zero() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("a", Schema::new(["x"])));
+        let u = b.build().unwrap();
+        assert_eq!(eval(&u, &[0]), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_selection() {
+        let u = universe();
+        assert!(eval(&u, &[0, 1]) >= eval(&u, &[0]));
+    }
+}

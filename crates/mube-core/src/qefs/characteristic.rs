@@ -1,0 +1,220 @@
+//! QEFs over per-source characteristics (§5).
+//!
+//! Characteristics are positive reals of any magnitude (latency in ms, fees
+//! in dollars, MTTF in days, ...). A characteristic QEF aggregates the
+//! values of the selected sources into a `[0, 1]` score using a pluggable
+//! [`Aggregator`]. The paper's example is the cardinality-weighted sum
+//! `wsum`: a highly-available source with many tuples is worth more than a
+//! highly-available source with few tuples.
+
+use std::sync::Arc;
+
+use crate::qef::{EvalContext, EvalInput, Qef};
+
+/// Aggregates normalized characteristic values of a selection into `[0, 1]`.
+///
+/// `values` holds, per selected source that defines the characteristic, the
+/// raw value and the source's cardinality. `range` is the universe-wide
+/// `(min, max)` for normalization.
+pub trait Aggregator: Send + Sync {
+    /// Computes the aggregate score.
+    fn aggregate(&self, values: &[(f64, u64)], range: (f64, f64)) -> f64;
+}
+
+/// Normalizes a raw value into `[0, 1]` given a universe range. A degenerate
+/// range (all sources equal) normalizes to 1: every choice is equally good.
+fn normalize(value: f64, (lo, hi): (f64, f64)) -> f64 {
+    if hi - lo <= f64::EPSILON {
+        1.0
+    } else {
+        ((value - lo) / (hi - lo)).clamp(0.0, 1.0)
+    }
+}
+
+/// The paper's `wsum` aggregation: normalized values weighted by source
+/// cardinality,
+/// `wsum(S) = Σ_s (q_s − min) · |s| / (Σ_s |s| · (max − min))`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedSumAgg;
+
+impl Aggregator for WeightedSumAgg {
+    fn aggregate(&self, values: &[(f64, u64)], range: (f64, f64)) -> f64 {
+        let total_card: u64 = values.iter().map(|&(_, c)| c).sum();
+        if total_card == 0 {
+            // Degenerate: no tuples to weight by; fall back to a plain mean.
+            return MeanAgg.aggregate(values, range);
+        }
+        let weighted: f64 =
+            values.iter().map(|&(v, c)| normalize(v, range) * c as f64).sum();
+        (weighted / total_card as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Unweighted mean of the normalized values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanAgg;
+
+impl Aggregator for MeanAgg {
+    fn aggregate(&self, values: &[(f64, u64)], range: (f64, f64)) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = values.iter().map(|&(v, _)| normalize(v, range)).sum();
+        sum / values.len() as f64
+    }
+}
+
+/// Worst (minimum) normalized value — pessimistic aggregation, e.g. "the
+/// selection is only as reliable as its least reliable source".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinAgg;
+
+impl Aggregator for MinAgg {
+    fn aggregate(&self, values: &[(f64, u64)], range: (f64, f64)) -> f64 {
+        values.iter().map(|&(v, _)| normalize(v, range)).fold(f64::INFINITY, f64::min).clamp(0.0, 1.0)
+    }
+}
+
+/// Best (maximum) normalized value — optimistic aggregation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxAgg;
+
+impl Aggregator for MaxAgg {
+    fn aggregate(&self, values: &[(f64, u64)], range: (f64, f64)) -> f64 {
+        values.iter().map(|&(v, _)| normalize(v, range)).fold(0.0, f64::max).min(1.0)
+    }
+}
+
+/// A QEF scoring one named characteristic with a chosen aggregation.
+///
+/// Sources that do not define the characteristic are treated as having the
+/// universe minimum (worst), so an unreported value can never *improve* a
+/// selection's score.
+pub struct CharacteristicQef {
+    qef_name: String,
+    characteristic: String,
+    aggregator: Arc<dyn Aggregator>,
+}
+
+impl CharacteristicQef {
+    /// Creates a characteristic QEF.
+    pub fn new(
+        qef_name: impl Into<String>,
+        characteristic: impl Into<String>,
+        aggregator: impl Aggregator + 'static,
+    ) -> Self {
+        CharacteristicQef {
+            qef_name: qef_name.into(),
+            characteristic: characteristic.into(),
+            aggregator: Arc::new(aggregator),
+        }
+    }
+}
+
+impl Qef for CharacteristicQef {
+    fn name(&self) -> &str {
+        &self.qef_name
+    }
+
+    fn evaluate(&self, ctx: &EvalContext, input: &EvalInput<'_>) -> f64 {
+        let Some(&range) = ctx.characteristic_ranges.get(&self.characteristic) else {
+            // No source in the universe defines this characteristic.
+            return 0.0;
+        };
+        if input.sources.is_empty() {
+            return 0.0;
+        }
+        let values: Vec<(f64, u64)> = input
+            .sources
+            .iter()
+            .map(|&sid| {
+                let s = input.universe.source(sid);
+                (s.characteristic(&self.characteristic).unwrap_or(range.0), s.cardinality())
+            })
+            .collect();
+        self.aggregator.aggregate(&values, range).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::MediatedSchema;
+    use crate::ids::SourceId;
+    use crate::schema::Schema;
+    use crate::source::{SourceSpec, Universe};
+    use std::collections::BTreeSet;
+
+    fn universe() -> Universe {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("lo", Schema::new(["x"])).cardinality(100).characteristic("mttf", 50.0));
+        b.add_source(SourceSpec::new("hi", Schema::new(["y"])).cardinality(900).characteristic("mttf", 150.0));
+        b.add_source(SourceSpec::new("none", Schema::new(["z"])).cardinality(100));
+        b.build().unwrap()
+    }
+
+    fn eval(qef: &CharacteristicQef, u: &Universe, picks: &[u32]) -> f64 {
+        let ctx = EvalContext::for_universe(u);
+        let sources: BTreeSet<_> = picks.iter().map(|&i| SourceId(i)).collect();
+        let schema = MediatedSchema::empty();
+        let input = EvalInput { universe: u, sources: &sources, schema: &schema, match_quality: 0.0 };
+        qef.evaluate(&ctx, &input)
+    }
+
+    #[test]
+    fn wsum_weights_by_cardinality() {
+        let u = universe();
+        let qef = CharacteristicQef::new("mttf", "mttf", WeightedSumAgg);
+        // lo normalizes to 0, hi to 1; weighted by cardinality 100 vs 900.
+        let v = eval(&qef, &u, &[0, 1]);
+        assert!((v - 0.9).abs() < 1e-9, "v={v}");
+    }
+
+    #[test]
+    fn mean_ignores_cardinality() {
+        let u = universe();
+        let qef = CharacteristicQef::new("mttf", "mttf", MeanAgg);
+        let v = eval(&qef, &u, &[0, 1]);
+        assert!((v - 0.5).abs() < 1e-9, "v={v}");
+    }
+
+    #[test]
+    fn min_and_max() {
+        let u = universe();
+        let qmin = CharacteristicQef::new("mttf", "mttf", MinAgg);
+        let qmax = CharacteristicQef::new("mttf", "mttf", MaxAgg);
+        assert_eq!(eval(&qmin, &u, &[0, 1]), 0.0);
+        assert_eq!(eval(&qmax, &u, &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn missing_value_treated_as_worst() {
+        let u = universe();
+        let qef = CharacteristicQef::new("mttf", "mttf", MaxAgg);
+        assert_eq!(eval(&qef, &u, &[2]), 0.0);
+    }
+
+    #[test]
+    fn unknown_characteristic_scores_zero() {
+        let u = universe();
+        let qef = CharacteristicQef::new("latency", "latency", WeightedSumAgg);
+        assert_eq!(eval(&qef, &u, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn degenerate_range_scores_one() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("a", Schema::new(["x"])).cardinality(10).characteristic("fee", 5.0));
+        b.add_source(SourceSpec::new("b", Schema::new(["y"])).cardinality(10).characteristic("fee", 5.0));
+        let u = b.build().unwrap();
+        let qef = CharacteristicQef::new("fee", "fee", WeightedSumAgg);
+        assert_eq!(eval(&qef, &u, &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn empty_selection_scores_zero() {
+        let u = universe();
+        let qef = CharacteristicQef::new("mttf", "mttf", WeightedSumAgg);
+        assert_eq!(eval(&qef, &u, &[]), 0.0);
+    }
+}

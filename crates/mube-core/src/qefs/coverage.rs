@@ -1,0 +1,132 @@
+//! `F_3` — coverage: how much of the universe's distinct data the selection
+//! can reach.
+//!
+//! `Coverage(S) = |∪_{s∈S} s| / |∪_{t∈U} t|`, with the union cardinalities
+//! *estimated* from the PCSA signatures the cooperating sources export: the
+//! signature of a union is the bitwise OR of the signatures (§4). Sources
+//! that do not cooperate (no signature) contribute nothing to coverage, per
+//! the paper's fallback rule.
+
+use mube_sketch::PcsaSignature;
+
+use crate::ids::SourceId;
+use crate::qef::{EvalContext, EvalInput, Qef};
+use crate::source::Universe;
+
+/// The coverage QEF (`Coverage(S)` in the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoverageQef;
+
+/// ORs together the signatures of the cooperating sources in a selection.
+/// Returns `None` if no selected source cooperates.
+pub fn union_signature<'a, I>(universe: &Universe, sources: I) -> Option<PcsaSignature>
+where
+    I: IntoIterator<Item = &'a SourceId>,
+{
+    let mut acc: Option<PcsaSignature> = None;
+    for &sid in sources {
+        if let Some(sig) = universe.source(sid).signature() {
+            match &mut acc {
+                None => acc = Some(sig.clone()),
+                Some(u) => u
+                    .union_assign(sig)
+                    .expect("universe builder guarantees matching signature configs"),
+            }
+        }
+    }
+    acc
+}
+
+/// Estimated number of distinct tuples in a selection (0 if nothing
+/// cooperates).
+pub fn estimated_distinct(universe: &Universe, input: &EvalInput<'_>) -> f64 {
+    union_signature(universe, input.sources.iter()).map_or(0.0, |s| s.estimate())
+}
+
+impl Qef for CoverageQef {
+    fn name(&self) -> &str {
+        "coverage"
+    }
+
+    fn evaluate(&self, ctx: &EvalContext, input: &EvalInput<'_>) -> f64 {
+        if ctx.universe_distinct <= 0.0 {
+            return 0.0;
+        }
+        let selected = estimated_distinct(input.universe, input);
+        (selected / ctx.universe_distinct).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::MediatedSchema;
+    use crate::schema::Schema;
+    use crate::source::SourceSpec;
+    use mube_sketch::pcsa::PcsaConfig;
+    use std::collections::BTreeSet;
+
+    fn sig(keys: std::ops::Range<u64>) -> PcsaSignature {
+        let mut s = PcsaSignature::new(PcsaConfig::new(64, 32, 7));
+        for k in keys {
+            s.insert(k);
+        }
+        s
+    }
+
+    fn universe() -> Universe {
+        let mut b = Universe::builder();
+        // a and b overlap heavily; c is disjoint.
+        b.add_source(SourceSpec::new("a", Schema::new(["x"])).cardinality(10_000).signature(sig(0..10_000)));
+        b.add_source(SourceSpec::new("b", Schema::new(["y"])).cardinality(10_000).signature(sig(0..10_000)));
+        b.add_source(SourceSpec::new("c", Schema::new(["z"])).cardinality(10_000).signature(sig(10_000..20_000)));
+        b.add_source(SourceSpec::new("shy", Schema::new(["w"])).cardinality(10_000));
+        b.build().unwrap()
+    }
+
+    fn eval(u: &Universe, picks: &[u32]) -> f64 {
+        let ctx = EvalContext::for_universe(u);
+        let sources: BTreeSet<_> = picks.iter().map(|&i| SourceId(i)).collect();
+        let schema = MediatedSchema::empty();
+        let input = EvalInput { universe: u, sources: &sources, schema: &schema, match_quality: 0.0 };
+        CoverageQef.evaluate(&ctx, &input)
+    }
+
+    #[test]
+    fn duplicated_source_adds_no_coverage() {
+        let u = universe();
+        let one = eval(&u, &[0]);
+        let dup = eval(&u, &[0, 1]);
+        // a and b hold the same tuples, so coverage barely moves.
+        assert!((one - dup).abs() < 0.02, "one={one} dup={dup}");
+    }
+
+    #[test]
+    fn disjoint_source_doubles_coverage() {
+        let u = universe();
+        let one = eval(&u, &[0]);
+        let two = eval(&u, &[0, 2]);
+        assert!(two > 1.7 * one, "one={one} two={two}");
+    }
+
+    #[test]
+    fn full_cooperating_selection_covers_everything() {
+        let u = universe();
+        let all = eval(&u, &[0, 1, 2]);
+        assert!((all - 1.0).abs() < 1e-9, "all={all}");
+    }
+
+    #[test]
+    fn uncooperative_sources_score_zero() {
+        let u = universe();
+        assert_eq!(eval(&u, &[3]), 0.0);
+    }
+
+    #[test]
+    fn no_signatures_anywhere_scores_zero() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("a", Schema::new(["x"])).cardinality(5));
+        let u = b.build().unwrap();
+        assert_eq!(eval(&u, &[0]), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! `F_1` — matching quality.
+//!
+//! The matching quality of a candidate is produced *by the matching
+//! operator* while it generates the mediated schema (average over the GAs of
+//! the best intra-GA pair similarity, §3); this QEF simply surfaces that
+//! number into the weighted quality framework.
+
+use crate::qef::{EvalContext, EvalInput, Qef};
+
+/// The matching-quality QEF (`F_1` in the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchingQualityQef;
+
+impl Qef for MatchingQualityQef {
+    fn name(&self) -> &str {
+        "matching"
+    }
+
+    fn evaluate(&self, _ctx: &EvalContext, input: &EvalInput<'_>) -> f64 {
+        input.match_quality.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::MediatedSchema;
+    use crate::schema::Schema;
+    use crate::source::{SourceSpec, Universe};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn passes_through_match_quality() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("a", Schema::new(["x"])));
+        let u = b.build().unwrap();
+        let ctx = EvalContext::for_universe(&u);
+        let sources: BTreeSet<_> = u.source_ids().collect();
+        let schema = MediatedSchema::empty();
+        for q in [0.0, 0.42, 1.0, 1.7, -0.3] {
+            let input =
+                EvalInput { universe: &u, sources: &sources, schema: &schema, match_quality: q };
+            let got = MatchingQualityQef.evaluate(&ctx, &input);
+            assert_eq!(got, q.clamp(0.0, 1.0));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Source schemas.
+//!
+//! µBE treats a source schema as a flat list of named attributes (§2.1 of the
+//! paper: relational schemas, 1:1 matching). Richer models — XML, compound
+//! elements for n:m matching — can be layered on by flattening compound
+//! elements into attributes, as the paper notes.
+
+/// A single named attribute of a source schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    name: String,
+}
+
+impl Attribute {
+    /// Creates an attribute. Names are normalized to lowercase with
+    /// collapsed whitespace, matching how hidden-Web form labels are
+    /// extracted in practice.
+    pub fn new(name: impl Into<String>) -> Self {
+        let raw = name.into();
+        let name = raw.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase();
+        Attribute { name }
+    }
+
+    /// The normalized attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<T: Into<String>> From<T> for Attribute {
+    fn from(name: T) -> Self {
+        Attribute::new(name)
+    }
+}
+
+/// The schema of one data source: an ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema from anything attribute-like.
+    pub fn new<I, A>(attrs: I) -> Self
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attribute>,
+    {
+        Schema { attrs: attrs.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attribute at `index`, if any.
+    pub fn attr(&self, index: usize) -> Option<&Attribute> {
+        self.attrs.get(index)
+    }
+
+    /// Iterates over `(index, attribute)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Attribute)> {
+        self.attrs.iter().enumerate()
+    }
+
+    /// All attribute names, in schema order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(Attribute::name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_normalizes_name() {
+        let a = Attribute::new("  Event   Name ");
+        assert_eq!(a.name(), "event name");
+    }
+
+    #[test]
+    fn schema_from_strs() {
+        let s = Schema::new(["title", "Author", "ISBN"]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.attr(1).unwrap().name(), "author");
+        assert!(s.attr(3).is_none());
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::default();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn names_iterates_in_order() {
+        let s = Schema::new(["b", "a"]);
+        let names: Vec<_> = s.names().collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+}

@@ -1,0 +1,356 @@
+//! The iterative user-feedback loop (§6 of the paper).
+//!
+//! µBE's defining feature is not a single optimization run but the loop
+//! around it: the user inspects the chosen sources and mediated schema,
+//! pins sources, promotes output GAs into GA constraints, re-weights the
+//! quality dimensions, and re-solves. A [`Session`] owns the evolving
+//! [`Problem`], runs the solver, and keeps the solution history so each
+//! iteration can be diffed against the previous one.
+//!
+//! By design (and per the paper), the *output* format — GAs — is exactly the
+//! *input* constraint format, so [`Session::adopt_ga`] can turn "GA 3 of the
+//! last solution" directly into a constraint for the next run.
+
+use mube_opt::SubsetSolver;
+
+use crate::constraints::Constraints;
+use crate::error::MubeError;
+use crate::ga::GlobalAttribute;
+use crate::ids::SourceId;
+use crate::problem::Problem;
+use crate::solution::{Solution, SolutionDiff};
+use crate::source::Universe;
+
+/// An interactive µBE session: a problem, a solver, and the history of
+/// solutions across feedback iterations.
+pub struct Session {
+    problem: Problem,
+    solver: Box<dyn SubsetSolver>,
+    seed: u64,
+    history: Vec<Solution>,
+    continuity: bool,
+}
+
+impl Session {
+    /// Starts a session. `seed` makes the whole session deterministic.
+    pub fn new(problem: Problem, solver: Box<dyn SubsetSolver>, seed: u64) -> Self {
+        Session { problem, solver, seed, history: Vec::new(), continuity: false }
+    }
+
+    /// Enables *continuity*: each `run()` after the first warm-starts tabu
+    /// search from the previous solution (repaired against the current
+    /// constraints). Small feedback edits then produce small solution
+    /// diffs — the stability the paper's §7.4 robustness experiment relies
+    /// on — at the price of exploring less after each edit.
+    ///
+    /// Only takes effect when the session's solver is
+    /// [`mube_opt::TabuSearch`] (the other solvers have no warm-start
+    /// notion); otherwise `run()` behaves as without continuity.
+    pub fn with_continuity(mut self) -> Self {
+        self.continuity = true;
+        self
+    }
+
+    /// The underlying universe.
+    pub fn universe(&self) -> &Universe {
+        self.problem.universe()
+    }
+
+    /// The current constraints.
+    pub fn constraints(&self) -> &Constraints {
+        self.problem.constraints()
+    }
+
+    /// The problem (read-only).
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Runs one optimization iteration and records the solution.
+    ///
+    /// Each iteration uses a fresh solver seed derived from the session seed
+    /// and the iteration number, so re-running after feedback explores anew
+    /// but the session as a whole stays reproducible.
+    pub fn run(&mut self) -> Result<&Solution, MubeError> {
+        let seed = self.seed.wrapping_add(self.history.len() as u64);
+        let warm = if self.continuity {
+            self.history.last().map(|s| s.sources.clone())
+        } else {
+            None
+        };
+        let solution = match warm {
+            Some(warm) => self.problem.solve_from(self.solver.as_ref(), seed, &warm)?,
+            None => self.problem.solve(self.solver.as_ref(), seed)?,
+        };
+        self.history.push(solution);
+        Ok(self.history.last().expect("just pushed"))
+    }
+
+    /// The most recent solution, if any iteration has run.
+    pub fn latest(&self) -> Option<&Solution> {
+        self.history.last()
+    }
+
+    /// All solutions so far, oldest first.
+    pub fn history(&self) -> &[Solution] {
+        &self.history
+    }
+
+    /// Diff of the last two iterations (what the latest feedback changed).
+    pub fn last_diff(&self) -> Option<SolutionDiff> {
+        let n = self.history.len();
+        if n < 2 {
+            return None;
+        }
+        Some(self.history[n - 2].diff(&self.history[n - 1]))
+    }
+
+    // ------------------------------------------------------------------
+    // Feedback verbs. Each edits the constraints or weights and leaves the
+    // session ready for the next `run()`.
+    // ------------------------------------------------------------------
+
+    /// Pins a source: it must appear in every future solution.
+    pub fn pin_source(&mut self, source: SourceId) -> Result<(), MubeError> {
+        let mut c = self.problem.constraints().clone();
+        c.required_sources.insert(source);
+        self.problem.set_constraints(c)
+    }
+
+    /// Pins a source by name.
+    pub fn pin_source_by_name(&mut self, name: &str) -> Result<(), MubeError> {
+        let id = self
+            .universe()
+            .source_by_name(name)
+            .map(|s| s.id())
+            .ok_or_else(|| MubeError::UnknownAttribute { detail: format!("source `{name}`") })?;
+        self.pin_source(id)
+    }
+
+    /// Un-pins a source.
+    pub fn unpin_source(&mut self, source: SourceId) -> Result<(), MubeError> {
+        let mut c = self.problem.constraints().clone();
+        c.required_sources.remove(&source);
+        self.problem.set_constraints(c)
+    }
+
+    /// Adds a GA constraint ("matching by example"): the output schema must
+    /// contain a GA subsuming `ga`.
+    pub fn require_ga(&mut self, ga: GlobalAttribute) -> Result<(), MubeError> {
+        let mut c = self.problem.constraints().clone();
+        c.required_gas.push(ga);
+        self.problem.set_constraints(c)
+    }
+
+    /// Promotes GA `index` of the latest solution into a GA constraint —
+    /// the paper's signature "modify the output to get the next input".
+    pub fn adopt_ga(&mut self, index: usize) -> Result<(), MubeError> {
+        let ga = self
+            .latest()
+            .and_then(|s| s.ga(index))
+            .cloned()
+            .ok_or_else(|| MubeError::UnknownAttribute {
+                detail: format!("solution GA #{index}"),
+            })?;
+        self.require_ga(ga)
+    }
+
+    /// Builds a GA constraint from `(source name, attribute name)` pairs and
+    /// adds it. This is the "bridge two attributes the matcher can't see as
+    /// similar" gesture from §3 (F name ↔ Prenom).
+    pub fn require_ga_by_names(
+        &mut self,
+        pairs: &[(&str, &str)],
+    ) -> Result<(), MubeError> {
+        let mut attrs = Vec::with_capacity(pairs.len());
+        for (source_name, attr_name) in pairs {
+            let source = self.universe().source_by_name(source_name).ok_or_else(|| {
+                MubeError::UnknownAttribute { detail: format!("source `{source_name}`") }
+            })?;
+            let idx = source
+                .schema()
+                .iter()
+                .find(|(_, a)| a.name() == attr_name.to_lowercase())
+                .map(|(j, _)| j as u32)
+                .ok_or_else(|| MubeError::UnknownAttribute {
+                    detail: format!("attribute `{attr_name}` of `{source_name}`"),
+                })?;
+            attrs.push(crate::ids::AttrId::new(source.id(), idx));
+        }
+        let ga = GlobalAttribute::try_new(attrs)?;
+        self.require_ga(ga)
+    }
+
+    /// Removes all GA constraints.
+    pub fn clear_ga_constraints(&mut self) -> Result<(), MubeError> {
+        let mut c = self.problem.constraints().clone();
+        c.required_gas.clear();
+        self.problem.set_constraints(c)
+    }
+
+    /// Sets one QEF's weight, rescaling the others proportionally.
+    pub fn set_weight(&mut self, qef: &str, weight: f64) -> Result<(), MubeError> {
+        let qefs = self.problem.qefs().reweighted(qef, weight)?;
+        self.problem.set_qefs(qefs);
+        Ok(())
+    }
+
+    /// Replaces all weights (same order as the QEFs were registered).
+    pub fn set_weights(&mut self, weights: &[f64]) -> Result<(), MubeError> {
+        let qefs = self.problem.qefs().with_weights(weights)?;
+        self.problem.set_qefs(qefs);
+        Ok(())
+    }
+
+    /// Sets the matching threshold `θ`.
+    pub fn set_theta(&mut self, theta: f64) -> Result<(), MubeError> {
+        let mut c = self.problem.constraints().clone();
+        c.theta = theta;
+        self.problem.set_constraints(c)
+    }
+
+    /// Sets the minimum GA size `β`.
+    pub fn set_beta(&mut self, beta: usize) -> Result<(), MubeError> {
+        let mut c = self.problem.constraints().clone();
+        c.beta = beta;
+        self.problem.set_constraints(c)
+    }
+
+    /// Sets the maximum number of sources `m`.
+    pub fn set_max_sources(&mut self, m: usize) -> Result<(), MubeError> {
+        let mut c = self.problem.constraints().clone();
+        c.max_sources = m;
+        self.problem.set_constraints(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Constraints;
+    use crate::matchop::IdentityMatcher;
+    use crate::qefs::data_only_qefs;
+    use crate::schema::Schema;
+    use crate::source::SourceSpec;
+    use mube_opt::TabuSearch;
+    use std::sync::Arc;
+
+    fn session(n: u32, m: usize) -> Session {
+        let mut b = Universe::builder();
+        for i in 0..n {
+            b.add_source(
+                SourceSpec::new(format!("src{i}"), Schema::new(["title", "author"]))
+                    .cardinality(100 + u64::from(i)),
+            );
+        }
+        let universe = Arc::new(b.build().unwrap());
+        let problem = Problem::new(
+            universe,
+            Arc::new(IdentityMatcher),
+            data_only_qefs(),
+            Constraints::with_max_sources(m).beta(1),
+        )
+        .unwrap();
+        Session::new(problem, Box::new(TabuSearch::default()), 7)
+    }
+
+    #[test]
+    fn run_records_history() {
+        let mut s = session(6, 3);
+        assert!(s.latest().is_none());
+        s.run().unwrap();
+        s.run().unwrap();
+        assert_eq!(s.history().len(), 2);
+        assert!(s.last_diff().is_some());
+    }
+
+    #[test]
+    fn pin_source_takes_effect() {
+        let mut s = session(6, 2);
+        s.pin_source(SourceId(5)).unwrap();
+        let sol = s.run().unwrap();
+        assert!(sol.sources.contains(&SourceId(5)));
+    }
+
+    #[test]
+    fn pin_by_name_and_unpin() {
+        let mut s = session(4, 2);
+        s.pin_source_by_name("src2").unwrap();
+        assert!(s.constraints().required_sources.contains(&SourceId(2)));
+        s.unpin_source(SourceId(2)).unwrap();
+        assert!(s.constraints().required_sources.is_empty());
+        assert!(s.pin_source_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn adopt_ga_promotes_output() {
+        let mut s = session(4, 3);
+        s.run().unwrap();
+        let before = s.constraints().required_gas.len();
+        s.adopt_ga(0).unwrap();
+        assert_eq!(s.constraints().required_gas.len(), before + 1);
+        // The adopted GA must keep appearing.
+        let adopted = s.constraints().required_gas[0].clone();
+        let sol = s.run().unwrap();
+        assert!(sol.schema.covers_gas(&[adopted]));
+    }
+
+    #[test]
+    fn adopt_ga_out_of_range_errors() {
+        let mut s = session(3, 2);
+        s.run().unwrap();
+        assert!(s.adopt_ga(999).is_err());
+    }
+
+    #[test]
+    fn require_ga_by_names_resolves() {
+        let mut s = session(3, 3);
+        s.require_ga_by_names(&[("src0", "title"), ("src1", "Author")]).unwrap();
+        assert_eq!(s.constraints().required_gas.len(), 1);
+        assert!(s.require_ga_by_names(&[("src0", "missing")]).is_err());
+        assert!(s.require_ga_by_names(&[("ghost", "title")]).is_err());
+    }
+
+    #[test]
+    fn weight_feedback() {
+        let mut s = session(3, 2);
+        s.set_weight("cardinality", 0.7).unwrap();
+        assert!((s.problem().qefs().weight_of("cardinality").unwrap() - 0.7).abs() < 1e-9);
+        assert!(s.set_weight("ghost", 0.5).is_err());
+    }
+
+    #[test]
+    fn parameter_setters() {
+        let mut s = session(3, 2);
+        s.set_theta(0.5).unwrap();
+        s.set_beta(3).unwrap();
+        s.set_max_sources(3).unwrap();
+        assert_eq!(s.constraints().theta, 0.5);
+        assert_eq!(s.constraints().beta, 3);
+        assert_eq!(s.constraints().max_sources, 3);
+        assert!(s.set_theta(2.0).is_err());
+    }
+
+    #[test]
+    fn session_is_reproducible() {
+        let run = |seed| {
+            let mut b = Universe::builder();
+            for i in 0..8u32 {
+                b.add_source(
+                    SourceSpec::new(format!("s{i}"), Schema::new(["x"]))
+                        .cardinality(u64::from(i * i)),
+                );
+            }
+            let problem = Problem::new(
+                Arc::new(b.build().unwrap()),
+                Arc::new(IdentityMatcher),
+                data_only_qefs(),
+                Constraints::with_max_sources(3).beta(1),
+            )
+            .unwrap();
+            let mut s = Session::new(problem, Box::new(TabuSearch::default()), seed);
+            s.run().unwrap().clone()
+        };
+        assert_eq!(run(5).sources, run(5).sources);
+    }
+}

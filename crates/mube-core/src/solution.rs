@@ -1,0 +1,185 @@
+//! Solutions: the output of one µBE iteration.
+//!
+//! A solution bundles the selected sources, the generated mediated schema,
+//! the overall quality, and the per-QEF breakdown. Because µBE's interaction
+//! model feeds the *output* of one iteration back as *constraints* of the
+//! next, solutions also know how to diff themselves against each other
+//! (which sources / GAs changed) — this powers the weight-perturbation
+//! robustness experiment (§7.4) and the session history view.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ga::{GlobalAttribute, MediatedSchema};
+use crate::ids::SourceId;
+use crate::source::Universe;
+
+/// One data-integration solution: sources + mediated schema + quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The selected sources `S`.
+    pub sources: BTreeSet<SourceId>,
+    /// The mediated schema `M` generated on `S` (after β filtering).
+    pub schema: MediatedSchema,
+    /// Overall quality `Q(S)` — the maximized objective.
+    pub quality: f64,
+    /// Per-QEF `(name, weight, score)` breakdown.
+    pub qef_scores: Vec<(String, f64, f64)>,
+    /// Objective evaluations the optimizer spent finding this solution.
+    pub evaluations: u64,
+}
+
+impl Solution {
+    /// The score of a named QEF in this solution.
+    pub fn qef_score(&self, name: &str) -> Option<f64> {
+        self.qef_scores.iter().find(|(n, _, _)| n == name).map(|&(_, _, s)| s)
+    }
+
+    /// Differences between two solutions, for session feedback and the
+    /// robustness experiments.
+    pub fn diff(&self, other: &Solution) -> SolutionDiff {
+        let added: BTreeSet<SourceId> =
+            other.sources.difference(&self.sources).copied().collect();
+        let removed: BTreeSet<SourceId> =
+            self.sources.difference(&other.sources).copied().collect();
+        // A GA "changed" if it is not a subset of any GA on the other side.
+        let gas_changed = self
+            .schema
+            .gas_not_in(&other.schema)
+            .max(other.schema.gas_not_in(&self.schema));
+        SolutionDiff { sources_added: added, sources_removed: removed, gas_changed }
+    }
+
+    /// Renders a human-readable report.
+    pub fn display<'a>(&'a self, universe: &'a Universe) -> SolutionDisplay<'a> {
+        SolutionDisplay { solution: self, universe }
+    }
+
+    /// A GA of the schema by index — the handle users grab to turn an
+    /// output GA into a GA constraint for the next iteration.
+    pub fn ga(&self, index: usize) -> Option<&GlobalAttribute> {
+        self.schema.gas().get(index)
+    }
+}
+
+/// What changed between two solutions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolutionDiff {
+    /// Sources in the new solution only.
+    pub sources_added: BTreeSet<SourceId>,
+    /// Sources in the old solution only.
+    pub sources_removed: BTreeSet<SourceId>,
+    /// Number of GAs present on one side but not subsumed by the other
+    /// (symmetric; the max of the two directions).
+    pub gas_changed: usize,
+}
+
+impl SolutionDiff {
+    /// True if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.sources_added.is_empty() && self.sources_removed.is_empty() && self.gas_changed == 0
+    }
+
+    /// Total number of source membership changes.
+    pub fn sources_changed(&self) -> usize {
+        self.sources_added.len() + self.sources_removed.len()
+    }
+}
+
+/// Helper returned by [`Solution::display`].
+pub struct SolutionDisplay<'a> {
+    solution: &'a Solution,
+    universe: &'a Universe,
+}
+
+impl fmt::Display for SolutionDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Overall quality Q(S) = {:.4}", self.solution.quality)?;
+        for (name, weight, score) in &self.solution.qef_scores {
+            writeln!(f, "  {name:<12} w={weight:.2}  F={score:.4}")?;
+        }
+        writeln!(f, "Sources ({}):", self.solution.sources.len())?;
+        for &s in &self.solution.sources {
+            let src = self.universe.source(s);
+            writeln!(f, "  {s}  {} ({} tuples)", src.name(), src.cardinality())?;
+        }
+        writeln!(f, "Mediated schema ({} GAs):", self.solution.schema.len())?;
+        write!(f, "{}", self.solution.schema.display(self.universe))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::GlobalAttribute;
+    use crate::ids::AttrId;
+    use crate::schema::Schema;
+    use crate::source::SourceSpec;
+
+    fn a(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    fn sol(sources: &[u32], gas: Vec<GlobalAttribute>, quality: f64) -> Solution {
+        Solution {
+            sources: sources.iter().map(|&i| SourceId(i)).collect(),
+            schema: MediatedSchema::new(gas),
+            quality,
+            qef_scores: vec![("matching".into(), 1.0, quality)],
+            evaluations: 0,
+        }
+    }
+
+    #[test]
+    fn diff_counts_source_changes() {
+        let g = GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap();
+        let s1 = sol(&[0, 1], vec![g.clone()], 0.5);
+        let s2 = sol(&[0, 2], vec![g], 0.6);
+        let d = s1.diff(&s2);
+        assert_eq!(d.sources_added, [SourceId(2)].into());
+        assert_eq!(d.sources_removed, [SourceId(1)].into());
+        assert_eq!(d.sources_changed(), 2);
+        assert_eq!(d.gas_changed, 0);
+    }
+
+    #[test]
+    fn diff_counts_ga_changes() {
+        let g1 = GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap();
+        let g2 = GlobalAttribute::try_new([a(0, 1), a(1, 1)]).unwrap();
+        let s1 = sol(&[0, 1], vec![g1.clone()], 0.5);
+        let s2 = sol(&[0, 1], vec![g1, g2], 0.5);
+        assert_eq!(s1.diff(&s2).gas_changed, 1);
+        // Identical solutions → empty diff.
+        assert!(s2.diff(&s2).is_empty());
+    }
+
+    #[test]
+    fn ga_subset_does_not_count_as_change() {
+        // s2's GA extends s1's GA: s1's GA is subsumed, so only the
+        // direction "s2 has a GA not in s1" counts.
+        let small = GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap();
+        let big = GlobalAttribute::try_new([a(0, 0), a(1, 0), a(2, 0)]).unwrap();
+        let s1 = sol(&[0, 1], vec![small], 0.5);
+        let s2 = sol(&[0, 1, 2], vec![big], 0.5);
+        assert_eq!(s1.diff(&s2).gas_changed, 1);
+    }
+
+    #[test]
+    fn qef_score_lookup() {
+        let s = sol(&[0], vec![], 0.7);
+        assert_eq!(s.qef_score("matching"), Some(0.7));
+        assert_eq!(s.qef_score("coverage"), None);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("alpha", Schema::new(["x"])).cardinality(7));
+        let u = b.build().unwrap();
+        let s = sol(&[0], vec![GlobalAttribute::singleton(a(0, 0))], 0.9);
+        let text = s.display(&u).to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("0.9000"));
+        assert!(text.contains("GA0"));
+    }
+}

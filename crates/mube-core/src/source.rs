@@ -1,0 +1,340 @@
+//! Data sources and the universe of sources.
+//!
+//! From µBE's point of view (§2.1 of the paper) a data source consists of a
+//! schema, a set of tuples, and a set of non-functional characteristics. The
+//! tuples themselves never leave the source: a cooperating source exports its
+//! *cardinality* (tuple count) and a PCSA *hash signature* of its tuples;
+//! uncooperative sources export neither and are simply excluded from the
+//! data-dependent quality metrics (they score zero coverage/redundancy).
+
+use std::collections::BTreeMap;
+
+use mube_sketch::PcsaSignature;
+
+use crate::error::MubeError;
+use crate::ids::{AttrId, SourceId};
+use crate::schema::Schema;
+
+/// Non-functional per-source characteristics (latency, availability, fees,
+/// MTTF, reputation, ...), keyed by name. Values are positive reals of any
+/// magnitude; QEF aggregation functions normalize them (§5).
+pub type Characteristics = BTreeMap<String, f64>;
+
+/// One data source.
+#[derive(Debug, Clone)]
+pub struct Source {
+    id: SourceId,
+    name: String,
+    schema: Schema,
+    cardinality: u64,
+    signature: Option<PcsaSignature>,
+    characteristics: Characteristics,
+}
+
+impl Source {
+    /// The source's id within its universe.
+    pub fn id(&self) -> SourceId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. the site's hostname).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The source's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples at the source, as reported by the source.
+    ///
+    /// Zero for uncooperative sources that did not report a cardinality.
+    pub fn cardinality(&self) -> u64 {
+        self.cardinality
+    }
+
+    /// The PCSA signature of the source's tuples, if the source cooperates.
+    pub fn signature(&self) -> Option<&PcsaSignature> {
+        self.signature.as_ref()
+    }
+
+    /// True if the source exported both a cardinality and a signature, i.e.
+    /// participates in the coverage/redundancy metrics.
+    pub fn cooperates(&self) -> bool {
+        self.signature.is_some()
+    }
+
+    /// Value of a named characteristic, if present.
+    pub fn characteristic(&self, name: &str) -> Option<f64> {
+        self.characteristics.get(name).copied()
+    }
+
+    /// All characteristics.
+    pub fn characteristics(&self) -> &Characteristics {
+        &self.characteristics
+    }
+
+    /// Ids of this source's attributes.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.schema.len() as u32).map(move |j| AttrId::new(self.id, j))
+    }
+}
+
+/// Builder for one source, used through [`UniverseBuilder::add_source`].
+#[derive(Debug)]
+pub struct SourceSpec {
+    name: String,
+    schema: Schema,
+    cardinality: u64,
+    signature: Option<PcsaSignature>,
+    characteristics: Characteristics,
+}
+
+impl SourceSpec {
+    /// Starts describing a source with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        SourceSpec {
+            name: name.into(),
+            schema,
+            cardinality: 0,
+            signature: None,
+            characteristics: Characteristics::new(),
+        }
+    }
+
+    /// Sets the reported tuple count.
+    pub fn cardinality(mut self, cardinality: u64) -> Self {
+        self.cardinality = cardinality;
+        self
+    }
+
+    /// Attaches the source's PCSA signature.
+    pub fn signature(mut self, signature: PcsaSignature) -> Self {
+        self.signature = Some(signature);
+        self
+    }
+
+    /// Sets one named characteristic.
+    pub fn characteristic(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.characteristics.insert(name.into(), value);
+        self
+    }
+}
+
+/// The universe `U = {s_1, ..., s_N}` of candidate sources.
+///
+/// Built once via [`Universe::builder`]; immutable afterwards so it can be
+/// shared freely across the matcher, the QEFs, and the optimizer.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    sources: Vec<Source>,
+}
+
+impl Universe {
+    /// Starts building a universe.
+    pub fn builder() -> UniverseBuilder {
+        UniverseBuilder { specs: Vec::new() }
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True if there are no sources.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// The source with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this universe; ids are only minted
+    /// by this universe's builder, so this indicates a logic error.
+    pub fn source(&self, id: SourceId) -> &Source {
+        &self.sources[id.index()]
+    }
+
+    /// The source with the given id, or `None` for a foreign id.
+    pub fn get(&self, id: SourceId) -> Option<&Source> {
+        self.sources.get(id.index())
+    }
+
+    /// Looks a source up by name (linear scan; universes are at most a few
+    /// thousand sources).
+    pub fn source_by_name(&self, name: &str) -> Option<&Source> {
+        self.sources.iter().find(|s| s.name == name)
+    }
+
+    /// Iterates over all sources.
+    pub fn sources(&self) -> impl Iterator<Item = &Source> {
+        self.sources.iter()
+    }
+
+    /// Iterates over all source ids.
+    pub fn source_ids(&self) -> impl Iterator<Item = SourceId> {
+        (0..self.sources.len() as u32).map(SourceId)
+    }
+
+    /// The name of an attribute, by id.
+    ///
+    /// Returns `None` if the id refers to a source or position outside this
+    /// universe.
+    pub fn attr_name(&self, attr: AttrId) -> Option<&str> {
+        self.get(attr.source)?.schema().attr(attr.index as usize).map(|a| a.name())
+    }
+
+    /// Checks an attribute id refers into this universe.
+    pub fn contains_attr(&self, attr: AttrId) -> bool {
+        self.attr_name(attr).is_some()
+    }
+
+    /// Total number of attributes across all sources.
+    pub fn total_attrs(&self) -> usize {
+        self.sources.iter().map(|s| s.schema().len()).sum()
+    }
+
+    /// Total tuple count across all sources (Σ_{t∈U} |t|).
+    pub fn total_cardinality(&self) -> u64 {
+        self.sources.iter().map(|s| s.cardinality).sum()
+    }
+}
+
+/// Incrementally assembles a [`Universe`], assigning dense source ids.
+#[derive(Debug)]
+pub struct UniverseBuilder {
+    specs: Vec<SourceSpec>,
+}
+
+impl UniverseBuilder {
+    /// Adds a source; returns the id it will have in the built universe.
+    pub fn add_source(&mut self, spec: SourceSpec) -> SourceId {
+        let id = SourceId(self.specs.len() as u32);
+        self.specs.push(spec);
+        id
+    }
+
+    /// Finalizes the universe.
+    ///
+    /// Fails if the universe is empty, any source has an empty schema, or two
+    /// cooperating sources carry signatures with mismatched configurations
+    /// (they would not be OR-composable).
+    pub fn build(self) -> Result<Universe, MubeError> {
+        if self.specs.is_empty() {
+            return Err(MubeError::EmptyUniverse);
+        }
+        let mut first_config = None;
+        for (i, spec) in self.specs.iter().enumerate() {
+            if spec.schema.is_empty() {
+                return Err(MubeError::EmptySchema { source: spec.name.clone() });
+            }
+            if let Some(sig) = &spec.signature {
+                match &first_config {
+                    None => first_config = Some(sig.config().clone()),
+                    Some(cfg) if cfg != sig.config() => {
+                        return Err(MubeError::SignatureConfigMismatch {
+                            source: self.specs[i].name.clone(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let sources = self
+            .specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| Source {
+                id: SourceId(i as u32),
+                name: spec.name,
+                schema: spec.schema,
+                cardinality: spec.cardinality,
+                signature: spec.signature,
+                characteristics: spec.characteristics,
+            })
+            .collect();
+        Ok(Universe { sources })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_sketch::pcsa::PcsaConfig;
+
+    fn sig(seed: u64, keys: std::ops::Range<u64>) -> PcsaSignature {
+        let mut s = PcsaSignature::new(PcsaConfig::new(16, 32, seed));
+        for k in keys {
+            s.insert(k);
+        }
+        s
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = Universe::builder();
+        let a = b.add_source(SourceSpec::new("a", Schema::new(["x"])));
+        let c = b.add_source(SourceSpec::new("b", Schema::new(["y"])));
+        assert_eq!(a, SourceId(0));
+        assert_eq!(c, SourceId(1));
+        let u = b.build().unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.source(a).name(), "a");
+    }
+
+    #[test]
+    fn empty_universe_rejected() {
+        assert!(matches!(Universe::builder().build(), Err(MubeError::EmptyUniverse)));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("bad", Schema::default()));
+        assert!(matches!(b.build(), Err(MubeError::EmptySchema { .. })));
+    }
+
+    #[test]
+    fn mismatched_signatures_rejected() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("a", Schema::new(["x"])).signature(sig(1, 0..10)));
+        b.add_source(SourceSpec::new("b", Schema::new(["y"])).signature(sig(2, 0..10)));
+        assert!(matches!(b.build(), Err(MubeError::SignatureConfigMismatch { .. })));
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("a", Schema::new(["x", "y"])).cardinality(10));
+        b.add_source(SourceSpec::new("b", Schema::new(["z"])).cardinality(5));
+        let u = b.build().unwrap();
+        assert_eq!(u.total_cardinality(), 15);
+        assert_eq!(u.total_attrs(), 3);
+        assert_eq!(u.attr_name(AttrId::new(SourceId(0), 1)), Some("y"));
+        assert_eq!(u.attr_name(AttrId::new(SourceId(0), 2)), None);
+        assert_eq!(u.attr_name(AttrId::new(SourceId(9), 0)), None);
+        assert!(u.source_by_name("b").is_some());
+        assert!(u.source_by_name("zzz").is_none());
+    }
+
+    #[test]
+    fn cooperation_flag() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("coop", Schema::new(["x"])).signature(sig(1, 0..5)));
+        b.add_source(SourceSpec::new("shy", Schema::new(["y"])));
+        let u = b.build().unwrap();
+        assert!(u.source(SourceId(0)).cooperates());
+        assert!(!u.source(SourceId(1)).cooperates());
+    }
+
+    #[test]
+    fn characteristics_roundtrip() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("a", Schema::new(["x"])).characteristic("mttf", 80.0));
+        let u = b.build().unwrap();
+        assert_eq!(u.source(SourceId(0)).characteristic("mttf"), Some(80.0));
+        assert_eq!(u.source(SourceId(0)).characteristic("latency"), None);
+    }
+}

@@ -1,0 +1,261 @@
+//! Fan-out query execution with the paper's cost accounting.
+//!
+//! Executing a query over a data-integration solution costs, per the
+//! paper's introduction: retrieval from every selected source, mapping into
+//! the mediated schema, and inconsistency (duplicate) resolution across
+//! sources. The executor models the common fan-out plan: all answerable
+//! sources are queried "in parallel" (simulated makespan = the slowest
+//! fetch), results are mapped and de-duplicated, and every cost is
+//! reported.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use mube_core::ga::MediatedSchema;
+use mube_core::ids::SourceId;
+use mube_core::solution::Solution;
+use mube_core::source::Universe;
+use std::sync::Arc;
+
+use crate::backend::DataSourceBackend;
+use crate::query::Query;
+
+/// What one source contributed to a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFetch {
+    /// The source.
+    pub source: SourceId,
+    /// Tuples it returned.
+    pub fetched: usize,
+    /// Of those, tuples no earlier source had returned.
+    pub novel: usize,
+    /// Simulated fetch cost.
+    pub cost: Duration,
+}
+
+/// The result and cost breakdown of one query execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// The de-duplicated answer.
+    pub tuples: BTreeSet<u64>,
+    /// Total tuples retrieved across sources (with duplicates).
+    pub fetched: usize,
+    /// Per-source breakdown, in source order.
+    pub per_source: Vec<SourceFetch>,
+    /// Sources that could not answer (no attribute in a projected GA).
+    pub unanswerable: Vec<SourceId>,
+    /// Simulated makespan: the slowest single fetch (parallel fan-out).
+    pub makespan: Duration,
+    /// Simulated total work: the sum of all fetch costs.
+    pub total_cost: Duration,
+}
+
+impl ExecutionReport {
+    /// Distinct tuples in the answer.
+    pub fn distinct(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Duplicates resolved during mediation (`fetched − distinct`).
+    pub fn duplicates(&self) -> usize {
+        self.fetched - self.distinct()
+    }
+
+    /// Fraction of retrieved tuples that were redundant — the query-time
+    /// price of a low-redundancy-score selection.
+    pub fn waste(&self) -> f64 {
+        if self.fetched == 0 {
+            0.0
+        } else {
+            self.duplicates() as f64 / self.fetched as f64
+        }
+    }
+}
+
+/// Executes queries against a backend.
+pub struct Executor<B> {
+    universe: Arc<Universe>,
+    backend: B,
+}
+
+impl<B: DataSourceBackend> Executor<B> {
+    /// Creates an executor.
+    pub fn new(universe: Arc<Universe>, backend: B) -> Self {
+        Executor { universe, backend }
+    }
+
+    /// Executes a query against an explicit source set (no projection
+    /// filtering — every source is considered answerable).
+    pub fn execute(&self, sources: &BTreeSet<SourceId>, query: &Query) -> ExecutionReport {
+        self.run(sources.iter().copied().collect(), Vec::new(), query)
+    }
+
+    /// Executes a query against a µBE solution: only sources contributing
+    /// an attribute to a projected GA are queried; the rest are reported as
+    /// unanswerable (their data cannot be mapped onto the requested part of
+    /// the mediated schema).
+    pub fn execute_solution(&self, solution: &Solution, query: &Query) -> ExecutionReport {
+        let (answerable, unanswerable) = match &query.projection {
+            None => (solution.sources.iter().copied().collect::<Vec<_>>(), Vec::new()),
+            Some(projected) => {
+                let spanned = projected_sources(&solution.schema, projected);
+                let mut answerable = Vec::new();
+                let mut unanswerable = Vec::new();
+                for &s in &solution.sources {
+                    if spanned.contains(&s) {
+                        answerable.push(s);
+                    } else {
+                        unanswerable.push(s);
+                    }
+                }
+                (answerable, unanswerable)
+            }
+        };
+        self.run(answerable, unanswerable, query)
+    }
+
+    fn run(
+        &self,
+        answerable: Vec<SourceId>,
+        unanswerable: Vec<SourceId>,
+        query: &Query,
+    ) -> ExecutionReport {
+        let mut tuples: BTreeSet<u64> = BTreeSet::new();
+        let mut per_source = Vec::with_capacity(answerable.len());
+        let mut fetched_total = 0usize;
+        let mut makespan = Duration::ZERO;
+        let mut total_cost = Duration::ZERO;
+        for source in answerable {
+            if self.universe.get(source).is_none() {
+                continue;
+            }
+            let ids = self.backend.fetch(source, query);
+            let fetched = ids.len();
+            let mut novel = 0usize;
+            for id in ids {
+                if tuples.insert(id) {
+                    novel += 1;
+                }
+            }
+            let cost = self.backend.cost(source, fetched);
+            makespan = makespan.max(cost);
+            total_cost += cost;
+            fetched_total += fetched;
+            per_source.push(SourceFetch { source, fetched, novel, cost });
+        }
+        ExecutionReport {
+            tuples,
+            fetched: fetched_total,
+            per_source,
+            unanswerable,
+            makespan,
+            total_cost,
+        }
+    }
+}
+
+/// Sources with at least one attribute in one of the projected GAs.
+fn projected_sources(schema: &MediatedSchema, projected: &BTreeSet<usize>) -> BTreeSet<SourceId> {
+    projected
+        .iter()
+        .filter_map(|&idx| schema.gas().get(idx))
+        .flat_map(|ga| ga.sources())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::WindowBackend;
+    use mube_synth::{generate, SynthConfig};
+
+    fn setup() -> (mube_synth::SynthUniverse, Executor<WindowBackend>) {
+        let synth = generate(&SynthConfig::small(8), 5);
+        let backend = WindowBackend::new(&synth);
+        let executor = Executor::new(Arc::clone(&synth.universe), backend);
+        (synth, executor)
+    }
+
+    #[test]
+    fn answer_matches_exact_union() {
+        let (synth, executor) = setup();
+        let sources: BTreeSet<_> = synth.universe.source_ids().collect();
+        let report = executor.execute(&sources, &Query::range(0, u64::MAX));
+        assert_eq!(report.distinct() as u64, synth.exact_distinct_universe());
+        // Total fetched is the sum of cardinalities.
+        assert_eq!(report.fetched as u64, synth.universe.total_cardinality());
+        assert_eq!(report.duplicates(), report.fetched - report.distinct());
+    }
+
+    #[test]
+    fn novel_counts_sum_to_distinct() {
+        let (synth, executor) = setup();
+        let sources: BTreeSet<_> = synth.universe.source_ids().take(5).collect();
+        let report = executor.execute(&sources, &Query::range(0, 50_000));
+        let novel_sum: usize = report.per_source.iter().map(|f| f.novel).sum();
+        assert_eq!(novel_sum, report.distinct());
+        drop(synth);
+    }
+
+    #[test]
+    fn makespan_and_total_cost_relate() {
+        let (synth, executor) = setup();
+        let sources: BTreeSet<_> = synth.universe.source_ids().collect();
+        let report = executor.execute(&sources, &Query::range(0, 10_000));
+        assert!(report.makespan <= report.total_cost);
+        assert!(report.makespan > Duration::ZERO);
+        // Parallel fan-out beats sequential by roughly the source count.
+        assert!(report.total_cost >= report.makespan * (sources.len() as u32 / 2));
+    }
+
+    #[test]
+    fn selection_restricts_answers() {
+        let (_, executor) = setup();
+        let sources: BTreeSet<_> = [SourceId(0), SourceId(1)].into();
+        let all = executor.execute(&sources, &Query::range(0, u64::MAX));
+        let some = executor.execute(&sources, &Query::range(0, 1_000));
+        assert!(some.distinct() <= all.distinct());
+        for &id in &some.tuples {
+            assert!(id < 1_000);
+        }
+    }
+
+    #[test]
+    fn projection_excludes_unmapped_sources() {
+        use mube_core::ga::{GlobalAttribute, MediatedSchema};
+        use mube_core::ids::AttrId;
+        let (synth, executor) = setup();
+        // Build a solution where only sources 0 and 1 participate in GA 0.
+        let ga = GlobalAttribute::try_new([
+            AttrId::new(SourceId(0), 0),
+            AttrId::new(SourceId(1), 0),
+        ])
+        .unwrap();
+        let solution = mube_core::Solution {
+            sources: [SourceId(0), SourceId(1), SourceId(2)].into(),
+            schema: MediatedSchema::new([ga]),
+            quality: 1.0,
+            qef_scores: vec![],
+            evaluations: 0,
+        };
+        let report =
+            executor.execute_solution(&solution, &Query::range(0, u64::MAX).project([0]));
+        assert_eq!(report.unanswerable, vec![SourceId(2)]);
+        assert_eq!(report.per_source.len(), 2);
+        // Without projection, all three answer.
+        let full = executor.execute_solution(&solution, &Query::range(0, u64::MAX));
+        assert!(full.unanswerable.is_empty());
+        assert_eq!(full.per_source.len(), 3);
+        drop(synth);
+    }
+
+    #[test]
+    fn waste_is_zero_for_single_source() {
+        let (_, executor) = setup();
+        let one: BTreeSet<_> = [SourceId(0)].into();
+        let report = executor.execute(&one, &Query::range(0, u64::MAX));
+        assert_eq!(report.waste(), 0.0);
+        let empty = executor.execute(&one, &Query::range(3, 3));
+        assert_eq!(empty.waste(), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Automatic measurement of source characteristics (§5).
+//!
+//! "Some of these characteristics can be measured automatically by µBE,
+//! such as latency" — this module does exactly that: it issues a small
+//! probe query to every source through the backend, records the simulated
+//! round-trip cost, and produces a new [`Universe`] whose sources carry the
+//! measurement as a `latency` characteristic (milliseconds). A
+//! [`mube_core::qefs::CharacteristicQef`] over `latency` can then
+//! participate in selection like any user-provided characteristic.
+//!
+//! Latency is a *cost* (lower is better) while QEF aggregations treat
+//! higher as better, so the probe records both the raw milliseconds (for
+//! reporting) and a benefit-oriented [`responsiveness`] transform
+//! (reciprocal milliseconds) that plugs straight into the standard
+//! aggregators.
+
+use std::time::Duration;
+
+use mube_core::error::MubeError;
+use mube_core::source::{SourceSpec, Universe};
+
+use crate::backend::DataSourceBackend;
+use crate::query::Query;
+
+/// Converts a measured latency into a benefit-oriented characteristic
+/// value (bigger = better): `1000 / (1 + latency_ms)`.
+pub fn responsiveness(latency: Duration) -> f64 {
+    1000.0 / (1.0 + latency.as_secs_f64() * 1000.0)
+}
+
+/// Probes every source with a tiny query and rebuilds the universe with
+/// two added characteristics per source: `latency` (the measured probe
+/// round-trip, in milliseconds) and `responsiveness` (its benefit-oriented
+/// transform, usable directly by `CharacteristicQef`).
+///
+/// Existing characteristics are preserved; existing `latency` /
+/// `responsiveness` values are overwritten by the fresh measurements.
+pub fn probe_latencies<B: DataSourceBackend>(
+    universe: &Universe,
+    backend: &B,
+) -> Result<Universe, MubeError> {
+    // A minimal probe: ask for (at most) a single tuple.
+    let probe = Query::range(0, 1);
+    let mut builder = Universe::builder();
+    for source in universe.sources() {
+        let fetched = backend.fetch(source.id(), &probe).len();
+        let latency = backend.cost(source.id(), fetched);
+        let mut spec = SourceSpec::new(source.name(), source.schema().clone())
+            .cardinality(source.cardinality())
+            .characteristic("latency", latency.as_secs_f64() * 1000.0)
+            .characteristic("responsiveness", responsiveness(latency));
+        if let Some(sig) = source.signature() {
+            spec = spec.signature(sig.clone());
+        }
+        for (name, &value) in source.characteristics() {
+            if name != "latency" && name != "responsiveness" {
+                spec = spec.characteristic(name.clone(), value);
+            }
+        }
+        builder.add_source(spec);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::WindowBackend;
+    use mube_synth::{generate, SynthConfig};
+
+    #[test]
+    fn probe_adds_latency_characteristics() {
+        let synth = generate(&SynthConfig::small(8), 2);
+        let backend = WindowBackend::new(&synth);
+        let probed = probe_latencies(&synth.universe, &backend).unwrap();
+        assert_eq!(probed.len(), synth.universe.len());
+        for (orig, new) in synth.universe.sources().zip(probed.sources()) {
+            assert_eq!(orig.name(), new.name());
+            assert_eq!(orig.schema(), new.schema());
+            assert_eq!(orig.cardinality(), new.cardinality());
+            assert_eq!(orig.signature(), new.signature());
+            // mttf preserved, latency + responsiveness added.
+            assert_eq!(orig.characteristic("mttf"), new.characteristic("mttf"));
+            let latency = new.characteristic("latency").expect("probed");
+            assert!(latency >= 50.0, "window backend setup is ≥ 50ms, got {latency}");
+            assert!(new.characteristic("responsiveness").expect("probed") > 0.0);
+        }
+    }
+
+    #[test]
+    fn responsiveness_is_monotone_decreasing() {
+        let fast = responsiveness(Duration::from_millis(10));
+        let slow = responsiveness(Duration::from_millis(500));
+        assert!(fast > slow);
+        assert!(responsiveness(Duration::ZERO) > fast);
+    }
+
+    #[test]
+    fn probed_universe_is_solvable_with_latency_qef() {
+        use mube_core::constraints::Constraints;
+        use mube_core::matchop::IdentityMatcher;
+        use mube_core::problem::Problem;
+        use mube_core::qef::WeightedQefs;
+        use mube_core::qefs::{CardinalityQef, CharacteristicQef, MaxAgg};
+        use std::sync::Arc;
+
+        let synth = generate(&SynthConfig::small(10), 3);
+        let backend = WindowBackend::new(&synth);
+        let probed = Arc::new(probe_latencies(&synth.universe, &backend).unwrap());
+        let qefs = WeightedQefs::new(vec![
+            (Arc::new(CardinalityQef) as Arc<dyn mube_core::Qef>, 0.5),
+            (
+                Arc::new(CharacteristicQef::new("responsiveness", "responsiveness", MaxAgg))
+                    as Arc<dyn mube_core::Qef>,
+                0.5,
+            ),
+        ])
+        .unwrap();
+        let problem = Problem::new(
+            probed,
+            Arc::new(IdentityMatcher),
+            qefs,
+            Constraints::with_max_sources(3).beta(1),
+        )
+        .unwrap();
+        let solution = problem.solve(&mube_opt::TabuSearch::default(), 3).unwrap();
+        assert!(solution.qef_score("responsiveness").unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Queries over the mediated schema.
+//!
+//! The tuple substrate is deliberately opaque (tuples are 64-bit ids — see
+//! DESIGN.md §4), so a query's *selection* is a predicate over tuple ids —
+//! we provide id ranges, which compose exactly with the generator's window
+//! representation. The *projection* is a set of GA indices of the mediated
+//! schema: only sources contributing an attribute to a projected GA can
+//! answer (their other attributes are not mapped).
+
+use std::collections::BTreeSet;
+
+/// A query: selection over tuples plus an optional projection onto GAs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Tuple-id range `[start, end)` the query selects.
+    pub start: u64,
+    /// Exclusive end of the range.
+    pub end: u64,
+    /// GA indices projected; `None` = all GAs (every selected source can
+    /// answer).
+    pub projection: Option<BTreeSet<usize>>,
+}
+
+impl Query {
+    /// A pure selection query over `[start, end)`.
+    pub fn range(start: u64, end: u64) -> Self {
+        Query { start, end, projection: None }
+    }
+
+    /// Restricts the query to the given GA indices of the mediated schema.
+    pub fn project<I: IntoIterator<Item = usize>>(mut self, gas: I) -> Self {
+        self.projection = Some(gas.into_iter().collect());
+        self
+    }
+
+    /// Number of tuple ids the selection spans.
+    pub fn span(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the tuple id satisfies the selection.
+    #[inline]
+    pub fn selects(&self, id: u64) -> bool {
+        (self.start..self.end).contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_selects_half_open_interval() {
+        let q = Query::range(10, 20);
+        assert!(q.selects(10));
+        assert!(q.selects(19));
+        assert!(!q.selects(20));
+        assert!(!q.selects(9));
+        assert_eq!(q.span(), 10);
+    }
+
+    #[test]
+    fn degenerate_range_is_empty() {
+        let q = Query::range(5, 5);
+        assert_eq!(q.span(), 0);
+        assert!(!q.selects(5));
+        let q = Query::range(9, 3);
+        assert_eq!(q.span(), 0);
+    }
+
+    #[test]
+    fn projection_builder() {
+        let q = Query::range(0, 10).project([0, 2]);
+        assert_eq!(q.projection, Some(BTreeSet::from([0, 2])));
+    }
+}

@@ -1,0 +1,175 @@
+//! Universe-wide pairwise similarity cache.
+//!
+//! The clustering matcher runs once per objective evaluation inside the
+//! optimizer's inner loop, so attribute similarities must be cheap. Two
+//! observations make a precomputed cache practical at Internet scale:
+//!
+//! 1. similarity is a function of the *names* only, and
+//! 2. names repeat massively across sources (the paper's 700 schemas are
+//!    perturbed copies of 50 base schemas).
+//!
+//! So the cache interns every distinct attribute name once and stores a
+//! dense `distinct × distinct` matrix of `f32` similarities. A universe
+//! with thousands of sources but a few hundred distinct names costs well
+//! under a megabyte.
+
+use std::collections::HashMap;
+
+use mube_core::ids::AttrId;
+use mube_core::source::Universe;
+
+use crate::similarity::Similarity;
+
+/// A precomputed similarity oracle for all attributes of one universe.
+pub struct SimilarityCache {
+    /// `name_ids[source][attr_index]` → interned name id.
+    name_ids: Vec<Vec<u32>>,
+    /// Number of distinct names.
+    distinct: usize,
+    /// Dense row-major `distinct × distinct` similarity matrix.
+    matrix: Vec<f32>,
+    /// Name of the measure used, for reports.
+    measure_name: String,
+}
+
+impl SimilarityCache {
+    /// Computes the cache for a universe under a similarity measure.
+    pub fn build(universe: &Universe, measure: &dyn Similarity) -> Self {
+        let mut intern: HashMap<&str, u32> = HashMap::new();
+        let mut names: Vec<&str> = Vec::new();
+        let mut name_ids: Vec<Vec<u32>> = Vec::with_capacity(universe.len());
+        for source in universe.sources() {
+            let ids = source
+                .schema()
+                .iter()
+                .map(|(_, attr)| {
+                    *intern.entry(attr.name()).or_insert_with(|| {
+                        names.push(attr.name());
+                        (names.len() - 1) as u32
+                    })
+                })
+                .collect();
+            name_ids.push(ids);
+        }
+        let distinct = names.len();
+        let mut matrix = vec![0.0f32; distinct * distinct];
+        for i in 0..distinct {
+            matrix[i * distinct + i] = 1.0;
+            for j in (i + 1)..distinct {
+                let s = measure.similarity(names[i], names[j]) as f32;
+                matrix[i * distinct + j] = s;
+                matrix[j * distinct + i] = s;
+            }
+        }
+        SimilarityCache {
+            name_ids,
+            distinct,
+            matrix,
+            measure_name: measure.name().to_string(),
+        }
+    }
+
+    /// Number of distinct attribute names interned.
+    pub fn distinct_names(&self) -> usize {
+        self.distinct
+    }
+
+    /// The measure this cache was built with.
+    pub fn measure_name(&self) -> &str {
+        &self.measure_name
+    }
+
+    /// Interned name id of an attribute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attribute does not belong to the universe the cache was
+    /// built from (a logic error: caches and universes travel together).
+    #[inline]
+    pub fn name_id(&self, attr: AttrId) -> u32 {
+        self.name_ids[attr.source.index()][attr.index as usize]
+    }
+
+    /// Cached similarity of two attributes.
+    #[inline]
+    pub fn attr_sim(&self, a: AttrId, b: AttrId) -> f64 {
+        self.sim_by_name_id(self.name_id(a), self.name_id(b))
+    }
+
+    /// Cached similarity of two interned names.
+    #[inline]
+    pub fn sim_by_name_id(&self, a: u32, b: u32) -> f64 {
+        f64::from(self.matrix[a as usize * self.distinct + b as usize])
+    }
+
+    /// Approximate memory use of the matrix, in bytes.
+    pub fn matrix_bytes(&self) -> usize {
+        self.matrix.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::JaccardNGram;
+    use mube_core::ids::SourceId;
+    use mube_core::schema::Schema;
+    use mube_core::source::SourceSpec;
+
+    fn universe() -> Universe {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("a", Schema::new(["title", "author"])));
+        b.add_source(SourceSpec::new("b", Schema::new(["title", "writer"])));
+        b.add_source(SourceSpec::new("c", Schema::new(["book title"])));
+        b.build().unwrap()
+    }
+
+    fn attr(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    #[test]
+    fn interns_duplicate_names() {
+        let u = universe();
+        let cache = SimilarityCache::build(&u, &JaccardNGram::trigram());
+        // 5 attributes but only 4 distinct names.
+        assert_eq!(cache.distinct_names(), 4);
+        assert_eq!(cache.name_id(attr(0, 0)), cache.name_id(attr(1, 0)));
+        assert_ne!(cache.name_id(attr(0, 1)), cache.name_id(attr(1, 1)));
+    }
+
+    #[test]
+    fn matches_measure_exactly() {
+        let u = universe();
+        let measure = JaccardNGram::trigram();
+        let cache = SimilarityCache::build(&u, &measure);
+        let expected = measure.similarity("title", "book title");
+        let got = cache.attr_sim(attr(0, 0), attr(2, 0));
+        assert!((got - expected).abs() < 1e-6, "got {got}, expected {expected}");
+    }
+
+    #[test]
+    fn identical_names_have_sim_one() {
+        let u = universe();
+        let cache = SimilarityCache::build(&u, &JaccardNGram::trigram());
+        assert_eq!(cache.attr_sim(attr(0, 0), attr(1, 0)), 1.0);
+        assert_eq!(cache.attr_sim(attr(0, 0), attr(0, 0)), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let u = universe();
+        let cache = SimilarityCache::build(&u, &JaccardNGram::trigram());
+        let ab = cache.attr_sim(attr(0, 1), attr(1, 1));
+        let ba = cache.attr_sim(attr(1, 1), attr(0, 1));
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn reports_memory() {
+        let u = universe();
+        let cache = SimilarityCache::build(&u, &JaccardNGram::trigram());
+        assert_eq!(cache.matrix_bytes(), 4 * 4 * 4);
+        assert_eq!(cache.measure_name(), "jaccard3");
+    }
+}

@@ -1,0 +1,444 @@
+//! Greedy constrained similarity clustering — Algorithm 1 of the paper.
+//!
+//! Starting from one cluster per attribute (plus one *keep* cluster per user
+//! GA constraint), the algorithm repeatedly merges the most similar pair of
+//! clusters whose union is still a valid GA, where cluster similarity is the
+//! **maximum** similarity between an attribute of one cluster and an
+//! attribute of the other. Clusters whose best similarity to every other
+//! cluster falls below the threshold `θ` are pruned. The surviving clusters
+//! are the GAs of the generated mediated schema.
+//!
+//! The max-linkage definition is what makes GA constraints act as *bridges*:
+//! a constraint cluster `{F name, Prenom}` attracts attributes similar to
+//! either member without the dissimilar member penalizing them — "the user
+//! provides an example of a matching, and µBE expands it".
+//!
+//! Two clarifications of the paper's pseudocode (its printed guards are
+//! garbled by the PDF-to-text conversion) that we adopt, guided by the
+//! stated termination condition and Figure 3:
+//!
+//! * another round runs whenever *any* merge happened, not only when a
+//!   merge candidate was starved (so mutually-similar merged clusters can
+//!   keep coalescing, as in Figure 3(b)→(c));
+//! * elimination at the end of a round removes clusters that were never
+//!   merged, are not pending merge candidates, and are not user-kept.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use mube_core::constraints::Constraints;
+use mube_core::ga::{GlobalAttribute, MediatedSchema};
+use mube_core::ids::SourceId;
+use mube_core::matchop::{MatchOperator, MatchOutcome};
+use mube_core::source::Universe;
+
+use crate::cache::SimilarityCache;
+use crate::similarity::Similarity;
+
+/// µBE's reference `Match(S)` operator.
+///
+/// Holds a similarity cache precomputed over the universe it was built for;
+/// calls with a different universe are rejected as infeasible (caches and
+/// universes travel together).
+pub struct ClusterMatcher {
+    cache: Arc<SimilarityCache>,
+    universe_len: usize,
+}
+
+impl ClusterMatcher {
+    /// Builds a matcher (and its similarity cache) for a universe.
+    pub fn new(universe: Arc<Universe>, measure: impl Similarity + 'static) -> Self {
+        let cache = Arc::new(SimilarityCache::build(&universe, &measure));
+        ClusterMatcher { cache, universe_len: universe.len() }
+    }
+
+    /// Builds a matcher from an existing cache (sharing it with other
+    /// components, e.g. diagnostics).
+    pub fn with_cache(universe: &Universe, cache: Arc<SimilarityCache>) -> Self {
+        ClusterMatcher { cache, universe_len: universe.len() }
+    }
+
+    /// The underlying similarity cache.
+    pub fn cache(&self) -> &Arc<SimilarityCache> {
+        &self.cache
+    }
+}
+
+/// One cluster during Algorithm 1.
+struct Cluster {
+    ga: GlobalAttribute,
+    /// User-kept (seeded from a GA constraint): immune to elimination and
+    /// to the θ bound.
+    keep: bool,
+    /// Ever produced by a merge (size ≥ 2 growth); immune to elimination.
+    formed_by_merge: bool,
+}
+
+impl ClusterMatcher {
+    /// Max-linkage similarity between two clusters.
+    fn cluster_sim(&self, a: &Cluster, b: &Cluster) -> f64 {
+        let mut best = 0.0f64;
+        for &x in a.ga.attrs() {
+            for &y in b.ga.attrs() {
+                let s = self.cache.attr_sim(x, y);
+                if s > best {
+                    best = s;
+                }
+            }
+        }
+        best
+    }
+
+    /// Quality of one GA: the maximum similarity between any two of its
+    /// attributes (1.0 for singletons, which only arise from user
+    /// constraints).
+    fn ga_quality(&self, ga: &GlobalAttribute) -> f64 {
+        let attrs: Vec<_> = ga.attrs().iter().copied().collect();
+        if attrs.len() < 2 {
+            return 1.0;
+        }
+        let mut best = 0.0f64;
+        for i in 0..attrs.len() {
+            for j in (i + 1)..attrs.len() {
+                best = best.max(self.cache.attr_sim(attrs[i], attrs[j]));
+            }
+        }
+        best
+    }
+}
+
+impl MatchOperator for ClusterMatcher {
+    fn match_sources(
+        &self,
+        universe: &Universe,
+        sources: &BTreeSet<SourceId>,
+        constraints: &Constraints,
+    ) -> MatchOutcome {
+        if universe.len() != self.universe_len {
+            return MatchOutcome::Infeasible;
+        }
+        // The caller must pass S ⊇ C (the paper ensures this for every call
+        // to Match); a violating call can never produce a valid schema.
+        if !constraints.required_sources.iter().all(|s| sources.contains(s)) {
+            return MatchOutcome::Infeasible;
+        }
+        let theta = constraints.theta;
+
+        // Seed clusters: merged GA constraints (keep = true)...
+        let seeds = constraints.merged_ga_seeds();
+        let mut seeded_attrs: BTreeSet<_> = BTreeSet::new();
+        let mut clusters: Vec<Cluster> = Vec::new();
+        for seed in seeds {
+            if !seed.sources().all(|s| sources.contains(&s)) {
+                // GA constraints imply source constraints; an attribute from
+                // an unselected source cannot be mediated.
+                return MatchOutcome::Infeasible;
+            }
+            seeded_attrs.extend(seed.attrs().iter().copied());
+            clusters.push(Cluster { ga: seed, keep: true, formed_by_merge: false });
+        }
+        // ...then every remaining attribute as its own cluster.
+        for &sid in sources {
+            let Some(source) = universe.get(sid) else {
+                return MatchOutcome::Infeasible;
+            };
+            for attr in source.attr_ids() {
+                if !seeded_attrs.contains(&attr) {
+                    clusters.push(Cluster {
+                        ga: GlobalAttribute::singleton(attr),
+                        keep: false,
+                        formed_by_merge: false,
+                    });
+                }
+            }
+        }
+
+        // The greedy merge loop.
+        loop {
+            let k = clusters.len();
+            // All cluster pairs at or above the threshold, best first.
+            // Deterministic tie-break on indices.
+            let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    let s = self.cluster_sim(&clusters[i], &clusters[j]);
+                    if s >= theta {
+                        pairs.push((s, i, j));
+                    }
+                }
+            }
+            pairs.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("similarities are finite")
+                    .then(a.1.cmp(&b.1))
+                    .then(a.2.cmp(&b.2))
+            });
+
+            let mut merged = vec![false; k];
+            let mut mergecand = vec![false; k];
+            let mut new_clusters: Vec<Cluster> = Vec::new();
+            let mut any_merge = false;
+
+            for &(_, i, j) in &pairs {
+                match (merged[i], merged[j]) {
+                    (false, false) => {
+                        if let Some(ga) = clusters[i].ga.merge(&clusters[j].ga) {
+                            merged[i] = true;
+                            merged[j] = true;
+                            any_merge = true;
+                            new_clusters.push(Cluster {
+                                ga,
+                                keep: clusters[i].keep || clusters[j].keep,
+                                formed_by_merge: true,
+                            });
+                        }
+                    }
+                    (true, false) => mergecand[j] = true,
+                    (false, true) => mergecand[i] = true,
+                    (true, true) => {}
+                }
+            }
+
+            // Elimination: survivors are merge results, merge candidates
+            // starved this round, previously merged clusters, and user-kept
+            // clusters.
+            let mut survivors = new_clusters;
+            for (idx, cluster) in clusters.into_iter().enumerate() {
+                if merged[idx] {
+                    continue; // replaced by its merge result
+                }
+                if cluster.keep || cluster.formed_by_merge || mergecand[idx] {
+                    survivors.push(cluster);
+                }
+            }
+            clusters = survivors;
+
+            if !any_merge {
+                break;
+            }
+        }
+
+        let schema = MediatedSchema::new(clusters.into_iter().map(|c| c.ga));
+        if !schema.is_valid_on(&constraints.required_sources) {
+            return MatchOutcome::Infeasible;
+        }
+        let quality = if schema.is_empty() {
+            0.0
+        } else {
+            schema.gas().iter().map(|g| self.ga_quality(g)).sum::<f64>()
+                / schema.len() as f64
+        };
+        MatchOutcome::Matched { schema, quality }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::JaccardNGram;
+    use mube_core::ids::AttrId;
+    use mube_core::schema::Schema;
+    use mube_core::source::SourceSpec;
+
+    fn a(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    fn build(schemas: &[&[&str]]) -> (Arc<Universe>, ClusterMatcher) {
+        let mut b = Universe::builder();
+        for (i, attrs) in schemas.iter().enumerate() {
+            b.add_source(SourceSpec::new(format!("s{i}"), Schema::new(attrs.iter().copied())));
+        }
+        let u = Arc::new(b.build().unwrap());
+        let m = ClusterMatcher::new(Arc::clone(&u), JaccardNGram::trigram());
+        (u, m)
+    }
+
+    fn run(
+        u: &Universe,
+        m: &ClusterMatcher,
+        constraints: &Constraints,
+    ) -> Option<(MediatedSchema, f64)> {
+        let sources: BTreeSet<_> = u.source_ids().collect();
+        match m.match_sources(u, &sources, constraints) {
+            MatchOutcome::Matched { schema, quality } => Some((schema, quality)),
+            MatchOutcome::Infeasible => None,
+        }
+    }
+
+    #[test]
+    fn clusters_identical_names() {
+        let (u, m) = build(&[&["title", "price"], &["title", "price"], &["title"]]);
+        let c = Constraints::with_max_sources(3).theta(0.75);
+        let (schema, quality) = run(&u, &m, &c).unwrap();
+        assert_eq!(schema.len(), 2);
+        assert_eq!(quality, 1.0);
+        let title_ga = schema.ga_of(a(0, 0)).unwrap();
+        assert_eq!(title_ga.len(), 3);
+    }
+
+    #[test]
+    fn unmatched_singletons_are_pruned() {
+        let (u, m) = build(&[&["title", "zzzz"], &["title"]]);
+        let c = Constraints::with_max_sources(2).theta(0.75);
+        let (schema, _) = run(&u, &m, &c).unwrap();
+        // "zzzz" matches nothing → eliminated; only the title GA remains.
+        assert_eq!(schema.len(), 1);
+        assert!(schema.ga_of(a(0, 1)).is_none());
+    }
+
+    #[test]
+    fn one_attribute_per_source_per_ga() {
+        // Both attributes of source 0 are similar to source 1's "title",
+        // but a GA may contain at most one attribute per source.
+        let (u, m) = build(&[&["title", "title x"], &["title"]]);
+        let c = Constraints::with_max_sources(2).theta(0.3);
+        let (schema, _) = run(&u, &m, &c).unwrap();
+        for ga in schema.gas() {
+            let sources: Vec<_> = ga.sources().collect();
+            let distinct: BTreeSet<_> = sources.iter().copied().collect();
+            assert_eq!(sources.len(), distinct.len());
+        }
+    }
+
+    #[test]
+    fn threshold_gates_merging() {
+        let (u, m) = build(&[&["book title"], &["title"]]);
+        // Jaccard3("book title", "title") ≈ 0.375: merges at θ=0.3, not at 0.6.
+        let low = Constraints::with_max_sources(2).theta(0.3);
+        let (schema, q) = run(&u, &m, &low).unwrap();
+        assert_eq!(schema.len(), 1);
+        assert!(q >= 0.3);
+
+        let high = Constraints::with_max_sources(2).theta(0.6);
+        let (schema, q) = run(&u, &m, &high).unwrap();
+        assert!(schema.is_empty());
+        assert_eq!(q, 0.0);
+    }
+
+    #[test]
+    fn ga_constraint_bridges_dissimilar_attributes() {
+        // "f name" and "prenom" share no trigrams; a GA constraint bridges
+        // them, and "first name" then joins via its similarity to "f name".
+        let (u, m) = build(&[&["f name"], &["prenom"], &["first name"]]);
+        let bridge = GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap();
+        let c = Constraints::with_max_sources(3).theta(0.30).require_ga(bridge.clone());
+
+        // Without the constraint nothing merges with "prenom".
+        let plain = Constraints::with_max_sources(3).theta(0.30);
+        let (schema_plain, _) = run(&u, &m, &plain).unwrap();
+        assert!(schema_plain.ga_of(a(1, 0)).is_none());
+
+        let (schema, _) = run(&u, &m, &c).unwrap();
+        let ga = schema.ga_of(a(1, 0)).expect("bridged GA must survive");
+        assert!(ga.contains(a(0, 0)), "constraint preserved");
+        assert!(ga.contains(a(2, 0)), "bridge attracted 'first name'");
+        assert!(schema.covers_gas(&[bridge]));
+    }
+
+    #[test]
+    fn keep_clusters_survive_even_unmatched() {
+        let (u, m) = build(&[&["alpha"], &["omega"]]);
+        let ga = GlobalAttribute::try_new([a(0, 0)]).unwrap();
+        let c = Constraints::with_max_sources(2).theta(0.9).require_ga(ga.clone());
+        let (schema, _) = run(&u, &m, &c).unwrap();
+        assert_eq!(schema.len(), 1);
+        assert!(schema.covers_gas(&[ga]));
+    }
+
+    #[test]
+    fn source_constraint_validity_checked() {
+        // Source 1's only attribute matches nothing, so the schema cannot
+        // span it; with source 1 in C the match is infeasible.
+        let (u, m) = build(&[&["title"], &["zzzz"], &["title"]]);
+        let c = Constraints::with_max_sources(3).theta(0.75).require_source(SourceId(1));
+        assert!(run(&u, &m, &c).is_none());
+        // Without the constraint, matching succeeds (source 1 contributes
+        // nothing to the schema).
+        let c2 = Constraints::with_max_sources(3).theta(0.75);
+        assert!(run(&u, &m, &c2).is_some());
+    }
+
+    #[test]
+    fn subset_call_only_clusters_selected_sources() {
+        let (u, m) = build(&[&["title"], &["title"], &["title"]]);
+        let sources: BTreeSet<_> = [SourceId(0), SourceId(2)].into();
+        let c = Constraints::with_max_sources(2).theta(0.75);
+        match m.match_sources(&u, &sources, &c) {
+            MatchOutcome::Matched { schema, .. } => {
+                assert_eq!(schema.len(), 1);
+                let ga = &schema.gas()[0];
+                assert_eq!(ga.len(), 2);
+                assert!(!ga.touches_source(SourceId(1)));
+            }
+            MatchOutcome::Infeasible => panic!("expected match"),
+        }
+    }
+
+    #[test]
+    fn missing_required_source_in_selection_is_infeasible() {
+        let (u, m) = build(&[&["title"], &["title"]]);
+        let only0: BTreeSet<_> = [SourceId(0)].into();
+        let c = Constraints::with_max_sources(2).require_source(SourceId(1));
+        assert_eq!(m.match_sources(&u, &only0, &c), MatchOutcome::Infeasible);
+    }
+
+    #[test]
+    fn ga_constraint_source_outside_selection_is_infeasible() {
+        let (u, m) = build(&[&["title"], &["title"]]);
+        let only0: BTreeSet<_> = [SourceId(0)].into();
+        let ga = GlobalAttribute::try_new([a(1, 0)]).unwrap();
+        let c = Constraints::with_max_sources(2).require_ga(ga);
+        // required_sources is empty (the GA implies source 1), but source 1
+        // is not selected.
+        assert_eq!(m.match_sources(&u, &only0, &c), MatchOutcome::Infeasible);
+    }
+
+    #[test]
+    fn chained_merging_converges() {
+        // a–b similar, c–d similar, and the merged pairs are mutually
+        // similar through b–c: everything should coalesce into one GA.
+        let (u, m) = build(&[&["order date"], &["order data"], &["order daze"], &["order dace"]]);
+        let c = Constraints::with_max_sources(4).theta(0.5);
+        let (schema, q) = run(&u, &m, &c).unwrap();
+        assert_eq!(schema.len(), 1);
+        assert_eq!(schema.gas()[0].len(), 4);
+        assert!(q >= 0.5);
+    }
+
+    #[test]
+    fn quality_is_mean_of_ga_qualities() {
+        let (u, m) = build(&[&["title", "price"], &["title", "price"]]);
+        let c = Constraints::with_max_sources(2).theta(0.75);
+        let (schema, q) = run(&u, &m, &c).unwrap();
+        assert_eq!(schema.len(), 2);
+        assert_eq!(q, 1.0); // both GAs are exact-name matches
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let (u, m) = build(&[
+            &["title", "author", "isbn"],
+            &["book title", "writer", "isbn"],
+            &["title", "author name"],
+        ]);
+        let c = Constraints::with_max_sources(3).theta(0.3);
+        let r1 = run(&u, &m, &c).unwrap();
+        let r2 = run(&u, &m, &c).unwrap();
+        assert_eq!(r1.0, r2.0);
+        assert_eq!(r1.1, r2.1);
+    }
+
+    #[test]
+    fn wrong_universe_rejected() {
+        let (u1, m) = build(&[&["title"]]);
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("x", Schema::new(["a"])));
+        b.add_source(SourceSpec::new("y", Schema::new(["b"])));
+        let u2 = b.build().unwrap();
+        let sources: BTreeSet<_> = u2.source_ids().collect();
+        let c = Constraints::with_max_sources(2);
+        assert_eq!(m.match_sources(&u2, &sources, &c), MatchOutcome::Infeasible);
+        drop(u1);
+    }
+}

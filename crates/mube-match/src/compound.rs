@@ -1,0 +1,359 @@
+//! Compound schema elements — n:m matching via 1:1 matching (§2.1).
+//!
+//! The paper's formulation is 1:1, but notes it "may be extended to
+//! accommodate compound schema elements by replacing the attributes in our
+//! definitions with compound elements... This would enable us to handle
+//! matching with n:m cardinality by mapping n:m matches to 1:1 matches on
+//! compound elements." This module implements that extension:
+//!
+//! 1. the user (or a heuristic) declares groups of attributes within a
+//!    source that act as one unit — e.g. `{first name, last name}`;
+//! 2. [`Compounding::derive`] builds a *derived universe* whose schemas
+//!    have one attribute per compound element (ungrouped attributes stay
+//!    as singletons), with the concatenated member names so lexical
+//!    similarity sees the combined text ("first name last name" ≈
+//!    "full name");
+//! 3. the ordinary 1:1 machinery — Algorithm 1, QEFs, tabu search — runs
+//!    on the derived universe;
+//! 4. [`Derived::expand`] maps a mediated schema on the derived
+//!    universe back to an n:m correspondence over the original attributes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mube_core::error::MubeError;
+use mube_core::ga::MediatedSchema;
+use mube_core::ids::{AttrId, SourceId};
+use mube_core::schema::Schema;
+use mube_core::source::{SourceSpec, Universe};
+
+/// Declared attribute groups, per source.
+#[derive(Debug, Clone, Default)]
+pub struct Compounding {
+    /// source → groups of original attribute indices.
+    groups: BTreeMap<SourceId, Vec<Vec<u32>>>,
+}
+
+/// An n:m correspondence: for each participating source, the set of its
+/// original attributes taking part.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompoundGa {
+    /// One entry per source (sources are distinct, like Definition 1).
+    pub groups: Vec<(SourceId, BTreeSet<AttrId>)>,
+}
+
+/// A mediated schema expanded back to original attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompoundSchema {
+    /// The n:m correspondences.
+    pub gas: Vec<CompoundGa>,
+}
+
+/// The derived universe plus the bookkeeping to expand results back.
+pub struct Derived {
+    /// The derived universe (one attribute per compound element).
+    pub universe: Universe,
+    /// derived attribute → original attributes.
+    members: BTreeMap<AttrId, Vec<AttrId>>,
+}
+
+impl Compounding {
+    /// Starts with no groups (every attribute its own element).
+    pub fn new() -> Self {
+        Compounding::default()
+    }
+
+    /// Declares that the given attribute indices of `source` form one
+    /// compound element.
+    ///
+    /// Fails if the group has fewer than two members, repeats an index, or
+    /// overlaps a previously declared group of the same source.
+    pub fn add_group(
+        &mut self,
+        source: SourceId,
+        indices: impl IntoIterator<Item = u32>,
+    ) -> Result<(), MubeError> {
+        let group: Vec<u32> = {
+            let mut g: Vec<u32> = indices.into_iter().collect();
+            g.sort_unstable();
+            g
+        };
+        if group.len() < 2 {
+            return Err(MubeError::InvalidParameter {
+                detail: "a compound element needs at least two attributes".into(),
+            });
+        }
+        if group.windows(2).any(|w| w[0] == w[1]) {
+            return Err(MubeError::InvalidParameter {
+                detail: "a compound element cannot repeat an attribute".into(),
+            });
+        }
+        let existing = self.groups.entry(source).or_default();
+        for g in existing.iter() {
+            if g.iter().any(|i| group.binary_search(i).is_ok()) {
+                return Err(MubeError::ConstraintConflict {
+                    detail: format!("attribute of {source} already in another compound element"),
+                });
+            }
+        }
+        existing.push(group);
+        Ok(())
+    }
+
+    /// Builds the derived universe. Compound elements become single
+    /// attributes named by joining their members' names in schema order;
+    /// cardinalities, signatures, and characteristics carry over untouched
+    /// (they describe the source, not its schema shape).
+    ///
+    /// Fails if any declared index is out of range for its source.
+    pub fn derive(&self, universe: &Universe) -> Result<Derived, MubeError> {
+        let mut builder = Universe::builder();
+        let mut members: BTreeMap<AttrId, Vec<AttrId>> = BTreeMap::new();
+        for source in universe.sources() {
+            let sid = source.id();
+            let declared = self.groups.get(&sid).cloned().unwrap_or_default();
+            for group in &declared {
+                for &i in group {
+                    if source.schema().attr(i as usize).is_none() {
+                        return Err(MubeError::UnknownAttribute {
+                            detail: AttrId::new(sid, i).to_string(),
+                        });
+                    }
+                }
+            }
+            let grouped: BTreeSet<u32> = declared.iter().flatten().copied().collect();
+
+            // Derived schema: compound elements first come where their
+            // first member sat; we simply emit elements in order of their
+            // smallest member index to keep the schema stable.
+            let mut elements: Vec<Vec<u32>> = declared;
+            for (i, _) in source.schema().iter() {
+                let i = i as u32;
+                if !grouped.contains(&i) {
+                    elements.push(vec![i]);
+                }
+            }
+            elements.sort_by_key(|e| e[0]);
+
+            let names: Vec<String> = elements
+                .iter()
+                .map(|element| {
+                    element
+                        .iter()
+                        .map(|&i| {
+                            source
+                                .schema()
+                                .attr(i as usize)
+                                .expect("indices validated above")
+                                .name()
+                                .to_string()
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect();
+            let mut spec = SourceSpec::new(source.name(), Schema::new(names))
+                .cardinality(source.cardinality());
+            if let Some(sig) = source.signature() {
+                spec = spec.signature(sig.clone());
+            }
+            for (name, &value) in source.characteristics() {
+                spec = spec.characteristic(name.clone(), value);
+            }
+            let derived_sid = builder.add_source(spec);
+            for (j, element) in elements.iter().enumerate() {
+                members.insert(
+                    AttrId::new(derived_sid, j as u32),
+                    element.iter().map(|&i| AttrId::new(sid, i)).collect(),
+                );
+            }
+        }
+        Ok(Derived { universe: builder.build()?, members })
+    }
+}
+
+impl Derived {
+    /// The original attributes behind a derived attribute.
+    pub fn members_of(&self, derived: AttrId) -> Option<&[AttrId]> {
+        self.members.get(&derived).map(Vec::as_slice)
+    }
+
+    /// Expands a mediated schema over the derived universe into an n:m
+    /// correspondence over the original attributes.
+    pub fn expand(&self, schema: &MediatedSchema) -> CompoundSchema {
+        let gas = schema
+            .gas()
+            .iter()
+            .map(|ga| CompoundGa {
+                groups: ga
+                    .attrs()
+                    .iter()
+                    .map(|&derived| {
+                        let originals: BTreeSet<AttrId> = self
+                            .members
+                            .get(&derived)
+                            .expect("schema attrs come from the derived universe")
+                            .iter()
+                            .copied()
+                            .collect();
+                        let source = originals
+                            .iter()
+                            .next()
+                            .expect("compound elements are non-empty")
+                            .source;
+                        (source, originals)
+                    })
+                    .collect(),
+            })
+            .collect();
+        CompoundSchema { gas }
+    }
+}
+
+impl CompoundGa {
+    /// True if any group has more than one attribute, i.e. this is a
+    /// genuine n:m (not 1:1) correspondence.
+    pub fn is_nm(&self) -> bool {
+        self.groups.iter().any(|(_, g)| g.len() > 1)
+    }
+
+    /// Total original attributes involved.
+    pub fn width(&self) -> usize {
+        self.groups.iter().map(|(_, g)| g.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{Similarity, TokenDice};
+    use crate::ClusterMatcher;
+    use mube_core::constraints::Constraints;
+    use mube_core::matchop::{MatchOperator, MatchOutcome};
+    use std::sync::Arc;
+
+    fn a(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    fn universe() -> Universe {
+        let mut b = Universe::builder();
+        b.add_source(
+            SourceSpec::new("split", Schema::new(["first name", "last name", "price"]))
+                .cardinality(10)
+                .characteristic("mttf", 5.0),
+        );
+        b.add_source(SourceSpec::new("joined", Schema::new(["full name", "price"])).cardinality(20));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn add_group_validation() {
+        let mut c = Compounding::new();
+        assert!(c.add_group(SourceId(0), [0]).is_err(), "needs two members");
+        assert!(c.add_group(SourceId(0), [0, 0]).is_err(), "no repeats");
+        assert!(c.add_group(SourceId(0), [0, 1]).is_ok());
+        assert!(c.add_group(SourceId(0), [1, 2]).is_err(), "overlap rejected");
+        assert!(c.add_group(SourceId(1), [0, 1]).is_ok(), "other sources independent");
+    }
+
+    #[test]
+    fn derive_concatenates_names_and_keeps_singletons() {
+        let u = universe();
+        let mut c = Compounding::new();
+        c.add_group(SourceId(0), [0, 1]).unwrap();
+        let derived = c.derive(&u).unwrap();
+        let du = &derived.universe;
+        assert_eq!(du.source(SourceId(0)).schema().len(), 2);
+        assert_eq!(du.attr_name(a(0, 0)), Some("first name last name"));
+        assert_eq!(du.attr_name(a(0, 1)), Some("price"));
+        // Unmodified source carries over.
+        assert_eq!(du.source(SourceId(1)).schema().len(), 2);
+        // Source-level data carries over.
+        assert_eq!(du.source(SourceId(0)).cardinality(), 10);
+        assert_eq!(du.source(SourceId(0)).characteristic("mttf"), Some(5.0));
+    }
+
+    #[test]
+    fn derive_rejects_out_of_range() {
+        let u = universe();
+        let mut c = Compounding::new();
+        c.add_group(SourceId(0), [0, 9]).unwrap();
+        assert!(matches!(c.derive(&u), Err(MubeError::UnknownAttribute { .. })));
+    }
+
+    #[test]
+    fn members_map_back() {
+        let u = universe();
+        let mut c = Compounding::new();
+        c.add_group(SourceId(0), [0, 1]).unwrap();
+        let derived = c.derive(&u).unwrap();
+        assert_eq!(derived.members_of(a(0, 0)), Some(&[a(0, 0), a(0, 1)][..]));
+        assert_eq!(derived.members_of(a(0, 1)), Some(&[a(0, 2)][..]));
+        assert_eq!(derived.members_of(a(9, 0)), None);
+    }
+
+    #[test]
+    fn nm_match_found_through_compounding() {
+        // "first name"+"last name" (2 attrs) should match "full name"
+        // (1 attr): a 2:1 correspondence, impossible under 1:1 matching.
+        let u = universe();
+
+        // Without compounding, token-Dice cannot reach θ=0.5:
+        // {first,name} vs {full,name} = 0.5; {last,name} vs {full,name} = 0.5.
+        // (Exactly at the boundary, so use θ=0.6 to make the point.)
+        let sim = TokenDice;
+        assert!(sim.similarity("first name", "full name") < 0.6);
+
+        let mut c = Compounding::new();
+        c.add_group(SourceId(0), [0, 1]).unwrap();
+        let derived = c.derive(&u).unwrap();
+        // "first name last name" vs "full name": {first,name,last} vs
+        // {full,name} → 2·1/5 = 0.4... token overlap is weak; use the
+        // max-ensemble which also sees the character-level signal.
+        let du = Arc::new(derived.universe.clone());
+        let matcher = ClusterMatcher::new(Arc::clone(&du), crate::Ensemble::lexical());
+        let sources: BTreeSet<SourceId> = du.source_ids().collect();
+        let constraints = Constraints::with_max_sources(2).theta(0.35);
+        let MatchOutcome::Matched { schema, .. } =
+            matcher.match_sources(&du, &sources, &constraints)
+        else {
+            panic!("expected a match");
+        };
+        let expanded = derived.expand(&schema);
+        // Find the name correspondence and check it is genuinely 2:1.
+        let name_ga = expanded
+            .gas
+            .iter()
+            .find(|ga| ga.groups.iter().any(|(_, g)| g.len() == 2))
+            .expect("the compound name element matched");
+        assert!(name_ga.is_nm());
+        assert_eq!(name_ga.width(), 3);
+        let split_group = name_ga
+            .groups
+            .iter()
+            .find(|(s, _)| *s == SourceId(0))
+            .expect("split source participates");
+        assert_eq!(split_group.1, BTreeSet::from([a(0, 0), a(0, 1)]));
+    }
+
+    #[test]
+    fn expand_preserves_one_to_one_parts() {
+        let u = universe();
+        let c = Compounding::new(); // no groups at all
+        let derived = c.derive(&u).unwrap();
+        let du = Arc::new(derived.universe.clone());
+        let matcher = ClusterMatcher::new(Arc::clone(&du), TokenDice);
+        let sources: BTreeSet<SourceId> = du.source_ids().collect();
+        let constraints = Constraints::with_max_sources(2).theta(0.9);
+        let MatchOutcome::Matched { schema, .. } =
+            matcher.match_sources(&du, &sources, &constraints)
+        else {
+            panic!("expected a match");
+        };
+        let expanded = derived.expand(&schema);
+        // Only "price" ↔ "price" matches at θ=0.9; it is 1:1.
+        assert_eq!(expanded.gas.len(), 1);
+        assert!(!expanded.gas[0].is_nm());
+        assert_eq!(expanded.gas[0].width(), 2);
+    }
+}

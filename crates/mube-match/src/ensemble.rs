@@ -1,0 +1,123 @@
+//! Ensemble similarity: combine several measures.
+//!
+//! §3 of the paper: "Match(S) can use any attribute similarity measure".
+//! Single measures have blind spots — 3-gram Jaccard underrates reordered
+//! multi-word labels ("name of event" vs "event name"), token overlap
+//! misses morphological variants ("keyword" vs "keywords"). An ensemble
+//! takes the best (or a weighted mix) of several views.
+
+use crate::similarity::Similarity;
+
+/// How the member scores are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// The maximum member score — optimistic: any strong signal matches.
+    Max,
+    /// The arithmetic mean — all members must agree for a high score.
+    Mean,
+}
+
+/// A similarity measure combining the verdicts of several members.
+pub struct Ensemble {
+    members: Vec<Box<dyn Similarity>>,
+    combine: Combine,
+    display_name: String,
+}
+
+impl Ensemble {
+    /// Builds an ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn Similarity>>, combine: Combine) -> Self {
+        assert!(!members.is_empty(), "an ensemble needs at least one member");
+        let names: Vec<&str> = members.iter().map(|m| m.name()).collect();
+        let display_name = format!(
+            "{}({})",
+            match combine {
+                Combine::Max => "max",
+                Combine::Mean => "mean",
+            },
+            names.join(",")
+        );
+        Ensemble { members, combine, display_name }
+    }
+
+    /// The recommended general-purpose ensemble: max of 3-gram Jaccard and
+    /// token Dice — n-grams catch morphology, tokens catch word reordering.
+    pub fn lexical() -> Self {
+        use crate::similarity::{JaccardNGram, TokenDice};
+        Ensemble::new(
+            vec![Box::new(JaccardNGram::trigram()), Box::new(TokenDice)],
+            Combine::Max,
+        )
+    }
+}
+
+impl Similarity for Ensemble {
+    fn name(&self) -> &str {
+        &self.display_name
+    }
+
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let scores = self.members.iter().map(|m| m.similarity(a, b));
+        match self.combine {
+            Combine::Max => scores.fold(0.0f64, f64::max),
+            Combine::Mean => {
+                let (sum, count) =
+                    scores.fold((0.0f64, 0usize), |(s, c), x| (s + x, c + 1));
+                sum / count as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{JaccardNGram, TokenDice};
+
+    #[test]
+    fn max_takes_strongest_signal() {
+        let e = Ensemble::lexical();
+        // Token view sees reordered words perfectly; n-grams do not.
+        let reordered = e.similarity("event name", "name event");
+        assert_eq!(reordered, 1.0);
+        // n-gram view catches morphology; tokens do not.
+        let morph = e.similarity("keyword", "keywords");
+        let tok = TokenDice.similarity("keyword", "keywords");
+        assert!(morph > tok);
+    }
+
+    #[test]
+    fn mean_requires_agreement() {
+        let e = Ensemble::new(
+            vec![Box::new(JaccardNGram::trigram()), Box::new(TokenDice)],
+            Combine::Mean,
+        );
+        let v = e.similarity("event name", "name event");
+        assert!(v < 1.0 && v > 0.4, "v={v}");
+    }
+
+    #[test]
+    fn stays_in_unit_interval_and_symmetric() {
+        let e = Ensemble::lexical();
+        for (a, b) in [("title", "book title"), ("", "x"), ("a b c", "c b a")] {
+            let ab = e.similarity(a, b);
+            assert!((0.0..=1.0).contains(&ab));
+            assert_eq!(ab, e.similarity(b, a));
+        }
+    }
+
+    #[test]
+    fn name_describes_composition() {
+        assert_eq!(Ensemble::lexical().name(), "max(jaccard3,token-dice)");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_ensemble_panics() {
+        let _ = Ensemble::new(vec![], Combine::Max);
+    }
+}

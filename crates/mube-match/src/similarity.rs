@@ -1,0 +1,237 @@
+//! Attribute-similarity measures.
+//!
+//! `Match(S)` only needs a pairwise similarity between attribute names in
+//! `[0, 1]` (§3: "Match(S) can use any attribute similarity measure, whether
+//! it is schema based or data based"). The paper's prototype uses the
+//! Jaccard similarity coefficient between the 3-grams of the attribute
+//! names; that is [`JaccardNGram::trigram`] here. Two further measures are
+//! provided for experimentation and the measure ablation bench.
+
+use std::collections::BTreeSet;
+
+/// A symmetric attribute-name similarity in `[0, 1]`.
+pub trait Similarity: Send + Sync {
+    /// Short identifier for reports ("jaccard3", "levenshtein", ...).
+    fn name(&self) -> &str;
+
+    /// Similarity of two (already normalized) attribute names.
+    fn similarity(&self, a: &str, b: &str) -> f64;
+}
+
+/// Jaccard coefficient over character n-grams — the paper's measure with
+/// `n = 3`.
+///
+/// Names shorter than `n` contribute their whole text as a single gram, so
+/// very short names still compare sensibly.
+#[derive(Debug, Clone)]
+pub struct JaccardNGram {
+    n: usize,
+    display_name: String,
+}
+
+impl JaccardNGram {
+    /// Jaccard over `n`-grams. `n` must be at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "n-gram size must be at least 1");
+        JaccardNGram { n, display_name: format!("jaccard{n}") }
+    }
+
+    /// The paper's configuration: 3-grams.
+    pub fn trigram() -> Self {
+        JaccardNGram::new(3)
+    }
+
+    fn grams(&self, s: &str) -> BTreeSet<Vec<char>> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.is_empty() {
+            return BTreeSet::new();
+        }
+        if chars.len() <= self.n {
+            return BTreeSet::from([chars]);
+        }
+        chars.windows(self.n).map(|w| w.to_vec()).collect()
+    }
+}
+
+impl Similarity for JaccardNGram {
+    fn name(&self) -> &str {
+        &self.display_name
+    }
+
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ga = self.grams(a);
+        let gb = self.grams(b);
+        if ga.is_empty() && gb.is_empty() {
+            return 1.0;
+        }
+        if ga.is_empty() || gb.is_empty() {
+            return 0.0;
+        }
+        let inter = ga.intersection(&gb).count();
+        let union = ga.len() + gb.len() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+/// `1 − levenshtein(a, b) / max(|a|, |b|)` — normalized edit distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizedLevenshtein;
+
+impl Similarity for NormalizedLevenshtein {
+    fn name(&self) -> &str {
+        "levenshtein"
+    }
+
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ca: Vec<char> = a.chars().collect();
+        let cb: Vec<char> = b.chars().collect();
+        let max_len = ca.len().max(cb.len());
+        if max_len == 0 {
+            return 1.0;
+        }
+        1.0 - levenshtein(&ca, &cb) as f64 / max_len as f64
+    }
+}
+
+/// Classic two-row dynamic-programming Levenshtein distance.
+fn levenshtein(a: &[char], b: &[char]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ac) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &bc) in b.iter().enumerate() {
+            let cost = usize::from(ac != bc);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Dice coefficient over whitespace-separated tokens — rewards multi-word
+/// labels sharing words ("event name" vs "name of event").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenDice;
+
+impl Similarity for TokenDice {
+    fn name(&self) -> &str {
+        "token-dice"
+    }
+
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ta: BTreeSet<&str> = a.split_whitespace().collect();
+        let tb: BTreeSet<&str> = b.split_whitespace().collect();
+        if ta.is_empty() && tb.is_empty() {
+            return 1.0;
+        }
+        if ta.is_empty() || tb.is_empty() {
+            return 0.0;
+        }
+        let inter = ta.intersection(&tb).count();
+        2.0 * inter as f64 / (ta.len() + tb.len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bounds_and_symmetry(m: &dyn Similarity, a: &str, b: &str) {
+        let ab = m.similarity(a, b);
+        let ba = m.similarity(b, a);
+        assert!((0.0..=1.0).contains(&ab), "{}({a},{b}) = {ab}", m.name());
+        assert!((ab - ba).abs() < 1e-12, "{} not symmetric", m.name());
+    }
+
+    #[test]
+    fn identical_names_score_one() {
+        for m in [
+            &JaccardNGram::trigram() as &dyn Similarity,
+            &NormalizedLevenshtein,
+            &TokenDice,
+        ] {
+            assert_eq!(m.similarity("title", "title"), 1.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn unrelated_names_score_low() {
+        let j = JaccardNGram::trigram();
+        assert!(j.similarity("title", "zyxwv") < 0.1);
+        assert_eq!(TokenDice.similarity("price", "author"), 0.0);
+    }
+
+    #[test]
+    fn jaccard_trigram_known_value() {
+        let j = JaccardNGram::trigram();
+        // "abcd" → {abc, bcd}; "abce" → {abc, bce}; J = 1/3.
+        assert!((j.similarity("abcd", "abce") - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_short_names() {
+        let j = JaccardNGram::trigram();
+        assert_eq!(j.similarity("ab", "ab"), 1.0);
+        assert_eq!(j.similarity("ab", "cd"), 0.0);
+        assert_eq!(j.similarity("", ""), 1.0);
+        assert_eq!(j.similarity("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn jaccard_related_names_score_midrange() {
+        let j = JaccardNGram::trigram();
+        let s = j.similarity("book title", "title");
+        assert!(s > 0.2 && s < 1.0, "s={s}");
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein(&['a', 'b', 'c'], &['a', 'b', 'c']), 0);
+        assert_eq!(levenshtein(&['k', 'i', 't', 't', 'e', 'n'], &['s', 'i', 't', 't', 'i', 'n', 'g']), 3);
+        assert_eq!(levenshtein(&[], &['x']), 1);
+    }
+
+    #[test]
+    fn normalized_levenshtein_values() {
+        let l = NormalizedLevenshtein;
+        assert_eq!(l.similarity("", ""), 1.0);
+        assert!((l.similarity("kitten", "sitting") - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_dice_word_overlap() {
+        let d = TokenDice;
+        // {event, name} vs {name, of, event}: 2·2/(2+3) = 0.8.
+        assert!((d.similarity("event name", "name of event") - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_and_symmetry_spot_checks() {
+        let names = ["title", "book title", "isbn", "event name", "a", ""];
+        let measures: [&dyn Similarity; 3] =
+            [&JaccardNGram::trigram(), &NormalizedLevenshtein, &TokenDice];
+        for m in measures {
+            for a in names {
+                for b in names {
+                    check_bounds_and_symmetry(m, a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_gram_panics() {
+        let _ = JaccardNGram::new(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the similarity measures and Algorithm 1 over
+//! arbitrary generated schemas.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use mube_core::constraints::Constraints;
+use mube_core::matchop::{MatchOperator, MatchOutcome};
+use mube_core::schema::Schema;
+use mube_core::source::{SourceSpec, Universe};
+use mube_match::similarity::{JaccardNGram, NormalizedLevenshtein, Similarity, TokenDice};
+use mube_match::{ClusterMatcher, Ensemble};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    // Lowercase words of 1-3 tokens, like normalized form labels.
+    prop::collection::vec("[a-z]{1,8}", 1..4).prop_map(|words| words.join(" "))
+}
+
+fn universe_strategy() -> impl Strategy<Value = Universe> {
+    prop::collection::vec(prop::collection::vec(name_strategy(), 1..5), 2..6).prop_map(
+        |schemas| {
+            let mut b = Universe::builder();
+            for (i, attrs) in schemas.into_iter().enumerate() {
+                // Dedupe within one schema: real interfaces don't repeat
+                // labels and GAs forbid same-source duplicates.
+                let mut seen = BTreeSet::new();
+                let mut unique: Vec<String> =
+                    attrs.into_iter().filter(|a| seen.insert(a.clone())).collect();
+                if unique.is_empty() {
+                    unique.push(format!("attr{i}"));
+                }
+                b.add_source(SourceSpec::new(format!("s{i}"), Schema::new(unique)));
+            }
+            b.build().expect("non-empty universes with non-empty schemas")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// All measures: bounded, symmetric, reflexive (identical names → 1).
+    #[test]
+    fn measures_are_metrics_like(a in name_strategy(), b in name_strategy()) {
+        let measures: Vec<Box<dyn Similarity>> = vec![
+            Box::new(JaccardNGram::trigram()),
+            Box::new(JaccardNGram::new(2)),
+            Box::new(NormalizedLevenshtein),
+            Box::new(TokenDice),
+            Box::new(Ensemble::lexical()),
+        ];
+        for m in &measures {
+            let ab = m.similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&ab), "{}({a},{b}) = {ab}", m.name());
+            prop_assert!((ab - m.similarity(&b, &a)).abs() < 1e-12, "{} asymmetric", m.name());
+            prop_assert!((m.similarity(&a, &a) - 1.0).abs() < 1e-12, "{} not reflexive", m.name());
+        }
+    }
+
+    /// Algorithm 1 output is always a valid mediated schema whose GAs meet
+    /// the threshold, for arbitrary universes and thresholds.
+    #[test]
+    fn clustering_output_always_valid(universe in universe_strategy(), theta in 0.05f64..1.0) {
+        let universe = Arc::new(universe);
+        let matcher = ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram());
+        let sources: BTreeSet<_> = universe.source_ids().collect();
+        let constraints = Constraints::with_max_sources(universe.len()).theta(theta);
+        match matcher.match_sources(&universe, &sources, &constraints) {
+            MatchOutcome::Matched { schema, quality } => {
+                prop_assert!(schema.gas_disjoint());
+                prop_assert!((0.0..=1.0).contains(&quality));
+                let measure = JaccardNGram::trigram();
+                for ga in schema.gas() {
+                    // No user constraints → every GA grew by merging, so it
+                    // has ≥ 2 attributes and meets θ.
+                    prop_assert!(ga.len() >= 2);
+                    let attrs: Vec<_> = ga.attrs().iter().copied().collect();
+                    let mut best = 0.0f64;
+                    for i in 0..attrs.len() {
+                        for j in (i + 1)..attrs.len() {
+                            best = best.max(measure.similarity(
+                                universe.attr_name(attrs[i]).unwrap(),
+                                universe.attr_name(attrs[j]).unwrap(),
+                            ));
+                        }
+                    }
+                    prop_assert!(best >= theta - 1e-9, "GA quality {best} < θ {theta}");
+                    // Definition 1: one attribute per source.
+                    let srcs: BTreeSet<_> = ga.sources().collect();
+                    prop_assert_eq!(srcs.len(), ga.len());
+                }
+            }
+            MatchOutcome::Infeasible => {
+                // Only possible with source constraints, which we don't set.
+                prop_assert!(false, "unconstrained match must not be infeasible");
+            }
+        }
+    }
+
+    /// Raising θ can only shrink the set of matched attributes.
+    #[test]
+    fn higher_theta_matches_fewer_attributes(universe in universe_strategy()) {
+        let universe = Arc::new(universe);
+        let matcher = ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram());
+        let sources: BTreeSet<_> = universe.source_ids().collect();
+        let count_matched = |theta: f64| -> usize {
+            let constraints = Constraints::with_max_sources(universe.len()).theta(theta);
+            match matcher.match_sources(&universe, &sources, &constraints) {
+                MatchOutcome::Matched { schema, .. } => {
+                    schema.gas().iter().map(|g| g.len()).sum()
+                }
+                MatchOutcome::Infeasible => 0,
+            }
+        };
+        let low = count_matched(0.2);
+        let high = count_matched(0.8);
+        prop_assert!(high <= low, "θ=0.8 matched {high} > θ=0.2 matched {low}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Constrained subset-selection metaheuristics for µBE.
+//!
+//! µBE's source-selection problem is a non-linear constrained combinatorial
+//! optimization: pick a subset of at most `m` elements from a universe of
+//! `N`, always keeping a required core, to maximize an arbitrary black-box
+//! objective. The paper (§6) evaluated stochastic local search, particle
+//! swarm optimization, constrained simulated annealing, and tabu search, and
+//! found tabu search the most robust — this crate implements all four behind
+//! one [`SubsetSolver`] interface so the comparison can be reproduced.
+//!
+//! The crate is deliberately independent of the µBE data model: anything
+//! implementing [`SubsetObjective`] can be solved, which is also how the
+//! algorithms are unit-tested on transparent toy objectives.
+//!
+//! # Example
+//!
+//! ```
+//! use mube_opt::{SubsetObjective, SubsetSolver, TabuSearch};
+//!
+//! /// Maximize the sum of chosen values, at most 3 of 10 items.
+//! struct TopK(Vec<f64>);
+//! impl SubsetObjective for TopK {
+//!     fn universe_size(&self) -> usize { self.0.len() }
+//!     fn max_selected(&self) -> usize { 3 }
+//!     fn required(&self) -> Vec<usize> { vec![] }
+//!     fn score(&self, selected: &[usize]) -> f64 {
+//!         selected.iter().map(|&i| self.0[i]).sum()
+//!     }
+//! }
+//!
+//! let obj = TopK(vec![1.0, 9.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0, 5.0, 0.0]);
+//! let result = TabuSearch::default().solve(&obj, 42);
+//! assert_eq!(result.selected, vec![1, 3, 5]); // the three largest values
+//! ```
+
+pub mod anneal;
+pub mod problem;
+pub mod pso;
+pub mod sls;
+pub mod tabu;
+
+pub use anneal::SimulatedAnnealing;
+pub use problem::{SolveResult, SubsetObjective, SubsetSolver};
+pub use pso::ParticleSwarm;
+pub use sls::StochasticLocalSearch;
+pub use tabu::{InitStrategy, TabuSearch};

@@ -1,0 +1,356 @@
+//! The subset-selection problem interface and shared solver utilities.
+
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::Rng;
+
+/// A black-box objective over subsets of `0..universe_size()`.
+///
+/// Implementations may return any finite `f64`; higher is better. Infeasible
+/// regions should be expressed as low (e.g. negative) scores so solvers can
+/// traverse them; the required-elements and size constraints are enforced
+/// structurally by the solvers and never violated in returned solutions.
+pub trait SubsetObjective: Sync {
+    /// Number of selectable elements; candidates are indices `0..n`.
+    fn universe_size(&self) -> usize;
+
+    /// Maximum number of elements a solution may contain (`m`).
+    fn max_selected(&self) -> usize;
+
+    /// Elements that must be present in every solution. These are
+    /// *permanently tabu for removal*, in the paper's terms.
+    fn required(&self) -> Vec<usize>;
+
+    /// Scores a candidate subset. `selected` is sorted and duplicate-free.
+    fn score(&self, selected: &[usize]) -> f64;
+}
+
+/// Outcome of one solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResult {
+    /// The best subset found (sorted).
+    pub selected: Vec<usize>,
+    /// Its score.
+    pub score: f64,
+    /// How many times the objective was evaluated.
+    pub evaluations: u64,
+    /// How many algorithm iterations ran.
+    pub iterations: u64,
+}
+
+/// A subset-selection solver.
+pub trait SubsetSolver {
+    /// Human-readable algorithm name, e.g. `"tabu"`.
+    fn name(&self) -> &str;
+
+    /// Runs the solver with a deterministic RNG seed.
+    fn solve(&self, objective: &dyn SubsetObjective, seed: u64) -> SolveResult;
+
+    /// Runs the solver warm-started from a previous solution, for solvers
+    /// that support it (tabu search); the default ignores the hint and
+    /// solves cold.
+    fn solve_from(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        _warm: &[usize],
+    ) -> SolveResult {
+        self.solve(objective, seed)
+    }
+}
+
+/// Tracks the incumbent (best feasible solution seen) and evaluation counts
+/// for a solver run. All four algorithms funnel their objective calls
+/// through this so budgets and statistics are handled uniformly.
+pub(crate) struct Incumbent<'a> {
+    objective: &'a dyn SubsetObjective,
+    pub best: Vec<usize>,
+    pub best_score: f64,
+    pub evaluations: u64,
+    pub max_evaluations: u64,
+    /// Capacity of the elite archive (0 = disabled).
+    elite_capacity: usize,
+    /// Best distinct candidates seen, sorted best-first.
+    elites: Vec<(f64, Vec<usize>)>,
+}
+
+impl<'a> Incumbent<'a> {
+    pub fn new(objective: &'a dyn SubsetObjective, max_evaluations: u64) -> Self {
+        Incumbent {
+            objective,
+            best: Vec::new(),
+            best_score: f64::NEG_INFINITY,
+            evaluations: 0,
+            max_evaluations,
+            elite_capacity: 0,
+            elites: Vec::new(),
+        }
+    }
+
+    /// Enables the elite archive: the `capacity` best *distinct* candidates
+    /// seen during the run are retained.
+    pub fn with_elites(mut self, capacity: usize) -> Self {
+        self.elite_capacity = capacity;
+        self
+    }
+
+    /// Mutable access to the elite archive (best first).
+    pub fn elites_mut(&mut self) -> &mut Vec<(f64, Vec<usize>)> {
+        &mut self.elites
+    }
+
+    /// True once the evaluation budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.evaluations >= self.max_evaluations
+    }
+
+    /// Scores a candidate, updating the incumbent (and the elite archive,
+    /// when enabled) if it improves.
+    pub fn score(&mut self, candidate: &[usize]) -> f64 {
+        self.evaluations += 1;
+        let s = self.objective.score(candidate);
+        if s > self.best_score {
+            self.best_score = s;
+            self.best = candidate.to_vec();
+        }
+        if self.elite_capacity > 0
+            && self
+                .elites
+                .last()
+                .is_none_or(|(worst, _)| s > *worst || self.elites.len() < self.elite_capacity)
+            && !self.elites.iter().any(|(_, sel)| sel == candidate)
+        {
+            let pos = self
+                .elites
+                .partition_point(|(score, _)| *score >= s);
+            self.elites.insert(pos, (s, candidate.to_vec()));
+            self.elites.truncate(self.elite_capacity);
+        }
+        s
+    }
+
+    pub fn into_result(self, iterations: u64) -> SolveResult {
+        SolveResult {
+            selected: self.best,
+            score: self.best_score,
+            evaluations: self.evaluations,
+            iterations,
+        }
+    }
+}
+
+/// Builds a random feasible starting subset: the required elements plus a
+/// random fill up to `max_selected`.
+pub(crate) fn random_feasible<R: Rng>(
+    objective: &dyn SubsetObjective,
+    rng: &mut R,
+) -> Vec<usize> {
+    let n = objective.universe_size();
+    let mut selected = objective.required();
+    selected.sort_unstable();
+    selected.dedup();
+    let mut pool: Vec<usize> = (0..n).filter(|i| !selected.contains(i)).collect();
+    pool.shuffle(rng);
+    let want = objective.max_selected().min(n);
+    for i in pool {
+        if selected.len() >= want {
+            break;
+        }
+        selected.push(i);
+    }
+    selected.sort_unstable();
+    selected
+}
+
+/// Inserts `x` into a sorted vec if absent; returns true if inserted.
+pub(crate) fn sorted_insert(v: &mut Vec<usize>, x: usize) -> bool {
+    match v.binary_search(&x) {
+        Ok(_) => false,
+        Err(pos) => {
+            v.insert(pos, x);
+            true
+        }
+    }
+}
+
+/// Removes `x` from a sorted vec if present; returns true if removed.
+pub(crate) fn sorted_remove(v: &mut Vec<usize>, x: usize) -> bool {
+    match v.binary_search(&x) {
+        Ok(pos) => {
+            v.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// A single-element move in the subset space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Move {
+    /// Add an unselected element.
+    Add(usize),
+    /// Drop a selected, non-required element.
+    Remove(usize),
+    /// Swap a selected, non-required element for an unselected one.
+    Swap { out: usize, r#in: usize },
+}
+
+impl Move {
+    /// Applies the move to a sorted selection, returning the new selection.
+    pub fn apply(self, selection: &[usize]) -> Vec<usize> {
+        let mut out = selection.to_vec();
+        match self {
+            Move::Add(i) => {
+                sorted_insert(&mut out, i);
+            }
+            Move::Remove(i) => {
+                sorted_remove(&mut out, i);
+            }
+            Move::Swap { out: o, r#in: i } => {
+                sorted_remove(&mut out, o);
+                sorted_insert(&mut out, i);
+            }
+        }
+        out
+    }
+
+    /// The elements whose membership this move flips.
+    pub fn touched(self) -> (usize, Option<usize>) {
+        match self {
+            Move::Add(i) | Move::Remove(i) => (i, None),
+            Move::Swap { out, r#in } => (out, Some(r#in)),
+        }
+    }
+}
+
+/// Samples a random legal move for the current selection, or `None` if no
+/// move exists (e.g. everything is required and the universe is exhausted).
+pub(crate) fn random_move<R: Rng>(
+    objective: &dyn SubsetObjective,
+    selection: &[usize],
+    required: &[usize],
+    rng: &mut R,
+) -> Option<Move> {
+    let n = objective.universe_size();
+    let removable: Vec<usize> =
+        selection.iter().copied().filter(|i| !required.contains(i)).collect();
+    let addable: Vec<usize> =
+        (0..n).filter(|i| selection.binary_search(i).is_err()).collect();
+    let can_add = !addable.is_empty() && selection.len() < objective.max_selected();
+    // Keep at least one element selected so the objective always sees a
+    // non-trivial candidate.
+    let can_remove = removable.len() > 1 || (removable.len() == 1 && selection.len() > 1);
+    let can_swap = !removable.is_empty() && !addable.is_empty();
+
+    let mut kinds = Vec::with_capacity(3);
+    if can_add {
+        kinds.push(0);
+    }
+    if can_remove {
+        kinds.push(1);
+    }
+    if can_swap {
+        kinds.push(2);
+    }
+    let kind = *kinds.as_slice().choose(rng)?;
+    Some(match kind {
+        0 => Move::Add(*addable.as_slice().choose(rng).expect("non-empty")),
+        1 => Move::Remove(*removable.as_slice().choose(rng).expect("non-empty")),
+        _ => Move::Swap {
+            out: *removable.as_slice().choose(rng).expect("non-empty"),
+            r#in: *addable.as_slice().choose(rng).expect("non-empty"),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub(crate) struct Toy {
+        pub values: Vec<f64>,
+        pub max: usize,
+        pub required: Vec<usize>,
+    }
+
+    impl SubsetObjective for Toy {
+        fn universe_size(&self) -> usize {
+            self.values.len()
+        }
+        fn max_selected(&self) -> usize {
+            self.max
+        }
+        fn required(&self) -> Vec<usize> {
+            self.required.clone()
+        }
+        fn score(&self, selected: &[usize]) -> f64 {
+            selected.iter().map(|&i| self.values[i]).sum()
+        }
+    }
+
+    #[test]
+    fn random_feasible_respects_constraints() {
+        let toy = Toy { values: vec![1.0; 10], max: 4, required: vec![7, 2] };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = random_feasible(&toy, &mut rng);
+            assert!(s.len() <= 4);
+            assert!(s.contains(&7) && s.contains(&2));
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        }
+    }
+
+    #[test]
+    fn moves_apply_correctly() {
+        let sel = vec![1, 3, 5];
+        assert_eq!(Move::Add(4).apply(&sel), vec![1, 3, 4, 5]);
+        assert_eq!(Move::Remove(3).apply(&sel), vec![1, 5]);
+        assert_eq!(Move::Swap { out: 5, r#in: 0 }.apply(&sel), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn random_move_never_removes_required() {
+        let toy = Toy { values: vec![1.0; 6], max: 3, required: vec![0] };
+        let mut rng = StdRng::seed_from_u64(2);
+        let sel = vec![0, 1, 2];
+        for _ in 0..200 {
+            let mv = random_move(&toy, &sel, &[0], &mut rng).unwrap();
+            let next = mv.apply(&sel);
+            assert!(next.contains(&0), "move {mv:?} removed a required element");
+        }
+    }
+
+    #[test]
+    fn random_move_respects_max() {
+        let toy = Toy { values: vec![1.0; 6], max: 3, required: vec![] };
+        let mut rng = StdRng::seed_from_u64(3);
+        let sel = vec![0, 1, 2]; // already at max
+        for _ in 0..200 {
+            let mv = random_move(&toy, &sel, &[], &mut rng).unwrap();
+            assert!(mv.apply(&sel).len() <= 3);
+        }
+    }
+
+    #[test]
+    fn incumbent_tracks_best() {
+        let toy = Toy { values: vec![1.0, 2.0, 3.0], max: 2, required: vec![] };
+        let mut inc = Incumbent::new(&toy, 100);
+        assert_eq!(inc.score(&[0]), 1.0);
+        assert_eq!(inc.score(&[1, 2]), 5.0);
+        assert_eq!(inc.score(&[0, 1]), 3.0);
+        assert_eq!(inc.best, vec![1, 2]);
+        assert_eq!(inc.best_score, 5.0);
+        assert_eq!(inc.evaluations, 3);
+    }
+
+    #[test]
+    fn incumbent_budget() {
+        let toy = Toy { values: vec![1.0], max: 1, required: vec![] };
+        let mut inc = Incumbent::new(&toy, 2);
+        assert!(!inc.exhausted());
+        inc.score(&[0]);
+        inc.score(&[0]);
+        assert!(inc.exhausted());
+    }
+}

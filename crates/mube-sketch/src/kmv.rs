@@ -1,0 +1,225 @@
+//! K-minimum-values (KMV) sketches — an alternative distinct counter with
+//! native intersection support.
+//!
+//! PCSA (what the paper uses and what µBE's QEFs run on) composes under
+//! union only; intersections must go through inclusion–exclusion, whose
+//! error grows with the sizes of the operands. The KMV sketch (Bar-Yossef
+//! et al.) keeps the `k` smallest hash values seen; unions merge the value
+//! lists, and intersections can be estimated *directly* from the Jaccard
+//! similarity of the synopses — much tighter for small overlaps. Provided
+//! as an extension for overlap-heavy diagnostics; not used by the paper's
+//! experiments.
+
+use crate::hash::Mix64;
+
+/// A KMV synopsis: the `k` smallest 64-bit hash values of the inserted
+/// items, kept sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KmvSketch {
+    k: usize,
+    hasher: Mix64,
+    /// Sorted ascending, no duplicates, length ≤ k.
+    values: Vec<u64>,
+}
+
+impl KmvSketch {
+    /// Creates an empty sketch keeping the `k` smallest hashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        KmvSketch { k, hasher: Mix64::new(seed), values: Vec::with_capacity(k) }
+    }
+
+    /// The configured `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, key: u64) {
+        let h = self.hasher.hash_u64(key);
+        match self.values.binary_search(&h) {
+            Ok(_) => {} // duplicate hash: same item (or a collision), skip
+            Err(pos) => {
+                if pos < self.k {
+                    self.values.insert(pos, h);
+                    self.values.truncate(self.k);
+                }
+            }
+        }
+    }
+
+    /// Number of distinct items inserted, estimated as `(k − 1)·2⁶⁴ / v_k`
+    /// when the sketch is full, or exactly `|values|` when it never filled.
+    pub fn estimate(&self) -> f64 {
+        if self.values.len() < self.k {
+            return self.values.len() as f64;
+        }
+        let vk = *self.values.last().expect("full sketch is non-empty");
+        if vk == 0 {
+            return self.values.len() as f64;
+        }
+        (self.k as f64 - 1.0) * (u64::MAX as f64) / vk as f64
+    }
+
+    /// Merges two sketches into the sketch of the union.
+    ///
+    /// Both must share `k` and the hash seed; returns `None` otherwise.
+    pub fn union(&self, other: &KmvSketch) -> Option<KmvSketch> {
+        if self.k != other.k || self.hasher != other.hasher {
+            return None;
+        }
+        let mut merged = Vec::with_capacity(self.k);
+        let (mut i, mut j) = (0usize, 0usize);
+        while merged.len() < self.k && (i < self.values.len() || j < other.values.len()) {
+            let next = match (self.values.get(i), other.values.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                    a
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    i += 1;
+                    a
+                }
+                (Some(_), Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            merged.push(next);
+        }
+        Some(KmvSketch { k: self.k, hasher: self.hasher, values: merged })
+    }
+
+    /// Estimated Jaccard similarity `|A∩B| / |A∪B|`: the fraction of the
+    /// union synopsis's values present in both sketches.
+    pub fn jaccard(&self, other: &KmvSketch) -> Option<f64> {
+        let union = self.union(other)?;
+        if union.values.is_empty() {
+            return Some(1.0); // both empty
+        }
+        let in_both = union
+            .values
+            .iter()
+            .filter(|v| {
+                self.values.binary_search(v).is_ok() && other.values.binary_search(v).is_ok()
+            })
+            .count();
+        Some(in_both as f64 / union.values.len() as f64)
+    }
+
+    /// Estimated intersection cardinality: `jaccard × |A∪B|`.
+    pub fn intersection_estimate(&self, other: &KmvSketch) -> Option<f64> {
+        let union = self.union(other)?;
+        Some(self.jaccard(other)? * union.estimate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(keys: std::ops::Range<u64>) -> KmvSketch {
+        let mut s = KmvSketch::new(256, 9);
+        for k in keys {
+            s.insert(k);
+        }
+        s
+    }
+
+    #[test]
+    fn small_sets_are_exact() {
+        let s = filled(0..100);
+        assert_eq!(s.estimate(), 100.0);
+    }
+
+    #[test]
+    fn large_sets_estimate_within_bounds() {
+        for &n in &[5_000u64, 50_000, 500_000] {
+            let s = filled(0..n);
+            let err = (s.estimate() - n as f64).abs() / n as f64;
+            assert!(err < 0.2, "n={n} est={} err={err}", s.estimate());
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_count() {
+        let mut s = KmvSketch::new(64, 1);
+        for _ in 0..10 {
+            for k in 0..50u64 {
+                s.insert(k);
+            }
+        }
+        assert_eq!(s.estimate(), 50.0);
+    }
+
+    #[test]
+    fn union_equals_direct_sketch() {
+        let a = filled(0..10_000);
+        let b = filled(5_000..15_000);
+        let u = a.union(&b).unwrap();
+        let direct = filled(0..15_000);
+        assert_eq!(u, direct);
+    }
+
+    #[test]
+    fn mismatched_sketches_rejected() {
+        let a = KmvSketch::new(64, 1);
+        let b = KmvSketch::new(64, 2);
+        let c = KmvSketch::new(128, 1);
+        assert!(a.union(&b).is_none());
+        assert!(a.union(&c).is_none());
+        assert!(a.jaccard(&b).is_none());
+    }
+
+    #[test]
+    fn jaccard_tracks_true_overlap() {
+        // |A∩B| = 10k, |A∪B| = 30k → J = 1/3.
+        let a = filled(0..20_000);
+        let b = filled(10_000..30_000);
+        let j = a.jaccard(&b).unwrap();
+        assert!((j - 1.0 / 3.0).abs() < 0.12, "jaccard = {j}");
+        // Disjoint sets.
+        let c = filled(100_000..120_000);
+        assert!(a.jaccard(&c).unwrap() < 0.05);
+        // Identical sets.
+        assert!((a.jaccard(&a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_estimate_tracks_truth() {
+        let a = filled(0..20_000);
+        let b = filled(10_000..30_000);
+        let est = a.intersection_estimate(&b).unwrap();
+        let err = (est - 10_000.0).abs() / 10_000.0;
+        assert!(err < 0.35, "est = {est}");
+    }
+
+    #[test]
+    fn empty_sketches() {
+        let a = KmvSketch::new(16, 3);
+        let b = KmvSketch::new(16, 3);
+        assert_eq!(a.estimate(), 0.0);
+        assert_eq!(a.jaccard(&b), Some(1.0));
+        assert_eq!(a.union(&b).unwrap().estimate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        let _ = KmvSketch::new(0, 1);
+    }
+}

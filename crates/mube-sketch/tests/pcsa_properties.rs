@@ -1,0 +1,89 @@
+//! Property-based tests for the PCSA sketch.
+
+use mube_sketch::pcsa::{PcsaConfig, PcsaSignature};
+use proptest::prelude::*;
+
+fn sig_from(keys: &[u64], seed: u64) -> PcsaSignature {
+    let mut s = PcsaSignature::new(PcsaConfig::new(32, 32, seed));
+    for &k in keys {
+        s.insert(k);
+    }
+    s
+}
+
+proptest! {
+    /// signature(A ∪ B) == signature(A) | signature(B), exactly (not just
+    /// approximately) — this is the homomorphism µBE relies on.
+    #[test]
+    fn union_homomorphism(a in prop::collection::vec(any::<u64>(), 0..500),
+                          b in prop::collection::vec(any::<u64>(), 0..500),
+                          seed in any::<u64>()) {
+        let sa = sig_from(&a, seed);
+        let sb = sig_from(&b, seed);
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let direct = sig_from(&all, seed);
+        prop_assert_eq!(sa.union(&sb).unwrap(), direct);
+    }
+
+    /// Insert order never matters.
+    #[test]
+    fn order_independent(mut keys in prop::collection::vec(any::<u64>(), 0..300),
+                         seed in any::<u64>()) {
+        let fwd = sig_from(&keys, seed);
+        keys.reverse();
+        let rev = sig_from(&keys, seed);
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Estimates are non-negative and zero iff empty.
+    #[test]
+    fn estimate_nonnegative(keys in prop::collection::vec(any::<u64>(), 0..300),
+                            seed in any::<u64>()) {
+        let s = sig_from(&keys, seed);
+        let est = s.estimate();
+        prop_assert!(est >= 0.0);
+        if keys.is_empty() {
+            prop_assert_eq!(est, 0.0);
+        } else {
+            prop_assert!(est > 0.0);
+        }
+    }
+
+    /// Unioning a signature with a subset of itself changes nothing.
+    #[test]
+    fn union_with_subset_is_identity(keys in prop::collection::vec(any::<u64>(), 1..300),
+                                     seed in any::<u64>()) {
+        let full = sig_from(&keys, seed);
+        let half = sig_from(&keys[..keys.len() / 2], seed);
+        prop_assert_eq!(full.union(&half).unwrap(), full);
+    }
+
+    /// Estimates are monotone under union: est(A∪B) >= max(est(A), est(B))
+    /// because OR can only set more bits.
+    #[test]
+    fn estimate_monotone_under_union(a in prop::collection::vec(any::<u64>(), 0..300),
+                                     b in prop::collection::vec(any::<u64>(), 0..300),
+                                     seed in any::<u64>()) {
+        let sa = sig_from(&a, seed);
+        let sb = sig_from(&b, seed);
+        let u = sa.union(&sb).unwrap();
+        prop_assert!(u.estimate() >= sa.estimate() - 1e-9);
+        prop_assert!(u.estimate() >= sb.estimate() - 1e-9);
+    }
+}
+
+/// Statistical accuracy check on a grid of cardinalities with a fixed seed:
+/// PCSA with 256 maps should be well within 10% at these scales.
+#[test]
+fn accuracy_grid() {
+    for &n in &[500u64, 5_000, 50_000, 200_000] {
+        let mut s = PcsaSignature::new(PcsaConfig::new(256, 32, 0x5EED));
+        for k in 0..n {
+            s.insert(k.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+        let est = s.estimate();
+        let err = (est - n as f64).abs() / n as f64;
+        assert!(err < 0.10, "n={n} est={est:.0} err={err:.3}");
+    }
+}

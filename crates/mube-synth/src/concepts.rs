@@ -1,0 +1,119 @@
+//! Books-domain concept accessors — the paper's experimental domain.
+//!
+//! This is a thin facade over [`crate::domains::DomainKind::Books`], kept
+//! because the paper's experiments (Table 1, the GA-constraint variants)
+//! are defined in terms of the 14 Books concepts. The full four-domain
+//! BAMM inventory lives in [`crate::domains`].
+
+use crate::domains::DomainKind;
+
+/// One ground-truth concept and the attribute-name variants sources use for
+/// it.
+#[derive(Debug, Clone, Copy)]
+pub struct Concept {
+    /// Stable concept identifier, `0..NUM_CONCEPTS`.
+    pub id: usize,
+    /// Canonical name, for reports.
+    pub canonical: &'static str,
+    /// Name variants. The first variant is the "conformant" spelling used
+    /// by unperturbed schemas.
+    pub variants: &'static [&'static str],
+}
+
+/// Number of distinct Books concepts — 14, matching the paper's manual
+/// count.
+pub const NUM_CONCEPTS: usize = 14;
+
+/// Words with no relation to any domain, used by the perturbation model
+/// ("a list of words unrelated to the Books domain", §7.1).
+pub const UNRELATED_WORDS: &[&str] = &[
+    "zeppelin", "quartz", "mangrove", "turbine", "lichen", "obelisk", "parsec",
+    "fjord", "tundra", "cobalt", "marzipan", "gazebo", "yurt", "sprocket",
+    "ocelot", "brisket", "typhoon", "crampon", "haiku", "lagoon", "pylon",
+    "sextant", "gossamer", "kelp", "ziggurat", "monsoon", "tarpaulin", "vortex",
+    "quiver", "ballast", "catamaran", "drizzle", "ember", "flotsam", "gantry",
+    "hammock", "isthmus", "jicama", "krill", "lantern", "meerkat", "nimbus",
+    "oasis", "pergola", "quahog", "rivulet", "sycamore", "trellis", "umlaut",
+    "verdigris", "wombat", "xylem", "yucca", "zephyr", "anchovy", "bobbin",
+    "cairn", "dynamo", "eyelet", "ferret",
+];
+
+/// All Books concepts.
+pub fn all() -> impl Iterator<Item = Concept> {
+    DomainKind::Books
+        .concepts()
+        .iter()
+        .enumerate()
+        .map(|(id, &(canonical, variants))| Concept { id, canonical, variants })
+}
+
+/// The Books concept with a given id.
+///
+/// # Panics
+///
+/// Panics if `id >= NUM_CONCEPTS`.
+pub fn concept(id: usize) -> Concept {
+    let (canonical, variants) = DomainKind::Books.concepts()[id];
+    Concept { id, canonical, variants }
+}
+
+/// Looks up which Books concept (if any) an attribute name belongs to.
+pub fn concept_of_name(name: &str) -> Option<usize> {
+    DomainKind::Books.concept_of_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn fourteen_concepts() {
+        assert_eq!(all().count(), NUM_CONCEPTS);
+        assert_eq!(NUM_CONCEPTS, DomainKind::Books.num_concepts());
+    }
+
+    #[test]
+    fn variant_names_are_globally_unique() {
+        let mut seen = BTreeSet::new();
+        for c in all() {
+            assert!(!c.variants.is_empty());
+            for v in c.variants {
+                assert!(seen.insert(*v), "variant `{v}` appears in two concepts");
+            }
+        }
+    }
+
+    #[test]
+    fn unrelated_words_do_not_collide_with_any_domain() {
+        for w in UNRELATED_WORDS {
+            for kind in DomainKind::all() {
+                assert!(kind.concept_of_name(w).is_none(), "`{w}` is a {} variant", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn concept_of_name_roundtrips() {
+        for c in all() {
+            for v in c.variants {
+                assert_eq!(concept_of_name(v), Some(c.id));
+            }
+        }
+        assert_eq!(concept_of_name("not a real attribute"), None);
+    }
+
+    #[test]
+    fn variants_within_concept_share_lexical_material() {
+        // Sanity: each non-canonical variant shares a word or a long prefix
+        // with the canonical one, so similarity measures have signal.
+        for c in all() {
+            let canon = c.variants[0];
+            for v in &c.variants[1..] {
+                let shares_word = v.split_whitespace().any(|t| canon.contains(t))
+                    || canon.split_whitespace().any(|t| v.contains(t));
+                assert!(shares_word, "{v} vs {canon}");
+            }
+        }
+    }
+}

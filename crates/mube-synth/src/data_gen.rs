@@ -1,0 +1,229 @@
+//! Tuple data for synthetic sources.
+//!
+//! §7.1: tuples are "chosen randomly from a set of 4,000,000 distinct tuples
+//! consisting of random words", half labelled *General* and half
+//! *Specialty*; half the sources draw only from the General pool, the other
+//! half mix in a small number of Specialty tuples (modelling items only a
+//! few sites carry).
+//!
+//! A source's tuple set is represented as a union of *windows* — contiguous
+//! id intervals at a random offset within a pool. Windows at random offsets
+//! produce the same overlap statistics as random subsets for the purposes
+//! of coverage/redundancy, while giving us two things real random subsets
+//! would make expensive:
+//!
+//! * *exact* union cardinalities in `O(k log k)` interval arithmetic (the
+//!   baseline for the PCSA-accuracy experiment), and
+//! * compact storage — a source of a million tuples is two `u64`s.
+//!
+//! Tuple *identities* are irrelevant beyond distinctness (PCSA hashes them;
+//! the paper's tuples are random words), so ids are just pool positions.
+
+use mube_sketch::pcsa::{PcsaConfig, PcsaSignature};
+
+/// Which pool a window draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pool {
+    /// Tuples every source in the domain may carry.
+    General,
+    /// Tuples only specialty sources carry.
+    Specialty,
+}
+
+/// The id layout of the tuple universe: General occupies `[0, half)`,
+/// Specialty `[half, 2·half)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolLayout {
+    half: u64,
+}
+
+impl PoolLayout {
+    /// Creates a layout with `half` tuples per pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half` is zero.
+    pub fn new(half: u64) -> Self {
+        assert!(half > 0, "pools must be non-empty");
+        PoolLayout { half }
+    }
+
+    /// The paper's layout: 4,000,000 tuples, 2,000,000 per pool.
+    pub fn paper() -> Self {
+        PoolLayout::new(2_000_000)
+    }
+
+    /// Tuples per pool.
+    pub fn pool_size(&self) -> u64 {
+        self.half
+    }
+
+    /// Total distinct tuples across both pools.
+    pub fn total(&self) -> u64 {
+        self.half * 2
+    }
+
+    fn base(&self, pool: Pool) -> u64 {
+        match pool {
+            Pool::General => 0,
+            Pool::Specialty => self.half,
+        }
+    }
+
+    /// A window of `len` tuples starting at `start` (position within the
+    /// pool, wrapping around), expressed as absolute non-wrapping intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the pool size.
+    pub fn window(&self, pool: Pool, start: u64, len: u64) -> Vec<(u64, u64)> {
+        assert!(len <= self.half, "window larger than pool");
+        if len == 0 {
+            return Vec::new();
+        }
+        let base = self.base(pool);
+        let start = start % self.half;
+        if start + len <= self.half {
+            vec![(base + start, len)]
+        } else {
+            let first = self.half - start;
+            vec![(base + start, first), (base, len - first)]
+        }
+    }
+}
+
+/// A source's tuple set: disjoint absolute id intervals `(start, len)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TupleWindows {
+    intervals: Vec<(u64, u64)>,
+}
+
+impl TupleWindows {
+    /// Builds from intervals (normalizing: sorted, merged, `len > 0`).
+    pub fn new(mut intervals: Vec<(u64, u64)>) -> Self {
+        intervals.retain(|&(_, len)| len > 0);
+        intervals.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+        for (start, len) in intervals {
+            match merged.last_mut() {
+                Some((s, l)) if start <= *s + *l => {
+                    let end = (*s + *l).max(start + len);
+                    *l = end - *s;
+                }
+                _ => merged.push((start, len)),
+            }
+        }
+        TupleWindows { intervals: merged }
+    }
+
+    /// The normalized intervals.
+    pub fn intervals(&self) -> &[(u64, u64)] {
+        &self.intervals
+    }
+
+    /// Number of distinct tuples.
+    pub fn cardinality(&self) -> u64 {
+        self.intervals.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Iterates over the tuple ids.
+    pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.intervals.iter().flat_map(|&(start, len)| start..start + len)
+    }
+
+    /// Computes the PCSA signature of this tuple set.
+    pub fn signature(&self, config: PcsaConfig) -> PcsaSignature {
+        let mut sig = PcsaSignature::new(config);
+        for id in self.ids() {
+            sig.insert(id);
+        }
+        sig
+    }
+}
+
+/// Exact distinct-tuple count of the union of several sources' windows.
+pub fn exact_union(windows: &[&TupleWindows]) -> u64 {
+    let mut all: Vec<(u64, u64)> =
+        windows.iter().flat_map(|w| w.intervals.iter().copied()).collect();
+    TupleWindows::new(std::mem::take(&mut all)).cardinality()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_windows_wrap() {
+        let layout = PoolLayout::new(100);
+        assert_eq!(layout.window(Pool::General, 10, 20), vec![(10, 20)]);
+        assert_eq!(layout.window(Pool::General, 90, 20), vec![(90, 10), (0, 10)]);
+        assert_eq!(layout.window(Pool::Specialty, 90, 20), vec![(190, 10), (100, 10)]);
+        assert_eq!(layout.window(Pool::General, 0, 0), vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_window_panics() {
+        let layout = PoolLayout::new(100);
+        let _ = layout.window(Pool::General, 0, 101);
+    }
+
+    #[test]
+    fn windows_normalize_and_merge() {
+        let w = TupleWindows::new(vec![(10, 5), (12, 10), (30, 0), (40, 2)]);
+        assert_eq!(w.intervals(), &[(10, 12), (40, 2)]);
+        assert_eq!(w.cardinality(), 14);
+    }
+
+    #[test]
+    fn adjacent_intervals_merge() {
+        let w = TupleWindows::new(vec![(0, 5), (5, 5)]);
+        assert_eq!(w.intervals(), &[(0, 10)]);
+    }
+
+    #[test]
+    fn ids_enumerate_every_tuple() {
+        let w = TupleWindows::new(vec![(3, 2), (10, 3)]);
+        let ids: Vec<u64> = w.ids().collect();
+        assert_eq!(ids, vec![3, 4, 10, 11, 12]);
+    }
+
+    #[test]
+    fn exact_union_counts_overlaps_once() {
+        let a = TupleWindows::new(vec![(0, 100)]);
+        let b = TupleWindows::new(vec![(50, 100)]);
+        let c = TupleWindows::new(vec![(500, 10)]);
+        assert_eq!(exact_union(&[&a, &b]), 150);
+        assert_eq!(exact_union(&[&a, &b, &c]), 160);
+        assert_eq!(exact_union(&[&a, &a]), 100);
+        assert_eq!(exact_union(&[]), 0);
+    }
+
+    #[test]
+    fn signature_matches_pcsa_of_ids() {
+        let w = TupleWindows::new(vec![(100, 1000), (5000, 500)]);
+        let cfg = PcsaConfig::new(64, 32, 5);
+        let sig = w.signature(cfg.clone());
+        let mut manual = PcsaSignature::new(cfg);
+        for id in w.ids() {
+            manual.insert(id);
+        }
+        assert_eq!(sig, manual);
+        let est = sig.estimate();
+        let truth = w.cardinality() as f64;
+        assert!((est - truth).abs() / truth < 0.25, "est={est} truth={truth}");
+    }
+
+    #[test]
+    fn pcsa_union_tracks_exact_union() {
+        let layout = PoolLayout::new(100_000);
+        let a = TupleWindows::new(layout.window(Pool::General, 0, 50_000));
+        let b = TupleWindows::new(layout.window(Pool::General, 25_000, 50_000));
+        let cfg = PcsaConfig::new(256, 32, 1);
+        let sig = a.signature(cfg.clone()).union(&b.signature(cfg)).unwrap();
+        let exact = exact_union(&[&a, &b]) as f64;
+        assert_eq!(exact, 75_000.0);
+        let err = (sig.estimate() - exact).abs() / exact;
+        assert!(err < 0.1, "err = {err}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Seeded samplers for the distributions the paper's generator needs.
+//!
+//! Implemented here rather than pulling in `rand_distr`: the generator only
+//! needs a bounded Zipf (for source cardinalities) and a Normal (for MTTF),
+//! both classic two-liner inverse-transform / Box–Muller constructions.
+
+use rand::Rng;
+
+/// Bounded Zipf-like sampler over `[lo, hi]` via the bounded Pareto
+/// distribution with shape `alpha` (α → 1 recovers the classic
+/// log-uniform "Zipf" profile: many small values, a heavy tail of large
+/// ones).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedZipf {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedZipf {
+    /// Creates a sampler. `lo` and `hi` must be positive with `lo < hi`;
+    /// `alpha` must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters.
+    pub fn new(lo: u64, hi: u64, alpha: f64) -> Self {
+        assert!(lo > 0 && hi > lo, "need 0 < lo < hi, got [{lo}, {hi}]");
+        assert!(alpha > 0.0, "alpha must be positive");
+        BoundedZipf { lo: lo as f64, hi: hi as f64, alpha }
+    }
+
+    /// The paper's cardinality distribution: Zipf over [10,000, 1,000,000].
+    pub fn paper_cardinalities() -> Self {
+        BoundedZipf::new(10_000, 1_000_000, 1.0)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        let x = if (self.alpha - 1.0).abs() < 1e-9 {
+            // α = 1: inverse CDF is log-uniform.
+            self.lo * (self.hi / self.lo).powf(u)
+        } else {
+            let a = self.alpha;
+            let l = self.lo.powf(-a);
+            let h = self.hi.powf(-a);
+            (l - u * (l - h)).powf(-1.0 / a)
+        };
+        (x.round() as u64).clamp(self.lo as u64, self.hi as u64)
+    }
+}
+
+/// Normal sampler via the Box–Muller transform.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a sampler with the given mean and (non-negative) standard
+    /// deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or the parameters are non-finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(std >= 0.0 && mean.is_finite() && std.is_finite());
+        Normal { mean, std }
+    }
+
+    /// The paper's MTTF distribution: Normal(100 days, 40).
+    pub fn paper_mttf() -> Self {
+        Normal::new(100.0, 40.0)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 is kept away from 0 so ln is finite.
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std * z
+    }
+
+    /// Draws a sample truncated below at `floor` (re-clamped, not
+    /// resampled — adequate for characteristics that must stay positive).
+    pub fn sample_at_least<R: Rng>(&self, rng: &mut R, floor: f64) -> f64 {
+        self.sample(rng).max(floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_respects_bounds() {
+        let z = BoundedZipf::new(10, 1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = z.sample(&mut rng);
+            assert!((10..=1000).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_values() {
+        let z = BoundedZipf::paper_cardinalities();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let small = (0..n).filter(|_| z.sample(&mut rng) < 100_000).count();
+        // Log-uniform: P(X < 1e5) = ln(10)/ln(100) = 0.5; allow slack.
+        assert!(small > n * 2 / 5, "small = {small} of {n}");
+    }
+
+    #[test]
+    fn zipf_alpha_two_works() {
+        let z = BoundedZipf::new(10, 1000, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean: f64 =
+            (0..10_000).map(|_| z.sample(&mut rng) as f64).sum::<f64>() / 10_000.0;
+        // Heavier shape → smaller mean than α = 1.
+        assert!(mean < 100.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let n = Normal::paper_mttf();
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean = {mean}");
+        assert!((var.sqrt() - 40.0).abs() < 2.0, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn sample_at_least_floors() {
+        let n = Normal::new(0.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(n.sample_at_least(&mut rng, 1.0) >= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_rejects_bad_bounds() {
+        let _ = BoundedZipf::new(100, 100, 1.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Ground-truth concept labels and Table 1 scoring.
+//!
+//! The generator knows which concept every attribute expresses (or that it
+//! is an unrelated perturbation word), so solutions can be scored the way
+//! the paper scores Table 1: how many of the 14 *true GAs* (concepts) did
+//! µBE identify, how many attributes do those GAs cover, and how many true
+//! GAs present in the chosen sources were missed.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use mube_core::ga::{GlobalAttribute, MediatedSchema};
+use mube_core::ids::{AttrId, SourceId};
+use mube_core::source::Universe;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Concept labels for every attribute of a generated universe.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    labels: HashMap<AttrId, usize>,
+}
+
+/// Classification of one GA against the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaClass {
+    /// ≥ 2 attributes, all labelled with the same concept.
+    True(usize),
+    /// Attributes from ≥ 2 different concepts, or concept attributes mixed
+    /// with unrelated words — a real matching mistake.
+    False,
+    /// Only unlabelled (unrelated-word) attributes — typically identical
+    /// perturbation words clustering together; not a domain concept but not
+    /// a mismatch either.
+    Noise,
+    /// A single attribute (only arises from user GA constraints).
+    Singleton,
+}
+
+/// The Table 1 row for one solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaQualityReport {
+    /// Distinct concepts identified by at least one pure GA ("true GAs
+    /// selected", ≤ 14).
+    pub true_gas: usize,
+    /// Total attributes covered by the pure GAs ("attributes in true GAs").
+    pub attrs_in_true_gas: usize,
+    /// Concepts with ≥ 2 attributes among the selected sources but no pure
+    /// GA in the schema ("true GAs missed").
+    pub true_gas_missed: usize,
+    /// GAs mixing concepts — the paper's µBE "never produced false GAs".
+    pub false_gas: usize,
+    /// All-unlabelled GAs.
+    pub noise_gas: usize,
+    /// Concepts with ≥ 2 attributes among the selected sources (the
+    /// denominator for recall).
+    pub concepts_present: usize,
+}
+
+impl GroundTruth {
+    /// Records a label.
+    pub fn insert(&mut self, attr: AttrId, concept: usize) {
+        self.labels.insert(attr, concept);
+    }
+
+    /// The concept of an attribute, if it is a concept attribute.
+    pub fn concept_of(&self, attr: AttrId) -> Option<usize> {
+        self.labels.get(&attr).copied()
+    }
+
+    /// Number of labelled attributes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if no labels were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Classifies one GA.
+    pub fn classify(&self, ga: &GlobalAttribute) -> GaClass {
+        if ga.len() < 2 {
+            return GaClass::Singleton;
+        }
+        let mut concepts: BTreeSet<Option<usize>> =
+            ga.attrs().iter().map(|a| self.concept_of(*a)).collect();
+        if concepts.len() == 1 {
+            match concepts.pop_first().expect("non-empty") {
+                Some(c) => GaClass::True(c),
+                None => GaClass::Noise,
+            }
+        } else {
+            GaClass::False
+        }
+    }
+
+    /// Concepts that appear on at least `min_attrs` attributes across the
+    /// given sources.
+    pub fn concepts_present(
+        &self,
+        universe: &Universe,
+        sources: &BTreeSet<SourceId>,
+        min_attrs: usize,
+    ) -> BTreeSet<usize> {
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for &sid in sources {
+            for attr in universe.source(sid).attr_ids() {
+                if let Some(c) = self.concept_of(attr) {
+                    *counts.entry(c).or_insert(0) += 1;
+                }
+            }
+        }
+        counts.into_iter().filter(|&(_, n)| n >= min_attrs).map(|(c, _)| c).collect()
+    }
+
+    /// Scores a solution the way Table 1 does.
+    pub fn evaluate(
+        &self,
+        universe: &Universe,
+        sources: &BTreeSet<SourceId>,
+        schema: &MediatedSchema,
+    ) -> GaQualityReport {
+        let mut found: BTreeSet<usize> = BTreeSet::new();
+        let mut attrs_in_true_gas = 0usize;
+        let mut false_gas = 0usize;
+        let mut noise_gas = 0usize;
+        for ga in schema.gas() {
+            match self.classify(ga) {
+                GaClass::True(c) => {
+                    found.insert(c);
+                    attrs_in_true_gas += ga.len();
+                }
+                GaClass::False => false_gas += 1,
+                GaClass::Noise => noise_gas += 1,
+                GaClass::Singleton => {}
+            }
+        }
+        let present = self.concepts_present(universe, sources, 2);
+        let missed = present.difference(&found).count();
+        GaQualityReport {
+            true_gas: found.len(),
+            attrs_in_true_gas,
+            true_gas_missed: missed,
+            false_gas,
+            noise_gas,
+            concepts_present: present.len(),
+        }
+    }
+
+    /// Builds an *accurate* GA constraint for a concept: up to `max_attrs`
+    /// attributes of that concept, each from a different source among
+    /// `sources`. Returns `None` if fewer than two sources carry the
+    /// concept. This mirrors the paper's experimental GA constraints ("up
+    /// to 5 attributes that represent accurate matchings").
+    pub fn make_ga_constraint<R: Rng>(
+        &self,
+        universe: &Universe,
+        sources: &[SourceId],
+        concept: usize,
+        max_attrs: usize,
+        rng: &mut R,
+    ) -> Option<GlobalAttribute> {
+        let mut candidates: Vec<AttrId> = Vec::new();
+        for &sid in sources {
+            // One attribute per source: take the first with the concept.
+            if let Some(attr) = universe
+                .source(sid)
+                .attr_ids()
+                .find(|a| self.concept_of(*a) == Some(concept))
+            {
+                candidates.push(attr);
+            }
+        }
+        if candidates.len() < 2 {
+            return None;
+        }
+        candidates.shuffle(rng);
+        candidates.truncate(max_attrs.max(2));
+        GlobalAttribute::try_new(candidates).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_core::schema::Schema;
+    use mube_core::source::SourceSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn a(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    /// Three sources: s0 {title(c0), author(c1)}, s1 {title(c0), junk},
+    /// s2 {author(c1), junk}.
+    fn setup() -> (Universe, GroundTruth) {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("s0", Schema::new(["title", "author"])));
+        b.add_source(SourceSpec::new("s1", Schema::new(["title", "zeppelin"])));
+        b.add_source(SourceSpec::new("s2", Schema::new(["author", "quartz"])));
+        let u = b.build().unwrap();
+        let mut gt = GroundTruth::default();
+        gt.insert(a(0, 0), 0);
+        gt.insert(a(0, 1), 1);
+        gt.insert(a(1, 0), 0);
+        gt.insert(a(2, 0), 1);
+        (u, gt)
+    }
+
+    #[test]
+    fn classify_all_cases() {
+        let (_, gt) = setup();
+        let pure = GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap();
+        assert_eq!(gt.classify(&pure), GaClass::True(0));
+        let mixed = GlobalAttribute::try_new([a(0, 0), a(2, 0)]).unwrap();
+        assert_eq!(gt.classify(&mixed), GaClass::False);
+        let noise = GlobalAttribute::try_new([a(1, 1), a(2, 1)]).unwrap();
+        assert_eq!(gt.classify(&noise), GaClass::Noise);
+        let single = GlobalAttribute::singleton(a(0, 0));
+        assert_eq!(gt.classify(&single), GaClass::Singleton);
+        let concept_plus_noise = GlobalAttribute::try_new([a(0, 0), a(1, 1)]).unwrap();
+        assert_eq!(gt.classify(&concept_plus_noise), GaClass::False);
+    }
+
+    #[test]
+    fn evaluate_counts_found_and_missed() {
+        let (u, gt) = setup();
+        let sources: BTreeSet<_> = u.source_ids().collect();
+        // Schema only finds the title GA; author (present twice) is missed.
+        let schema =
+            MediatedSchema::new([GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap()]);
+        let r = gt.evaluate(&u, &sources, &schema);
+        assert_eq!(r.true_gas, 1);
+        assert_eq!(r.attrs_in_true_gas, 2);
+        assert_eq!(r.concepts_present, 2);
+        assert_eq!(r.true_gas_missed, 1);
+        assert_eq!(r.false_gas, 0);
+        assert_eq!(r.noise_gas, 0);
+    }
+
+    #[test]
+    fn evaluate_flags_false_gas() {
+        let (u, gt) = setup();
+        let sources: BTreeSet<_> = u.source_ids().collect();
+        let schema =
+            MediatedSchema::new([GlobalAttribute::try_new([a(0, 0), a(2, 0)]).unwrap()]);
+        let r = gt.evaluate(&u, &sources, &schema);
+        assert_eq!(r.false_gas, 1);
+        assert_eq!(r.true_gas, 0);
+    }
+
+    #[test]
+    fn concepts_present_respects_min_attrs() {
+        let (u, gt) = setup();
+        let only_s0: BTreeSet<_> = [SourceId(0)].into();
+        // Each concept appears once in s0 → not "present" at min 2.
+        assert!(gt.concepts_present(&u, &only_s0, 2).is_empty());
+        assert_eq!(gt.concepts_present(&u, &only_s0, 1).len(), 2);
+    }
+
+    #[test]
+    fn make_ga_constraint_draws_distinct_sources() {
+        let (u, gt) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sources: Vec<_> = u.source_ids().collect();
+        let ga = gt.make_ga_constraint(&u, &sources, 0, 5, &mut rng).unwrap();
+        assert_eq!(ga.len(), 2); // title appears in s0 and s1
+        assert_eq!(gt.classify(&ga), GaClass::True(0));
+        // Concept 1 in only s0 and s2 → size 2; a concept in one source → None.
+        let mut gt2 = GroundTruth::default();
+        gt2.insert(a(0, 0), 3);
+        assert!(gt2.make_ga_constraint(&u, &sources, 3, 5, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,269 @@
+//! Base schemas and the perturbation model (§7.1).
+//!
+//! The paper's 700 schemas are 50 base Books schemas plus perturbed copies:
+//! perturbation adds attributes, removes attributes, or replaces attributes
+//! with words unrelated to the Books domain, "following a probability
+//! distribution that retains some of the characteristics of the original
+//! schemas while having variability".
+//!
+//! Schemas can be generated from any of the four BAMM domains
+//! ([`DomainKind`]); the paper's experiments use Books. Ground-truth
+//! concept labels are *global* ids (domain offset + local concept index) so
+//! mixed-domain universes never confuse concepts across domains.
+
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+use crate::concepts::UNRELATED_WORDS;
+use crate::domains::{variants_of_global, DomainKind};
+
+/// Knobs for schema generation.
+#[derive(Debug, Clone)]
+pub struct SchemaGenConfig {
+    /// Which BAMM domain the schemas describe.
+    pub domain: DomainKind,
+    /// Number of base ("conformant") schemas; the paper uses 50.
+    pub num_base_schemas: usize,
+    /// Minimum concepts per base schema.
+    pub min_concepts: usize,
+    /// Maximum concepts per base schema.
+    pub max_concepts: usize,
+    /// Per-attribute probability of removal during perturbation.
+    pub p_remove: f64,
+    /// Per-attribute probability of replacement with an unrelated word.
+    pub p_replace: f64,
+    /// Probability of appending one unrelated attribute (applied twice, so
+    /// 0, 1 or 2 attributes are added).
+    pub p_add: f64,
+}
+
+impl Default for SchemaGenConfig {
+    fn default() -> Self {
+        SchemaGenConfig {
+            domain: DomainKind::Books,
+            num_base_schemas: 50,
+            min_concepts: 4,
+            max_concepts: 9,
+            p_remove: 0.12,
+            p_replace: 0.10,
+            p_add: 0.25,
+        }
+    }
+}
+
+/// A generated schema: attribute names with their ground-truth *global*
+/// concept labels (`None` for unrelated words).
+#[derive(Debug, Clone)]
+pub struct GeneratedSchema {
+    /// `(attribute name, global concept id)` in schema order.
+    pub attrs: Vec<(String, Option<usize>)>,
+    /// Which base schema this descends from.
+    pub base_index: usize,
+    /// False for the base schemas themselves, true for perturbed copies.
+    pub perturbed: bool,
+}
+
+impl GeneratedSchema {
+    /// The attribute names, in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(|(n, _)| n.as_str())
+    }
+}
+
+/// Generates the base schemas: each samples a subset of the domain's
+/// concepts and one name variant per concept. Every concept is guaranteed
+/// to appear in at least one base schema (cycling), so all the domain's
+/// "true GAs" are discoverable.
+pub fn base_schemas<R: Rng>(cfg: &SchemaGenConfig, rng: &mut R) -> Vec<GeneratedSchema> {
+    let num_concepts = cfg.domain.num_concepts();
+    let offset = cfg.domain.concept_id_offset();
+    assert!(cfg.min_concepts >= 1 && cfg.max_concepts <= num_concepts);
+    assert!(cfg.min_concepts <= cfg.max_concepts);
+    let mut out = Vec::with_capacity(cfg.num_base_schemas);
+    for base_index in 0..cfg.num_base_schemas {
+        let k = rng.random_range(cfg.min_concepts..=cfg.max_concepts);
+        // Sample k distinct concepts; force-include one rotating concept so
+        // coverage of the whole inventory is guaranteed across the bases.
+        let forced = base_index % num_concepts;
+        let mut ids: Vec<usize> = (0..num_concepts).filter(|&c| c != forced).collect();
+        let mut chosen = vec![forced];
+        while chosen.len() < k {
+            let pos = rng.random_range(0..ids.len());
+            chosen.push(ids.swap_remove(pos));
+        }
+        chosen.sort_unstable();
+        let attrs = chosen
+            .into_iter()
+            .map(|local| {
+                let (_, variants) = cfg.domain.concepts()[local];
+                let name = *variants.choose(rng).expect("concepts have variants");
+                (name.to_string(), Some(offset + local))
+            })
+            .collect();
+        out.push(GeneratedSchema { attrs, base_index, perturbed: false });
+    }
+    out
+}
+
+/// Produces one perturbed copy of a base schema.
+pub fn perturb<R: Rng>(
+    base: &GeneratedSchema,
+    cfg: &SchemaGenConfig,
+    rng: &mut R,
+) -> GeneratedSchema {
+    let mut attrs: Vec<(String, Option<usize>)> = Vec::with_capacity(base.attrs.len() + 2);
+    for (name, concept) in &base.attrs {
+        let roll: f64 = rng.random();
+        if roll < cfg.p_remove {
+            continue;
+        }
+        if roll < cfg.p_remove + cfg.p_replace {
+            let word = *UNRELATED_WORDS.choose(rng).expect("word pool is non-empty");
+            attrs.push((word.to_string(), None));
+            continue;
+        }
+        // Keep the concept but possibly re-draw its name variant, modelling
+        // different sites labelling the same concept differently.
+        let name = match concept {
+            Some(cid) if rng.random::<f64>() < 0.5 => {
+                let variants =
+                    variants_of_global(*cid).expect("labels are valid global concept ids");
+                (*variants.choose(rng).expect("concepts have variants")).to_string()
+            }
+            _ => name.clone(),
+        };
+        attrs.push((name, *concept));
+    }
+    for _ in 0..2 {
+        if rng.random::<f64>() < cfg.p_add {
+            let word = *UNRELATED_WORDS.choose(rng).expect("word pool is non-empty");
+            attrs.push((word.to_string(), None));
+        }
+    }
+    // A schema must keep at least one attribute; fall back to the base's
+    // first attribute if perturbation emptied it.
+    if attrs.is_empty() {
+        attrs.push(base.attrs[0].clone());
+    }
+    // A real query interface never repeats a label; dedupe by name.
+    let mut seen = std::collections::BTreeSet::new();
+    attrs.retain(|(n, _)| seen.insert(n.clone()));
+    GeneratedSchema { attrs, base_index: base.base_index, perturbed: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn label_of(cfg: &SchemaGenConfig, name: &str) -> Option<usize> {
+        cfg.domain.concept_of_name(name).map(|l| l + cfg.domain.concept_id_offset())
+    }
+
+    #[test]
+    fn base_schemas_cover_all_concepts() {
+        let cfg = SchemaGenConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let schemas = base_schemas(&cfg, &mut rng);
+        assert_eq!(schemas.len(), 50);
+        let covered: BTreeSet<usize> =
+            schemas.iter().flat_map(|s| s.attrs.iter().filter_map(|(_, c)| *c)).collect();
+        assert_eq!(covered.len(), cfg.domain.num_concepts());
+    }
+
+    #[test]
+    fn base_schema_sizes_in_range() {
+        let cfg = SchemaGenConfig::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for s in base_schemas(&cfg, &mut rng) {
+            assert!((cfg.min_concepts..=cfg.max_concepts).contains(&s.attrs.len()));
+            assert!(!s.perturbed);
+            // Base schemas contain no unrelated words and no duplicate
+            // concepts.
+            let cids: Vec<usize> = s.attrs.iter().map(|(_, c)| c.unwrap()).collect();
+            let distinct: BTreeSet<_> = cids.iter().collect();
+            assert_eq!(cids.len(), distinct.len());
+        }
+    }
+
+    #[test]
+    fn labels_match_concept_pools() {
+        let cfg = SchemaGenConfig::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for s in base_schemas(&cfg, &mut rng) {
+            for (name, cid) in &s.attrs {
+                assert_eq!(label_of(&cfg, name), *cid);
+            }
+        }
+    }
+
+    #[test]
+    fn other_domains_generate_with_offsets() {
+        for domain in DomainKind::all() {
+            let cfg = SchemaGenConfig { domain, max_concepts: 8, ..Default::default() };
+            let mut rng = StdRng::seed_from_u64(4);
+            let schemas = base_schemas(&cfg, &mut rng);
+            for s in &schemas {
+                for (name, cid) in &s.attrs {
+                    let cid = cid.expect("base schemas are fully labelled");
+                    assert_eq!(Some(cid), label_of(&cfg, name));
+                    assert!(cid >= domain.concept_id_offset());
+                    assert!(cid < domain.concept_id_offset() + domain.num_concepts());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_preserves_some_and_changes_some() {
+        let cfg = SchemaGenConfig::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let bases = base_schemas(&cfg, &mut rng);
+        let mut kept = 0usize;
+        let mut changed = 0usize;
+        for base in &bases {
+            let p = perturb(base, &cfg, &mut rng);
+            assert!(p.perturbed);
+            assert!(!p.attrs.is_empty());
+            let base_names: BTreeSet<&str> = base.names().collect();
+            for name in p.names() {
+                if base_names.contains(name) {
+                    kept += 1;
+                } else {
+                    changed += 1;
+                }
+            }
+            // Labels still truthful after perturbation.
+            for (name, cid) in &p.attrs {
+                assert_eq!(label_of(&cfg, name), *cid);
+            }
+        }
+        assert!(kept > 0, "perturbation should retain characteristics");
+        assert!(changed > 0, "perturbation should introduce variability");
+    }
+
+    #[test]
+    fn perturbed_schema_has_unique_names() {
+        let cfg = SchemaGenConfig { p_add: 1.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(5);
+        let bases = base_schemas(&cfg, &mut rng);
+        for base in &bases {
+            let p = perturb(base, &cfg, &mut rng);
+            let names: Vec<&str> = p.names().collect();
+            let distinct: BTreeSet<&str> = names.iter().copied().collect();
+            assert_eq!(names.len(), distinct.len());
+        }
+    }
+
+    #[test]
+    fn aggressive_removal_still_yields_nonempty() {
+        let cfg = SchemaGenConfig { p_remove: 1.0, p_add: 0.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(6);
+        let bases = base_schemas(&cfg, &mut rng);
+        for base in &bases {
+            assert!(!perturb(base, &cfg, &mut rng).attrs.is_empty());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Iterative exploration of a paper-scale Books universe — the §7 workload
+//! driven through the session API the way a user would drive the GUI.
+//!
+//! Generates 200 synthetic book-search sources (50 conformant + perturbed
+//! copies, Zipf cardinalities, General/Specialty data, MTTF), then runs a
+//! three-iteration feedback session and scores each iteration's schema
+//! against the generator's ground truth.
+//!
+//! Run with: `cargo run --release -p mube-examples --bin books_exploration`
+
+use std::sync::Arc;
+
+use mube_core::constraints::Constraints;
+use mube_core::problem::Problem;
+use mube_core::qefs::paper_default_qefs;
+use mube_core::session::Session;
+use mube_examples::{section, show_diff};
+use mube_match::similarity::JaccardNGram;
+use mube_match::ClusterMatcher;
+use mube_opt::TabuSearch;
+use mube_synth::{generate, SynthConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    section("Generating the universe (200 sources, paper's §7.1 recipe)");
+    let synth = generate(&SynthConfig::paper(200), 2007);
+    let universe = Arc::clone(&synth.universe);
+    println!(
+        "{} sources, {} attributes, {} total tuples, exact distinct tuples: {}",
+        universe.len(),
+        universe.total_attrs(),
+        universe.total_cardinality(),
+        synth.exact_distinct_universe(),
+    );
+
+    let matcher = Arc::new(ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram()));
+    println!(
+        "similarity cache: {} distinct attribute names, {} bytes",
+        matcher.cache().distinct_names(),
+        matcher.cache().matrix_bytes()
+    );
+
+    let problem = Problem::new(
+        Arc::clone(&universe),
+        matcher,
+        paper_default_qefs("mttf"),
+        Constraints::with_max_sources(20), // paper defaults: θ=0.75, β=2
+    )
+    .expect("constraints are valid");
+    let mut session = Session::new(problem, Box::new(TabuSearch::default()), 1);
+
+    let score = |label: &str, solution: &mube_core::Solution| {
+        let report =
+            synth.ground_truth.evaluate(&universe, &solution.sources, &solution.schema);
+        println!(
+            "{label}: Q={:.4}, {} sources, {} GAs | true GAs {} of {} present, \
+             {} attrs covered, {} missed, {} false",
+            solution.quality,
+            solution.sources.len(),
+            solution.schema.len(),
+            report.true_gas,
+            report.concepts_present,
+            report.attrs_in_true_gas,
+            report.true_gas_missed,
+            report.false_gas,
+        );
+    };
+
+    section("Iteration 1 — unconstrained");
+    let first = session.run().expect("feasible").clone();
+    score("baseline", &first);
+
+    // Feedback: the matcher at θ=0.75 can't bridge every naming variant of
+    // a concept. Hand it an accurate example for the first concept it
+    // missed, built from the ground truth (playing the knowledgeable user).
+    section("Iteration 2 — bridge a missed concept by example");
+    let mut rng = StdRng::seed_from_u64(99);
+    let report = synth.ground_truth.evaluate(&universe, &first.sources, &first.schema);
+    if report.true_gas_missed > 0 {
+        let found: std::collections::BTreeSet<usize> = first
+            .schema
+            .gas()
+            .iter()
+            .filter_map(|ga| match synth.ground_truth.classify(ga) {
+                mube_synth::ground_truth::GaClass::True(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        let present =
+            synth.ground_truth.concepts_present(&universe, &first.sources, 2);
+        let missed = present.iter().copied().find(|c| !found.contains(c));
+        if let Some(concept) = missed {
+            let sources: Vec<_> = first.sources.iter().copied().collect();
+            if let Some(ga) = synth.ground_truth.make_ga_constraint(&universe, &sources, concept, 3, &mut rng)
+            {
+                println!(
+                    "teaching concept `{}` with example {}",
+                    mube_synth::concepts::concept(concept).canonical,
+                    ga.display(&universe)
+                );
+                session.require_ga(ga).expect("constraint is valid");
+            }
+        }
+    } else {
+        println!("nothing missed — pinning the largest selected source instead");
+        let largest = *first
+            .sources
+            .iter()
+            .max_by_key(|&&s| universe.source(s).cardinality())
+            .expect("non-empty");
+        session.pin_source(largest).expect("source exists");
+    }
+    let second = session.run().expect("feasible").clone();
+    score("after example", &second);
+    show_diff(&first, &second);
+
+    // Feedback: the user decides coverage matters more than reliability.
+    section("Iteration 3 — value coverage over reliability");
+    session.set_weight("coverage", 0.45).expect("QEF exists");
+    let third = session.run().expect("feasible").clone();
+    score("after re-weighting", &third);
+    show_diff(&second, &third);
+    println!(
+        "coverage score moved {:.4} → {:.4}",
+        second.qef_score("coverage").unwrap_or(0.0),
+        third.qef_score("coverage").unwrap_or(0.0)
+    );
+
+    section("Summary");
+    for (i, s) in session.history().iter().enumerate() {
+        println!(
+            "iteration {}: Q={:.4}, |S|={}, GAs={}, evals={}",
+            i + 1,
+            s.quality,
+            s.sources.len(),
+            s.schema.len(),
+            s.evaluations
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Small shared helpers for the example binaries.
+
+use mube_core::solution::Solution;
+use mube_core::source::Universe;
+
+/// Prints a section banner.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a solution report.
+pub fn show(universe: &Universe, solution: &Solution) {
+    println!("{}", solution.display(universe));
+}
+
+/// Prints what changed between two session iterations.
+pub fn show_diff(prev: &Solution, next: &Solution) {
+    let diff = prev.diff(next);
+    println!(
+        "changes vs previous iteration: +{} / -{} sources, {} GA(s) changed",
+        diff.sources_added.len(),
+        diff.sources_removed.len(),
+        diff.gas_changed
+    );
+}

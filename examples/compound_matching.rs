@@ -1,0 +1,94 @@
+//! n:m matching through compound schema elements — the paper's §2.1
+//! extension, demonstrated end to end.
+//!
+//! 1:1 matching cannot relate `{first name, last name}` in one source to
+//! `{full name}` in another. Declaring the pair a *compound element*
+//! derives a universe where the pair is one attribute named
+//! "first name last name"; the ordinary clustering then matches it with
+//! "full name", and the result expands back to a genuine 2:1
+//! correspondence over the original attributes.
+//!
+//! Run with: `cargo run --release -p mube-examples --bin compound_matching`
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use mube_core::constraints::Constraints;
+use mube_core::matchop::{MatchOperator, MatchOutcome};
+use mube_core::schema::Schema;
+use mube_core::source::{SourceSpec, Universe};
+use mube_core::SourceId;
+use mube_examples::section;
+use mube_match::{ClusterMatcher, Compounding, Ensemble};
+
+fn main() {
+    let mut b = Universe::builder();
+    b.add_source(SourceSpec::new(
+        "registry-a",
+        Schema::new(["first name", "last name", "birth date"]),
+    ));
+    b.add_source(SourceSpec::new("registry-b", Schema::new(["full name", "birth date"])));
+    b.add_source(SourceSpec::new("registry-c", Schema::new(["name", "date of birth"])));
+    let universe = Arc::new(b.build().expect("well-formed"));
+
+    section("Plain 1:1 matching");
+    let matcher = ClusterMatcher::new(Arc::clone(&universe), Ensemble::lexical());
+    let sources: BTreeSet<SourceId> = universe.source_ids().collect();
+    let constraints = Constraints::with_max_sources(3).theta(0.35);
+    let MatchOutcome::Matched { schema, .. } =
+        matcher.match_sources(&universe, &sources, &constraints)
+    else {
+        panic!("expected a match")
+    };
+    print!("{}", schema.display(&universe));
+    let split_matched = schema
+        .gas()
+        .iter()
+        .any(|ga| ga.touches_source(SourceId(0)) && {
+            let name = universe
+                .attr_name(*ga.attrs().iter().find(|a| a.source == SourceId(0)).unwrap())
+                .unwrap();
+            name.contains("name")
+        });
+    println!(
+        "registry-a's split name fields matched a name concept: {}",
+        if split_matched { "yes (partially, at best)" } else { "no" }
+    );
+
+    section("With a compound element: {first name, last name} acts as one");
+    let mut compounding = Compounding::new();
+    compounding.add_group(SourceId(0), [0, 1]).expect("valid group");
+    let derived = compounding.derive(&universe).expect("derivation succeeds");
+    let derived_universe = Arc::new(derived.universe.clone());
+    let matcher = ClusterMatcher::new(Arc::clone(&derived_universe), Ensemble::lexical());
+    let sources: BTreeSet<SourceId> = derived_universe.source_ids().collect();
+    let MatchOutcome::Matched { schema, quality } =
+        matcher.match_sources(&derived_universe, &sources, &constraints)
+    else {
+        panic!("expected a match")
+    };
+    println!("derived-universe matching (F1 = {quality:.3}):");
+    print!("{}", schema.display(&derived_universe));
+
+    section("Expanded back to the original attributes (n:m)");
+    let expanded = derived.expand(&schema);
+    for (i, ga) in expanded.gas.iter().enumerate() {
+        let parts: Vec<String> = ga
+            .groups
+            .iter()
+            .map(|(source, attrs)| {
+                let names: Vec<&str> =
+                    attrs.iter().map(|&a| universe.attr_name(a).unwrap_or("?")).collect();
+                format!("{}:{{{}}}", universe.source(*source).name(), names.join(" + "))
+            })
+            .collect();
+        println!(
+            "  correspondence {i}: {} {}",
+            parts.join(" ↔ "),
+            if ga.is_nm() { "(n:m)" } else { "(1:1)" }
+        );
+    }
+    let nm = expanded.gas.iter().find(|ga| ga.is_nm()).expect("an n:m correspondence exists");
+    assert!(nm.width() >= 3, "first+last ↔ full name involves at least 3 attributes");
+    println!("\nthe split name fields now map as one unit ✓");
+}

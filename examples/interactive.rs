@@ -1,0 +1,225 @@
+//! A terminal REPL standing in for the paper's GUI (Figure 4).
+//!
+//! Exposes the same interaction verbs the µBE interface offers: run an
+//! iteration, inspect the solution, pin sources, promote output GAs into
+//! constraints, bridge attributes by example, and re-weight the quality
+//! dimensions. Input is line-based, so it can be driven by a script:
+//!
+//! ```text
+//! printf 'run\nshow\npin site0003\nrun\nquit\n' | \
+//!     cargo run --release -p mube-examples --bin interactive
+//! ```
+//!
+//! Optional argument: the number of synthetic sources (default 60).
+
+use std::io::BufRead;
+use std::sync::Arc;
+
+use mube_core::constraints::Constraints;
+use mube_core::problem::Problem;
+use mube_core::qefs::paper_default_qefs;
+use mube_core::session::Session;
+use mube_match::similarity::JaccardNGram;
+use mube_match::ClusterMatcher;
+use mube_opt::TabuSearch;
+use mube_synth::{generate, SynthConfig};
+
+const HELP: &str = "\
+commands:
+  run                     solve with the current constraints and weights
+  show                    print the latest solution (sources + mediated schema)
+  sources                 list the selected sources
+  universe [n]            list the first n sources of the universe (default 20)
+  pin <site>              require a source in every future solution
+  unpin <site>            drop that requirement
+  adopt <ga-index>        turn GA <i> of the latest solution into a constraint
+  bridge <site> <attr> <site> <attr>
+                          GA constraint matching two attributes by example
+  weight <qef> <w>        set one QEF weight (others rescale)
+  theta <v> | beta <n> | max <n>
+                          set matching threshold / min GA size / max sources
+  constraints             show the active constraints
+  why                     leave-one-out contribution of each selected source
+  overlap                 estimated pairwise data overlap of the selection
+  alts [k]                show the k best alternative solutions (default 3)
+  history                 show quality across iterations
+  help                    this text
+  quit                    exit";
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(60);
+    println!("µBE interactive session — {n} synthetic book sources. Type `help`.");
+    let synth = generate(&SynthConfig::paper(n), 2007);
+    let universe = Arc::clone(&synth.universe);
+    let matcher = Arc::new(ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram()));
+    let problem = Problem::new(
+        Arc::clone(&universe),
+        matcher,
+        paper_default_qefs("mttf"),
+        Constraints::with_max_sources(10),
+    )
+    .expect("default constraints are valid");
+    let mut session = Session::new(problem, Box::new(TabuSearch::default()), 42);
+
+    let stdin = std::io::stdin();
+    print!("> ");
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            [] => {}
+            ["quit" | "exit" | "q"] => break,
+            ["help" | "h" | "?"] => println!("{HELP}"),
+            ["run" | "r"] => match session.run() {
+                Ok(sol) => println!(
+                    "Q = {:.4} with {} sources, {} GAs ({} evaluations). `show` for details.",
+                    sol.quality,
+                    sol.sources.len(),
+                    sol.schema.len(),
+                    sol.evaluations
+                ),
+                Err(e) => println!("no feasible solution: {e}"),
+            },
+            ["show" | "s"] => match session.latest() {
+                Some(sol) => println!("{}", sol.display(&universe)),
+                None => println!("no solution yet — `run` first"),
+            },
+            ["sources"] => match session.latest() {
+                Some(sol) => {
+                    for &s in &sol.sources {
+                        let src = universe.source(s);
+                        println!("  {} ({} tuples)", src.name(), src.cardinality());
+                    }
+                }
+                None => println!("no solution yet — `run` first"),
+            },
+            ["universe", rest @ ..] => {
+                let k: usize = rest.first().and_then(|a| a.parse().ok()).unwrap_or(20);
+                for src in universe.sources().take(k) {
+                    let names: Vec<&str> = src.schema().names().collect();
+                    println!("  {}: {{{}}}", src.name(), names.join(", "));
+                }
+            }
+            ["pin", site] => report(session.pin_source_by_name(site)),
+            ["unpin", site] => {
+                match universe.source_by_name(site) {
+                    Some(src) => report(session.unpin_source(src.id())),
+                    None => println!("unknown source `{site}`"),
+                }
+            }
+            ["adopt", idx] => match idx.parse::<usize>() {
+                Ok(i) => report(session.adopt_ga(i)),
+                Err(_) => println!("usage: adopt <ga-index>"),
+            },
+            ["bridge", s1, a1, s2, a2] => {
+                report(session.require_ga_by_names(&[(s1, a1), (s2, a2)]))
+            }
+            ["weight", qef, w] => match w.parse::<f64>() {
+                Ok(w) => report(session.set_weight(qef, w)),
+                Err(_) => println!("usage: weight <qef> <value in [0,1]>"),
+            },
+            ["theta", v] => match v.parse::<f64>() {
+                Ok(v) => report(session.set_theta(v)),
+                Err(_) => println!("usage: theta <value in [0,1]>"),
+            },
+            ["beta", v] => match v.parse::<usize>() {
+                Ok(v) => report(session.set_beta(v)),
+                Err(_) => println!("usage: beta <n>"),
+            },
+            ["max", v] => match v.parse::<usize>() {
+                Ok(v) => report(session.set_max_sources(v)),
+                Err(_) => println!("usage: max <n>"),
+            },
+            ["constraints"] => {
+                let c = session.constraints();
+                println!(
+                    "max_sources={} theta={} beta={}",
+                    c.max_sources, c.theta, c.beta
+                );
+                for s in &c.required_sources {
+                    println!("  pinned: {}", universe.source(*s).name());
+                }
+                for ga in &c.required_gas {
+                    println!("  GA constraint: {}", ga.display(&universe));
+                }
+            }
+            ["why"] => match session.latest() {
+                Some(sol) => {
+                    let explanation = mube_core::explain(session.problem(), sol);
+                    print!("{}", explanation.display(&universe));
+                    let dead: Vec<&str> = explanation
+                        .dead_weight()
+                        .map(|c| universe.source(c.source).name())
+                        .collect();
+                    if !dead.is_empty() {
+                        println!("  (consider dropping: {})", dead.join(", "));
+                    }
+                }
+                None => println!("no solution yet — `run` first"),
+            },
+            ["overlap"] => match session.latest() {
+                Some(sol) => {
+                    let matrix = mube_core::overlap_matrix(&universe, &sol.sources);
+                    let heavy = matrix.heavy_pairs(0.25);
+                    if heavy.is_empty() {
+                        println!("no pair overlaps by 25% or more");
+                    }
+                    for (a, b, frac) in heavy {
+                        println!(
+                            "  {} ∩ {} ≈ {:.0}%",
+                            universe.source(a).name(),
+                            universe.source(b).name(),
+                            frac * 100.0
+                        );
+                    }
+                }
+                None => println!("no solution yet — `run` first"),
+            },
+            ["alts", rest @ ..] => {
+                let k: usize = rest.first().and_then(|a| a.parse().ok()).unwrap_or(3);
+                match session.problem().alternatives(&TabuSearch::default(), 99, k) {
+                    Ok(alts) => {
+                        for (i, alt) in alts.iter().enumerate() {
+                            let names: Vec<&str> = alt
+                                .sources
+                                .iter()
+                                .map(|&s| universe.source(s).name())
+                                .collect();
+                            println!(
+                                "  #{i}: Q={:.4}, {} GAs, sources: {}",
+                                alt.quality,
+                                alt.schema.len(),
+                                names.join(", ")
+                            );
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ["history"] => {
+                for (i, s) in session.history().iter().enumerate() {
+                    println!(
+                        "  iteration {}: Q={:.4}, |S|={}, GAs={}",
+                        i + 1,
+                        s.quality,
+                        s.sources.len(),
+                        s.schema.len()
+                    );
+                }
+            }
+            other => println!("unknown command {other:?} — `help` lists commands"),
+        }
+        print!("> ");
+        std::io::stdout().flush().ok();
+    }
+    println!("\nbye");
+}
+
+fn report(result: Result<(), mube_core::MubeError>) {
+    match result {
+        Ok(()) => println!("ok"),
+        Err(e) => println!("error: {e}"),
+    }
+}

@@ -1,0 +1,104 @@
+//! Quickstart: build a small universe by hand, pose the µBE optimization
+//! problem, run one iteration, then refine it with feedback.
+//!
+//! Run with: `cargo run --release -p mube-examples --bin quickstart`
+
+use std::sync::Arc;
+
+use mube_core::constraints::Constraints;
+use mube_core::problem::Problem;
+use mube_core::qefs::data_only_qefs;
+use mube_core::schema::Schema;
+use mube_core::session::Session;
+use mube_core::source::{SourceSpec, Universe};
+use mube_examples::{section, show, show_diff};
+use mube_match::similarity::JaccardNGram;
+use mube_match::ClusterMatcher;
+use mube_opt::TabuSearch;
+use mube_sketch::pcsa::{PcsaConfig, PcsaSignature};
+
+/// Builds a PCSA signature for a range of (synthetic) tuple ids.
+fn signature(tuples: std::ops::Range<u64>) -> PcsaSignature {
+    let mut sig = PcsaSignature::new(PcsaConfig::default_for_sources(7));
+    for t in tuples {
+        sig.insert(t);
+    }
+    sig
+}
+
+fn main() {
+    // 1. Describe the candidate sources: schema, cardinality, and a PCSA
+    //    hash signature of their tuples (what a cooperating source exports).
+    let mut builder = Universe::builder();
+    builder.add_source(
+        SourceSpec::new("books-r-us", Schema::new(["title", "author", "price"]))
+            .cardinality(60_000)
+            .signature(signature(0..60_000)),
+    );
+    builder.add_source(
+        SourceSpec::new("libropolis", Schema::new(["book title", "author name", "isbn"]))
+            .cardinality(45_000)
+            .signature(signature(40_000..85_000)),
+    );
+    builder.add_source(
+        SourceSpec::new("tome-depot", Schema::new(["title", "writer", "price range"]))
+            .cardinality(80_000)
+            .signature(signature(80_000..160_000)),
+    );
+    builder.add_source(
+        SourceSpec::new("mirror-of-books-r-us", Schema::new(["title", "author", "price"]))
+            .cardinality(60_000)
+            .signature(signature(0..60_000)), // same data as books-r-us!
+    );
+    let universe = Arc::new(builder.build().expect("universe is well-formed"));
+
+    // 2. Pose the optimization problem: choose at most 3 sources, match
+    //    attribute names with the paper's 3-gram Jaccard measure at θ=0.3.
+    let matcher = Arc::new(ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram()));
+    let problem = Problem::new(
+        Arc::clone(&universe),
+        matcher,
+        data_only_qefs(),
+        Constraints::with_max_sources(3).theta(0.3),
+    )
+    .expect("constraints are valid");
+
+    // 3. Run one µBE iteration. With the default weights the mirror of
+    //    books-r-us is likely to be selected: its duplicated attribute
+    //    names keep matching quality at a perfect 1.0, which outweighs the
+    //    redundancy penalty. The user notices — and steers.
+    let mut session = Session::new(problem, Box::new(TabuSearch::default()), 42);
+    section("Iteration 1 — unconstrained");
+    let first = session.run().expect("a feasible solution exists").clone();
+    show(&universe, &first);
+
+    // 4. Feedback: duplicated data bothers this user. Turn the redundancy
+    //    dimension up; the mirror should no longer pay its way.
+    section("Iteration 2 — redundancy matters more");
+    session.set_weight("redundancy", 0.6).expect("QEF exists");
+    let second = session.run().expect("still feasible").clone();
+    show(&universe, &second);
+    show_diff(&first, &second);
+    let books = universe.source_by_name("books-r-us").unwrap().id();
+    let mirror = universe.source_by_name("mirror-of-books-r-us").unwrap().id();
+    assert!(
+        !(second.sources.contains(&books) && second.sources.contains(&mirror)),
+        "with redundancy at 0.6, a source and its mirror should not both be selected"
+    );
+
+    // 5. More feedback: insist on libropolis (it has ISBNs) and adopt the
+    //    first GA of the output as a constraint for the next round —
+    //    output format == input format, so this is one call.
+    section("Iteration 3 — pin libropolis, adopt GA 0");
+    session.pin_source_by_name("libropolis").expect("libropolis exists");
+    session.adopt_ga(0).expect("solution has a GA 0");
+    let third = session.run().expect("still feasible").clone();
+    show(&universe, &third);
+    show_diff(&second, &third);
+    assert!(third.sources.contains(&universe.source_by_name("libropolis").unwrap().id()));
+
+    section("Session history");
+    for (i, s) in session.history().iter().enumerate() {
+        println!("iteration {}: Q = {:.4}, {} sources, {} GAs", i + 1, s.quality, s.sources.len(), s.schema.len());
+    }
+}

@@ -1,0 +1,119 @@
+//! Constraint-enforcement tests across the whole stack: every kind of user
+//! constraint from §2.4 must be honoured by the returned solutions.
+
+use mube_core::constraints::Constraints;
+use mube_core::ga::GlobalAttribute;
+use mube_core::AttrId;
+use mube_core::SourceId;
+use mube_integration::{ci_tabu, Fixture};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn source_constraints_always_selected() {
+    let fx = Fixture::new(40, 20);
+    for count in [1usize, 3, 5] {
+        let mut rng = StdRng::seed_from_u64(count as u64);
+        let pinned = fx.synth.random_unperturbed(count, &mut rng);
+        let mut constraints = Constraints::with_max_sources(10);
+        constraints.required_sources = pinned.clone();
+        let problem = fx.problem(constraints);
+        let solution = problem.solve(&ci_tabu(), 20).expect("feasible");
+        for p in &pinned {
+            assert!(solution.sources.contains(p), "pinned {p} missing ({count} pins)");
+        }
+    }
+}
+
+#[test]
+fn ga_constraints_subsumed_and_sources_implied() {
+    let fx = Fixture::new(40, 21);
+    let mut rng = StdRng::seed_from_u64(7);
+    let sources: Vec<SourceId> = fx.synth.unperturbed.clone();
+    let ga = fx
+        .synth
+        .ground_truth
+        .make_ga_constraint(&fx.synth.universe, &sources, 0, 4, &mut rng)
+        .expect("concept 0 appears in the bases");
+    let constraints = Constraints::with_max_sources(12).require_ga(ga.clone());
+    let problem = fx.problem(constraints);
+    let solution = problem.solve(&ci_tabu(), 21).expect("feasible");
+    assert!(solution.schema.covers_gas(std::slice::from_ref(&ga)));
+    for s in ga.sources() {
+        assert!(solution.sources.contains(&s));
+    }
+}
+
+#[test]
+fn ga_constraint_bridges_beyond_theta() {
+    // Force a GA between two attributes with zero lexical similarity; it
+    // must survive even at a high matching threshold.
+    let fx = Fixture::new(30, 22);
+    let universe = &fx.synth.universe;
+    // Find two attributes of different sources with unrelated names.
+    let mut pick = None;
+    'outer: for a in universe.source(SourceId(0)).attr_ids() {
+        for b in universe.source(SourceId(1)).attr_ids() {
+            let na = universe.attr_name(a).unwrap();
+            let nb = universe.attr_name(b).unwrap();
+            if !na.contains(nb) && !nb.contains(na) {
+                pick = Some((a, b));
+                break 'outer;
+            }
+        }
+    }
+    let (a, b): (AttrId, AttrId) = pick.expect("unrelated attribute pair exists");
+    let ga = GlobalAttribute::try_new([a, b]).unwrap();
+    let constraints = Constraints::with_max_sources(8).theta(0.9).require_ga(ga.clone());
+    let problem = fx.problem(constraints);
+    let solution = problem.solve(&ci_tabu(), 22).expect("feasible");
+    assert!(solution.schema.covers_gas(std::slice::from_ref(&ga)));
+}
+
+#[test]
+fn max_sources_is_a_hard_bound() {
+    let fx = Fixture::new(40, 23);
+    for m in [2usize, 5, 15] {
+        let problem = fx.problem(Constraints::with_max_sources(m));
+        let solution = problem.solve(&ci_tabu(), 23).expect("feasible");
+        assert!(solution.sources.len() <= m, "m={m} but |S|={}", solution.sources.len());
+    }
+}
+
+#[test]
+fn beta_bound_holds_for_nonuser_gas() {
+    let fx = Fixture::new(40, 24);
+    let problem = fx.problem(Constraints::with_max_sources(10).beta(3));
+    let solution = problem.solve(&ci_tabu(), 24).expect("feasible");
+    for ga in solution.schema.gas() {
+        assert!(ga.len() >= 3, "GA below β=3: {:?}", ga);
+    }
+}
+
+#[test]
+fn unsatisfiable_constraints_error_cleanly() {
+    let fx = Fixture::new(10, 25);
+    // More required sources than m: rejected at problem construction.
+    let mut c = Constraints::with_max_sources(2);
+    for id in fx.synth.universe.source_ids().take(3) {
+        c.required_sources.insert(id);
+    }
+    assert!(c.validate(&fx.synth.universe).is_err());
+}
+
+#[test]
+fn theta_one_still_matches_identical_names() {
+    // At θ = 1.0 only identical names may cluster; perturbed copies share
+    // exact names with their bases, so matches still exist.
+    let fx = Fixture::new(30, 26);
+    let problem = fx.problem(Constraints::with_max_sources(8).theta(1.0));
+    let solution = problem.solve(&ci_tabu(), 26).expect("feasible");
+    for ga in solution.schema.gas() {
+        let names: std::collections::BTreeSet<&str> = ga
+            .attrs()
+            .iter()
+            .map(|&a| fx.synth.universe.attr_name(a).unwrap())
+            .collect();
+        assert_eq!(names.len(), 1, "θ=1 GA mixes names: {names:?}");
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end pipeline tests: generator → matcher → QEFs → optimizer.
+
+use std::collections::BTreeSet;
+
+use mube_core::constraints::Constraints;
+use mube_core::problem::CandidateEval;
+use mube_core::SourceId;
+use mube_integration::{ci_tabu, Fixture};
+use mube_match::similarity::{JaccardNGram, Similarity};
+
+#[test]
+fn full_pipeline_produces_valid_solution() {
+    let fx = Fixture::new(40, 1);
+    let mut session = fx.session(Constraints::with_max_sources(10), 1);
+    let solution = session.run().expect("feasible").clone();
+
+    assert!(!solution.sources.is_empty());
+    assert!(solution.sources.len() <= 10);
+    assert!((0.0..=1.0).contains(&solution.quality));
+    // Definition 2 internals: GAs disjoint, every GA valid, every GA's
+    // sources are selected.
+    assert!(solution.schema.gas_disjoint());
+    for ga in solution.schema.gas() {
+        for source in ga.sources() {
+            assert!(solution.sources.contains(&source));
+        }
+    }
+}
+
+#[test]
+fn every_nonuser_ga_meets_theta_and_beta() {
+    let fx = Fixture::new(40, 2);
+    let constraints = Constraints::with_max_sources(12); // θ=0.75, β=2
+    let theta = constraints.theta;
+    let beta = constraints.beta;
+    let mut session = fx.session(constraints, 2);
+    let solution = session.run().expect("feasible").clone();
+    let measure = JaccardNGram::trigram();
+    let universe = &fx.synth.universe;
+
+    for ga in solution.schema.gas() {
+        assert!(ga.len() >= beta, "GA below β: {:?}", ga);
+        // Quality of a GA = max pairwise similarity; must meet θ.
+        let attrs: Vec<_> = ga.attrs().iter().copied().collect();
+        let mut best = 0.0f64;
+        for i in 0..attrs.len() {
+            for j in (i + 1)..attrs.len() {
+                let a = universe.attr_name(attrs[i]).unwrap();
+                let b = universe.attr_name(attrs[j]).unwrap();
+                best = best.max(measure.similarity(a, b));
+            }
+        }
+        assert!(best >= theta - 1e-9, "GA below θ: best={best} {:?}", ga);
+    }
+}
+
+#[test]
+fn matching_quality_qef_equals_schema_quality() {
+    // The matching score reported in the solution must be the same F1 the
+    // matcher computes for the schema.
+    let fx = Fixture::new(30, 3);
+    let mut session = fx.session(Constraints::with_max_sources(8), 3);
+    let solution = session.run().expect("feasible").clone();
+    let f1 = solution.qef_score("matching").unwrap();
+    assert!((0.0..=1.0).contains(&f1));
+    // Every surviving GA has quality ≥ θ, so the average must too (no user
+    // GAs in this run).
+    assert!(f1 >= 0.75 - 1e-9 || solution.schema.is_empty());
+}
+
+#[test]
+fn evaluate_is_consistent_with_solve() {
+    let fx = Fixture::new(30, 4);
+    let problem = fx.problem(Constraints::with_max_sources(8));
+    let solution = problem.solve(&ci_tabu(), 4).expect("feasible");
+    match problem.evaluate(&solution.sources) {
+        CandidateEval::Feasible(re) => {
+            assert_eq!(re.schema, solution.schema);
+            assert!((re.quality - solution.quality).abs() < 1e-12);
+        }
+        CandidateEval::Infeasible => panic!("returned solution must re-evaluate feasible"),
+    }
+}
+
+#[test]
+fn coverage_tracks_exact_distinct_counts() {
+    // The PCSA-based coverage QEF should be close to the exact coverage
+    // computed from the generator's tuple windows.
+    let fx = Fixture::new(25, 5);
+    let mut session = fx.session(Constraints::with_max_sources(8), 5);
+    let solution = session.run().expect("feasible").clone();
+    let est = solution.qef_score("coverage").unwrap();
+    let exact_sel = fx.synth.exact_distinct(solution.sources.iter().copied()) as f64;
+    let exact_all = fx.synth.exact_distinct_universe() as f64;
+    let exact = exact_sel / exact_all;
+    assert!(
+        (est - exact).abs() < 0.15,
+        "estimated coverage {est:.3} vs exact {exact:.3}"
+    );
+}
+
+#[test]
+fn larger_budget_never_hurts() {
+    use mube_opt::TabuSearch;
+    let fx = Fixture::new(30, 6);
+    let problem = fx.problem(Constraints::with_max_sources(8));
+    let small = TabuSearch { max_evaluations: 150, ..TabuSearch::default() };
+    let large = TabuSearch { max_evaluations: 3_000, ..TabuSearch::default() };
+    let q_small = problem.solve(&small, 6).expect("feasible").quality;
+    let q_large = problem.solve(&large, 6).expect("feasible").quality;
+    assert!(
+        q_large >= q_small - 1e-9,
+        "more evaluations must not find worse solutions: {q_small} vs {q_large}"
+    );
+}
+
+#[test]
+fn tabu_matches_exhaustive_on_tiny_universe() {
+    // With 8 sources and m=3 there are only 92 candidate subsets; tabu must
+    // find the global optimum.
+    let fx = Fixture::new(8, 7);
+    let problem = fx.problem(Constraints::with_max_sources(3).beta(2));
+    let ids: Vec<SourceId> = fx.synth.universe.source_ids().collect();
+    let mut best = f64::NEG_INFINITY;
+    for i in 0..ids.len() {
+        for j in i..ids.len() {
+            for k in j..ids.len() {
+                let set: BTreeSet<SourceId> = [ids[i], ids[j], ids[k]].into();
+                best = best.max(problem.objective(&set));
+            }
+        }
+    }
+    let solution = problem.solve(&ci_tabu(), 7).expect("feasible");
+    assert!(
+        (solution.quality - best).abs() < 1e-9,
+        "tabu {} vs exhaustive {}",
+        solution.quality,
+        best
+    );
+}

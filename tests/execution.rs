@@ -1,0 +1,95 @@
+//! Cross-crate tests tying the selection-time QEFs to query-time reality:
+//! the coverage/redundancy scores µBE optimizes must predict what the
+//! executor actually observes when queries run.
+
+use std::sync::Arc;
+
+use mube_core::constraints::Constraints;
+use mube_core::overlap::overlap_matrix;
+use mube_exec::{Executor, Query, WindowBackend};
+use mube_integration::Fixture;
+
+fn executor(fx: &Fixture) -> Executor<WindowBackend> {
+    Executor::new(Arc::clone(&fx.synth.universe), WindowBackend::new(&fx.synth))
+}
+
+#[test]
+fn coverage_score_predicts_query_recall() {
+    let fx = Fixture::new(30, 40);
+    let mut session = fx.session(Constraints::with_max_sources(10), 40);
+    let solution = session.run().expect("feasible").clone();
+    let coverage = solution.qef_score("coverage").expect("QEF present");
+
+    // Query the whole tuple space: recall = |answer| / |universe distinct|.
+    let exec = executor(&fx);
+    let report = exec.execute_solution(&solution, &Query::range(0, u64::MAX));
+    let recall = report.distinct() as f64 / fx.synth.exact_distinct_universe() as f64;
+    assert!(
+        (coverage - recall).abs() < 0.15,
+        "coverage score {coverage:.3} vs executed recall {recall:.3}"
+    );
+}
+
+#[test]
+fn redundancy_score_predicts_transfer_waste() {
+    let fx = Fixture::new(30, 41);
+    let mut session = fx.session(Constraints::with_max_sources(8), 41);
+    let solution = session.run().expect("feasible").clone();
+    let exec = executor(&fx);
+    let report = exec.execute_solution(&solution, &Query::range(0, u64::MAX));
+
+    // Our redundancy reconstruction: 1 − overlap / ((|S|−1)·distinct).
+    let k = solution.sources.len();
+    if k > 1 && report.distinct() > 0 {
+        let expected_waste =
+            report.duplicates() as f64 / ((k - 1) as f64 * report.distinct() as f64);
+        let scored = solution.qef_score("redundancy").expect("QEF present");
+        assert!(
+            (scored - (1.0 - expected_waste)).abs() < 0.15,
+            "redundancy score {scored:.3} vs executed {:.3}",
+            1.0 - expected_waste
+        );
+    }
+}
+
+#[test]
+fn per_source_novelty_matches_overlap_diagnostics() {
+    let fx = Fixture::new(25, 42);
+    let mut session = fx.session(Constraints::with_max_sources(6), 42);
+    let solution = session.run().expect("feasible").clone();
+    let matrix = overlap_matrix(&fx.synth.universe, &solution.sources);
+
+    // A pair the diagnostics call heavily overlapping must also duplicate
+    // tuples at execution time.
+    let exec = executor(&fx);
+    for (a, b, frac) in matrix.heavy_pairs(0.5) {
+        let pair: std::collections::BTreeSet<_> = [a, b].into();
+        let report = exec.execute(&pair, &Query::range(0, u64::MAX));
+        assert!(
+            report.duplicates() > 0,
+            "diagnosed {frac:.2} overlap between {a} and {b} but no duplicates executed"
+        );
+    }
+}
+
+#[test]
+fn projection_limits_fanout_to_schema_sources() {
+    let fx = Fixture::new(30, 43);
+    let mut session = fx.session(Constraints::with_max_sources(10), 43);
+    let solution = session.run().expect("feasible").clone();
+    if solution.schema.is_empty() {
+        return; // nothing to project onto
+    }
+    let exec = executor(&fx);
+    let report =
+        exec.execute_solution(&solution, &Query::range(0, u64::MAX).project([0]));
+    let ga_sources: std::collections::BTreeSet<_> =
+        solution.schema.gas()[0].sources().collect();
+    for fetch in &report.per_source {
+        assert!(ga_sources.contains(&fetch.source));
+    }
+    assert_eq!(
+        report.per_source.len() + report.unanswerable.len(),
+        solution.sources.len()
+    );
+}

@@ -1,0 +1,54 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use std::sync::Arc;
+
+use mube_core::constraints::Constraints;
+use mube_core::problem::Problem;
+use mube_core::qefs::paper_default_qefs;
+use mube_core::session::Session;
+use mube_match::similarity::JaccardNGram;
+use mube_match::ClusterMatcher;
+use mube_opt::TabuSearch;
+use mube_synth::{generate, SynthConfig, SynthUniverse};
+
+/// A generated universe, the matcher over it, and the generator's output.
+pub struct Fixture {
+    /// The synthetic universe with ground truth.
+    pub synth: SynthUniverse,
+    /// The clustering matcher.
+    pub matcher: Arc<ClusterMatcher>,
+}
+
+impl Fixture {
+    /// Generates a small fixture (fast enough for CI).
+    pub fn new(num_sources: usize, seed: u64) -> Self {
+        let synth = generate(&SynthConfig::small(num_sources), seed);
+        let matcher = Arc::new(ClusterMatcher::new(
+            Arc::clone(&synth.universe),
+            JaccardNGram::trigram(),
+        ));
+        Fixture { synth, matcher }
+    }
+
+    /// Builds a problem with the paper's default QEFs.
+    pub fn problem(&self, constraints: Constraints) -> Problem {
+        Problem::new(
+            Arc::clone(&self.synth.universe),
+            Arc::clone(&self.matcher) as Arc<dyn mube_core::MatchOperator>,
+            paper_default_qefs("mttf"),
+            constraints,
+        )
+        .expect("fixture constraints must be valid")
+    }
+
+    /// Builds a session with a CI-sized solver budget.
+    pub fn session(&self, constraints: Constraints, seed: u64) -> Session {
+        Session::new(self.problem(constraints), Box::new(ci_tabu()), seed)
+    }
+}
+
+/// A solver budget small enough for CI but big enough to find good
+/// solutions on small fixtures.
+pub fn ci_tabu() -> TabuSearch {
+    TabuSearch { max_evaluations: 1_200, max_iterations: 200, ..TabuSearch::default() }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests over randomly generated universes: the invariants
+//! of the full pipeline must hold for *every* seed, not just the fixtures.
+
+use std::collections::BTreeSet;
+
+use mube_core::constraints::Constraints;
+use mube_core::matchop::{MatchOperator, MatchOutcome};
+use mube_core::SourceId;
+use mube_integration::{ci_tabu, Fixture};
+use proptest::prelude::*;
+
+/// Reduce the case count: each case generates a universe and solves.
+fn config() -> ProptestConfig {
+    ProptestConfig { cases: 12, ..ProptestConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(config())]
+
+    /// Whatever the seed, θ, and m, solutions satisfy the structural
+    /// invariants of the optimization problem.
+    #[test]
+    fn solutions_always_structurally_valid(
+        seed in 0u64..1000,
+        m in 2usize..10,
+        theta in 0.3f64..0.95,
+    ) {
+        let fx = Fixture::new(20, seed);
+        let problem = fx.problem(Constraints::with_max_sources(m).theta(theta));
+        let Ok(solution) = problem.solve(&ci_tabu(), seed) else {
+            // Feasibility can fail at extreme θ; that is a legal outcome.
+            return Ok(());
+        };
+        prop_assert!(!solution.sources.is_empty());
+        prop_assert!(solution.sources.len() <= m);
+        prop_assert!((0.0..=1.0).contains(&solution.quality));
+        prop_assert!(solution.schema.gas_disjoint());
+        for ga in solution.schema.gas() {
+            prop_assert!(ga.len() >= 2); // β default
+            for s in ga.sources() {
+                prop_assert!(solution.sources.contains(&s));
+            }
+        }
+    }
+
+    /// The matcher is a pure function of (universe, S, constraints).
+    #[test]
+    fn matcher_is_deterministic(seed in 0u64..1000, k in 2usize..8) {
+        let fx = Fixture::new(15, seed);
+        let sources: BTreeSet<SourceId> =
+            fx.synth.universe.source_ids().take(k).collect();
+        let constraints = Constraints::with_max_sources(k);
+        let a = fx.matcher.match_sources(&fx.synth.universe, &sources, &constraints);
+        let b = fx.matcher.match_sources(&fx.synth.universe, &sources, &constraints);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Matching a subset of sources never invents attributes from outside
+    /// the subset.
+    #[test]
+    fn matcher_stays_within_selection(seed in 0u64..1000, k in 2usize..8) {
+        let fx = Fixture::new(15, seed);
+        let sources: BTreeSet<SourceId> =
+            fx.synth.universe.source_ids().skip(2).take(k).collect();
+        let constraints = Constraints::with_max_sources(k);
+        if let MatchOutcome::Matched { schema, .. } =
+            fx.matcher.match_sources(&fx.synth.universe, &sources, &constraints)
+        {
+            for ga in schema.gas() {
+                for s in ga.sources() {
+                    prop_assert!(sources.contains(&s));
+                }
+            }
+        }
+    }
+
+    /// PCSA coverage estimates stay within a sane band of exact coverage
+    /// on arbitrary subsets of the generated universes.
+    #[test]
+    fn pcsa_union_estimates_track_exact(seed in 0u64..1000, k in 1usize..10) {
+        let fx = Fixture::new(20, seed);
+        let picks: Vec<SourceId> = fx.synth.universe.source_ids().take(k).collect();
+        let exact = fx.synth.exact_distinct(picks.iter().copied()) as f64;
+        let mut union = fx.synth.universe.source(picks[0]).signature().unwrap().clone();
+        for &s in &picks[1..] {
+            union.union_assign(fx.synth.universe.source(s).signature().unwrap()).unwrap();
+        }
+        let est = union.estimate();
+        // 64 bitmaps → ~10% standard error; allow a generous 45% band so
+        // the test is tight enough to catch real bugs but never flaky.
+        prop_assert!(exact > 0.0);
+        let err = (est - exact).abs() / exact;
+        prop_assert!(err < 0.45, "est={est} exact={exact} err={err}");
+    }
+
+    /// The generator always produces universes every component accepts.
+    #[test]
+    fn generated_universes_are_well_formed(seed in 0u64..1000, n in 5usize..30) {
+        let fx = Fixture::new(n, seed);
+        let u = &fx.synth.universe;
+        prop_assert_eq!(u.len(), n);
+        for s in u.sources() {
+            prop_assert!(!s.schema().is_empty());
+            prop_assert!(s.cardinality() > 0);
+            prop_assert!(s.cooperates());
+            prop_assert!(s.characteristic("mttf").unwrap() >= 1.0);
+        }
+        prop_assert!(u.total_cardinality() > 0);
+    }
+}
