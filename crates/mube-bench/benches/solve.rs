@@ -1,4 +1,4 @@
-//! End-to-end solve benchmarks: one µBE iteration under each optimizer at
+//! End-to-end solve benchmarks: one `µBE` iteration under each optimizer at
 //! a fixed small budget. This is the wall-clock a user feels per feedback
 //! round.
 
@@ -12,10 +12,22 @@ const BUDGET: u64 = 400;
 
 fn solvers() -> Vec<Box<dyn SubsetSolver>> {
     vec![
-        Box::new(TabuSearch { max_evaluations: BUDGET, ..TabuSearch::default() }),
-        Box::new(StochasticLocalSearch { max_evaluations: BUDGET, ..Default::default() }),
-        Box::new(SimulatedAnnealing { max_evaluations: BUDGET, ..Default::default() }),
-        Box::new(ParticleSwarm { max_evaluations: BUDGET, ..Default::default() }),
+        Box::new(TabuSearch {
+            max_evaluations: BUDGET,
+            ..TabuSearch::default()
+        }),
+        Box::new(StochasticLocalSearch {
+            max_evaluations: BUDGET,
+            ..Default::default()
+        }),
+        Box::new(SimulatedAnnealing {
+            max_evaluations: BUDGET,
+            ..Default::default()
+        }),
+        Box::new(ParticleSwarm {
+            max_evaluations: BUDGET,
+            ..Default::default()
+        }),
     ]
 }
 

@@ -1,6 +1,6 @@
 //! Ablation — attribute-similarity measure.
 //!
-//! µBE is measure-agnostic (§3); its prototype uses 3-gram Jaccard. This
+//! `µBE` is measure-agnostic (§3); its prototype uses 3-gram Jaccard. This
 //! ablation swaps the measure and scores the resulting schemas against the
 //! ground truth (Table 1 metrics), holding everything else fixed. It
 //! answers: how much of the matching quality comes from the measure versus
@@ -8,8 +8,8 @@
 
 use std::sync::Arc;
 
-use mube_core::qefs::paper_default_qefs;
 use mube_core::problem::Problem;
+use mube_core::qefs::paper_default_qefs;
 use mube_match::similarity::{JaccardNGram, NormalizedLevenshtein, Similarity, TokenDice};
 use mube_match::{ClusterMatcher, Ensemble};
 use mube_synth::{generate, SynthConfig};
@@ -57,9 +57,14 @@ pub fn sweep(scale: Scale) -> Vec<Row> {
     let mut rows = Vec::new();
     for measure in measures() {
         let name = measure.name().to_string();
-        let matcher =
-            Arc::new(ClusterMatcher::new(Arc::clone(&synth.universe), BoxedMeasure(measure)));
-        let setup = crate::Setup { synth: regenerate(&config), matcher: Arc::clone(&matcher) };
+        let matcher = Arc::new(ClusterMatcher::new(
+            Arc::clone(&synth.universe),
+            BoxedMeasure(measure),
+        ));
+        let setup = crate::Setup {
+            synth: regenerate(&config),
+            matcher: Arc::clone(&matcher),
+        };
         let constraints = Variant::Unconstrained.constraints(&setup, m, EXPERIMENT_SEED);
         let problem = Problem::new(
             Arc::clone(&setup.synth.universe),
@@ -72,8 +77,7 @@ pub fn sweep(scale: Scale) -> Vec<Row> {
             Scale::Paper => experiment_tabu(),
             Scale::Quick => scale.tabu(),
         };
-        let solved =
-            timed_solve(&problem, &tabu, EXPERIMENT_SEED).expect("workload is feasible");
+        let solved = timed_solve(&problem, &tabu, EXPERIMENT_SEED).expect("workload is feasible");
         let report = setup.synth.ground_truth.evaluate(
             &setup.synth.universe,
             &solved.solution.sources,
@@ -113,9 +117,7 @@ impl Similarity for BoxedMeasure {
 /// Runs the ablation and renders the report.
 pub fn run(scale: Scale) -> String {
     let rows = sweep(scale);
-    let mut out = String::from(
-        "## Ablation — similarity measure (choose 20 of 200, θ = 0.75)\n\n",
-    );
+    let mut out = String::from("## Ablation — similarity measure (choose 20 of 200, θ = 0.75)\n\n");
     out.push_str(&header(&[
         "measure",
         "true GAs",

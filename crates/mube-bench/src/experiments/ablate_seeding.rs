@@ -43,12 +43,16 @@ pub fn sweep(scale: Scale) -> Vec<Cell> {
         let constraints = Variant::Unconstrained.constraints(&setup, m, EXPERIMENT_SEED);
         let problem = setup.problem(constraints).expect("constraints are valid");
         for (label, init) in &strategies {
-            let tabu = TabuSearch { init: init.clone(), ..scale.tabu() };
+            let tabu = TabuSearch {
+                init: init.clone(),
+                ..scale.tabu()
+            };
             let mut qualities = Vec::new();
             let mut evals = Vec::new();
             for seed in 0..seeds {
-                let solved = timed_solve(&problem, &tabu as &dyn SubsetSolver, EXPERIMENT_SEED ^ seed)
-                    .expect("workload is feasible");
+                let solved =
+                    timed_solve(&problem, &tabu as &dyn SubsetSolver, EXPERIMENT_SEED ^ seed)
+                        .expect("workload is feasible");
                 qualities.push(solved.solution.quality);
                 evals.push(solved.solution.evaluations as f64);
             }

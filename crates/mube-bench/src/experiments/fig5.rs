@@ -38,7 +38,9 @@ pub fn sweep(scale: Scale) -> Vec<Point> {
         };
         for variant in Variant::paper_sweep() {
             let constraints = variant.constraints(&setup, m, EXPERIMENT_SEED);
-            let problem = setup.problem(constraints).expect("variant constraints are valid");
+            let problem = setup
+                .problem(constraints)
+                .expect("variant constraints are valid");
             let solved = timed_solve(&problem, &tabu, EXPERIMENT_SEED)
                 .expect("paper workloads are feasible");
             points.push(Point {
@@ -55,10 +57,14 @@ pub fn sweep(scale: Scale) -> Vec<Point> {
 /// Runs the experiment and renders the Figure 5 table.
 pub fn run(scale: Scale) -> String {
     let points = sweep(scale);
-    let mut out = String::from(
-        "## Figure 5 — execution time vs universe size (choose 20 sources)\n\n",
-    );
-    out.push_str(&header(&["universe size", "constraints", "time (s)", "quality"]));
+    let mut out =
+        String::from("## Figure 5 — execution time vs universe size (choose 20 sources)\n\n");
+    out.push_str(&header(&[
+        "universe size",
+        "constraints",
+        "time (s)",
+        "quality",
+    ]));
     out.push('\n');
     for p in &points {
         out.push_str(&row(&[

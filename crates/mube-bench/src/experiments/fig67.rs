@@ -38,7 +38,9 @@ pub fn sweep(scale: Scale) -> Vec<Point> {
     for &m in &ms {
         for variant in Variant::paper_sweep() {
             let constraints = variant.constraints(&setup, m, EXPERIMENT_SEED);
-            let problem = setup.problem(constraints).expect("variant constraints are valid");
+            let problem = setup
+                .problem(constraints)
+                .expect("variant constraints are valid");
             let solved = timed_solve(&problem, &scale.tabu(), EXPERIMENT_SEED)
                 .expect("paper workloads are feasible");
             points.push(Point {
@@ -58,7 +60,11 @@ pub fn render_fig6(points: &[Point]) -> String {
     let mut out = String::from(
         "## Figure 6 — execution time vs number of sources to choose (universe of 200)\n\n",
     );
-    out.push_str(&header(&["m (sources to choose)", "constraints", "time (s)"]));
+    out.push_str(&header(&[
+        "m (sources to choose)",
+        "constraints",
+        "time (s)",
+    ]));
     out.push('\n');
     for p in points {
         out.push_str(&row(&[
@@ -76,7 +82,12 @@ pub fn render_fig7(points: &[Point]) -> String {
     let mut out = String::from(
         "## Figure 7 — overall quality vs number of sources to choose (universe of 200)\n\n",
     );
-    out.push_str(&header(&["m (sources to choose)", "constraints", "quality Q(S)", "|S|"]));
+    out.push_str(&header(&[
+        "m (sources to choose)",
+        "constraints",
+        "quality Q(S)",
+        "|S|",
+    ]));
     out.push('\n');
     for p in points {
         out.push_str(&row(&[

@@ -3,7 +3,7 @@
 //! remaining weight split equally among the other QEFs).
 //!
 //! Expected shape: cardinality grows with the weight and the curve flattens
-//! after ≈ 0.5, "because by that time µBE is already choosing the solution
+//! after ≈ 0.5, "because by that time `µBE` is already choosing the solution
 //! that has the top cardinality sources satisfying the matching threshold".
 
 use mube_core::qefs::paper_default_qefs;
@@ -70,7 +70,12 @@ pub fn run(scale: Scale) -> String {
     let mut out = String::from(
         "## Figure 8 — solution cardinality vs weight of the Card QEF (choose 20 of 200)\n\n",
     );
-    out.push_str(&header(&["Card weight", "solution tuples", "Card score", "overall Q"]));
+    out.push_str(&header(&[
+        "Card weight",
+        "solution tuples",
+        "Card score",
+        "overall Q",
+    ]));
     out.push('\n');
     for p in &points {
         out.push_str(&row(&[

@@ -40,7 +40,10 @@ fn solvers(budget: u64) -> Vec<Box<dyn SubsetSolver>> {
             max_iterations: u64::MAX,
             ..crate::experiment_tabu()
         }),
-        Box::new(StochasticLocalSearch { max_evaluations: budget, ..Default::default() }),
+        Box::new(StochasticLocalSearch {
+            max_evaluations: budget,
+            ..Default::default()
+        }),
         Box::new(SimulatedAnnealing {
             max_evaluations: budget,
             // Cool slowly enough to use the whole budget.
@@ -101,7 +104,14 @@ pub fn run(scale: Scale) -> String {
     let mut out = String::from(
         "## Optimizer comparison — equal evaluation budgets, multiple seeds (choose 20 of 200)\n\n",
     );
-    out.push_str(&header(&["condition", "solver", "mean Q", "min Q", "max Q", "mean time (s)"]));
+    out.push_str(&header(&[
+        "condition",
+        "solver",
+        "mean Q",
+        "min Q",
+        "max Q",
+        "mean time (s)",
+    ]));
     out.push('\n');
     for r in &results {
         out.push_str(&row(&[
@@ -114,6 +124,8 @@ pub fn run(scale: Scale) -> String {
         ]));
         out.push('\n');
     }
-    out.push_str("\nPaper's claim: tabu search is more robust and finds higher-quality solutions.\n");
+    out.push_str(
+        "\nPaper's claim: tabu search is more robust and finds higher-quality solutions.\n",
+    );
     out
 }

@@ -41,21 +41,20 @@ pub fn sweep(scale: Scale) -> Vec<Accuracy> {
     };
     let mut out = Vec::new();
     // The same random unions are measured for every sketch configuration.
-    let sample_unions = |synth: &mube_synth::SynthUniverse,
-                         salt: u64|
-     -> Vec<Vec<mube_core::SourceId>> {
-        let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED ^ salt);
-        let all: Vec<_> = synth.universe.source_ids().collect();
-        (0..trials)
-            .map(|_| {
-                let k = rng.random_range(1..=20.min(all.len()));
-                let mut picks = all.clone();
-                picks.shuffle(&mut rng);
-                picks.truncate(k);
-                picks
-            })
-            .collect()
-    };
+    let sample_unions =
+        |synth: &mube_synth::SynthUniverse, salt: u64| -> Vec<Vec<mube_core::SourceId>> {
+            let mut rng = StdRng::seed_from_u64(EXPERIMENT_SEED ^ salt);
+            let all: Vec<_> = synth.universe.source_ids().collect();
+            (0..trials)
+                .map(|_| {
+                    let k = rng.random_range(1..=20.min(all.len()));
+                    let mut picks = all.clone();
+                    picks.shuffle(&mut rng);
+                    picks.truncate(k);
+                    picks
+                })
+                .collect()
+        };
     let summarize = |label: String, bytes: usize, errors: &[f64]| Accuracy {
         sketch: label,
         bytes,
@@ -72,8 +71,7 @@ pub fn sweep(scale: Scale) -> Vec<Accuracy> {
             .iter()
             .map(|picks| {
                 let exact = synth.exact_distinct(picks.iter().copied()) as f64;
-                let mut union =
-                    synth.universe.source(picks[0]).signature().unwrap().clone();
+                let mut union = synth.universe.source(picks[0]).signature().unwrap().clone();
                 for &s in &picks[1..] {
                     union
                         .union_assign(synth.universe.source(s).signature().unwrap())
@@ -114,7 +112,11 @@ pub fn sweep(scale: Scale) -> Vec<Accuracy> {
             })
             .collect();
         let bytes = sketches[0].size_bytes();
-        out.push(summarize(format!("HLL 2^{precision} registers"), bytes, &errors));
+        out.push(summarize(
+            format!("HLL 2^{precision} registers"),
+            bytes,
+            &errors,
+        ));
     }
     for k in [256usize, 1024] {
         let sketches: Vec<mube_sketch::KmvSketch> = synth
@@ -151,7 +153,12 @@ pub fn run(scale: Scale) -> String {
     let mut out = String::from(
         "## §7.3 — PCSA accuracy vs exact counting (random unions of up to 20 sources)\n\n",
     );
-    out.push_str(&header(&["sketch", "signature bytes", "mean error", "worst error"]));
+    out.push_str(&header(&[
+        "sketch",
+        "signature bytes",
+        "mean error",
+        "worst error",
+    ]));
     out.push('\n');
     for a in &accs {
         out.push_str(&row(&[

@@ -7,7 +7,7 @@
 //! perturbed weights and diff the solutions.
 //!
 //! The re-solves *warm-start* from the baseline solution
-//! ([`mube_opt::InitStrategy::Provided`]), matching µBE's iterative
+//! ([`mube_opt::InitStrategy::Provided`]), matching `µBE`'s iterative
 //! interaction model in which each run continues from the current solution.
 //! This isolates the effect of the weight change from search randomness: a
 //! cold restart of any stochastic search would differ from the baseline for
@@ -89,10 +89,14 @@ pub fn sweep(scale: Scale) -> Vec<Trial> {
 /// Runs the experiment and renders the report.
 pub fn run(scale: Scale) -> String {
     let trials = sweep(scale);
-    let mut out = String::from(
-        "## §7.4 — robustness to ±15% weight perturbation (choose 20 of 200)\n\n",
-    );
-    out.push_str(&header(&["trial", "sources changed", "GAs changed", "quality"]));
+    let mut out =
+        String::from("## §7.4 — robustness to ±15% weight perturbation (choose 20 of 200)\n\n");
+    out.push_str(&header(&[
+        "trial",
+        "sources changed",
+        "GAs changed",
+        "quality",
+    ]));
     out.push('\n');
     for t in &trials {
         out.push_str(&row(&[

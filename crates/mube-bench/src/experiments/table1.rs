@@ -2,7 +2,7 @@
 //! choosing 10–50 sources from a universe of 200 with no constraints.
 //!
 //! The synthetic Books domain has 14 distinct concepts, so there can be at
-//! most 14 true GAs. Expected shape: as µBE may choose more sources it
+//! most 14 true GAs. Expected shape: as `µBE` may choose more sources it
 //! finds more true GAs, misses fewer, covers more attributes — and never
 //! produces a false GA (precision stays perfect).
 
@@ -12,7 +12,7 @@ use mube_synth::GaQualityReport;
 /// One measured row.
 #[derive(Debug, Clone)]
 pub struct Row {
-    /// `m`, the number of sources µBE may choose.
+    /// `m`, the number of sources `µBE` may choose.
     pub m: usize,
     /// Sources actually selected.
     pub selected: usize,
@@ -41,7 +41,11 @@ pub fn sweep(scale: Scale) -> Vec<Row> {
             &solved.solution.sources,
             &solved.solution.schema,
         );
-        rows.push(Row { m, selected: solved.solution.sources.len(), report });
+        rows.push(Row {
+            m,
+            selected: solved.solution.sources.len(),
+            report,
+        });
     }
     rows
 }

@@ -1,4 +1,4 @@
-//! # mube-bench — the µBE experiment harness
+//! # mube-bench — the `µBE` experiment harness
 //!
 //! One binary per table/figure of the paper's evaluation (§7), plus
 //! criterion micro-benchmarks. Each binary prints the same rows/series the
@@ -62,8 +62,10 @@ impl Setup {
     /// Generates from an explicit config and seed.
     pub fn from_config(config: &SynthConfig, seed: u64) -> Self {
         let synth = generate(config, seed);
-        let matcher =
-            Arc::new(ClusterMatcher::new(Arc::clone(&synth.universe), JaccardNGram::trigram()));
+        let matcher = Arc::new(ClusterMatcher::new(
+            Arc::clone(&synth.universe),
+            JaccardNGram::trigram(),
+        ));
         Setup { synth, matcher }
     }
 
@@ -194,7 +196,10 @@ pub fn tabu_for_universe(universe_size: usize) -> TabuSearch {
         stall_limit: 30,
         max_iterations: 2_000,
         max_evaluations: 25_000,
-        init: mube_opt::InitStrategy::Greedy { sample: 8 + universe_size / 16 },
+        init: mube_opt::InitStrategy::Greedy {
+            sample: 8 + universe_size / 16,
+        },
+        trust_region: None,
     }
 }
 
@@ -231,7 +236,10 @@ impl Scale {
     pub fn tabu(&self) -> TabuSearch {
         match self {
             Scale::Paper => experiment_tabu(),
-            Scale::Quick => TabuSearch { max_evaluations: 800, ..experiment_tabu() },
+            Scale::Quick => TabuSearch {
+                max_evaluations: 800,
+                ..experiment_tabu()
+            },
         }
     }
 }
@@ -253,7 +261,10 @@ pub fn timed_solve(
 ) -> Result<TimedSolve, MubeError> {
     let start = Instant::now();
     let solution = problem.solve(solver, seed)?;
-    Ok(TimedSolve { solution, elapsed: start.elapsed() })
+    Ok(TimedSolve {
+        solution,
+        elapsed: start.elapsed(),
+    })
 }
 
 /// Convenience: the selected sources of a solution as a `BTreeSet`.
@@ -269,7 +280,10 @@ pub fn row(cells: &[String]) -> String {
 /// Prints a markdown-style header plus separator.
 pub fn header(cells: &[&str]) -> String {
     let head = format!("| {} |", cells.join(" | "));
-    let sep = format!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    let sep = format!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     format!("{head}\n{sep}")
 }
 
@@ -295,7 +309,7 @@ mod tests {
             let c = v.constraints(&setup, 15, 2);
             match v {
                 Variant::Unconstrained => {
-                    assert!(c.required_sources.is_empty() && c.required_gas.is_empty())
+                    assert!(c.required_sources.is_empty() && c.required_gas.is_empty());
                 }
                 Variant::Sources(n) => {
                     assert_eq!(c.required_sources.len(), n);

@@ -55,6 +55,25 @@ pub enum Command {
         /// Print the leave-one-out explanation.
         explain: bool,
     },
+    /// `mube lint`.
+    Lint {
+        /// Catalog file.
+        file: String,
+        /// Maximum sources `m` (defaults to the universe size).
+        max: Option<usize>,
+        /// Matching threshold θ.
+        theta: f64,
+        /// Minimum GA size β.
+        beta: usize,
+        /// Source names to pin (source constraints).
+        pins: Vec<String>,
+        /// `(qef, weight)` overrides.
+        weights: Vec<(String, f64)>,
+        /// Treat warnings as failures.
+        deny_warnings: bool,
+        /// Emit the findings as JSON instead of text.
+        json: bool,
+    },
     /// `mube help`.
     Help,
 }
@@ -67,7 +86,8 @@ fn take_value<'a, I: Iterator<Item = &'a str>>(
     flag: &str,
     iter: &mut I,
 ) -> Result<&'a str, CliError> {
-    iter.next().ok_or_else(|| bad(format!("{flag} needs a value")))
+    iter.next()
+        .ok_or_else(|| bad(format!("{flag} needs a value")))
 }
 
 fn parse_domain(s: &str) -> Result<DomainKind, CliError> {
@@ -99,12 +119,12 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                     "--sources" => {
                         sources = take_value(flag, &mut iter)?
                             .parse()
-                            .map_err(|_| bad("--sources needs an integer"))?
+                            .map_err(|_| bad("--sources needs an integer"))?;
                     }
                     "--seed" => {
                         seed = take_value(flag, &mut iter)?
                             .parse()
-                            .map_err(|_| bad("--seed needs an integer"))?
+                            .map_err(|_| bad("--seed needs an integer"))?;
                     }
                     "--domain" => domain = parse_domain(take_value(flag, &mut iter)?)?,
                     "--paper-scale" => paper_scale = true,
@@ -113,18 +133,28 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                 }
             }
             let out = out.ok_or_else(|| bad("gen requires --out FILE"))?;
-            Ok(Command::Gen { sources, seed, domain, paper_scale, out })
+            Ok(Command::Gen {
+                sources,
+                seed,
+                domain,
+                paper_scale,
+                out,
+            })
         }
         "validate" => {
             let file = iter.next().ok_or_else(|| bad("validate requires a FILE"))?;
             if let Some(extra) = iter.next() {
                 return Err(bad(format!("unexpected argument `{extra}`")));
             }
-            Ok(Command::Validate { file: file.to_string() })
+            Ok(Command::Validate {
+                file: file.to_string(),
+            })
         }
         "match" => {
-            let file =
-                iter.next().ok_or_else(|| bad("match requires a FILE"))?.to_string();
+            let file = iter
+                .next()
+                .ok_or_else(|| bad("match requires a FILE"))?
+                .to_string();
             let mut theta = 0.75f64;
             let mut sources = Vec::new();
             while let Some(flag) = iter.next() {
@@ -132,7 +162,7 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                     "--theta" => {
                         theta = take_value(flag, &mut iter)?
                             .parse()
-                            .map_err(|_| bad("--theta needs a number"))?
+                            .map_err(|_| bad("--theta needs a number"))?;
                     }
                     "--sources" => {
                         sources = take_value(flag, &mut iter)?
@@ -140,16 +170,22 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                             .map(str::trim)
                             .filter(|s| !s.is_empty())
                             .map(str::to_string)
-                            .collect()
+                            .collect();
                     }
                     other => return Err(bad(format!("unknown flag `{other}` for match"))),
                 }
             }
-            Ok(Command::Match { file, theta, sources })
+            Ok(Command::Match {
+                file,
+                theta,
+                sources,
+            })
         }
         "solve" => {
-            let file =
-                iter.next().ok_or_else(|| bad("solve requires a FILE"))?.to_string();
+            let file = iter
+                .next()
+                .ok_or_else(|| bad("solve requires a FILE"))?
+                .to_string();
             let mut max = 10usize;
             let mut theta = 0.75f64;
             let mut beta = 2usize;
@@ -163,22 +199,22 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                     "--max" => {
                         max = take_value(flag, &mut iter)?
                             .parse()
-                            .map_err(|_| bad("--max needs an integer"))?
+                            .map_err(|_| bad("--max needs an integer"))?;
                     }
                     "--theta" => {
                         theta = take_value(flag, &mut iter)?
                             .parse()
-                            .map_err(|_| bad("--theta needs a number"))?
+                            .map_err(|_| bad("--theta needs a number"))?;
                     }
                     "--beta" => {
                         beta = take_value(flag, &mut iter)?
                             .parse()
-                            .map_err(|_| bad("--beta needs an integer"))?
+                            .map_err(|_| bad("--beta needs an integer"))?;
                     }
                     "--seed" => {
                         seed = take_value(flag, &mut iter)?
                             .parse()
-                            .map_err(|_| bad("--seed needs an integer"))?
+                            .map_err(|_| bad("--seed needs an integer"))?;
                     }
                     "--solver" => {
                         solver = take_value(flag, &mut iter)?.to_string();
@@ -192,15 +228,80 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                         let (name, value) = spec
                             .split_once('=')
                             .ok_or_else(|| bad("--weight needs QEF=W"))?;
-                        let value: f64 =
-                            value.parse().map_err(|_| bad("--weight needs QEF=W"))?;
+                        let value: f64 = value.parse().map_err(|_| bad("--weight needs QEF=W"))?;
                         weights.push((name.to_string(), value));
                     }
                     "--explain" => explain = true,
                     other => return Err(bad(format!("unknown flag `{other}` for solve"))),
                 }
             }
-            Ok(Command::Solve { file, max, theta, beta, seed, solver, pins, weights, explain })
+            Ok(Command::Solve {
+                file,
+                max,
+                theta,
+                beta,
+                seed,
+                solver,
+                pins,
+                weights,
+                explain,
+            })
+        }
+        "lint" => {
+            let file = iter
+                .next()
+                .ok_or_else(|| bad("lint requires a FILE"))?
+                .to_string();
+            let mut max: Option<usize> = None;
+            let mut theta = 0.75f64;
+            let mut beta = 2usize;
+            let mut pins = Vec::new();
+            let mut weights = Vec::new();
+            let mut deny_warnings = false;
+            let mut json = false;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--max" => {
+                        max = Some(
+                            take_value(flag, &mut iter)?
+                                .parse()
+                                .map_err(|_| bad("--max needs an integer"))?,
+                        );
+                    }
+                    "--theta" => {
+                        theta = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--theta needs a number"))?;
+                    }
+                    "--beta" => {
+                        beta = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--beta needs an integer"))?;
+                    }
+                    "--pin" => pins.push(take_value(flag, &mut iter)?.to_string()),
+                    "--weight" => {
+                        let spec = take_value(flag, &mut iter)?;
+                        let (name, value) = spec
+                            .split_once('=')
+                            .ok_or_else(|| bad("--weight needs QEF=W"))?;
+                        let value: f64 = value.parse().map_err(|_| bad("--weight needs QEF=W"))?;
+                        weights.push((name.to_string(), value));
+                    }
+                    "--deny-warnings" => deny_warnings = true,
+                    "--json" => json = true,
+                    other => return Err(bad(format!("unknown flag `{other}` for lint"))),
+                }
+            }
+            Ok(Command::Lint {
+                file,
+                max,
+                theta,
+                beta,
+                pins,
+                weights,
+                deny_warnings,
+                json,
+            })
         }
         other => Err(bad(format!("unknown command `{other}`"))),
     }
@@ -235,11 +336,28 @@ mod tests {
             }
         );
         let c = p(&[
-            "gen", "--sources", "10", "--seed", "5", "--domain", "movies", "--paper-scale",
-            "--out", "m.cat",
+            "gen",
+            "--sources",
+            "10",
+            "--seed",
+            "5",
+            "--domain",
+            "movies",
+            "--paper-scale",
+            "--out",
+            "m.cat",
         ])
         .unwrap();
-        assert!(matches!(c, Command::Gen { sources: 10, seed: 5, domain: DomainKind::Movies, paper_scale: true, .. }));
+        assert!(matches!(
+            c,
+            Command::Gen {
+                sources: 10,
+                seed: 5,
+                domain: DomainKind::Movies,
+                paper_scale: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -251,7 +369,12 @@ mod tests {
 
     #[test]
     fn validate_takes_exactly_one_file() {
-        assert_eq!(p(&["validate", "a.cat"]).unwrap(), Command::Validate { file: "a.cat".into() });
+        assert_eq!(
+            p(&["validate", "a.cat"]).unwrap(),
+            Command::Validate {
+                file: "a.cat".into()
+            }
+        );
         assert!(p(&["validate"]).is_err());
         assert!(p(&["validate", "a", "b"]).is_err());
     }
@@ -272,13 +395,39 @@ mod tests {
     #[test]
     fn solve_full_flags() {
         let c = p(&[
-            "solve", "a.cat", "--max", "5", "--theta", "0.4", "--beta", "3", "--seed", "9",
-            "--solver", "annealing", "--pin", "s1", "--pin", "s2", "--weight",
-            "coverage=0.4", "--explain",
+            "solve",
+            "a.cat",
+            "--max",
+            "5",
+            "--theta",
+            "0.4",
+            "--beta",
+            "3",
+            "--seed",
+            "9",
+            "--solver",
+            "annealing",
+            "--pin",
+            "s1",
+            "--pin",
+            "s2",
+            "--weight",
+            "coverage=0.4",
+            "--explain",
         ])
         .unwrap();
         match c {
-            Command::Solve { max, theta, beta, seed, solver, pins, weights, explain, .. } => {
+            Command::Solve {
+                max,
+                theta,
+                beta,
+                seed,
+                solver,
+                pins,
+                weights,
+                explain,
+                ..
+            } => {
                 assert_eq!(max, 5);
                 assert_eq!(theta, 0.4);
                 assert_eq!(beta, 3);
@@ -290,6 +439,69 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn lint_defaults_and_flags() {
+        let c = p(&["lint", "a.cat"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Lint {
+                file: "a.cat".into(),
+                max: None,
+                theta: 0.75,
+                beta: 2,
+                pins: vec![],
+                weights: vec![],
+                deny_warnings: false,
+                json: false,
+            }
+        );
+        let c = p(&[
+            "lint",
+            "a.cat",
+            "--max",
+            "4",
+            "--theta",
+            "0.5",
+            "--beta",
+            "3",
+            "--pin",
+            "s1",
+            "--weight",
+            "coverage=0.4",
+            "--deny-warnings",
+            "--json",
+        ])
+        .unwrap();
+        match c {
+            Command::Lint {
+                max,
+                theta,
+                beta,
+                pins,
+                weights,
+                deny_warnings,
+                json,
+                ..
+            } => {
+                assert_eq!(max, Some(4));
+                assert_eq!(theta, 0.5);
+                assert_eq!(beta, 3);
+                assert_eq!(pins, vec!["s1"]);
+                assert_eq!(weights, vec![("coverage".to_string(), 0.4)]);
+                assert!(deny_warnings && json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_rejects_bad_input() {
+        assert!(p(&["lint"]).is_err());
+        assert!(p(&["lint", "a.cat", "--max", "many"]).is_err());
+        assert!(p(&["lint", "a.cat", "--warn-deny"]).is_err());
+        assert!(p(&["lint", "a.cat", "--weight", "coverage"]).is_err());
     }
 
     #[test]

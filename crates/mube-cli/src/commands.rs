@@ -5,8 +5,10 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use mube_audit::Analyzer;
 use mube_core::catalog;
 use mube_core::constraints::Constraints;
+use mube_core::diag::{DiagCode, Diagnostic};
 use mube_core::matchop::{MatchOperator, MatchOutcome};
 use mube_core::problem::Problem;
 use mube_core::qefs::{data_only_qefs, paper_default_qefs};
@@ -30,6 +32,9 @@ pub enum CliError {
     Io(std::io::Error),
     /// Engine error (bad catalog, conflicting constraints, ...).
     Engine(MubeError),
+    /// `mube lint` found problems; carries the rendered report. The binary
+    /// prints it to stdout and exits with a distinct code.
+    Lint(String),
 }
 
 impl PartialEq for CliError {
@@ -38,6 +43,7 @@ impl PartialEq for CliError {
             (CliError::Usage(a), CliError::Usage(b)) => a == b,
             (CliError::Engine(a), CliError::Engine(b)) => a == b,
             (CliError::Io(a), CliError::Io(b)) => a.kind() == b.kind(),
+            (CliError::Lint(a), CliError::Lint(b)) => a == b,
             _ => false,
         }
     }
@@ -49,6 +55,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(detail) => write!(f, "usage error: {detail}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Engine(e) => write!(f, "{e}"),
+            CliError::Lint(report) => write!(f, "{report}"),
         }
     }
 }
@@ -71,9 +78,18 @@ impl From<MubeError> for CliError {
 pub fn run(command: Command) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(crate::USAGE.to_string()),
-        Command::Gen { sources, seed, domain, paper_scale, out } => {
-            let mut config =
-                if paper_scale { SynthConfig::paper(sources) } else { SynthConfig::small(sources) };
+        Command::Gen {
+            sources,
+            seed,
+            domain,
+            paper_scale,
+            out,
+        } => {
+            let mut config = if paper_scale {
+                SynthConfig::paper(sources)
+            } else {
+                SynthConfig::small(sources)
+            };
             config.schema.domain = domain;
             let synth = generate(&config, seed);
             let text = catalog::to_text(&synth.universe);
@@ -107,13 +123,21 @@ pub fn run(command: Command) -> Result<String, CliError> {
                     source.name(),
                     source.schema().len(),
                     source.cardinality(),
-                    if source.cooperates() { "" } else { " (no signature)" }
+                    if source.cooperates() {
+                        ""
+                    } else {
+                        " (no signature)"
+                    }
                 )
                 .expect("string write");
             }
             Ok(out)
         }
-        Command::Match { file, theta, sources } => {
+        Command::Match {
+            file,
+            theta,
+            sources,
+        } => {
             let universe = Arc::new(load(&file)?);
             let selected = resolve_sources(&universe, &sources)?;
             let matcher = ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram());
@@ -130,13 +154,23 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 })),
             }
         }
-        Command::Solve { file, max, theta, beta, seed, solver, pins, weights, explain: want_explain } => {
+        Command::Solve {
+            file,
+            max,
+            theta,
+            beta,
+            seed,
+            solver,
+            pins,
+            weights,
+            explain: want_explain,
+        } => {
             let universe = Arc::new(load(&file)?);
             let mut constraints = Constraints::with_max_sources(max).theta(theta).beta(beta);
             for pin in &pins {
                 let id = universe
                     .source_by_name(pin)
-                    .map(|s| s.id())
+                    .map(mube_core::Source::id)
                     .ok_or_else(|| MubeError::UnknownAttribute {
                         detail: format!("source `{pin}`"),
                     })?;
@@ -144,14 +178,21 @@ pub fn run(command: Command) -> Result<String, CliError> {
             }
             // Use the characteristic-aware mix when sources carry an MTTF,
             // else the data-only mix.
-            let has_mttf = universe.sources().any(|s| s.characteristic("mttf").is_some());
-            let mut qefs =
-                if has_mttf { paper_default_qefs("mttf") } else { data_only_qefs() };
+            let has_mttf = universe
+                .sources()
+                .any(|s| s.characteristic("mttf").is_some());
+            let mut qefs = if has_mttf {
+                paper_default_qefs("mttf")
+            } else {
+                data_only_qefs()
+            };
             for (name, weight) in &weights {
                 qefs = qefs.reweighted(name, *weight)?;
             }
-            let matcher: Arc<dyn MatchOperator> =
-                Arc::new(ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram()));
+            let matcher: Arc<dyn MatchOperator> = Arc::new(ClusterMatcher::new(
+                Arc::clone(&universe),
+                JaccardNGram::trigram(),
+            ));
             let problem = Problem::new(Arc::clone(&universe), matcher, qefs, constraints)?;
             let solver = make_solver(&solver);
             let solution = problem.solve(solver.as_ref(), seed)?;
@@ -163,6 +204,75 @@ pub fn run(command: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Command::Lint {
+            file,
+            max,
+            theta,
+            beta,
+            pins,
+            weights,
+            deny_warnings,
+            json,
+        } => {
+            let universe = load(&file)?;
+            let mut constraints =
+                Constraints::with_max_sources(max.unwrap_or_else(|| universe.len()))
+                    .theta(theta)
+                    .beta(beta);
+
+            // Names that fail to resolve never become ids the analyzer
+            // could inspect, so synthesize their diagnostics here.
+            let mut unresolved: Vec<Diagnostic> = Vec::new();
+            for pin in &pins {
+                match universe.source_by_name(pin) {
+                    Some(s) => {
+                        constraints.required_sources.insert(s.id());
+                    }
+                    None => unresolved.push(Diagnostic::new(
+                        DiagCode::UnknownRequiredSource,
+                        format!("pinned source `{pin}` is not in the catalog"),
+                    )),
+                }
+            }
+            let has_mttf = universe
+                .sources()
+                .any(|s| s.characteristic("mttf").is_some());
+            let qefs = if has_mttf {
+                paper_default_qefs("mttf")
+            } else {
+                data_only_qefs()
+            };
+            for (name, _) in &weights {
+                if !qefs.iter().any(|(q, _)| q.name() == name) {
+                    unresolved.push(Diagnostic::new(
+                        DiagCode::InvalidQefWeight,
+                        format!("`{name}` does not name a QEF in this problem"),
+                    ));
+                }
+            }
+
+            let measure = JaccardNGram::trigram();
+            let mut report = Analyzer::new(&universe)
+                .constraints(&constraints)
+                .raw_weights(&weights)
+                .similarity(&measure)
+                .run();
+            for diagnostic in unresolved {
+                report.push(diagnostic);
+            }
+
+            let rendered = if json {
+                report.to_json(&universe)
+            } else {
+                report.display(&universe)
+            };
+            let failed = report.has_errors() || (deny_warnings && !report.is_clean());
+            if failed {
+                Err(CliError::Lint(rendered))
+            } else {
+                Ok(rendered)
+            }
+        }
     }
 }
 
@@ -171,21 +281,21 @@ fn load(file: &str) -> Result<Universe, CliError> {
     Ok(catalog::from_text(&text)?)
 }
 
-fn resolve_sources(
-    universe: &Universe,
-    names: &[String],
-) -> Result<BTreeSet<SourceId>, CliError> {
+fn resolve_sources(universe: &Universe, names: &[String]) -> Result<BTreeSet<SourceId>, CliError> {
     if names.is_empty() {
         return Ok(universe.source_ids().collect());
     }
     names
         .iter()
         .map(|name| {
-            universe.source_by_name(name).map(|s| s.id()).ok_or_else(|| {
-                CliError::Engine(MubeError::UnknownAttribute {
-                    detail: format!("source `{name}`"),
+            universe
+                .source_by_name(name)
+                .map(mube_core::Source::id)
+                .ok_or_else(|| {
+                    CliError::Engine(MubeError::UnknownAttribute {
+                        detail: format!("source `{name}`"),
+                    })
                 })
-            })
         })
         .collect()
 }
@@ -212,14 +322,7 @@ mod tests {
 
     fn gen_catalog(name: &str, n: usize) -> String {
         let path = tmp(name);
-        let cmd = parse(&[
-            "gen",
-            "--sources",
-            &n.to_string(),
-            "--out",
-            &path,
-        ])
-        .unwrap();
+        let cmd = parse(&["gen", "--sources", &n.to_string(), "--out", &path]).unwrap();
         run(cmd).unwrap();
         path
     }
@@ -256,7 +359,13 @@ mod tests {
     fn solve_with_explain_and_weights() {
         let path = gen_catalog("explain.cat", 10);
         let report = run(parse(&[
-            "solve", &path, "--max", "3", "--weight", "coverage=0.5", "--explain",
+            "solve",
+            &path,
+            "--max",
+            "3",
+            "--weight",
+            "coverage=0.5",
+            "--explain",
         ])
         .unwrap())
         .unwrap();
@@ -271,6 +380,85 @@ mod tests {
         assert!(run(parse(&["solve", &path, "--weight", "karma=0.5"]).unwrap()).is_err());
     }
 
+    /// Path to the committed known-infeasible fixture, resolved relative
+    /// to the workspace root.
+    fn infeasible_fixture() -> String {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../fixtures/infeasible.catalog"
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn lint_clean_catalog_passes() {
+        let path = gen_catalog("lint-clean.cat", 10);
+        let report = run(parse(&["lint", &path]).unwrap()).unwrap();
+        assert!(report.contains("no problems found"), "{report}");
+    }
+
+    #[test]
+    fn lint_fixture_fails_under_deny_warnings() {
+        let path = infeasible_fixture();
+        // Warnings alone pass by default...
+        let report = run(parse(&["lint", &path]).unwrap()).unwrap();
+        assert!(report.contains("warning[MUBE011]"), "{report}");
+        assert!(report.contains("warning[MUBE012]"), "{report}");
+        assert!(report.contains("warning[MUBE013]"), "{report}");
+        assert!(report.contains("warning[MUBE004]"), "{report}");
+        assert!(report.contains("warning[MUBE014]"), "{report}");
+        assert!(report.contains("0 errors"), "{report}");
+        // ...and fail under --deny-warnings.
+        let err = run(parse(&["lint", &path, "--deny-warnings"]).unwrap()).unwrap_err();
+        match err {
+            CliError::Lint(report) => assert!(report.contains("MUBE011"), "{report}"),
+            other => panic!("expected lint failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_errors_fail_without_deny_warnings() {
+        let path = gen_catalog("lint-err.cat", 5);
+        let err = run(parse(&["lint", &path, "--max", "0"]).unwrap()).unwrap_err();
+        match err {
+            CliError::Lint(report) => assert!(report.contains("error[MUBE010]"), "{report}"),
+            other => panic!("expected lint failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_reports_unresolved_names() {
+        let path = gen_catalog("lint-names.cat", 5);
+        let err = run(parse(&["lint", &path, "--pin", "ghost", "--weight", "karma=1.0"]).unwrap())
+            .unwrap_err();
+        match err {
+            CliError::Lint(report) => {
+                assert!(report.contains("pinned source `ghost`"), "{report}");
+                assert!(report.contains("`karma` does not name a QEF"), "{report}");
+            }
+            other => panic!("expected lint failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_json_output() {
+        let path = infeasible_fixture();
+        let err = run(parse(&["lint", &path, "--deny-warnings", "--json"]).unwrap()).unwrap_err();
+        match err {
+            CliError::Lint(json) => {
+                assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+                assert!(json.contains("\"code\":\"MUBE013\""), "{json}");
+                assert!(json.contains("\"severity\":\"warning\""), "{json}");
+                assert!(json.contains("\"archive\""), "{json}");
+            }
+            other => panic!("expected lint failure, got {other:?}"),
+        }
+        // Clean catalogs produce an empty JSON array.
+        let clean = gen_catalog("lint-json-clean.cat", 8);
+        let out = run(parse(&["lint", &clean, "--json"]).unwrap()).unwrap();
+        assert_eq!(out, "[]");
+    }
+
     #[test]
     fn validate_missing_file_is_io_error() {
         let err = run(parse(&["validate", "/nonexistent/x.cat"]).unwrap()).unwrap_err();
@@ -281,7 +469,12 @@ mod tests {
     fn match_on_named_subset() {
         let path = gen_catalog("subset.cat", 10);
         let report = run(parse(&[
-            "match", &path, "--theta", "0.75", "--sources", "site0000,site0001",
+            "match",
+            &path,
+            "--theta",
+            "0.75",
+            "--sources",
+            "site0000,site0001",
         ])
         .unwrap())
         .unwrap();
@@ -292,7 +485,13 @@ mod tests {
     fn gen_other_domains() {
         let path = tmp("movies.cat");
         let report = run(parse(&[
-            "gen", "--sources", "8", "--domain", "movies", "--out", &path,
+            "gen",
+            "--sources",
+            "8",
+            "--domain",
+            "movies",
+            "--out",
+            &path,
         ])
         .unwrap())
         .unwrap();

@@ -1,6 +1,6 @@
 //! # mube-cli — the `mube` command-line tool
 //!
-//! A thin, dependency-free command-line front end over the µBE engine,
+//! A thin, dependency-free command-line front end over the `µBE` engine,
 //! working on plain-text source catalogs (see `mube_core::catalog`):
 //!
 //! ```text
@@ -32,6 +32,9 @@ USAGE:
     mube solve    FILE [--max M] [--theta T] [--beta B] [--seed S]
                        [--solver tabu|sls|annealing|pso]
                        [--pin NAME]... [--weight QEF=W]... [--explain]
+    mube lint     FILE [--max M] [--theta T] [--beta B]
+                       [--pin NAME]... [--weight QEF=W]...
+                       [--deny-warnings] [--json]
     mube help
 
 COMMANDS:
@@ -41,4 +44,7 @@ COMMANDS:
     validate   Parse a catalog and print per-source statistics
     match      Run schema matching over sources (no selection)
     solve      Select at most --max sources and mediate a schema
+    lint       Statically audit a catalog + constraints before solving;
+               exits 2 when MUBE0xx errors (or, with --deny-warnings,
+               any finding) are reported
     help       Show this message";

@@ -9,6 +9,12 @@ fn main() -> ExitCode {
             println!("{output}");
             ExitCode::SUCCESS
         }
+        // Lint findings are the command's product, not a malfunction:
+        // print them to stdout but still fail (distinct code for scripts).
+        Err(mube_cli::CliError::Lint(report)) => {
+            println!("{report}");
+            ExitCode::from(2)
+        }
         Err(error) => {
             eprintln!("mube: {error}");
             if matches!(error, mube_cli::CliError::Usage(_)) {

@@ -1,6 +1,6 @@
 //! Plain-text catalogs of source descriptions.
 //!
-//! µBE's input is "the descriptions of a large number of data sources,
+//! `µBE`'s input is "the descriptions of a large number of data sources,
 //! their schemas, their data characteristics, and other source
 //! characteristics" (§1), obtained from a source-discovery mechanism or
 //! provided by the user. This module defines a simple line-oriented text
@@ -92,8 +92,9 @@ pub fn from_text(text: &str) -> Result<Universe, MubeError> {
                 current = Some(PendingSource::new(name.join(" ")));
             }
             "attr" => {
-                let pending =
-                    current.as_mut().ok_or_else(|| err("`attr` before any `source`".into()))?;
+                let pending = current
+                    .as_mut()
+                    .ok_or_else(|| err("`attr` before any `source`".into()))?;
                 let name: Vec<&str> = words.collect();
                 if name.is_empty() {
                     return Err(err("`attr` needs a name".into()));
@@ -139,8 +140,7 @@ pub fn from_text(text: &str) -> Result<Universe, MubeError> {
                     .next()
                     .and_then(|w| u64::from_str_radix(w, 16).ok())
                     .ok_or_else(|| err("`signature` needs a hex seed".into()))?;
-                let maps: Result<Vec<u64>, _> =
-                    words.map(|w| u64::from_str_radix(w, 16)).collect();
+                let maps: Result<Vec<u64>, _> = words.map(|w| u64::from_str_radix(w, 16)).collect();
                 let maps = maps.map_err(|_| err("signature bitmaps must be hex".into()))?;
                 if num_maps == 0 || !num_maps.is_power_of_two() || !(1..=64).contains(&map_bits) {
                     return Err(err(format!(
@@ -210,7 +210,10 @@ mod tests {
                 .characteristic("mttf", 93.5)
                 .signature(sig),
         );
-        b.add_source(SourceSpec::new("aceticket.com", Schema::new(["state", "city", "event name"])));
+        b.add_source(SourceSpec::new(
+            "aceticket.com",
+            Schema::new(["state", "city", "event name"]),
+        ));
         b.build().unwrap()
     }
 
@@ -277,7 +280,10 @@ mod tests {
 
     #[test]
     fn empty_catalog_rejected() {
-        assert!(matches!(from_text("# nothing\n"), Err(MubeError::EmptyUniverse)));
+        assert!(matches!(
+            from_text("# nothing\n"),
+            Err(MubeError::EmptyUniverse)
+        ));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! User constraints on the optimization problem (§2.4 of the paper).
 //!
-//! Users guide µBE with two kinds of constraints: *source constraints* (a
+//! Users guide `µBE` with two kinds of constraints: *source constraints* (a
 //! particular source must be part of the solution) and *GA constraints* (a
 //! partial GA the output mediated schema must subsume — "matching by
 //! example"). Together with the scalar parameters `m` (max sources), `θ`
@@ -105,7 +105,9 @@ impl Constraints {
         for ga in &self.required_gas {
             for a in ga.attrs() {
                 if !universe.contains_attr(*a) {
-                    return Err(MubeError::UnknownAttribute { detail: a.to_string() });
+                    return Err(MubeError::UnknownAttribute {
+                        detail: a.to_string(),
+                    });
                 }
             }
         }
@@ -199,7 +201,9 @@ mod tests {
     #[test]
     fn ga_constraints_imply_source_constraints() {
         let ga = GlobalAttribute::try_new([a(0, 0), a(2, 1)]).unwrap();
-        let c = Constraints::with_max_sources(5).require_source(SourceId(1)).require_ga(ga);
+        let c = Constraints::with_max_sources(5)
+            .require_source(SourceId(1))
+            .require_ga(ga);
         let eff = c.effective_required_sources();
         assert_eq!(eff, [SourceId(0), SourceId(1), SourceId(2)].into());
     }
@@ -236,7 +240,10 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_theta() {
-        let c = Constraints { theta: 1.5, ..Constraints::with_max_sources(5) };
+        let c = Constraints {
+            theta: 1.5,
+            ..Constraints::with_max_sources(5)
+        };
         assert!(matches!(
             c.validate(&small_universe()),
             Err(MubeError::InvalidParameter { .. })
@@ -248,7 +255,9 @@ mod tests {
         // g1 and g2 share a0.0 but bring different attributes of source 1.
         let g1 = GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap();
         let g2 = GlobalAttribute::try_new([a(0, 0), a(1, 1)]).unwrap();
-        let c = Constraints::with_max_sources(5).require_ga(g1).require_ga(g2);
+        let c = Constraints::with_max_sources(5)
+            .require_ga(g1)
+            .require_ga(g2);
         assert!(matches!(
             c.validate(&small_universe()),
             Err(MubeError::ConstraintConflict { .. })

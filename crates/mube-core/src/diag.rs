@@ -1,0 +1,384 @@
+//! Structured diagnostics for pre-solve feasibility analysis.
+//!
+//! `µBE` sessions can burn a full optimization budget only to report "no
+//! feasible solution" — or quietly return a degenerate one — when the
+//! *inputs* were already contradictory: more pinned sources than `m`, a GA
+//! constraint referencing an attribute that does not exist, a `θ` no pair of
+//! attribute names can reach. The `mube-audit` crate detects those
+//! conditions statically; this module defines the diagnostic vocabulary it
+//! (and the `mube lint` CLI) report in: stable codes, severities, and the
+//! offending source/attribute ids, so tools can match on codes while humans
+//! read the rendered report (see [`crate::explain::lint_report`]).
+
+use std::fmt;
+
+use crate::ids::{AttrId, SourceId};
+use crate::source::Universe;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The problem is definitely broken: solving cannot succeed (or the
+    /// constraints cannot even be constructed).
+    Error,
+    /// The problem is degenerate or suspicious but may still solve.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. The `MUBE0xx` string of each code is part of
+/// the public interface: scripts may match on it, so codes are never
+/// renumbered or reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// MUBE001: the effective required sources (pins plus GA-constraint
+    /// sources) exceed `m`.
+    RequiredSourcesExceedMax,
+    /// MUBE002: a required GA references an attribute not in the universe.
+    GaUnknownAttribute,
+    /// MUBE003: required GAs overlap but cannot merge into a valid GA
+    /// (their union would take two attributes from one source, violating
+    /// Definition 1).
+    GaConstraintsUnmergeable,
+    /// MUBE004: `θ` exceeds the best similarity any pair of attributes from
+    /// different sources can reach, so no non-seed GA can form.
+    ThetaUnsatisfiable,
+    /// MUBE005: `β` exceeds the largest GA any feasible solution could
+    /// contain (`min(m, |U|)` — a GA takes at most one attribute per
+    /// selected source).
+    BetaExceedsFeasibleGa,
+    /// MUBE006: an attribute appears in more than one required GA; the
+    /// overlapping constraints will be merged into one seed.
+    AttrInMultipleRequiredGas,
+    /// MUBE007: a QEF weight is non-finite, outside `[0, 1]`, duplicated,
+    /// or the weights do not sum to 1.
+    InvalidQefWeight,
+    /// MUBE008: a required source id is not in the universe.
+    UnknownRequiredSource,
+    /// MUBE009: `θ` outside `[0, 1]`.
+    ThetaOutOfRange,
+    /// MUBE010: `m` is zero — no solution can select any source.
+    ZeroMaxSources,
+    /// MUBE011: a source schema has two attributes that normalize to the
+    /// same name; matching cannot tell them apart.
+    DuplicateAttributeNames,
+    /// MUBE012: a source reports zero tuples; it can only dilute
+    /// cardinality/coverage scores.
+    ZeroCardinalitySource,
+    /// MUBE013: two sources share a name; name-based constraints (CLI pins,
+    /// `require_ga_by_names`) resolve to the first one only.
+    DuplicateSourceNames,
+    /// MUBE014: no attribute of this source reaches similarity `θ` with any
+    /// attribute of another source, so it can never join a (non-seed) GA.
+    IsolatedSource,
+}
+
+impl DiagCode {
+    /// Every code, for catalogs and docs.
+    pub const ALL: [DiagCode; 14] = [
+        DiagCode::RequiredSourcesExceedMax,
+        DiagCode::GaUnknownAttribute,
+        DiagCode::GaConstraintsUnmergeable,
+        DiagCode::ThetaUnsatisfiable,
+        DiagCode::BetaExceedsFeasibleGa,
+        DiagCode::AttrInMultipleRequiredGas,
+        DiagCode::InvalidQefWeight,
+        DiagCode::UnknownRequiredSource,
+        DiagCode::ThetaOutOfRange,
+        DiagCode::ZeroMaxSources,
+        DiagCode::DuplicateAttributeNames,
+        DiagCode::ZeroCardinalitySource,
+        DiagCode::DuplicateSourceNames,
+        DiagCode::IsolatedSource,
+    ];
+
+    /// The stable `MUBE0xx` identifier.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagCode::RequiredSourcesExceedMax => "MUBE001",
+            DiagCode::GaUnknownAttribute => "MUBE002",
+            DiagCode::GaConstraintsUnmergeable => "MUBE003",
+            DiagCode::ThetaUnsatisfiable => "MUBE004",
+            DiagCode::BetaExceedsFeasibleGa => "MUBE005",
+            DiagCode::AttrInMultipleRequiredGas => "MUBE006",
+            DiagCode::InvalidQefWeight => "MUBE007",
+            DiagCode::UnknownRequiredSource => "MUBE008",
+            DiagCode::ThetaOutOfRange => "MUBE009",
+            DiagCode::ZeroMaxSources => "MUBE010",
+            DiagCode::DuplicateAttributeNames => "MUBE011",
+            DiagCode::ZeroCardinalitySource => "MUBE012",
+            DiagCode::DuplicateSourceNames => "MUBE013",
+            DiagCode::IsolatedSource => "MUBE014",
+        }
+    }
+
+    /// The severity this code always reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::RequiredSourcesExceedMax
+            | DiagCode::GaUnknownAttribute
+            | DiagCode::GaConstraintsUnmergeable
+            | DiagCode::InvalidQefWeight
+            | DiagCode::UnknownRequiredSource
+            | DiagCode::ThetaOutOfRange
+            | DiagCode::ZeroMaxSources => Severity::Error,
+            DiagCode::ThetaUnsatisfiable
+            | DiagCode::BetaExceedsFeasibleGa
+            | DiagCode::AttrInMultipleRequiredGas
+            | DiagCode::DuplicateAttributeNames
+            | DiagCode::ZeroCardinalitySource
+            | DiagCode::DuplicateSourceNames
+            | DiagCode::IsolatedSource => Severity::Warning,
+        }
+    }
+
+    /// A short kebab-case slug naming the condition.
+    pub fn title(self) -> &'static str {
+        match self {
+            DiagCode::RequiredSourcesExceedMax => "required-sources-exceed-max",
+            DiagCode::GaUnknownAttribute => "required-ga-references-unknown-attribute",
+            DiagCode::GaConstraintsUnmergeable => "required-gas-cannot-merge",
+            DiagCode::ThetaUnsatisfiable => "theta-unsatisfiable",
+            DiagCode::BetaExceedsFeasibleGa => "beta-exceeds-feasible-ga",
+            DiagCode::AttrInMultipleRequiredGas => "attribute-in-multiple-required-gas",
+            DiagCode::InvalidQefWeight => "invalid-qef-weight",
+            DiagCode::UnknownRequiredSource => "unknown-required-source",
+            DiagCode::ThetaOutOfRange => "theta-out-of-range",
+            DiagCode::ZeroMaxSources => "zero-max-sources",
+            DiagCode::DuplicateAttributeNames => "duplicate-attribute-names",
+            DiagCode::ZeroCardinalitySource => "zero-cardinality-source",
+            DiagCode::DuplicateSourceNames => "duplicate-source-names",
+            DiagCode::IsolatedSource => "isolated-source",
+        }
+    }
+
+    /// A fixed one-paragraph remediation hint, rendered as the `help:` line
+    /// of the report.
+    pub fn help(self) -> &'static str {
+        match self {
+            DiagCode::RequiredSourcesExceedMax => {
+                "raise max_sources, unpin sources, or drop GA constraints \
+                 (each GA constraint implicitly pins its sources)"
+            }
+            DiagCode::GaUnknownAttribute => {
+                "check the (source, attribute-index) pairs of the GA \
+                 constraint against the catalog"
+            }
+            DiagCode::GaConstraintsUnmergeable => {
+                "the output GAs are disjoint, so overlapping GA constraints \
+                 must merge into one valid GA; a valid GA takes at most one \
+                 attribute per source (Definition 1)"
+            }
+            DiagCode::ThetaUnsatisfiable => {
+                "lower theta, or provide GA constraints: seed GAs bypass the \
+                 threshold"
+            }
+            DiagCode::BetaExceedsFeasibleGa => {
+                "a GA spans at most one attribute per selected source, so no \
+                 GA can reach beta attributes; lower beta or raise max_sources"
+            }
+            DiagCode::AttrInMultipleRequiredGas => {
+                "overlapping GA constraints are merged into a single seed; \
+                 state the merged GA once if that is the intent"
+            }
+            DiagCode::InvalidQefWeight => {
+                "QEF weights must each be finite, within [0, 1], unique per \
+                 QEF, and sum to 1"
+            }
+            DiagCode::UnknownRequiredSource => "check the pinned source against the catalog",
+            DiagCode::ThetaOutOfRange => "theta is a similarity bound in [0, 1]",
+            DiagCode::ZeroMaxSources => "max_sources must be at least 1",
+            DiagCode::DuplicateAttributeNames => {
+                "attribute names are normalized (lowercased, whitespace \
+                 collapsed); rename one of the colliding attributes"
+            }
+            DiagCode::ZeroCardinalitySource => {
+                "a source with no tuples contributes nothing to coverage or \
+                 cardinality; consider removing it from the catalog"
+            }
+            DiagCode::DuplicateSourceNames => {
+                "rename one of the sources; name lookups return the first \
+                 match only"
+            }
+            DiagCode::IsolatedSource => {
+                "the source can still be selected for its data, but it will \
+                 never share a GA; lower theta or bridge it with a GA \
+                 constraint"
+            }
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One finding: a code plus the specific ids it is about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// What was found.
+    pub code: DiagCode,
+    /// Instance-specific description (ids, values, limits).
+    pub message: String,
+    /// Sources the finding is about, if any.
+    pub sources: Vec<SourceId>,
+    /// Attributes the finding is about, if any.
+    pub attrs: Vec<AttrId>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no offending ids attached.
+    pub fn new(code: DiagCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            message: message.into(),
+            sources: Vec::new(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Attaches offending sources (builder style).
+    pub fn with_sources<I: IntoIterator<Item = SourceId>>(mut self, sources: I) -> Self {
+        self.sources = sources.into_iter().collect();
+        self
+    }
+
+    /// Attaches offending attributes (builder style).
+    pub fn with_attrs<I: IntoIterator<Item = AttrId>>(mut self, attrs: I) -> Self {
+        self.attrs = attrs.into_iter().collect();
+        self
+    }
+
+    /// The severity (always determined by the code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Renders the diagnostic with ids resolved to names against a universe.
+    pub fn display<'a>(&'a self, universe: &'a Universe) -> DiagnosticDisplay<'a> {
+        DiagnosticDisplay {
+            diagnostic: self,
+            universe,
+        }
+    }
+}
+
+/// [`fmt::Display`] adaptor produced by [`Diagnostic::display`].
+pub struct DiagnosticDisplay<'a> {
+    diagnostic: &'a Diagnostic,
+    universe: &'a Universe,
+}
+
+impl fmt::Display for DiagnosticDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.diagnostic;
+        writeln!(
+            f,
+            "{}[{}]: {} — {}",
+            d.severity(),
+            d.code.code(),
+            d.code.title(),
+            d.message
+        )?;
+        if !d.sources.is_empty() {
+            let names: Vec<String> = d
+                .sources
+                .iter()
+                .map(|&s| {
+                    self.universe
+                        .get(s)
+                        .map_or_else(|| s.to_string(), |src| src.name().to_string())
+                })
+                .collect();
+            writeln!(f, "  sources: {}", names.join(", "))?;
+        }
+        if !d.attrs.is_empty() {
+            let names: Vec<String> = d
+                .attrs
+                .iter()
+                .map(|&a| {
+                    self.universe
+                        .attr_name(a)
+                        .map_or_else(|| a.to_string(), |n| format!("{a} ({n})"))
+                })
+                .collect();
+            writeln!(f, "  attributes: {}", names.join(", "))?;
+        }
+        write!(f, "  help: {}", d.code.help())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let codes: std::collections::BTreeSet<_> = DiagCode::ALL.iter().map(|c| c.code()).collect();
+        assert_eq!(codes.len(), DiagCode::ALL.len());
+        for c in DiagCode::ALL {
+            assert!(c.code().starts_with("MUBE"), "{}", c.code());
+            assert_eq!(c.code().len(), 7);
+            assert!(!c.title().is_empty());
+            assert!(!c.help().is_empty());
+        }
+        assert_eq!(DiagCode::RequiredSourcesExceedMax.code(), "MUBE001");
+        assert_eq!(DiagCode::IsolatedSource.code(), "MUBE014");
+    }
+
+    #[test]
+    fn severity_partition() {
+        let errors = DiagCode::ALL
+            .iter()
+            .filter(|c| c.severity() == Severity::Error)
+            .count();
+        let warnings = DiagCode::ALL
+            .iter()
+            .filter(|c| c.severity() == Severity::Warning)
+            .count();
+        assert_eq!(errors + warnings, DiagCode::ALL.len());
+        assert_eq!(errors, 7);
+    }
+
+    #[test]
+    fn display_resolves_names() {
+        use crate::schema::Schema;
+        use crate::source::SourceSpec;
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("shop", Schema::new(["title"])));
+        let u = b.build().unwrap();
+        let d = Diagnostic::new(DiagCode::ZeroCardinalitySource, "no tuples")
+            .with_sources([SourceId(0)])
+            .with_attrs([AttrId::new(SourceId(0), 0)]);
+        let text = d.display(&u).to_string();
+        assert!(text.contains("warning[MUBE012]"), "{text}");
+        assert!(text.contains("shop"), "{text}");
+        assert!(text.contains("a0.0 (title)"), "{text}");
+        assert!(text.contains("help:"), "{text}");
+    }
+
+    #[test]
+    fn display_survives_unknown_ids() {
+        use crate::schema::Schema;
+        use crate::source::SourceSpec;
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("s", Schema::new(["x"])));
+        let u = b.build().unwrap();
+        let d = Diagnostic::new(DiagCode::UnknownRequiredSource, "ghost pin")
+            .with_sources([SourceId(99)])
+            .with_attrs([AttrId::new(SourceId(99), 0)]);
+        let text = d.display(&u).to_string();
+        assert!(text.contains("s99"), "{text}");
+        assert!(text.contains("a99.0"), "{text}");
+    }
+}

@@ -1,8 +1,8 @@
-//! Error types for the µBE core.
+//! Error types for the `µBE` core.
 
 use crate::ids::SourceId;
 
-/// Errors raised by the µBE core library.
+/// Errors raised by the `µBE` core library.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MubeError {
     /// A universe must contain at least one source.
@@ -100,9 +100,13 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MubeError::GaSourceConflict { source: SourceId(4) };
+        let e = MubeError::GaSourceConflict {
+            source: SourceId(4),
+        };
         assert!(e.to_string().contains("s4"));
-        let e = MubeError::InvalidWeights { detail: "sum is 0.9".into() };
+        let e = MubeError::InvalidWeights {
+            detail: "sum is 0.9".into(),
+        };
         assert!(e.to_string().contains("0.9"));
     }
 }

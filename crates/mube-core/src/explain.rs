@@ -10,7 +10,9 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::fmt::Write as _;
 
+use crate::diag::{Diagnostic, Severity};
 use crate::ids::SourceId;
 use crate::problem::{CandidateEval, Problem};
 use crate::solution::Solution;
@@ -74,11 +76,9 @@ pub fn explain(problem: &Problem, solution: &Solution) -> Explanation {
         };
         contributions.push(contribution);
     }
-    contributions.sort_by(|a, b| {
-        b.quality_delta
-            .partial_cmp(&a.quality_delta)
-            .expect("quality deltas are not NaN")
-    });
+    // total_cmp: a user-written QEF returning NaN should not panic the
+    // explanation (NaN sorts last, after +∞ for required sources).
+    contributions.sort_by(|a, b| b.quality_delta.total_cmp(&a.quality_delta));
     Explanation { contributions }
 }
 
@@ -99,7 +99,10 @@ impl Explanation {
 
     /// Renders with resolved source names.
     pub fn display<'a>(&'a self, universe: &'a Universe) -> ExplanationDisplay<'a> {
-        ExplanationDisplay { explanation: self, universe }
+        ExplanationDisplay {
+            explanation: self,
+            universe,
+        }
     }
 }
 
@@ -112,7 +115,11 @@ pub struct ExplanationDisplay<'a> {
 impl fmt::Display for ExplanationDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for c in &self.explanation.contributions {
-            let name = self.universe.source(c.source).name();
+            // Tolerate a foreign universe: fall back to the raw id.
+            let name = self
+                .universe
+                .get(c.source)
+                .map_or_else(|| c.source.to_string(), |s| s.name().to_string());
             if c.removal_infeasible {
                 writeln!(f, "  {name}: required (removal infeasible)")?;
                 continue;
@@ -120,13 +127,42 @@ impl fmt::Display for ExplanationDisplay<'_> {
             let top = c
                 .qef_deltas
                 .iter()
-                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+                .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
                 .map(|(n, d)| format!("{n} {d:+.4}"))
                 .unwrap_or_default();
             writeln!(f, "  {name}: ΔQ = {:+.4} (mostly {top})", c.quality_delta)?;
         }
         Ok(())
     }
+}
+
+/// Renders a batch of diagnostics (see [`crate::diag`]) as a lint report:
+/// one [`Diagnostic::display`] block per finding, errors before warnings,
+/// followed by a summary line. The empty report is the string
+/// `"no problems found"`.
+pub fn lint_report(diagnostics: &[Diagnostic], universe: &Universe) -> String {
+    if diagnostics.is_empty() {
+        return "no problems found".to_string();
+    }
+    let mut ordered: Vec<&Diagnostic> = diagnostics.iter().collect();
+    ordered.sort_by_key(|d| (d.severity(), d.code));
+    let mut out = String::new();
+    for d in &ordered {
+        writeln!(out, "{}", d.display(universe)).expect("string write");
+    }
+    let errors = ordered
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .count();
+    let warnings = ordered.len() - errors;
+    write!(
+        out,
+        "{errors} error{}, {warnings} warning{}",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" }
+    )
+    .expect("string write");
+    out
 }
 
 #[cfg(test)]
@@ -182,7 +218,9 @@ mod tests {
             Arc::new(b.build().unwrap()),
             Arc::new(IdentityMatcher),
             data_only_qefs(),
-            Constraints::with_max_sources(2).beta(1).require_source(SourceId(1)),
+            Constraints::with_max_sources(2)
+                .beta(1)
+                .require_source(SourceId(1)),
         )
         .unwrap();
         let sol = solution_of(&p, &[0, 1]);
@@ -231,5 +269,23 @@ mod tests {
         let text = ex.display(p.universe()).to_string();
         assert!(text.contains("big"));
         assert!(text.contains("ΔQ"));
+    }
+
+    #[test]
+    fn lint_report_orders_and_summarizes() {
+        use crate::diag::{DiagCode, Diagnostic};
+        let p = problem();
+        let diagnostics = vec![
+            Diagnostic::new(DiagCode::ZeroCardinalitySource, "no tuples")
+                .with_sources([SourceId(1)]),
+            Diagnostic::new(DiagCode::ZeroMaxSources, "m = 0"),
+        ];
+        let text = lint_report(&diagnostics, p.universe());
+        assert!(text.contains("1 error, 1 warning"), "{text}");
+        // Errors come first even though they were pushed second.
+        let err_pos = text.find("MUBE010").unwrap();
+        let warn_pos = text.find("MUBE012").unwrap();
+        assert!(err_pos < warn_pos, "{text}");
+        assert_eq!(lint_report(&[], p.universe()), "no problems found");
     }
 }

@@ -4,7 +4,7 @@
 //! sources, that all express the same concept; a *mediated schema* is a set of
 //! pairwise-disjoint GAs spanning the selected sources. GAs are deliberately
 //! unnamed: the GA *is* the matching, and giving the user GAs (rather than
-//! named mediated attributes) is what makes µBE's output directly reusable as
+//! named mediated attributes) is what makes `µBE`'s output directly reusable as
 //! the constraint input of the next iteration.
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -87,8 +87,11 @@ impl GlobalAttribute {
     /// True if the two GAs share any attribute.
     pub fn intersects(&self, other: &GlobalAttribute) -> bool {
         // Iterate the smaller one.
-        let (small, big) =
-            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         small.attrs.iter().any(|a| big.attrs.contains(a))
     }
 
@@ -129,7 +132,14 @@ impl fmt::Display for GaDisplay<'_> {
                 write!(f, ", ")?;
             }
             let name = self.universe.attr_name(*a).unwrap_or("?");
-            write!(f, "{}:{}", self.universe.get(a.source).map(|s| s.name()).unwrap_or("?"), name)?;
+            write!(
+                f,
+                "{}:{}",
+                self.universe
+                    .get(a.source)
+                    .map_or("?", super::source::Source::name),
+                name
+            )?;
         }
         write!(f, "}}")
     }
@@ -148,7 +158,9 @@ pub struct MediatedSchema {
 impl MediatedSchema {
     /// Builds a mediated schema from GAs.
     pub fn new<I: IntoIterator<Item = GlobalAttribute>>(gas: I) -> Self {
-        MediatedSchema { gas: gas.into_iter().collect() }
+        MediatedSchema {
+            gas: gas.into_iter().collect(),
+        }
     }
 
     /// The empty schema.
@@ -206,13 +218,17 @@ impl MediatedSchema {
     /// Definition 3: `self` subsumes `other` iff every GA of `other` is
     /// contained in some GA of `self`.
     pub fn subsumes(&self, other: &MediatedSchema) -> bool {
-        other.gas.iter().all(|g2| self.gas.iter().any(|g1| g2.is_subset_of(g1)))
+        other
+            .gas
+            .iter()
+            .all(|g2| self.gas.iter().any(|g1| g2.is_subset_of(g1)))
     }
 
     /// True if every GA in `gas` is contained in some GA of this schema —
     /// the `G ⊑ M` check for GA constraints.
     pub fn covers_gas(&self, gas: &[GlobalAttribute]) -> bool {
-        gas.iter().all(|g2| self.gas.iter().any(|g1| g2.is_subset_of(g1)))
+        gas.iter()
+            .all(|g2| self.gas.iter().any(|g1| g2.is_subset_of(g1)))
     }
 
     /// The GA containing a given attribute, if any.
@@ -227,14 +243,20 @@ impl MediatedSchema {
 
     /// Renders with resolved names; one GA per line.
     pub fn display<'a>(&'a self, universe: &'a Universe) -> SchemaDisplay<'a> {
-        SchemaDisplay { schema: self, universe }
+        SchemaDisplay {
+            schema: self,
+            universe,
+        }
     }
 
     /// Counts how many GAs of `self` are absent (as a subset of some GA) from
     /// `other` — a useful measure of how much a solution changed between
     /// session iterations.
     pub fn gas_not_in(&self, other: &MediatedSchema) -> usize {
-        self.gas.iter().filter(|g| !other.gas.iter().any(|o| g.is_subset_of(o))).count()
+        self.gas
+            .iter()
+            .filter(|g| !other.gas.iter().any(|o| g.is_subset_of(o)))
+            .count()
     }
 }
 
@@ -278,7 +300,10 @@ mod tests {
 
     #[test]
     fn ga_rejects_empty() {
-        assert!(matches!(GlobalAttribute::try_new([]), Err(MubeError::EmptyGa)));
+        assert!(matches!(
+            GlobalAttribute::try_new([]),
+            Err(MubeError::EmptyGa)
+        ));
     }
 
     #[test]

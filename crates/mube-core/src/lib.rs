@@ -1,8 +1,8 @@
-//! # mube-core — the µBE data-integration engine
+//! # mube-core — the `µBE` data-integration engine
 //!
-//! A from-scratch Rust implementation of **µBE** ("Matching By Example"),
+//! A from-scratch Rust implementation of **`µBE`** ("Matching By Example"),
 //! the user-guided source-selection and schema-mediation tool of Aboulnaga &
-//! El Gebaly (ICDE 2007). Given hundreds of candidate data sources, µBE
+//! El Gebaly (ICDE 2007). Given hundreds of candidate data sources, `µBE`
 //! simultaneously *selects* a bounded subset and *mediates* a global schema
 //! over it by solving a constrained combinatorial optimization problem, then
 //! lets the user steer the answer across iterations by pinning sources,
@@ -57,8 +57,11 @@
 //! assert!(!solution.sources.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod constraints;
+pub mod diag;
 pub mod error;
 pub mod explain;
 pub mod ga;
@@ -72,10 +75,12 @@ pub mod schema;
 pub mod session;
 pub mod solution;
 pub mod source;
+pub mod validate;
 
 pub use constraints::Constraints;
+pub use diag::{DiagCode, Diagnostic, Severity};
 pub use error::MubeError;
-pub use explain::{explain, Explanation, SourceContribution};
+pub use explain::{explain, lint_report, Explanation, SourceContribution};
 pub use ga::{GlobalAttribute, MediatedSchema};
 pub use ids::{AttrId, SourceId};
 pub use matchop::{MatchOperator, MatchOutcome};
@@ -86,3 +91,4 @@ pub use schema::{Attribute, Schema};
 pub use session::Session;
 pub use solution::{Solution, SolutionDiff};
 pub use source::{Source, SourceSpec, Universe, UniverseBuilder};
+pub use validate::{SolutionValidator, Violation};

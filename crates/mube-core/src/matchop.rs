@@ -2,7 +2,7 @@
 //!
 //! §3 of the paper: "Match(S) determines the best matching between the
 //! schemas of the data sources in S, and returns this matching along with a
-//! measure of its quality". µBE is explicitly matcher-agnostic — any
+//! measure of its quality". `µBE` is explicitly matcher-agnostic — any
 //! algorithm that can enumerate pairs of schema elements and score their
 //! similarity can drive it — so the core crate only defines the operator
 //! trait. The reference implementation (greedy constrained similarity
@@ -68,8 +68,7 @@ impl MatchOperator for IdentityMatcher {
     ) -> MatchOutcome {
         use crate::ga::GlobalAttribute;
         let mut gas: Vec<GlobalAttribute> = constraints.merged_ga_seeds();
-        let seeded: BTreeSet<_> =
-            gas.iter().flat_map(|g| g.attrs().iter().copied()).collect();
+        let seeded: BTreeSet<_> = gas.iter().flat_map(|g| g.attrs().iter().copied()).collect();
         for &sid in sources {
             let Some(source) = universe.get(sid) else {
                 return MatchOutcome::Infeasible;
@@ -81,10 +80,17 @@ impl MatchOperator for IdentityMatcher {
             }
         }
         let schema = MediatedSchema::new(gas);
-        if !constraints.required_sources.iter().all(|s| sources.contains(s)) {
+        if !constraints
+            .required_sources
+            .iter()
+            .all(|s| sources.contains(s))
+        {
             return MatchOutcome::Infeasible;
         }
-        MatchOutcome::Matched { schema, quality: 1.0 }
+        MatchOutcome::Matched {
+            schema,
+            quality: 1.0,
+        }
     }
 }
 
@@ -122,11 +128,9 @@ mod tests {
     fn identity_matcher_seeds_ga_constraints() {
         let u = universe();
         let sources: BTreeSet<_> = u.source_ids().collect();
-        let ga = GlobalAttribute::try_new([
-            AttrId::new(SourceId(0), 0),
-            AttrId::new(SourceId(1), 0),
-        ])
-        .unwrap();
+        let ga =
+            GlobalAttribute::try_new([AttrId::new(SourceId(0), 0), AttrId::new(SourceId(1), 0)])
+                .unwrap();
         let c = Constraints::with_max_sources(2).require_ga(ga.clone());
         match IdentityMatcher.match_sources(&u, &sources, &c) {
             MatchOutcome::Matched { schema, .. } => {
@@ -143,6 +147,9 @@ mod tests {
         let u = universe();
         let only_a: BTreeSet<_> = [SourceId(0)].into();
         let c = Constraints::with_max_sources(2).require_source(SourceId(1));
-        assert_eq!(IdentityMatcher.match_sources(&u, &only_a, &c), MatchOutcome::Infeasible);
+        assert_eq!(
+            IdentityMatcher.match_sources(&u, &only_a, &c),
+            MatchOutcome::Infeasible
+        );
     }
 }

@@ -17,7 +17,7 @@ use crate::source::Universe;
 #[derive(Debug, Clone)]
 pub struct OverlapMatrix {
     sources: Vec<SourceId>,
-    /// `fractions[i][j]` ≈ |s_i ∩ s_j| / min(|s_i|, |s_j|), in [0, 1].
+    /// `fractions[i][j]` ≈ |`s_i` ∩ `s_j`| / `min(|s_i`|, |`s_j`|), in [0, 1].
     fractions: Vec<Vec<f64>>,
 }
 
@@ -38,9 +38,18 @@ pub fn overlap_matrix(universe: &Universe, sources: &BTreeSet<SourceId>) -> Over
     for i in 0..n {
         fractions[i][i] = 1.0;
         for j in (i + 1)..n {
-            let a = universe.source(cooperating[i]).signature().expect("filtered");
-            let b = universe.source(cooperating[j]).signature().expect("filtered");
-            let union = a.union(b).expect("universe signatures share configs").estimate();
+            let a = universe
+                .source(cooperating[i])
+                .signature()
+                .expect("filtered");
+            let b = universe
+                .source(cooperating[j])
+                .signature()
+                .expect("filtered");
+            let union = a
+                .union(b)
+                .expect("universe signatures share configs")
+                .estimate();
             // Inclusion–exclusion; PCSA noise can push the estimate
             // slightly negative, so clamp.
             let intersection = (estimates[i] + estimates[j] - union).max(0.0);
@@ -50,7 +59,10 @@ pub fn overlap_matrix(universe: &Universe, sources: &BTreeSet<SourceId>) -> Over
             fractions[j][i] = frac;
         }
     }
-    OverlapMatrix { sources: cooperating, fractions }
+    OverlapMatrix {
+        sources: cooperating,
+        fractions,
+    }
 }
 
 impl OverlapMatrix {
@@ -78,13 +90,16 @@ impl OverlapMatrix {
                 }
             }
         }
-        out.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("fractions are finite"));
+        out.sort_by(|a, b| b.2.total_cmp(&a.2));
         out
     }
 
     /// Renders with resolved source names.
     pub fn display<'a>(&'a self, universe: &'a Universe) -> OverlapDisplay<'a> {
-        OverlapDisplay { matrix: self, universe }
+        OverlapDisplay {
+            matrix: self,
+            universe,
+        }
     }
 }
 
@@ -126,9 +141,21 @@ mod tests {
 
     fn universe() -> Universe {
         let mut b = Universe::builder();
-        b.add_source(SourceSpec::new("a", Schema::new(["x"])).cardinality(20_000).signature(sig(0..20_000)));
-        b.add_source(SourceSpec::new("half", Schema::new(["y"])).cardinality(20_000).signature(sig(10_000..30_000)));
-        b.add_source(SourceSpec::new("disjoint", Schema::new(["z"])).cardinality(20_000).signature(sig(50_000..70_000)));
+        b.add_source(
+            SourceSpec::new("a", Schema::new(["x"]))
+                .cardinality(20_000)
+                .signature(sig(0..20_000)),
+        );
+        b.add_source(
+            SourceSpec::new("half", Schema::new(["y"]))
+                .cardinality(20_000)
+                .signature(sig(10_000..30_000)),
+        );
+        b.add_source(
+            SourceSpec::new("disjoint", Schema::new(["z"]))
+                .cardinality(20_000)
+                .signature(sig(50_000..70_000)),
+        );
         b.add_source(SourceSpec::new("shy", Schema::new(["w"])).cardinality(9));
         b.build().unwrap()
     }
@@ -167,7 +194,10 @@ mod tests {
         assert_eq!((heavy[0].0, heavy[0].1), (SourceId(0), SourceId(1)));
         let all = m.heavy_pairs(0.0);
         assert_eq!(all.len(), 3);
-        assert!(all.windows(2).all(|w| w[0].2 >= w[1].2), "sorted descending");
+        assert!(
+            all.windows(2).all(|w| w[0].2 >= w[1].2),
+            "sorted descending"
+        );
     }
 
     #[test]

@@ -1,10 +1,10 @@
-//! The constrained optimization problem µBE solves (§2.5).
+//! The constrained optimization problem `µBE` solves (§2.5).
 //!
 //! Given the universe `U`, the weighted QEFs `F`/`W`, and the constraints
 //! `(C, G, m, θ, β)`, find `arg max_{S⊆U} Q(S) = Σ w_i F_i(S)` subject to
 //! `|S| ≤ m`, `C ⊆ S`, `G ⊑ M`, and the per-GA quality and size bounds.
 //!
-//! A [`Problem`] is the bridge between the µBE data model and the generic
+//! A [`Problem`] is the bridge between the `µBE` data model and the generic
 //! subset-selection solvers of `mube-opt`: it implements
 //! [`mube_opt::SubsetObjective`], scoring a candidate source set by running
 //! the matching operator, filtering the mediated schema through the `β`
@@ -31,7 +31,7 @@ use crate::source::Universe;
 /// feasible always beats infeasible.
 pub const INFEASIBLE_SCORE: f64 = -1.0;
 
-/// A fully specified µBE optimization problem.
+/// A fully specified `µBE` optimization problem.
 pub struct Problem {
     universe: Arc<Universe>,
     matcher: Arc<dyn MatchOperator>,
@@ -115,26 +115,32 @@ impl Problem {
     /// did not grow from a user GA constraint and have fewer than `β`
     /// attributes are dropped from the schema. Returns the filtered schema
     /// and `F_1`, or `None` if the candidate is infeasible.
-    fn match_and_filter(
-        &self,
-        sources: &BTreeSet<SourceId>,
-    ) -> Option<(MediatedSchema, f64)> {
+    fn match_and_filter(&self, sources: &BTreeSet<SourceId>) -> Option<(MediatedSchema, f64)> {
         if sources.is_empty() || sources.len() > self.constraints.max_sources {
+            return None;
+        }
+        // Foreign ids (a candidate built against some other universe) are
+        // infeasible, not a panic deep inside a matcher or QEF.
+        if sources.iter().any(|&s| self.universe.get(s).is_none()) {
             return None;
         }
         let required = self.constraints.effective_required_sources();
         if !required.iter().all(|s| sources.contains(s)) {
             return None;
         }
-        let outcome = self.matcher.match_sources(&self.universe, sources, &self.constraints);
-        let MatchOutcome::Matched { mut schema, quality } = outcome else {
+        let outcome = self
+            .matcher
+            .match_sources(&self.universe, sources, &self.constraints);
+        let MatchOutcome::Matched {
+            mut schema,
+            quality,
+        } = outcome
+        else {
             return None;
         };
         let beta = self.constraints.beta;
         let seeds = self.constraints.merged_ga_seeds();
-        schema.retain(|ga| {
-            ga.len() >= beta || seeds.iter().any(|seed| seed.is_subset_of(ga))
-        });
+        schema.retain(|ga| ga.len() >= beta || seeds.iter().any(|seed| seed.is_subset_of(ga)));
         // The GA constraints must have survived (they always do — retain
         // keeps them) and the schema must still be valid on the constraint
         // sources.
@@ -179,17 +185,16 @@ impl Problem {
             CandidateEval::Feasible(sol) => sol.quality,
             CandidateEval::Infeasible => INFEASIBLE_SCORE,
         };
-        self.cache.lock().expect("cache lock poisoned").insert(key, v);
+        self.cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, v);
         v
     }
 
     /// Solves the problem with the given solver and seed, returning the best
     /// feasible solution.
-    pub fn solve(
-        &self,
-        solver: &dyn SubsetSolver,
-        seed: u64,
-    ) -> Result<Solution, MubeError> {
+    pub fn solve(&self, solver: &dyn SubsetSolver, seed: u64) -> Result<Solution, MubeError> {
         self.finish(solver.solve(self, seed), solver)
     }
 
@@ -203,6 +208,21 @@ impl Problem {
     ) -> Result<Solution, MubeError> {
         let indices: Vec<usize> = warm.iter().map(|s| s.index()).collect();
         self.finish(solver.solve_from(self, seed, &indices), solver)
+    }
+
+    /// Solves warm-started *within a trust region*: solvers that support it
+    /// (tabu search) return a solution at Hamming distance at most `radius`
+    /// from the repaired warm start — the mechanism behind
+    /// [`crate::session::Session::with_continuity`].
+    pub fn solve_near(
+        &self,
+        solver: &dyn SubsetSolver,
+        seed: u64,
+        warm: &BTreeSet<SourceId>,
+        radius: usize,
+    ) -> Result<Solution, MubeError> {
+        let indices: Vec<usize> = warm.iter().map(|s| s.index()).collect();
+        self.finish(solver.solve_within(self, seed, &indices, radius), solver)
     }
 
     /// Solves with tabu search and returns up to `k` of the best *distinct
@@ -237,8 +257,11 @@ impl Problem {
         result: SolveResult,
         solver: &dyn SubsetSolver,
     ) -> Result<Solution, MubeError> {
-        let sources: BTreeSet<SourceId> =
-            result.selected.iter().map(|&i| SourceId(i as u32)).collect();
+        let sources: BTreeSet<SourceId> = result
+            .selected
+            .iter()
+            .map(|&i| SourceId(i as u32))
+            .collect();
         match self.evaluate(&sources) {
             CandidateEval::Feasible(mut sol) => {
                 sol.evaluations = result.evaluations;
@@ -264,12 +287,15 @@ impl SubsetObjective for Problem {
     }
 
     fn required(&self) -> Vec<usize> {
-        self.constraints.effective_required_sources().iter().map(|s| s.index()).collect()
+        self.constraints
+            .effective_required_sources()
+            .iter()
+            .map(|s| s.index())
+            .collect()
     }
 
     fn score(&self, selected: &[usize]) -> f64 {
-        let sources: BTreeSet<SourceId> =
-            selected.iter().map(|&i| SourceId(i as u32)).collect();
+        let sources: BTreeSet<SourceId> = selected.iter().map(|&i| SourceId(i as u32)).collect();
         self.objective(&sources)
     }
 }
@@ -310,8 +336,13 @@ mod tests {
     fn problem(n: u32, m: usize) -> Problem {
         // β = 1 so the identity matcher's singleton GAs survive filtering.
         let constraints = Constraints::with_max_sources(m).beta(1);
-        Problem::new(universe(n), Arc::new(IdentityMatcher), data_only_qefs(), constraints)
-            .unwrap()
+        Problem::new(
+            universe(n),
+            Arc::new(IdentityMatcher),
+            data_only_qefs(),
+            constraints,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -336,12 +367,25 @@ mod tests {
     }
 
     #[test]
+    fn foreign_source_ids_are_infeasible_not_a_panic() {
+        let p = problem(3, 2);
+        let s: BTreeSet<_> = [SourceId(0), SourceId(99)].into();
+        assert_eq!(p.objective(&s), INFEASIBLE_SCORE);
+    }
+
+    #[test]
     fn missing_required_source_is_infeasible() {
         let universe = universe(4);
-        let constraints =
-            Constraints::with_max_sources(2).beta(1).require_source(SourceId(3));
-        let p = Problem::new(universe, Arc::new(IdentityMatcher), data_only_qefs(), constraints)
-            .unwrap();
+        let constraints = Constraints::with_max_sources(2)
+            .beta(1)
+            .require_source(SourceId(3));
+        let p = Problem::new(
+            universe,
+            Arc::new(IdentityMatcher),
+            data_only_qefs(),
+            constraints,
+        )
+        .unwrap();
         let without: BTreeSet<_> = [SourceId(0)].into();
         assert_eq!(p.objective(&without), INFEASIBLE_SCORE);
         let with: BTreeSet<_> = [SourceId(0), SourceId(3)].into();
@@ -354,8 +398,13 @@ mod tests {
         // dropped; with no constraint sources the schema trivially remains
         // valid, and matching quality still reports the matcher's value.
         let constraints = Constraints::with_max_sources(3).beta(2);
-        let p = Problem::new(universe(3), Arc::new(IdentityMatcher), data_only_qefs(), constraints)
-            .unwrap();
+        let p = Problem::new(
+            universe(3),
+            Arc::new(IdentityMatcher),
+            data_only_qefs(),
+            constraints,
+        )
+        .unwrap();
         let s: BTreeSet<_> = [SourceId(0), SourceId(1)].into();
         match p.evaluate(&s) {
             CandidateEval::Feasible(sol) => assert!(sol.schema.is_empty()),
@@ -366,9 +415,16 @@ mod tests {
     #[test]
     fn beta_spares_user_gas() {
         let ga = GlobalAttribute::try_new([AttrId::new(SourceId(0), 0)]).unwrap();
-        let constraints = Constraints::with_max_sources(3).beta(2).require_ga(ga.clone());
-        let p = Problem::new(universe(3), Arc::new(IdentityMatcher), data_only_qefs(), constraints)
-            .unwrap();
+        let constraints = Constraints::with_max_sources(3)
+            .beta(2)
+            .require_ga(ga.clone());
+        let p = Problem::new(
+            universe(3),
+            Arc::new(IdentityMatcher),
+            data_only_qefs(),
+            constraints,
+        )
+        .unwrap();
         let s: BTreeSet<_> = [SourceId(0), SourceId(1)].into();
         match p.evaluate(&s) {
             CandidateEval::Feasible(sol) => {
@@ -396,7 +452,8 @@ mod tests {
         let s: BTreeSet<_> = [SourceId(0)].into();
         let _ = p.objective(&s);
         assert!(p.distinct_evaluations() > 0);
-        p.set_constraints(Constraints::with_max_sources(4).beta(1)).unwrap();
+        p.set_constraints(Constraints::with_max_sources(4).beta(1))
+            .unwrap();
         assert_eq!(p.distinct_evaluations(), 0);
     }
 
@@ -413,10 +470,16 @@ mod tests {
     #[test]
     fn solve_honours_required_sources() {
         let universe = universe(8);
-        let constraints =
-            Constraints::with_max_sources(3).beta(1).require_source(SourceId(1));
-        let p = Problem::new(universe, Arc::new(IdentityMatcher), data_only_qefs(), constraints)
-            .unwrap();
+        let constraints = Constraints::with_max_sources(3)
+            .beta(1)
+            .require_source(SourceId(1));
+        let p = Problem::new(
+            universe,
+            Arc::new(IdentityMatcher),
+            data_only_qefs(),
+            constraints,
+        )
+        .unwrap();
         let sol = p.solve(&TabuSearch::default(), 1).unwrap();
         assert!(sol.sources.contains(&SourceId(1)));
     }
@@ -458,7 +521,9 @@ mod alternatives_tests {
             Constraints::with_max_sources(3).beta(1),
         )
         .unwrap();
-        let alts = p.alternatives(&mube_opt::TabuSearch::default(), 5, 4).unwrap();
+        let alts = p
+            .alternatives(&mube_opt::TabuSearch::default(), 5, 4)
+            .unwrap();
         assert!(!alts.is_empty() && alts.len() <= 4);
         for w in alts.windows(2) {
             assert!(w[0].quality >= w[1].quality, "sorted best first");

@@ -2,7 +2,7 @@
 //!
 //! A QEF maps a candidate solution — a set of sources plus the mediated
 //! schema generated on them — to a quality score in `[0, 1]`, higher is
-//! better. µBE combines the QEFs into an overall quality
+//! better. `µBE` combines the QEFs into an overall quality
 //! `Q(S) = Σ w_i · F_i(S)` with user-chosen weights that are each in `[0, 1]`
 //! and sum to 1.
 
@@ -38,7 +38,8 @@ impl EvalContext {
                     None => union_sig = Some(sig.clone()),
                     Some(u) => {
                         // Builder guarantees matching configs.
-                        u.union_assign(sig).expect("universe signatures are config-checked");
+                        u.union_assign(sig)
+                            .expect("universe signatures are config-checked");
                     }
                 }
             }
@@ -57,7 +58,11 @@ impl EvalContext {
                     .or_insert((v, v));
             }
         }
-        EvalContext { universe_cardinality, universe_distinct, characteristic_ranges }
+        EvalContext {
+            universe_cardinality,
+            universe_distinct,
+            characteristic_ranges,
+        }
     }
 }
 
@@ -92,8 +97,11 @@ pub struct WeightedQefs {
 
 impl std::fmt::Debug for WeightedQefs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let names: Vec<_> =
-            self.entries.iter().map(|(q, w)| format!("{}={:.3}", q.name(), w)).collect();
+        let names: Vec<_> = self
+            .entries
+            .iter()
+            .map(|(q, w)| format!("{}={:.3}", q.name(), w))
+            .collect();
         write!(f, "WeightedQefs({})", names.join(", "))
     }
 }
@@ -107,7 +115,9 @@ impl WeightedQefs {
     /// summing to 1, one per QEF, and no duplicate QEF names.
     pub fn new(entries: Vec<(Arc<dyn Qef>, f64)>) -> Result<Self, MubeError> {
         if entries.is_empty() {
-            return Err(MubeError::InvalidWeights { detail: "no QEFs given".into() });
+            return Err(MubeError::InvalidWeights {
+                detail: "no QEFs given".into(),
+            });
         }
         let mut sum = 0.0;
         let mut names = BTreeSet::new();
@@ -149,7 +159,10 @@ impl WeightedQefs {
 
     /// The weight of a named QEF.
     pub fn weight_of(&self, name: &str) -> Option<f64> {
-        self.entries.iter().find(|(q, _)| q.name() == name).map(|(_, w)| *w)
+        self.entries
+            .iter()
+            .find(|(q, _)| q.name() == name)
+            .map(|(_, w)| *w)
     }
 
     /// Returns a copy with the named QEF's weight set to `weight` and all
@@ -161,7 +174,9 @@ impl WeightedQefs {
                 detail: format!("weight {weight} outside [0,1]"),
             });
         }
-        let old = self.weight_of(name).ok_or_else(|| MubeError::UnknownQef { name: name.into() })?;
+        let old = self
+            .weight_of(name)
+            .ok_or_else(|| MubeError::UnknownQef { name: name.into() })?;
         let others_old: f64 = 1.0 - old;
         let others_new: f64 = 1.0 - weight;
         let entries = self
@@ -245,22 +260,31 @@ mod tests {
 
     #[test]
     fn weights_must_sum_to_one() {
-        let qefs: Vec<(Arc<dyn Qef>, f64)> =
-            vec![(Arc::new(ConstQef("a", 1.0)), 0.5), (Arc::new(ConstQef("b", 1.0)), 0.4)];
-        assert!(matches!(WeightedQefs::new(qefs), Err(MubeError::InvalidWeights { .. })));
+        let qefs: Vec<(Arc<dyn Qef>, f64)> = vec![
+            (Arc::new(ConstQef("a", 1.0)), 0.5),
+            (Arc::new(ConstQef("b", 1.0)), 0.4),
+        ];
+        assert!(matches!(
+            WeightedQefs::new(qefs),
+            Err(MubeError::InvalidWeights { .. })
+        ));
     }
 
     #[test]
     fn weights_must_be_in_unit_interval() {
-        let qefs: Vec<(Arc<dyn Qef>, f64)> =
-            vec![(Arc::new(ConstQef("a", 1.0)), 1.2), (Arc::new(ConstQef("b", 1.0)), -0.2)];
+        let qefs: Vec<(Arc<dyn Qef>, f64)> = vec![
+            (Arc::new(ConstQef("a", 1.0)), 1.2),
+            (Arc::new(ConstQef("b", 1.0)), -0.2),
+        ];
         assert!(WeightedQefs::new(qefs).is_err());
     }
 
     #[test]
     fn duplicate_names_rejected() {
-        let qefs: Vec<(Arc<dyn Qef>, f64)> =
-            vec![(Arc::new(ConstQef("a", 1.0)), 0.5), (Arc::new(ConstQef("a", 1.0)), 0.5)];
+        let qefs: Vec<(Arc<dyn Qef>, f64)> = vec![
+            (Arc::new(ConstQef("a", 1.0)), 0.5),
+            (Arc::new(ConstQef("a", 1.0)), 0.5),
+        ];
         assert!(WeightedQefs::new(qefs).is_err());
     }
 
@@ -273,7 +297,12 @@ mod tests {
         .unwrap();
         let (u, s, m) = input_parts();
         let ctx = EvalContext::for_universe(&u);
-        let input = EvalInput { universe: &u, sources: &s, schema: &m, match_quality: 0.0 };
+        let input = EvalInput {
+            universe: &u,
+            sources: &s,
+            schema: &m,
+            match_quality: 0.0,
+        };
         let (overall, breakdown) = qefs.evaluate(&ctx, &input);
         assert!((overall - (0.25 + 0.75 * 0.4)).abs() < 1e-12);
         assert_eq!(breakdown.len(), 2);
@@ -281,12 +310,16 @@ mod tests {
 
     #[test]
     fn scores_are_clamped() {
-        let qefs =
-            WeightedQefs::new(vec![(Arc::new(ConstQef("wild", 7.0)) as Arc<dyn Qef>, 1.0)])
-                .unwrap();
+        let qefs = WeightedQefs::new(vec![(Arc::new(ConstQef("wild", 7.0)) as Arc<dyn Qef>, 1.0)])
+            .unwrap();
         let (u, s, m) = input_parts();
         let ctx = EvalContext::for_universe(&u);
-        let input = EvalInput { universe: &u, sources: &s, schema: &m, match_quality: 0.0 };
+        let input = EvalInput {
+            universe: &u,
+            sources: &s,
+            schema: &m,
+            match_quality: 0.0,
+        };
         let (overall, _) = qefs.evaluate(&ctx, &input);
         assert_eq!(overall, 1.0);
     }
@@ -325,7 +358,10 @@ mod tests {
     fn unknown_qef_name() {
         let qefs =
             WeightedQefs::new(vec![(Arc::new(ConstQef("a", 1.0)) as Arc<dyn Qef>, 1.0)]).unwrap();
-        assert!(matches!(qefs.reweighted("nope", 0.5), Err(MubeError::UnknownQef { .. })));
+        assert!(matches!(
+            qefs.reweighted("nope", 0.5),
+            Err(MubeError::UnknownQef { .. })
+        ));
         assert_eq!(qefs.weight_of("nope"), None);
     }
 

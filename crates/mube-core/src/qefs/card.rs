@@ -19,8 +19,11 @@ impl Qef for CardinalityQef {
         if ctx.universe_cardinality == 0 {
             return 0.0;
         }
-        let selected: u64 =
-            input.sources.iter().map(|&s| input.universe.source(s).cardinality()).sum();
+        let selected: u64 = input
+            .sources
+            .iter()
+            .map(|&s| input.universe.source(s).cardinality())
+            .sum();
         selected as f64 / ctx.universe_cardinality as f64
     }
 }
@@ -28,7 +31,11 @@ impl Qef for CardinalityQef {
 /// Raw (unnormalized) tuple count of a selection — used by the Figure 8
 /// experiment, which plots the absolute cardinality of the chosen solution.
 pub fn selection_cardinality(input: &EvalInput<'_>) -> u64 {
-    input.sources.iter().map(|&s| input.universe.source(s).cardinality()).sum()
+    input
+        .sources
+        .iter()
+        .map(|&s| input.universe.source(s).cardinality())
+        .sum()
 }
 
 #[cfg(test)]
@@ -51,7 +58,12 @@ mod tests {
         let ctx = EvalContext::for_universe(u);
         let sources: BTreeSet<_> = picks.iter().map(|&i| SourceId(i)).collect();
         let schema = MediatedSchema::empty();
-        let input = EvalInput { universe: u, sources: &sources, schema: &schema, match_quality: 0.0 };
+        let input = EvalInput {
+            universe: u,
+            sources: &sources,
+            schema: &schema,
+            match_quality: 0.0,
+        };
         CardinalityQef.evaluate(&ctx, &input)
     }
 

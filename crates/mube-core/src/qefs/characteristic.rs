@@ -44,8 +44,10 @@ impl Aggregator for WeightedSumAgg {
             // Degenerate: no tuples to weight by; fall back to a plain mean.
             return MeanAgg.aggregate(values, range);
         }
-        let weighted: f64 =
-            values.iter().map(|&(v, c)| normalize(v, range) * c as f64).sum();
+        let weighted: f64 = values
+            .iter()
+            .map(|&(v, c)| normalize(v, range) * c as f64)
+            .sum();
         (weighted / total_card as f64).clamp(0.0, 1.0)
     }
 }
@@ -71,7 +73,11 @@ pub struct MinAgg;
 
 impl Aggregator for MinAgg {
     fn aggregate(&self, values: &[(f64, u64)], range: (f64, f64)) -> f64 {
-        values.iter().map(|&(v, _)| normalize(v, range)).fold(f64::INFINITY, f64::min).clamp(0.0, 1.0)
+        values
+            .iter()
+            .map(|&(v, _)| normalize(v, range))
+            .fold(f64::INFINITY, f64::min)
+            .clamp(0.0, 1.0)
     }
 }
 
@@ -81,7 +87,11 @@ pub struct MaxAgg;
 
 impl Aggregator for MaxAgg {
     fn aggregate(&self, values: &[(f64, u64)], range: (f64, f64)) -> f64 {
-        values.iter().map(|&(v, _)| normalize(v, range)).fold(0.0, f64::max).min(1.0)
+        values
+            .iter()
+            .map(|&(v, _)| normalize(v, range))
+            .fold(0.0, f64::max)
+            .min(1.0)
     }
 }
 
@@ -129,7 +139,10 @@ impl Qef for CharacteristicQef {
             .iter()
             .map(|&sid| {
                 let s = input.universe.source(sid);
-                (s.characteristic(&self.characteristic).unwrap_or(range.0), s.cardinality())
+                (
+                    s.characteristic(&self.characteristic).unwrap_or(range.0),
+                    s.cardinality(),
+                )
             })
             .collect();
         self.aggregator.aggregate(&values, range).clamp(0.0, 1.0)
@@ -147,8 +160,16 @@ mod tests {
 
     fn universe() -> Universe {
         let mut b = Universe::builder();
-        b.add_source(SourceSpec::new("lo", Schema::new(["x"])).cardinality(100).characteristic("mttf", 50.0));
-        b.add_source(SourceSpec::new("hi", Schema::new(["y"])).cardinality(900).characteristic("mttf", 150.0));
+        b.add_source(
+            SourceSpec::new("lo", Schema::new(["x"]))
+                .cardinality(100)
+                .characteristic("mttf", 50.0),
+        );
+        b.add_source(
+            SourceSpec::new("hi", Schema::new(["y"]))
+                .cardinality(900)
+                .characteristic("mttf", 150.0),
+        );
         b.add_source(SourceSpec::new("none", Schema::new(["z"])).cardinality(100));
         b.build().unwrap()
     }
@@ -157,7 +178,12 @@ mod tests {
         let ctx = EvalContext::for_universe(u);
         let sources: BTreeSet<_> = picks.iter().map(|&i| SourceId(i)).collect();
         let schema = MediatedSchema::empty();
-        let input = EvalInput { universe: u, sources: &sources, schema: &schema, match_quality: 0.0 };
+        let input = EvalInput {
+            universe: u,
+            sources: &sources,
+            schema: &schema,
+            match_quality: 0.0,
+        };
         qef.evaluate(&ctx, &input)
     }
 
@@ -204,8 +230,16 @@ mod tests {
     #[test]
     fn degenerate_range_scores_one() {
         let mut b = Universe::builder();
-        b.add_source(SourceSpec::new("a", Schema::new(["x"])).cardinality(10).characteristic("fee", 5.0));
-        b.add_source(SourceSpec::new("b", Schema::new(["y"])).cardinality(10).characteristic("fee", 5.0));
+        b.add_source(
+            SourceSpec::new("a", Schema::new(["x"]))
+                .cardinality(10)
+                .characteristic("fee", 5.0),
+        );
+        b.add_source(
+            SourceSpec::new("b", Schema::new(["y"]))
+                .cardinality(10)
+                .characteristic("fee", 5.0),
+        );
         let u = b.build().unwrap();
         let qef = CharacteristicQef::new("fee", "fee", WeightedSumAgg);
         assert_eq!(eval(&qef, &u, &[0, 1]), 1.0);

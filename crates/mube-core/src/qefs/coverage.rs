@@ -77,9 +77,21 @@ mod tests {
     fn universe() -> Universe {
         let mut b = Universe::builder();
         // a and b overlap heavily; c is disjoint.
-        b.add_source(SourceSpec::new("a", Schema::new(["x"])).cardinality(10_000).signature(sig(0..10_000)));
-        b.add_source(SourceSpec::new("b", Schema::new(["y"])).cardinality(10_000).signature(sig(0..10_000)));
-        b.add_source(SourceSpec::new("c", Schema::new(["z"])).cardinality(10_000).signature(sig(10_000..20_000)));
+        b.add_source(
+            SourceSpec::new("a", Schema::new(["x"]))
+                .cardinality(10_000)
+                .signature(sig(0..10_000)),
+        );
+        b.add_source(
+            SourceSpec::new("b", Schema::new(["y"]))
+                .cardinality(10_000)
+                .signature(sig(0..10_000)),
+        );
+        b.add_source(
+            SourceSpec::new("c", Schema::new(["z"]))
+                .cardinality(10_000)
+                .signature(sig(10_000..20_000)),
+        );
         b.add_source(SourceSpec::new("shy", Schema::new(["w"])).cardinality(10_000));
         b.build().unwrap()
     }
@@ -88,7 +100,12 @@ mod tests {
         let ctx = EvalContext::for_universe(u);
         let sources: BTreeSet<_> = picks.iter().map(|&i| SourceId(i)).collect();
         let schema = MediatedSchema::empty();
-        let input = EvalInput { universe: u, sources: &sources, schema: &schema, match_quality: 0.0 };
+        let input = EvalInput {
+            universe: u,
+            sources: &sources,
+            schema: &schema,
+            match_quality: 0.0,
+        };
         CoverageQef.evaluate(&ctx, &input)
     }
 

@@ -38,8 +38,12 @@ mod tests {
         let sources: BTreeSet<_> = u.source_ids().collect();
         let schema = MediatedSchema::empty();
         for q in [0.0, 0.42, 1.0, 1.7, -0.3] {
-            let input =
-                EvalInput { universe: &u, sources: &sources, schema: &schema, match_quality: q };
+            let input = EvalInput {
+                universe: &u,
+                sources: &sources,
+                schema: &schema,
+                match_quality: q,
+            };
             let got = MatchingQualityQef.evaluate(&ctx, &input);
             assert_eq!(got, q.clamp(0.0, 1.0));
         }

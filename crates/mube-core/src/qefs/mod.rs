@@ -32,8 +32,11 @@ pub fn paper_default_qefs(characteristic: &str) -> WeightedQefs {
         (Arc::new(CoverageQef) as Arc<dyn Qef>, 0.20),
         (Arc::new(RedundancyQef) as Arc<dyn Qef>, 0.15),
         (
-            Arc::new(CharacteristicQef::new(characteristic, characteristic, WeightedSumAgg))
-                as Arc<dyn Qef>,
+            Arc::new(CharacteristicQef::new(
+                characteristic,
+                characteristic,
+                WeightedSumAgg,
+            )) as Arc<dyn Qef>,
             0.15,
         ),
     ])

@@ -44,8 +44,10 @@ impl Qef for RedundancyQef {
             // A single source cannot overlap with itself.
             return 1.0;
         }
-        let fetched: u64 =
-            cooperating.iter().map(|&&s| input.universe.source(s).cardinality()).sum();
+        let fetched: u64 = cooperating
+            .iter()
+            .map(|&&s| input.universe.source(s).cardinality())
+            .sum();
         if fetched == 0 {
             return 1.0;
         }
@@ -82,10 +84,26 @@ mod tests {
 
     fn universe() -> Universe {
         let mut b = Universe::builder();
-        b.add_source(SourceSpec::new("a", Schema::new(["x"])).cardinality(10_000).signature(sig(0..10_000)));
-        b.add_source(SourceSpec::new("a2", Schema::new(["y"])).cardinality(10_000).signature(sig(0..10_000)));
-        b.add_source(SourceSpec::new("c", Schema::new(["z"])).cardinality(10_000).signature(sig(10_000..20_000)));
-        b.add_source(SourceSpec::new("d", Schema::new(["w"])).cardinality(10_000).signature(sig(20_000..30_000)));
+        b.add_source(
+            SourceSpec::new("a", Schema::new(["x"]))
+                .cardinality(10_000)
+                .signature(sig(0..10_000)),
+        );
+        b.add_source(
+            SourceSpec::new("a2", Schema::new(["y"]))
+                .cardinality(10_000)
+                .signature(sig(0..10_000)),
+        );
+        b.add_source(
+            SourceSpec::new("c", Schema::new(["z"]))
+                .cardinality(10_000)
+                .signature(sig(10_000..20_000)),
+        );
+        b.add_source(
+            SourceSpec::new("d", Schema::new(["w"]))
+                .cardinality(10_000)
+                .signature(sig(20_000..30_000)),
+        );
         b.add_source(SourceSpec::new("shy", Schema::new(["v"])).cardinality(10_000));
         b.build().unwrap()
     }
@@ -94,7 +112,12 @@ mod tests {
         let ctx = EvalContext::for_universe(u);
         let sources: BTreeSet<_> = picks.iter().map(|&i| SourceId(i)).collect();
         let schema = MediatedSchema::empty();
-        let input = EvalInput { universe: u, sources: &sources, schema: &schema, match_quality: 0.0 };
+        let input = EvalInput {
+            universe: u,
+            sources: &sources,
+            schema: &schema,
+            match_quality: 0.0,
+        };
         RedundancyQef.evaluate(&ctx, &input)
     }
 

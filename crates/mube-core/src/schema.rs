@@ -1,6 +1,6 @@
 //! Source schemas.
 //!
-//! µBE treats a source schema as a flat list of named attributes (§2.1 of the
+//! `µBE` treats a source schema as a flat list of named attributes (§2.1 of the
 //! paper: relational schemas, 1:1 matching). Richer models — XML, compound
 //! elements for n:m matching — can be layered on by flattening compound
 //! elements into attributes, as the paper notes.
@@ -17,7 +17,11 @@ impl Attribute {
     /// extracted in practice.
     pub fn new(name: impl Into<String>) -> Self {
         let raw = name.into();
-        let name = raw.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase();
+        let name = raw
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ")
+            .to_lowercase();
         Attribute { name }
     }
 
@@ -46,7 +50,9 @@ impl Schema {
         I: IntoIterator<Item = A>,
         A: Into<Attribute>,
     {
-        Schema { attrs: attrs.into_iter().map(Into::into).collect() }
+        Schema {
+            attrs: attrs.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Number of attributes.

@@ -1,6 +1,6 @@
 //! The iterative user-feedback loop (§6 of the paper).
 //!
-//! µBE's defining feature is not a single optimization run but the loop
+//! `µBE`'s defining feature is not a single optimization run but the loop
 //! around it: the user inspects the chosen sources and mediated schema,
 //! pins sources, promotes output GAs into GA constraints, re-weights the
 //! quality dimensions, and re-solves. A [`Session`] owns the evolving
@@ -20,8 +20,9 @@ use crate::ids::SourceId;
 use crate::problem::Problem;
 use crate::solution::{Solution, SolutionDiff};
 use crate::source::Universe;
+use crate::validate::SolutionValidator;
 
-/// An interactive µBE session: a problem, a solver, and the history of
+/// An interactive `µBE` session: a problem, a solver, and the history of
 /// solutions across feedback iterations.
 pub struct Session {
     problem: Problem,
@@ -29,25 +30,44 @@ pub struct Session {
     seed: u64,
     history: Vec<Solution>,
     continuity: bool,
+    drift_limit: Option<usize>,
 }
 
 impl Session {
     /// Starts a session. `seed` makes the whole session deterministic.
     pub fn new(problem: Problem, solver: Box<dyn SubsetSolver>, seed: u64) -> Self {
-        Session { problem, solver, seed, history: Vec::new(), continuity: false }
+        Session {
+            problem,
+            solver,
+            seed,
+            history: Vec::new(),
+            continuity: false,
+            drift_limit: None,
+        }
     }
 
     /// Enables *continuity*: each `run()` after the first warm-starts tabu
     /// search from the previous solution (repaired against the current
-    /// constraints). Small feedback edits then produce small solution
-    /// diffs — the stability the paper's §7.4 robustness experiment relies
-    /// on — at the price of exploring less after each edit.
+    /// constraints) inside a trust region, so small feedback edits produce
+    /// small solution diffs — the stability the paper's §7.4 robustness
+    /// experiment relies on — at the price of exploring less after each
+    /// edit. The drift bound defaults to a third of `m` (at least 2
+    /// membership changes, i.e. one swap); override it with
+    /// [`Session::with_drift_limit`].
     ///
     /// Only takes effect when the session's solver is
     /// [`mube_opt::TabuSearch`] (the other solvers have no warm-start
     /// notion); otherwise `run()` behaves as without continuity.
     pub fn with_continuity(mut self) -> Self {
         self.continuity = true;
+        self
+    }
+
+    /// Sets the continuity drift bound: the maximum Hamming distance
+    /// (sources added + sources removed) between consecutive solutions when
+    /// [`Session::with_continuity`] is enabled.
+    pub fn with_drift_limit(mut self, limit: usize) -> Self {
+        self.drift_limit = Some(limit);
         self
     }
 
@@ -79,9 +99,20 @@ impl Session {
             None
         };
         let solution = match warm {
-            Some(warm) => self.problem.solve_from(self.solver.as_ref(), seed, &warm)?,
+            Some(warm) => {
+                let radius = self
+                    .drift_limit
+                    .unwrap_or_else(|| (self.problem.constraints().max_sources / 3).max(2));
+                self.problem
+                    .solve_near(self.solver.as_ref(), seed, &warm, radius)?
+            }
             None => self.problem.solve(self.solver.as_ref(), seed)?,
         };
+        // Defense-in-depth: independently audit the returned solution
+        // against the full constraint set and QEF bounds before recording
+        // it, so a solver or objective bug surfaces here instead of as a
+        // corrupted session history.
+        SolutionValidator::for_problem(&self.problem).validate(&solution)?;
         self.history.push(solution);
         Ok(self.history.last().expect("just pushed"))
     }
@@ -122,8 +153,10 @@ impl Session {
         let id = self
             .universe()
             .source_by_name(name)
-            .map(|s| s.id())
-            .ok_or_else(|| MubeError::UnknownAttribute { detail: format!("source `{name}`") })?;
+            .map(super::source::Source::id)
+            .ok_or_else(|| MubeError::UnknownAttribute {
+                detail: format!("source `{name}`"),
+            })?;
         self.pin_source(id)
     }
 
@@ -158,14 +191,13 @@ impl Session {
     /// Builds a GA constraint from `(source name, attribute name)` pairs and
     /// adds it. This is the "bridge two attributes the matcher can't see as
     /// similar" gesture from §3 (F name ↔ Prenom).
-    pub fn require_ga_by_names(
-        &mut self,
-        pairs: &[(&str, &str)],
-    ) -> Result<(), MubeError> {
+    pub fn require_ga_by_names(&mut self, pairs: &[(&str, &str)]) -> Result<(), MubeError> {
         let mut attrs = Vec::with_capacity(pairs.len());
         for (source_name, attr_name) in pairs {
             let source = self.universe().source_by_name(source_name).ok_or_else(|| {
-                MubeError::UnknownAttribute { detail: format!("source `{source_name}`") }
+                MubeError::UnknownAttribute {
+                    detail: format!("source `{source_name}`"),
+                }
             })?;
             let idx = source
                 .schema()
@@ -305,7 +337,8 @@ mod tests {
     #[test]
     fn require_ga_by_names_resolves() {
         let mut s = session(3, 3);
-        s.require_ga_by_names(&[("src0", "title"), ("src1", "Author")]).unwrap();
+        s.require_ga_by_names(&[("src0", "title"), ("src1", "Author")])
+            .unwrap();
         assert_eq!(s.constraints().required_gas.len(), 1);
         assert!(s.require_ga_by_names(&[("src0", "missing")]).is_err());
         assert!(s.require_ga_by_names(&[("ghost", "title")]).is_err());

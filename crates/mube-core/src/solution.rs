@@ -1,7 +1,7 @@
-//! Solutions: the output of one µBE iteration.
+//! Solutions: the output of one `µBE` iteration.
 //!
 //! A solution bundles the selected sources, the generated mediated schema,
-//! the overall quality, and the per-QEF breakdown. Because µBE's interaction
+//! the overall quality, and the per-QEF breakdown. Because `µBE`'s interaction
 //! model feeds the *output* of one iteration back as *constraints* of the
 //! next, solutions also know how to diff themselves against each other
 //! (which sources / GAs changed) — this powers the weight-perturbation
@@ -32,14 +32,16 @@ pub struct Solution {
 impl Solution {
     /// The score of a named QEF in this solution.
     pub fn qef_score(&self, name: &str) -> Option<f64> {
-        self.qef_scores.iter().find(|(n, _, _)| n == name).map(|&(_, _, s)| s)
+        self.qef_scores
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, _, s)| s)
     }
 
     /// Differences between two solutions, for session feedback and the
     /// robustness experiments.
     pub fn diff(&self, other: &Solution) -> SolutionDiff {
-        let added: BTreeSet<SourceId> =
-            other.sources.difference(&self.sources).copied().collect();
+        let added: BTreeSet<SourceId> = other.sources.difference(&self.sources).copied().collect();
         let removed: BTreeSet<SourceId> =
             self.sources.difference(&other.sources).copied().collect();
         // A GA "changed" if it is not a subset of any GA on the other side.
@@ -47,12 +49,19 @@ impl Solution {
             .schema
             .gas_not_in(&other.schema)
             .max(other.schema.gas_not_in(&self.schema));
-        SolutionDiff { sources_added: added, sources_removed: removed, gas_changed }
+        SolutionDiff {
+            sources_added: added,
+            sources_removed: removed,
+            gas_changed,
+        }
     }
 
     /// Renders a human-readable report.
     pub fn display<'a>(&'a self, universe: &'a Universe) -> SolutionDisplay<'a> {
-        SolutionDisplay { solution: self, universe }
+        SolutionDisplay {
+            solution: self,
+            universe,
+        }
     }
 
     /// A GA of the schema by index — the handle users grab to turn an

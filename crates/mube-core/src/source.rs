@@ -1,6 +1,6 @@
 //! Data sources and the universe of sources.
 //!
-//! From µBE's point of view (§2.1 of the paper) a data source consists of a
+//! From `µBE`'s point of view (§2.1 of the paper) a data source consists of a
 //! schema, a set of tuples, and a set of non-functional characteristics. The
 //! tuples themselves never leave the source: a cooperating source exports its
 //! *cardinality* (tuple count) and a PCSA *hash signature* of its tuples;
@@ -183,7 +183,10 @@ impl Universe {
     /// Returns `None` if the id refers to a source or position outside this
     /// universe.
     pub fn attr_name(&self, attr: AttrId) -> Option<&str> {
-        self.get(attr.source)?.schema().attr(attr.index as usize).map(|a| a.name())
+        self.get(attr.source)?
+            .schema()
+            .attr(attr.index as usize)
+            .map(super::schema::Attribute::name)
     }
 
     /// Checks an attribute id refers into this universe.
@@ -228,7 +231,9 @@ impl UniverseBuilder {
         let mut first_config = None;
         for (i, spec) in self.specs.iter().enumerate() {
             if spec.schema.is_empty() {
-                return Err(MubeError::EmptySchema { source: spec.name.clone() });
+                return Err(MubeError::EmptySchema {
+                    source: spec.name.clone(),
+                });
             }
             if let Some(sig) = &spec.signature {
                 match &first_config {
@@ -286,7 +291,10 @@ mod tests {
 
     #[test]
     fn empty_universe_rejected() {
-        assert!(matches!(Universe::builder().build(), Err(MubeError::EmptyUniverse)));
+        assert!(matches!(
+            Universe::builder().build(),
+            Err(MubeError::EmptyUniverse)
+        ));
     }
 
     #[test]
@@ -301,7 +309,10 @@ mod tests {
         let mut b = Universe::builder();
         b.add_source(SourceSpec::new("a", Schema::new(["x"])).signature(sig(1, 0..10)));
         b.add_source(SourceSpec::new("b", Schema::new(["y"])).signature(sig(2, 0..10)));
-        assert!(matches!(b.build(), Err(MubeError::SignatureConfigMismatch { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(MubeError::SignatureConfigMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,564 @@
+//! Post-solve solution validation.
+//!
+//! The solvers in `mube-opt` enforce the structural constraints (size bound,
+//! required elements) and [`crate::problem::Problem`] enforces feasibility
+//! through its objective, but nothing downstream re-checks the *returned*
+//! [`Solution`] against the paper's definitions. [`SolutionValidator`] does
+//! exactly that: an independent audit of a solution against the full
+//! constraint set `(C, G, m, θ, β)` and the QEF bounds, used as
+//! defense-in-depth by [`crate::session::Session::run`] and directly by
+//! tests that corrupt solutions on purpose.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::constraints::Constraints;
+use crate::error::MubeError;
+use crate::ids::SourceId;
+use crate::problem::Problem;
+use crate::solution::Solution;
+use crate::source::Universe;
+
+/// Tolerance when re-deriving `Q = Σ wᵢ·Fᵢ` from a solution's breakdown.
+const QUALITY_TOLERANCE: f64 = 1e-6;
+
+/// One way a solution can fail validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The solution selects no sources.
+    EmptySelection,
+    /// More sources selected than `m` allows.
+    TooManySources {
+        /// Number of sources the solution selects.
+        selected: usize,
+        /// The `m` bound it had to respect.
+        max: usize,
+    },
+    /// A selected source is not in the universe.
+    UnknownSource {
+        /// The offending id.
+        source: SourceId,
+    },
+    /// A required (pinned or GA-implied) source is missing.
+    MissingRequiredSource {
+        /// The missing source.
+        source: SourceId,
+    },
+    /// A schema GA uses an attribute of a source that is not selected.
+    GaOutsideSelection {
+        /// Index of the GA within the mediated schema.
+        ga_index: usize,
+        /// The unselected source the GA reaches into.
+        source: SourceId,
+    },
+    /// Two schema GAs share an attribute (Definition 2 requires disjoint GAs).
+    SchemaOverlap,
+    /// A pinned source is not touched by any GA (Definition 2 on `C`).
+    ConstraintSourceUnspanned {
+        /// The unspanned pinned source.
+        source: SourceId,
+    },
+    /// A required GA is not subsumed by any schema GA.
+    RequiredGaNotCovered {
+        /// Index of the GA constraint within `G`.
+        ga_index: usize,
+    },
+    /// A non-seed GA has fewer than `β` attributes.
+    BetaViolation {
+        /// Index of the GA within the mediated schema.
+        ga_index: usize,
+        /// Its attribute count.
+        len: usize,
+        /// The `β` bound it had to respect.
+        beta: usize,
+    },
+    /// The overall quality is outside `[0, 1]` or not finite.
+    QualityOutOfRange {
+        /// The reported quality.
+        quality: f64,
+    },
+    /// A per-QEF weight or score is outside `[0, 1]` or not finite.
+    QefScoreOutOfRange {
+        /// The QEF's name.
+        name: String,
+        /// Its reported weight.
+        weight: f64,
+        /// Its reported score.
+        score: f64,
+    },
+    /// The breakdown's weights do not sum to 1.
+    QefWeightsUnnormalized {
+        /// The actual sum.
+        sum: f64,
+    },
+    /// The reported quality disagrees with `Σ wᵢ·Fᵢ` over the breakdown.
+    QualityInconsistent {
+        /// The quality the solution states.
+        stated: f64,
+        /// The quality recomputed from the breakdown.
+        computed: f64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::EmptySelection => write!(f, "solution selects no sources"),
+            Violation::TooManySources { selected, max } => {
+                write!(f, "{selected} sources selected but max_sources is {max}")
+            }
+            Violation::UnknownSource { source } => {
+                write!(f, "selected source {source} is not in the universe")
+            }
+            Violation::MissingRequiredSource { source } => {
+                write!(f, "required source {source} is not selected")
+            }
+            Violation::GaOutsideSelection { ga_index, source } => {
+                write!(
+                    f,
+                    "GA{ga_index} uses an attribute of unselected source {source}"
+                )
+            }
+            Violation::SchemaOverlap => {
+                write!(f, "mediated schema GAs are not pairwise disjoint")
+            }
+            Violation::ConstraintSourceUnspanned { source } => {
+                write!(f, "pinned source {source} is not touched by any GA")
+            }
+            Violation::RequiredGaNotCovered { ga_index } => {
+                write!(
+                    f,
+                    "GA constraint #{ga_index} is not subsumed by any schema GA"
+                )
+            }
+            Violation::BetaViolation {
+                ga_index,
+                len,
+                beta,
+            } => {
+                write!(f, "GA{ga_index} has {len} attributes, below beta = {beta}")
+            }
+            Violation::QualityOutOfRange { quality } => {
+                write!(f, "overall quality {quality} outside [0, 1]")
+            }
+            Violation::QefScoreOutOfRange {
+                name,
+                weight,
+                score,
+            } => {
+                write!(
+                    f,
+                    "QEF `{name}` weight {weight} / score {score} outside [0, 1]"
+                )
+            }
+            Violation::QefWeightsUnnormalized { sum } => {
+                write!(f, "QEF weights sum to {sum}, expected 1")
+            }
+            Violation::QualityInconsistent { stated, computed } => {
+                write!(
+                    f,
+                    "stated quality {stated} != weighted breakdown {computed}"
+                )
+            }
+        }
+    }
+}
+
+/// An independent auditor for solutions of one problem instance.
+#[derive(Clone)]
+pub struct SolutionValidator {
+    universe: Arc<Universe>,
+    constraints: Constraints,
+}
+
+impl SolutionValidator {
+    /// Builds a validator for a universe and constraint set.
+    pub fn new(universe: Arc<Universe>, constraints: Constraints) -> Self {
+        SolutionValidator {
+            universe,
+            constraints,
+        }
+    }
+
+    /// Builds a validator auditing solutions of `problem`.
+    pub fn for_problem(problem: &Problem) -> Self {
+        SolutionValidator::new(
+            Arc::clone(problem.universe()),
+            problem.constraints().clone(),
+        )
+    }
+
+    /// Audits a solution, returning every violation found (empty = valid).
+    pub fn check(&self, solution: &Solution) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let c = &self.constraints;
+
+        if solution.sources.is_empty() {
+            out.push(Violation::EmptySelection);
+        }
+        if solution.sources.len() > c.max_sources {
+            out.push(Violation::TooManySources {
+                selected: solution.sources.len(),
+                max: c.max_sources,
+            });
+        }
+        for &s in &solution.sources {
+            if self.universe.get(s).is_none() {
+                out.push(Violation::UnknownSource { source: s });
+            }
+        }
+        for s in c.effective_required_sources() {
+            if !solution.sources.contains(&s) {
+                out.push(Violation::MissingRequiredSource { source: s });
+            }
+        }
+
+        // Schema-side checks (Definitions 1–3 restricted to the selection).
+        for (i, ga) in solution.schema.gas().iter().enumerate() {
+            for source in ga.sources() {
+                if !solution.sources.contains(&source) {
+                    out.push(Violation::GaOutsideSelection {
+                        ga_index: i,
+                        source,
+                    });
+                }
+            }
+        }
+        if !solution.schema.gas_disjoint() {
+            out.push(Violation::SchemaOverlap);
+        }
+        for &s in &c.required_sources {
+            if solution.sources.contains(&s)
+                && !solution.schema.gas().iter().any(|ga| ga.touches_source(s))
+            {
+                out.push(Violation::ConstraintSourceUnspanned { source: s });
+            }
+        }
+        for (i, required) in c.required_gas.iter().enumerate() {
+            if !solution
+                .schema
+                .gas()
+                .iter()
+                .any(|ga| required.is_subset_of(ga))
+            {
+                out.push(Violation::RequiredGaNotCovered { ga_index: i });
+            }
+        }
+        let seeds = c.merged_ga_seeds();
+        for (i, ga) in solution.schema.gas().iter().enumerate() {
+            if ga.len() < c.beta && !seeds.iter().any(|seed| seed.is_subset_of(ga)) {
+                out.push(Violation::BetaViolation {
+                    ga_index: i,
+                    len: ga.len(),
+                    beta: c.beta,
+                });
+            }
+        }
+
+        // QEF bounds: quality and breakdown in range and mutually consistent.
+        if !solution.quality.is_finite() || !(0.0..=1.0).contains(&solution.quality) {
+            out.push(Violation::QualityOutOfRange {
+                quality: solution.quality,
+            });
+        }
+        if !solution.qef_scores.is_empty() {
+            let mut weight_sum = 0.0;
+            let mut computed = 0.0;
+            for (name, weight, score) in &solution.qef_scores {
+                let unit = 0.0..=1.0;
+                if !weight.is_finite()
+                    || !score.is_finite()
+                    || !unit.contains(weight)
+                    || !unit.contains(score)
+                {
+                    out.push(Violation::QefScoreOutOfRange {
+                        name: name.clone(),
+                        weight: *weight,
+                        score: *score,
+                    });
+                }
+                weight_sum += weight;
+                computed += weight * score;
+            }
+            if (weight_sum - 1.0).abs() > QUALITY_TOLERANCE {
+                out.push(Violation::QefWeightsUnnormalized { sum: weight_sum });
+            }
+            if (computed - solution.quality).abs() > QUALITY_TOLERANCE {
+                out.push(Violation::QualityInconsistent {
+                    stated: solution.quality,
+                    computed,
+                });
+            }
+        }
+        out
+    }
+
+    /// Like [`SolutionValidator::check`], but folds violations into a
+    /// [`MubeError`] so callers can `?` it.
+    pub fn validate(&self, solution: &Solution) -> Result<(), MubeError> {
+        let violations = self.check(solution);
+        if violations.is_empty() {
+            return Ok(());
+        }
+        let detail: Vec<String> = violations.iter().map(Violation::to_string).collect();
+        Err(MubeError::ConstraintConflict {
+            detail: format!(
+                "solution failed post-solve validation: {}",
+                detail.join("; ")
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::{GlobalAttribute, MediatedSchema};
+    use crate::ids::AttrId;
+    use crate::matchop::IdentityMatcher;
+    use crate::qefs::data_only_qefs;
+    use crate::schema::Schema;
+    use crate::source::SourceSpec;
+    use std::collections::BTreeSet;
+
+    fn universe(n: u32) -> Arc<Universe> {
+        let mut b = Universe::builder();
+        for i in 0..n {
+            b.add_source(
+                SourceSpec::new(format!("s{i}"), Schema::new(["x", "y"]))
+                    .cardinality(100 + u64::from(i)),
+            );
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    fn solved(n: u32, constraints: Constraints) -> (SolutionValidator, Solution) {
+        let problem = Problem::new(
+            universe(n),
+            Arc::new(IdentityMatcher),
+            data_only_qefs(),
+            constraints,
+        )
+        .unwrap();
+        let solution = problem.solve(&mube_opt::TabuSearch::default(), 3).unwrap();
+        (SolutionValidator::for_problem(&problem), solution)
+    }
+
+    #[test]
+    fn genuine_solutions_validate() {
+        let (validator, solution) = solved(6, Constraints::with_max_sources(3).beta(1));
+        assert_eq!(validator.check(&solution), Vec::new());
+        assert!(validator.validate(&solution).is_ok());
+    }
+
+    #[test]
+    fn oversized_and_empty_selections_rejected() {
+        let (validator, mut solution) = solved(6, Constraints::with_max_sources(3).beta(1));
+        for i in 0..6 {
+            solution.sources.insert(SourceId(i));
+        }
+        assert!(validator
+            .check(&solution)
+            .iter()
+            .any(|v| matches!(v, Violation::TooManySources { .. })));
+        solution.sources.clear();
+        solution.schema = MediatedSchema::empty();
+        assert!(validator
+            .check(&solution)
+            .contains(&Violation::EmptySelection));
+    }
+
+    #[test]
+    fn missing_required_source_rejected() {
+        let constraints = Constraints::with_max_sources(3)
+            .beta(1)
+            .require_source(SourceId(2));
+        let (validator, mut solution) = solved(6, constraints);
+        solution.sources.remove(&SourceId(2));
+        let violations = validator.check(&solution);
+        assert!(
+            violations.contains(&Violation::MissingRequiredSource {
+                source: SourceId(2)
+            }),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let (validator, mut solution) = solved(6, Constraints::with_max_sources(4).beta(1));
+        solution.sources.insert(SourceId(77));
+        assert!(validator
+            .check(&solution)
+            .contains(&Violation::UnknownSource {
+                source: SourceId(77)
+            }));
+    }
+
+    #[test]
+    fn ga_outside_selection_rejected() {
+        let (validator, mut solution) = solved(6, Constraints::with_max_sources(3).beta(1));
+        let outside: BTreeSet<SourceId> = (0..6)
+            .map(SourceId)
+            .filter(|s| !solution.sources.contains(s))
+            .collect();
+        let stranger = *outside.iter().next().unwrap();
+        let mut gas: Vec<GlobalAttribute> = solution.schema.gas().to_vec();
+        gas.push(GlobalAttribute::singleton(AttrId::new(stranger, 0)));
+        solution.schema = MediatedSchema::new(gas);
+        let violations = validator.check(&solution);
+        assert!(
+            violations.iter().any(
+                |v| matches!(v, Violation::GaOutsideSelection { source, .. } if *source == stranger)
+            ),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn overlapping_schema_rejected() {
+        let (validator, mut solution) = solved(6, Constraints::with_max_sources(3).beta(1));
+        let first = *solution.sources.iter().next().unwrap();
+        // Duplicate one attribute into two GAs.
+        let gas = vec![
+            GlobalAttribute::singleton(AttrId::new(first, 0)),
+            GlobalAttribute::try_new([
+                AttrId::new(first, 0),
+                AttrId::new(*solution.sources.iter().nth(1).unwrap(), 0),
+            ])
+            .unwrap(),
+        ];
+        solution.schema = MediatedSchema::new(gas);
+        assert!(validator
+            .check(&solution)
+            .contains(&Violation::SchemaOverlap));
+    }
+
+    #[test]
+    fn dropped_required_ga_rejected() {
+        let ga =
+            GlobalAttribute::try_new([AttrId::new(SourceId(0), 0), AttrId::new(SourceId(1), 0)])
+                .unwrap();
+        let constraints = Constraints::with_max_sources(3).beta(1).require_ga(ga);
+        let (validator, mut solution) = solved(6, constraints);
+        assert!(validator.check(&solution).is_empty());
+        // Mutate: drop the GA that covers the constraint.
+        let gas: Vec<GlobalAttribute> = solution
+            .schema
+            .gas()
+            .iter()
+            .filter(|g| !g.touches_source(SourceId(0)))
+            .cloned()
+            .collect();
+        solution.schema = MediatedSchema::new(gas);
+        let violations = validator.check(&solution);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::RequiredGaNotCovered { ga_index: 0 })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn unspanned_pin_rejected() {
+        let constraints = Constraints::with_max_sources(3)
+            .beta(1)
+            .require_source(SourceId(1));
+        let (validator, mut solution) = solved(6, constraints);
+        let gas: Vec<GlobalAttribute> = solution
+            .schema
+            .gas()
+            .iter()
+            .filter(|g| !g.touches_source(SourceId(1)))
+            .cloned()
+            .collect();
+        solution.schema = MediatedSchema::new(gas);
+        let violations = validator.check(&solution);
+        assert!(
+            violations.contains(&Violation::ConstraintSourceUnspanned {
+                source: SourceId(1)
+            }),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn beta_violation_rejected() {
+        let (validator, mut solution) = solved(6, Constraints::with_max_sources(3).beta(1));
+        // Tighten beta after the fact: singleton GAs become violations.
+        let tightened = SolutionValidator::new(
+            Arc::clone(&validator.universe),
+            Constraints {
+                beta: 3,
+                ..validator.constraints.clone()
+            },
+        );
+        solution.schema = MediatedSchema::new(vec![GlobalAttribute::singleton(AttrId::new(
+            *solution.sources.iter().next().unwrap(),
+            0,
+        ))]);
+        let violations = tightened.check(&solution);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::BetaViolation {
+                    len: 1,
+                    beta: 3,
+                    ..
+                }
+            )),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn quality_bounds_and_consistency_enforced() {
+        let (validator, solution) = solved(6, Constraints::with_max_sources(3).beta(1));
+
+        let mut wild = solution.clone();
+        wild.quality = 1.5;
+        assert!(validator
+            .check(&wild)
+            .iter()
+            .any(|v| matches!(v, Violation::QualityOutOfRange { .. })));
+
+        let mut nan = solution.clone();
+        nan.quality = f64::NAN;
+        assert!(validator
+            .check(&nan)
+            .iter()
+            .any(|v| matches!(v, Violation::QualityOutOfRange { .. })));
+
+        let mut skewed = solution.clone();
+        if let Some((_, _, score)) = skewed.qef_scores.first_mut() {
+            *score += 0.5;
+        }
+        let violations = validator.check(&skewed);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                Violation::QualityInconsistent { .. } | Violation::QefScoreOutOfRange { .. }
+            )),
+            "{violations:?}"
+        );
+
+        let mut unnormalized = solution;
+        if let Some((_, weight, _)) = unnormalized.qef_scores.first_mut() {
+            *weight = 0.0;
+        }
+        assert!(validator
+            .check(&unnormalized)
+            .iter()
+            .any(|v| matches!(v, Violation::QefWeightsUnnormalized { .. })));
+    }
+
+    #[test]
+    fn validate_folds_into_error() {
+        let (validator, mut solution) = solved(6, Constraints::with_max_sources(3).beta(1));
+        solution.quality = 2.0;
+        let err = validator.validate(&solution).unwrap_err();
+        assert!(matches!(err, MubeError::ConstraintConflict { .. }));
+        assert!(err.to_string().contains("post-solve validation"));
+    }
+}

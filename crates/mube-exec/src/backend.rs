@@ -1,6 +1,6 @@
 //! Source access: how the executor actually retrieves tuples.
 //!
-//! Real µBE deployments would talk HTTP to hidden-Web sites; this substrate
+//! Real `µBE` deployments would talk HTTP to hidden-Web sites; this substrate
 //! serves the same interface from the generator's tuple windows, with a
 //! simple latency model driven by the sources' characteristics (the paper's
 //! "networking and processing costs" of including a source).
@@ -102,7 +102,10 @@ mod tests {
         let backend = WindowBackend::new(&s);
         for source in s.universe.source_ids() {
             let everything = backend.fetch(source, &Query::range(0, u64::MAX));
-            assert_eq!(everything.len() as u64, s.windows[source.index()].cardinality());
+            assert_eq!(
+                everything.len() as u64,
+                s.windows[source.index()].cardinality()
+            );
             // Fetch of an empty range is empty.
             assert!(backend.fetch(source, &Query::range(5, 5)).is_empty());
             // Fetched ids satisfy the predicate.
@@ -117,7 +120,9 @@ mod tests {
     fn unknown_source_fetches_nothing() {
         let s = synth();
         let backend = WindowBackend::new(&s);
-        assert!(backend.fetch(SourceId(99), &Query::range(0, 100)).is_empty());
+        assert!(backend
+            .fetch(SourceId(99), &Query::range(0, 100))
+            .is_empty());
     }
 
     #[test]
@@ -134,8 +139,7 @@ mod tests {
     #[test]
     fn per_tuple_override() {
         let s = synth();
-        let backend =
-            WindowBackend::new(&s).with_per_tuple(Duration::from_millis(1));
+        let backend = WindowBackend::new(&s).with_per_tuple(Duration::from_millis(1));
         let c = backend.cost(SourceId(0), 1000);
         assert!(c >= Duration::from_secs(1));
     }

@@ -90,13 +90,16 @@ impl<B: DataSourceBackend> Executor<B> {
         self.run(sources.iter().copied().collect(), Vec::new(), query)
     }
 
-    /// Executes a query against a µBE solution: only sources contributing
+    /// Executes a query against a `µBE` solution: only sources contributing
     /// an attribute to a projected GA are queried; the rest are reported as
     /// unanswerable (their data cannot be mapped onto the requested part of
     /// the mediated schema).
     pub fn execute_solution(&self, solution: &Solution, query: &Query) -> ExecutionReport {
         let (answerable, unanswerable) = match &query.projection {
-            None => (solution.sources.iter().copied().collect::<Vec<_>>(), Vec::new()),
+            None => (
+                solution.sources.iter().copied().collect::<Vec<_>>(),
+                Vec::new(),
+            ),
             Some(projected) => {
                 let spanned = projected_sources(&solution.schema, projected);
                 let mut answerable = Vec::new();
@@ -141,7 +144,12 @@ impl<B: DataSourceBackend> Executor<B> {
             makespan = makespan.max(cost);
             total_cost += cost;
             fetched_total += fetched;
-            per_source.push(SourceFetch { source, fetched, novel, cost });
+            per_source.push(SourceFetch {
+                source,
+                fetched,
+                novel,
+                cost,
+            });
         }
         ExecutionReport {
             tuples,
@@ -159,7 +167,7 @@ fn projected_sources(schema: &MediatedSchema, projected: &BTreeSet<usize>) -> BT
     projected
         .iter()
         .filter_map(|&idx| schema.gas().get(idx))
-        .flat_map(|ga| ga.sources())
+        .flat_map(mube_core::GlobalAttribute::sources)
         .collect()
 }
 
@@ -226,11 +234,9 @@ mod tests {
         use mube_core::ids::AttrId;
         let (synth, executor) = setup();
         // Build a solution where only sources 0 and 1 participate in GA 0.
-        let ga = GlobalAttribute::try_new([
-            AttrId::new(SourceId(0), 0),
-            AttrId::new(SourceId(1), 0),
-        ])
-        .unwrap();
+        let ga =
+            GlobalAttribute::try_new([AttrId::new(SourceId(0), 0), AttrId::new(SourceId(1), 0)])
+                .unwrap();
         let solution = mube_core::Solution {
             sources: [SourceId(0), SourceId(1), SourceId(2)].into(),
             schema: MediatedSchema::new([ga]),
@@ -238,8 +244,7 @@ mod tests {
             qef_scores: vec![],
             evaluations: 0,
         };
-        let report =
-            executor.execute_solution(&solution, &Query::range(0, u64::MAX).project([0]));
+        let report = executor.execute_solution(&solution, &Query::range(0, u64::MAX).project([0]));
         assert_eq!(report.unanswerable, vec![SourceId(2)]);
         assert_eq!(report.per_source.len(), 2);
         // Without projection, all three answer.

@@ -1,4 +1,4 @@
-//! # mube-exec — query execution over a µBE solution
+//! # mube-exec — query execution over a `µBE` solution
 //!
 //! The paper's introduction motivates *bounded* source selection with the
 //! costs a data-integration system pays at query time: "the costs to

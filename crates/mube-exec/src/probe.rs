@@ -1,6 +1,6 @@
 //! Automatic measurement of source characteristics (§5).
 //!
-//! "Some of these characteristics can be measured automatically by µBE,
+//! "Some of these characteristics can be measured automatically by `µBE`,
 //! such as latency" — this module does exactly that: it issues a small
 //! probe query to every source through the backend, records the simulated
 //! round-trip cost, and produces a new [`Universe`] whose sources carry the
@@ -82,7 +82,10 @@ mod tests {
             // mttf preserved, latency + responsiveness added.
             assert_eq!(orig.characteristic("mttf"), new.characteristic("mttf"));
             let latency = new.characteristic("latency").expect("probed");
-            assert!(latency >= 50.0, "window backend setup is ≥ 50ms, got {latency}");
+            assert!(
+                latency >= 50.0,
+                "window backend setup is ≥ 50ms, got {latency}"
+            );
             assert!(new.characteristic("responsiveness").expect("probed") > 0.0);
         }
     }
@@ -110,8 +113,11 @@ mod tests {
         let qefs = WeightedQefs::new(vec![
             (Arc::new(CardinalityQef) as Arc<dyn mube_core::Qef>, 0.5),
             (
-                Arc::new(CharacteristicQef::new("responsiveness", "responsiveness", MaxAgg))
-                    as Arc<dyn mube_core::Qef>,
+                Arc::new(CharacteristicQef::new(
+                    "responsiveness",
+                    "responsiveness",
+                    MaxAgg,
+                )) as Arc<dyn mube_core::Qef>,
                 0.5,
             ),
         ])

@@ -24,7 +24,11 @@ pub struct Query {
 impl Query {
     /// A pure selection query over `[start, end)`.
     pub fn range(start: u64, end: u64) -> Self {
-        Query { start, end, projection: None }
+        Query {
+            start,
+            end,
+            projection: None,
+        }
     }
 
     /// Restricts the query to the given GA indices of the mediated schema.

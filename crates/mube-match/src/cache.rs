@@ -106,6 +106,56 @@ impl SimilarityCache {
     pub fn matrix_bytes(&self) -> usize {
         self.matrix.len() * std::mem::size_of::<f32>()
     }
+
+    /// For each source (indexed by source id), the best similarity any of
+    /// its attributes reaches against an attribute of a *different* source.
+    ///
+    /// This is the per-source upper bound on cluster cohesion: a source
+    /// whose best cross-source similarity is below `θ` can never join a
+    /// non-seed GA. Sources of a single-source universe score `0.0`.
+    pub fn per_source_best_cross_sim(&self) -> Vec<f64> {
+        let sets: Vec<std::collections::BTreeSet<u32>> = self
+            .name_ids
+            .iter()
+            .map(|ids| ids.iter().copied().collect())
+            .collect();
+        let mut best = vec![0.0f64; sets.len()];
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                for &a in &sets[i] {
+                    for &b in &sets[j] {
+                        let s = self.sim_by_name_id(a, b);
+                        if s > best[i] {
+                            best[i] = s;
+                        }
+                        if s > best[j] {
+                            best[j] = s;
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The best similarity achievable between attributes of two *different*
+    /// sources — an upper bound on any usable matching threshold `θ`: above
+    /// this value no pair of attributes can co-cluster, so every non-seed GA
+    /// is a singleton and dies to any `β ≥ 2`.
+    pub fn max_cross_source_sim(&self) -> f64 {
+        self.per_source_best_cross_sim()
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Convenience for one-shot audits: the highest cross-source attribute
+/// similarity in `universe` under `measure` (see
+/// [`SimilarityCache::max_cross_source_sim`]). A `θ` above this bound is
+/// unsatisfiable: the matcher can never form a multi-source GA outside the
+/// user's seed GAs.
+pub fn theta_upper_bound(universe: &Universe, measure: &dyn Similarity) -> f64 {
+    SimilarityCache::build(universe, measure).max_cross_source_sim()
 }
 
 #[cfg(test)]
@@ -145,7 +195,10 @@ mod tests {
         let cache = SimilarityCache::build(&u, &measure);
         let expected = measure.similarity("title", "book title");
         let got = cache.attr_sim(attr(0, 0), attr(2, 0));
-        assert!((got - expected).abs() < 1e-6, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-6,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]
@@ -171,5 +224,38 @@ mod tests {
         let cache = SimilarityCache::build(&u, &JaccardNGram::trigram());
         assert_eq!(cache.matrix_bytes(), 4 * 4 * 4);
         assert_eq!(cache.measure_name(), "jaccard3");
+    }
+
+    #[test]
+    fn cross_source_bound_finds_shared_names() {
+        // "title" appears in sources a and b, so the bound is exactly 1.
+        let u = universe();
+        let cache = SimilarityCache::build(&u, &JaccardNGram::trigram());
+        assert_eq!(cache.max_cross_source_sim(), 1.0);
+        assert_eq!(theta_upper_bound(&u, &JaccardNGram::trigram()), 1.0);
+        let per_source = cache.per_source_best_cross_sim();
+        assert_eq!(per_source.len(), 3);
+        assert_eq!(per_source[0], 1.0);
+        assert_eq!(per_source[1], 1.0);
+        // Source c's best partner is "title" vs "book title" < 1.
+        assert!(per_source[2] < 1.0 && per_source[2] > 0.0, "{per_source:?}");
+    }
+
+    #[test]
+    fn cross_source_bound_on_dissimilar_universe() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("a", Schema::new(["aaaaaa"])));
+        b.add_source(SourceSpec::new("b", Schema::new(["zzzzzz"])));
+        let u = b.build().unwrap();
+        assert_eq!(theta_upper_bound(&u, &JaccardNGram::trigram()), 0.0);
+    }
+
+    #[test]
+    fn cross_source_bound_single_source_is_zero() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("only", Schema::new(["x", "x copy"])));
+        let u = b.build().unwrap();
+        // Similar attributes *within* one source do not count.
+        assert_eq!(theta_upper_bound(&u, &JaccardNGram::trigram()), 0.0);
     }
 }

@@ -11,7 +11,7 @@
 //! The max-linkage definition is what makes GA constraints act as *bridges*:
 //! a constraint cluster `{F name, Prenom}` attracts attributes similar to
 //! either member without the dissimilar member penalizing them — "the user
-//! provides an example of a matching, and µBE expands it".
+//! provides an example of a matching, and `µBE` expands it".
 //!
 //! Two clarifications of the paper's pseudocode (its printed guards are
 //! garbled by the PDF-to-text conversion) that we adopt, guided by the
@@ -35,7 +35,7 @@ use mube_core::source::Universe;
 use crate::cache::SimilarityCache;
 use crate::similarity::Similarity;
 
-/// µBE's reference `Match(S)` operator.
+/// `µBE`'s reference `Match(S)` operator.
 ///
 /// Holds a similarity cache precomputed over the universe it was built for;
 /// calls with a different universe are rejected as infeasible (caches and
@@ -49,13 +49,19 @@ impl ClusterMatcher {
     /// Builds a matcher (and its similarity cache) for a universe.
     pub fn new(universe: Arc<Universe>, measure: impl Similarity + 'static) -> Self {
         let cache = Arc::new(SimilarityCache::build(&universe, &measure));
-        ClusterMatcher { cache, universe_len: universe.len() }
+        ClusterMatcher {
+            cache,
+            universe_len: universe.len(),
+        }
     }
 
     /// Builds a matcher from an existing cache (sharing it with other
     /// components, e.g. diagnostics).
     pub fn with_cache(universe: &Universe, cache: Arc<SimilarityCache>) -> Self {
-        ClusterMatcher { cache, universe_len: universe.len() }
+        ClusterMatcher {
+            cache,
+            universe_len: universe.len(),
+        }
     }
 
     /// The underlying similarity cache.
@@ -119,7 +125,11 @@ impl MatchOperator for ClusterMatcher {
         }
         // The caller must pass S ⊇ C (the paper ensures this for every call
         // to Match); a violating call can never produce a valid schema.
-        if !constraints.required_sources.iter().all(|s| sources.contains(s)) {
+        if !constraints
+            .required_sources
+            .iter()
+            .all(|s| sources.contains(s))
+        {
             return MatchOutcome::Infeasible;
         }
         let theta = constraints.theta;
@@ -135,7 +145,11 @@ impl MatchOperator for ClusterMatcher {
                 return MatchOutcome::Infeasible;
             }
             seeded_attrs.extend(seed.attrs().iter().copied());
-            clusters.push(Cluster { ga: seed, keep: true, formed_by_merge: false });
+            clusters.push(Cluster {
+                ga: seed,
+                keep: true,
+                formed_by_merge: false,
+            });
         }
         // ...then every remaining attribute as its own cluster.
         for &sid in sources {
@@ -167,12 +181,9 @@ impl MatchOperator for ClusterMatcher {
                     }
                 }
             }
-            pairs.sort_by(|a, b| {
-                b.0.partial_cmp(&a.0)
-                    .expect("similarities are finite")
-                    .then(a.1.cmp(&b.1))
-                    .then(a.2.cmp(&b.2))
-            });
+            // total_cmp: a user-written `Similarity` returning NaN must
+            // not panic the matcher (NaN pairs sort last and lose ties).
+            pairs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
 
             let mut merged = vec![false; k];
             let mut mergecand = vec![false; k];
@@ -225,8 +236,7 @@ impl MatchOperator for ClusterMatcher {
         let quality = if schema.is_empty() {
             0.0
         } else {
-            schema.gas().iter().map(|g| self.ga_quality(g)).sum::<f64>()
-                / schema.len() as f64
+            schema.gas().iter().map(|g| self.ga_quality(g)).sum::<f64>() / schema.len() as f64
         };
         MatchOutcome::Matched { schema, quality }
     }
@@ -247,7 +257,10 @@ mod tests {
     fn build(schemas: &[&[&str]]) -> (Arc<Universe>, ClusterMatcher) {
         let mut b = Universe::builder();
         for (i, attrs) in schemas.iter().enumerate() {
-            b.add_source(SourceSpec::new(format!("s{i}"), Schema::new(attrs.iter().copied())));
+            b.add_source(SourceSpec::new(
+                format!("s{i}"),
+                Schema::new(attrs.iter().copied()),
+            ));
         }
         let u = Arc::new(b.build().unwrap());
         let m = ClusterMatcher::new(Arc::clone(&u), JaccardNGram::trigram());
@@ -322,7 +335,9 @@ mod tests {
         // them, and "first name" then joins via its similarity to "f name".
         let (u, m) = build(&[&["f name"], &["prenom"], &["first name"]]);
         let bridge = GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap();
-        let c = Constraints::with_max_sources(3).theta(0.30).require_ga(bridge.clone());
+        let c = Constraints::with_max_sources(3)
+            .theta(0.30)
+            .require_ga(bridge.clone());
 
         // Without the constraint nothing merges with "prenom".
         let plain = Constraints::with_max_sources(3).theta(0.30);
@@ -340,7 +355,9 @@ mod tests {
     fn keep_clusters_survive_even_unmatched() {
         let (u, m) = build(&[&["alpha"], &["omega"]]);
         let ga = GlobalAttribute::try_new([a(0, 0)]).unwrap();
-        let c = Constraints::with_max_sources(2).theta(0.9).require_ga(ga.clone());
+        let c = Constraints::with_max_sources(2)
+            .theta(0.9)
+            .require_ga(ga.clone());
         let (schema, _) = run(&u, &m, &c).unwrap();
         assert_eq!(schema.len(), 1);
         assert!(schema.covers_gas(&[ga]));
@@ -351,7 +368,9 @@ mod tests {
         // Source 1's only attribute matches nothing, so the schema cannot
         // span it; with source 1 in C the match is infeasible.
         let (u, m) = build(&[&["title"], &["zzzz"], &["title"]]);
-        let c = Constraints::with_max_sources(3).theta(0.75).require_source(SourceId(1));
+        let c = Constraints::with_max_sources(3)
+            .theta(0.75)
+            .require_source(SourceId(1));
         assert!(run(&u, &m, &c).is_none());
         // Without the constraint, matching succeeds (source 1 contributes
         // nothing to the schema).
@@ -398,7 +417,12 @@ mod tests {
     fn chained_merging_converges() {
         // a–b similar, c–d similar, and the merged pairs are mutually
         // similar through b–c: everything should coalesce into one GA.
-        let (u, m) = build(&[&["order date"], &["order data"], &["order daze"], &["order dace"]]);
+        let (u, m) = build(&[
+            &["order date"],
+            &["order data"],
+            &["order daze"],
+            &["order dace"],
+        ]);
         let c = Constraints::with_max_sources(4).theta(0.5);
         let (schema, q) = run(&u, &m, &c).unwrap();
         assert_eq!(schema.len(), 1);

@@ -167,7 +167,10 @@ impl Compounding {
                 );
             }
         }
-        Ok(Derived { universe: builder.build()?, members })
+        Ok(Derived {
+            universe: builder.build()?,
+            members,
+        })
     }
 }
 
@@ -242,7 +245,9 @@ mod tests {
                 .cardinality(10)
                 .characteristic("mttf", 5.0),
         );
-        b.add_source(SourceSpec::new("joined", Schema::new(["full name", "price"])).cardinality(20));
+        b.add_source(
+            SourceSpec::new("joined", Schema::new(["full name", "price"])).cardinality(20),
+        );
         b.build().unwrap()
     }
 
@@ -252,8 +257,14 @@ mod tests {
         assert!(c.add_group(SourceId(0), [0]).is_err(), "needs two members");
         assert!(c.add_group(SourceId(0), [0, 0]).is_err(), "no repeats");
         assert!(c.add_group(SourceId(0), [0, 1]).is_ok());
-        assert!(c.add_group(SourceId(0), [1, 2]).is_err(), "overlap rejected");
-        assert!(c.add_group(SourceId(1), [0, 1]).is_ok(), "other sources independent");
+        assert!(
+            c.add_group(SourceId(0), [1, 2]).is_err(),
+            "overlap rejected"
+        );
+        assert!(
+            c.add_group(SourceId(1), [0, 1]).is_ok(),
+            "other sources independent"
+        );
     }
 
     #[test]
@@ -278,7 +289,10 @@ mod tests {
         let u = universe();
         let mut c = Compounding::new();
         c.add_group(SourceId(0), [0, 9]).unwrap();
-        assert!(matches!(c.derive(&u), Err(MubeError::UnknownAttribute { .. })));
+        assert!(matches!(
+            c.derive(&u),
+            Err(MubeError::UnknownAttribute { .. })
+        ));
     }
 
     #[test]

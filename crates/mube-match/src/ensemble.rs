@@ -41,7 +41,11 @@ impl Ensemble {
             },
             names.join(",")
         );
-        Ensemble { members, combine, display_name }
+        Ensemble {
+            members,
+            combine,
+            display_name,
+        }
     }
 
     /// The recommended general-purpose ensemble: max of 3-gram Jaccard and
@@ -65,8 +69,7 @@ impl Similarity for Ensemble {
         match self.combine {
             Combine::Max => scores.fold(0.0f64, f64::max),
             Combine::Mean => {
-                let (sum, count) =
-                    scores.fold((0.0f64, 0usize), |(s, c), x| (s + x, c + 1));
+                let (sum, count) = scores.fold((0.0f64, 0usize), |(s, c), x| (s + x, c + 1));
                 sum / count as f64
             }
         }

@@ -1,6 +1,6 @@
 //! # mube-match — attribute similarity and constrained clustering
 //!
-//! The reference implementation of µBE's `Match(S)` operator (§3 of the
+//! The reference implementation of `µBE`'s `Match(S)` operator (§3 of the
 //! paper): **greedy constrained similarity clustering** over the attributes
 //! of a candidate source set, seeded by user GA constraints ("matching by
 //! example").
@@ -42,13 +42,13 @@
 //! ```
 
 pub mod cache;
+pub mod cluster;
 pub mod compound;
 pub mod ensemble;
-pub mod cluster;
 pub mod similarity;
 
-pub use cache::SimilarityCache;
+pub use cache::{theta_upper_bound, SimilarityCache};
+pub use cluster::ClusterMatcher;
 pub use compound::{CompoundGa, CompoundSchema, Compounding, Derived};
 pub use ensemble::{Combine, Ensemble};
-pub use cluster::ClusterMatcher;
 pub use similarity::{JaccardNGram, NormalizedLevenshtein, Similarity, TokenDice};

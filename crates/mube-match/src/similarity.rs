@@ -37,7 +37,10 @@ impl JaccardNGram {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "n-gram size must be at least 1");
-        JaccardNGram { n, display_name: format!("jaccard{n}") }
+        JaccardNGram {
+            n,
+            display_name: format!("jaccard{n}"),
+        }
     }
 
     /// The paper's configuration: 3-grams.
@@ -53,7 +56,7 @@ impl JaccardNGram {
         if chars.len() <= self.n {
             return BTreeSet::from([chars]);
         }
-        chars.windows(self.n).map(|w| w.to_vec()).collect()
+        chars.windows(self.n).map(<[char]>::to_vec).collect()
     }
 }
 
@@ -197,7 +200,13 @@ mod tests {
     #[test]
     fn levenshtein_known_values() {
         assert_eq!(levenshtein(&['a', 'b', 'c'], &['a', 'b', 'c']), 0);
-        assert_eq!(levenshtein(&['k', 'i', 't', 't', 'e', 'n'], &['s', 'i', 't', 't', 'i', 'n', 'g']), 3);
+        assert_eq!(
+            levenshtein(
+                &['k', 'i', 't', 't', 'e', 'n'],
+                &['s', 'i', 't', 't', 'i', 'n', 'g']
+            ),
+            3
+        );
         assert_eq!(levenshtein(&[], &['x']), 1);
     }
 

@@ -18,23 +18,24 @@ fn name_strategy() -> impl Strategy<Value = String> {
 }
 
 fn universe_strategy() -> impl Strategy<Value = Universe> {
-    prop::collection::vec(prop::collection::vec(name_strategy(), 1..5), 2..6).prop_map(
-        |schemas| {
-            let mut b = Universe::builder();
-            for (i, attrs) in schemas.into_iter().enumerate() {
-                // Dedupe within one schema: real interfaces don't repeat
-                // labels and GAs forbid same-source duplicates.
-                let mut seen = BTreeSet::new();
-                let mut unique: Vec<String> =
-                    attrs.into_iter().filter(|a| seen.insert(a.clone())).collect();
-                if unique.is_empty() {
-                    unique.push(format!("attr{i}"));
-                }
-                b.add_source(SourceSpec::new(format!("s{i}"), Schema::new(unique)));
+    prop::collection::vec(prop::collection::vec(name_strategy(), 1..5), 2..6).prop_map(|schemas| {
+        let mut b = Universe::builder();
+        for (i, attrs) in schemas.into_iter().enumerate() {
+            // Dedupe within one schema: real interfaces don't repeat
+            // labels and GAs forbid same-source duplicates.
+            let mut seen = BTreeSet::new();
+            let mut unique: Vec<String> = attrs
+                .into_iter()
+                .filter(|a| seen.insert(a.clone()))
+                .collect();
+            if unique.is_empty() {
+                unique.push(format!("attr{i}"));
             }
-            b.build().expect("non-empty universes with non-empty schemas")
-        },
-    )
+            b.add_source(SourceSpec::new(format!("s{i}"), Schema::new(unique)));
+        }
+        b.build()
+            .expect("non-empty universes with non-empty schemas")
+    })
 }
 
 proptest! {
@@ -108,7 +109,7 @@ proptest! {
             let constraints = Constraints::with_max_sources(universe.len()).theta(theta);
             match matcher.match_sources(&universe, &sources, &constraints) {
                 MatchOutcome::Matched { schema, .. } => {
-                    schema.gas().iter().map(|g| g.len()).sum()
+                    schema.gas().iter().map(mube_core::GlobalAttribute::len).sum()
                 }
                 MatchOutcome::Infeasible => 0,
             }

@@ -69,7 +69,9 @@ impl SubsetSolver for SimulatedAnnealing {
             }
             temperature *= self.cooling;
         }
-        incumbent.into_result(iterations)
+        let result = incumbent.into_result(iterations);
+        crate::problem::debug_validate_result(objective, &result);
+        result
     }
 }
 
@@ -102,7 +104,11 @@ mod tests {
     #[test]
     fn converges_on_linear_objective() {
         let values: Vec<f64> = (0..30).map(f64::from).collect();
-        let toy = Toy { values, max: 4, required: vec![] };
+        let toy = Toy {
+            values,
+            max: 4,
+            required: vec![],
+        };
         let r = SimulatedAnnealing::default().solve(&toy, 3);
         // Optimum is 1.10.
         assert!(r.score >= 0.95, "score = {}", r.score);
@@ -110,7 +116,11 @@ mod tests {
 
     #[test]
     fn keeps_required_and_size_bound() {
-        let toy = Toy { values: vec![0.0, 5.0, 9.0, 1.0, 7.0], max: 3, required: vec![0, 3] };
+        let toy = Toy {
+            values: vec![0.0, 5.0, 9.0, 1.0, 7.0],
+            max: 3,
+            required: vec![0, 3],
+        };
         let r = SimulatedAnnealing::default().solve(&toy, 4);
         assert!(r.selected.contains(&0) && r.selected.contains(&3));
         assert!(r.selected.len() <= 3);
@@ -118,7 +128,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let toy = Toy { values: vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0], max: 2, required: vec![] };
+        let toy = Toy {
+            values: vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0],
+            max: 2,
+            required: vec![],
+        };
         let a = SimulatedAnnealing::default().solve(&toy, 8);
         let b = SimulatedAnnealing::default().solve(&toy, 8);
         assert_eq!(a, b);

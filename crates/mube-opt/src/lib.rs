@@ -1,6 +1,6 @@
-//! Constrained subset-selection metaheuristics for µBE.
+//! Constrained subset-selection metaheuristics for `µBE`.
 //!
-//! µBE's source-selection problem is a non-linear constrained combinatorial
+//! `µBE`'s source-selection problem is a non-linear constrained combinatorial
 //! optimization: pick a subset of at most `m` elements from a universe of
 //! `N`, always keeping a required core, to maximize an arbitrary black-box
 //! objective. The paper (§6) evaluated stochastic local search, particle
@@ -8,7 +8,7 @@
 //! found tabu search the most robust — this crate implements all four behind
 //! one [`SubsetSolver`] interface so the comparison can be reproduced.
 //!
-//! The crate is deliberately independent of the µBE data model: anything
+//! The crate is deliberately independent of the `µBE` data model: anything
 //! implementing [`SubsetObjective`] can be solved, which is also how the
 //! algorithms are unit-tested on transparent toy objectives.
 //!

@@ -56,6 +56,20 @@ pub trait SubsetSolver {
     ) -> SolveResult {
         self.solve(objective, seed)
     }
+
+    /// Like [`SubsetSolver::solve_from`], but additionally *bounds the
+    /// drift*: solvers that support a trust region (tabu search) return a
+    /// solution whose Hamming distance from the (repaired) warm start is at
+    /// most `radius`. The default ignores the radius and warm-starts plainly.
+    fn solve_within(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+        _radius: usize,
+    ) -> SolveResult {
+        self.solve_from(objective, seed, warm)
+    }
 }
 
 /// Tracks the incumbent (best feasible solution seen) and evaluation counts
@@ -119,9 +133,7 @@ impl<'a> Incumbent<'a> {
                 .is_none_or(|(worst, _)| s > *worst || self.elites.len() < self.elite_capacity)
             && !self.elites.iter().any(|(_, sel)| sel == candidate)
         {
-            let pos = self
-                .elites
-                .partition_point(|(score, _)| *score >= s);
+            let pos = self.elites.partition_point(|(score, _)| *score >= s);
             self.elites.insert(pos, (s, candidate.to_vec()));
             self.elites.truncate(self.elite_capacity);
         }
@@ -138,12 +150,42 @@ impl<'a> Incumbent<'a> {
     }
 }
 
+/// Debug-build audit of a finished [`SolveResult`] against the structural
+/// constraints every solver must uphold: the selection is sorted and
+/// duplicate-free, within the universe, within the size bound, and contains
+/// every required element. All four solvers call this just before
+/// returning; release builds compile it away.
+pub(crate) fn debug_validate_result(objective: &dyn SubsetObjective, result: &SolveResult) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    let sel = &result.selected;
+    debug_assert!(
+        sel.windows(2).all(|w| w[0] < w[1]),
+        "solver returned an unsorted or duplicated selection: {sel:?}"
+    );
+    debug_assert!(
+        sel.iter().all(|&i| i < objective.universe_size()),
+        "solver selected outside the universe (size {}): {sel:?}",
+        objective.universe_size()
+    );
+    debug_assert!(
+        sel.len() <= objective.max_selected(),
+        "solver selected {} elements, above the bound {}",
+        sel.len(),
+        objective.max_selected()
+    );
+    for required in objective.required() {
+        debug_assert!(
+            sel.binary_search(&required).is_ok(),
+            "solver dropped required element {required}: {sel:?}"
+        );
+    }
+}
+
 /// Builds a random feasible starting subset: the required elements plus a
 /// random fill up to `max_selected`.
-pub(crate) fn random_feasible<R: Rng>(
-    objective: &dyn SubsetObjective,
-    rng: &mut R,
-) -> Vec<usize> {
+pub(crate) fn random_feasible<R: Rng>(objective: &dyn SubsetObjective, rng: &mut R) -> Vec<usize> {
     let n = objective.universe_size();
     let mut selected = objective.required();
     selected.sort_unstable();
@@ -231,10 +273,14 @@ pub(crate) fn random_move<R: Rng>(
     rng: &mut R,
 ) -> Option<Move> {
     let n = objective.universe_size();
-    let removable: Vec<usize> =
-        selection.iter().copied().filter(|i| !required.contains(i)).collect();
-    let addable: Vec<usize> =
-        (0..n).filter(|i| selection.binary_search(i).is_err()).collect();
+    let removable: Vec<usize> = selection
+        .iter()
+        .copied()
+        .filter(|i| !required.contains(i))
+        .collect();
+    let addable: Vec<usize> = (0..n)
+        .filter(|i| selection.binary_search(i).is_err())
+        .collect();
     let can_add = !addable.is_empty() && selection.len() < objective.max_selected();
     // Keep at least one element selected so the objective always sees a
     // non-trivial candidate.
@@ -291,7 +337,11 @@ mod tests {
 
     #[test]
     fn random_feasible_respects_constraints() {
-        let toy = Toy { values: vec![1.0; 10], max: 4, required: vec![7, 2] };
+        let toy = Toy {
+            values: vec![1.0; 10],
+            max: 4,
+            required: vec![7, 2],
+        };
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
             let s = random_feasible(&toy, &mut rng);
@@ -311,7 +361,11 @@ mod tests {
 
     #[test]
     fn random_move_never_removes_required() {
-        let toy = Toy { values: vec![1.0; 6], max: 3, required: vec![0] };
+        let toy = Toy {
+            values: vec![1.0; 6],
+            max: 3,
+            required: vec![0],
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let sel = vec![0, 1, 2];
         for _ in 0..200 {
@@ -323,7 +377,11 @@ mod tests {
 
     #[test]
     fn random_move_respects_max() {
-        let toy = Toy { values: vec![1.0; 6], max: 3, required: vec![] };
+        let toy = Toy {
+            values: vec![1.0; 6],
+            max: 3,
+            required: vec![],
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let sel = vec![0, 1, 2]; // already at max
         for _ in 0..200 {
@@ -334,7 +392,11 @@ mod tests {
 
     #[test]
     fn incumbent_tracks_best() {
-        let toy = Toy { values: vec![1.0, 2.0, 3.0], max: 2, required: vec![] };
+        let toy = Toy {
+            values: vec![1.0, 2.0, 3.0],
+            max: 2,
+            required: vec![],
+        };
         let mut inc = Incumbent::new(&toy, 100);
         assert_eq!(inc.score(&[0]), 1.0);
         assert_eq!(inc.score(&[1, 2]), 5.0);
@@ -346,7 +408,11 @@ mod tests {
 
     #[test]
     fn incumbent_budget() {
-        let toy = Toy { values: vec![1.0], max: 1, required: vec![] };
+        let toy = Toy {
+            values: vec![1.0],
+            max: 1,
+            required: vec![],
+        };
         let mut inc = Incumbent::new(&toy, 2);
         assert!(!inc.exhausted());
         inc.score(&[0]);

@@ -24,7 +24,7 @@ pub struct ParticleSwarm {
     pub cognitive: f64,
     /// Social coefficient `c2` (pull toward global best).
     pub social: f64,
-    /// Velocity clamp (|v| ≤ v_max keeps sigmoid out of saturation).
+    /// Velocity clamp (|v| ≤ `v_max` keeps sigmoid out of saturation).
     pub v_max: f64,
     /// Maximum swarm generations.
     pub max_generations: u64,
@@ -88,8 +88,7 @@ impl SubsetSolver for ParticleSwarm {
                         *bit = true;
                     }
                 }
-                let velocity: Vec<f64> =
-                    (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+                let velocity: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
                 let mut p = Particle {
                     position,
                     velocity,
@@ -125,7 +124,11 @@ impl SubsetSolver for ParticleSwarm {
             for p in &mut swarm {
                 for (i, &gb_bit) in global_best.iter().enumerate() {
                     let x = if p.position[i] { 1.0 } else { 0.0 };
-                    let pb = if p.best_position.get(i).copied().unwrap_or(false) { 1.0 } else { 0.0 };
+                    let pb = if p.best_position.get(i).copied().unwrap_or(false) {
+                        1.0
+                    } else {
+                        0.0
+                    };
                     let gb = if gb_bit { 1.0 } else { 0.0 };
                     let r1: f64 = rng.random();
                     let r2: f64 = rng.random();
@@ -138,7 +141,9 @@ impl SubsetSolver for ParticleSwarm {
                 repair(p, &required, m, &mut rng);
             }
         }
-        incumbent.into_result(generations)
+        let result = incumbent.into_result(generations);
+        crate::problem::debug_validate_result(objective, &result);
+        result
     }
 }
 
@@ -149,8 +154,7 @@ fn repair(p: &mut Particle, required: &[usize], m: usize, rng: &mut StdRng) {
     for &r in required {
         p.position[r] = true;
     }
-    let mut on: Vec<usize> =
-        (0..p.position.len()).filter(|&i| p.position[i]).collect();
+    let mut on: Vec<usize> = (0..p.position.len()).filter(|&i| p.position[i]).collect();
     if on.is_empty() {
         let i = rng.random_range(0..p.position.len());
         p.position[i] = true;
@@ -159,9 +163,7 @@ fn repair(p: &mut Particle, required: &[usize], m: usize, rng: &mut StdRng) {
     if on.len() > m {
         // Drop non-required bits with the least enthusiasm (velocity).
         on.retain(|i| required.binary_search(i).is_err());
-        on.sort_by(|&a, &b| {
-            p.velocity[a].partial_cmp(&p.velocity[b]).expect("velocities are finite")
-        });
+        on.sort_by(|&a, &b| p.velocity[a].total_cmp(&p.velocity[b]));
         let excess = (required.len() + on.len()).saturating_sub(m);
         for &i in on.iter().take(excess) {
             p.position[i] = false;
@@ -201,7 +203,11 @@ mod tests {
     #[test]
     fn converges_on_linear_objective() {
         let values: Vec<f64> = (0..30).map(f64::from).collect();
-        let toy = Toy { values, max: 4, required: vec![] };
+        let toy = Toy {
+            values,
+            max: 4,
+            required: vec![],
+        };
         let r = ParticleSwarm::default().solve(&toy, 6);
         // Optimum is 1.10; PSO should land close.
         assert!(r.score >= 0.95, "score = {}", r.score);
@@ -209,7 +215,11 @@ mod tests {
 
     #[test]
     fn solutions_are_feasible() {
-        let toy = Toy { values: vec![1.0; 25], max: 5, required: vec![3, 11] };
+        let toy = Toy {
+            values: vec![1.0; 25],
+            max: 5,
+            required: vec![3, 11],
+        };
         let r = ParticleSwarm::default().solve(&toy, 2);
         assert!(r.selected.contains(&3) && r.selected.contains(&11));
         assert!(r.selected.len() <= 5);
@@ -218,7 +228,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let toy = Toy { values: vec![2.0, 7.0, 1.0, 8.0], max: 2, required: vec![] };
+        let toy = Toy {
+            values: vec![2.0, 7.0, 1.0, 8.0],
+            max: 2,
+            required: vec![],
+        };
         let a = ParticleSwarm::default().solve(&toy, 13);
         let b = ParticleSwarm::default().solve(&toy, 13);
         assert_eq!(a, b);

@@ -76,7 +76,9 @@ impl SubsetSolver for StochasticLocalSearch {
                 }
             }
         }
-        incumbent.into_result(iterations)
+        let result = incumbent.into_result(iterations);
+        crate::problem::debug_validate_result(objective, &result);
+        result
     }
 }
 
@@ -108,7 +110,11 @@ mod tests {
     #[test]
     fn finds_good_solutions_on_linear_objective() {
         let values: Vec<f64> = (0..30).map(f64::from).collect();
-        let toy = Toy { values, max: 4, required: vec![] };
+        let toy = Toy {
+            values,
+            max: 4,
+            required: vec![],
+        };
         let r = StochasticLocalSearch::default().solve(&toy, 5);
         // Optimum is 26+27+28+29 = 110; SLS should get close.
         assert!(r.score >= 100.0, "score = {}", r.score);
@@ -116,7 +122,11 @@ mod tests {
 
     #[test]
     fn keeps_required() {
-        let toy = Toy { values: vec![0.0, 1.0, 2.0, 3.0], max: 2, required: vec![0] };
+        let toy = Toy {
+            values: vec![0.0, 1.0, 2.0, 3.0],
+            max: 2,
+            required: vec![0],
+        };
         let r = StochasticLocalSearch::default().solve(&toy, 2);
         assert!(r.selected.contains(&0));
         assert!(r.selected.len() <= 2);
@@ -124,8 +134,15 @@ mod tests {
 
     #[test]
     fn respects_budget_and_is_deterministic() {
-        let toy = Toy { values: vec![1.0; 20], max: 5, required: vec![] };
-        let cfg = StochasticLocalSearch { max_evaluations: 50, ..Default::default() };
+        let toy = Toy {
+            values: vec![1.0; 20],
+            max: 5,
+            required: vec![],
+        };
+        let cfg = StochasticLocalSearch {
+            max_evaluations: 50,
+            ..Default::default()
+        };
         let a = cfg.solve(&toy, 9);
         let b = cfg.solve(&toy, 9);
         assert_eq!(a, b);

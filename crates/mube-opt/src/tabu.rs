@@ -1,4 +1,4 @@
-//! Tabu search — µBE's default optimizer.
+//! Tabu search — `µBE`'s default optimizer.
 //!
 //! Tabu search (Glover & Laguna) is a local search that "partially remembers
 //! its path through the search space and uses this memory to declare parts
@@ -39,7 +39,7 @@ pub enum InitStrategy {
     },
     /// Start from a caller-provided solution — the *warm start* used when
     /// re-solving after a small change (new weights, one more constraint),
-    /// which keeps consecutive µBE iterations stable. Elements violating
+    /// which keeps consecutive `µBE` iterations stable. Elements violating
     /// the constraints are repaired: required elements are forced in and
     /// the selection is truncated to `max_selected`.
     Provided(Vec<usize>),
@@ -61,6 +61,12 @@ pub struct TabuSearch {
     pub max_evaluations: u64,
     /// Starting-solution construction.
     pub init: InitStrategy,
+    /// Trust region: when set, the search never visits candidates whose
+    /// Hamming distance (elements added + elements removed) from the
+    /// *starting* solution exceeds this bound. This is what makes a warm
+    /// start a *continuity* guarantee rather than a hint: the returned
+    /// solution can drift at most this far from the incumbent it grew from.
+    pub trust_region: Option<usize>,
 }
 
 impl Default for TabuSearch {
@@ -72,6 +78,7 @@ impl Default for TabuSearch {
             max_iterations: 400,
             max_evaluations: 20_000,
             init: InitStrategy::Random,
+            trust_region: None,
         }
     }
 }
@@ -87,8 +94,25 @@ impl SubsetSolver for TabuSearch {
         seed: u64,
         warm: &[usize],
     ) -> SolveResult {
-        let warmed =
-            TabuSearch { init: InitStrategy::Provided(warm.to_vec()), ..self.clone() };
+        let warmed = TabuSearch {
+            init: InitStrategy::Provided(warm.to_vec()),
+            ..self.clone()
+        };
+        warmed.solve(objective, seed)
+    }
+
+    fn solve_within(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+        radius: usize,
+    ) -> SolveResult {
+        let warmed = TabuSearch {
+            init: InitStrategy::Provided(warm.to_vec()),
+            trust_region: Some(radius),
+            ..self.clone()
+        };
         warmed.solve(objective, seed)
     }
 
@@ -100,7 +124,7 @@ impl SubsetSolver for TabuSearch {
 impl TabuSearch {
     /// Like [`SubsetSolver::solve`], but also returns up to `k` of the best
     /// *distinct* candidates encountered during the search (best first,
-    /// starting with the returned solution itself). This supports µBE's
+    /// starting with the returned solution itself). This supports `µBE`'s
     /// exploratory use: alongside the winner, the user can inspect
     /// runner-up source selections the search found credible.
     pub fn solve_topk(
@@ -134,6 +158,10 @@ impl TabuSearch {
             }
             InitStrategy::Provided(warm) => repair(objective, &required, warm),
         };
+        // The trust region is anchored at the (repaired) starting solution,
+        // so forced repairs (new pins, a tightened size bound) never eat
+        // into the drift budget.
+        let anchor = self.trust_region.map(|radius| (current.clone(), radius));
         incumbent.score(&current);
 
         // tabu_until[i] = first iteration at which element i may move again.
@@ -141,10 +169,20 @@ impl TabuSearch {
         let mut stall = 0u64;
         let mut iterations = 0u64;
 
-        while iterations < self.max_iterations
-            && stall < self.stall_limit
-            && !incumbent.exhausted()
-        {
+        while iterations < self.max_iterations && !incumbent.exhausted() {
+            if stall >= self.stall_limit {
+                // Before giving up, exhaustively check the incumbent's
+                // single-move neighborhood (random sampling can miss the one
+                // marginal improving swap). If the sweep improves the best,
+                // resume the tabu phase from it; otherwise the incumbent is
+                // locally optimal and the search is done.
+                if polish(objective, &required, &anchor, &mut incumbent) {
+                    current = incumbent.best.clone();
+                    stall = 0;
+                    continue;
+                }
+                break;
+            }
             iterations += 1;
             let best_at_iteration_start = incumbent.best_score;
             let moves = self.sample_moves(objective, &current, &required, &mut rng);
@@ -154,6 +192,11 @@ impl TabuSearch {
                     break;
                 }
                 let candidate = mv.apply(&current);
+                if let Some((anchor, radius)) = &anchor {
+                    if hamming_distance(&candidate, anchor) > *radius {
+                        continue;
+                    }
+                }
                 let tabu = self.is_tabu(mv, iterations, &tabu_until);
                 // Score first; aspiration needs the value. The incumbent is
                 // only updated through `score`, so a tabu candidate that
@@ -174,6 +217,14 @@ impl TabuSearch {
                 stall = 0;
             } else {
                 stall += 1;
+                // Intensification: while stalling, periodically pull the
+                // search back to the best solution seen (elite recovery), so
+                // the endgame keeps probing the incumbent's neighborhood
+                // instead of drifting ever further from it.
+                if stall.is_multiple_of(self.tenure + 1) && current != incumbent.best {
+                    current = incumbent.best.clone();
+                    continue;
+                }
             }
             let Some((mv, next, _)) = best_move else {
                 // Whole candidate list was tabu; wait for tenures to expire.
@@ -191,18 +242,91 @@ impl TabuSearch {
         // Destructure: the elite archive and the headline result.
         let mut elites_out = Vec::new();
         std::mem::swap(&mut elites_out, incumbent.elites_mut());
-        (incumbent.into_result(iterations), elites_out)
+        let result = incumbent.into_result(iterations);
+        crate::problem::debug_validate_result(objective, &result);
+        (result, elites_out)
     }
+}
+
+/// Exhaustive first-improvement sweep over the single-move neighborhood of
+/// the incumbent's best solution, bounded by the remaining evaluation budget
+/// (and the trust region, when one is active). Returns whether the incumbent
+/// improved. When it returns `false` with budget to spare, the best solution
+/// is locally optimal under add/remove/swap moves.
+fn polish(
+    objective: &dyn SubsetObjective,
+    required: &[usize],
+    anchor: &Option<(Vec<usize>, usize)>,
+    incumbent: &mut Incumbent<'_>,
+) -> bool {
+    let base = incumbent.best.clone();
+    if base.is_empty() {
+        return false;
+    }
+    let n = objective.universe_size();
+    let start_score = incumbent.best_score;
+    let removable: Vec<usize> = base
+        .iter()
+        .copied()
+        .filter(|i| required.binary_search(i).is_err())
+        .collect();
+    let addable: Vec<usize> = (0..n).filter(|i| base.binary_search(i).is_err()).collect();
+
+    let mut moves: Vec<Move> = Vec::new();
+    if base.len() > 1 {
+        moves.extend(removable.iter().map(|&i| Move::Remove(i)));
+    }
+    if base.len() < objective.max_selected() {
+        moves.extend(addable.iter().map(|&i| Move::Add(i)));
+    }
+    for &out in &removable {
+        moves.extend(addable.iter().map(|&r#in| Move::Swap { out, r#in }));
+    }
+    for mv in moves {
+        if incumbent.exhausted() {
+            break;
+        }
+        let candidate = mv.apply(&base);
+        if let Some((anchor, radius)) = anchor {
+            if hamming_distance(&candidate, anchor) > *radius {
+                continue;
+            }
+        }
+        incumbent.score(&candidate);
+        if incumbent.best_score > start_score {
+            return true;
+        }
+    }
+    incumbent.best_score > start_score
+}
+
+/// Hamming distance between two sorted, duplicate-free selections: the
+/// number of elements present in exactly one of them.
+fn hamming_distance(a: &[usize], b: &[usize]) -> usize {
+    let (mut i, mut j, mut d) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                i += 1;
+                d += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                j += 1;
+                d += 1;
+            }
+        }
+    }
+    d + (a.len() - i) + (b.len() - j)
 }
 
 /// Repairs a warm-start solution into the feasible region: dedupe and
 /// sort, force required elements in, and drop non-required extras (from
 /// the end) until the size bound holds.
-fn repair(
-    objective: &dyn SubsetObjective,
-    required: &[usize],
-    warm: &[usize],
-) -> Vec<usize> {
+fn repair(objective: &dyn SubsetObjective, required: &[usize], warm: &[usize]) -> Vec<usize> {
     let n = objective.universe_size();
     let mut current: Vec<usize> = warm.iter().copied().filter(|&i| i < n).collect();
     current.sort_unstable();
@@ -246,8 +370,9 @@ fn greedy_construct(
         if incumbent.evaluations >= budget_share {
             break;
         }
-        let addable: Vec<usize> =
-            (0..n).filter(|i| current.binary_search(i).is_err()).collect();
+        let addable: Vec<usize> = (0..n)
+            .filter(|i| current.binary_search(i).is_err())
+            .collect();
         if addable.is_empty() {
             break;
         }
@@ -288,10 +413,14 @@ impl TabuSearch {
         rng: &mut StdRng,
     ) -> Vec<Move> {
         let n = objective.universe_size();
-        let removable: Vec<usize> =
-            current.iter().copied().filter(|i| required.binary_search(i).is_err()).collect();
-        let addable: Vec<usize> =
-            (0..n).filter(|i| current.binary_search(i).is_err()).collect();
+        let removable: Vec<usize> = current
+            .iter()
+            .copied()
+            .filter(|i| required.binary_search(i).is_err())
+            .collect();
+        let addable: Vec<usize> = (0..n)
+            .filter(|i| current.binary_search(i).is_err())
+            .collect();
 
         let mut moves = Vec::with_capacity(self.candidates_per_iter);
         // Removals: cheap to enumerate fully (keep at least one element).
@@ -307,7 +436,9 @@ impl TabuSearch {
             match (can_add, can_swap) {
                 (true, true) => {
                     if rng.random_bool(0.5) {
-                        moves.push(Move::Add(*addable.as_slice().choose(rng).expect("non-empty")));
+                        moves.push(Move::Add(
+                            *addable.as_slice().choose(rng).expect("non-empty"),
+                        ));
                     } else {
                         moves.push(Move::Swap {
                             out: *removable.as_slice().choose(rng).expect("non-empty"),
@@ -316,7 +447,9 @@ impl TabuSearch {
                     }
                 }
                 (true, false) => {
-                    moves.push(Move::Add(*addable.as_slice().choose(rng).expect("non-empty")))
+                    moves.push(Move::Add(
+                        *addable.as_slice().choose(rng).expect("non-empty"),
+                    ));
                 }
                 (false, true) => moves.push(Move::Swap {
                     out: *removable.as_slice().choose(rng).expect("non-empty"),
@@ -357,7 +490,11 @@ mod tests {
     #[test]
     fn finds_top_k_on_linear_objective() {
         let values: Vec<f64> = (0..40).map(f64::from).collect();
-        let toy = Toy { values, max: 5, required: vec![] };
+        let toy = Toy {
+            values,
+            max: 5,
+            required: vec![],
+        };
         let r = TabuSearch::default().solve(&toy, 7);
         assert_eq!(r.selected, vec![35, 36, 37, 38, 39]);
         assert_eq!(r.score, 35.0 + 36.0 + 37.0 + 38.0 + 39.0);
@@ -368,12 +505,20 @@ mod tests {
         // Element 0 is worthless but required.
         let mut values = vec![0.0];
         values.extend((1..20).map(f64::from));
-        let toy = Toy { values, max: 3, required: vec![0] };
+        let toy = Toy {
+            values,
+            max: 3,
+            required: vec![0],
+        };
         let r = TabuSearch::default().solve(&toy, 1);
         assert!(r.selected.contains(&0));
         assert!(r.selected.len() <= 3);
         // The other two slots should hold the two largest values.
-        assert!(r.selected.contains(&19) && r.selected.contains(&18), "got {:?}", r.selected);
+        assert!(
+            r.selected.contains(&19) && r.selected.contains(&18),
+            "got {:?}",
+            r.selected
+        );
     }
 
     #[test]
@@ -408,8 +553,15 @@ mod tests {
 
     #[test]
     fn respects_evaluation_budget() {
-        let toy = Toy { values: vec![1.0; 50], max: 10, required: vec![] };
-        let cfg = TabuSearch { max_evaluations: 100, ..TabuSearch::default() };
+        let toy = Toy {
+            values: vec![1.0; 50],
+            max: 10,
+            required: vec![],
+        };
+        let cfg = TabuSearch {
+            max_evaluations: 100,
+            ..TabuSearch::default()
+        };
         let r = cfg.solve(&toy, 3);
         assert!(r.evaluations <= 100 + cfg.candidates_per_iter as u64 + 50);
     }
@@ -417,7 +569,11 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let values: Vec<f64> = (0..30).map(|i| f64::from((i * 7) % 13)).collect();
-        let toy = Toy { values, max: 6, required: vec![2] };
+        let toy = Toy {
+            values,
+            max: 6,
+            required: vec![2],
+        };
         let a = TabuSearch::default().solve(&toy, 99);
         let b = TabuSearch::default().solve(&toy, 99);
         assert_eq!(a, b);
@@ -425,7 +581,11 @@ mod tests {
 
     #[test]
     fn universe_smaller_than_max() {
-        let toy = Toy { values: vec![1.0, 2.0], max: 10, required: vec![] };
+        let toy = Toy {
+            values: vec![1.0, 2.0],
+            max: 10,
+            required: vec![],
+        };
         let r = TabuSearch::default().solve(&toy, 5);
         assert_eq!(r.selected, vec![0, 1]);
     }
@@ -457,20 +617,31 @@ mod greedy_tests {
     }
 
     fn greedy() -> TabuSearch {
-        TabuSearch { init: InitStrategy::Greedy { sample: 16 }, ..TabuSearch::default() }
+        TabuSearch {
+            init: InitStrategy::Greedy { sample: 16 },
+            ..TabuSearch::default()
+        }
     }
 
     #[test]
     fn greedy_init_finds_top_k() {
         let values: Vec<f64> = (0..40).map(f64::from).collect();
-        let toy = Toy { values, max: 5, required: vec![] };
+        let toy = Toy {
+            values,
+            max: 5,
+            required: vec![],
+        };
         let r = greedy().solve(&toy, 7);
         assert_eq!(r.selected, vec![35, 36, 37, 38, 39]);
     }
 
     #[test]
     fn greedy_init_keeps_required() {
-        let toy = Toy { values: vec![0.0, 9.0, 1.0, 8.0, 2.0], max: 3, required: vec![0] };
+        let toy = Toy {
+            values: vec![0.0, 9.0, 1.0, 8.0, 2.0],
+            max: 3,
+            required: vec![0],
+        };
         let r = greedy().solve(&toy, 3);
         assert!(r.selected.contains(&0));
         assert!(r.selected.len() <= 3);
@@ -479,13 +650,21 @@ mod greedy_tests {
     #[test]
     fn greedy_init_is_deterministic() {
         let values: Vec<f64> = (0..25).map(|i| f64::from((i * 11) % 17)).collect();
-        let toy = Toy { values, max: 6, required: vec![1] };
+        let toy = Toy {
+            values,
+            max: 6,
+            required: vec![1],
+        };
         assert_eq!(greedy().solve(&toy, 5), greedy().solve(&toy, 5));
     }
 
     #[test]
     fn greedy_respects_budget() {
-        let toy = Toy { values: vec![1.0; 100], max: 50, required: vec![] };
+        let toy = Toy {
+            values: vec![1.0; 100],
+            max: 50,
+            required: vec![],
+        };
         let cfg = TabuSearch {
             init: InitStrategy::Greedy { sample: 8 },
             max_evaluations: 60,
@@ -524,7 +703,11 @@ mod warm_tests {
     #[test]
     fn warm_start_improves_from_seed() {
         let values: Vec<f64> = (0..30).map(f64::from).collect();
-        let toy = Toy { values, max: 4, required: vec![] };
+        let toy = Toy {
+            values,
+            max: 4,
+            required: vec![],
+        };
         let cfg = TabuSearch {
             init: InitStrategy::Provided(vec![0, 1, 2, 3]), // worst possible
             ..TabuSearch::default()
@@ -535,10 +718,14 @@ mod warm_tests {
 
     #[test]
     fn warm_start_repairs_infeasible_seeds() {
-        let toy = Toy { values: vec![1.0; 10], max: 3, required: vec![9] };
+        let toy = Toy {
+            values: vec![1.0; 10],
+            max: 3,
+            required: vec![9],
+        };
         let cfg = TabuSearch {
             init: InitStrategy::Provided(vec![0, 1, 2, 3, 4, 99]), // too big + foreign
-            max_evaluations: 1, // only the initial evaluation
+            max_evaluations: 1,                                    // only the initial evaluation
             max_iterations: 0,
             ..TabuSearch::default()
         };
@@ -549,10 +736,65 @@ mod warm_tests {
     }
 
     #[test]
+    fn trust_region_bounds_drift() {
+        // Optimum is {26..29}, far from the warm start {0..3}; with a trust
+        // region of 2 the search may change at most two memberships.
+        let values: Vec<f64> = (0..30).map(f64::from).collect();
+        let toy = Toy {
+            values,
+            max: 4,
+            required: vec![],
+        };
+        let warm = vec![0, 1, 2, 3];
+        let r = TabuSearch::default().solve_within(&toy, 1, &warm, 2);
+        let moved = r.selected.iter().filter(|i| !warm.contains(i)).count()
+            + warm.iter().filter(|i| !r.selected.contains(i)).count();
+        assert!(moved <= 2, "drifted {moved} > 2: {:?}", r.selected);
+        // Within the region the search still optimizes: one swap to 29.
+        assert!(r.selected.contains(&29), "got {:?}", r.selected);
+    }
+
+    #[test]
+    fn trust_region_never_scores_worse_than_warm_start() {
+        let values: Vec<f64> = (0..30).map(|i| f64::from((i * 17) % 23)).collect();
+        let toy = Toy {
+            values: values.clone(),
+            max: 5,
+            required: vec![],
+        };
+        let warm = vec![3, 8, 12, 20, 25];
+        let warm_score: f64 = warm.iter().map(|&i| values[i]).sum();
+        for radius in [0, 1, 3, 6] {
+            let r = TabuSearch::default().solve_within(&toy, 9, &warm, radius);
+            assert!(
+                r.score >= warm_score,
+                "radius {radius}: {} < {warm_score}",
+                r.score
+            );
+        }
+    }
+
+    #[test]
+    fn trust_region_zero_pins_the_warm_start() {
+        let values: Vec<f64> = (0..20).map(f64::from).collect();
+        let toy = Toy {
+            values,
+            max: 3,
+            required: vec![],
+        };
+        let r = TabuSearch::default().solve_within(&toy, 4, &[2, 5, 7], 0);
+        assert_eq!(r.selected, vec![2, 5, 7]);
+    }
+
+    #[test]
     fn warm_start_near_optimum_stays_put() {
         // Seeding with the optimum must return the optimum.
         let values: Vec<f64> = (0..20).map(f64::from).collect();
-        let toy = Toy { values, max: 3, required: vec![] };
+        let toy = Toy {
+            values,
+            max: 3,
+            required: vec![],
+        };
         let cfg = TabuSearch {
             init: InitStrategy::Provided(vec![17, 18, 19]),
             ..TabuSearch::default()
@@ -610,7 +852,10 @@ mod topk_tests {
 
     #[test]
     fn topk_zero_disables_archive() {
-        let toy = Toy { values: vec![1.0, 2.0, 3.0], max: 2 };
+        let toy = Toy {
+            values: vec![1.0, 2.0, 3.0],
+            max: 2,
+        };
         let (_, elites) = TabuSearch::default().solve_topk(&toy, 1, 0);
         assert!(elites.is_empty());
     }

@@ -48,17 +48,34 @@ fn objective_strategy() -> impl Strategy<Value = RandomObjective> {
             .prop_map(move |(values, pair_bonus, mut required)| {
                 required.sort_unstable();
                 required.dedup();
-                RandomObjective { values, pair_bonus, max: max.max(required.len()), required }
+                RandomObjective {
+                    values,
+                    pair_bonus,
+                    max: max.max(required.len()),
+                    required,
+                }
             })
     })
 }
 
 fn solvers() -> Vec<Box<dyn SubsetSolver>> {
     vec![
-        Box::new(TabuSearch { max_evaluations: 400, ..TabuSearch::default() }),
-        Box::new(StochasticLocalSearch { max_evaluations: 400, ..Default::default() }),
-        Box::new(SimulatedAnnealing { max_evaluations: 400, ..Default::default() }),
-        Box::new(ParticleSwarm { max_evaluations: 400, ..Default::default() }),
+        Box::new(TabuSearch {
+            max_evaluations: 400,
+            ..TabuSearch::default()
+        }),
+        Box::new(StochasticLocalSearch {
+            max_evaluations: 400,
+            ..Default::default()
+        }),
+        Box::new(SimulatedAnnealing {
+            max_evaluations: 400,
+            ..Default::default()
+        }),
+        Box::new(ParticleSwarm {
+            max_evaluations: 400,
+            ..Default::default()
+        }),
     ]
 }
 

@@ -49,7 +49,9 @@ impl ExactDistinct {
 
 impl FromIterator<u64> for ExactDistinct {
     fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
-        ExactDistinct { seen: iter.into_iter().collect() }
+        ExactDistinct {
+            seen: iter.into_iter().collect(),
+        }
     }
 }
 

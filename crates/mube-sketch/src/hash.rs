@@ -78,7 +78,9 @@ mod tests {
         let b = Mix64::new(2);
         // Not a guarantee for every key, but these must not be identical
         // functions.
-        let same = (0..1000u64).filter(|&k| a.hash_u64(k) == b.hash_u64(k)).count();
+        let same = (0..1000u64)
+            .filter(|&k| a.hash_u64(k) == b.hash_u64(k))
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -1,6 +1,6 @@
-//! HyperLogLog — the modern successor of PCSA, provided for comparison.
+//! `HyperLogLog` — the modern successor of PCSA, provided for comparison.
 //!
-//! The paper (2007) predates HyperLogLog (Flajolet et al., 2007); its
+//! The paper (2007) predates `HyperLogLog` (Flajolet et al., 2007); its
 //! system uses PCSA. HLL keeps one 6-bit register per bucket (the maximum
 //! leading-zero rank seen) instead of a bitmap, reaching a standard error
 //! of `1.04/√m` — versus PCSA's `0.78/√m` per *word-sized* bitmap — at a
@@ -20,7 +20,7 @@ fn alpha(m: usize) -> f64 {
     }
 }
 
-/// A HyperLogLog sketch with `2^precision` registers.
+/// A `HyperLogLog` sketch with `2^precision` registers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HllSketch {
     precision: u32,
@@ -92,7 +92,11 @@ impl HllSketch {
     /// small-range (linear counting) correction.
     pub fn estimate(&self) -> f64 {
         let m = self.registers.len() as f64;
-        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-i32::from(r))).sum();
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-i32::from(r)))
+            .sum();
         let raw = alpha(self.registers.len()) * m * m / sum;
         if raw <= 2.5 * m {
             let zeros = self.registers.iter().filter(|&&r| r == 0).count();

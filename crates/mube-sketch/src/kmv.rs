@@ -1,7 +1,7 @@
 //! K-minimum-values (KMV) sketches — an alternative distinct counter with
 //! native intersection support.
 //!
-//! PCSA (what the paper uses and what µBE's QEFs run on) composes under
+//! PCSA (what the paper uses and what `µBE`'s QEFs run on) composes under
 //! union only; intersections must go through inclusion–exclusion, whose
 //! error grows with the sizes of the operands. The KMV sketch (Bar-Yossef
 //! et al.) keeps the `k` smallest hash values seen; unions merge the value
@@ -30,7 +30,11 @@ impl KmvSketch {
     /// Panics if `k == 0`.
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k > 0, "k must be positive");
-        KmvSketch { k, hasher: Mix64::new(seed), values: Vec::with_capacity(k) }
+        KmvSketch {
+            k,
+            hasher: Mix64::new(seed),
+            values: Vec::with_capacity(k),
+        }
     }
 
     /// The configured `k`.
@@ -101,7 +105,11 @@ impl KmvSketch {
             };
             merged.push(next);
         }
-        Some(KmvSketch { k: self.k, hasher: self.hasher, values: merged })
+        Some(KmvSketch {
+            k: self.k,
+            hasher: self.hasher,
+            values: merged,
+        })
     }
 
     /// Estimated Jaccard similarity `|A∩B| / |A∪B|`: the fraction of the

@@ -1,6 +1,6 @@
-//! Probabilistic counting sketches for µBE.
+//! Probabilistic counting sketches for `µBE`.
 //!
-//! µBE's coverage and redundancy quality-evaluation functions need the number
+//! `µBE`'s coverage and redundancy quality-evaluation functions need the number
 //! of *distinct* tuples in unions of data sources, without ever fetching the
 //! data. The paper (§4) solves this with the Flajolet–Martin *Probabilistic
 //! Counting with Stochastic Averaging* (PCSA) technique: every source computes

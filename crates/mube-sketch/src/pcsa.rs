@@ -6,7 +6,7 @@
 //! bit of that bitmap to set. The number of distinct items is estimated from
 //! the average position of the lowest *unset* bit across the bitmaps.
 //!
-//! The key property µBE exploits (§4 of the paper): the signature of a
+//! The key property `µBE` exploits (§4 of the paper): the signature of a
 //! multiset union is the bitwise OR of the signatures, so sources can compute
 //! their signatures independently and the mediator can estimate the
 //! cardinality of any union of sources without touching the data.
@@ -32,7 +32,7 @@ impl PcsaConfig {
     ///
     /// `num_maps` must be a power of two (so bucket selection is a mask) and
     /// `map_bits` must be in `1..=64`. More maps reduce estimation variance
-    /// (standard error ≈ 0.78/√num_maps); wider maps raise the maximum
+    /// (standard error ≈ `0.78/√num_maps`); wider maps raise the maximum
     /// countable cardinality (≈ `num_maps * 2^map_bits`).
     ///
     /// # Panics
@@ -48,7 +48,11 @@ impl PcsaConfig {
             (1..=64).contains(&map_bits),
             "map_bits must be in 1..=64, got {map_bits}"
         );
-        PcsaConfig { num_maps, map_bits, hasher: Mix64::new(seed) }
+        PcsaConfig {
+            num_maps,
+            map_bits,
+            hasher: Mix64::new(seed),
+        }
     }
 
     /// A configuration suitable for the paper's workloads: 64 maps of 32 bits
@@ -116,7 +120,7 @@ impl PcsaSignature {
     /// Inserts an item identified by a 64-bit key.
     ///
     /// Inserting the same key twice is a no-op on the estimate — only
-    /// distinct keys matter, which is exactly what µBE needs.
+    /// distinct keys matter, which is exactly what `µBE` needs.
     #[inline]
     pub fn insert(&mut self, key: u64) {
         let h = self.config.hasher.hash_u64(key);
@@ -125,7 +129,11 @@ impl PcsaSignature {
         // Position of the lowest set bit of the remaining hash bits, i.e. a
         // geometric random variable. If all remaining bits are zero, clamp to
         // the top bit of the map.
-        let r = if rest == 0 { self.config.map_bits - 1 } else { rest.trailing_zeros() };
+        let r = if rest == 0 {
+            self.config.map_bits - 1
+        } else {
+            rest.trailing_zeros()
+        };
         let r = r.min(self.config.map_bits - 1);
         self.maps[bucket] |= 1u64 << r;
     }
@@ -173,7 +181,11 @@ impl PcsaSignature {
             return 0.0;
         }
         let m = self.config.num_maps as f64;
-        let sum_r: u32 = self.maps.iter().map(|&map| lowest_unset_bit(map, self.config.map_bits)).sum();
+        let sum_r: u32 = self
+            .maps
+            .iter()
+            .map(|&map| lowest_unset_bit(map, self.config.map_bits))
+            .sum();
         let a = f64::from(sum_r) / m;
         let est = (m / PHI) * (2f64.powf(a) - 2f64.powf(-1.75 * a));
         // The correction term makes the estimate collapse to 0 when no bitmap

@@ -27,15 +27,66 @@ pub const NUM_CONCEPTS: usize = 14;
 /// Words with no relation to any domain, used by the perturbation model
 /// ("a list of words unrelated to the Books domain", §7.1).
 pub const UNRELATED_WORDS: &[&str] = &[
-    "zeppelin", "quartz", "mangrove", "turbine", "lichen", "obelisk", "parsec",
-    "fjord", "tundra", "cobalt", "marzipan", "gazebo", "yurt", "sprocket",
-    "ocelot", "brisket", "typhoon", "crampon", "haiku", "lagoon", "pylon",
-    "sextant", "gossamer", "kelp", "ziggurat", "monsoon", "tarpaulin", "vortex",
-    "quiver", "ballast", "catamaran", "drizzle", "ember", "flotsam", "gantry",
-    "hammock", "isthmus", "jicama", "krill", "lantern", "meerkat", "nimbus",
-    "oasis", "pergola", "quahog", "rivulet", "sycamore", "trellis", "umlaut",
-    "verdigris", "wombat", "xylem", "yucca", "zephyr", "anchovy", "bobbin",
-    "cairn", "dynamo", "eyelet", "ferret",
+    "zeppelin",
+    "quartz",
+    "mangrove",
+    "turbine",
+    "lichen",
+    "obelisk",
+    "parsec",
+    "fjord",
+    "tundra",
+    "cobalt",
+    "marzipan",
+    "gazebo",
+    "yurt",
+    "sprocket",
+    "ocelot",
+    "brisket",
+    "typhoon",
+    "crampon",
+    "haiku",
+    "lagoon",
+    "pylon",
+    "sextant",
+    "gossamer",
+    "kelp",
+    "ziggurat",
+    "monsoon",
+    "tarpaulin",
+    "vortex",
+    "quiver",
+    "ballast",
+    "catamaran",
+    "drizzle",
+    "ember",
+    "flotsam",
+    "gantry",
+    "hammock",
+    "isthmus",
+    "jicama",
+    "krill",
+    "lantern",
+    "meerkat",
+    "nimbus",
+    "oasis",
+    "pergola",
+    "quahog",
+    "rivulet",
+    "sycamore",
+    "trellis",
+    "umlaut",
+    "verdigris",
+    "wombat",
+    "xylem",
+    "yucca",
+    "zephyr",
+    "anchovy",
+    "bobbin",
+    "cairn",
+    "dynamo",
+    "eyelet",
+    "ferret",
 ];
 
 /// All Books concepts.
@@ -44,7 +95,11 @@ pub fn all() -> impl Iterator<Item = Concept> {
         .concepts()
         .iter()
         .enumerate()
-        .map(|(id, &(canonical, variants))| Concept { id, canonical, variants })
+        .map(|(id, &(canonical, variants))| Concept {
+            id,
+            canonical,
+            variants,
+        })
 }
 
 /// The Books concept with a given id.
@@ -54,7 +109,11 @@ pub fn all() -> impl Iterator<Item = Concept> {
 /// Panics if `id >= NUM_CONCEPTS`.
 pub fn concept(id: usize) -> Concept {
     let (canonical, variants) = DomainKind::Books.concepts()[id];
-    Concept { id, canonical, variants }
+    Concept {
+        id,
+        canonical,
+        variants,
+    }
 }
 
 /// Looks up which Books concept (if any) an attribute name belongs to.
@@ -88,7 +147,11 @@ mod tests {
     fn unrelated_words_do_not_collide_with_any_domain() {
         for w in UNRELATED_WORDS {
             for kind in DomainKind::all() {
-                assert!(kind.concept_of_name(w).is_none(), "`{w}` is a {} variant", kind.name());
+                assert!(
+                    kind.concept_of_name(w).is_none(),
+                    "`{w}` is a {} variant",
+                    kind.name()
+                );
             }
         }
     }

@@ -128,7 +128,9 @@ impl TupleWindows {
 
     /// Iterates over the tuple ids.
     pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
-        self.intervals.iter().flat_map(|&(start, len)| start..start + len)
+        self.intervals
+            .iter()
+            .flat_map(|&(start, len)| start..start + len)
     }
 
     /// Computes the PCSA signature of this tuple set.
@@ -143,8 +145,10 @@ impl TupleWindows {
 
 /// Exact distinct-tuple count of the union of several sources' windows.
 pub fn exact_union(windows: &[&TupleWindows]) -> u64 {
-    let mut all: Vec<(u64, u64)> =
-        windows.iter().flat_map(|w| w.intervals.iter().copied()).collect();
+    let mut all: Vec<(u64, u64)> = windows
+        .iter()
+        .flat_map(|w| w.intervals.iter().copied())
+        .collect();
     TupleWindows::new(std::mem::take(&mut all)).cardinality()
 }
 
@@ -156,8 +160,14 @@ mod tests {
     fn layout_windows_wrap() {
         let layout = PoolLayout::new(100);
         assert_eq!(layout.window(Pool::General, 10, 20), vec![(10, 20)]);
-        assert_eq!(layout.window(Pool::General, 90, 20), vec![(90, 10), (0, 10)]);
-        assert_eq!(layout.window(Pool::Specialty, 90, 20), vec![(190, 10), (100, 10)]);
+        assert_eq!(
+            layout.window(Pool::General, 90, 20),
+            vec![(90, 10), (0, 10)]
+        );
+        assert_eq!(
+            layout.window(Pool::Specialty, 90, 20),
+            vec![(190, 10), (100, 10)]
+        );
         assert_eq!(layout.window(Pool::General, 0, 0), vec![]);
     }
 
@@ -211,7 +221,10 @@ mod tests {
         assert_eq!(sig, manual);
         let est = sig.estimate();
         let truth = w.cardinality() as f64;
-        assert!((est - truth).abs() / truth < 0.25, "est={est} truth={truth}");
+        assert!(
+            (est - truth).abs() / truth < 0.25,
+            "est={est} truth={truth}"
+        );
     }
 
     #[test]

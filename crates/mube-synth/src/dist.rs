@@ -27,7 +27,11 @@ impl BoundedZipf {
     pub fn new(lo: u64, hi: u64, alpha: f64) -> Self {
         assert!(lo > 0 && hi > lo, "need 0 < lo < hi, got [{lo}, {hi}]");
         assert!(alpha > 0.0, "alpha must be positive");
-        BoundedZipf { lo: lo as f64, hi: hi as f64, alpha }
+        BoundedZipf {
+            lo: lo as f64,
+            hi: hi as f64,
+            alpha,
+        }
     }
 
     /// The paper's cardinality distribution: Zipf over [10,000, 1,000,000].
@@ -121,8 +125,7 @@ mod tests {
     fn zipf_alpha_two_works() {
         let z = BoundedZipf::new(10, 1000, 2.0);
         let mut rng = StdRng::seed_from_u64(3);
-        let mean: f64 =
-            (0..10_000).map(|_| z.sample(&mut rng) as f64).sum::<f64>() / 10_000.0;
+        let mean: f64 = (0..10_000).map(|_| z.sample(&mut rng) as f64).sum::<f64>() / 10_000.0;
         // Heavier shape → smaller mean than α = 1.
         assert!(mean < 100.0, "mean = {mean}");
     }
@@ -133,8 +136,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 100.0).abs() < 2.0, "mean = {mean}");
         assert!((var.sqrt() - 40.0).abs() < 2.0, "std = {}", var.sqrt());
     }

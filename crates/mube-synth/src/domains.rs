@@ -26,7 +26,12 @@ pub enum DomainKind {
 impl DomainKind {
     /// All four domains.
     pub fn all() -> [DomainKind; 4] {
-        [DomainKind::Books, DomainKind::Airfares, DomainKind::Movies, DomainKind::MusicRecords]
+        [
+            DomainKind::Books,
+            DomainKind::Airfares,
+            DomainKind::Movies,
+            DomainKind::MusicRecords,
+        ]
     }
 
     /// A short name for reports.
@@ -57,73 +62,279 @@ impl DomainKind {
     /// Which concept (if any) an attribute name belongs to, within this
     /// domain.
     pub fn concept_of_name(self, name: &str) -> Option<usize> {
-        self.concepts().iter().position(|(_, variants)| variants.contains(&name))
+        self.concepts()
+            .iter()
+            .position(|(_, variants)| variants.contains(&name))
     }
 }
 
 /// Books — 14 concepts, matching the paper's manual count in the BAMM
 /// Books schemas.
 pub const BOOKS: &[(&str, &[&str])] = &[
-    ("title", &["title", "book title", "title of book", "title keyword", "exact title"]),
-    ("author", &["author", "author name", "book author", "name of author", "first author"]),
+    (
+        "title",
+        &[
+            "title",
+            "book title",
+            "title of book",
+            "title keyword",
+            "exact title",
+        ],
+    ),
+    (
+        "author",
+        &[
+            "author",
+            "author name",
+            "book author",
+            "name of author",
+            "first author",
+        ],
+    ),
     ("isbn", &["isbn", "isbn number", "isbn code", "isbn 13"]),
-    ("keyword", &["keyword", "keywords", "keyword search", "any keyword"]),
-    ("publisher", &["publisher", "publisher name", "book publisher"]),
-    ("price", &["price", "max price", "price limit", "list price", "price range"]),
-    ("subject", &["subject", "subject area", "subject heading", "book subject"]),
-    ("format", &["format", "book format", "format type", "binding format"]),
+    (
+        "keyword",
+        &["keyword", "keywords", "keyword search", "any keyword"],
+    ),
+    (
+        "publisher",
+        &["publisher", "publisher name", "book publisher"],
+    ),
+    (
+        "price",
+        &[
+            "price",
+            "max price",
+            "price limit",
+            "list price",
+            "price range",
+        ],
+    ),
+    (
+        "subject",
+        &["subject", "subject area", "subject heading", "book subject"],
+    ),
+    (
+        "format",
+        &["format", "book format", "format type", "binding format"],
+    ),
     ("edition", &["edition", "edition number", "book edition"]),
     ("language", &["language", "book language", "language code"]),
-    ("year", &["year", "publication year", "year published", "pub year"]),
-    ("condition", &["condition", "book condition", "item condition"]),
-    ("seller", &["seller", "seller name", "bookseller", "seller location"]),
-    ("rating", &["rating", "customer rating", "average rating", "star rating"]),
+    (
+        "year",
+        &["year", "publication year", "year published", "pub year"],
+    ),
+    (
+        "condition",
+        &["condition", "book condition", "item condition"],
+    ),
+    (
+        "seller",
+        &["seller", "seller name", "bookseller", "seller location"],
+    ),
+    (
+        "rating",
+        &["rating", "customer rating", "average rating", "star rating"],
+    ),
 ];
 
 /// Airfares — 12 concepts typical of flight-search interfaces.
 pub const AIRFARES: &[(&str, &[&str])] = &[
-    ("origin", &["from", "depart from", "departure city", "origin airport", "leaving from"]),
-    ("destination", &["to", "arrive at", "arrival city", "destination airport", "going to"]),
-    ("depart date", &["depart date", "departure date", "outbound date", "leave on"]),
-    ("return date", &["return date", "inbound date", "come back on", "returning"]),
-    ("passengers", &["passengers", "number of passengers", "travellers", "adults"]),
-    ("cabin", &["cabin", "cabin class", "service class", "travel class"]),
-    ("airline", &["airline", "carrier", "preferred airline", "airline name"]),
-    ("stops", &["stops", "number of stops", "nonstop only", "max stops"]),
+    (
+        "origin",
+        &[
+            "from",
+            "depart from",
+            "departure city",
+            "origin airport",
+            "leaving from",
+        ],
+    ),
+    (
+        "destination",
+        &[
+            "to",
+            "arrive at",
+            "arrival city",
+            "destination airport",
+            "going to",
+        ],
+    ),
+    (
+        "depart date",
+        &["depart date", "departure date", "outbound date", "leave on"],
+    ),
+    (
+        "return date",
+        &["return date", "inbound date", "come back on", "returning"],
+    ),
+    (
+        "passengers",
+        &["passengers", "number of passengers", "travellers", "adults"],
+    ),
+    (
+        "cabin",
+        &["cabin", "cabin class", "service class", "travel class"],
+    ),
+    (
+        "airline",
+        &["airline", "carrier", "preferred airline", "airline name"],
+    ),
+    (
+        "stops",
+        &["stops", "number of stops", "nonstop only", "max stops"],
+    ),
     ("fare", &["fare", "max fare", "fare limit", "ticket price"]),
-    ("trip type", &["trip type", "one way or round trip", "journey type"]),
-    ("flexible dates", &["flexible dates", "date flexibility", "plus minus days"]),
-    ("airports nearby", &["airports nearby", "include nearby airports", "nearby airports"]),
+    (
+        "trip type",
+        &["trip type", "one way or round trip", "journey type"],
+    ),
+    (
+        "flexible dates",
+        &["flexible dates", "date flexibility", "plus minus days"],
+    ),
+    (
+        "airports nearby",
+        &[
+            "airports nearby",
+            "include nearby airports",
+            "nearby airports",
+        ],
+    ),
 ];
 
 /// Movies — 11 concepts typical of movie-search interfaces.
 pub const MOVIES: &[(&str, &[&str])] = &[
-    ("movie title", &["movie title", "film title", "movie name", "title of film"]),
-    ("director", &["director", "director name", "directed by", "film director"]),
-    ("actor", &["actor", "actor name", "cast member", "starring", "lead actor"]),
-    ("genre", &["genre", "film genre", "movie genre", "movie category"]),
-    ("release year", &["release year", "year of release", "released in", "movie year"]),
-    ("mpaa rating", &["mpaa rating", "parental rating", "certificate", "age rating"]),
-    ("studio", &["studio", "production studio", "film studio", "production company"]),
-    ("runtime", &["runtime", "running time", "length in minutes", "duration"]),
-    ("media format", &["media format", "dvd or bluray", "disc format", "video format"]),
-    ("review score", &["review score", "critic score", "viewer score", "movie score"]),
-    ("plot keyword", &["plot keyword", "plot contains", "storyline keyword"]),
+    (
+        "movie title",
+        &["movie title", "film title", "movie name", "title of film"],
+    ),
+    (
+        "director",
+        &["director", "director name", "directed by", "film director"],
+    ),
+    (
+        "actor",
+        &[
+            "actor",
+            "actor name",
+            "cast member",
+            "starring",
+            "lead actor",
+        ],
+    ),
+    (
+        "genre",
+        &["genre", "film genre", "movie genre", "movie category"],
+    ),
+    (
+        "release year",
+        &[
+            "release year",
+            "year of release",
+            "released in",
+            "movie year",
+        ],
+    ),
+    (
+        "mpaa rating",
+        &[
+            "mpaa rating",
+            "parental rating",
+            "certificate",
+            "age rating",
+        ],
+    ),
+    (
+        "studio",
+        &[
+            "studio",
+            "production studio",
+            "film studio",
+            "production company",
+        ],
+    ),
+    (
+        "runtime",
+        &["runtime", "running time", "length in minutes", "duration"],
+    ),
+    (
+        "media format",
+        &[
+            "media format",
+            "dvd or bluray",
+            "disc format",
+            "video format",
+        ],
+    ),
+    (
+        "review score",
+        &[
+            "review score",
+            "critic score",
+            "viewer score",
+            "movie score",
+        ],
+    ),
+    (
+        "plot keyword",
+        &["plot keyword", "plot contains", "storyline keyword"],
+    ),
 ];
 
 /// Music records — 11 concepts typical of record-store interfaces.
 pub const MUSIC: &[(&str, &[&str])] = &[
-    ("artist", &["artist", "artist name", "band", "band name", "performer"]),
-    ("album", &["album", "album title", "album name", "record title"]),
-    ("track", &["track", "track title", "song", "song title", "song name"]),
-    ("music genre", &["music genre", "music style", "genre of music", "music category"]),
+    (
+        "artist",
+        &["artist", "artist name", "band", "band name", "performer"],
+    ),
+    (
+        "album",
+        &["album", "album title", "album name", "record title"],
+    ),
+    (
+        "track",
+        &["track", "track title", "song", "song title", "song name"],
+    ),
+    (
+        "music genre",
+        &[
+            "music genre",
+            "music style",
+            "genre of music",
+            "music category",
+        ],
+    ),
     ("label", &["label", "record label", "label name"]),
-    ("release date", &["release date", "album year", "recorded in", "date of release"]),
-    ("media", &["media", "cd or vinyl", "record format", "audio format"]),
-    ("composer", &["composer", "composed by", "songwriter", "written by"]),
-    ("album price", &["album price", "record price", "max album price"]),
-    ("catalog number", &["catalog number", "catalogue no", "upc", "barcode"]),
-    ("album rating", &["album rating", "listener rating", "album stars"]),
+    (
+        "release date",
+        &[
+            "release date",
+            "album year",
+            "recorded in",
+            "date of release",
+        ],
+    ),
+    (
+        "media",
+        &["media", "cd or vinyl", "record format", "audio format"],
+    ),
+    (
+        "composer",
+        &["composer", "composed by", "songwriter", "written by"],
+    ),
+    (
+        "album price",
+        &["album price", "record price", "max album price"],
+    ),
+    (
+        "catalog number",
+        &["catalog number", "catalogue no", "upc", "barcode"],
+    ),
+    (
+        "album rating",
+        &["album rating", "listener rating", "album stars"],
+    ),
 ];
 
 #[cfg(test)]
@@ -232,10 +443,7 @@ mod global_id_tests {
             for local in 0..kind.num_concepts() {
                 let global = kind.concept_id_offset() + local;
                 assert_eq!(DomainKind::of_global_id(global), Some((kind, local)));
-                assert_eq!(
-                    canonical_of_global(global),
-                    Some(kind.concepts()[local].0)
-                );
+                assert_eq!(canonical_of_global(global), Some(kind.concepts()[local].0));
             }
         }
     }

@@ -3,7 +3,7 @@
 //! The generator knows which concept every attribute expresses (or that it
 //! is an unrelated perturbation word), so solutions can be scored the way
 //! the paper scores Table 1: how many of the 14 *true GAs* (concepts) did
-//! µBE identify, how many attributes do those GAs cover, and how many true
+//! `µBE` identify, how many attributes do those GAs cover, and how many true
 //! GAs present in the chosen sources were missed.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -47,7 +47,7 @@ pub struct GaQualityReport {
     /// Concepts with ≥ 2 attributes among the selected sources but no pure
     /// GA in the schema ("true GAs missed").
     pub true_gas_missed: usize,
-    /// GAs mixing concepts — the paper's µBE "never produced false GAs".
+    /// GAs mixing concepts — the paper's `µBE` "never produced false GAs".
     pub false_gas: usize,
     /// All-unlabelled GAs.
     pub noise_gas: usize,
@@ -110,7 +110,11 @@ impl GroundTruth {
                 }
             }
         }
-        counts.into_iter().filter(|&(_, n)| n >= min_attrs).map(|(c, _)| c).collect()
+        counts
+            .into_iter()
+            .filter(|&(_, n)| n >= min_attrs)
+            .map(|(c, _)| c)
+            .collect()
     }
 
     /// Scores a solution the way Table 1 does.
@@ -228,8 +232,7 @@ mod tests {
         let (u, gt) = setup();
         let sources: BTreeSet<_> = u.source_ids().collect();
         // Schema only finds the title GA; author (present twice) is missed.
-        let schema =
-            MediatedSchema::new([GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap()]);
+        let schema = MediatedSchema::new([GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap()]);
         let r = gt.evaluate(&u, &sources, &schema);
         assert_eq!(r.true_gas, 1);
         assert_eq!(r.attrs_in_true_gas, 2);
@@ -243,8 +246,7 @@ mod tests {
     fn evaluate_flags_false_gas() {
         let (u, gt) = setup();
         let sources: BTreeSet<_> = u.source_ids().collect();
-        let schema =
-            MediatedSchema::new([GlobalAttribute::try_new([a(0, 0), a(2, 0)]).unwrap()]);
+        let schema = MediatedSchema::new([GlobalAttribute::try_new([a(0, 0), a(2, 0)]).unwrap()]);
         let r = gt.evaluate(&u, &sources, &schema);
         assert_eq!(r.false_gas, 1);
         assert_eq!(r.true_gas, 0);
@@ -270,6 +272,8 @@ mod tests {
         // Concept 1 in only s0 and s2 → size 2; a concept in one source → None.
         let mut gt2 = GroundTruth::default();
         gt2.insert(a(0, 0), 3);
-        assert!(gt2.make_ga_constraint(&u, &sources, 3, 5, &mut rng).is_none());
+        assert!(gt2
+            .make_ga_constraint(&u, &sources, 3, 5, &mut rng)
+            .is_none());
     }
 }

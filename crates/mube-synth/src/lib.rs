@@ -1,6 +1,6 @@
-//! # mube-synth — synthetic workloads for the µBE experiments
+//! # mube-synth — synthetic workloads for the `µBE` experiments
 //!
-//! The paper evaluates µBE on 700 synthetic data sources (§7.1): schemas
+//! The paper evaluates `µBE` on 700 synthetic data sources (§7.1): schemas
 //! drawn from the 50 Books-domain schemas of the UIUC BAMM repository plus
 //! perturbed copies, Zipf-distributed cardinalities between 10,000 and
 //! 1,000,000 tuples drawn from a 4,000,000-tuple pool split into *General*
@@ -41,12 +41,12 @@
 
 pub mod concepts;
 pub mod data_gen;
-pub mod domains;
 pub mod dist;
+pub mod domains;
 pub mod ground_truth;
 pub mod schema_gen;
 pub mod universe;
 
-pub use ground_truth::{GaQualityReport, GroundTruth};
 pub use domains::DomainKind;
+pub use ground_truth::{GaQualityReport, GroundTruth};
 pub use universe::{generate, generate_mixed, SynthConfig, SynthUniverse};

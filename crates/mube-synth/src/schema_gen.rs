@@ -100,7 +100,11 @@ pub fn base_schemas<R: Rng>(cfg: &SchemaGenConfig, rng: &mut R) -> Vec<Generated
                 (name.to_string(), Some(offset + local))
             })
             .collect();
-        out.push(GeneratedSchema { attrs, base_index, perturbed: false });
+        out.push(GeneratedSchema {
+            attrs,
+            base_index,
+            perturbed: false,
+        });
     }
     out
 }
@@ -148,7 +152,11 @@ pub fn perturb<R: Rng>(
     // A real query interface never repeats a label; dedupe by name.
     let mut seen = std::collections::BTreeSet::new();
     attrs.retain(|(n, _)| seen.insert(n.clone()));
-    GeneratedSchema { attrs, base_index: base.base_index, perturbed: true }
+    GeneratedSchema {
+        attrs,
+        base_index: base.base_index,
+        perturbed: true,
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +167,9 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn label_of(cfg: &SchemaGenConfig, name: &str) -> Option<usize> {
-        cfg.domain.concept_of_name(name).map(|l| l + cfg.domain.concept_id_offset())
+        cfg.domain
+            .concept_of_name(name)
+            .map(|l| l + cfg.domain.concept_id_offset())
     }
 
     #[test]
@@ -168,8 +178,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let schemas = base_schemas(&cfg, &mut rng);
         assert_eq!(schemas.len(), 50);
-        let covered: BTreeSet<usize> =
-            schemas.iter().flat_map(|s| s.attrs.iter().filter_map(|(_, c)| *c)).collect();
+        let covered: BTreeSet<usize> = schemas
+            .iter()
+            .flat_map(|s| s.attrs.iter().filter_map(|(_, c)| *c))
+            .collect();
         assert_eq!(covered.len(), cfg.domain.num_concepts());
     }
 
@@ -202,7 +214,11 @@ mod tests {
     #[test]
     fn other_domains_generate_with_offsets() {
         for domain in DomainKind::all() {
-            let cfg = SchemaGenConfig { domain, max_concepts: 8, ..Default::default() };
+            let cfg = SchemaGenConfig {
+                domain,
+                max_concepts: 8,
+                ..Default::default()
+            };
             let mut rng = StdRng::seed_from_u64(4);
             let schemas = base_schemas(&cfg, &mut rng);
             for s in &schemas {
@@ -246,7 +262,10 @@ mod tests {
 
     #[test]
     fn perturbed_schema_has_unique_names() {
-        let cfg = SchemaGenConfig { p_add: 1.0, ..Default::default() };
+        let cfg = SchemaGenConfig {
+            p_add: 1.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let bases = base_schemas(&cfg, &mut rng);
         for base in &bases {
@@ -259,7 +278,11 @@ mod tests {
 
     #[test]
     fn aggressive_removal_still_yields_nonempty() {
-        let cfg = SchemaGenConfig { p_remove: 1.0, p_add: 0.0, ..Default::default() };
+        let cfg = SchemaGenConfig {
+            p_remove: 1.0,
+            p_add: 0.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(6);
         let bases = base_schemas(&cfg, &mut rng);
         for base in &bases {

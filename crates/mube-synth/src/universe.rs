@@ -78,7 +78,10 @@ impl SynthConfig {
     pub fn small(num_sources: usize) -> Self {
         SynthConfig {
             num_sources,
-            schema: SchemaGenConfig { num_base_schemas: 10, ..SchemaGenConfig::default() },
+            schema: SchemaGenConfig {
+                num_base_schemas: 10,
+                ..SchemaGenConfig::default()
+            },
             min_cardinality: 100,
             max_cardinality: 2_000,
             zipf_alpha: 1.0,
@@ -118,8 +121,10 @@ impl SynthUniverse {
     /// Exact distinct-tuple count of a set of sources (interval arithmetic
     /// over the tuple windows — the baseline for the PCSA experiments).
     pub fn exact_distinct<I: IntoIterator<Item = SourceId>>(&self, sources: I) -> u64 {
-        let refs: Vec<&TupleWindows> =
-            sources.into_iter().map(|s| &self.windows[s.index()]).collect();
+        let refs: Vec<&TupleWindows> = sources
+            .into_iter()
+            .map(|s| &self.windows[s.index()])
+            .collect();
         exact_union(&refs)
     }
 
@@ -146,7 +151,7 @@ pub fn generate(config: &SynthConfig, seed: u64) -> SynthUniverse {
 
 /// Generates a universe whose sources cycle through several BAMM domains —
 /// the "dataspace" setting of the paper's introduction, where discovered
-/// sources span multiple topics and µBE must find a coherent subset.
+/// sources span multiple topics and `µBE` must find a coherent subset.
 ///
 /// Each domain gets its own pool of base schemas (of
 /// `config.schema.num_base_schemas` each); source `i` descends from domain
@@ -167,11 +172,18 @@ pub fn generate_mixed(
     let bases_by_domain: Vec<Vec<crate::schema_gen::GeneratedSchema>> = domains
         .iter()
         .map(|&domain| {
-            let cfg = SchemaGenConfig { domain, ..config.schema.clone() };
+            let cfg = SchemaGenConfig {
+                domain,
+                ..config.schema.clone()
+            };
             base_schemas(&cfg, &mut rng)
         })
         .collect();
-    let zipf = BoundedZipf::new(config.min_cardinality, config.max_cardinality, config.zipf_alpha);
+    let zipf = BoundedZipf::new(
+        config.min_cardinality,
+        config.max_cardinality,
+        config.zipf_alpha,
+    );
     let mttf = Normal::new(config.mttf_mean, config.mttf_std);
     let pcsa = config.pcsa();
 
@@ -183,7 +195,10 @@ pub fn generate_mixed(
     for i in 0..config.num_sources {
         let domain_idx = i % domains.len();
         let bases = &bases_by_domain[domain_idx];
-        let domain_cfg = SchemaGenConfig { domain: domains[domain_idx], ..config.schema.clone() };
+        let domain_cfg = SchemaGenConfig {
+            domain: domains[domain_idx],
+            ..config.schema.clone()
+        };
         // The first round(s) of sources are fully conformant bases; the
         // rest are perturbed copies of random bases of their domain.
         let generated = if i / domains.len() < bases.len() && i < bases.len() * domains.len() {
@@ -240,7 +255,13 @@ pub fn generate_mixed(
     }
 
     let universe = Arc::new(builder.build().expect("generated universes are valid"));
-    SynthUniverse { universe, ground_truth, windows, unperturbed, config: config.clone() }
+    SynthUniverse {
+        universe,
+        ground_truth,
+        windows,
+        unperturbed,
+        config: config.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -266,7 +287,10 @@ mod tests {
             assert_eq!(sa.characteristic("mttf"), sb.characteristic("mttf"));
         }
         assert_ne!(
-            generate(&SynthConfig::small(20), 10).universe.source(SourceId(15)).cardinality(),
+            generate(&SynthConfig::small(20), 10)
+                .universe
+                .source(SourceId(15))
+                .cardinality(),
             0
         );
     }
@@ -327,7 +351,10 @@ mod tests {
             .iter()
             .filter(|w| w.intervals().iter().any(|&(start, _)| start >= half))
             .count();
-        assert!((60..=140).contains(&specialty), "specialty sources = {specialty}");
+        assert!(
+            (60..=140).contains(&specialty),
+            "specialty sources = {specialty}"
+        );
     }
 
     #[test]

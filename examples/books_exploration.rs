@@ -34,7 +34,10 @@ fn main() {
         synth.exact_distinct_universe(),
     );
 
-    let matcher = Arc::new(ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram()));
+    let matcher = Arc::new(ClusterMatcher::new(
+        Arc::clone(&universe),
+        JaccardNGram::trigram(),
+    ));
     println!(
         "similarity cache: {} distinct attribute names, {} bytes",
         matcher.cache().distinct_names(),
@@ -51,8 +54,9 @@ fn main() {
     let mut session = Session::new(problem, Box::new(TabuSearch::default()), 1);
 
     let score = |label: &str, solution: &mube_core::Solution| {
-        let report =
-            synth.ground_truth.evaluate(&universe, &solution.sources, &solution.schema);
+        let report = synth
+            .ground_truth
+            .evaluate(&universe, &solution.sources, &solution.schema);
         println!(
             "{label}: Q={:.4}, {} sources, {} GAs | true GAs {} of {} present, \
              {} attrs covered, {} missed, {} false",
@@ -76,7 +80,9 @@ fn main() {
     // missed, built from the ground truth (playing the knowledgeable user).
     section("Iteration 2 — bridge a missed concept by example");
     let mut rng = StdRng::seed_from_u64(99);
-    let report = synth.ground_truth.evaluate(&universe, &first.sources, &first.schema);
+    let report = synth
+        .ground_truth
+        .evaluate(&universe, &first.sources, &first.schema);
     if report.true_gas_missed > 0 {
         let found: std::collections::BTreeSet<usize> = first
             .schema
@@ -87,12 +93,15 @@ fn main() {
                 _ => None,
             })
             .collect();
-        let present =
-            synth.ground_truth.concepts_present(&universe, &first.sources, 2);
+        let present = synth
+            .ground_truth
+            .concepts_present(&universe, &first.sources, 2);
         let missed = present.iter().copied().find(|c| !found.contains(c));
         if let Some(concept) = missed {
             let sources: Vec<_> = first.sources.iter().copied().collect();
-            if let Some(ga) = synth.ground_truth.make_ga_constraint(&universe, &sources, concept, 3, &mut rng)
+            if let Some(ga) = synth
+                .ground_truth
+                .make_ga_constraint(&universe, &sources, concept, 3, &mut rng)
             {
                 println!(
                     "teaching concept `{}` with example {}",

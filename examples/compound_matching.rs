@@ -27,8 +27,14 @@ fn main() {
         "registry-a",
         Schema::new(["first name", "last name", "birth date"]),
     ));
-    b.add_source(SourceSpec::new("registry-b", Schema::new(["full name", "birth date"])));
-    b.add_source(SourceSpec::new("registry-c", Schema::new(["name", "date of birth"])));
+    b.add_source(SourceSpec::new(
+        "registry-b",
+        Schema::new(["full name", "birth date"]),
+    ));
+    b.add_source(SourceSpec::new(
+        "registry-c",
+        Schema::new(["name", "date of birth"]),
+    ));
     let universe = Arc::new(b.build().expect("well-formed"));
 
     section("Plain 1:1 matching");
@@ -41,23 +47,28 @@ fn main() {
         panic!("expected a match")
     };
     print!("{}", schema.display(&universe));
-    let split_matched = schema
-        .gas()
-        .iter()
-        .any(|ga| ga.touches_source(SourceId(0)) && {
+    let split_matched = schema.gas().iter().any(|ga| {
+        ga.touches_source(SourceId(0)) && {
             let name = universe
                 .attr_name(*ga.attrs().iter().find(|a| a.source == SourceId(0)).unwrap())
                 .unwrap();
             name.contains("name")
-        });
+        }
+    });
     println!(
         "registry-a's split name fields matched a name concept: {}",
-        if split_matched { "yes (partially, at best)" } else { "no" }
+        if split_matched {
+            "yes (partially, at best)"
+        } else {
+            "no"
+        }
     );
 
     section("With a compound element: {first name, last name} acts as one");
     let mut compounding = Compounding::new();
-    compounding.add_group(SourceId(0), [0, 1]).expect("valid group");
+    compounding
+        .add_group(SourceId(0), [0, 1])
+        .expect("valid group");
     let derived = compounding.derive(&universe).expect("derivation succeeds");
     let derived_universe = Arc::new(derived.universe.clone());
     let matcher = ClusterMatcher::new(Arc::clone(&derived_universe), Ensemble::lexical());
@@ -77,9 +88,15 @@ fn main() {
             .groups
             .iter()
             .map(|(source, attrs)| {
-                let names: Vec<&str> =
-                    attrs.iter().map(|&a| universe.attr_name(a).unwrap_or("?")).collect();
-                format!("{}:{{{}}}", universe.source(*source).name(), names.join(" + "))
+                let names: Vec<&str> = attrs
+                    .iter()
+                    .map(|&a| universe.attr_name(a).unwrap_or("?"))
+                    .collect();
+                format!(
+                    "{}:{{{}}}",
+                    universe.source(*source).name(),
+                    names.join(" + ")
+                )
             })
             .collect();
         println!(
@@ -88,7 +105,14 @@ fn main() {
             if ga.is_nm() { "(n:m)" } else { "(1:1)" }
         );
     }
-    let nm = expanded.gas.iter().find(|ga| ga.is_nm()).expect("an n:m correspondence exists");
-    assert!(nm.width() >= 3, "first+last ↔ full name involves at least 3 attributes");
+    let nm = expanded
+        .gas
+        .iter()
+        .find(|ga| ga.is_nm())
+        .expect("an n:m correspondence exists");
+    assert!(
+        nm.width() >= 3,
+        "first+last ↔ full name involves at least 3 attributes"
+    );
     println!("\nthe split name fields now map as one unit ✓");
 }

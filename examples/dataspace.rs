@@ -1,6 +1,6 @@
 //! Dataspace scenario: sources from several domains in one universe.
 //!
-//! The paper's introduction motivates µBE with dataspaces and ad-hoc
+//! The paper's introduction motivates `µBE` with dataspaces and ad-hoc
 //! mashups, where a discovery mechanism returns sources spanning *multiple*
 //! topics. This example mixes Books and Movies sources (two of the four
 //! BAMM domains) into one universe and shows that:
@@ -47,7 +47,10 @@ fn main() {
         2007,
     );
     let universe = Arc::clone(&synth.universe);
-    let matcher = Arc::new(ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram()));
+    let matcher = Arc::new(ClusterMatcher::new(
+        Arc::clone(&universe),
+        JaccardNGram::trigram(),
+    ));
     let problem = Problem::new(
         Arc::clone(&universe),
         matcher,
@@ -62,8 +65,9 @@ fn main() {
         for &s in &solution.sources {
             *by_domain.entry(domain_of(s).name()).or_insert(0) += 1;
         }
-        let report =
-            synth.ground_truth.evaluate(&universe, &solution.sources, &solution.schema);
+        let report = synth
+            .ground_truth
+            .evaluate(&universe, &solution.sources, &solution.schema);
         println!(
             "{label}: Q={:.4}, sources by domain {:?}, {} GAs, {} true / {} false",
             solution.quality,
@@ -72,7 +76,10 @@ fn main() {
             report.true_gas,
             report.false_gas,
         );
-        assert_eq!(report.false_gas, 0, "concepts must never merge across domains");
+        assert_eq!(
+            report.false_gas, 0,
+            "concepts must never merge across domains"
+        );
     };
 
     section("Iteration 1 — let µBE pick freely");
@@ -83,7 +90,12 @@ fn main() {
     for ga in first.schema.gas() {
         let kinds: std::collections::BTreeSet<&str> =
             ga.sources().map(|s| domain_of(s).name()).collect();
-        assert_eq!(kinds.len(), 1, "GA spans domains: {}", ga.display(&universe));
+        assert_eq!(
+            kinds.len(),
+            1,
+            "GA spans domains: {}",
+            ga.display(&universe)
+        );
     }
     println!("every GA is domain-pure ✓");
 
@@ -108,8 +120,11 @@ fn main() {
     for pin in &movie_pins {
         assert!(second.sources.contains(pin), "pinned movie source missing");
     }
-    let movies_after =
-        second.sources.iter().filter(|&&s| domain_of(s) == DomainKind::Movies).count();
+    let movies_after = second
+        .sources
+        .iter()
+        .filter(|&&s| domain_of(s) == DomainKind::Movies)
+        .count();
     println!(
         "movie sources now {movies_after} of {} selected (≥ {} pinned)",
         second.sources.len(),

@@ -1,6 +1,6 @@
 //! A terminal REPL standing in for the paper's GUI (Figure 4).
 //!
-//! Exposes the same interaction verbs the µBE interface offers: run an
+//! Exposes the same interaction verbs the `µBE` interface offers: run an
 //! iteration, inspect the solution, pin sources, promote output GAs into
 //! constraints, bridge attributes by example, and re-weight the quality
 //! dimensions. Input is line-based, so it can be driven by a script:
@@ -47,11 +47,17 @@ commands:
   quit                    exit";
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(60);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
     println!("µBE interactive session — {n} synthetic book sources. Type `help`.");
     let synth = generate(&SynthConfig::paper(n), 2007);
     let universe = Arc::clone(&synth.universe);
-    let matcher = Arc::new(ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram()));
+    let matcher = Arc::new(ClusterMatcher::new(
+        Arc::clone(&universe),
+        JaccardNGram::trigram(),
+    ));
     let problem = Problem::new(
         Arc::clone(&universe),
         matcher,
@@ -103,18 +109,16 @@ fn main() {
                 }
             }
             ["pin", site] => report(session.pin_source_by_name(site)),
-            ["unpin", site] => {
-                match universe.source_by_name(site) {
-                    Some(src) => report(session.unpin_source(src.id())),
-                    None => println!("unknown source `{site}`"),
-                }
-            }
+            ["unpin", site] => match universe.source_by_name(site) {
+                Some(src) => report(session.unpin_source(src.id())),
+                None => println!("unknown source `{site}`"),
+            },
             ["adopt", idx] => match idx.parse::<usize>() {
                 Ok(i) => report(session.adopt_ga(i)),
                 Err(_) => println!("usage: adopt <ga-index>"),
             },
             ["bridge", s1, a1, s2, a2] => {
-                report(session.require_ga_by_names(&[(s1, a1), (s2, a2)]))
+                report(session.require_ga_by_names(&[(s1, a1), (s2, a2)]));
             }
             ["weight", qef, w] => match w.parse::<f64>() {
                 Ok(w) => report(session.set_weight(qef, w)),
@@ -179,7 +183,10 @@ fn main() {
             },
             ["alts", rest @ ..] => {
                 let k: usize = rest.first().and_then(|a| a.parse().ok()).unwrap_or(3);
-                match session.problem().alternatives(&TabuSearch::default(), 99, k) {
+                match session
+                    .problem()
+                    .alternatives(&TabuSearch::default(), 99, k)
+                {
                     Ok(alts) => {
                         for (i, alt) in alts.iter().enumerate() {
                             let names: Vec<&str> = alt

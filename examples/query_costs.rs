@@ -25,12 +25,16 @@ fn main() {
     section("Setup: 120 synthetic book sources");
     let synth = generate(&SynthConfig::paper(120), 2007);
     let universe = Arc::clone(&synth.universe);
-    let matcher: Arc<dyn mube_core::MatchOperator> =
-        Arc::new(ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram()));
+    let matcher: Arc<dyn mube_core::MatchOperator> = Arc::new(ClusterMatcher::new(
+        Arc::clone(&universe),
+        JaccardNGram::trigram(),
+    ));
 
     // QEF order: matching, cardinality, coverage, redundancy, mttf.
     let solve_with = |weights: [f64; 5]| {
-        let qefs = paper_default_qefs("mttf").with_weights(&weights).expect("valid weights");
+        let qefs = paper_default_qefs("mttf")
+            .with_weights(&weights)
+            .expect("valid weights");
         let mut problem = Problem::new(
             Arc::clone(&universe),
             Arc::clone(&matcher),
@@ -48,12 +52,20 @@ fn main() {
     println!(
         "hoarder (cardinality-weighted): {} sources, {} total tuples",
         hoarder.sources.len(),
-        hoarder.sources.iter().map(|&s| universe.source(s).cardinality()).sum::<u64>()
+        hoarder
+            .sources
+            .iter()
+            .map(|&s| universe.source(s).cardinality())
+            .sum::<u64>()
     );
     println!(
         "curator (redundancy-weighted):  {} sources, {} total tuples",
         curator.sources.len(),
-        curator.sources.iter().map(|&s| universe.source(s).cardinality()).sum::<u64>()
+        curator
+            .sources
+            .iter()
+            .map(|&s| universe.source(s).cardinality())
+            .sum::<u64>()
     );
 
     section("Execute the same query over both");

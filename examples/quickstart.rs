@@ -1,4 +1,4 @@
-//! Quickstart: build a small universe by hand, pose the µBE optimization
+//! Quickstart: build a small universe by hand, pose the `µBE` optimization
 //! problem, run one iteration, then refine it with feedback.
 //!
 //! Run with: `cargo run --release -p mube-examples --bin quickstart`
@@ -36,25 +36,37 @@ fn main() {
             .signature(signature(0..60_000)),
     );
     builder.add_source(
-        SourceSpec::new("libropolis", Schema::new(["book title", "author name", "isbn"]))
-            .cardinality(45_000)
-            .signature(signature(40_000..85_000)),
+        SourceSpec::new(
+            "libropolis",
+            Schema::new(["book title", "author name", "isbn"]),
+        )
+        .cardinality(45_000)
+        .signature(signature(40_000..85_000)),
     );
     builder.add_source(
-        SourceSpec::new("tome-depot", Schema::new(["title", "writer", "price range"]))
-            .cardinality(80_000)
-            .signature(signature(80_000..160_000)),
+        SourceSpec::new(
+            "tome-depot",
+            Schema::new(["title", "writer", "price range"]),
+        )
+        .cardinality(80_000)
+        .signature(signature(80_000..160_000)),
     );
     builder.add_source(
-        SourceSpec::new("mirror-of-books-r-us", Schema::new(["title", "author", "price"]))
-            .cardinality(60_000)
-            .signature(signature(0..60_000)), // same data as books-r-us!
+        SourceSpec::new(
+            "mirror-of-books-r-us",
+            Schema::new(["title", "author", "price"]),
+        )
+        .cardinality(60_000)
+        .signature(signature(0..60_000)), // same data as books-r-us!
     );
     let universe = Arc::new(builder.build().expect("universe is well-formed"));
 
     // 2. Pose the optimization problem: choose at most 3 sources, match
     //    attribute names with the paper's 3-gram Jaccard measure at θ=0.3.
-    let matcher = Arc::new(ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram()));
+    let matcher = Arc::new(ClusterMatcher::new(
+        Arc::clone(&universe),
+        JaccardNGram::trigram(),
+    ));
     let problem = Problem::new(
         Arc::clone(&universe),
         matcher,
@@ -80,7 +92,10 @@ fn main() {
     show(&universe, &second);
     show_diff(&first, &second);
     let books = universe.source_by_name("books-r-us").unwrap().id();
-    let mirror = universe.source_by_name("mirror-of-books-r-us").unwrap().id();
+    let mirror = universe
+        .source_by_name("mirror-of-books-r-us")
+        .unwrap()
+        .id();
     assert!(
         !(second.sources.contains(&books) && second.sources.contains(&mirror)),
         "with redundancy at 0.6, a source and its mirror should not both be selected"
@@ -90,15 +105,25 @@ fn main() {
     //    first GA of the output as a constraint for the next round —
     //    output format == input format, so this is one call.
     section("Iteration 3 — pin libropolis, adopt GA 0");
-    session.pin_source_by_name("libropolis").expect("libropolis exists");
+    session
+        .pin_source_by_name("libropolis")
+        .expect("libropolis exists");
     session.adopt_ga(0).expect("solution has a GA 0");
     let third = session.run().expect("still feasible").clone();
     show(&universe, &third);
     show_diff(&second, &third);
-    assert!(third.sources.contains(&universe.source_by_name("libropolis").unwrap().id()));
+    assert!(third
+        .sources
+        .contains(&universe.source_by_name("libropolis").unwrap().id()));
 
     section("Session history");
     for (i, s) in session.history().iter().enumerate() {
-        println!("iteration {}: Q = {:.4}, {} sources, {} GAs", i + 1, s.quality, s.sources.len(), s.schema.len());
+        println!(
+            "iteration {}: Q = {:.4}, {} sources, {} GAs",
+            i + 1,
+            s.quality,
+            s.sources.len(),
+            s.schema.len()
+        );
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! The eleven schemas below are exactly the ones the paper prints in
 //! Figure 1. The user wants a handful of sources and a mediated schema, and
-//! steers µBE across iterations: first an unconstrained run, then a GA
+//! steers `µBE` across iterations: first an unconstrained run, then a GA
 //! constraint bridging the various "keyword"-flavoured attributes, then
 //! pinning a favourite vendor.
 //!
@@ -31,11 +31,27 @@ const FIGURE_1: &[(&str, &[&str])] = &[
     ("canadiantheatre.com", &["phrase", "search term"]),
     ("londontheatre.co.uk", &["type", "keyword"]),
     ("mime.info.com", &["search for"]),
-    ("pbs.org", &["program title", "date", "author", "actor", "director", "keyword"]),
+    (
+        "pbs.org",
+        &[
+            "program title",
+            "date",
+            "author",
+            "actor",
+            "director",
+            "keyword",
+        ],
+    ),
     ("pa.msu.edu", &["keyword"]),
     ("wstonline.org", &["keyword", "after date", "before date"]),
-    ("officiallondontheatre.co.uk", &["keyword", "after date", "before date"]),
-    ("lastminute.com", &["event name", "event type", "location", "date", "radius"]),
+    (
+        "officiallondontheatre.co.uk",
+        &["keyword", "after date", "before date"],
+    ),
+    (
+        "lastminute.com",
+        &["event name", "event type", "location", "date", "radius"],
+    ),
 ];
 
 /// Synthesizes plausible data characteristics for a site (the paper's
@@ -63,7 +79,10 @@ fn main() {
         );
     }
     let universe = Arc::new(builder.build().expect("Figure 1 schemas are well-formed"));
-    let matcher = Arc::new(ClusterMatcher::new(Arc::clone(&universe), JaccardNGram::trigram()));
+    let matcher = Arc::new(ClusterMatcher::new(
+        Arc::clone(&universe),
+        JaccardNGram::trigram(),
+    ));
 
     // Choose at most 5 of the 11 sites. θ = 0.35: hidden-Web labels are
     // noisy, so demand moderate lexical evidence.
@@ -85,7 +104,10 @@ fn main() {
     // example and let the cluster grow (§3's bridging effect).
     section("Iteration 2 — teach it that keyword ≈ search term");
     session
-        .require_ga_by_names(&[("tonyawards.com", "keywords"), ("canadiantheatre.com", "search term")])
+        .require_ga_by_names(&[
+            ("tonyawards.com", "keywords"),
+            ("canadiantheatre.com", "search term"),
+        ])
         .expect("both attributes exist");
     let second = session.run().expect("feasible").clone();
     show(&universe, &second);
@@ -104,7 +126,9 @@ fn main() {
 
     // The user has a favourite vendor (people do, the paper notes) — pin it.
     section("Iteration 3 — always include lastminute.com");
-    session.pin_source_by_name("lastminute.com").expect("site exists");
+    session
+        .pin_source_by_name("lastminute.com")
+        .expect("site exists");
     let third = session.run().expect("feasible").clone();
     show(&universe, &third);
     show_diff(&second, &third);

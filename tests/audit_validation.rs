@@ -1,0 +1,161 @@
+//! The audit contract, property-tested end to end: a universe and
+//! constraint set the pre-solve [`Analyzer`] passes without errors admits a
+//! solution the post-solve [`SolutionValidator`] accepts — and corrupting
+//! that solution (mutating a GA, dropping a required source) gets caught.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use mube_audit::Analyzer;
+use mube_core::constraints::Constraints;
+use mube_core::ga::{GlobalAttribute, MediatedSchema};
+use mube_core::problem::Problem;
+use mube_core::qefs::paper_default_qefs;
+use mube_core::validate::{SolutionValidator, Violation};
+use mube_core::{AttrId, MatchOperator, SourceId};
+use mube_integration::{ci_tabu, Fixture};
+use mube_match::similarity::JaccardNGram;
+use proptest::prelude::*;
+
+/// Each case generates a universe and runs a full solve: keep counts small.
+fn config() -> ProptestConfig {
+    ProptestConfig {
+        cases: 10,
+        ..ProptestConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(config())]
+
+    /// An analyzer pass without errors means the problem constructs and the
+    /// solver's answer survives independent post-solve validation.
+    #[test]
+    fn analyzer_clean_problems_admit_validated_solutions(
+        seed in 0u64..1000,
+        m in 3usize..8,
+        pin in 0u32..15,
+    ) {
+        let fx = Fixture::new(15, seed);
+        let constraints =
+            Constraints::with_max_sources(m).theta(0.75).require_source(SourceId(pin));
+        let measure = JaccardNGram::trigram();
+        let report = Analyzer::new(&fx.synth.universe)
+            .constraints(&constraints)
+            .similarity(&measure)
+            .run();
+        prop_assert!(
+            !report.has_errors(),
+            "generated fixtures must analyze error-free: {:?}",
+            report.diagnostics()
+        );
+        let problem = fx.problem(constraints);
+        let solution = problem.solve(&ci_tabu(), seed).expect("clean problems solve");
+        let validator = SolutionValidator::for_problem(&problem);
+        prop_assert_eq!(validator.check(&solution), Vec::new());
+    }
+
+    /// Dropping a required source from an otherwise-genuine solution is
+    /// always rejected.
+    #[test]
+    fn dropped_required_source_is_rejected(seed in 0u64..1000, pin in 0u32..12) {
+        let fx = Fixture::new(12, seed);
+        let constraints =
+            Constraints::with_max_sources(5).require_source(SourceId(pin));
+        let problem = fx.problem(constraints);
+        let mut solution = problem.solve(&ci_tabu(), seed).expect("solvable");
+        solution.sources.remove(&SourceId(pin));
+        let validator = SolutionValidator::for_problem(&problem);
+        let violations = validator.check(&solution);
+        prop_assert!(
+            violations.contains(&Violation::MissingRequiredSource { source: SourceId(pin) }),
+            "{violations:?}"
+        );
+        prop_assert!(validator.validate(&solution).is_err());
+    }
+
+    /// Grafting a GA that reaches outside the selected sources is always
+    /// rejected.
+    #[test]
+    fn mutated_ga_is_rejected(seed in 0u64..1000) {
+        let fx = Fixture::new(12, seed);
+        let problem = fx.problem(Constraints::with_max_sources(4));
+        let mut solution = problem.solve(&ci_tabu(), seed).expect("solvable");
+        let stranger = fx
+            .synth
+            .universe
+            .source_ids()
+            .find(|s| !solution.sources.contains(s))
+            .expect("m < n leaves unselected sources");
+        let mut gas: Vec<GlobalAttribute> = solution.schema.gas().to_vec();
+        gas.push(GlobalAttribute::singleton(AttrId::new(stranger, 0)));
+        solution.schema = MediatedSchema::new(gas);
+        let validator = SolutionValidator::for_problem(&problem);
+        let violations = validator.check(&solution);
+        prop_assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::GaOutsideSelection { source, .. } if *source == stranger)),
+            "{violations:?}"
+        );
+        prop_assert!(validator.validate(&solution).is_err());
+    }
+
+    /// Tampering with the stated quality is always rejected.
+    #[test]
+    fn inflated_quality_is_rejected(seed in 0u64..1000) {
+        let fx = Fixture::new(10, seed);
+        let problem = fx.problem(Constraints::with_max_sources(4));
+        let mut solution = problem.solve(&ci_tabu(), seed).expect("solvable");
+        solution.quality = (solution.quality + 0.37).min(1.0) + 1.0;
+        let validator = SolutionValidator::for_problem(&problem);
+        prop_assert!(validator.validate(&solution).is_err());
+    }
+}
+
+/// Every solution a `Session` hands back has already survived the
+/// validator (it runs inside `Session::run`), and re-validating externally
+/// agrees across feedback iterations.
+#[test]
+fn session_solutions_validate_across_feedback() {
+    let fx = Fixture::new(14, 7);
+    let mut session = fx.session(Constraints::with_max_sources(5), 7);
+    let first = session.run().expect("first iteration").clone();
+    assert!(SolutionValidator::for_problem(session.problem())
+        .validate(&first)
+        .is_ok());
+
+    // Feed back: pin a selected source, re-run, validate under the new
+    // constraints.
+    let pinned = *first.sources.iter().next().expect("non-empty");
+    session.pin_source(pinned).expect("pin known source");
+    let second = session.run().expect("second iteration").clone();
+    assert!(SolutionValidator::for_problem(session.problem())
+        .validate(&second)
+        .is_ok());
+    assert!(second.sources.contains(&pinned));
+}
+
+/// The analyzer's MUBE001 error is a faithful promise: the same constraint
+/// set fails `Problem::new`.
+#[test]
+fn analyzer_errors_predict_construction_failure() {
+    let fx = Fixture::new(8, 3);
+    let sources: BTreeSet<SourceId> = fx.synth.universe.source_ids().take(3).collect();
+    let mut constraints = Constraints::with_max_sources(2);
+    for &s in &sources {
+        constraints.required_sources.insert(s);
+    }
+    let report = Analyzer::new(&fx.synth.universe)
+        .constraints(&constraints)
+        .run();
+    assert!(report.has_errors());
+    assert!(report.codes().any(|c| c.code() == "MUBE001"));
+    let construction = Problem::new(
+        Arc::clone(&fx.synth.universe),
+        Arc::clone(&fx.matcher) as Arc<dyn MatchOperator>,
+        paper_default_qefs("mttf"),
+        constraints,
+    );
+    assert!(construction.is_err());
+}

@@ -20,7 +20,10 @@ fn source_constraints_always_selected() {
         let problem = fx.problem(constraints);
         let solution = problem.solve(&ci_tabu(), 20).expect("feasible");
         for p in &pinned {
-            assert!(solution.sources.contains(p), "pinned {p} missing ({count} pins)");
+            assert!(
+                solution.sources.contains(p),
+                "pinned {p} missing ({count} pins)"
+            );
         }
     }
 }
@@ -64,7 +67,9 @@ fn ga_constraint_bridges_beyond_theta() {
     }
     let (a, b): (AttrId, AttrId) = pick.expect("unrelated attribute pair exists");
     let ga = GlobalAttribute::try_new([a, b]).unwrap();
-    let constraints = Constraints::with_max_sources(8).theta(0.9).require_ga(ga.clone());
+    let constraints = Constraints::with_max_sources(8)
+        .theta(0.9)
+        .require_ga(ga.clone());
     let problem = fx.problem(constraints);
     let solution = problem.solve(&ci_tabu(), 22).expect("feasible");
     assert!(solution.schema.covers_gas(std::slice::from_ref(&ga)));
@@ -76,7 +81,11 @@ fn max_sources_is_a_hard_bound() {
     for m in [2usize, 5, 15] {
         let problem = fx.problem(Constraints::with_max_sources(m));
         let solution = problem.solve(&ci_tabu(), 23).expect("feasible");
-        assert!(solution.sources.len() <= m, "m={m} but |S|={}", solution.sources.len());
+        assert!(
+            solution.sources.len() <= m,
+            "m={m} but |S|={}",
+            solution.sources.len()
+        );
     }
 }
 

@@ -104,8 +104,14 @@ fn larger_budget_never_hurts() {
     use mube_opt::TabuSearch;
     let fx = Fixture::new(30, 6);
     let problem = fx.problem(Constraints::with_max_sources(8));
-    let small = TabuSearch { max_evaluations: 150, ..TabuSearch::default() };
-    let large = TabuSearch { max_evaluations: 3_000, ..TabuSearch::default() };
+    let small = TabuSearch {
+        max_evaluations: 150,
+        ..TabuSearch::default()
+    };
+    let large = TabuSearch {
+        max_evaluations: 3_000,
+        ..TabuSearch::default()
+    };
     let q_small = problem.solve(&small, 6).expect("feasible").quality;
     let q_large = problem.solve(&large, 6).expect("feasible").quality;
     assert!(

@@ -1,5 +1,5 @@
 //! Cross-crate tests tying the selection-time QEFs to query-time reality:
-//! the coverage/redundancy scores µBE optimizes must predict what the
+//! the coverage/redundancy scores `µBE` optimizes must predict what the
 //! executor actually observes when queries run.
 
 use std::sync::Arc;
@@ -10,7 +10,10 @@ use mube_exec::{Executor, Query, WindowBackend};
 use mube_integration::Fixture;
 
 fn executor(fx: &Fixture) -> Executor<WindowBackend> {
-    Executor::new(Arc::clone(&fx.synth.universe), WindowBackend::new(&fx.synth))
+    Executor::new(
+        Arc::clone(&fx.synth.universe),
+        WindowBackend::new(&fx.synth),
+    )
 }
 
 #[test]
@@ -81,10 +84,8 @@ fn projection_limits_fanout_to_schema_sources() {
         return; // nothing to project onto
     }
     let exec = executor(&fx);
-    let report =
-        exec.execute_solution(&solution, &Query::range(0, u64::MAX).project([0]));
-    let ga_sources: std::collections::BTreeSet<_> =
-        solution.schema.gas()[0].sources().collect();
+    let report = exec.execute_solution(&solution, &Query::range(0, u64::MAX).project([0]));
+    let ga_sources: std::collections::BTreeSet<_> = solution.schema.gas()[0].sources().collect();
     for fetch in &report.per_source {
         assert!(ga_sources.contains(&fetch.source));
     }

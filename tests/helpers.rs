@@ -50,5 +50,9 @@ impl Fixture {
 /// A solver budget small enough for CI but big enough to find good
 /// solutions on small fixtures.
 pub fn ci_tabu() -> TabuSearch {
-    TabuSearch { max_evaluations: 1_200, max_iterations: 200, ..TabuSearch::default() }
+    TabuSearch {
+        max_evaluations: 1_200,
+        max_iterations: 200,
+        ..TabuSearch::default()
+    }
 }

@@ -11,7 +11,10 @@ use proptest::prelude::*;
 
 /// Reduce the case count: each case generates a universe and solves.
 fn config() -> ProptestConfig {
-    ProptestConfig { cases: 12, ..ProptestConfig::default() }
+    ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    }
 }
 
 proptest! {

@@ -46,13 +46,19 @@ fn reweighting_biases_the_solution() {
     let fx = Fixture::new(40, 12);
     let mut session = fx.session(Constraints::with_max_sources(8), 12);
     let base = session.run().expect("feasible").clone();
-    let base_card: u64 =
-        base.sources.iter().map(|&s| fx.synth.universe.source(s).cardinality()).sum();
+    let base_card: u64 = base
+        .sources
+        .iter()
+        .map(|&s| fx.synth.universe.source(s).cardinality())
+        .sum();
 
     session.set_weight("cardinality", 0.9).expect("QEF exists");
     let heavy = session.run().expect("feasible").clone();
-    let heavy_card: u64 =
-        heavy.sources.iter().map(|&s| fx.synth.universe.source(s).cardinality()).sum();
+    let heavy_card: u64 = heavy
+        .sources
+        .iter()
+        .map(|&s| fx.synth.universe.source(s).cardinality())
+        .sum();
     assert!(
         heavy_card >= base_card,
         "cardinality-weighted run selected fewer tuples: {heavy_card} < {base_card}"
@@ -111,12 +117,32 @@ fn same_session_seed_reproduces_whole_session() {
 fn conflicting_feedback_is_rejected_and_session_survives() {
     let fx = Fixture::new(20, 16);
     let mut session = fx.session(Constraints::with_max_sources(3), 16);
-    // Pinning more sources than m must fail...
-    for id in fx.synth.universe.source_ids().take(3) {
+    // Pin three sources the matcher can actually mediate together (an
+    // arbitrary triple may share no θ-similar attributes, which makes the
+    // fully pinned problem infeasible for *any* solver — that would test
+    // the generator's luck, not the feedback loop).
+    let ids: Vec<_> = fx.synth.universe.source_ids().collect();
+    let probe = fx.problem(Constraints::with_max_sources(3));
+    let triple = ids
+        .iter()
+        .flat_map(|&a| ids.iter().map(move |&b| (a, b)))
+        .flat_map(|(a, b)| ids.iter().map(move |&c| [a, b, c]))
+        .filter(|[a, b, c]| a < b && b < c)
+        .find(|t| {
+            let cand: std::collections::BTreeSet<_> = t.iter().copied().collect();
+            match probe.evaluate(&cand) {
+                mube_core::CandidateEval::Feasible(sol) => sol.schema.is_valid_on(&cand),
+                mube_core::CandidateEval::Infeasible => false,
+            }
+        })
+        .expect("some triple of 20 sources is mediable");
+    // Pinning up to m sources must succeed...
+    for id in triple {
         session.pin_source(id).expect("within m");
     }
-    let overflow = fx.synth.universe.source_ids().nth(3).unwrap();
-    assert!(session.pin_source(overflow).is_err());
+    // ...pinning more sources than m must fail...
+    let overflow = ids.iter().find(|id| !triple.contains(id)).unwrap();
+    assert!(session.pin_source(*overflow).is_err());
     // ...and the session must still be usable afterwards.
     let sol = session.run().expect("feasible").clone();
     assert_eq!(sol.sources.len(), 3);
@@ -129,12 +155,15 @@ fn continuity_keeps_small_edits_small() {
     let build = |continuity: bool| {
         let fx = Fixture::new(40, 30);
         let problem = fx.problem(Constraints::with_max_sources(10));
-        let session = mube_core::Session::new(
-            problem,
-            Box::new(mube_integration::ci_tabu()),
-            30,
-        );
-        (fx, if continuity { session.with_continuity() } else { session })
+        let session = mube_core::Session::new(problem, Box::new(mube_integration::ci_tabu()), 30);
+        (
+            fx,
+            if continuity {
+                session.with_continuity()
+            } else {
+                session
+            },
+        )
     };
     let (_fx, mut with) = build(true);
     let first = with.run().expect("feasible").clone();
@@ -157,9 +186,8 @@ fn continuity_keeps_small_edits_small() {
 fn continuity_still_honours_new_constraints() {
     let fx = Fixture::new(30, 31);
     let problem = fx.problem(Constraints::with_max_sources(6));
-    let mut session =
-        mube_core::Session::new(problem, Box::new(mube_integration::ci_tabu()), 31)
-            .with_continuity();
+    let mut session = mube_core::Session::new(problem, Box::new(mube_integration::ci_tabu()), 31)
+        .with_continuity();
     session.run().expect("feasible");
     // Pin a source that was (likely) not selected; the warm start must be
     // repaired to include it.

@@ -1,0 +1,50 @@
+//! The [`any`] entry point and the [`Arbitrary`] trait.
+
+use rand::rngs::StdRng;
+use rand::{Rng, Standard};
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl<T: Standard> Arbitrary for T {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+/// The canonical strategy for `A` (`any::<u64>()`, ...).
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(core::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<A>(core::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn new_value(&self, rng: &mut StdRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_covers_width() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = any::<u64>();
+        // Over a few draws we should see values above u32::MAX — i.e. the
+        // full 64-bit domain, not a narrowed one.
+        assert!((0..64).any(|_| s.new_value(&mut rng) > u64::from(u32::MAX)));
+    }
+}

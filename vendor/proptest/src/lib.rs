@@ -1,0 +1,135 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored stand-in
+//! implements the slice of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`;
+//! * range, tuple, `&str`-regex-lite, [`collection::vec`], [`Just`], and
+//!   [`arbitrary::any`] strategies;
+//! * the [`proptest!`] macro plus `prop_assert!` / `prop_assert_eq!` /
+//!   `prop_assert_ne!`;
+//! * a deterministic [`test_runner::TestRunner`] (per-test fixed seed, one
+//!   sub-seed per case).
+//!
+//! The one deliberate omission is *shrinking*: a failing case reports its
+//! case number and deterministic seed instead of a minimized input. Every
+//! test in the workspace is seed-reproducible, so failures can still be
+//! replayed exactly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the workspace's property tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Module-style access (`prop::collection::vec`), mirroring the real
+    /// prelude's `prop` re-export.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the runner can report the case seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two values compare equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        $crate::prop_assert!(
+            (&$a) == (&$b),
+            concat!("assertion failed: ", stringify!($a), " == ", stringify!($b))
+        )
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        $crate::prop_assert!((&$a) == (&$b), $($fmt)*)
+    };
+}
+
+/// Asserts two values compare unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        $crate::prop_assert!(
+            (&$a) != (&$b),
+            concat!("assertion failed: ", stringify!($a), " != ", stringify!($b))
+        )
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        $crate::prop_assert!((&$a) != (&$b), $($fmt)*)
+    };
+}
+
+/// Declares property tests. Supports the standard shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(config_expr)]   // optional
+///     #[test]
+///     fn my_property(x in 0u64..100, mut v in some_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            @cfg ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; one test function per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let runner = $crate::test_runner::TestRunner::new(config);
+            runner.run(
+                concat!(file!(), "::", stringify!($name)),
+                |__proptest_rng| {
+                    $(
+                        let $pat = $crate::strategy::Strategy::new_value(
+                            &($strat),
+                            __proptest_rng,
+                        );
+                    )+
+                    { $body }
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_tests! { @cfg ($cfg) $($rest)* }
+    };
+}

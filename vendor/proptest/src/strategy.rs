@@ -1,0 +1,185 @@
+//! The [`Strategy`] trait and core combinators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest, a strategy here is just a deterministic-RNG-driven
+/// generator: no shrink trees. `new_value` takes `&self` so one strategy
+/// value can serve every case of a test run.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, builds a second strategy from it,
+    /// and draws from that.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn ErasedStrategy<T>>);
+
+trait ErasedStrategy<T> {
+    fn erased_new_value(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn erased_new_value(&self, rng: &mut StdRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        self.0.erased_new_value(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `&str` strategies are regex-lite string generators (see [`crate::string`]).
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = (1usize..5).prop_flat_map(|n| (0u64..10).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = s.new_value(&mut rng);
+            assert!((1..5).contains(&n));
+            assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (a, b, c) = (0u64..5, -1.0f64..1.0, Just("x")).new_value(&mut rng);
+        assert!(a < 5);
+        assert!((-1.0..1.0).contains(&b));
+        assert_eq!(c, "x");
+    }
+}

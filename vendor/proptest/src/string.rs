@@ -1,0 +1,161 @@
+//! Regex-lite string generation backing the `&str` strategy.
+//!
+//! Supports the subset of regex syntax property tests actually use for
+//! generation: literal characters, character classes (`[a-z0-9_]`, with
+//! ranges and single characters), and counted repetition `{m}` / `{m,n}`
+//! plus `+` / `*` / `?` applied to a class or literal. Anything fancier
+//! panics with a clear message rather than silently mis-generating.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Piece {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Term {
+    piece: Piece,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let terms = parse(pattern);
+    let mut out = String::new();
+    for term in &terms {
+        let count = if term.min == term.max {
+            term.min
+        } else {
+            rng.random_range(term.min..=term.max)
+        };
+        for _ in 0..count {
+            match &term.piece {
+                Piece::Literal(c) => out.push(*c),
+                Piece::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.random_range(0..ranges.len())];
+                    out.push(
+                        char::from_u32(rng.random_range(lo as u32..=hi as u32))
+                            .expect("class ranges stay within valid chars"),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Term> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut terms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let piece = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"))
+                    + i;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern `{pattern}`");
+                i = close + 1;
+                Piece::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling `\\` in pattern `{pattern}`"));
+                i += 1;
+                match c {
+                    'd' => Piece::Class(vec![('0', '9')]),
+                    'w' => Piece::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    other => Piece::Literal(other),
+                }
+            }
+            '.' => {
+                i += 1;
+                Piece::Class(vec![(' ', '~')])
+            }
+            c if "(){}*+?|".contains(c) => {
+                panic!("unsupported regex syntax `{c}` in pattern `{pattern}`")
+            }
+            c => {
+                i += 1;
+                Piece::Literal(c)
+            }
+        };
+        // Optional repetition suffix.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 8)
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else if i < chars.len() && chars[i] == '?' {
+            i += 1;
+            (0, 1)
+        } else {
+            (1, 1)
+        };
+        terms.push(Term { piece, min, max });
+    }
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_counted_repetition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "len {} of {s:?}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_digits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = generate("id-\\d{3}", &mut rng);
+        assert!(s.starts_with("id-"));
+        assert_eq!(s.len(), 6);
+        assert!(s[3..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,138 @@
+//! The deterministic test runner behind the [`crate::proptest!`] macro.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to run per test.
+    pub cases: u32,
+    /// Unused (no shrinking in this implementation); kept for source
+    /// compatibility with `..ProptestConfig::default()` updates.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A failed test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's assertions did not hold.
+    Fail(String),
+    /// The case asked to be discarded (unsupported filters map here).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Runs one property over `config.cases` deterministic cases.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// Builds a runner.
+    pub fn new(config: Config) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `case` once per configured case with a deterministic RNG derived
+    /// from `test_id` and the case index; panics (standard `#[test]`
+    /// failure) on the first failing case, reporting how to reproduce it.
+    pub fn run<F>(&self, test_id: &str, case: F)
+    where
+        F: Fn(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        for index in 0..self.config.cases {
+            let seed = case_seed(test_id, index);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(message)) => panic!(
+                    "proptest case {index}/{} failed (test `{test_id}`, case seed \
+                     {seed:#x}): {message}",
+                    self.config.cases
+                ),
+            }
+        }
+    }
+}
+
+/// Deterministic per-case seed: stable across runs of the same binary (the
+/// std `DefaultHasher` uses fixed keys).
+fn case_seed(test_id: &str, index: u32) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    test_id.hash(&mut hasher);
+    index.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_cases() {
+        let runner = TestRunner::new(Config {
+            cases: 10,
+            ..Config::default()
+        });
+        let mut count = 0;
+        let counter = std::cell::Cell::new(0u32);
+        runner.run("t", |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        count += counter.get();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        let runner = TestRunner::new(Config {
+            cases: 3,
+            ..Config::default()
+        });
+        runner.run("t", |_| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        assert_eq!(case_seed("a", 0), case_seed("a", 0));
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+    }
+}
