@@ -448,61 +448,32 @@ impl AuditReport {
     ///   "sources":["siteA"],"attrs":["a0.1"]}]
     /// ```
     pub fn to_json(&self, universe: &Universe) -> String {
-        let mut out = String::from("[");
-        for (i, d) in self.diagnostics.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"code\":{},\"severity\":{},\"title\":{},\"message\":{},",
-                json_string(d.code.code()),
-                json_string(&d.severity().to_string()),
-                json_string(d.code.title()),
-                json_string(&d.message),
-            ));
-            out.push_str("\"sources\":[");
-            for (k, &s) in d.sources.iter().enumerate() {
-                if k > 0 {
-                    out.push(',');
-                }
+        let mut j = mube_core::jsonw::JsonBuf::new();
+        j.begin_arr();
+        for d in &self.diagnostics {
+            j.begin_obj();
+            j.key("code").str_value(d.code.code());
+            j.key("severity").str_value(&d.severity().to_string());
+            j.key("title").str_value(d.code.title());
+            j.key("message").str_value(&d.message);
+            j.key("sources").begin_arr();
+            for &s in &d.sources {
                 let name = universe
                     .get(s)
                     .map_or_else(|| s.to_string(), |src| src.name().to_string());
-                out.push_str(&json_string(&name));
+                j.str_value(&name);
             }
-            out.push_str("],\"attrs\":[");
-            for (k, &a) in d.attrs.iter().enumerate() {
-                if k > 0 {
-                    out.push(',');
-                }
-                out.push_str(&json_string(&a.to_string()));
+            j.end_arr();
+            j.key("attrs").begin_arr();
+            for &a in &d.attrs {
+                j.str_value(&a.to_string());
             }
-            out.push_str("]}");
+            j.end_arr();
+            j.end_obj();
         }
-        out.push(']');
-        out
+        j.end_arr();
+        j.finish()
     }
-}
-
-/// Minimal JSON string encoder (the workspace has no serde).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]
@@ -878,7 +849,20 @@ mod tests {
 
     #[test]
     fn json_escapes_special_characters() {
-        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
-        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        // Escaping lives in the shared writer now; the report must keep
+        // using it for messages with embedded quotes/newlines.
+        let mut u = Universe::builder();
+        u.add_source(SourceSpec::new("alpha", Schema::new(["x"])));
+        let u = u.build().unwrap();
+        let mut report = Analyzer::new(&u).run();
+        report.push(Diagnostic::new(
+            DiagCode::UnknownRequiredSource,
+            "quote \" backslash \\ newline \n done".to_string(),
+        ));
+        let json = report.to_json(&u);
+        assert!(
+            json.contains("quote \\\" backslash \\\\ newline \\n done"),
+            "{json}"
+        );
     }
 }

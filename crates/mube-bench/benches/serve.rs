@@ -1,0 +1,70 @@
+//! Server-side solve throughput under the `mube-serve` worker pool.
+//!
+//! The question a deployment cares about: with `K` concurrent sessions all
+//! solving over the *same* universe (sharing one similarity cache), how
+//! much does adding worker threads buy? Each measurement pushes one solve
+//! job per session through a [`mube_serve::WorkerPool`] and waits for all
+//! of them — comparing a single-threaded pool against a multi-threaded
+//! one on identical work.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mube_bench::{Setup, Variant, EXPERIMENT_SEED};
+use mube_opt::TabuSearch;
+use mube_serve::WorkerPool;
+
+/// Solver budget per session — small, so the benchmark measures pool
+/// scaling rather than one long search.
+const BUDGET: u64 = 200;
+
+/// Concurrent sessions per measurement.
+const SESSIONS: usize = 8;
+
+fn bench_pool_throughput(c: &mut Criterion) {
+    let setup = Setup::small(40);
+    let constraints = Variant::Unconstrained.constraints(&setup, 10, EXPERIMENT_SEED);
+    let problem = Arc::new(setup.problem(constraints).unwrap());
+    let solver = Arc::new(TabuSearch {
+        max_evaluations: BUDGET,
+        ..TabuSearch::default()
+    });
+
+    let mut group = c.benchmark_group("serve_pool_throughput");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let pool = WorkerPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}-threads")),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    let (tx, rx) = mpsc::channel();
+                    for i in 0..SESSIONS {
+                        let problem = Arc::clone(&problem);
+                        let solver = Arc::clone(&solver);
+                        let tx = tx.clone();
+                        // Distinct seeds, like distinct sessions re-solving.
+                        assert!(pool.execute(move || {
+                            let solution = problem
+                                .solve(solver.as_ref(), EXPERIMENT_SEED + i as u64)
+                                .unwrap();
+                            tx.send(solution.quality).unwrap();
+                        }));
+                    }
+                    let mut total = 0.0;
+                    for _ in 0..SESSIONS {
+                        total += rx.recv().unwrap();
+                    }
+                    total
+                });
+            },
+        );
+        pool.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_throughput);
+criterion_main!(benches);

@@ -54,6 +54,8 @@ pub enum Command {
         weights: Vec<(String, f64)>,
         /// Print the leave-one-out explanation.
         explain: bool,
+        /// Emit the solution as machine-readable JSON instead of text.
+        json: bool,
     },
     /// `mube lint`.
     Lint {
@@ -73,6 +75,13 @@ pub enum Command {
         deny_warnings: bool,
         /// Emit the findings as JSON instead of text.
         json: bool,
+    },
+    /// `mube serve`.
+    Serve {
+        /// Bind address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Worker threads.
+        threads: usize,
     },
     /// `mube help`.
     Help,
@@ -194,6 +203,7 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
             let mut pins = Vec::new();
             let mut weights = Vec::new();
             let mut explain = false;
+            let mut json = false;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--max" => {
@@ -232,8 +242,12 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                         weights.push((name.to_string(), value));
                     }
                     "--explain" => explain = true,
+                    "--json" => json = true,
                     other => return Err(bad(format!("unknown flag `{other}` for solve"))),
                 }
+            }
+            if json && explain {
+                return Err(bad("--json and --explain are mutually exclusive"));
             }
             Ok(Command::Solve {
                 file,
@@ -245,6 +259,7 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                 pins,
                 weights,
                 explain,
+                json,
             })
         }
         "lint" => {
@@ -302,6 +317,25 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                 deny_warnings,
                 json,
             })
+        }
+        "serve" => {
+            let mut addr = "127.0.0.1:7207".to_string();
+            let mut threads = 4usize;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--addr" => addr = take_value(flag, &mut iter)?.to_string(),
+                    "--threads" => {
+                        threads = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--threads needs an integer"))?;
+                        if threads == 0 {
+                            return Err(bad("--threads must be at least 1"));
+                        }
+                    }
+                    other => return Err(bad(format!("unknown flag `{other}` for serve"))),
+                }
+            }
+            Ok(Command::Serve { addr, threads })
         }
         other => Err(bad(format!("unknown command `{other}`"))),
     }
@@ -511,5 +545,38 @@ mod tests {
         assert!(p(&["solve", "a.cat", "--weight", "coverage"]).is_err());
         assert!(p(&["solve", "a.cat", "--max", "many"]).is_err());
         assert!(p(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn solve_json_flag() {
+        match p(&["solve", "a.cat", "--json"]).unwrap() {
+            Command::Solve { json, explain, .. } => {
+                assert!(json);
+                assert!(!explain);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // JSON output and the text explanation cannot be combined.
+        assert!(p(&["solve", "a.cat", "--json", "--explain"]).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        assert_eq!(
+            p(&["serve"]).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7207".into(),
+                threads: 4
+            }
+        );
+        assert_eq!(
+            p(&["serve", "--addr", "0.0.0.0:8080", "--threads", "8"]).unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:8080".into(),
+                threads: 8
+            }
+        );
+        assert!(p(&["serve", "--threads", "0"]).is_err());
+        assert!(p(&["serve", "--port", "80"]).is_err());
     }
 }

@@ -164,6 +164,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             pins,
             weights,
             explain: want_explain,
+            json,
         } => {
             let universe = Arc::new(load(&file)?);
             let mut constraints = Constraints::with_max_sources(max).theta(theta).beta(beta);
@@ -196,6 +197,9 @@ pub fn run(command: Command) -> Result<String, CliError> {
             let problem = Problem::new(Arc::clone(&universe), matcher, qefs, constraints)?;
             let solver = make_solver(&solver);
             let solution = problem.solve(solver.as_ref(), seed)?;
+            if json {
+                return Ok(solution.to_json(&universe));
+            }
             let mut out = solution.display(&universe).to_string();
             if want_explain {
                 writeln!(out, "Why each source (leave-one-out ΔQ):").expect("string write");
@@ -203,6 +207,20 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 write!(out, "{}", explanation.display(&universe)).expect("string write");
             }
             Ok(out)
+        }
+        Command::Serve { addr, threads } => {
+            let config = mube_serve::ServeConfig {
+                addr,
+                threads,
+                ..mube_serve::ServeConfig::default()
+            };
+            let server = mube_serve::Server::bind(config)?;
+            let bound = server.local_addr()?;
+            // Print the resolved address before blocking so scripts binding
+            // port 0 can pick it up.
+            println!("mube-serve listening on http://{bound} ({threads} worker threads)");
+            server.run()?;
+            Ok(String::new())
         }
         Command::Lint {
             file,
@@ -371,6 +389,22 @@ mod tests {
         .unwrap();
         assert!(report.contains("leave-one-out"));
         assert!(report.contains("ΔQ"));
+    }
+
+    #[test]
+    fn solve_json_is_machine_readable() {
+        let path = gen_catalog("solve-json.cat", 10);
+        let out =
+            run(parse(&["solve", &path, "--max", "3", "--seed", "7", "--json"]).unwrap()).unwrap();
+        assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
+        assert!(out.contains("\"quality\":"), "{out}");
+        assert!(out.contains("\"qefs\":"), "{out}");
+        assert!(out.contains("\"schema\":"), "{out}");
+        assert!(!out.contains("Overall quality"), "{out}");
+        // Same seed, same document: the JSON output is deterministic.
+        let again =
+            run(parse(&["solve", &path, "--max", "3", "--seed", "7", "--json"]).unwrap()).unwrap();
+        assert_eq!(out, again);
     }
 
     #[test]

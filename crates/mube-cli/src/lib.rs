@@ -31,10 +31,12 @@ USAGE:
     mube match    FILE [--theta T] [--sources a,b,c]
     mube solve    FILE [--max M] [--theta T] [--beta B] [--seed S]
                        [--solver tabu|sls|annealing|pso]
-                       [--pin NAME]... [--weight QEF=W]... [--explain]
+                       [--pin NAME]... [--weight QEF=W]...
+                       [--explain | --json]
     mube lint     FILE [--max M] [--theta T] [--beta B]
                        [--pin NAME]... [--weight QEF=W]...
                        [--deny-warnings] [--json]
+    mube serve    [--addr HOST:PORT] [--threads N]
     mube help
 
 COMMANDS:
@@ -47,4 +49,6 @@ COMMANDS:
     lint       Statically audit a catalog + constraints before solving;
                exits 2 when MUBE0xx errors (or, with --deny-warnings,
                any finding) are reported
+    serve      Run the HTTP/JSON session server (default 127.0.0.1:7207;
+               see PROTOCOL.md for endpoints)
     help       Show this message";

@@ -56,6 +56,16 @@ pub enum MubeError {
         /// What was wrong.
         detail: String,
     },
+    /// A feedback verb referenced a GA index that the latest solution does
+    /// not have — typically a stale handle after a re-solve changed the
+    /// schema. Carries how many GAs *are* available so callers (CLI,
+    /// server) can report the valid range without re-inspecting state.
+    StaleGaIndex {
+        /// The index the caller asked for.
+        index: usize,
+        /// GAs available in the latest solution (0 if no iteration ran).
+        available: usize,
+    },
 }
 
 impl std::fmt::Display for MubeError {
@@ -88,6 +98,10 @@ impl std::fmt::Display for MubeError {
             MubeError::InvalidParameter { detail } => {
                 write!(f, "invalid parameter: {detail}")
             }
+            MubeError::StaleGaIndex { index, available } => write!(
+                f,
+                "GA #{index} is stale: the latest solution has {available} GAs"
+            ),
         }
     }
 }

@@ -1,0 +1,236 @@
+//! Minimal JSON *writing* helpers (the workspace has no serde).
+//!
+//! One escaping routine and one comma-tracking buffer, shared by every
+//! component that emits machine-readable output: `mube-audit`'s
+//! `Report::to_json`, the CLI's `solve --json` / `lint --json`, and the
+//! `mube-serve` HTTP responses. Keeping them in one place means one set of
+//! escaping bugs to fix and byte-identical output across surfaces.
+
+use std::fmt::Write as _;
+
+/// Escapes and quotes `s` as a JSON string literal.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number. JSON has no NaN/±∞, so non-finite
+/// values become `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A streaming JSON builder with automatic comma placement.
+///
+/// Call [`JsonBuf::begin_obj`] / [`JsonBuf::begin_arr`] to open containers,
+/// [`JsonBuf::key`] before each object member, and the `*_value` methods for
+/// leaves; separators are inserted for you. The builder does not validate
+/// nesting — callers own well-formedness — but gets the commas right, which
+/// is the part hand-rolled JSON reliably breaks.
+///
+/// ```
+/// use mube_core::jsonw::JsonBuf;
+/// let mut j = JsonBuf::new();
+/// j.begin_obj();
+/// j.key("ok").bool_value(true);
+/// j.key("scores").begin_arr();
+/// j.num_value(1.0);
+/// j.num_value(0.5);
+/// j.end_arr();
+/// j.end_obj();
+/// assert_eq!(j.finish(), r#"{"ok":true,"scores":[1,0.5]}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: String,
+    /// Per open container: has it emitted an entry yet?
+    stack: Vec<bool>,
+    /// The next value completes a `"key":` pair — no separator before it.
+    after_key: bool,
+}
+
+impl JsonBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        JsonBuf::default()
+    }
+
+    fn pre_value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(has_entry) = self.stack.last_mut() {
+            if *has_entry {
+                self.out.push(',');
+            }
+            *has_entry = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_arr(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Emits an object key; the next emitted value belongs to it.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&string(k));
+        self.out.push(':');
+        self.after_key = true;
+        self
+    }
+
+    /// Emits a string value.
+    pub fn str_value(&mut self, s: &str) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&string(s));
+        self
+    }
+
+    /// Emits a number value (`null` for non-finite floats).
+    pub fn num_value(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&number(v));
+        self
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn uint_value(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        write!(self.out, "{v}").expect("string write");
+        self
+    }
+
+    /// Emits a boolean value.
+    pub fn bool_value(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Emits `null`.
+    pub fn null_value(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push_str("null");
+        self
+    }
+
+    /// Emits pre-rendered JSON verbatim (with separator handling).
+    pub fn raw_value(&mut self, json: &str) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(json);
+        self
+    }
+
+    /// The rendered JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("a\"b"), r#""a\"b""#);
+        assert_eq!(string("a\\b"), r#""a\\b""#);
+        assert_eq!(string("a\nb\tc"), r#""a\nb\tc""#);
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(string("é µ"), "\"é µ\"");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(0.5), "0.5");
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn builder_places_commas() {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("a").uint_value(1);
+        j.key("b").begin_arr();
+        j.str_value("x");
+        j.str_value("y");
+        j.begin_obj();
+        j.key("c").null_value();
+        j.end_obj();
+        j.end_arr();
+        j.key("d").bool_value(false);
+        j.end_obj();
+        assert_eq!(j.finish(), r#"{"a":1,"b":["x","y",{"c":null}],"d":false}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut j = JsonBuf::new();
+        j.begin_arr();
+        j.begin_obj();
+        j.end_obj();
+        j.begin_arr();
+        j.end_arr();
+        j.end_arr();
+        assert_eq!(j.finish(), "[{},[]]");
+    }
+
+    #[test]
+    fn raw_value_separates() {
+        let mut j = JsonBuf::new();
+        j.begin_arr();
+        j.raw_value("1");
+        j.raw_value("[2]");
+        j.end_arr();
+        assert_eq!(j.finish(), "[1,[2]]");
+    }
+}

@@ -66,6 +66,7 @@ pub mod error;
 pub mod explain;
 pub mod ga;
 pub mod ids;
+pub mod jsonw;
 pub mod matchop;
 pub mod overlap;
 pub mod problem;

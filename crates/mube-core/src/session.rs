@@ -127,6 +127,21 @@ impl Session {
         &self.history
     }
 
+    /// Number of iterations run so far.
+    pub fn iterations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The session seed (iteration seeds derive from it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The solver's name (`"tabu"`, `"sls"`, ...).
+    pub fn solver_name(&self) -> &str {
+        self.solver.name()
+    }
+
     /// Diff of the last two iterations (what the latest feedback changed).
     pub fn last_diff(&self) -> Option<SolutionDiff> {
         let n = self.history.len();
@@ -167,6 +182,18 @@ impl Session {
         self.problem.set_constraints(c)
     }
 
+    /// Un-pins a source by name.
+    pub fn unpin_source_by_name(&mut self, name: &str) -> Result<(), MubeError> {
+        let id = self
+            .universe()
+            .source_by_name(name)
+            .map(super::source::Source::id)
+            .ok_or_else(|| MubeError::UnknownAttribute {
+                detail: format!("source `{name}`"),
+            })?;
+        self.unpin_source(id)
+    }
+
     /// Adds a GA constraint ("matching by example"): the output schema must
     /// contain a GA subsuming `ga`.
     pub fn require_ga(&mut self, ga: GlobalAttribute) -> Result<(), MubeError> {
@@ -177,14 +204,17 @@ impl Session {
 
     /// Promotes GA `index` of the latest solution into a GA constraint —
     /// the paper's signature "modify the output to get the next input".
+    ///
+    /// A stale index (out of range for the latest solution, or no solution
+    /// yet) is a structured [`MubeError::StaleGaIndex`], so interactive
+    /// front ends can tell the user the valid range.
     pub fn adopt_ga(&mut self, index: usize) -> Result<(), MubeError> {
+        let available = self.latest().map_or(0, |s| s.schema.len());
         let ga = self
             .latest()
             .and_then(|s| s.ga(index))
             .cloned()
-            .ok_or_else(|| MubeError::UnknownAttribute {
-                detail: format!("solution GA #{index}"),
-            })?;
+            .ok_or(MubeError::StaleGaIndex { index, available })?;
         self.require_ga(ga)
     }
 
@@ -330,8 +360,46 @@ mod tests {
     #[test]
     fn adopt_ga_out_of_range_errors() {
         let mut s = session(3, 2);
+        // Before any run, the stale error reports zero available GAs.
+        assert_eq!(
+            s.adopt_ga(0),
+            Err(MubeError::StaleGaIndex {
+                index: 0,
+                available: 0
+            })
+        );
         s.run().unwrap();
-        assert!(s.adopt_ga(999).is_err());
+        let n = s.latest().unwrap().schema.len();
+        assert_eq!(
+            s.adopt_ga(999),
+            Err(MubeError::StaleGaIndex {
+                index: 999,
+                available: n
+            })
+        );
+    }
+
+    #[test]
+    fn session_accessors() {
+        let mut s = session(4, 2);
+        assert_eq!(s.iterations(), 0);
+        assert_eq!(s.seed(), 7);
+        assert_eq!(s.solver_name(), "tabu");
+        s.run().unwrap();
+        assert_eq!(s.iterations(), 1);
+        s.pin_source_by_name("src1").unwrap();
+        s.unpin_source_by_name("src1").unwrap();
+        assert!(s.constraints().required_sources.is_empty());
+        assert!(s.unpin_source_by_name("ghost").is_err());
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        // The server moves sessions across worker threads; a regression
+        // here (a non-Send solver or matcher sneaking into the object
+        // graph) must fail to compile.
+        fn assert_send<T: Send>() {}
+        assert_send::<Session>();
     }
 
     #[test]

@@ -69,6 +69,74 @@ impl Solution {
     pub fn ga(&self, index: usize) -> Option<&GlobalAttribute> {
         self.schema.gas().get(index)
     }
+
+    /// Renders the solution as JSON — the machine-readable shape shared by
+    /// `mube solve --json` and the `mube-serve` HTTP API:
+    ///
+    /// ```json
+    /// {"quality":0.93,"evaluations":1234,
+    ///  "sources":[{"id":3,"name":"site0003","cardinality":1000}],
+    ///  "qefs":[{"name":"matching","weight":0.25,"score":0.9}],
+    ///  "schema":[{"ga":0,"attrs":[{"source":"site0003","attr":"title"}]}]}
+    /// ```
+    ///
+    /// Attribute entries whose ids fall outside `universe` (a foreign
+    /// universe) degrade to the raw id strings rather than panicking.
+    pub fn to_json(&self, universe: &Universe) -> String {
+        let mut j = crate::jsonw::JsonBuf::new();
+        j.begin_obj();
+        j.key("quality").num_value(self.quality);
+        j.key("evaluations").uint_value(self.evaluations);
+        j.key("sources").begin_arr();
+        for &s in &self.sources {
+            j.begin_obj();
+            j.key("id").uint_value(u64::from(s.0));
+            match universe.get(s) {
+                Some(src) => {
+                    j.key("name").str_value(src.name());
+                    j.key("cardinality").uint_value(src.cardinality());
+                }
+                None => {
+                    j.key("name").str_value(&s.to_string());
+                    j.key("cardinality").uint_value(0);
+                }
+            }
+            j.end_obj();
+        }
+        j.end_arr();
+        j.key("qefs").begin_arr();
+        for (name, weight, score) in &self.qef_scores {
+            j.begin_obj();
+            j.key("name").str_value(name);
+            j.key("weight").num_value(*weight);
+            j.key("score").num_value(*score);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.key("schema").begin_arr();
+        for (i, ga) in self.schema.gas().iter().enumerate() {
+            j.begin_obj();
+            j.key("ga").uint_value(i as u64);
+            j.key("attrs").begin_arr();
+            for &attr in ga.attrs() {
+                j.begin_obj();
+                let source_name = universe
+                    .get(attr.source)
+                    .map_or_else(|| attr.source.to_string(), |s| s.name().to_string());
+                let attr_name = universe
+                    .attr_name(attr)
+                    .map_or_else(|| attr.to_string(), str::to_string);
+                j.key("source").str_value(&source_name);
+                j.key("attr").str_value(&attr_name);
+                j.end_obj();
+            }
+            j.end_arr();
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        j.finish()
+    }
 }
 
 /// What changed between two solutions.
@@ -178,6 +246,36 @@ mod tests {
         let s = sol(&[0], vec![], 0.7);
         assert_eq!(s.qef_score("matching"), Some(0.7));
         assert_eq!(s.qef_score("coverage"), None);
+    }
+
+    #[test]
+    fn to_json_renders_machine_shape() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("alpha", Schema::new(["x"])).cardinality(7));
+        b.add_source(SourceSpec::new("beta", Schema::new(["x"])).cardinality(9));
+        let u = b.build().unwrap();
+        let ga = GlobalAttribute::try_new([a(0, 0), a(1, 0)]).unwrap();
+        let s = sol(&[0, 1], vec![ga], 0.25);
+        let json = s.to_json(&u);
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains(r#""quality":0.25"#), "{json}");
+        assert!(json.contains(r#""name":"alpha","cardinality":7"#), "{json}");
+        assert!(json.contains(r#""qefs":[{"name":"matching"#), "{json}");
+        assert!(
+            json.contains(r#""attrs":[{"source":"alpha","attr":"x"}"#),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn to_json_tolerates_foreign_universe() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("only", Schema::new(["x"])));
+        let u = b.build().unwrap();
+        // Source 9 does not exist in `u`.
+        let s = sol(&[9], vec![GlobalAttribute::singleton(a(9, 0))], 0.1);
+        let json = s.to_json(&u);
+        assert!(json.contains(r#""name":"s9""#), "{json}");
     }
 
     #[test]

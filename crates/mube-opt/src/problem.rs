@@ -38,7 +38,12 @@ pub struct SolveResult {
 }
 
 /// A subset-selection solver.
-pub trait SubsetSolver {
+///
+/// `Send + Sync` is a supertrait so a boxed solver (and therefore a whole
+/// `mube_core::Session`) can move between threads — the `mube-serve` worker
+/// pool solves many sessions concurrently. Every solver in this crate is a
+/// plain configuration struct, so the bound costs implementors nothing.
+pub trait SubsetSolver: Send + Sync {
     /// Human-readable algorithm name, e.g. `"tabu"`.
     fn name(&self) -> &str;
 

@@ -1,0 +1,269 @@
+//! Server observability: request/solve counters and latency histograms.
+//!
+//! One [`Metrics`] lives for the server's lifetime; handlers record into it
+//! and `GET /metrics` (or a test) takes a consistent [`ServerStats`]
+//! snapshot. Buckets are fixed log-scale (powers of two of microseconds),
+//! so histograms are tiny, mergeable, and never allocate on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use mube_core::jsonw::JsonBuf;
+
+/// Number of log-scale buckets: bucket `i` counts durations in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is unbounded above
+/// (≈ 2^19 µs ≈ 0.5 s and beyond).
+pub const BUCKETS: usize = 20;
+
+/// A fixed log-scale latency histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket observation counts.
+    pub counts: [u64; BUCKETS],
+    /// Total observations.
+    pub total: u64,
+    /// Sum of all observed durations, in microseconds.
+    pub sum_micros: u64,
+}
+
+impl Histogram {
+    /// Records one duration.
+    pub fn record(&mut self, d: Duration) {
+        let micros = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let bucket = if micros == 0 {
+            0
+        } else {
+            (63 - u64::leading_zeros(micros) as usize).min(BUCKETS - 1)
+        };
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum_micros = self.sum_micros.saturating_add(micros);
+    }
+
+    /// Mean observed duration in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum_micros as f64 / self.total as f64
+            }
+        }
+    }
+
+    fn write_json(&self, j: &mut JsonBuf) {
+        j.begin_obj();
+        j.key("total").uint_value(self.total);
+        j.key("sum_micros").uint_value(self.sum_micros);
+        j.key("buckets_micros_pow2").begin_arr();
+        for &c in &self.counts {
+            j.uint_value(c);
+        }
+        j.end_arr();
+        j.end_obj();
+    }
+}
+
+/// Everything the server counts, behind one lock (handlers touch it a few
+/// times per request; contention is negligible next to a solve).
+#[derive(Debug, Default)]
+struct Inner {
+    requests: BTreeMap<(String, u16), u64>,
+    catalogs_created: u64,
+    sessions_created: u64,
+    sessions_evicted: u64,
+    solves_run: u64,
+    request_hist: Histogram,
+    solve_hist: Histogram,
+}
+
+/// Shared metrics sink.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+/// A consistent copy of the counters, for `/metrics` and tests.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// `(endpoint, status) → count`, endpoint being the normalized route
+    /// (e.g. `POST /sessions/{id}/solve`).
+    pub requests: BTreeMap<(String, u16), u64>,
+    /// Catalogs uploaded.
+    pub catalogs_created: u64,
+    /// Sessions created.
+    pub sessions_created: u64,
+    /// Sessions evicted by the idle policy.
+    pub sessions_evicted: u64,
+    /// Solve iterations run.
+    pub solves_run: u64,
+    /// Sessions alive at snapshot time (filled in by the server).
+    pub sessions_live: u64,
+    /// Whole-request latency histogram.
+    pub request_hist: Histogram,
+    /// Solver-only latency histogram.
+    pub solve_hist: Histogram,
+}
+
+impl Metrics {
+    /// A zeroed sink.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("metrics lock poisoned")
+    }
+
+    /// Records one finished request.
+    pub fn record_request(&self, endpoint: &str, status: u16, elapsed: Duration) {
+        let mut m = self.locked();
+        *m.requests
+            .entry((endpoint.to_string(), status))
+            .or_insert(0) += 1;
+        m.request_hist.record(elapsed);
+    }
+
+    /// Records one finished solve.
+    pub fn record_solve(&self, elapsed: Duration) {
+        let mut m = self.locked();
+        m.solves_run += 1;
+        m.solve_hist.record(elapsed);
+    }
+
+    /// Counts a catalog upload.
+    pub fn catalog_created(&self) {
+        self.locked().catalogs_created += 1;
+    }
+
+    /// Counts a session creation.
+    pub fn session_created(&self) {
+        self.locked().sessions_created += 1;
+    }
+
+    /// Counts idle-policy evictions.
+    pub fn sessions_evicted(&self, n: u64) {
+        self.locked().sessions_evicted += n;
+    }
+
+    /// A consistent snapshot; `sessions_live` is supplied by the caller
+    /// (the store owns that number).
+    pub fn snapshot(&self, sessions_live: u64) -> ServerStats {
+        let m = self.locked();
+        ServerStats {
+            requests: m.requests.clone(),
+            catalogs_created: m.catalogs_created,
+            sessions_created: m.sessions_created,
+            sessions_evicted: m.sessions_evicted,
+            solves_run: m.solves_run,
+            sessions_live,
+            request_hist: m.request_hist.clone(),
+            solve_hist: m.solve_hist.clone(),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Total requests across endpoints and statuses.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.values().sum()
+    }
+
+    /// Requests counted for one endpoint across statuses.
+    pub fn requests_for(&self, endpoint: &str) -> u64 {
+        self.requests
+            .iter()
+            .filter(|((e, _), _)| e == endpoint)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Renders the `/metrics` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("requests").begin_arr();
+        for ((endpoint, status), count) in &self.requests {
+            j.begin_obj();
+            j.key("endpoint").str_value(endpoint);
+            j.key("status").uint_value(u64::from(*status));
+            j.key("count").uint_value(*count);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.key("catalogs_created").uint_value(self.catalogs_created);
+        j.key("sessions_created").uint_value(self.sessions_created);
+        j.key("sessions_evicted").uint_value(self.sessions_evicted);
+        j.key("sessions_live").uint_value(self.sessions_live);
+        j.key("solves_run").uint_value(self.solves_run);
+        j.key("request_latency");
+        self.request_hist.write_json(&mut j);
+        j.key("solve_latency");
+        self.solve_hist.write_json(&mut j);
+        j.end_obj();
+        j.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        let mut h = Histogram::default();
+        h.record(Duration::from_micros(0)); // bucket 0
+        h.record(Duration::from_micros(1)); // bucket 0
+        h.record(Duration::from_micros(2)); // bucket 1
+        h.record(Duration::from_micros(3)); // bucket 1
+        h.record(Duration::from_micros(1024)); // bucket 10
+        h.record(Duration::from_secs(3600)); // clamped to last bucket
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 2);
+        assert_eq!(h.counts[10], 1);
+        assert_eq!(h.counts[BUCKETS - 1], 1);
+        assert_eq!(h.total, 6);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::default();
+        assert_eq!(h.mean_micros(), 0.0);
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(30));
+        assert!((h.mean_micros() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = Metrics::new();
+        m.record_request("GET /healthz", 200, Duration::from_micros(5));
+        m.record_request("GET /healthz", 200, Duration::from_micros(7));
+        m.record_request("POST /sessions", 422, Duration::from_micros(9));
+        m.record_solve(Duration::from_millis(2));
+        m.catalog_created();
+        m.session_created();
+        m.sessions_evicted(3);
+        let s = m.snapshot(4);
+        assert_eq!(s.total_requests(), 3);
+        assert_eq!(s.requests_for("GET /healthz"), 2);
+        assert_eq!(s.requests[&("POST /sessions".to_string(), 422)], 1);
+        assert_eq!(s.solves_run, 1);
+        assert_eq!(s.sessions_evicted, 3);
+        assert_eq!(s.sessions_live, 4);
+        assert_eq!(s.request_hist.total, 3);
+        assert_eq!(s.solve_hist.total, 1);
+    }
+
+    #[test]
+    fn stats_json_renders() {
+        let m = Metrics::new();
+        m.record_request("GET /metrics", 200, Duration::from_micros(3));
+        let json = m.snapshot(1).to_json();
+        assert!(json.contains("\"endpoint\":\"GET /metrics\""), "{json}");
+        assert!(json.contains("\"sessions_live\":1"), "{json}");
+        assert!(json.contains("\"buckets_micros_pow2\""), "{json}");
+    }
+}

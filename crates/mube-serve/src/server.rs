@@ -1,0 +1,896 @@
+//! The HTTP session server: configuration, routing, handlers, lifecycle.
+//!
+//! One acceptor thread hands connections to a [`WorkerPool`]; each worker
+//! reads a request, routes it, and answers with JSON. Sessions live in the
+//! [`Store`]; a solve locks its session's mutex for the duration, so
+//! same-session requests serialize while different sessions run in
+//! parallel across workers.
+//!
+//! Shutdown is graceful: [`ServerHandle::shutdown`] flips the draining
+//! flag (mutating endpoints start answering 503) and wakes the acceptor,
+//! which stops accepting and drains the pool — every request already
+//! accepted, including in-flight solves, completes before `run` returns.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mube_audit::Analyzer;
+use mube_core::catalog;
+use mube_core::constraints::Constraints;
+use mube_core::explain;
+use mube_core::jsonw::JsonBuf;
+use mube_core::matchop::MatchOperator;
+use mube_core::problem::Problem;
+use mube_core::qefs::{data_only_qefs, paper_default_qefs};
+use mube_core::session::Session;
+use mube_core::source::Universe;
+use mube_core::MubeError;
+use mube_match::{ClusterMatcher, JaccardNGram, SimilarityCache};
+use mube_opt::{
+    ParticleSwarm, SimulatedAnnealing, StochasticLocalSearch, SubsetSolver, TabuSearch,
+};
+
+use crate::http::{self, HttpError, Request};
+use crate::json::Json;
+use crate::metrics::{Metrics, ServerStats};
+use crate::pool::WorkerPool;
+use crate::store::{SessionEntry, Store, StoreError};
+
+/// Server configuration. [`ServeConfig::default`] is suitable for tests
+/// and local use (ephemeral port, 4 workers).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7207` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+    /// Request body cap in bytes; larger declared bodies get a 413.
+    pub max_body_bytes: usize,
+    /// Socket read timeout (a stalled client gets a 408).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Live-session cap; at the cap, idle sessions are evicted first and
+    /// creation is refused (429) when nothing is idle.
+    pub max_sessions: usize,
+    /// Sessions untouched this long are eligible for eviction.
+    pub idle_ttl: Duration,
+    /// Per-solve budget, mapped onto the solver's objective-evaluation
+    /// cutoff (tabu search honors it exactly; the other solvers keep
+    /// their own default caps, which are of the same order).
+    pub max_solve_evaluations: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_sessions: 64,
+            idle_ttl: Duration::from_secs(15 * 60),
+            max_solve_evaluations: 20_000,
+        }
+    }
+}
+
+/// Shared state behind every worker: config, store, metrics, drain flag.
+struct ServerState {
+    config: ServeConfig,
+    store: Store,
+    metrics: Metrics,
+    draining: AtomicBool,
+}
+
+/// A bound server, ready to [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    pool: WorkerPool,
+}
+
+/// A cloneable handle for observing and stopping a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let pool = WorkerPool::new(config.threads);
+        let state = Arc::new(ServerState {
+            store: Store::new(config.max_sessions, config.idle_ttl),
+            metrics: Metrics::new(),
+            draining: AtomicBool::new(false),
+            config,
+        });
+        Ok(Server {
+            listener,
+            state,
+            pool,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for stats and shutdown, usable from other threads.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            state: Arc::clone(&self.state),
+        })
+    }
+
+    /// Binds and runs on a background thread; returns the handle and the
+    /// join handle of the acceptor thread.
+    pub fn spawn(
+        config: ServeConfig,
+    ) -> std::io::Result<(ServerHandle, std::thread::JoinHandle<std::io::Result<()>>)> {
+        let server = Server::bind(config)?;
+        let handle = server.handle()?;
+        let join = std::thread::Builder::new()
+            .name("mube-serve-acceptor".to_string())
+            .spawn(move || server.run())?;
+        Ok((handle, join))
+    }
+
+    /// Accepts connections until [`ServerHandle::shutdown`], then drains
+    /// the worker pool (in-flight and queued requests complete) and
+    /// returns.
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.state.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else {
+                // Transient accept error (e.g. the peer vanished between
+                // accept and here); keep serving.
+                continue;
+            };
+            let state = Arc::clone(&self.state);
+            if !self.pool.execute(move || handle_connection(stream, &state)) {
+                break;
+            }
+        }
+        drop(self.listener);
+        self.pool.shutdown();
+        Ok(())
+    }
+}
+
+impl ServerHandle {
+    /// The server's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.state.draining.load(Ordering::SeqCst)
+    }
+
+    /// A consistent counters snapshot (what `GET /metrics` serves).
+    pub fn stats(&self) -> ServerStats {
+        self.state
+            .metrics
+            .snapshot(self.state.store.sessions_len() as u64)
+    }
+
+    /// Starts a graceful shutdown: new mutating requests get 503, the
+    /// acceptor stops, and queued work drains. Returns immediately; join
+    /// the thread running [`Server::run`] to wait for the drain.
+    pub fn shutdown(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        // Wake the acceptor so it observes the flag even with no traffic.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling and routing
+// ---------------------------------------------------------------------
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let start = Instant::now();
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+    let mut stream = stream;
+    match http::read_request(&mut stream, state.config.max_body_bytes) {
+        Ok(req) => {
+            let label = endpoint_label(&req.method, &req.path);
+            let (status, body) = route(state, &req);
+            let _ = http::write_response(&mut stream, status, &body);
+            state
+                .metrics
+                .record_request(&label, status, start.elapsed());
+        }
+        // The shutdown wake-up and port scans land here; nothing to say.
+        Err(HttpError::EmptyConnection) => {}
+        Err(e) => {
+            let (status, code) = match &e {
+                HttpError::HeadTooLarge | HttpError::BodyTooLarge { .. } => {
+                    (413, "payload_too_large")
+                }
+                HttpError::Io(_) => (408, "timeout"),
+                _ => (400, "bad_request"),
+            };
+            let body = error_body(code, &e.to_string(), |_| {});
+            let _ = http::write_response(&mut stream, status, &body);
+            state
+                .metrics
+                .record_request("MALFORMED", status, start.elapsed());
+        }
+    }
+}
+
+/// Normalizes a request to a bounded-cardinality metrics label, e.g.
+/// `POST /sessions/{id}/solve`.
+fn endpoint_label(method: &str, path: &str) -> String {
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let norm = match segs.as_slice() {
+        ["healthz"] => "/healthz",
+        ["metrics"] => "/metrics",
+        ["catalogs"] => "/catalogs",
+        ["sessions"] => "/sessions",
+        ["sessions", _] => "/sessions/{id}",
+        ["sessions", _, "solve"] => "/sessions/{id}/solve",
+        ["sessions", _, "feedback"] => "/sessions/{id}/feedback",
+        ["sessions", _, "explain"] => "/sessions/{id}/explain",
+        ["sessions", _, "lint"] => "/sessions/{id}/lint",
+        _ => "/unknown",
+    };
+    format!("{method} {norm}")
+}
+
+/// A handler failure already rendered as a response.
+struct ApiError {
+    status: u16,
+    body: String,
+}
+
+impl ApiError {
+    fn new(status: u16, code: &str, message: &str) -> ApiError {
+        ApiError {
+            status,
+            body: error_body(code, message, |_| {}),
+        }
+    }
+}
+
+impl From<MubeError> for ApiError {
+    fn from(e: MubeError) -> Self {
+        let (status, code) = engine_code(&e);
+        ApiError::new(status, code, &e.to_string())
+    }
+}
+
+/// `{"error":{"code":...,"message":...,<extra>}}`; `extra` appends
+/// additional members to the error object.
+fn error_body(code: &str, message: &str, extra: impl FnOnce(&mut JsonBuf)) -> String {
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("error").begin_obj();
+    j.key("code").str_value(code);
+    j.key("message").str_value(message);
+    extra(&mut j);
+    j.end_obj();
+    j.end_obj();
+    j.finish()
+}
+
+/// Stable status + code for every engine error.
+fn engine_code(e: &MubeError) -> (u16, &'static str) {
+    match e {
+        MubeError::StaleGaIndex { .. } => (409, "stale_ga_index"),
+        MubeError::UnknownAttribute { .. } => (422, "unknown_name"),
+        MubeError::UnknownSource { .. } => (422, "unknown_source"),
+        MubeError::UnknownQef { .. } => (422, "unknown_qef"),
+        MubeError::InvalidWeights { .. } => (422, "invalid_weights"),
+        MubeError::InvalidParameter { .. } => (422, "invalid_parameter"),
+        MubeError::ConstraintConflict { .. } => (422, "constraint_conflict"),
+        _ => (422, "engine_error"),
+    }
+}
+
+/// On a constraint conflict, asks the analyzer which `MUBE0xx` findings
+/// explain it, so the response carries the same codes `mube lint` would.
+fn conflict_error(e: &MubeError, universe: &Universe, constraints: &Constraints) -> ApiError {
+    let (status, code) = engine_code(e);
+    if !matches!(e, MubeError::ConstraintConflict { .. }) {
+        return ApiError::new(status, code, &e.to_string());
+    }
+    let measure = JaccardNGram::trigram();
+    let report = Analyzer::new(universe)
+        .constraints(constraints)
+        .similarity(&measure)
+        .run();
+    let codes: Vec<String> = report.errors().map(|d| d.code.to_string()).collect();
+    ApiError {
+        status,
+        body: error_body(code, &e.to_string(), |j| {
+            j.key("lint").begin_arr();
+            for c in &codes {
+                j.str_value(c);
+            }
+            j.end_arr();
+        }),
+    }
+}
+
+fn route(state: &ServerState, req: &Request) -> (u16, String) {
+    let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let draining = state.draining.load(Ordering::SeqCst);
+    if draining && req.method != "GET" {
+        return (
+            503,
+            error_body("draining", "server is shutting down", |_| {}),
+        );
+    }
+    let result = match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["healthz"]) => Ok(healthz(state, draining)),
+        ("GET", ["metrics"]) => Ok(metrics(state)),
+        ("POST", ["catalogs"]) => create_catalog(state, req),
+        ("POST", ["sessions"]) => create_session(state, req),
+        ("POST", ["sessions", id, "solve"]) => with_session(state, id, |e| solve(state, e)),
+        ("POST", ["sessions", id, "feedback"]) => with_session(state, id, |e| feedback(e, req)),
+        ("GET", ["sessions", id, "explain"]) => with_session(state, id, explain_session),
+        ("GET", ["sessions", id, "lint"]) => with_session(state, id, lint_session),
+        ("DELETE", ["sessions", id]) => delete_session(state, id),
+        (
+            _,
+            ["healthz"]
+            | ["metrics"]
+            | ["catalogs"]
+            | ["sessions"]
+            | ["sessions", _]
+            | ["sessions", _, "solve" | "feedback" | "explain" | "lint"],
+        ) => Err(ApiError::new(
+            405,
+            "method_not_allowed",
+            &format!("{} is not supported on {}", req.method, req.path),
+        )),
+        _ => Err(ApiError::new(
+            404,
+            "not_found",
+            &format!("no route for {}", req.path),
+        )),
+    };
+    match result {
+        Ok(ok) => ok,
+        Err(e) => (e.status, e.body),
+    }
+}
+
+fn parse_body(req: &Request) -> Result<Json, ApiError> {
+    if req.body.is_empty() {
+        return Ok(Json::Obj(Vec::new()));
+    }
+    let text = req
+        .body_utf8()
+        .map_err(|e| ApiError::new(400, "bad_request", &e.to_string()))?;
+    Json::parse(text).map_err(|e| ApiError::new(400, "bad_json", &e.to_string()))
+}
+
+fn with_session(
+    state: &ServerState,
+    id: &str,
+    f: impl FnOnce(&Arc<SessionEntry>) -> Result<(u16, String), ApiError>,
+) -> Result<(u16, String), ApiError> {
+    let entry = id
+        .parse::<u64>()
+        .ok()
+        .and_then(|id| state.store.session(id))
+        .ok_or_else(|| ApiError::new(404, "unknown_session", &format!("no session `{id}`")))?;
+    entry.touch();
+    f(&entry)
+}
+
+// ---------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------
+
+fn healthz(state: &ServerState, draining: bool) -> (u16, String) {
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("status").str_value("ok");
+    j.key("draining").bool_value(draining);
+    j.key("sessions")
+        .uint_value(state.store.sessions_len() as u64);
+    j.end_obj();
+    (200, j.finish())
+}
+
+fn metrics(state: &ServerState) -> (u16, String) {
+    let stats = state.metrics.snapshot(state.store.sessions_len() as u64);
+    (200, stats.to_json())
+}
+
+fn create_catalog(state: &ServerState, req: &Request) -> Result<(u16, String), ApiError> {
+    let body = parse_body(req)?;
+    let text = body
+        .get("catalog")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::new(400, "bad_request", "missing string field `catalog`"))?;
+    let universe = Arc::new(catalog::from_text(text)?);
+    let cache = Arc::new(SimilarityCache::build(&universe, &JaccardNGram::trigram()));
+    let distinct = cache.distinct_names();
+    let id = state.store.insert_catalog(Arc::clone(&universe), cache);
+    state.metrics.catalog_created();
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("catalog").uint_value(id);
+    j.key("sources").uint_value(universe.len() as u64);
+    j.key("attributes")
+        .uint_value(universe.total_attrs() as u64);
+    j.key("distinct_names").uint_value(distinct as u64);
+    j.end_obj();
+    Ok((201, j.finish()))
+}
+
+fn make_solver(name: &str, max_evaluations: u64) -> Box<dyn SubsetSolver> {
+    match name {
+        "sls" => Box::new(StochasticLocalSearch::default()),
+        "annealing" => Box::new(SimulatedAnnealing::default()),
+        "pso" => Box::new(ParticleSwarm::default()),
+        _ => Box::new(TabuSearch {
+            max_evaluations,
+            ..TabuSearch::default()
+        }),
+    }
+}
+
+fn create_session(state: &ServerState, req: &Request) -> Result<(u16, String), ApiError> {
+    let body = parse_body(req)?;
+    let catalog_id = body
+        .get("catalog")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ApiError::new(400, "bad_request", "missing integer field `catalog`"))?;
+    let entry = state.store.catalog(catalog_id).ok_or_else(|| {
+        ApiError::new(
+            404,
+            "unknown_catalog",
+            &format!("no catalog `{catalog_id}`"),
+        )
+    })?;
+    let universe = Arc::clone(&entry.universe);
+
+    let max_sources = match body.get("max_sources") {
+        Some(v) => v.as_usize().ok_or_else(|| {
+            ApiError::new(
+                400,
+                "bad_request",
+                "`max_sources` must be a non-negative integer",
+            )
+        })?,
+        None => universe.len(),
+    };
+    let mut constraints = Constraints::with_max_sources(max_sources);
+    if let Some(v) = body.get("theta") {
+        constraints =
+            constraints
+                .theta(v.as_f64().ok_or_else(|| {
+                    ApiError::new(400, "bad_request", "`theta` must be a number")
+                })?);
+    }
+    if let Some(v) = body.get("beta") {
+        constraints = constraints.beta(v.as_usize().ok_or_else(|| {
+            ApiError::new(400, "bad_request", "`beta` must be a non-negative integer")
+        })?);
+    }
+    if let Some(pins) = body.get("pins") {
+        let pins = pins
+            .as_array()
+            .ok_or_else(|| ApiError::new(400, "bad_request", "`pins` must be an array"))?;
+        for pin in pins {
+            let name = pin.as_str().ok_or_else(|| {
+                ApiError::new(400, "bad_request", "`pins` entries must be source names")
+            })?;
+            let id = universe
+                .source_by_name(name)
+                .map(mube_core::Source::id)
+                .ok_or_else(|| ApiError::new(422, "unknown_name", &format!("source `{name}`")))?;
+            constraints.required_sources.insert(id);
+        }
+    }
+
+    let has_mttf = universe
+        .sources()
+        .any(|s| s.characteristic("mttf").is_some());
+    let mut qefs = if has_mttf {
+        paper_default_qefs("mttf")
+    } else {
+        data_only_qefs()
+    };
+    if let Some(weights) = body.get("weights") {
+        let members = weights
+            .as_object()
+            .ok_or_else(|| ApiError::new(400, "bad_request", "`weights` must be an object"))?;
+        for (name, value) in members {
+            let w = value.as_f64().ok_or_else(|| {
+                ApiError::new(
+                    400,
+                    "bad_request",
+                    &format!("weight `{name}` must be a number"),
+                )
+            })?;
+            qefs = qefs.reweighted(name, w)?;
+        }
+    }
+
+    let matcher: Arc<dyn MatchOperator> = Arc::new(ClusterMatcher::with_cache(
+        &universe,
+        Arc::clone(&entry.cache),
+    ));
+    let problem = Problem::new(Arc::clone(&universe), matcher, qefs, constraints.clone())
+        .map_err(|e| conflict_error(&e, &universe, &constraints))?;
+
+    let seed = body.get("seed").and_then(Json::as_u64).unwrap_or(0);
+    let solver_name = body
+        .get("solver")
+        .and_then(Json::as_str)
+        .unwrap_or("tabu")
+        .to_string();
+    let solver = make_solver(&solver_name, state.config.max_solve_evaluations);
+    let mut session = Session::new(problem, solver, seed);
+    if body.get("continuity").and_then(Json::as_bool) == Some(true) {
+        session = session.with_continuity();
+    }
+
+    // Make room: sweep idle sessions first, then let the insert evict
+    // more if the cap still binds.
+    let swept = state.store.sweep_idle();
+    let (id, evicted) = state
+        .store
+        .insert_session(catalog_id, session)
+        .map_err(|e| match e {
+            StoreError::UnknownCatalog => ApiError::new(
+                404,
+                "unknown_catalog",
+                &format!("no catalog `{catalog_id}`"),
+            ),
+            StoreError::TooManySessions { limit } => ApiError::new(
+                429,
+                "too_many_sessions",
+                &format!("{limit} sessions are live and none is idle"),
+            ),
+        })?;
+    state.metrics.session_created();
+    state.metrics.sessions_evicted(swept + evicted);
+
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("session").uint_value(id);
+    j.key("catalog").uint_value(catalog_id);
+    j.key("seed").uint_value(seed);
+    j.key("solver").str_value(&solver_name);
+    j.key("evicted").uint_value(swept + evicted);
+    j.end_obj();
+    Ok((201, j.finish()))
+}
+
+fn source_name(universe: &Universe, id: mube_core::SourceId) -> String {
+    universe
+        .get(id)
+        .map_or_else(|| id.to_string(), |s| s.name().to_string())
+}
+
+fn solve(state: &ServerState, entry: &Arc<SessionEntry>) -> Result<(u16, String), ApiError> {
+    let mut session = entry.session.lock().expect("session lock poisoned");
+    let t0 = Instant::now();
+    let result = session.run();
+    let elapsed = t0.elapsed();
+    if let Err(e) = result {
+        let constraints = session.constraints().clone();
+        return Err(conflict_error(&e, session.universe(), &constraints));
+    }
+    state.metrics.record_solve(elapsed);
+    let universe = session.universe();
+    let solution_json = session.latest().expect("run succeeded").to_json(universe);
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("session").uint_value(entry.id);
+    j.key("iteration").uint_value(session.iterations() as u64);
+    j.key("solution").raw_value(&solution_json);
+    match session.last_diff() {
+        Some(diff) => {
+            j.key("diff").begin_obj();
+            j.key("sources_added").begin_arr();
+            for &id in &diff.sources_added {
+                j.str_value(&source_name(universe, id));
+            }
+            j.end_arr();
+            j.key("sources_removed").begin_arr();
+            for &id in &diff.sources_removed {
+                j.str_value(&source_name(universe, id));
+            }
+            j.end_arr();
+            j.key("gas_changed").uint_value(diff.gas_changed as u64);
+            j.end_obj();
+        }
+        None => {
+            j.key("diff").null_value();
+        }
+    }
+    j.end_obj();
+    Ok((200, j.finish()))
+}
+
+/// Applies one feedback action; the error carries the failing action's
+/// engine error so the caller can report its index.
+fn apply_action(session: &mut Session, action: &Json) -> Result<(), ApiError> {
+    let op = action
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::new(400, "bad_request", "action missing string field `op`"))?;
+    let need_str = |field: &str| {
+        action.get(field).and_then(Json::as_str).ok_or_else(|| {
+            ApiError::new(
+                400,
+                "bad_request",
+                &format!("`{op}` action needs string field `{field}`"),
+            )
+        })
+    };
+    let need_f64 = |field: &str| {
+        action.get(field).and_then(Json::as_f64).ok_or_else(|| {
+            ApiError::new(
+                400,
+                "bad_request",
+                &format!("`{op}` action needs numeric field `{field}`"),
+            )
+        })
+    };
+    let need_usize = |field: &str| {
+        action.get(field).and_then(Json::as_usize).ok_or_else(|| {
+            ApiError::new(
+                400,
+                "bad_request",
+                &format!("`{op}` action needs non-negative integer field `{field}`"),
+            )
+        })
+    };
+    match op {
+        "pin" => session.pin_source_by_name(need_str("source")?)?,
+        "unpin" => session.unpin_source_by_name(need_str("source")?)?,
+        "adopt_ga" => session.adopt_ga(need_usize("index")?)?,
+        "require_ga" => {
+            let attrs = action
+                .get("attrs")
+                .and_then(Json::as_array)
+                .ok_or_else(|| {
+                    ApiError::new(400, "bad_request", "`require_ga` needs array field `attrs`")
+                })?;
+            let mut pairs = Vec::with_capacity(attrs.len());
+            for a in attrs {
+                let source = a.get("source").and_then(Json::as_str);
+                let attr = a.get("attr").and_then(Json::as_str);
+                match (source, attr) {
+                    (Some(s), Some(at)) => pairs.push((s, at)),
+                    _ => {
+                        return Err(ApiError::new(
+                            400,
+                            "bad_request",
+                            "`attrs` entries need string fields `source` and `attr`",
+                        ))
+                    }
+                }
+            }
+            session.require_ga_by_names(&pairs)?;
+        }
+        "clear_gas" => session.clear_ga_constraints()?,
+        "weight" => session.set_weight(need_str("qef")?, need_f64("value")?)?,
+        "theta" => session.set_theta(need_f64("value")?)?,
+        "beta" => session.set_beta(need_usize("value")?)?,
+        "max_sources" => session.set_max_sources(need_usize("value")?)?,
+        other => {
+            return Err(ApiError::new(
+                400,
+                "bad_request",
+                &format!("unknown feedback op `{other}`"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn feedback(entry: &Arc<SessionEntry>, req: &Request) -> Result<(u16, String), ApiError> {
+    let body = parse_body(req)?;
+    let actions = body
+        .get("actions")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ApiError::new(400, "bad_request", "missing array field `actions`"))?;
+    let mut session = entry.session.lock().expect("session lock poisoned");
+    for (i, action) in actions.iter().enumerate() {
+        // Attach the failing index: actions apply in order, so the caller
+        // knows everything before `i` took effect.
+        apply_action(&mut session, action).map_err(|e| ApiError {
+            status: e.status,
+            body: {
+                // Re-wrap the already-rendered error with the index. The
+                // body is a flat error object; splice `"action":i` in by
+                // re-rendering from its parsed form.
+                match Json::parse(&e.body) {
+                    Ok(v) => {
+                        let code = v
+                            .get("error")
+                            .and_then(|e| e.get("code"))
+                            .and_then(Json::as_str)
+                            .unwrap_or("engine_error")
+                            .to_string();
+                        let message = v
+                            .get("error")
+                            .and_then(|e| e.get("message"))
+                            .and_then(Json::as_str)
+                            .unwrap_or_default()
+                            .to_string();
+                        error_body(&code, &message, |j| {
+                            j.key("action").uint_value(i as u64);
+                        })
+                    }
+                    Err(_) => e.body,
+                }
+            },
+        })?;
+    }
+    let constraints = session.constraints();
+    let universe = session.universe();
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("applied").uint_value(actions.len() as u64);
+    j.key("constraints").begin_obj();
+    j.key("max_sources")
+        .uint_value(constraints.max_sources as u64);
+    j.key("theta").num_value(constraints.theta);
+    j.key("beta").uint_value(constraints.beta as u64);
+    j.key("pinned").begin_arr();
+    for &id in &constraints.required_sources {
+        j.str_value(&source_name(universe, id));
+    }
+    j.end_arr();
+    j.key("required_gas")
+        .uint_value(constraints.required_gas.len() as u64);
+    j.end_obj();
+    j.end_obj();
+    Ok((200, j.finish()))
+}
+
+fn explain_session(entry: &Arc<SessionEntry>) -> Result<(u16, String), ApiError> {
+    let session = entry.session.lock().expect("session lock poisoned");
+    let solution = session
+        .latest()
+        .ok_or_else(|| ApiError::new(409, "no_solution", "no iteration has run in this session"))?;
+    let explanation = explain::explain(session.problem(), solution);
+    let universe = session.universe();
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("session").uint_value(entry.id);
+    j.key("iteration").uint_value(session.iterations() as u64);
+    j.key("contributions").begin_arr();
+    for c in &explanation.contributions {
+        j.begin_obj();
+        j.key("source").str_value(&source_name(universe, c.source));
+        j.key("removal_infeasible").bool_value(c.removal_infeasible);
+        // `num_value` renders the +∞ of a required source as null.
+        j.key("quality_delta").num_value(c.quality_delta);
+        j.key("qefs").begin_arr();
+        for (name, delta) in &c.qef_deltas {
+            j.begin_obj();
+            j.key("name").str_value(name);
+            j.key("delta").num_value(*delta);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+    }
+    j.end_arr();
+    j.end_obj();
+    Ok((200, j.finish()))
+}
+
+fn lint_session(entry: &Arc<SessionEntry>) -> Result<(u16, String), ApiError> {
+    let session = entry.session.lock().expect("session lock poisoned");
+    let universe = session.universe();
+    let measure = JaccardNGram::trigram();
+    let report = Analyzer::new(universe)
+        .constraints(session.constraints())
+        .similarity(&measure)
+        .run();
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("session").uint_value(entry.id);
+    j.key("clean").bool_value(report.is_clean());
+    j.key("errors").bool_value(report.has_errors());
+    j.key("diagnostics").raw_value(&report.to_json(universe));
+    j.end_obj();
+    Ok((200, j.finish()))
+}
+
+fn delete_session(state: &ServerState, id: &str) -> Result<(u16, String), ApiError> {
+    let removed = id
+        .parse::<u64>()
+        .ok()
+        .is_some_and(|id| state.store.remove_session(id));
+    if !removed {
+        return Err(ApiError::new(
+            404,
+            "unknown_session",
+            &format!("no session `{id}`"),
+        ));
+    }
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("deleted").bool_value(true);
+    j.end_obj();
+    Ok((200, j.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_labels_are_bounded() {
+        assert_eq!(endpoint_label("GET", "/healthz"), "GET /healthz");
+        assert_eq!(
+            endpoint_label("POST", "/sessions/42/solve"),
+            "POST /sessions/{id}/solve"
+        );
+        assert_eq!(
+            endpoint_label("DELETE", "/sessions/7"),
+            "DELETE /sessions/{id}"
+        );
+        assert_eq!(endpoint_label("GET", "/x/y/z/w"), "GET /unknown");
+    }
+
+    #[test]
+    fn error_body_shape() {
+        let body = error_body("bad_json", "oops \"quoted\"", |j| {
+            j.key("action").uint_value(3);
+        });
+        let v = Json::parse(&body).unwrap();
+        let e = v.get("error").unwrap();
+        assert_eq!(e.get("code").and_then(Json::as_str), Some("bad_json"));
+        assert_eq!(
+            e.get("message").and_then(Json::as_str),
+            Some("oops \"quoted\"")
+        );
+        assert_eq!(e.get("action").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn engine_codes_are_stable() {
+        assert_eq!(
+            engine_code(&MubeError::StaleGaIndex {
+                index: 3,
+                available: 1
+            }),
+            (409, "stale_ga_index")
+        );
+        assert_eq!(
+            engine_code(&MubeError::ConstraintConflict { detail: "x".into() }),
+            (422, "constraint_conflict")
+        );
+        assert_eq!(
+            engine_code(&MubeError::UnknownQef { name: "x".into() }),
+            (422, "unknown_qef")
+        );
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.threads >= 1);
+        assert!(c.max_body_bytes >= 64 * 1024);
+        assert!(c.max_sessions >= 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! End-to-end tests for `mube-serve`: a real server on an ephemeral port,
+//! driven over `std::net::TcpStream` exactly like an external client.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mube_core::catalog;
+use mube_serve::{Json, ServeConfig, Server, ServerHandle};
+use mube_synth::{generate, SynthConfig};
+
+/// A CI-sized server: ephemeral port, small solve budget.
+fn test_config(threads: usize) -> ServeConfig {
+    ServeConfig {
+        threads,
+        max_solve_evaluations: 800,
+        ..ServeConfig::default()
+    }
+}
+
+fn spawn(threads: usize) -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    Server::spawn(test_config(threads)).expect("bind test server")
+}
+
+/// One HTTP request over a fresh connection (the server closes after each
+/// response). Returns `(status, parsed body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    let parsed = Json::parse(&body).unwrap_or_else(|e| panic!("bad JSON body {body:?}: {e}"));
+    (status, parsed)
+}
+
+/// Uploads a small synthetic catalog and returns its id.
+fn upload_catalog(addr: SocketAddr, sources: usize, seed: u64) -> u64 {
+    let synth = generate(&SynthConfig::small(sources), seed);
+    let text = catalog::to_text(&synth.universe);
+    let mut j = mube_core::jsonw::JsonBuf::new();
+    j.begin_obj();
+    j.key("catalog").str_value(&text);
+    j.end_obj();
+    let (status, body) = request(addr, "POST", "/catalogs", &j.finish());
+    assert_eq!(status, 201, "{body:?}");
+    body.get("catalog")
+        .and_then(Json::as_u64)
+        .expect("catalog id")
+}
+
+fn create_session(addr: SocketAddr, catalog: u64, seed: u64) -> u64 {
+    let body = format!(
+        "{{\"catalog\":{catalog},\"seed\":{seed},\"max_sources\":4,\"beta\":1,\"theta\":0.75}}"
+    );
+    let (status, v) = request(addr, "POST", "/sessions", &body);
+    assert_eq!(status, 201, "{v:?}");
+    v.get("session").and_then(Json::as_u64).expect("session id")
+}
+
+#[test]
+fn full_feedback_loop_over_http() {
+    let (handle, join) = spawn(4);
+    let addr = handle.addr();
+
+    // Health first: alive and not draining.
+    let (status, health) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("draining").and_then(Json::as_bool), Some(false));
+
+    let catalog_id = upload_catalog(addr, 12, 2007);
+    let session = create_session(addr, catalog_id, 7);
+
+    // Iteration 1.
+    let (status, first) = request(addr, "POST", &format!("/sessions/{session}/solve"), "");
+    assert_eq!(status, 200, "{first:?}");
+    assert_eq!(first.get("iteration").and_then(Json::as_u64), Some(1));
+    assert_eq!(first.get("diff"), Some(&Json::Null));
+    let solution = first.get("solution").expect("solution");
+    let picked = solution.get("sources").and_then(Json::as_array).unwrap();
+    assert!(!picked.is_empty() && picked.len() <= 4, "{picked:?}");
+    assert!(
+        solution.get("quality").and_then(Json::as_f64).unwrap() > 0.0,
+        "{solution:?}"
+    );
+    assert!(
+        !solution
+            .get("schema")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty(),
+        "solution should mediate at least one GA"
+    );
+
+    // Feedback: pin a source not necessarily selected, adopt GA 0, and
+    // re-weight — the paper's §6 gestures, over the wire.
+    let feedback = "{\"actions\":[\
+        {\"op\":\"pin\",\"source\":\"site0003\"},\
+        {\"op\":\"adopt_ga\",\"index\":0},\
+        {\"op\":\"weight\",\"qef\":\"coverage\",\"value\":0.4}]}";
+    let (status, fb) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/feedback"),
+        feedback,
+    );
+    assert_eq!(status, 200, "{fb:?}");
+    assert_eq!(fb.get("applied").and_then(Json::as_u64), Some(3));
+    let constraints = fb.get("constraints").expect("constraints");
+    let pinned = constraints.get("pinned").and_then(Json::as_array).unwrap();
+    assert!(
+        pinned.iter().any(|p| p.as_str() == Some("site0003")),
+        "{pinned:?}"
+    );
+    assert_eq!(
+        constraints.get("required_gas").and_then(Json::as_u64),
+        Some(1)
+    );
+
+    // Iteration 2 must honor the pin and report a diff.
+    let (status, second) = request(addr, "POST", &format!("/sessions/{session}/solve"), "");
+    assert_eq!(status, 200, "{second:?}");
+    assert_eq!(second.get("iteration").and_then(Json::as_u64), Some(2));
+    let names: Vec<&str> = second
+        .get("solution")
+        .and_then(|s| s.get("sources"))
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(names.contains(&"site0003"), "{names:?}");
+    assert!(second.get("diff").unwrap().get("gas_changed").is_some());
+
+    // Explain: every selected source gets a contribution entry.
+    let (status, ex) = request(addr, "GET", &format!("/sessions/{session}/explain"), "");
+    assert_eq!(status, 200, "{ex:?}");
+    let contributions = ex.get("contributions").and_then(Json::as_array).unwrap();
+    assert_eq!(contributions.len(), names.len(), "{ex:?}");
+
+    // Lint: the session's constraints audit cleanly here.
+    let (status, lint) = request(addr, "GET", &format!("/sessions/{session}/lint"), "");
+    assert_eq!(status, 200, "{lint:?}");
+    assert_eq!(lint.get("errors").and_then(Json::as_bool), Some(false));
+    assert!(lint.get("diagnostics").and_then(Json::as_array).is_some());
+
+    // Error paths: stable codes, feedback reports the failing action.
+    let (status, err) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/feedback"),
+        "{\"actions\":[{\"op\":\"adopt_ga\",\"index\":999}]}",
+    );
+    assert_eq!(status, 409);
+    let e = err.get("error").expect("error object");
+    assert_eq!(e.get("code").and_then(Json::as_str), Some("stale_ga_index"));
+    assert_eq!(e.get("action").and_then(Json::as_u64), Some(0));
+
+    let (status, err) = request(addr, "POST", "/sessions/424242/solve", "");
+    assert_eq!(status, 404);
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("unknown_session")
+    );
+
+    let (status, err) = request(addr, "POST", "/sessions", "{not json");
+    assert_eq!(status, 400);
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_json")
+    );
+
+    let (status, err) = request(addr, "POST", "/sessions", "{\"catalog\":999}");
+    assert_eq!(status, 404);
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("unknown_catalog")
+    );
+
+    let (status, _) = request(addr, "DELETE", "/catalogs", "");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    // Delete the session; it stops being addressable.
+    let (status, del) = request(addr, "DELETE", &format!("/sessions/{session}"), "");
+    assert_eq!(status, 200);
+    assert_eq!(del.get("deleted").and_then(Json::as_bool), Some(true));
+    let (status, _) = request(addr, "GET", &format!("/sessions/{session}/explain"), "");
+    assert_eq!(status, 404);
+
+    // Metrics must reflect everything above, via API and endpoint alike.
+    let stats = handle.stats();
+    assert_eq!(stats.catalogs_created, 1);
+    assert_eq!(stats.sessions_created, 1);
+    assert_eq!(stats.solves_run, 2);
+    assert_eq!(stats.sessions_live, 0);
+    assert_eq!(stats.requests_for("POST /sessions/{id}/solve"), 3);
+    assert_eq!(stats.request_hist.total, stats.total_requests());
+    let (status, m) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(m.get("solves_run").and_then(Json::as_u64), Some(2));
+
+    handle.shutdown();
+    join.join().expect("acceptor thread").expect("clean run");
+}
+
+#[test]
+fn oversized_body_is_rejected_up_front() {
+    let (handle, join) = spawn(2);
+    let addr = handle.addr();
+    // Declare a body far over the cap without sending it; the server must
+    // refuse from the declaration alone.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"POST /catalogs HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 413 "), "{raw:?}");
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn concurrent_sessions_do_not_interfere() {
+    const CLIENTS: usize = 8;
+    const SOLVES_PER_CLIENT: usize = 2;
+    let (handle, join) = spawn(4);
+    let addr = handle.addr();
+    let catalog_id = upload_catalog(addr, 12, 99);
+
+    // Each client owns a distinct session and solves twice. Distinct seeds
+    // exercise genuinely different search runs sharing one similarity
+    // cache across worker threads.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let session = create_session(addr, catalog_id, 1000 + i as u64);
+                let mut qualities = Vec::new();
+                for _ in 0..SOLVES_PER_CLIENT {
+                    let (status, v) =
+                        request(addr, "POST", &format!("/sessions/{session}/solve"), "");
+                    assert_eq!(status, 200, "client {i}: {v:?}");
+                    qualities.push(
+                        v.get("solution")
+                            .and_then(|s| s.get("quality"))
+                            .and_then(Json::as_f64)
+                            .expect("quality"),
+                    );
+                }
+                (session, qualities)
+            })
+        })
+        .collect();
+    let results: Vec<(u64, Vec<f64>)> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+
+    // Every client got its own session id and real solutions.
+    let mut ids: Vec<u64> = results.iter().map(|(id, _)| *id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), CLIENTS);
+    for (_, qualities) in &results {
+        assert_eq!(qualities.len(), SOLVES_PER_CLIENT);
+        assert!(qualities.iter().all(|q| *q > 0.0));
+    }
+
+    // The books balance: counters must add up exactly across threads.
+    let stats = handle.stats();
+    assert_eq!(stats.sessions_created, CLIENTS as u64);
+    assert_eq!(stats.sessions_live, CLIENTS as u64);
+    assert_eq!(stats.solves_run, (CLIENTS * SOLVES_PER_CLIENT) as u64);
+    assert_eq!(
+        stats.requests_for("POST /sessions/{id}/solve"),
+        (CLIENTS * SOLVES_PER_CLIENT) as u64
+    );
+    assert_eq!(stats.requests_for("POST /sessions"), CLIENTS as u64);
+    assert_eq!(stats.solve_hist.total, stats.solves_run);
+
+    // Graceful shutdown: drain completes, the port closes.
+    handle.shutdown();
+    join.join().expect("acceptor thread").expect("clean run");
+    assert!(handle.is_draining());
+}
+
+#[test]
+fn sessions_serialize_but_do_not_block_each_other() {
+    // Two clients hammer the SAME session while a third uses its own:
+    // same-session solves must serialize (iterations strictly increase,
+    // no duplicates), and the sibling session must still make progress.
+    let (handle, join) = spawn(4);
+    let addr = handle.addr();
+    let catalog_id = upload_catalog(addr, 10, 5);
+    let shared = create_session(addr, catalog_id, 1);
+    let solo = create_session(addr, catalog_id, 2);
+
+    let iterations = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut workers = Vec::new();
+    for _ in 0..2 {
+        let iterations = Arc::clone(&iterations);
+        workers.push(std::thread::spawn(move || {
+            for _ in 0..3 {
+                let (status, v) = request(addr, "POST", &format!("/sessions/{shared}/solve"), "");
+                assert_eq!(status, 200, "{v:?}");
+                let it = v.get("iteration").and_then(Json::as_u64).unwrap();
+                iterations.lock().unwrap().push(it);
+            }
+        }));
+    }
+    workers.push(std::thread::spawn(move || {
+        for _ in 0..2 {
+            let (status, v) = request(addr, "POST", &format!("/sessions/{solo}/solve"), "");
+            assert_eq!(status, 200, "{v:?}");
+        }
+    }));
+    for w in workers {
+        w.join().expect("client thread");
+    }
+
+    // 6 solves on the shared session: iteration numbers are exactly 1..=6
+    // in some order — proof the mutex serialized them without loss.
+    let mut seen = iterations.lock().unwrap().clone();
+    seen.sort_unstable();
+    assert_eq!(seen, vec![1, 2, 3, 4, 5, 6]);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
