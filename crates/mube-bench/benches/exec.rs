@@ -1,0 +1,52 @@
+//! Benchmarks fault-tolerant query execution: wall time of a full
+//! executor run (retries, breakers, degradation accounting included) at
+//! 0%, 10%, and 30% injected source-failure rates.
+
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mube_core::SourceId;
+use mube_exec::{
+    DataSourceBackend, Executor, FaultInjector, FaultSpec, Query, RetryPolicy, WindowBackend,
+};
+use mube_synth::{generate, SynthConfig};
+
+fn bench_execute_under_faults(c: &mut Criterion) {
+    let synth = generate(&SynthConfig::small(40), 2007);
+    let universe = Arc::clone(&synth.universe);
+    let sources: BTreeSet<SourceId> = universe.sources().map(mube_core::Source::id).collect();
+    let query = Query::range(0, u64::MAX);
+
+    let mut group = c.benchmark_group("execute_makespan");
+    for &pct in &[0u32, 10, 30] {
+        let backend: Box<dyn DataSourceBackend> = if pct == 0 {
+            Box::new(WindowBackend::new(&synth))
+        } else {
+            let spec = FaultSpec::parse(&format!("rate={}", f64::from(pct) / 100.0)).unwrap();
+            Box::new(FaultInjector::new(
+                WindowBackend::new(&synth),
+                &universe,
+                &spec,
+                7,
+            ))
+        };
+        let executor = Executor::new(Arc::clone(&universe), backend)
+            .with_policy(RetryPolicy::default().with_jitter_seed(7));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{pct}pct")),
+            &pct,
+            |b, _| {
+                b.iter(|| {
+                    let report = executor.execute(black_box(&sources), &query);
+                    black_box((report.makespan, report.degradation.failed.len()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execute_under_faults);
+criterion_main!(benches);

@@ -76,6 +76,35 @@ pub enum Command {
         /// Emit the findings as JSON instead of text.
         json: bool,
     },
+    /// `mube exec`.
+    Exec {
+        /// Number of sources to generate.
+        sources: usize,
+        /// Generator + solver seed.
+        seed: u64,
+        /// Schema domain.
+        domain: DomainKind,
+        /// Maximum sources `m`.
+        max: usize,
+        /// Matching threshold θ.
+        theta: f64,
+        /// Minimum GA size β.
+        beta: usize,
+        /// Which solver to use.
+        solver: String,
+        /// Fault spec (`rate=0.3`, `auto[:SCALE]`, or profile fields);
+        /// `None` executes fault-free.
+        faults: Option<String>,
+        /// Seed for fault draws and retry jitter.
+        fault_seed: u64,
+        /// Query tuple range `LO..HI`.
+        query: (u64, u64),
+        /// Emit the execution report as deterministic JSON.
+        json: bool,
+        /// After a faulty run, re-probe and re-solve around failing
+        /// sources.
+        resolve: bool,
+    },
     /// `mube serve`.
     Serve {
         /// Bind address (`host:port`; port 0 picks an ephemeral port).
@@ -318,6 +347,94 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                 json,
             })
         }
+        "exec" => {
+            let mut sources = 40usize;
+            let mut seed = 2007u64;
+            let mut domain = DomainKind::Books;
+            let mut max = 8usize;
+            let mut theta = 0.75f64;
+            let mut beta = 2usize;
+            let mut solver = "tabu".to_string();
+            let mut faults: Option<String> = None;
+            let mut fault_seed = 1u64;
+            let mut query = (0u64, u64::MAX);
+            let mut json = false;
+            let mut resolve = false;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--sources" => {
+                        sources = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--sources needs an integer"))?;
+                    }
+                    "--seed" => {
+                        seed = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--seed needs an integer"))?;
+                    }
+                    "--domain" => domain = parse_domain(take_value(flag, &mut iter)?)?,
+                    "--max" => {
+                        max = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--max needs an integer"))?;
+                    }
+                    "--theta" => {
+                        theta = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--theta needs a number"))?;
+                    }
+                    "--beta" => {
+                        beta = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--beta needs an integer"))?;
+                    }
+                    "--solver" => {
+                        solver = take_value(flag, &mut iter)?.to_string();
+                        if !["tabu", "sls", "annealing", "pso"].contains(&solver.as_str()) {
+                            return Err(bad(format!("unknown solver `{solver}`")));
+                        }
+                    }
+                    "--faults" => faults = Some(take_value(flag, &mut iter)?.to_string()),
+                    "--fault-seed" => {
+                        fault_seed = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--fault-seed needs an integer"))?;
+                    }
+                    "--query" => {
+                        let spec = take_value(flag, &mut iter)?;
+                        let (lo, hi) = spec
+                            .split_once("..")
+                            .ok_or_else(|| bad("--query needs LO..HI"))?;
+                        let lo: u64 = lo.parse().map_err(|_| bad("--query needs LO..HI"))?;
+                        let hi: u64 = hi.parse().map_err(|_| bad("--query needs LO..HI"))?;
+                        if hi < lo {
+                            return Err(bad("--query range must have LO ≤ HI"));
+                        }
+                        query = (lo, hi);
+                    }
+                    "--json" => json = true,
+                    "--resolve" => resolve = true,
+                    other => return Err(bad(format!("unknown flag `{other}` for exec"))),
+                }
+            }
+            if json && resolve {
+                return Err(bad("--json and --resolve are mutually exclusive"));
+            }
+            Ok(Command::Exec {
+                sources,
+                seed,
+                domain,
+                max,
+                theta,
+                beta,
+                solver,
+                faults,
+                fault_seed,
+                query,
+                json,
+                resolve,
+            })
+        }
         "serve" => {
             let mut addr = "127.0.0.1:7207".to_string();
             let mut threads = 4usize;
@@ -558,6 +675,71 @@ mod tests {
         }
         // JSON output and the text explanation cannot be combined.
         assert!(p(&["solve", "a.cat", "--json", "--explain"]).is_err());
+    }
+
+    #[test]
+    fn exec_defaults_and_flags() {
+        match p(&["exec"]).unwrap() {
+            Command::Exec {
+                sources,
+                seed,
+                max,
+                faults,
+                fault_seed,
+                query,
+                json,
+                resolve,
+                ..
+            } => {
+                assert_eq!(sources, 40);
+                assert_eq!(seed, 2007);
+                assert_eq!(max, 8);
+                assert_eq!(faults, None);
+                assert_eq!(fault_seed, 1);
+                assert_eq!(query, (0, u64::MAX));
+                assert!(!json && !resolve);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match p(&[
+            "exec",
+            "--sources",
+            "30",
+            "--faults",
+            "rate=0.3",
+            "--fault-seed",
+            "9",
+            "--query",
+            "100..5000",
+            "--json",
+        ])
+        .unwrap()
+        {
+            Command::Exec {
+                sources,
+                faults,
+                fault_seed,
+                query,
+                json,
+                ..
+            } => {
+                assert_eq!(sources, 30);
+                assert_eq!(faults.as_deref(), Some("rate=0.3"));
+                assert_eq!(fault_seed, 9);
+                assert_eq!(query, (100, 5000));
+                assert!(json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exec_rejects_bad_input() {
+        assert!(p(&["exec", "--query", "backwards"]).is_err());
+        assert!(p(&["exec", "--query", "9..3"]).is_err());
+        assert!(p(&["exec", "--solver", "oracle"]).is_err());
+        assert!(p(&["exec", "--json", "--resolve"]).is_err());
+        assert!(p(&["exec", "--fault-seed", "soon"]).is_err());
     }
 
     #[test]

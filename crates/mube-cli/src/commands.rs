@@ -208,6 +208,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        exec @ Command::Exec { .. } => exec_command(exec),
         Command::Serve { addr, threads } => {
             let config = mube_serve::ServeConfig {
                 addr,
@@ -292,6 +293,203 @@ pub fn run(command: Command) -> Result<String, CliError> {
             }
         }
     }
+}
+
+/// `mube exec`: generate a universe, solve, execute a query over the
+/// selection (optionally through a fault injector), report the
+/// degradation, and — with `--resolve` — close the feedback loop by
+/// re-probing and re-solving around the failing sources.
+fn exec_command(command: Command) -> Result<String, CliError> {
+    use mube_exec::{
+        fault, probe_characteristics, BreakerConfig, Clock, Executor, HealthRegistry, Query,
+        RetryPolicy, VirtualClock, WindowBackend,
+    };
+
+    let Command::Exec {
+        sources,
+        seed,
+        domain,
+        max,
+        theta,
+        beta,
+        solver,
+        faults,
+        fault_seed,
+        query,
+        json,
+        resolve,
+    } = command
+    else {
+        unreachable!("exec_command is only called with Command::Exec");
+    };
+
+    let mut config = SynthConfig::small(sources);
+    config.schema.domain = domain;
+    let synth = generate(&config, seed);
+    let universe = Arc::clone(&synth.universe);
+
+    let solve = |universe: &Arc<Universe>, characteristic: &str| -> Result<_, CliError> {
+        let constraints = Constraints::with_max_sources(max).theta(theta).beta(beta);
+        let qefs = paper_default_qefs(characteristic);
+        let matcher: Arc<dyn MatchOperator> = Arc::new(ClusterMatcher::new(
+            Arc::clone(universe),
+            JaccardNGram::trigram(),
+        ));
+        let problem = Problem::new(Arc::clone(universe), matcher, qefs, constraints)?;
+        Ok(problem.solve(make_solver(&solver).as_ref(), seed)?)
+    };
+    let solution = solve(&universe, "mttf")?;
+
+    let backend: Box<dyn mube_exec::DataSourceBackend> = match &faults {
+        None => Box::new(WindowBackend::new(&synth)),
+        Some(spec) => Box::new(fault::injector_from_spec(
+            WindowBackend::new(&synth),
+            &universe,
+            spec,
+            fault_seed,
+        )?),
+    };
+    let clock: Arc<VirtualClock> = Arc::new(VirtualClock::new());
+    let registry = Arc::new(HealthRegistry::new(
+        BreakerConfig::default(),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    ));
+    let executor = Executor::new(Arc::clone(&universe), backend)
+        .with_policy(RetryPolicy::default().with_jitter_seed(fault_seed))
+        .with_registry(Arc::clone(&registry))
+        .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+    let report = executor.execute(&solution.sources, &Query::range(query.0, query.1));
+
+    if json {
+        return Ok(report.to_json(&universe));
+    }
+
+    let name = |s: SourceId| {
+        universe
+            .get(s)
+            .map_or_else(|| s.to_string(), |src| src.name().to_string())
+    };
+    let mut out = String::new();
+    writeln!(
+        out,
+        "solved: {} sources (quality {:.4}), query [{}, {})",
+        solution.sources.len(),
+        solution.quality,
+        query.0,
+        query.1
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "answer: {} distinct tuples ({} fetched, {} duplicates) \
+         makespan {:.1} ms, total work {:.1} ms",
+        report.distinct(),
+        report.fetched,
+        report.duplicates(),
+        report.makespan.as_secs_f64() * 1000.0,
+        report.total_cost.as_secs_f64() * 1000.0,
+    )
+    .expect("string write");
+    for f in &report.per_source {
+        writeln!(
+            out,
+            "  {} — {} tuples ({} novel), {} attempt{}, {:.1} ms",
+            name(f.source),
+            f.fetched,
+            f.novel,
+            f.attempts,
+            if f.attempts == 1 { "" } else { "s" },
+            f.cost.as_secs_f64() * 1000.0,
+        )
+        .expect("string write");
+    }
+    let degradation = &report.degradation;
+    if degradation.is_clean() {
+        writeln!(out, "degradation: none (all sources answered cleanly)").expect("string write");
+    } else {
+        writeln!(
+            out,
+            "degradation: {} failed, {} degraded; forfeited {} tuples \
+             ({:.1}% of selected cardinality), {:.1}% estimated coverage",
+            degradation.failed.len(),
+            degradation.degraded.len(),
+            degradation.lost_cardinality,
+            degradation.lost_cardinality_fraction * 100.0,
+            degradation.lost_coverage_fraction * 100.0,
+        )
+        .expect("string write");
+        for f in &degradation.failed {
+            writeln!(
+                out,
+                "  FAILED {} — {} after {} attempt{}",
+                name(f.source),
+                f.error,
+                f.attempts,
+                if f.attempts == 1 { "" } else { "s" },
+            )
+            .expect("string write");
+        }
+        for d in &degradation.degraded {
+            writeln!(
+                out,
+                "  DEGRADED {} — kept {} tuples from a {} failure",
+                name(d.source),
+                d.kept,
+                d.error,
+            )
+            .expect("string write");
+        }
+    }
+
+    if resolve {
+        // The feedback loop: re-probe every source through the same
+        // (possibly faulty) backend, then re-solve scoring the *measured*
+        // availability instead of the advertised MTTF.
+        let refreshed = Arc::new(probe_characteristics(
+            &universe,
+            executor.backend(),
+            mube_exec::probe::DEFAULT_PROBES,
+        )?);
+        let resolved = solve(&refreshed, "availability")?;
+        let dropped: Vec<_> = solution
+            .sources
+            .difference(&resolved.sources)
+            .map(|&s| name(s))
+            .collect();
+        let added: Vec<_> = resolved
+            .sources
+            .difference(&solution.sources)
+            .map(|&s| name(s))
+            .collect();
+        writeln!(
+            out,
+            "re-solve on measured availability: {} sources (quality {:.4})",
+            resolved.sources.len(),
+            resolved.quality,
+        )
+        .expect("string write");
+        writeln!(
+            out,
+            "  dropped: {}",
+            if dropped.is_empty() {
+                "(none)".to_string()
+            } else {
+                dropped.join(", ")
+            }
+        )
+        .expect("string write");
+        writeln!(
+            out,
+            "  added:   {}",
+            if added.is_empty() {
+                "(none)".to_string()
+            } else {
+                added.join(", ")
+            }
+        )
+        .expect("string write");
+    }
+    Ok(out)
 }
 
 fn load(file: &str) -> Result<Universe, CliError> {
@@ -491,6 +689,68 @@ mod tests {
         let clean = gen_catalog("lint-json-clean.cat", 8);
         let out = run(parse(&["lint", &clean, "--json"]).unwrap()).unwrap();
         assert_eq!(out, "[]");
+    }
+
+    #[test]
+    fn exec_clean_run_reports_no_degradation() {
+        let out =
+            run(parse(&["exec", "--sources", "15", "--max", "4", "--seed", "7"]).unwrap()).unwrap();
+        assert!(out.contains("solved: 4 sources"), "{out}");
+        assert!(out.contains("degradation: none"), "{out}");
+        assert!(out.contains("distinct tuples"), "{out}");
+    }
+
+    #[test]
+    fn exec_faulty_run_degrades_and_is_deterministic() {
+        let args = [
+            "exec",
+            "--sources",
+            "15",
+            "--max",
+            "5",
+            "--seed",
+            "7",
+            "--faults",
+            "rate=0.4",
+            "--fault-seed",
+            "3",
+            "--json",
+        ];
+        let a = run(parse(&args).unwrap()).unwrap();
+        assert!(a.starts_with('{') && a.ends_with('}'), "{a}");
+        assert!(a.contains("\"clean\":false"), "{a}");
+        assert!(a.contains("\"error\":\"unavailable\""), "{a}");
+        // Byte-identical across runs with the same seeds.
+        let b = run(parse(&args).unwrap()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exec_resolve_reports_reselection() {
+        let out = run(parse(&[
+            "exec",
+            "--sources",
+            "15",
+            "--max",
+            "5",
+            "--seed",
+            "7",
+            "--faults",
+            "rate=0.4",
+            "--fault-seed",
+            "3",
+            "--resolve",
+        ])
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("re-solve on measured availability"), "{out}");
+        assert!(out.contains("dropped:"), "{out}");
+    }
+
+    #[test]
+    fn exec_rejects_bad_fault_spec() {
+        let err = run(parse(&["exec", "--faults", "chaos=yes"]).unwrap()).unwrap_err();
+        assert!(matches!(err, CliError::Engine(_)), "{err:?}");
     }
 
     #[test]

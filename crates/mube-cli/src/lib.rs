@@ -36,6 +36,10 @@ USAGE:
     mube lint     FILE [--max M] [--theta T] [--beta B]
                        [--pin NAME]... [--weight QEF=W]...
                        [--deny-warnings] [--json]
+    mube exec     [--sources N] [--seed S] [--domain D] [--max M]
+                       [--theta T] [--beta B] [--solver NAME]
+                       [--faults SPEC] [--fault-seed S] [--query LO..HI]
+                       [--json | --resolve]
     mube serve    [--addr HOST:PORT] [--threads N]
     mube help
 
@@ -49,6 +53,11 @@ COMMANDS:
     lint       Statically audit a catalog + constraints before solving;
                exits 2 when MUBE0xx errors (or, with --deny-warnings,
                any finding) are reported
+    exec       Generate, solve, then execute a query over the selected
+               sources — optionally injecting faults (--faults rate=0.3,
+               auto[:SCALE], or unavailable=..,timeout=..,partial=..,
+               slow=..); prints the degradation report, and with
+               --resolve re-probes and re-solves around failing sources
     serve      Run the HTTP/JSON session server (default 127.0.0.1:7207;
                see PROTOCOL.md for endpoints)
     help       Show this message";

@@ -43,6 +43,36 @@ pub fn estimated_distinct(universe: &Universe, input: &EvalInput<'_>) -> f64 {
     union_signature(universe, input.sources.iter()).map_or(0.0, |s| s.estimate())
 }
 
+/// Estimated coverage fraction of an arbitrary source set: estimated
+/// distinct tuples of the selection over the estimated distinct tuples of
+/// the whole universe, both from PCSA signatures. Standalone variant of
+/// [`CoverageQef`] for callers outside the QEF evaluation loop (e.g. the
+/// executor's degradation accounting).
+pub fn coverage_fraction(
+    universe: &Universe,
+    sources: &std::collections::BTreeSet<SourceId>,
+) -> f64 {
+    let total = union_signature(universe, universe.source_ids().collect::<Vec<_>>().iter())
+        .map_or(0.0, |s| s.estimate());
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let selected = union_signature(universe, sources.iter()).map_or(0.0, |s| s.estimate());
+    (selected / total).clamp(0.0, 1.0)
+}
+
+/// Coverage forfeited when only `survivors ⊆ selected` actually answered:
+/// `coverage(selected) − coverage(survivors)`, clamped at zero (PCSA union
+/// estimates are monotone in the source set, so the clamp only absorbs
+/// floating-point noise). This is the F3 loss a degraded execution reports.
+pub fn forfeited_coverage(
+    universe: &Universe,
+    selected: &std::collections::BTreeSet<SourceId>,
+    survivors: &std::collections::BTreeSet<SourceId>,
+) -> f64 {
+    (coverage_fraction(universe, selected) - coverage_fraction(universe, survivors)).max(0.0)
+}
+
 impl Qef for CoverageQef {
     fn name(&self) -> &str {
         "coverage"
@@ -145,5 +175,30 @@ mod tests {
         b.add_source(SourceSpec::new("a", Schema::new(["x"])).cardinality(5));
         let u = b.build().unwrap();
         assert_eq!(eval(&u, &[0]), 0.0);
+    }
+
+    #[test]
+    fn coverage_fraction_matches_qef() {
+        let u = universe();
+        let sources: BTreeSet<_> = [SourceId(0), SourceId(2)].into();
+        let standalone = coverage_fraction(&u, &sources);
+        let scored = eval(&u, &[0, 2]);
+        assert!((standalone - scored).abs() < 1e-12);
+        assert_eq!(coverage_fraction(&u, &BTreeSet::new()), 0.0);
+    }
+
+    #[test]
+    fn forfeited_coverage_is_monotone_and_clamped() {
+        let u = universe();
+        let all: BTreeSet<_> = [SourceId(0), SourceId(1), SourceId(2)].into();
+        let survivors: BTreeSet<_> = [SourceId(0), SourceId(1)].into();
+        let lost = forfeited_coverage(&u, &all, &survivors);
+        // Dropping the disjoint source c forfeits roughly half the universe.
+        assert!(lost > 0.3, "lost={lost}");
+        // Nothing lost when everyone survives.
+        assert_eq!(forfeited_coverage(&u, &all, &all), 0.0);
+        // Losing everything forfeits the whole selection's coverage.
+        let none = BTreeSet::new();
+        assert!((forfeited_coverage(&u, &all, &none) - coverage_fraction(&u, &all)).abs() < 1e-12);
     }
 }

@@ -14,7 +14,7 @@ pub mod redundancy;
 
 pub use card::CardinalityQef;
 pub use characteristic::{Aggregator, CharacteristicQef, MaxAgg, MeanAgg, MinAgg, WeightedSumAgg};
-pub use coverage::CoverageQef;
+pub use coverage::{coverage_fraction, forfeited_coverage, CoverageQef};
 pub use matching::MatchingQualityQef;
 pub use redundancy::RedundancyQef;
 

@@ -4,23 +4,204 @@
 //! serves the same interface from the generator's tuple windows, with a
 //! simple latency model driven by the sources' characteristics (the paper's
 //! "networking and processing costs" of including a source).
+//!
+//! Fetches are *fallible*: Internet-scale sources time out, go down, drop
+//! connections mid-transfer, and stall — exactly the behaviors the paper's
+//! MTTF/availability characteristics summarize. [`FetchError`] is the
+//! taxonomy; the [`crate::fault`] module injects these failures
+//! deterministically and [`crate::executor`] retries around them.
 
 use std::time::Duration;
 
 use mube_core::ids::SourceId;
+use mube_core::source::Universe;
 use mube_synth::data_gen::TupleWindows;
 use mube_synth::SynthUniverse;
 
 use crate::query::Query;
 
+/// A successful fetch: the tuples plus the simulated wall-clock the
+/// round-trip consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fetch {
+    /// Tuple ids matching the query's selection.
+    pub tuples: Vec<u64>,
+    /// Simulated round-trip latency of this fetch.
+    pub latency: Duration,
+}
+
+/// Why a fetch failed. `Partial` and `Slow` carry the data that *did*
+/// arrive so the executor can salvage it when retries are exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// No answer within the timeout; `after` is the time burned waiting.
+    Timeout {
+        /// How long the attempt waited before giving up.
+        after: Duration,
+    },
+    /// The source is down (connection refused — fails fast).
+    Unavailable,
+    /// The connection dropped mid-transfer; a prefix of the answer arrived.
+    Partial {
+        /// The tuples received before the drop.
+        tuples: Vec<u64>,
+        /// Time spent before the connection died.
+        latency: Duration,
+    },
+    /// The source answered completely but pathologically slowly (beyond the
+    /// per-attempt service objective).
+    Slow {
+        /// The full answer.
+        tuples: Vec<u64>,
+        /// The pathological round-trip time.
+        latency: Duration,
+    },
+}
+
+/// The error taxonomy without payloads — for counters, reports, and JSON.
+/// `BreakerOpen` marks a source the executor never attempted because its
+/// circuit breaker was open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FetchErrorKind {
+    /// Attempt exceeded the timeout.
+    Timeout,
+    /// Source down.
+    Unavailable,
+    /// Connection dropped mid-transfer.
+    Partial,
+    /// Answered beyond the service objective.
+    Slow,
+    /// Skipped: the circuit breaker was open.
+    BreakerOpen,
+}
+
+impl FetchErrorKind {
+    /// Stable lowercase label for reports and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FetchErrorKind::Timeout => "timeout",
+            FetchErrorKind::Unavailable => "unavailable",
+            FetchErrorKind::Partial => "partial",
+            FetchErrorKind::Slow => "slow",
+            FetchErrorKind::BreakerOpen => "breaker_open",
+        }
+    }
+}
+
+impl std::fmt::Display for FetchErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Simulated cost of a refused connection: the peer answers RST quickly.
+const UNAVAILABLE_COST: Duration = Duration::from_millis(1);
+
+impl FetchError {
+    /// The payload-free taxonomy entry.
+    pub fn kind(&self) -> FetchErrorKind {
+        match self {
+            FetchError::Timeout { .. } => FetchErrorKind::Timeout,
+            FetchError::Unavailable => FetchErrorKind::Unavailable,
+            FetchError::Partial { .. } => FetchErrorKind::Partial,
+            FetchError::Slow { .. } => FetchErrorKind::Slow,
+        }
+    }
+
+    /// Simulated wall-clock the failed attempt consumed.
+    pub fn elapsed(&self) -> Duration {
+        match self {
+            FetchError::Timeout { after } => *after,
+            FetchError::Unavailable => UNAVAILABLE_COST,
+            FetchError::Partial { latency, .. } | FetchError::Slow { latency, .. } => *latency,
+        }
+    }
+
+    /// Data that can still be used when retries are exhausted — graceful
+    /// degradation prefers a partial answer to none.
+    pub fn salvage(self) -> Option<Fetch> {
+        match self {
+            FetchError::Partial { tuples, latency } | FetchError::Slow { tuples, latency } => {
+                Some(Fetch { tuples, latency })
+            }
+            FetchError::Timeout { .. } | FetchError::Unavailable => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::Timeout { after } => {
+                write!(f, "timed out after {:.0} ms", after.as_secs_f64() * 1000.0)
+            }
+            FetchError::Unavailable => write!(f, "source unavailable"),
+            FetchError::Partial { tuples, .. } => {
+                write!(f, "connection dropped after {} tuples", tuples.len())
+            }
+            FetchError::Slow { latency, .. } => write!(
+                f,
+                "answered in {:.0} ms (beyond the service objective)",
+                latency.as_secs_f64() * 1000.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
 /// Abstracts tuple retrieval from one source.
 pub trait DataSourceBackend: Send + Sync {
-    /// Fetches the tuple ids of `source` matching the query's selection.
-    fn fetch(&self, source: SourceId, query: &Query) -> Vec<u64>;
+    /// Fetches the tuple ids of `source` matching the query's selection,
+    /// or reports how the attempt failed.
+    fn fetch(&self, source: SourceId, query: &Query) -> Result<Fetch, FetchError>;
 
-    /// Simulated wall-clock cost of that fetch: a per-request setup cost
+    /// Simulated wall-clock cost of a clean fetch: a per-request setup cost
     /// plus a per-tuple transfer cost.
     fn cost(&self, source: SourceId, tuples_fetched: usize) -> Duration;
+}
+
+impl<B: DataSourceBackend + ?Sized> DataSourceBackend for Box<B> {
+    fn fetch(&self, source: SourceId, query: &Query) -> Result<Fetch, FetchError> {
+        (**self).fetch(source, query)
+    }
+
+    fn cost(&self, source: SourceId, tuples_fetched: usize) -> Duration {
+        (**self).cost(source, tuples_fetched)
+    }
+}
+
+impl<B: DataSourceBackend + ?Sized> DataSourceBackend for std::sync::Arc<B> {
+    fn fetch(&self, source: SourceId, query: &Query) -> Result<Fetch, FetchError> {
+        (**self).fetch(source, query)
+    }
+
+    fn cost(&self, source: SourceId, tuples_fetched: usize) -> Duration {
+        (**self).cost(source, tuples_fetched)
+    }
+}
+
+/// Default per-request setup when a source reports no `latency`
+/// characteristic.
+const DEFAULT_SETUP_MS: f64 = 50.0;
+
+/// Default per-tuple transfer cost.
+const DEFAULT_PER_TUPLE: Duration = Duration::from_micros(2);
+
+/// Per-source setup costs read from the `latency` characteristic.
+fn setup_costs(universe: &Universe) -> Vec<f64> {
+    universe
+        .sources()
+        .map(|s| s.characteristic("latency").unwrap_or(DEFAULT_SETUP_MS))
+        .collect()
+}
+
+fn cost_of(setup_ms: &[f64], per_tuple: Duration, source: SourceId, tuples: usize) -> Duration {
+    let setup = setup_ms
+        .get(source.index())
+        .copied()
+        .unwrap_or(DEFAULT_SETUP_MS);
+    Duration::from_secs_f64(setup / 1000.0) + per_tuple * tuples as u32
 }
 
 /// Backend over the synthetic generator's tuple windows.
@@ -28,29 +209,21 @@ pub trait DataSourceBackend: Send + Sync {
 /// Latency model: a fixed per-request setup (default 50 ms — one HTTP
 /// round-trip) plus a per-tuple transfer cost (default 2 µs). Sources with
 /// a `latency` characteristic (milliseconds) use it as their setup cost
-/// instead of the default.
+/// instead of the default. Never fails by itself; wrap it in a
+/// [`crate::fault::FaultInjector`] to simulate unreliable sources.
 pub struct WindowBackend {
     windows: Vec<TupleWindows>,
     setup_ms: Vec<f64>,
     per_tuple: Duration,
 }
 
-/// Default per-request setup when a source reports no `latency`
-/// characteristic.
-const DEFAULT_SETUP_MS: f64 = 50.0;
-
 impl WindowBackend {
     /// Builds a backend from a generated universe.
     pub fn new(synth: &SynthUniverse) -> Self {
-        let setup_ms = synth
-            .universe
-            .sources()
-            .map(|s| s.characteristic("latency").unwrap_or(DEFAULT_SETUP_MS))
-            .collect();
         WindowBackend {
             windows: synth.windows.clone(),
-            setup_ms,
-            per_tuple: Duration::from_micros(2),
+            setup_ms: setup_costs(&synth.universe),
+            per_tuple: DEFAULT_PER_TUPLE,
         }
     }
 
@@ -62,28 +235,83 @@ impl WindowBackend {
 }
 
 impl DataSourceBackend for WindowBackend {
-    fn fetch(&self, source: SourceId, query: &Query) -> Vec<u64> {
-        let Some(windows) = self.windows.get(source.index()) else {
-            return Vec::new();
-        };
-        windows
-            .intervals()
-            .iter()
-            .flat_map(|&(start, len)| {
-                let lo = start.max(query.start);
-                let hi = (start + len).min(query.end);
-                lo..hi.max(lo)
-            })
-            .collect()
+    fn fetch(&self, source: SourceId, query: &Query) -> Result<Fetch, FetchError> {
+        let tuples: Vec<u64> = self.windows.get(source.index()).map_or_else(Vec::new, |w| {
+            w.intervals()
+                .iter()
+                .flat_map(|&(start, len)| {
+                    let lo = start.max(query.start);
+                    let hi = (start + len).min(query.end);
+                    lo..hi.max(lo)
+                })
+                .collect()
+        });
+        let latency = self.cost(source, tuples.len());
+        Ok(Fetch { tuples, latency })
     }
 
     fn cost(&self, source: SourceId, tuples_fetched: usize) -> Duration {
-        let setup = self
-            .setup_ms
-            .get(source.index())
-            .copied()
-            .unwrap_or(DEFAULT_SETUP_MS);
-        Duration::from_secs_f64(setup / 1000.0) + self.per_tuple * tuples_fetched as u32
+        cost_of(&self.setup_ms, self.per_tuple, source, tuples_fetched)
+    }
+}
+
+/// Backend for universes loaded from text catalogs, which carry
+/// cardinalities but no tuple windows: each source serves one contiguous
+/// id span whose start is derived (deterministically) from the source name
+/// and whose length is the reported cardinality. Spans from different
+/// sources overlap, so de-duplication and coverage accounting stay
+/// meaningful. Used by `mube-serve`'s execute endpoint, where only the
+/// catalog text is available.
+pub struct SpanBackend {
+    spans: Vec<(u64, u64)>,
+    setup_ms: Vec<f64>,
+    per_tuple: Duration,
+}
+
+/// FNV-1a, the same stable hash used for deterministic fault draws.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SpanBackend {
+    /// Derives spans from the universe's cardinalities. The id space is
+    /// twice the total cardinality, so sources overlap roughly half the
+    /// time — comparable to the generator's General pool.
+    pub fn from_universe(universe: &Universe) -> Self {
+        let pool = universe.total_cardinality().max(1) * 2;
+        let spans = universe
+            .sources()
+            .map(|s| (fnv1a(s.name().as_bytes()) % pool, s.cardinality()))
+            .collect();
+        SpanBackend {
+            spans,
+            setup_ms: setup_costs(universe),
+            per_tuple: DEFAULT_PER_TUPLE,
+        }
+    }
+}
+
+impl DataSourceBackend for SpanBackend {
+    fn fetch(&self, source: SourceId, query: &Query) -> Result<Fetch, FetchError> {
+        let tuples: Vec<u64> =
+            self.spans
+                .get(source.index())
+                .map_or_else(Vec::new, |&(start, len)| {
+                    let lo = start.max(query.start);
+                    let hi = (start + len).min(query.end);
+                    (lo..hi.max(lo)).collect()
+                });
+        let latency = self.cost(source, tuples.len());
+        Ok(Fetch { tuples, latency })
+    }
+
+    fn cost(&self, source: SourceId, tuples_fetched: usize) -> Duration {
+        cost_of(&self.setup_ms, self.per_tuple, source, tuples_fetched)
     }
 }
 
@@ -101,16 +329,27 @@ mod tests {
         let s = synth();
         let backend = WindowBackend::new(&s);
         for source in s.universe.source_ids() {
-            let everything = backend.fetch(source, &Query::range(0, u64::MAX));
+            let everything = backend
+                .fetch(source, &Query::range(0, u64::MAX))
+                .expect("window backend never fails");
             assert_eq!(
-                everything.len() as u64,
+                everything.tuples.len() as u64,
                 s.windows[source.index()].cardinality()
             );
+            // The reported latency is the cost of that volume.
+            assert_eq!(
+                everything.latency,
+                backend.cost(source, everything.tuples.len())
+            );
             // Fetch of an empty range is empty.
-            assert!(backend.fetch(source, &Query::range(5, 5)).is_empty());
+            assert!(backend
+                .fetch(source, &Query::range(5, 5))
+                .unwrap()
+                .tuples
+                .is_empty());
             // Fetched ids satisfy the predicate.
             let q = Query::range(100, 2_000);
-            for id in backend.fetch(source, &q) {
+            for id in backend.fetch(source, &q).unwrap().tuples {
                 assert!(q.selects(id));
             }
         }
@@ -122,6 +361,8 @@ mod tests {
         let backend = WindowBackend::new(&s);
         assert!(backend
             .fetch(SourceId(99), &Query::range(0, 100))
+            .unwrap()
+            .tuples
             .is_empty());
     }
 
@@ -132,8 +373,12 @@ mod tests {
         let small = backend.cost(SourceId(0), 10);
         let large = backend.cost(SourceId(0), 10_000);
         assert!(large > small);
-        // Setup cost dominates tiny fetches.
-        assert!(small >= Duration::from_millis(50));
+        // Setup cost comes from the source's latency characteristic
+        // (generated ≥ 5 ms).
+        assert!(small >= Duration::from_millis(5));
+        let latency = s.universe.source(SourceId(0)).characteristic("latency");
+        let expected = Duration::from_secs_f64(latency.unwrap() / 1000.0);
+        assert!(small >= expected);
     }
 
     #[test]
@@ -142,5 +387,41 @@ mod tests {
         let backend = WindowBackend::new(&s).with_per_tuple(Duration::from_millis(1));
         let c = backend.cost(SourceId(0), 1000);
         assert!(c >= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn fetch_error_accessors() {
+        let timeout = FetchError::Timeout {
+            after: Duration::from_secs(2),
+        };
+        assert_eq!(timeout.kind(), FetchErrorKind::Timeout);
+        assert_eq!(timeout.elapsed(), Duration::from_secs(2));
+        assert!(timeout.salvage().is_none());
+        assert!(FetchError::Unavailable.salvage().is_none());
+        assert!(FetchError::Unavailable.elapsed() > Duration::ZERO);
+
+        let partial = FetchError::Partial {
+            tuples: vec![1, 2, 3],
+            latency: Duration::from_millis(10),
+        };
+        assert_eq!(partial.kind(), FetchErrorKind::Partial);
+        assert_eq!(partial.salvage().unwrap().tuples, vec![1, 2, 3]);
+        assert_eq!(FetchErrorKind::BreakerOpen.as_str(), "breaker_open");
+    }
+
+    #[test]
+    fn span_backend_serves_cardinality_spans() {
+        let s = synth();
+        let backend = SpanBackend::from_universe(&s.universe);
+        for source in s.universe.source_ids() {
+            let all = backend.fetch(source, &Query::range(0, u64::MAX)).unwrap();
+            assert_eq!(
+                all.tuples.len() as u64,
+                s.universe.source(source).cardinality()
+            );
+            // Deterministic: same universe, same spans.
+            let again = backend.fetch(source, &Query::range(0, u64::MAX)).unwrap();
+            assert_eq!(all, again);
+        }
     }
 }

@@ -1,24 +1,39 @@
-//! Fan-out query execution with the paper's cost accounting.
+//! Fan-out query execution with the paper's cost accounting and a
+//! resilience layer: retries with backoff, circuit breakers, and graceful
+//! degradation.
 //!
 //! Executing a query over a data-integration solution costs, per the
 //! paper's introduction: retrieval from every selected source, mapping into
 //! the mediated schema, and inconsistency (duplicate) resolution across
 //! sources. The executor models the common fan-out plan: all answerable
 //! sources are queried "in parallel" (simulated makespan = the slowest
-//! fetch), results are mapped and de-duplicated, and every cost is
-//! reported.
+//! per-source attempt chain), results are mapped and de-duplicated, and
+//! every cost is reported.
+//!
+//! Fetches can fail ([`crate::backend::FetchError`]). Each source gets a
+//! [`RetryPolicy`]-governed attempt chain on a virtual [`Clock`] (nothing
+//! ever sleeps); an optional [`HealthRegistry`] gates attempts through
+//! per-source circuit breakers and records outcomes for the feedback loop.
+//! When a source exhausts its retries the query still answers — the
+//! [`Degradation`] section of the report quantifies exactly what was lost,
+//! using the same PCSA coverage machinery the selection QEFs used to pick
+//! the sources in the first place.
 
 use std::collections::BTreeSet;
 use std::time::Duration;
 
 use mube_core::ga::MediatedSchema;
 use mube_core::ids::SourceId;
+use mube_core::jsonw::JsonBuf;
+use mube_core::qefs::forfeited_coverage;
 use mube_core::solution::Solution;
 use mube_core::source::Universe;
 use std::sync::Arc;
 
-use crate::backend::DataSourceBackend;
+use crate::backend::{DataSourceBackend, Fetch, FetchError, FetchErrorKind};
+use crate::health::HealthRegistry;
 use crate::query::Query;
+use crate::retry::{Clock, RetryPolicy, VirtualClock};
 
 /// What one source contributed to a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,8 +44,73 @@ pub struct SourceFetch {
     pub fetched: usize,
     /// Of those, tuples no earlier source had returned.
     pub novel: usize,
-    /// Simulated fetch cost.
+    /// Fetch attempts spent on this source (1 = first try succeeded).
+    pub attempts: u32,
+    /// Simulated time spent on this source: fetch latencies of every
+    /// attempt plus backoff waits.
     pub cost: Duration,
+}
+
+/// A source that exhausted its retries (or was skipped by an open
+/// breaker) and contributed nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailedSource {
+    /// The source.
+    pub source: SourceId,
+    /// The final failure mode.
+    pub error: FetchErrorKind,
+    /// Attempts made (0 when the breaker was open from the start).
+    pub attempts: u32,
+    /// Simulated time burned before giving up.
+    pub spent: Duration,
+}
+
+/// A source that exhausted its retries but whose final `Partial`/`Slow`
+/// failure carried data the executor salvaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedSource {
+    /// The source.
+    pub source: SourceId,
+    /// The final failure mode the salvage came from.
+    pub error: FetchErrorKind,
+    /// Attempts made.
+    pub attempts: u32,
+    /// Tuples salvaged from the final failure.
+    pub kept: usize,
+}
+
+/// What a degraded execution lost, in the currencies of the paper's
+/// data-dependent QEFs: cardinality (F2) and coverage (F3).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Degradation {
+    /// Sources that contributed nothing, in source order.
+    pub failed: Vec<FailedSource>,
+    /// Sources that contributed only salvaged partial data, in source
+    /// order.
+    pub degraded: Vec<DegradedSource>,
+    /// Advertised cardinality of the failed sources — the upper bound on
+    /// tuples the query could no longer reach.
+    pub lost_cardinality: u64,
+    /// `lost_cardinality` over the advertised cardinality of the whole
+    /// attempted selection (0 when nothing was attempted) — the F2
+    /// fraction forfeited.
+    pub lost_cardinality_fraction: f64,
+    /// Estimated coverage forfeited: `coverage(selected) −
+    /// coverage(survivors)` from the PCSA signatures (degraded sources
+    /// count as survivors). The F3 fraction forfeited.
+    pub lost_coverage_fraction: f64,
+}
+
+impl Degradation {
+    /// True when every attempted source answered cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty() && self.degraded.is_empty()
+    }
+
+    /// Sources that contributed nothing, as a set.
+    pub fn failed_sources(&self) -> BTreeSet<SourceId> {
+        self.failed.iter().map(|f| f.source).collect()
+    }
 }
 
 /// The result and cost breakdown of one query execution.
@@ -40,14 +120,18 @@ pub struct ExecutionReport {
     pub tuples: BTreeSet<u64>,
     /// Total tuples retrieved across sources (with duplicates).
     pub fetched: usize,
-    /// Per-source breakdown, in source order.
+    /// Per-source breakdown of sources that contributed tuples (cleanly or
+    /// salvaged), in source order.
     pub per_source: Vec<SourceFetch>,
     /// Sources that could not answer (no attribute in a projected GA).
     pub unanswerable: Vec<SourceId>,
-    /// Simulated makespan: the slowest single fetch (parallel fan-out).
+    /// Simulated makespan: the slowest per-source attempt chain (parallel
+    /// fan-out).
     pub makespan: Duration,
-    /// Simulated total work: the sum of all fetch costs.
+    /// Simulated total work: the sum of all per-source spent times.
     pub total_cost: Duration,
+    /// What the failures cost, if anything.
+    pub degradation: Degradation,
 }
 
 impl ExecutionReport {
@@ -70,18 +154,132 @@ impl ExecutionReport {
             self.duplicates() as f64 / self.fetched as f64
         }
     }
+
+    /// Renders the report as deterministic JSON: durations as integer
+    /// microseconds, sets in source order — the same seed produces a
+    /// byte-identical document on every run.
+    pub fn to_json(&self, universe: &Universe) -> String {
+        let name = |s: SourceId| universe.get(s).map_or("?", |src| src.name());
+        let micros = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.key("distinct").uint_value(self.distinct() as u64);
+        j.key("fetched").uint_value(self.fetched as u64);
+        j.key("duplicates").uint_value(self.duplicates() as u64);
+        j.key("makespan_us").uint_value(micros(self.makespan));
+        j.key("total_cost_us").uint_value(micros(self.total_cost));
+        j.key("per_source").begin_arr();
+        for f in &self.per_source {
+            j.begin_obj();
+            j.key("source").str_value(name(f.source));
+            j.key("fetched").uint_value(f.fetched as u64);
+            j.key("novel").uint_value(f.novel as u64);
+            j.key("attempts").uint_value(u64::from(f.attempts));
+            j.key("cost_us").uint_value(micros(f.cost));
+            j.end_obj();
+        }
+        j.end_arr();
+        j.key("unanswerable").begin_arr();
+        for &s in &self.unanswerable {
+            j.str_value(name(s));
+        }
+        j.end_arr();
+        j.key("degradation").begin_obj();
+        j.key("clean").bool_value(self.degradation.is_clean());
+        j.key("failed").begin_arr();
+        for f in &self.degradation.failed {
+            j.begin_obj();
+            j.key("source").str_value(name(f.source));
+            j.key("error").str_value(f.error.as_str());
+            j.key("attempts").uint_value(u64::from(f.attempts));
+            j.key("spent_us").uint_value(micros(f.spent));
+            j.end_obj();
+        }
+        j.end_arr();
+        j.key("degraded").begin_arr();
+        for d in &self.degradation.degraded {
+            j.begin_obj();
+            j.key("source").str_value(name(d.source));
+            j.key("error").str_value(d.error.as_str());
+            j.key("attempts").uint_value(u64::from(d.attempts));
+            j.key("kept").uint_value(d.kept as u64);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.key("lost_cardinality")
+            .uint_value(self.degradation.lost_cardinality);
+        j.key("lost_cardinality_fraction")
+            .num_value(self.degradation.lost_cardinality_fraction);
+        j.key("lost_coverage_fraction")
+            .num_value(self.degradation.lost_coverage_fraction);
+        j.end_obj();
+        j.end_obj();
+        j.finish()
+    }
+}
+
+/// Outcome of one source's full attempt chain.
+enum Outcome {
+    Clean(Fetch, u32, Duration),
+    Salvaged(Fetch, FetchErrorKind, u32, Duration),
+    Failed(FetchErrorKind, u32, Duration),
 }
 
 /// Executes queries against a backend.
 pub struct Executor<B> {
     universe: Arc<Universe>,
     backend: B,
+    policy: RetryPolicy,
+    registry: Option<Arc<HealthRegistry>>,
+    clock: Arc<dyn Clock>,
 }
 
 impl<B: DataSourceBackend> Executor<B> {
-    /// Creates an executor.
+    /// Creates an executor with the default retry policy, no health
+    /// registry, and a fresh virtual clock.
     pub fn new(universe: Arc<Universe>, backend: B) -> Self {
-        Executor { universe, backend }
+        Executor {
+            universe,
+            backend,
+            policy: RetryPolicy::default(),
+            registry: None,
+            clock: Arc::new(VirtualClock::new()),
+        }
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a health registry: fetch attempts are gated through its
+    /// circuit breakers and every outcome is recorded for the feedback
+    /// loop. The registry should share this executor's clock.
+    pub fn with_registry(mut self, registry: Arc<HealthRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Replaces the clock (shared with a registry for breaker cooldowns).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The universe this executor serves.
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.universe
+    }
+
+    /// Borrow of the backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The executor's clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// Executes a query against an explicit source set (no projection
@@ -117,6 +315,65 @@ impl<B: DataSourceBackend> Executor<B> {
         self.run(answerable, unanswerable, query)
     }
 
+    /// Runs one source's attempt chain: breaker gate, fetch, backoff,
+    /// retry, salvage. All time is simulated and accumulated into the
+    /// outcome; the shared clock is only advanced once per query (by the
+    /// makespan), in [`Executor::run`].
+    fn attempt_chain(&self, source: SourceId, query: &Query) -> Outcome {
+        let salt = u64::from(source.0);
+        let mut spent = Duration::ZERO;
+        let mut failures = 0u32;
+        let mut last: Option<FetchError> = None;
+        loop {
+            if let Some(registry) = &self.registry {
+                if !registry.admit(source) {
+                    // Breaker open: give up on this source now. If we never
+                    // attempted, the failure is attributed to the breaker.
+                    if failures == 0 {
+                        return Outcome::Failed(FetchErrorKind::BreakerOpen, 0, spent);
+                    }
+                    break;
+                }
+            }
+            match self.backend.fetch(source, query) {
+                Ok(fetch) => {
+                    spent += fetch.latency;
+                    if let Some(registry) = &self.registry {
+                        registry.record_success(source, fetch.latency);
+                    }
+                    return Outcome::Clean(fetch, failures + 1, spent);
+                }
+                Err(err) => {
+                    spent += err.elapsed();
+                    failures += 1;
+                    if let Some(registry) = &self.registry {
+                        registry.record_failure(source);
+                    }
+                    last = Some(err);
+                    if failures >= self.policy.max_attempts {
+                        break;
+                    }
+                    let backoff = self.policy.backoff(failures, salt);
+                    if let Some(deadline) = self.policy.deadline {
+                        if spent + backoff >= deadline {
+                            break;
+                        }
+                    }
+                    spent += backoff;
+                }
+            }
+        }
+        let error = last
+            .as_ref()
+            .map_or(FetchErrorKind::BreakerOpen, FetchError::kind);
+        if self.policy.salvage {
+            if let Some(fetch) = last.and_then(FetchError::salvage) {
+                return Outcome::Salvaged(fetch, error, failures, spent);
+            }
+        }
+        Outcome::Failed(error, failures, spent)
+    }
+
     fn run(
         &self,
         answerable: Vec<SourceId>,
@@ -125,32 +382,78 @@ impl<B: DataSourceBackend> Executor<B> {
     ) -> ExecutionReport {
         let mut tuples: BTreeSet<u64> = BTreeSet::new();
         let mut per_source = Vec::with_capacity(answerable.len());
+        let mut degradation = Degradation::default();
         let mut fetched_total = 0usize;
         let mut makespan = Duration::ZERO;
         let mut total_cost = Duration::ZERO;
+        let mut selected: BTreeSet<SourceId> = BTreeSet::new();
+        let mut survivors: BTreeSet<SourceId> = BTreeSet::new();
+        let mut selected_cardinality = 0u64;
         for source in answerable {
             if self.universe.get(source).is_none() {
                 continue;
             }
-            let ids = self.backend.fetch(source, query);
-            let fetched = ids.len();
-            let mut novel = 0usize;
-            for id in ids {
-                if tuples.insert(id) {
-                    novel += 1;
+            selected.insert(source);
+            selected_cardinality += self.universe.source(source).cardinality();
+            let (fetch, attempts, spent, failure) = match self.attempt_chain(source, query) {
+                Outcome::Clean(fetch, attempts, spent) => (Some(fetch), attempts, spent, None),
+                Outcome::Salvaged(fetch, error, attempts, spent) => {
+                    (Some(fetch), attempts, spent, Some(error))
+                }
+                Outcome::Failed(error, attempts, spent) => (None, attempts, spent, Some(error)),
+            };
+            makespan = makespan.max(spent);
+            total_cost += spent;
+            match fetch {
+                Some(fetch) => {
+                    survivors.insert(source);
+                    let fetched = fetch.tuples.len();
+                    let mut novel = 0usize;
+                    for id in fetch.tuples {
+                        if tuples.insert(id) {
+                            novel += 1;
+                        }
+                    }
+                    fetched_total += fetched;
+                    per_source.push(SourceFetch {
+                        source,
+                        fetched,
+                        novel,
+                        attempts,
+                        cost: spent,
+                    });
+                    if let Some(error) = failure {
+                        degradation.degraded.push(DegradedSource {
+                            source,
+                            error,
+                            attempts,
+                            kept: fetched,
+                        });
+                    }
+                }
+                None => {
+                    let error = failure.unwrap_or(FetchErrorKind::Unavailable);
+                    degradation.lost_cardinality += self.universe.source(source).cardinality();
+                    degradation.failed.push(FailedSource {
+                        source,
+                        error,
+                        attempts,
+                        spent,
+                    });
                 }
             }
-            let cost = self.backend.cost(source, fetched);
-            makespan = makespan.max(cost);
-            total_cost += cost;
-            fetched_total += fetched;
-            per_source.push(SourceFetch {
-                source,
-                fetched,
-                novel,
-                cost,
-            });
         }
+        if !degradation.failed.is_empty() {
+            if selected_cardinality > 0 {
+                degradation.lost_cardinality_fraction =
+                    degradation.lost_cardinality as f64 / selected_cardinality as f64;
+            }
+            degradation.lost_coverage_fraction =
+                forfeited_coverage(&self.universe, &selected, &survivors);
+        }
+        // The query is done: simulated wall-clock moves by the makespan
+        // (this is what ages breaker cooldowns between queries).
+        self.clock.advance(makespan);
         ExecutionReport {
             tuples,
             fetched: fetched_total,
@@ -158,6 +461,7 @@ impl<B: DataSourceBackend> Executor<B> {
             unanswerable,
             makespan,
             total_cost,
+            degradation,
         }
     }
 }
@@ -193,6 +497,10 @@ mod tests {
         // Total fetched is the sum of cardinalities.
         assert_eq!(report.fetched as u64, synth.universe.total_cardinality());
         assert_eq!(report.duplicates(), report.fetched - report.distinct());
+        // The window backend never fails: execution is clean, one attempt
+        // per source.
+        assert!(report.degradation.is_clean());
+        assert!(report.per_source.iter().all(|f| f.attempts == 1));
     }
 
     #[test]
@@ -212,8 +520,10 @@ mod tests {
         let report = executor.execute(&sources, &Query::range(0, 10_000));
         assert!(report.makespan <= report.total_cost);
         assert!(report.makespan > Duration::ZERO);
-        // Parallel fan-out beats sequential by roughly the source count.
-        assert!(report.total_cost >= report.makespan * (sources.len() as u32 / 2));
+        // Parallel fan-out: total work is bounded by sources × makespan.
+        assert!(report.total_cost <= report.makespan * sources.len() as u32);
+        // The executor's clock advanced by exactly the makespan.
+        assert_eq!(executor.clock().now(), report.makespan);
     }
 
     #[test]
@@ -262,5 +572,18 @@ mod tests {
         assert_eq!(report.waste(), 0.0);
         let empty = executor.execute(&one, &Query::range(3, 3));
         assert_eq!(empty.waste(), 0.0);
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_wellformed() {
+        let (synth, executor) = setup();
+        let sources: BTreeSet<_> = synth.universe.source_ids().take(4).collect();
+        let report = executor.execute(&sources, &Query::range(0, 20_000));
+        let a = report.to_json(&synth.universe);
+        let b = report.to_json(&synth.universe);
+        assert_eq!(a, b);
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"degradation\":{\"clean\":true"));
+        assert!(a.contains("\"makespan_us\":"));
     }
 }

@@ -1,0 +1,525 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! [`FaultInjector`] wraps any [`DataSourceBackend`] and makes a chosen
+//! fraction of fetches fail with the taxonomy of
+//! [`crate::backend::FetchError`]. Every failure decision is a pure
+//! function of `(seed, source, attempt)` — no global RNG state — so a
+//! seeded chaos run is exactly reproducible: same seed, same faults, same
+//! execution report, byte for byte.
+//!
+//! Per-source failure probabilities can be supplied directly
+//! ([`FaultSpec::Uniform`], [`FaultSpec::Rate`]) or derived from the
+//! `availability` / `mttf` / `latency` characteristics the synthetic
+//! universe generates ([`FaultSpec::FromCharacteristics`]) — the same
+//! numbers the paper's §5 selection QEFs consume, now driving the
+//! behavior they were supposed to predict.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use mube_core::error::MubeError;
+use mube_core::ids::SourceId;
+use mube_core::source::Universe;
+
+use crate::backend::{DataSourceBackend, Fetch, FetchError};
+use crate::query::Query;
+use crate::retry::{splitmix64, unit_draw};
+
+/// Per-source probabilities for each failure mode of one fetch attempt.
+/// The four probabilities must sum to at most 1; the remainder is the
+/// probability of a clean fetch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// P(connection refused).
+    pub unavailable: f64,
+    /// P(attempt times out).
+    pub timeout: f64,
+    /// P(connection drops mid-transfer; a prefix arrives).
+    pub partial: f64,
+    /// P(full answer, pathologically late).
+    pub slow: f64,
+    /// Latency multiplier applied on a `Slow` outcome.
+    pub slow_factor: f64,
+    /// Simulated time burned by a `Timeout`.
+    pub timeout_after: Duration,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            unavailable: 0.0,
+            timeout: 0.0,
+            partial: 0.0,
+            slow: 0.0,
+            slow_factor: 10.0,
+            timeout_after: Duration::from_secs(2),
+        }
+    }
+}
+
+impl FaultProfile {
+    /// A profile that never fails.
+    pub fn healthy() -> Self {
+        FaultProfile::default()
+    }
+
+    /// Total per-attempt failure probability, clamped to `[0, 1]`.
+    pub fn failure_rate(&self) -> f64 {
+        (self.unavailable + self.timeout + self.partial + self.slow).clamp(0.0, 1.0)
+    }
+}
+
+/// How per-source fault profiles are chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// A deterministic fraction of sources fails *hard* (always
+    /// `Unavailable`, every attempt); everyone else is healthy. The failing
+    /// set is the seeded sample — this is the spec the e2e chaos tests use
+    /// because the failed-source list is known in advance.
+    Rate(f64),
+    /// Every source shares one per-attempt profile.
+    Uniform(FaultProfile),
+    /// Derive each source's profile from its characteristics:
+    /// `P(unavailable) = scale · (1 − availability)` (falling back to an
+    /// MTTF-based estimate, then to healthy), timeouts/slowness scaled off
+    /// the `latency` characteristic.
+    FromCharacteristics {
+        /// Multiplier on the derived unavailability (1.0 = take the
+        /// characteristics at face value).
+        scale: f64,
+    },
+}
+
+impl FaultSpec {
+    /// Parses a CLI fault spec.
+    ///
+    /// Grammar:
+    /// * `rate=0.3` — 30% of sources fail hard (deterministic sample);
+    /// * `auto` or `auto:2.5` — derive from characteristics, optional scale;
+    /// * comma-separated uniform profile fields:
+    ///   `unavailable=0.2,timeout=0.1,partial=0.05,slow=0.05,slow-factor=10`.
+    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Err("empty fault spec".into());
+        }
+        if spec == "auto" {
+            return Ok(FaultSpec::FromCharacteristics { scale: 1.0 });
+        }
+        if let Some(scale) = spec.strip_prefix("auto:") {
+            let scale: f64 = scale
+                .parse()
+                .map_err(|_| format!("bad auto scale '{scale}'"))?;
+            if scale.is_nan() || scale < 0.0 {
+                return Err(format!("auto scale must be ≥ 0, got {scale}"));
+            }
+            return Ok(FaultSpec::FromCharacteristics { scale });
+        }
+        let mut profile = FaultProfile::default();
+        let mut rate: Option<f64> = None;
+        for field in spec.split(',') {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("bad fault field '{field}' (expected key=value)"))?;
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad number in fault field '{field}'"))?;
+            match key.trim() {
+                "rate" => rate = Some(value),
+                "unavailable" => profile.unavailable = value,
+                "timeout" => profile.timeout = value,
+                "partial" => profile.partial = value,
+                "slow" => profile.slow = value,
+                "slow-factor" | "slow_factor" => profile.slow_factor = value,
+                "timeout-ms" | "timeout_ms" => {
+                    profile.timeout_after = Duration::from_secs_f64(value.max(0.0) / 1000.0);
+                }
+                other => return Err(format!("unknown fault field '{other}'")),
+            }
+        }
+        if let Some(rate) = rate {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("rate must be in [0, 1], got {rate}"));
+            }
+            return Ok(FaultSpec::Rate(rate));
+        }
+        let probs = [
+            profile.unavailable,
+            profile.timeout,
+            profile.partial,
+            profile.slow,
+        ];
+        if probs.iter().any(|p| !(0.0..=1.0).contains(p)) || probs.iter().sum::<f64>() > 1.0 + 1e-9
+        {
+            return Err("fault probabilities must each be in [0, 1] and sum to ≤ 1".into());
+        }
+        Ok(FaultSpec::Uniform(profile))
+    }
+}
+
+/// Derives a fault profile from one source's characteristics.
+fn profile_from_characteristics(
+    availability: Option<f64>,
+    mttf_days: Option<f64>,
+    scale: f64,
+) -> FaultProfile {
+    // availability directly gives P(down); MTTF alone gives a rough
+    // estimate assuming ~1 day mean downtime (the generator's default).
+    let p_down = availability.map(|a| 1.0 - a.clamp(0.0, 1.0)).or_else(|| {
+        mttf_days.map(|m| {
+            let m = m.max(0.01);
+            1.0 / (m + 1.0)
+        })
+    });
+    match p_down {
+        None => FaultProfile::healthy(),
+        Some(p) => {
+            let p = (p * scale).clamp(0.0, 1.0);
+            FaultProfile {
+                // Split the derived downtime across the taxonomy: mostly
+                // hard unavailability, with a tail of degraded modes.
+                unavailable: p * 0.6,
+                timeout: p * 0.2,
+                partial: p * 0.1,
+                slow: p * 0.1,
+                ..FaultProfile::default()
+            }
+        }
+    }
+}
+
+/// A fault-injecting wrapper around a backend.
+///
+/// Failure decisions are drawn per `(source, attempt)`: the `n`-th fetch
+/// of source `s` always behaves the same for a given seed, which is what
+/// makes retries meaningful (a retry is a *new* attempt and gets a new
+/// draw) while keeping whole runs reproducible.
+pub struct FaultInjector<B> {
+    inner: B,
+    seed: u64,
+    profiles: Vec<FaultProfile>,
+    hard_fail: BTreeSet<SourceId>,
+    attempts: Vec<AtomicU64>,
+}
+
+impl<B: DataSourceBackend> FaultInjector<B> {
+    /// Wraps `inner`, deriving per-source profiles from `spec`.
+    pub fn new(inner: B, universe: &Universe, spec: &FaultSpec, seed: u64) -> Self {
+        let n = universe.len();
+        let mut profiles = vec![FaultProfile::healthy(); n];
+        let mut hard_fail = BTreeSet::new();
+        match spec {
+            FaultSpec::Rate(rate) => {
+                // Deterministic sample: rank sources by a seeded hash and
+                // fail the first ⌈rate·n⌉.
+                let k = (rate * n as f64).ceil() as usize;
+                let mut ranked: Vec<SourceId> = universe.source_ids().collect();
+                ranked.sort_by_key(|s| (splitmix64(seed ^ u64::from(s.0)), s.0));
+                hard_fail = ranked.into_iter().take(k.min(n)).collect();
+            }
+            FaultSpec::Uniform(profile) => {
+                profiles = vec![*profile; n];
+            }
+            FaultSpec::FromCharacteristics { scale } => {
+                profiles = universe
+                    .sources()
+                    .map(|s| {
+                        profile_from_characteristics(
+                            s.characteristic("availability"),
+                            s.characteristic("mttf"),
+                            *scale,
+                        )
+                    })
+                    .collect();
+            }
+        }
+        let attempts = (0..n).map(|_| AtomicU64::new(0)).collect();
+        FaultInjector {
+            inner,
+            seed,
+            profiles,
+            hard_fail,
+            attempts,
+        }
+    }
+
+    /// Wraps `inner` with an explicit hard-failing source set (every fetch
+    /// of those sources returns `Unavailable`); everyone else is healthy.
+    /// Used by tests that need full control over which sources die.
+    pub fn with_hard_failures(inner: B, universe: &Universe, failing: BTreeSet<SourceId>) -> Self {
+        let n = universe.len();
+        FaultInjector {
+            inner,
+            seed: 0,
+            profiles: vec![FaultProfile::healthy(); n],
+            hard_fail: failing,
+            attempts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The sources configured to fail *every* attempt (hard failures).
+    /// Empty for probabilistic specs.
+    pub fn failing_sources(&self) -> &BTreeSet<SourceId> {
+        &self.hard_fail
+    }
+
+    /// Resets the per-source attempt counters, replaying the exact same
+    /// fault sequence on the next execution.
+    pub fn reset(&self) {
+        for a in &self.attempts {
+            a.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// Borrow of the wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Builds the failure verdict for one attempt, if any.
+    fn inject(&self, source: SourceId, attempt: u64, clean: &Fetch) -> Option<FetchError> {
+        if self.hard_fail.contains(&source) {
+            return Some(FetchError::Unavailable);
+        }
+        let profile = self.profiles.get(source.index())?;
+        let rate = profile.failure_rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        let u = unit_draw(self.seed, u64::from(source.0), attempt);
+        if u >= rate {
+            return None;
+        }
+        // Map the draw onto the taxonomy by cumulative probability.
+        let mut edge = profile.unavailable;
+        if u < edge {
+            return Some(FetchError::Unavailable);
+        }
+        edge += profile.timeout;
+        if u < edge {
+            return Some(FetchError::Timeout {
+                after: profile.timeout_after,
+            });
+        }
+        edge += profile.partial;
+        if u < edge {
+            // A prefix arrives; how much is another deterministic draw.
+            let frac = unit_draw(self.seed ^ 0xDEAD, u64::from(source.0), attempt);
+            let keep = (clean.tuples.len() as f64 * frac) as usize;
+            return Some(FetchError::Partial {
+                tuples: clean.tuples[..keep].to_vec(),
+                latency: clean.latency.mul_f64(frac.max(0.05)),
+            });
+        }
+        Some(FetchError::Slow {
+            tuples: clean.tuples.clone(),
+            latency: clean.latency.mul_f64(profile.slow_factor.max(1.0)),
+        })
+    }
+}
+
+impl<B: DataSourceBackend> DataSourceBackend for FaultInjector<B> {
+    fn fetch(&self, source: SourceId, query: &Query) -> Result<Fetch, FetchError> {
+        let attempt = self
+            .attempts
+            .get(source.index())
+            .map_or(0, |a| a.fetch_add(1, Ordering::SeqCst));
+        if self.hard_fail.contains(&source) {
+            return Err(FetchError::Unavailable);
+        }
+        let clean = self.inner.fetch(source, query)?;
+        match self.inject(source, attempt, &clean) {
+            Some(err) => Err(err),
+            None => Ok(clean),
+        }
+    }
+
+    fn cost(&self, source: SourceId, tuples_fetched: usize) -> Duration {
+        self.inner.cost(source, tuples_fetched)
+    }
+}
+
+/// Derives the hard-failing source set a `rate=` spec would produce —
+/// usable without constructing an injector (the CI chaos job and serve
+/// endpoint reconcile against this).
+pub fn hard_failure_sample(universe: &Universe, rate: f64, seed: u64) -> BTreeSet<SourceId> {
+    let n = universe.len();
+    let k = (rate.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    let mut ranked: Vec<SourceId> = universe.source_ids().collect();
+    ranked.sort_by_key(|s| (splitmix64(seed ^ u64::from(s.0)), s.0));
+    ranked.into_iter().take(k.min(n)).collect()
+}
+
+/// Convenience: builds an injector for a universe-derived spec string.
+pub fn injector_from_spec<B: DataSourceBackend>(
+    inner: B,
+    universe: &Universe,
+    spec: &str,
+    seed: u64,
+) -> Result<FaultInjector<B>, MubeError> {
+    let spec = FaultSpec::parse(spec).map_err(|detail| MubeError::InvalidParameter { detail })?;
+    Ok(FaultInjector::new(inner, universe, &spec, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::WindowBackend;
+    use mube_synth::{generate, SynthConfig};
+
+    fn synth() -> mube_synth::SynthUniverse {
+        generate(&SynthConfig::small(10), 11)
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert_eq!(FaultSpec::parse("rate=0.3").unwrap(), FaultSpec::Rate(0.3));
+        assert_eq!(
+            FaultSpec::parse("auto").unwrap(),
+            FaultSpec::FromCharacteristics { scale: 1.0 }
+        );
+        assert_eq!(
+            FaultSpec::parse("auto:2.5").unwrap(),
+            FaultSpec::FromCharacteristics { scale: 2.5 }
+        );
+        let uniform =
+            FaultSpec::parse("unavailable=0.2,timeout=0.1,slow=0.05,slow-factor=8").unwrap();
+        match uniform {
+            FaultSpec::Uniform(p) => {
+                assert_eq!(p.unavailable, 0.2);
+                assert_eq!(p.timeout, 0.1);
+                assert_eq!(p.slow, 0.05);
+                assert_eq!(p.slow_factor, 8.0);
+            }
+            other => panic!("expected uniform, got {other:?}"),
+        }
+        assert!(FaultSpec::parse("").is_err());
+        assert!(FaultSpec::parse("rate=1.5").is_err());
+        assert!(FaultSpec::parse("bogus=1").is_err());
+        assert!(FaultSpec::parse("unavailable=0.9,timeout=0.9").is_err());
+        assert!(FaultSpec::parse("auto:-1").is_err());
+    }
+
+    #[test]
+    fn rate_spec_fails_exact_deterministic_fraction() {
+        let s = synth();
+        let spec = FaultSpec::Rate(0.3);
+        let inj = FaultInjector::new(WindowBackend::new(&s), &s.universe, &spec, 77);
+        let expected = (0.3f64 * s.universe.len() as f64).ceil() as usize;
+        assert_eq!(inj.failing_sources().len(), expected);
+        assert_eq!(
+            *inj.failing_sources(),
+            hard_failure_sample(&s.universe, 0.3, 77)
+        );
+        // Hard-failing sources fail every attempt; others never fail.
+        let q = Query::range(0, 1_000);
+        for source in s.universe.source_ids() {
+            for _ in 0..3 {
+                let r = inj.fetch(source, &q);
+                assert_eq!(r.is_err(), inj.failing_sources().contains(&source));
+            }
+        }
+        // A different seed samples a different set (10 choose 3 is large).
+        let other = hard_failure_sample(&s.universe, 0.3, 78);
+        assert_ne!(*inj.failing_sources(), other);
+    }
+
+    #[test]
+    fn uniform_spec_is_reproducible_and_attempt_varying() {
+        let s = synth();
+        let profile = FaultProfile {
+            unavailable: 0.25,
+            timeout: 0.25,
+            partial: 0.2,
+            slow: 0.2,
+            ..FaultProfile::default()
+        };
+        let spec = FaultSpec::Uniform(profile);
+        let q = Query::range(0, u64::MAX);
+        let run = |seed: u64| -> Vec<Option<crate::backend::FetchErrorKind>> {
+            let inj = FaultInjector::new(WindowBackend::new(&s), &s.universe, &spec, seed);
+            let mut outcomes = Vec::new();
+            for source in s.universe.source_ids() {
+                for _ in 0..4 {
+                    outcomes.push(inj.fetch(source, &q).err().map(|e| e.kind()));
+                }
+            }
+            outcomes
+        };
+        let a = run(5);
+        assert_eq!(a, run(5), "same seed → identical outcome stream");
+        assert_ne!(a, run(6), "different seed → different outcomes");
+        // With 90% failure mass over 40 attempts, some attempts fail and
+        // (statistically certain) at least one succeeds across retries.
+        let failures = a.iter().filter(|o| o.is_some()).count();
+        assert!(failures > 10, "failures={failures}");
+        assert!(failures < 40, "failures={failures}");
+    }
+
+    #[test]
+    fn reset_replays_the_fault_sequence() {
+        let s = synth();
+        let spec = FaultSpec::Uniform(FaultProfile {
+            timeout: 0.5,
+            ..FaultProfile::default()
+        });
+        let inj = FaultInjector::new(WindowBackend::new(&s), &s.universe, &spec, 9);
+        let q = Query::range(0, 100);
+        let first: Vec<bool> = (0..5)
+            .map(|_| inj.fetch(SourceId(0), &q).is_err())
+            .collect();
+        inj.reset();
+        let second: Vec<bool> = (0..5)
+            .map(|_| inj.fetch(SourceId(0), &q).is_err())
+            .collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn characteristics_drive_failure_rates() {
+        let s = synth();
+        // Scale up so even high-availability sources fail sometimes.
+        let spec = FaultSpec::FromCharacteristics { scale: 1.0 };
+        let inj = FaultInjector::new(WindowBackend::new(&s), &s.universe, &spec, 3);
+        // Profile rate should track 1 − availability.
+        for source in s.universe.sources() {
+            let avail = source.characteristic("availability").unwrap();
+            let profile = &inj.profiles[source.id().index()];
+            assert!((profile.failure_rate() - (1.0 - avail)).abs() < 1e-9);
+        }
+        // Without any characteristics, profiles are healthy.
+        let empty = profile_from_characteristics(None, None, 1.0);
+        assert_eq!(empty.failure_rate(), 0.0);
+        // MTTF fallback: 9-day MTTF → 10% failure.
+        let mttf_only = profile_from_characteristics(None, Some(9.0), 1.0);
+        assert!((mttf_only.failure_rate() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_and_slow_carry_salvageable_data() {
+        let s = synth();
+        let spec = FaultSpec::Uniform(FaultProfile {
+            partial: 0.5,
+            slow: 0.5,
+            slow_factor: 10.0,
+            ..FaultProfile::default()
+        });
+        let inj = FaultInjector::new(WindowBackend::new(&s), &s.universe, &spec, 1);
+        let q = Query::range(0, u64::MAX);
+        let mut salvaged = 0;
+        for source in s.universe.source_ids() {
+            let clean_len = inj.inner().fetch(source, &q).unwrap().tuples.len();
+            match inj.fetch(source, &q) {
+                Err(e) => {
+                    let f = e.salvage().expect("partial/slow always salvage");
+                    assert!(f.tuples.len() <= clean_len);
+                    salvaged += 1;
+                }
+                Ok(_) => unreachable!("failure mass is 1.0"),
+            }
+        }
+        assert_eq!(salvaged, s.universe.len());
+    }
+}

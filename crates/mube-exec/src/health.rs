@@ -1,0 +1,404 @@
+//! Per-source health tracking: circuit breakers and the measured-
+//! characteristics feedback loop.
+//!
+//! Every fetch outcome feeds a [`HealthRegistry`]. Consecutive failures
+//! open a per-source circuit breaker (closed → open → half-open), so a
+//! chronically dead source stops consuming retry budget; after a cooldown
+//! on the virtual clock, one probe attempt is admitted (half-open) and a
+//! success re-closes the breaker.
+//!
+//! The registry doubles as the paper's feedback loop (§5: characteristics
+//! "measured automatically by `µBE`"): [`HealthRegistry::refresh_universe`]
+//! writes the *observed* success rate back as each source's `availability`
+//! characteristic and the observed mean latency as `latency`, so a
+//! re-solve with the standard QEF mix routes around sources that failed in
+//! practice, whatever their advertised characteristics claimed.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mube_core::error::MubeError;
+use mube_core::ids::SourceId;
+use mube_core::source::{SourceSpec, Universe};
+
+use crate::retry::Clock;
+
+/// Circuit-breaker state of one source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: fetches flow normally.
+    Closed,
+    /// Tripped: fetches are skipped until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe attempt is admitted.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label for reports and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// Virtual time the breaker stays open before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Mutable health record of one source.
+#[derive(Debug, Clone, Default)]
+struct SourceHealth {
+    attempts: u64,
+    successes: u64,
+    consecutive_failures: u32,
+    /// Sum of observed fetch latencies (successes only), for the mean.
+    latency_sum: Duration,
+    state: State,
+}
+
+#[derive(Debug, Clone, Default)]
+enum State {
+    #[default]
+    Closed,
+    /// Open since `at`; admits a half-open probe once `at + cooldown`
+    /// passes on the clock.
+    Open {
+        at: Duration,
+    },
+    HalfOpen,
+}
+
+/// A read-only snapshot of one source's health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSnapshot {
+    /// The source.
+    pub source: SourceId,
+    /// Fetch attempts recorded.
+    pub attempts: u64,
+    /// Of those, successes.
+    pub successes: u64,
+    /// Observed success rate (1.0 when nothing was attempted —
+    /// innocent until proven flaky).
+    pub availability: f64,
+    /// Mean observed latency over successful fetches.
+    pub mean_latency: Duration,
+    /// Current breaker state.
+    pub state: BreakerState,
+}
+
+/// Aggregate counters across all sources (for `/metrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthTotals {
+    /// Total fetch attempts.
+    pub attempts: u64,
+    /// Total successes.
+    pub successes: u64,
+    /// Total failures (`attempts − successes`).
+    pub failures: u64,
+    /// Sources whose breaker is currently open or half-open.
+    pub tripped: u64,
+}
+
+/// Records fetch outcomes and gates retries through per-source breakers.
+pub struct HealthRegistry {
+    config: BreakerConfig,
+    clock: Arc<dyn Clock>,
+    inner: Mutex<BTreeMap<SourceId, SourceHealth>>,
+}
+
+impl HealthRegistry {
+    /// A registry on the given clock.
+    pub fn new(config: BreakerConfig, clock: Arc<dyn Clock>) -> Self {
+        HealthRegistry {
+            config,
+            clock,
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Should the executor attempt a fetch of `source` right now?
+    ///
+    /// Closed and half-open admit; open admits (transitioning to
+    /// half-open) only once the cooldown has elapsed on the virtual clock.
+    pub fn admit(&self, source: SourceId) -> bool {
+        let mut inner = self.inner.lock().expect("health lock");
+        let health = inner.entry(source).or_default();
+        match health.state {
+            State::Closed | State::HalfOpen => true,
+            State::Open { at } => {
+                if self.clock.now() >= at + self.config.cooldown {
+                    health.state = State::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful fetch: resets the failure streak and re-closes
+    /// the breaker.
+    pub fn record_success(&self, source: SourceId, latency: Duration) {
+        let mut inner = self.inner.lock().expect("health lock");
+        let health = inner.entry(source).or_default();
+        health.attempts += 1;
+        health.successes += 1;
+        health.consecutive_failures = 0;
+        health.latency_sum += latency;
+        health.state = State::Closed;
+    }
+
+    /// Records a failed fetch: a half-open probe failure re-opens
+    /// immediately; otherwise the breaker trips once the streak reaches the
+    /// threshold.
+    pub fn record_failure(&self, source: SourceId) {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock().expect("health lock");
+        let health = inner.entry(source).or_default();
+        health.attempts += 1;
+        health.consecutive_failures += 1;
+        match health.state {
+            State::HalfOpen => health.state = State::Open { at: now },
+            State::Open { .. } => {}
+            State::Closed => {
+                if health.consecutive_failures >= self.config.failure_threshold {
+                    health.state = State::Open { at: now };
+                }
+            }
+        }
+    }
+
+    /// Current breaker state of a source (closed if never seen).
+    pub fn state(&self, source: SourceId) -> BreakerState {
+        let inner = self.inner.lock().expect("health lock");
+        inner
+            .get(&source)
+            .map_or(BreakerState::Closed, |h| match h.state {
+                State::Closed => BreakerState::Closed,
+                State::Open { .. } => BreakerState::Open,
+                State::HalfOpen => BreakerState::HalfOpen,
+            })
+    }
+
+    /// Snapshots of every source that recorded at least one attempt, in
+    /// source order.
+    pub fn snapshots(&self) -> Vec<HealthSnapshot> {
+        let inner = self.inner.lock().expect("health lock");
+        inner
+            .iter()
+            .map(|(&source, h)| HealthSnapshot {
+                source,
+                attempts: h.attempts,
+                successes: h.successes,
+                availability: if h.attempts == 0 {
+                    1.0
+                } else {
+                    h.successes as f64 / h.attempts as f64
+                },
+                mean_latency: if h.successes == 0 {
+                    Duration::ZERO
+                } else {
+                    h.latency_sum / u32::try_from(h.successes).unwrap_or(u32::MAX)
+                },
+                state: match h.state {
+                    State::Closed => BreakerState::Closed,
+                    State::Open { .. } => BreakerState::Open,
+                    State::HalfOpen => BreakerState::HalfOpen,
+                },
+            })
+            .collect()
+    }
+
+    /// Aggregate counters for metrics export.
+    pub fn totals(&self) -> HealthTotals {
+        let inner = self.inner.lock().expect("health lock");
+        let mut t = HealthTotals::default();
+        for h in inner.values() {
+            t.attempts += h.attempts;
+            t.successes += h.successes;
+            if !matches!(h.state, State::Closed) {
+                t.tripped += 1;
+            }
+        }
+        t.failures = t.attempts - t.successes;
+        t
+    }
+
+    /// The feedback loop: rebuilds the universe with each source's
+    /// *measured* `availability` (observed success rate) and, where
+    /// successes were observed, measured mean `latency` — overwriting the
+    /// advertised values so a re-solve scores sources by how they actually
+    /// behaved. Sources never attempted keep their advertised
+    /// characteristics untouched.
+    pub fn refresh_universe(&self, universe: &Universe) -> Result<Universe, MubeError> {
+        let snapshots: BTreeMap<SourceId, HealthSnapshot> = self
+            .snapshots()
+            .into_iter()
+            .map(|s| (s.source, s))
+            .collect();
+        let mut builder = Universe::builder();
+        for source in universe.sources() {
+            let mut spec = SourceSpec::new(source.name(), source.schema().clone())
+                .cardinality(source.cardinality());
+            if let Some(sig) = source.signature() {
+                spec = spec.signature(sig.clone());
+            }
+            let observed = snapshots.get(&source.id()).filter(|s| s.attempts > 0);
+            for (name, &value) in source.characteristics() {
+                let overridden = match observed {
+                    Some(s) => name == "availability" || (name == "latency" && s.successes > 0),
+                    None => false,
+                };
+                if !overridden {
+                    spec = spec.characteristic(name.clone(), value);
+                }
+            }
+            if let Some(s) = observed {
+                spec = spec.characteristic("availability", s.availability);
+                if s.successes > 0 {
+                    spec = spec.characteristic("latency", s.mean_latency.as_secs_f64() * 1000.0);
+                }
+            }
+            builder.add_source(spec);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retry::VirtualClock;
+    use mube_core::schema::Schema;
+
+    fn registry(threshold: u32, cooldown_secs: u64) -> (HealthRegistry, Arc<VirtualClock>) {
+        let clock = Arc::new(VirtualClock::new());
+        let reg = HealthRegistry::new(
+            BreakerConfig {
+                failure_threshold: threshold,
+                cooldown: Duration::from_secs(cooldown_secs),
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        (reg, clock)
+    }
+
+    #[test]
+    fn breaker_full_lifecycle() {
+        let (reg, clock) = registry(3, 30);
+        let s = SourceId(0);
+        assert_eq!(reg.state(s), BreakerState::Closed);
+        assert!(reg.admit(s));
+        // Two failures: still closed.
+        reg.record_failure(s);
+        reg.record_failure(s);
+        assert_eq!(reg.state(s), BreakerState::Closed);
+        assert!(reg.admit(s));
+        // Third failure trips it.
+        reg.record_failure(s);
+        assert_eq!(reg.state(s), BreakerState::Open);
+        assert!(!reg.admit(s), "open breaker rejects before cooldown");
+        // Cooldown elapses on the virtual clock → half-open probe admitted.
+        clock.advance(Duration::from_secs(31));
+        assert!(reg.admit(s));
+        assert_eq!(reg.state(s), BreakerState::HalfOpen);
+        // Probe fails → straight back to open, no threshold needed.
+        reg.record_failure(s);
+        assert_eq!(reg.state(s), BreakerState::Open);
+        assert!(!reg.admit(s));
+        // Another cooldown, probe succeeds → closed, streak reset.
+        clock.advance(Duration::from_secs(31));
+        assert!(reg.admit(s));
+        reg.record_success(s, Duration::from_millis(20));
+        assert_eq!(reg.state(s), BreakerState::Closed);
+        // Needs a fresh full streak to trip again.
+        reg.record_failure(s);
+        reg.record_failure(s);
+        assert_eq!(reg.state(s), BreakerState::Closed);
+    }
+
+    #[test]
+    fn snapshots_and_totals_aggregate() {
+        let (reg, _clock) = registry(2, 10);
+        reg.record_success(SourceId(0), Duration::from_millis(10));
+        reg.record_success(SourceId(0), Duration::from_millis(30));
+        reg.record_failure(SourceId(1));
+        reg.record_failure(SourceId(1));
+        let snaps = reg.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].source, SourceId(0));
+        assert_eq!(snaps[0].availability, 1.0);
+        assert_eq!(snaps[0].mean_latency, Duration::from_millis(20));
+        assert_eq!(snaps[1].availability, 0.0);
+        assert_eq!(snaps[1].state, BreakerState::Open);
+        let totals = reg.totals();
+        assert_eq!(totals.attempts, 4);
+        assert_eq!(totals.successes, 2);
+        assert_eq!(totals.failures, 2);
+        assert_eq!(totals.tripped, 1);
+    }
+
+    #[test]
+    fn refresh_universe_writes_measured_characteristics() {
+        let mut b = Universe::builder();
+        b.add_source(
+            SourceSpec::new("good", Schema::new(["x"]))
+                .cardinality(100)
+                .characteristic("availability", 0.5)
+                .characteristic("mttf", 9.0),
+        );
+        b.add_source(
+            SourceSpec::new("bad", Schema::new(["y"]))
+                .cardinality(100)
+                .characteristic("availability", 0.99),
+        );
+        b.add_source(SourceSpec::new("unseen", Schema::new(["z"])).cardinality(100));
+        let u = b.build().unwrap();
+
+        let (reg, _clock) = registry(3, 10);
+        // "good" succeeds 4/4; "bad" fails 3/4.
+        for _ in 0..4 {
+            reg.record_success(SourceId(0), Duration::from_millis(40));
+        }
+        reg.record_success(SourceId(1), Duration::from_millis(10));
+        for _ in 0..3 {
+            reg.record_failure(SourceId(1));
+        }
+        let refreshed = reg.refresh_universe(&u).unwrap();
+        let good = refreshed.source(SourceId(0));
+        assert_eq!(good.characteristic("availability"), Some(1.0));
+        assert_eq!(good.characteristic("latency"), Some(40.0));
+        // Unrelated characteristics survive.
+        assert_eq!(good.characteristic("mttf"), Some(9.0));
+        let bad = refreshed.source(SourceId(1));
+        assert_eq!(bad.characteristic("availability"), Some(0.25));
+        // Never attempted → advertised values untouched (none here).
+        let unseen = refreshed.source(SourceId(2));
+        assert_eq!(unseen.characteristic("availability"), None);
+        // Names, schemas, cardinalities preserved.
+        assert_eq!(refreshed.len(), u.len());
+        for (orig, new) in u.sources().zip(refreshed.sources()) {
+            assert_eq!(orig.name(), new.name());
+            assert_eq!(orig.cardinality(), new.cardinality());
+        }
+    }
+}

@@ -10,11 +10,24 @@
 //! answers through the mediated schema, de-duplicates across sources, and
 //! accounts for every cost the paper names.
 //!
+//! Internet-scale sources are also *unreliable* — MTTF and availability are
+//! headline per-source characteristics in the paper's §5 — so execution is
+//! fault-tolerant end to end:
+//!
 //! * [`query`] — queries: a projection onto mediated-schema GAs plus a
 //!   selection predicate over tuples;
-//! * [`backend`] — the source-access abstraction and the synthetic
+//! * [`backend`] — the fallible source-access abstraction
+//!   ([`backend::FetchError`] taxonomy) and the synthetic
 //!   [`backend::WindowBackend`] over `mube-synth` tuple windows;
-//! * [`executor`] — fan-out execution with per-source cost accounting.
+//! * [`fault`] — deterministic, seed-driven fault injection derived from
+//!   the sources' advertised characteristics;
+//! * [`retry`] — capped exponential backoff with deterministic jitter on a
+//!   virtual clock (tests never sleep);
+//! * [`health`] — per-source circuit breakers and the measured-
+//!   characteristics feedback loop into a refreshed [`mube_core::Universe`];
+//! * [`executor`] — fan-out execution with per-source cost accounting and
+//!   graceful degradation ([`executor::Degradation`]) when sources fail;
+//! * [`probe`] — automatic measurement of latency and availability (§5).
 //!
 //! # Example
 //!
@@ -32,14 +45,25 @@
 //! let report = executor.execute(&sources, &Query::range(0, 5_000));
 //! assert_eq!(report.distinct(), report.tuples.len());
 //! assert!(report.fetched >= report.distinct());
+//! assert!(report.degradation.is_clean());
 //! ```
 
 pub mod backend;
 pub mod executor;
+pub mod fault;
+pub mod health;
 pub mod probe;
 pub mod query;
+pub mod retry;
 
-pub use backend::{DataSourceBackend, WindowBackend};
-pub use executor::{ExecutionReport, Executor, SourceFetch};
-pub use probe::{probe_latencies, responsiveness};
+pub use backend::{
+    DataSourceBackend, Fetch, FetchError, FetchErrorKind, SpanBackend, WindowBackend,
+};
+pub use executor::{
+    Degradation, DegradedSource, ExecutionReport, Executor, FailedSource, SourceFetch,
+};
+pub use fault::{hard_failure_sample, injector_from_spec, FaultInjector, FaultProfile, FaultSpec};
+pub use health::{BreakerConfig, BreakerState, HealthRegistry, HealthSnapshot, HealthTotals};
+pub use probe::{probe_characteristics, probe_latencies, responsiveness};
 pub use query::Query;
+pub use retry::{Clock, RetryPolicy, VirtualClock};

@@ -1,18 +1,25 @@
 //! Automatic measurement of source characteristics (§5).
 //!
 //! "Some of these characteristics can be measured automatically by `µBE`,
-//! such as latency" — this module does exactly that: it issues a small
-//! probe query to every source through the backend, records the simulated
-//! round-trip cost, and produces a new [`Universe`] whose sources carry the
-//! measurement as a `latency` characteristic (milliseconds). A
-//! [`mube_core::qefs::CharacteristicQef`] over `latency` can then
-//! participate in selection like any user-provided characteristic.
+//! such as latency" — this module does exactly that: it issues small probe
+//! queries to every source through the backend, records the simulated
+//! round-trip costs, and produces a new [`Universe`] whose sources carry
+//! the measurements as characteristics. A
+//! [`mube_core::qefs::CharacteristicQef`] over them can then participate
+//! in selection like any user-provided characteristic.
+//!
+//! Each source is probed `k` times (default 3) and the **median** latency
+//! is recorded, so a single slow round-trip doesn't poison the
+//! measurement. Probes are fallible like any fetch: the fraction of
+//! successful probes is recorded as the source's measured `availability`.
 //!
 //! Latency is a *cost* (lower is better) while QEF aggregations treat
 //! higher as better, so the probe records both the raw milliseconds (for
 //! reporting) and a benefit-oriented [`responsiveness`] transform
 //! (reciprocal milliseconds) that plugs straight into the standard
-//! aggregators.
+//! aggregators. A source whose probes all fail gets `availability` and
+//! `responsiveness` of 0 and no `latency` measurement (its advertised
+//! value, if any, is preserved).
 
 use std::time::Duration;
 
@@ -22,44 +29,85 @@ use mube_core::source::{SourceSpec, Universe};
 use crate::backend::DataSourceBackend;
 use crate::query::Query;
 
+/// Default probe count per source.
+pub const DEFAULT_PROBES: u32 = 3;
+
 /// Converts a measured latency into a benefit-oriented characteristic
 /// value (bigger = better): `1000 / (1 + latency_ms)`.
 pub fn responsiveness(latency: Duration) -> f64 {
     1000.0 / (1.0 + latency.as_secs_f64() * 1000.0)
 }
 
-/// Probes every source with a tiny query and rebuilds the universe with
-/// two added characteristics per source: `latency` (the measured probe
-/// round-trip, in milliseconds) and `responsiveness` (its benefit-oriented
-/// transform, usable directly by `CharacteristicQef`).
+/// Median of an unsorted latency sample (even counts take the lower
+/// middle, keeping the result an actually observed value).
+fn median(samples: &mut [Duration]) -> Option<Duration> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_unstable();
+    Some(samples[(samples.len() - 1) / 2])
+}
+
+/// Probes every source `k` times with a tiny query and rebuilds the
+/// universe with measured characteristics per source:
 ///
-/// Existing characteristics are preserved; existing `latency` /
-/// `responsiveness` values are overwritten by the fresh measurements.
-pub fn probe_latencies<B: DataSourceBackend>(
+/// * `latency` — median successful probe round-trip, in milliseconds;
+/// * `responsiveness` — its benefit-oriented transform;
+/// * `availability` — fraction of probes that succeeded.
+///
+/// Existing characteristics are preserved; existing values of the three
+/// measured names are overwritten by the fresh measurements (except
+/// `latency`, which keeps its advertised value when every probe failed —
+/// there is no measurement to replace it with).
+pub fn probe_characteristics<B: DataSourceBackend>(
     universe: &Universe,
     backend: &B,
+    k: u32,
 ) -> Result<Universe, MubeError> {
+    let k = k.max(1);
     // A minimal probe: ask for (at most) a single tuple.
     let probe = Query::range(0, 1);
     let mut builder = Universe::builder();
     for source in universe.sources() {
-        let fetched = backend.fetch(source.id(), &probe).len();
-        let latency = backend.cost(source.id(), fetched);
+        let mut latencies: Vec<Duration> = Vec::with_capacity(k as usize);
+        for _ in 0..k {
+            if let Ok(fetch) = backend.fetch(source.id(), &probe) {
+                // The probe's cost is the setup round-trip for the tiny
+                // fetch volume, per the backend's cost model.
+                latencies.push(backend.cost(source.id(), fetch.tuples.len()));
+            }
+        }
+        let availability = latencies.len() as f64 / f64::from(k);
+        let measured = median(&mut latencies);
         let mut spec = SourceSpec::new(source.name(), source.schema().clone())
             .cardinality(source.cardinality())
-            .characteristic("latency", latency.as_secs_f64() * 1000.0)
-            .characteristic("responsiveness", responsiveness(latency));
+            .characteristic("availability", availability)
+            .characteristic("responsiveness", measured.map_or(0.0, responsiveness));
+        if let Some(latency) = measured {
+            spec = spec.characteristic("latency", latency.as_secs_f64() * 1000.0);
+        }
         if let Some(sig) = source.signature() {
             spec = spec.signature(sig.clone());
         }
         for (name, &value) in source.characteristics() {
-            if name != "latency" && name != "responsiveness" {
+            let measured_name = name == "availability"
+                || name == "responsiveness"
+                || (name == "latency" && measured.is_some());
+            if !measured_name {
                 spec = spec.characteristic(name.clone(), value);
             }
         }
         builder.add_source(spec);
     }
     builder.build()
+}
+
+/// [`probe_characteristics`] with the default probe count.
+pub fn probe_latencies<B: DataSourceBackend>(
+    universe: &Universe,
+    backend: &B,
+) -> Result<Universe, MubeError> {
+    probe_characteristics(universe, backend, DEFAULT_PROBES)
 }
 
 #[cfg(test)]
@@ -69,7 +117,7 @@ mod tests {
     use mube_synth::{generate, SynthConfig};
 
     #[test]
-    fn probe_adds_latency_characteristics() {
+    fn probe_adds_measured_characteristics() {
         let synth = generate(&SynthConfig::small(8), 2);
         let backend = WindowBackend::new(&synth);
         let probed = probe_latencies(&synth.universe, &backend).unwrap();
@@ -79,14 +127,63 @@ mod tests {
             assert_eq!(orig.schema(), new.schema());
             assert_eq!(orig.cardinality(), new.cardinality());
             assert_eq!(orig.signature(), new.signature());
-            // mttf preserved, latency + responsiveness added.
+            // mttf preserved; latency overwritten by the measurement.
             assert_eq!(orig.characteristic("mttf"), new.characteristic("mttf"));
             let latency = new.characteristic("latency").expect("probed");
+            // The backend's setup cost is the source's latency
+            // characteristic (generated ≥ 5 ms).
+            let advertised = orig.characteristic("latency").unwrap();
             assert!(
-                latency >= 50.0,
-                "window backend setup is ≥ 50ms, got {latency}"
+                latency >= advertised - 1e-6,
+                "measured {latency} < advertised {advertised}"
             );
             assert!(new.characteristic("responsiveness").expect("probed") > 0.0);
+            // The window backend never fails: full availability.
+            assert_eq!(new.characteristic("availability"), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn median_resists_one_slow_sample() {
+        let mut samples = vec![
+            Duration::from_millis(10),
+            Duration::from_millis(5_000),
+            Duration::from_millis(12),
+        ];
+        assert_eq!(median(&mut samples), Some(Duration::from_millis(12)));
+        let mut even = vec![Duration::from_millis(10), Duration::from_millis(20)];
+        assert_eq!(median(&mut even), Some(Duration::from_millis(10)));
+        let mut empty: Vec<Duration> = Vec::new();
+        assert_eq!(median(&mut empty), None);
+    }
+
+    #[test]
+    fn failing_probes_measure_zero_availability() {
+        use crate::fault::{FaultInjector, FaultSpec};
+        let synth = generate(&SynthConfig::small(8), 2);
+        let injector = FaultInjector::new(
+            WindowBackend::new(&synth),
+            &synth.universe,
+            &FaultSpec::Rate(0.25),
+            17,
+        );
+        let failing = injector.failing_sources().clone();
+        assert!(!failing.is_empty());
+        let probed = probe_characteristics(&synth.universe, &injector, 3).unwrap();
+        for source in probed.sources() {
+            let availability = source.characteristic("availability").unwrap();
+            if failing.contains(&source.id()) {
+                assert_eq!(availability, 0.0);
+                assert_eq!(source.characteristic("responsiveness"), Some(0.0));
+                // No measurement → advertised latency preserved.
+                assert_eq!(
+                    source.characteristic("latency"),
+                    synth.universe.source(source.id()).characteristic("latency")
+                );
+            } else {
+                assert_eq!(availability, 1.0);
+                assert!(source.characteristic("latency").is_some());
+            }
         }
     }
 

@@ -1,0 +1,234 @@
+//! Retry policy: capped exponential backoff with deterministic jitter,
+//! driven by an injectable virtual clock so tests (and the simulated
+//! executor) never sleep.
+//!
+//! Everything here is deterministic: the jitter for attempt `n` against a
+//! given source is a pure function of `(jitter_seed, salt, n)`, so a seeded
+//! chaos run produces byte-identical execution reports on every run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically advancing clock the executor charges simulated time to.
+///
+/// Production code could back this with `std::time::Instant`; the simulated
+/// executor uses [`VirtualClock`], which only moves when told to — backoff
+/// waits advance it instead of sleeping.
+pub trait Clock: Send + Sync {
+    /// Current virtual time since the clock's epoch.
+    fn now(&self) -> Duration;
+    /// Advances the clock by `d` (a simulated wait or fetch).
+    fn advance(&self, d: Duration);
+}
+
+/// A clock that only moves when [`Clock::advance`] is called. Nanosecond
+/// resolution in a `u64` — ~584 years of simulated time, plenty.
+#[derive(Debug, Default)]
+pub struct VirtualClock(AtomicU64);
+
+impl VirtualClock {
+    /// A clock at epoch zero.
+    pub fn new() -> Self {
+        VirtualClock(AtomicU64::new(0))
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.0.load(Ordering::SeqCst))
+    }
+
+    fn advance(&self, d: Duration) {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.0.fetch_add(nanos, Ordering::SeqCst);
+    }
+}
+
+/// `splitmix64` — the one-shot mixer used for all deterministic draws in
+/// the resilience layer (jitter, fault injection). Small, stable, and
+/// well-distributed; seeded draws stay identical across platforms.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from a seed chain.
+pub(crate) fn unit_draw(seed: u64, salt: u64, attempt: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(salt ^ splitmix64(attempt)));
+    // 53 mantissa bits → uniform in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// When and how often the executor retries a failed fetch.
+///
+/// Backoff for attempt `n` (0-based count of *completed* failures) is
+/// `min(base · multiplier^n, max) · (1 − jitter · u)` with `u` a
+/// deterministic uniform draw — "equal jitter downward", so the schedule
+/// never exceeds the cap and two sources never thunder in lockstep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum fetch attempts per source (≥ 1). 1 = no retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+    /// Exponential growth factor between retries.
+    pub multiplier: f64,
+    /// Fraction of the backoff randomized away (`0.0` = none, `0.5` =
+    /// up to half).
+    pub jitter: f64,
+    /// Seed for the deterministic jitter draws.
+    pub jitter_seed: u64,
+    /// Per-query simulated deadline: once a source's accumulated attempt
+    /// time would pass it, the executor stops retrying that source.
+    pub deadline: Option<Duration>,
+    /// Keep the partial data a `Partial`/`Slow` final failure carried
+    /// instead of discarding it.
+    pub salvage: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(5),
+            multiplier: 2.0,
+            jitter: 0.5,
+            jitter_seed: 0,
+            deadline: None,
+            salvage: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never salvages — the pre-resilience
+    /// executor behavior.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            multiplier: 1.0,
+            jitter: 0.0,
+            jitter_seed: 0,
+            deadline: None,
+            salvage: false,
+        }
+    }
+
+    /// Sets the jitter seed (carried per-query so reports are reproducible).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Sets the per-query deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The backoff to wait after the `failures`-th failure (1-based) of the
+    /// attempt stream identified by `salt` (the executor salts with the
+    /// source id).
+    pub fn backoff(&self, failures: u32, salt: u64) -> Duration {
+        if failures == 0 || self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self.multiplier.powi(failures as i32 - 1);
+        let raw = self.base_backoff.as_secs_f64() * exp;
+        let capped = raw.min(self.max_backoff.as_secs_f64());
+        let u = unit_draw(self.jitter_seed, salt, u64::from(failures));
+        let jittered = capped * (1.0 - self.jitter.clamp(0.0, 1.0) * u);
+        Duration::from_secs_f64(jittered.max(0.0))
+    }
+
+    /// The full backoff schedule for an attempt stream: one entry per
+    /// possible retry (`max_attempts − 1` entries).
+    pub fn schedule(&self, salt: u64) -> Vec<Duration> {
+        (1..self.max_attempts)
+            .map(|f| self.backoff(f, salt))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_only_moves_on_advance() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(250));
+        clock.advance(Duration::from_millis(250));
+        assert_eq!(clock.now(), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            max_attempts: 10,
+            ..RetryPolicy::default()
+        };
+        let schedule = policy.schedule(7);
+        assert_eq!(schedule.len(), 9);
+        assert_eq!(schedule[0], Duration::from_millis(100));
+        assert_eq!(schedule[1], Duration::from_millis(200));
+        assert_eq!(schedule[2], Duration::from_millis(400));
+        // Monotone non-decreasing, capped at max_backoff.
+        for w in schedule.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(*schedule.last().unwrap(), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::default().with_jitter_seed(42);
+        let a = policy.schedule(3);
+        let b = policy.schedule(3);
+        assert_eq!(a, b, "same seed + salt → identical schedule");
+        let other_salt = policy.schedule(4);
+        assert_ne!(a, other_salt, "different salt → different jitter");
+        let other_seed = RetryPolicy::default().with_jitter_seed(43).schedule(3);
+        assert_ne!(a, other_seed, "different seed → different jitter");
+        // Jitter only shrinks the backoff, never exceeds the un-jittered
+        // value and never drops below (1 − jitter) of it.
+        let flat = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        for (jittered, full) in a.iter().zip(flat.schedule(3)) {
+            assert!(*jittered <= full);
+            assert!(jittered.as_secs_f64() >= full.as_secs_f64() * 0.5 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn none_policy_never_backs_off() {
+        let policy = RetryPolicy::none();
+        assert_eq!(policy.max_attempts, 1);
+        assert!(policy.schedule(0).is_empty());
+        assert_eq!(policy.backoff(1, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn unit_draws_are_uniformish() {
+        let mut sum = 0.0;
+        for i in 0..1000 {
+            let u = unit_draw(1, 2, i);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean={mean}");
+    }
+}

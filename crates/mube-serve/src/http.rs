@@ -193,12 +193,30 @@ pub fn reason(status: u16) -> &'static str {
 
 /// Writes a complete `Connection: close` JSON response.
 pub fn write_response<S: Write>(stream: &mut S, status: u16, body: &str) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    write_response_with(stream, status, &[], body)
+}
+
+/// Like [`write_response`], with extra `(name, value)` headers interleaved
+/// before the blank line (e.g. `Retry-After` on 429/503).
+pub fn write_response_with<S: Write>(
+    stream: &mut S,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
         status,
         reason(status),
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -270,5 +288,21 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"), "{text}");
         assert!(text.contains("content-length: 12\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{\"error\":{}}"), "{text}");
+    }
+
+    #[test]
+    fn response_with_extra_headers() {
+        let mut out = Vec::new();
+        write_response_with(&mut out, 429, &[("retry-after", "2")], "{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("retry-after: 2\r\n"), "{text}");
+        // Extra headers land inside the head, before the blank line.
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("retry-after").unwrap() < head_end);
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
     }
 }

@@ -75,8 +75,14 @@ struct Inner {
     sessions_created: u64,
     sessions_evicted: u64,
     solves_run: u64,
+    executions_run: u64,
+    exec_fetch_attempts: u64,
+    exec_fetch_failures: u64,
+    exec_sources_failed: u64,
+    exec_sources_degraded: u64,
     request_hist: Histogram,
     solve_hist: Histogram,
+    exec_hist: Histogram,
 }
 
 /// Shared metrics sink.
@@ -99,12 +105,27 @@ pub struct ServerStats {
     pub sessions_evicted: u64,
     /// Solve iterations run.
     pub solves_run: u64,
+    /// Query executions run (`POST /sessions/{id}/execute`).
+    pub executions_run: u64,
+    /// Fetch attempts across all executions (retries included).
+    pub exec_fetch_attempts: u64,
+    /// Fetch attempts that failed (timeouts, unavailability, partials).
+    pub exec_fetch_failures: u64,
+    /// Sources that exhausted retries and contributed nothing.
+    pub exec_sources_failed: u64,
+    /// Sources that only contributed salvaged partial data.
+    pub exec_sources_degraded: u64,
     /// Sessions alive at snapshot time (filled in by the server).
     pub sessions_live: u64,
+    /// Pool workers lost to job panics and respawned (filled in by the
+    /// server; the pool owns that number).
+    pub worker_panics: u64,
     /// Whole-request latency histogram.
     pub request_hist: Histogram,
     /// Solver-only latency histogram.
     pub solve_hist: Histogram,
+    /// Execution-only (simulated makespan excluded) latency histogram.
+    pub exec_hist: Histogram,
 }
 
 impl Metrics {
@@ -133,6 +154,26 @@ impl Metrics {
         m.solve_hist.record(elapsed);
     }
 
+    /// Records one finished query execution and its health tallies:
+    /// fetch attempts/failures from the execution's health registry, plus
+    /// how many sources ended the run failed or degraded.
+    pub fn record_execution(
+        &self,
+        fetch_attempts: u64,
+        fetch_failures: u64,
+        sources_failed: u64,
+        sources_degraded: u64,
+        elapsed: Duration,
+    ) {
+        let mut m = self.locked();
+        m.executions_run += 1;
+        m.exec_fetch_attempts += fetch_attempts;
+        m.exec_fetch_failures += fetch_failures;
+        m.exec_sources_failed += sources_failed;
+        m.exec_sources_degraded += sources_degraded;
+        m.exec_hist.record(elapsed);
+    }
+
     /// Counts a catalog upload.
     pub fn catalog_created(&self) {
         self.locked().catalogs_created += 1;
@@ -148,9 +189,9 @@ impl Metrics {
         self.locked().sessions_evicted += n;
     }
 
-    /// A consistent snapshot; `sessions_live` is supplied by the caller
-    /// (the store owns that number).
-    pub fn snapshot(&self, sessions_live: u64) -> ServerStats {
+    /// A consistent snapshot; `sessions_live` and `worker_panics` are
+    /// supplied by the caller (the store and pool own those numbers).
+    pub fn snapshot(&self, sessions_live: u64, worker_panics: u64) -> ServerStats {
         let m = self.locked();
         ServerStats {
             requests: m.requests.clone(),
@@ -158,9 +199,16 @@ impl Metrics {
             sessions_created: m.sessions_created,
             sessions_evicted: m.sessions_evicted,
             solves_run: m.solves_run,
+            executions_run: m.executions_run,
+            exec_fetch_attempts: m.exec_fetch_attempts,
+            exec_fetch_failures: m.exec_fetch_failures,
+            exec_sources_failed: m.exec_sources_failed,
+            exec_sources_degraded: m.exec_sources_degraded,
             sessions_live,
+            worker_panics,
             request_hist: m.request_hist.clone(),
             solve_hist: m.solve_hist.clone(),
+            exec_hist: m.exec_hist.clone(),
         }
     }
 }
@@ -198,10 +246,21 @@ impl ServerStats {
         j.key("sessions_evicted").uint_value(self.sessions_evicted);
         j.key("sessions_live").uint_value(self.sessions_live);
         j.key("solves_run").uint_value(self.solves_run);
+        j.key("worker_panics").uint_value(self.worker_panics);
+        j.key("exec").begin_obj();
+        j.key("executions_run").uint_value(self.executions_run);
+        j.key("fetch_attempts").uint_value(self.exec_fetch_attempts);
+        j.key("fetch_failures").uint_value(self.exec_fetch_failures);
+        j.key("sources_failed").uint_value(self.exec_sources_failed);
+        j.key("sources_degraded")
+            .uint_value(self.exec_sources_degraded);
+        j.end_obj();
         j.key("request_latency");
         self.request_hist.write_json(&mut j);
         j.key("solve_latency");
         self.solve_hist.write_json(&mut j);
+        j.key("exec_latency");
+        self.exec_hist.write_json(&mut j);
         j.end_obj();
         j.finish()
     }
@@ -246,24 +305,39 @@ mod tests {
         m.catalog_created();
         m.session_created();
         m.sessions_evicted(3);
-        let s = m.snapshot(4);
+        m.record_execution(9, 4, 2, 1, Duration::from_millis(1));
+        let s = m.snapshot(4, 2);
         assert_eq!(s.total_requests(), 3);
         assert_eq!(s.requests_for("GET /healthz"), 2);
         assert_eq!(s.requests[&("POST /sessions".to_string(), 422)], 1);
         assert_eq!(s.solves_run, 1);
         assert_eq!(s.sessions_evicted, 3);
         assert_eq!(s.sessions_live, 4);
+        assert_eq!(s.worker_panics, 2);
+        assert_eq!(s.executions_run, 1);
+        assert_eq!(s.exec_fetch_attempts, 9);
+        assert_eq!(s.exec_fetch_failures, 4);
+        assert_eq!(s.exec_sources_failed, 2);
+        assert_eq!(s.exec_sources_degraded, 1);
         assert_eq!(s.request_hist.total, 3);
         assert_eq!(s.solve_hist.total, 1);
+        assert_eq!(s.exec_hist.total, 1);
     }
 
     #[test]
     fn stats_json_renders() {
         let m = Metrics::new();
         m.record_request("GET /metrics", 200, Duration::from_micros(3));
-        let json = m.snapshot(1).to_json();
+        m.record_execution(5, 1, 1, 0, Duration::from_micros(40));
+        let json = m.snapshot(1, 0).to_json();
         assert!(json.contains("\"endpoint\":\"GET /metrics\""), "{json}");
         assert!(json.contains("\"sessions_live\":1"), "{json}");
+        assert!(json.contains("\"worker_panics\":0"), "{json}");
+        assert!(
+            json.contains("\"exec\":{\"executions_run\":1,\"fetch_attempts\":5"),
+            "{json}"
+        );
+        assert!(json.contains("\"exec_latency\""), "{json}");
         assert!(json.contains("\"buckets_micros_pow2\""), "{json}");
     }
 }

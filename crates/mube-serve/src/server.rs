@@ -12,7 +12,7 @@
 //! accepted, including in-flight solves, completes before `run` returns.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,6 +27,10 @@ use mube_core::qefs::{data_only_qefs, paper_default_qefs};
 use mube_core::session::Session;
 use mube_core::source::Universe;
 use mube_core::MubeError;
+use mube_exec::{
+    BreakerConfig, DataSourceBackend, Executor, FaultSpec, HealthRegistry, Query, RetryPolicy,
+    SpanBackend, VirtualClock,
+};
 use mube_match::{ClusterMatcher, JaccardNGram, SimilarityCache};
 use mube_opt::{
     ParticleSwarm, SimulatedAnnealing, StochasticLocalSearch, SubsetSolver, TabuSearch,
@@ -84,6 +88,17 @@ struct ServerState {
     store: Store,
     metrics: Metrics,
     draining: AtomicBool,
+    /// The pool's panic counter (workers lost to job panics, respawned).
+    worker_panics: Arc<AtomicU64>,
+}
+
+impl ServerState {
+    fn stats(&self) -> ServerStats {
+        self.metrics.snapshot(
+            self.store.sessions_len() as u64,
+            self.worker_panics.load(Ordering::SeqCst),
+        )
+    }
 }
 
 /// A bound server, ready to [`Server::run`].
@@ -109,6 +124,7 @@ impl Server {
             store: Store::new(config.max_sessions, config.idle_ttl),
             metrics: Metrics::new(),
             draining: AtomicBool::new(false),
+            worker_panics: pool.panic_counter(),
             config,
         });
         Ok(Server {
@@ -181,9 +197,7 @@ impl ServerHandle {
 
     /// A consistent counters snapshot (what `GET /metrics` serves).
     pub fn stats(&self) -> ServerStats {
-        self.state
-            .metrics
-            .snapshot(self.state.store.sessions_len() as u64)
+        self.state.stats()
     }
 
     /// Starts a graceful shutdown: new mutating requests get 503, the
@@ -200,6 +214,10 @@ impl ServerHandle {
 // Connection handling and routing
 // ---------------------------------------------------------------------
 
+/// `Retry-After` value (seconds) sent with 429/503 back-pressure
+/// responses.
+const RETRY_AFTER_SECS: &str = "1";
+
 fn handle_connection(stream: TcpStream, state: &ServerState) {
     let start = Instant::now();
     let _ = stream.set_read_timeout(Some(state.config.read_timeout));
@@ -209,7 +227,14 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
         Ok(req) => {
             let label = endpoint_label(&req.method, &req.path);
             let (status, body) = route(state, &req);
-            let _ = http::write_response(&mut stream, status, &body);
+            // Back-pressure responses tell the client when to come back:
+            // 429 means a session slot may free up, 503 means the process
+            // is draining and a fresh instance should be up shortly.
+            let extra: &[(&str, &str)] = match status {
+                429 | 503 => &[("retry-after", RETRY_AFTER_SECS)],
+                _ => &[],
+            };
+            let _ = http::write_response_with(&mut stream, status, extra, &body);
             state
                 .metrics
                 .record_request(&label, status, start.elapsed());
@@ -244,6 +269,7 @@ fn endpoint_label(method: &str, path: &str) -> String {
         ["sessions"] => "/sessions",
         ["sessions", _] => "/sessions/{id}",
         ["sessions", _, "solve"] => "/sessions/{id}/solve",
+        ["sessions", _, "execute"] => "/sessions/{id}/execute",
         ["sessions", _, "feedback"] => "/sessions/{id}/feedback",
         ["sessions", _, "explain"] => "/sessions/{id}/explain",
         ["sessions", _, "lint"] => "/sessions/{id}/lint",
@@ -342,6 +368,9 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
         ("POST", ["catalogs"]) => create_catalog(state, req),
         ("POST", ["sessions"]) => create_session(state, req),
         ("POST", ["sessions", id, "solve"]) => with_session(state, id, |e| solve(state, e)),
+        ("POST", ["sessions", id, "execute"]) => {
+            with_session(state, id, |e| execute_session(state, e, req))
+        }
         ("POST", ["sessions", id, "feedback"]) => with_session(state, id, |e| feedback(e, req)),
         ("GET", ["sessions", id, "explain"]) => with_session(state, id, explain_session),
         ("GET", ["sessions", id, "lint"]) => with_session(state, id, lint_session),
@@ -353,7 +382,7 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
             | ["catalogs"]
             | ["sessions"]
             | ["sessions", _]
-            | ["sessions", _, "solve" | "feedback" | "explain" | "lint"],
+            | ["sessions", _, "solve" | "execute" | "feedback" | "explain" | "lint"],
         ) => Err(ApiError::new(
             405,
             "method_not_allowed",
@@ -411,8 +440,7 @@ fn healthz(state: &ServerState, draining: bool) -> (u16, String) {
 }
 
 fn metrics(state: &ServerState) -> (u16, String) {
-    let stats = state.metrics.snapshot(state.store.sessions_len() as u64);
-    (200, stats.to_json())
+    (200, state.stats().to_json())
 }
 
 fn create_catalog(state: &ServerState, req: &Request) -> Result<(u16, String), ApiError> {
@@ -621,6 +649,106 @@ fn solve(state: &ServerState, entry: &Arc<SessionEntry>) -> Result<(u16, String)
             j.key("diff").null_value();
         }
     }
+    j.end_obj();
+    Ok((200, j.finish()))
+}
+
+/// `POST /sessions/{id}/execute`: runs the session's latest solution as a
+/// simulated query execution over a span backend, optionally injecting
+/// faults (`"faults"`: a spec like `rate=0.3` or `auto`, `"fault_seed"`,
+/// `"query"`: `{"start","end"}`). Returns the executor's degradation
+/// report plus the health registry's per-source view, and folds the
+/// attempt/failure tallies into `/metrics`.
+fn execute_session(
+    state: &ServerState,
+    entry: &Arc<SessionEntry>,
+    req: &Request,
+) -> Result<(u16, String), ApiError> {
+    let body = parse_body(req)?;
+    let (lo, hi) = match body.get("query") {
+        None => (0, u64::MAX),
+        Some(q) => {
+            let lo = q.get("start").and_then(Json::as_u64).unwrap_or(0);
+            let hi = q.get("end").and_then(Json::as_u64).unwrap_or(u64::MAX);
+            if lo > hi {
+                return Err(ApiError::new(
+                    400,
+                    "bad_request",
+                    "`query.start` must not exceed `query.end`",
+                ));
+            }
+            (lo, hi)
+        }
+    };
+    let fault_seed = body.get("fault_seed").and_then(Json::as_u64).unwrap_or(1);
+    let spec = match body.get("faults") {
+        None => None,
+        Some(v) => {
+            let text = v.as_str().ok_or_else(|| {
+                ApiError::new(400, "bad_request", "`faults` must be a spec string")
+            })?;
+            Some(FaultSpec::parse(text).map_err(|e| ApiError::new(422, "invalid_parameter", &e))?)
+        }
+    };
+
+    let session = entry.session.lock().expect("session lock poisoned");
+    let solution = session
+        .latest()
+        .ok_or_else(|| ApiError::new(409, "no_solution", "no iteration has run in this session"))?;
+    let universe = Arc::clone(session.problem().universe());
+
+    let backend: Box<dyn DataSourceBackend> = match &spec {
+        None => Box::new(SpanBackend::from_universe(&universe)),
+        Some(spec) => Box::new(mube_exec::FaultInjector::new(
+            SpanBackend::from_universe(&universe),
+            &universe,
+            spec,
+            fault_seed,
+        )),
+    };
+    let clock: Arc<dyn mube_exec::Clock> = Arc::new(VirtualClock::default());
+    let registry = Arc::new(HealthRegistry::new(
+        BreakerConfig::default(),
+        Arc::clone(&clock),
+    ));
+    let executor = Executor::new(Arc::clone(&universe), backend)
+        .with_policy(RetryPolicy::default().with_jitter_seed(fault_seed))
+        .with_registry(Arc::clone(&registry))
+        .with_clock(clock);
+
+    let t0 = Instant::now();
+    let report = executor.execute(&solution.sources, &Query::range(lo, hi));
+    let elapsed = t0.elapsed();
+    let totals = registry.totals();
+    state.metrics.record_execution(
+        totals.attempts,
+        totals.failures,
+        report.degradation.failed.len() as u64,
+        report.degradation.degraded.len() as u64,
+        elapsed,
+    );
+
+    let mut j = JsonBuf::new();
+    j.begin_obj();
+    j.key("session").uint_value(entry.id);
+    j.key("iteration").uint_value(session.iterations() as u64);
+    j.key("report").raw_value(&report.to_json(&universe));
+    j.key("health").begin_obj();
+    j.key("attempts").uint_value(totals.attempts);
+    j.key("successes").uint_value(totals.successes);
+    j.key("failures").uint_value(totals.failures);
+    j.key("tripped").uint_value(totals.tripped);
+    j.key("sources").begin_arr();
+    for s in registry.snapshots() {
+        j.begin_obj();
+        j.key("source").str_value(&source_name(&universe, s.source));
+        j.key("attempts").uint_value(s.attempts);
+        j.key("availability").num_value(s.availability);
+        j.key("state").str_value(s.state.as_str());
+        j.end_obj();
+    }
+    j.end_arr();
+    j.end_obj();
     j.end_obj();
     Ok((200, j.finish()))
 }

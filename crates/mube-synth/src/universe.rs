@@ -44,6 +44,14 @@ pub struct SynthConfig {
     pub mttf_mean: f64,
     /// MTTF distribution standard deviation (paper: 40).
     pub mttf_std: f64,
+    /// Mean per-request latency in milliseconds (fault profile).
+    pub latency_mean_ms: f64,
+    /// Latency standard deviation in milliseconds.
+    pub latency_std_ms: f64,
+    /// Mean repair time in days; availability = mttf / (mttf + downtime).
+    pub downtime_mean: f64,
+    /// Repair-time standard deviation in days.
+    pub downtime_std: f64,
     /// PCSA bitmaps per signature.
     pub pcsa_maps: usize,
     /// PCSA bitmap width.
@@ -67,6 +75,10 @@ impl SynthConfig {
             specialty_tuple_fraction: 0.05,
             mttf_mean: 100.0,
             mttf_std: 40.0,
+            latency_mean_ms: 80.0,
+            latency_std_ms: 40.0,
+            downtime_mean: 2.0,
+            downtime_std: 1.0,
             pcsa_maps: 64,
             pcsa_bits: 32,
             pcsa_seed: 0x6D75_6265, // "mube"
@@ -90,6 +102,10 @@ impl SynthConfig {
             specialty_tuple_fraction: 0.05,
             mttf_mean: 100.0,
             mttf_std: 40.0,
+            latency_mean_ms: 80.0,
+            latency_std_ms: 40.0,
+            downtime_mean: 2.0,
+            downtime_std: 1.0,
             pcsa_maps: 64,
             pcsa_bits: 32,
             pcsa_seed: 0x6D75_6265,
@@ -234,13 +250,26 @@ pub fn generate_mixed(
         let realized = tuple_windows.cardinality();
         let signature = tuple_windows.signature(pcsa.clone());
 
+        let mttf_days = mttf.sample_at_least(&mut rng, 1.0);
+        // Fault-profile characteristics (latency, availability) are drawn
+        // from a per-source stream independent of the main one, so adding
+        // them preserves every previously generated value byte-for-byte.
+        let mut fault_rng =
+            StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+        let latency_ms = Normal::new(config.latency_mean_ms, config.latency_std_ms)
+            .sample_at_least(&mut fault_rng, 5.0);
+        let downtime = Normal::new(config.downtime_mean, config.downtime_std)
+            .sample_at_least(&mut fault_rng, 0.1);
+        let availability = mttf_days / (mttf_days + downtime);
         let spec = SourceSpec::new(
             format!("site{i:04}"),
             Schema::new(generated.names().map(str::to_string)),
         )
         .cardinality(realized)
         .signature(signature)
-        .characteristic("mttf", mttf.sample_at_least(&mut rng, 1.0));
+        .characteristic("mttf", mttf_days)
+        .characteristic("latency", latency_ms)
+        .characteristic("availability", availability);
         let sid = builder.add_source(spec);
 
         if !generated.perturbed {
@@ -326,6 +355,34 @@ mod tests {
         assert!(one <= all);
         assert!(all <= s.config.pool.total());
         assert_eq!(one, s.windows[0].cardinality());
+    }
+
+    #[test]
+    fn fault_profile_characteristics_generated() {
+        let s = generate(&SynthConfig::small(30), 8);
+        for src in s.universe.sources() {
+            let latency = src.characteristic("latency").expect("latency generated");
+            assert!(latency >= 5.0, "latency={latency}");
+            let availability = src
+                .characteristic("availability")
+                .expect("availability generated");
+            assert!(
+                (0.0..=1.0).contains(&availability),
+                "availability={availability}"
+            );
+            // availability = mttf / (mttf + downtime) with downtime ≥ 0.1.
+            let mttf = src.characteristic("mttf").unwrap();
+            assert!(availability <= mttf / (mttf + 0.1) + 1e-12);
+        }
+        // Deterministic in the seed, like everything else.
+        let t = generate(&SynthConfig::small(30), 8);
+        for (a, b) in s.universe.sources().zip(t.universe.sources()) {
+            assert_eq!(a.characteristic("latency"), b.characteristic("latency"));
+            assert_eq!(
+                a.characteristic("availability"),
+                b.characteristic("availability")
+            );
+        }
     }
 
     #[test]

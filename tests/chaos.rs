@@ -1,0 +1,319 @@
+//! Chaos tests: seeded fault injection against the full pipeline. Every
+//! test is deterministic — faults come from seeded injectors, time from a
+//! virtual clock (no real sleeps) — so "30% of the sources just died"
+//! replays byte-identically on every run.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mube_core::constraints::Constraints;
+use mube_core::qefs::{coverage_fraction, forfeited_coverage, paper_default_qefs};
+use mube_core::SourceId;
+use mube_exec::{
+    probe_characteristics, BreakerConfig, BreakerState, Clock, Executor, FaultInjector, FaultSpec,
+    FetchErrorKind, HealthRegistry, Query, RetryPolicy, VirtualClock, WindowBackend,
+};
+use mube_integration::{ci_tabu, Fixture};
+use proptest::prelude::*;
+
+/// Picks the first ⌈rate·k⌉ of `selected` (source order) to hard-fail —
+/// deterministic by construction.
+fn chaos_sample(selected: &BTreeSet<SourceId>, rate: f64) -> BTreeSet<SourceId> {
+    let n = (rate * selected.len() as f64).ceil() as usize;
+    selected.iter().copied().take(n).collect()
+}
+
+/// A faulted executor over the fixture: hard failures for `failing`,
+/// virtual clock, health registry, seeded jitter.
+fn chaos_executor(
+    fx: &Fixture,
+    failing: BTreeSet<SourceId>,
+) -> (
+    Executor<FaultInjector<WindowBackend>>,
+    Arc<HealthRegistry>,
+    Arc<dyn Clock>,
+) {
+    let universe = Arc::clone(&fx.synth.universe);
+    let backend =
+        FaultInjector::with_hard_failures(WindowBackend::new(&fx.synth), &universe, failing);
+    let clock: Arc<dyn Clock> = Arc::new(VirtualClock::default());
+    let registry = Arc::new(HealthRegistry::new(
+        BreakerConfig::default(),
+        Arc::clone(&clock),
+    ));
+    let executor = Executor::new(universe, backend)
+        .with_policy(RetryPolicy::default().with_jitter_seed(9))
+        .with_registry(Arc::clone(&registry))
+        .with_clock(Arc::clone(&clock));
+    (executor, registry, clock)
+}
+
+/// The headline chaos scenario: 30% of the *selected* sources fail every
+/// attempt. The degradation report must name exactly those sources, the
+/// forfeited coverage must equal the PCSA-estimated loss, and the whole
+/// report must replay byte-identically.
+#[test]
+fn thirty_percent_failure_degrades_exactly_and_reproducibly() {
+    let fx = Fixture::new(30, 2026);
+    let mut session = fx.session(Constraints::with_max_sources(10), 2026);
+    let solution = session.run().expect("feasible").clone();
+    let selected = solution.sources.clone();
+    let failing = chaos_sample(&selected, 0.3);
+    assert!(!failing.is_empty() && failing.len() < selected.len());
+
+    // Baseline: the same query with no faults.
+    let clean = Executor::new(
+        Arc::clone(&fx.synth.universe),
+        WindowBackend::new(&fx.synth),
+    )
+    .execute(&selected, &Query::range(0, u64::MAX));
+    assert!(clean.degradation.is_clean());
+
+    let (executor, _registry, clock) = chaos_executor(&fx, failing.clone());
+    let report = executor.execute(&selected, &Query::range(0, u64::MAX));
+
+    // The failed-source list matches the injected faults exactly — no
+    // false positives, no survivors among the dead.
+    assert_eq!(report.degradation.failed_sources(), failing);
+    for f in &report.degradation.failed {
+        assert_eq!(f.error, FetchErrorKind::Unavailable);
+        assert_eq!(f.attempts, RetryPolicy::default().max_attempts);
+    }
+    // Hard unavailability salvages nothing.
+    assert!(report.degradation.degraded.is_empty());
+
+    // The answer is partial: the survivors still delivered, the failed
+    // sources' tuples are gone.
+    assert!(report.distinct() > 0, "survivors must still answer");
+    assert!(report.distinct() < clean.distinct(), "answer must shrink");
+
+    // Forfeited F2/F3 are exactly what the overlap/PCSA machinery says
+    // the failed sources were worth.
+    let survivors: BTreeSet<SourceId> = selected.difference(&failing).copied().collect();
+    let expected_cardinality: u64 = failing
+        .iter()
+        .map(|&s| {
+            fx.synth
+                .universe
+                .get(s)
+                .expect("selected source")
+                .cardinality()
+        })
+        .sum();
+    assert_eq!(report.degradation.lost_cardinality, expected_cardinality);
+    let expected_coverage = forfeited_coverage(&fx.synth.universe, &selected, &survivors);
+    assert!(
+        (report.degradation.lost_coverage_fraction - expected_coverage).abs() < 1e-12,
+        "reported {} vs recomputed {expected_coverage}",
+        report.degradation.lost_coverage_fraction
+    );
+
+    // Simulated time only: the clock advanced by exactly the makespan.
+    assert_eq!(clock.now(), report.makespan);
+
+    // Same seed, fresh executor: the JSON report is byte-identical.
+    let (executor2, _, _) = chaos_executor(&fx, failing);
+    let report2 = executor2.execute(&selected, &Query::range(0, u64::MAX));
+    assert_eq!(
+        report.to_json(&fx.synth.universe),
+        report2.to_json(&fx.synth.universe)
+    );
+}
+
+/// Breakers under chaos: sustained failure opens the breaker, the next
+/// execution skips the source outright (zero attempts), and after the
+/// cooldown a healthy backend closes it again through half-open.
+#[test]
+fn breaker_opens_skips_and_recovers_across_executions() {
+    let fx = Fixture::new(12, 7);
+    let universe = Arc::clone(&fx.synth.universe);
+    let victim = universe.source_ids().next().expect("non-empty");
+    let selected: BTreeSet<SourceId> = universe.source_ids().take(4).collect();
+    let failing: BTreeSet<SourceId> = [victim].into();
+
+    let (executor, registry, clock) = chaos_executor(&fx, failing);
+    let query = Query::range(0, u64::MAX);
+
+    // Run 1: the victim exhausts its retries; three consecutive failures
+    // trip the breaker.
+    let first = executor.execute(&selected, &query);
+    assert_eq!(first.degradation.failed_sources(), [victim].into());
+    assert_eq!(registry.state(victim), BreakerState::Open);
+
+    // Run 2 (cooldown not yet elapsed): the victim is skipped without a
+    // single fetch.
+    let second = executor.execute(&selected, &query);
+    let skipped = second
+        .degradation
+        .failed
+        .iter()
+        .find(|f| f.source == victim)
+        .expect("victim still fails");
+    assert_eq!(skipped.error, FetchErrorKind::BreakerOpen);
+    assert_eq!(skipped.attempts, 0);
+
+    // Cooldown passes and the source comes back: a healthy executor
+    // sharing the registry probes it half-open and closes the breaker.
+    clock.advance(BreakerConfig::default().cooldown);
+    let healed = Executor::new(Arc::clone(&universe), WindowBackend::new(&fx.synth))
+        .with_registry(Arc::clone(&registry))
+        .with_clock(Arc::clone(&clock));
+    let third = healed.execute(&selected, &query);
+    assert!(third.degradation.is_clean(), "{:?}", third.degradation);
+    assert_eq!(registry.state(victim), BreakerState::Closed);
+}
+
+/// Retry backoff runs entirely on the virtual clock: simulated cost grows
+/// with every retry while the test itself never sleeps.
+#[test]
+fn backoff_accrues_on_the_virtual_clock_only() {
+    let fx = Fixture::new(8, 3);
+    let selected: BTreeSet<SourceId> = fx.synth.universe.source_ids().take(3).collect();
+    let failing = selected.clone();
+
+    let wall = std::time::Instant::now();
+    let (executor, _registry, clock) = chaos_executor(&fx, failing);
+    let report = executor.execute(&selected, &Query::range(0, u64::MAX));
+
+    // Three attempts per source: two backoff waits beyond the fetch
+    // costs. The default base backoff alone dwarfs the unavailable-fetch
+    // cost, so simulated spend must exceed the raw attempt cost.
+    let policy = RetryPolicy::default();
+    for f in &report.degradation.failed {
+        assert_eq!(f.attempts, policy.max_attempts);
+        let min_backoff: Duration = (1..policy.max_attempts)
+            // Jitter only shrinks the wait by at most `jitter`; half the
+            // un-jittered backoff is a safe floor.
+            .map(|n| policy.backoff(n, u64::from(f.source.0)) / 2)
+            .sum();
+        assert!(
+            f.spent >= min_backoff,
+            "source {} spent {:?} < backoff floor {:?}",
+            f.source,
+            f.spent,
+            min_backoff
+        );
+    }
+    assert_eq!(clock.now(), report.makespan);
+    // Simulated seconds, real milliseconds: nothing actually slept.
+    assert!(report.makespan >= Duration::from_millis(150));
+    assert!(wall.elapsed() < Duration::from_secs(5));
+}
+
+/// The feedback loop closes: after chaos, re-probing measures the truth
+/// (failing sources at availability 0), and a re-solve on the refreshed
+/// universe with paper-default weights routes around the dead sources.
+#[test]
+fn reprobe_demotes_failing_sources_and_resolve_routes_around_them() {
+    let fx = Fixture::new(30, 2026);
+    let mut session = fx.session(Constraints::with_max_sources(8), 2026);
+    let solution = session.run().expect("feasible").clone();
+    let failing = chaos_sample(&solution.sources, 0.3);
+
+    let (executor, _registry, _clock) = chaos_executor(&fx, failing.clone());
+    let refreshed = Arc::new(
+        probe_characteristics(&fx.synth.universe, executor.backend(), 3)
+            .expect("probing preserves the universe"),
+    );
+    for source in refreshed.sources() {
+        let availability = source
+            .characteristic("availability")
+            .expect("probe writes availability");
+        if failing.contains(&source.id()) {
+            assert!(
+                availability.abs() < 1e-12,
+                "{}: {availability}",
+                source.name()
+            );
+        } else {
+            assert!(
+                (availability - 1.0).abs() < 1e-12,
+                "{}: {availability}",
+                source.name()
+            );
+        }
+    }
+
+    // Re-solve on measured availability with the paper's default weights.
+    let matcher = Arc::new(mube_match::ClusterMatcher::new(
+        Arc::clone(&refreshed),
+        mube_match::similarity::JaccardNGram::trigram(),
+    ));
+    let problem = mube_core::problem::Problem::new(
+        Arc::clone(&refreshed),
+        matcher,
+        paper_default_qefs("availability"),
+        Constraints::with_max_sources(8),
+    )
+    .expect("refreshed universe is solvable");
+    let resolved = problem.solve(&ci_tabu(), 2026).expect("feasible");
+
+    let still_failing: Vec<&SourceId> = resolved
+        .sources
+        .iter()
+        .filter(|s| failing.contains(s))
+        .collect();
+    assert!(
+        still_failing.is_empty(),
+        "re-solve kept dead sources {still_failing:?}"
+    );
+    assert!(!resolved.sources.is_empty());
+}
+
+/// Reduce case count: every case runs a query execution.
+fn chaos_config() -> ProptestConfig {
+    ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(chaos_config())]
+
+    /// For every fault seed and rate, degradation only loses ground:
+    /// the degraded answer never exceeds the clean one, survivors' PCSA
+    /// coverage never exceeds the selection's, and the reported loss
+    /// fractions stay in [0, 1].
+    #[test]
+    fn degraded_coverage_never_exceeds_baseline(
+        fault_seed in 0u64..500,
+        rate_pct in 1u32..=100,
+    ) {
+        let fx = Fixture::new(14, 77);
+        let selected: BTreeSet<SourceId> =
+            fx.synth.universe.source_ids().take(6).collect();
+        let query = Query::range(0, u64::MAX);
+
+        let clean = Executor::new(
+            Arc::clone(&fx.synth.universe),
+            WindowBackend::new(&fx.synth),
+        )
+        .execute(&selected, &query);
+
+        let spec = FaultSpec::parse(&format!("rate={}", f64::from(rate_pct) / 100.0))
+            .expect("valid rate");
+        let backend = FaultInjector::new(
+            WindowBackend::new(&fx.synth),
+            &fx.synth.universe,
+            &spec,
+            fault_seed,
+        );
+        let executor = Executor::new(Arc::clone(&fx.synth.universe), backend)
+            .with_policy(RetryPolicy::default().with_jitter_seed(fault_seed));
+        let report = executor.execute(&selected, &query);
+
+        prop_assert!(report.distinct() <= clean.distinct());
+        prop_assert!((0.0..=1.0).contains(&report.degradation.lost_cardinality_fraction));
+        prop_assert!((0.0..=1.0).contains(&report.degradation.lost_coverage_fraction));
+        let survivors: BTreeSet<SourceId> = selected
+            .difference(&report.degradation.failed_sources())
+            .copied()
+            .collect();
+        prop_assert!(
+            coverage_fraction(&fx.synth.universe, &survivors)
+                <= coverage_fraction(&fx.synth.universe, &selected) + 1e-12
+        );
+    }
+}

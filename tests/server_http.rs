@@ -23,9 +23,9 @@ fn spawn(threads: usize) -> (ServerHandle, std::thread::JoinHandle<std::io::Resu
     Server::spawn(test_config(threads)).expect("bind test server")
 }
 
-/// One HTTP request over a fresh connection (the server closes after each
-/// response). Returns `(status, parsed body)`.
-fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+/// One HTTP request over a fresh connection; returns the raw response
+/// text (status line, headers, body) for header-level assertions.
+fn raw_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
@@ -38,6 +38,13 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json
     stream.write_all(body.as_bytes()).unwrap();
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("read response");
+    raw
+}
+
+/// One HTTP request over a fresh connection (the server closes after each
+/// response). Returns `(status, parsed body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let raw = raw_request(addr, method, path, body);
     let status: u16 = raw
         .split(' ')
         .nth(1)
@@ -162,6 +169,71 @@ fn full_feedback_loop_over_http() {
     assert_eq!(lint.get("errors").and_then(Json::as_bool), Some(false));
     assert!(lint.get("diagnostics").and_then(Json::as_array).is_some());
 
+    // Execute the latest solution with every source forced to fail: the
+    // report must say so, and the same seed must reproduce it exactly.
+    let exec_body = "{\"faults\":\"rate=1\",\"fault_seed\":3}";
+    let (status, ex1) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/execute"),
+        exec_body,
+    );
+    assert_eq!(status, 200, "{ex1:?}");
+    let report = ex1.get("report").expect("report");
+    assert_eq!(
+        report
+            .get("degradation")
+            .and_then(|d| d.get("clean"))
+            .and_then(Json::as_bool),
+        Some(false),
+        "{report:?}"
+    );
+    assert_eq!(report.get("distinct").and_then(Json::as_u64), Some(0));
+    let health = ex1.get("health").expect("health");
+    assert!(
+        health.get("failures").and_then(Json::as_u64).unwrap() > 0,
+        "{health:?}"
+    );
+    let (status, ex2) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/execute"),
+        exec_body,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        ex1.get("report"),
+        ex2.get("report"),
+        "same seed, same report"
+    );
+
+    // Without faults the same execution is clean and returns data.
+    let (status, clean) = request(addr, "POST", &format!("/sessions/{session}/execute"), "{}");
+    assert_eq!(status, 200, "{clean:?}");
+    let clean_report = clean.get("report").expect("report");
+    assert_eq!(
+        clean_report
+            .get("degradation")
+            .and_then(|d| d.get("clean"))
+            .and_then(Json::as_bool),
+        Some(true),
+        "{clean_report:?}"
+    );
+    assert!(clean_report.get("distinct").and_then(Json::as_u64).unwrap() > 0);
+
+    // Executing a never-solved session is a 409, same as explain.
+    let unsolved = create_session(addr, catalog_id, 8);
+    let (status, err) = request(addr, "POST", &format!("/sessions/{unsolved}/execute"), "{}");
+    assert_eq!(status, 409);
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("no_solution")
+    );
+    let (status, _) = request(addr, "DELETE", &format!("/sessions/{unsolved}"), "");
+    assert_eq!(status, 200);
+
     // Error paths: stable codes, feedback reports the failing action.
     let (status, err) = request(
         addr,
@@ -216,17 +288,60 @@ fn full_feedback_loop_over_http() {
     // Metrics must reflect everything above, via API and endpoint alike.
     let stats = handle.stats();
     assert_eq!(stats.catalogs_created, 1);
-    assert_eq!(stats.sessions_created, 1);
+    assert_eq!(stats.sessions_created, 2);
     assert_eq!(stats.solves_run, 2);
     assert_eq!(stats.sessions_live, 0);
     assert_eq!(stats.requests_for("POST /sessions/{id}/solve"), 3);
+    assert_eq!(stats.requests_for("POST /sessions/{id}/execute"), 4);
     assert_eq!(stats.request_hist.total, stats.total_requests());
+    // Three executions ran (the 409 never reached the executor); the two
+    // faulted ones burned retries, so attempts exceed successes.
+    assert_eq!(stats.executions_run, 3);
+    assert_eq!(stats.exec_hist.total, 3);
+    assert!(stats.exec_fetch_attempts > stats.exec_fetch_failures);
+    assert!(stats.exec_fetch_failures > 0);
+    assert!(stats.exec_sources_failed > 0);
+    assert_eq!(stats.worker_panics, 0);
     let (status, m) = request(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
     assert_eq!(m.get("solves_run").and_then(Json::as_u64), Some(2));
+    assert_eq!(m.get("worker_panics").and_then(Json::as_u64), Some(0));
+    let exec = m.get("exec").expect("exec counters");
+    assert_eq!(exec.get("executions_run").and_then(Json::as_u64), Some(3));
+    assert_eq!(
+        exec.get("fetch_failures").and_then(Json::as_u64),
+        Some(stats.exec_fetch_failures)
+    );
 
     handle.shutdown();
     join.join().expect("acceptor thread").expect("clean run");
+}
+
+#[test]
+fn session_cap_answers_429_with_retry_after() {
+    let config = ServeConfig {
+        max_sessions: 1,
+        ..test_config(2)
+    };
+    let (handle, join) = Server::spawn(config).expect("bind test server");
+    let addr = handle.addr();
+    let catalog_id = upload_catalog(addr, 8, 11);
+    let _first = create_session(addr, catalog_id, 1);
+
+    // The cap is 1 and the live session is not idle: creation is refused
+    // with back-pressure the client can act on.
+    let raw = raw_request(
+        addr,
+        "POST",
+        "/sessions",
+        &format!("{{\"catalog\":{catalog_id}}}"),
+    );
+    assert!(raw.starts_with("HTTP/1.1 429 "), "{raw:?}");
+    assert!(raw.contains("retry-after: 1\r\n"), "{raw:?}");
+    assert!(raw.contains("too_many_sessions"), "{raw:?}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
 }
 
 #[test]
