@@ -48,6 +48,15 @@ pub enum Command {
         seed: u64,
         /// Which solver to use.
         solver: String,
+        /// OS threads for the portfolio (1 = sequential; results never
+        /// depend on this).
+        threads: usize,
+        /// Portfolio member spec (`tabu,sls,anneal[,pso]`); `None` unless
+        /// portfolio mode was requested.
+        portfolio: Option<String>,
+        /// How many times the portfolio spec is repeated (independent seed
+        /// streams per copy).
+        restarts: usize,
         /// Source names to pin (source constraints).
         pins: Vec<String>,
         /// `(qef, weight)` overrides.
@@ -229,6 +238,10 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
             let mut beta = 2usize;
             let mut seed = 42u64;
             let mut solver = "tabu".to_string();
+            let mut threads = 1usize;
+            let mut threads_given = false;
+            let mut portfolio: Option<String> = None;
+            let mut restarts = 1usize;
             let mut pins = Vec::new();
             let mut weights = Vec::new();
             let mut explain = false;
@@ -261,6 +274,28 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                             return Err(bad(format!("unknown solver `{solver}`")));
                         }
                     }
+                    "--threads" => {
+                        threads = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--threads needs an integer"))?;
+                        if threads == 0 {
+                            return Err(bad("--threads must be at least 1"));
+                        }
+                        threads_given = true;
+                    }
+                    "--portfolio" => {
+                        let spec = take_value(flag, &mut iter)?;
+                        mube_opt::parse_portfolio_spec(spec).map_err(bad)?;
+                        portfolio = Some(spec.to_string());
+                    }
+                    "--restarts" => {
+                        restarts = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--restarts needs an integer"))?;
+                        if restarts == 0 {
+                            return Err(bad("--restarts must be at least 1"));
+                        }
+                    }
                     "--pin" => pins.push(take_value(flag, &mut iter)?.to_string()),
                     "--weight" => {
                         let spec = take_value(flag, &mut iter)?;
@@ -278,6 +313,13 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
             if json && explain {
                 return Err(bad("--json and --explain are mutually exclusive"));
             }
+            // `--threads`/`--restarts` imply portfolio mode (even
+            // `--threads 1`, so thread counts can be compared on otherwise
+            // identical runs); give it the full default member mix so the
+            // threads have work to spread.
+            if portfolio.is_none() && (threads_given || restarts > 1) {
+                portfolio = Some("tabu,sls,anneal,pso".to_string());
+            }
             Ok(Command::Solve {
                 file,
                 max,
@@ -285,6 +327,9 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                 beta,
                 seed,
                 solver,
+                threads,
+                portfolio,
+                restarts,
                 pins,
                 weights,
                 explain,
@@ -662,6 +707,64 @@ mod tests {
         assert!(p(&["solve", "a.cat", "--weight", "coverage"]).is_err());
         assert!(p(&["solve", "a.cat", "--max", "many"]).is_err());
         assert!(p(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn solve_portfolio_flags() {
+        // Plain solve: no portfolio.
+        match p(&["solve", "a.cat"]).unwrap() {
+            Command::Solve {
+                threads,
+                portfolio,
+                restarts,
+                ..
+            } => {
+                assert_eq!(threads, 1);
+                assert_eq!(portfolio, None);
+                assert_eq!(restarts, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --threads alone engages the default portfolio, even at 1 thread.
+        for t in ["1", "8"] {
+            match p(&["solve", "a.cat", "--threads", t]).unwrap() {
+                Command::Solve {
+                    threads, portfolio, ..
+                } => {
+                    assert_eq!(threads, t.parse::<usize>().unwrap());
+                    assert_eq!(portfolio.as_deref(), Some("tabu,sls,anneal,pso"));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match p(&[
+            "solve",
+            "a.cat",
+            "--threads",
+            "4",
+            "--portfolio",
+            "tabu,sls,anneal",
+            "--restarts",
+            "2",
+        ])
+        .unwrap()
+        {
+            Command::Solve {
+                threads,
+                portfolio,
+                restarts,
+                ..
+            } => {
+                assert_eq!(threads, 4);
+                assert_eq!(portfolio.as_deref(), Some("tabu,sls,anneal"));
+                assert_eq!(restarts, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(p(&["solve", "a.cat", "--threads", "0"]).is_err());
+        assert!(p(&["solve", "a.cat", "--restarts", "0"]).is_err());
+        assert!(p(&["solve", "a.cat", "--portfolio", "tabu,genetic"]).is_err());
+        assert!(p(&["solve", "a.cat", "--portfolio", ""]).is_err());
     }
 
     #[test]

@@ -31,6 +31,8 @@ USAGE:
     mube match    FILE [--theta T] [--sources a,b,c]
     mube solve    FILE [--max M] [--theta T] [--beta B] [--seed S]
                        [--solver tabu|sls|annealing|pso]
+                       [--threads N] [--portfolio tabu,sls,anneal[,pso]]
+                       [--restarts R]
                        [--pin NAME]... [--weight QEF=W]...
                        [--explain | --json]
     mube lint     FILE [--max M] [--theta T] [--beta B]

@@ -61,6 +61,7 @@
 
 pub mod catalog;
 pub mod constraints;
+pub mod delta;
 pub mod diag;
 pub mod error;
 pub mod explain;
@@ -79,6 +80,7 @@ pub mod source;
 pub mod validate;
 
 pub use constraints::Constraints;
+pub use delta::{DeltaEval, DeltaMove, DeltaObjective};
 pub use diag::{DiagCode, Diagnostic, Severity};
 pub use error::MubeError;
 pub use explain::{explain, lint_report, Explanation, SourceContribution};
@@ -87,7 +89,7 @@ pub use ids::{AttrId, SourceId};
 pub use matchop::{MatchOperator, MatchOutcome};
 pub use overlap::{overlap_matrix, OverlapMatrix};
 pub use problem::{CandidateEval, Problem};
-pub use qef::{EvalContext, EvalInput, Qef, WeightedQefs};
+pub use qef::{DeltaClass, EvalContext, EvalInput, Qef, WeightedQefs};
 pub use schema::{Attribute, Schema};
 pub use session::Session;
 pub use solution::{Solution, SolutionDiff};

@@ -12,6 +12,7 @@
 //! the optimizer's revisits are free.
 
 use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
 use mube_opt::{SolveResult, SubsetObjective, SubsetSolver};
@@ -31,6 +32,62 @@ use crate::source::Universe;
 /// feasible always beats infeasible.
 pub const INFEASIBLE_SCORE: f64 = -1.0;
 
+/// Number of lock shards in a [`ShardedCache`]. A small power of two keeps
+/// the memory overhead negligible while spreading a portfolio's worker
+/// threads across independent locks.
+const CACHE_SHARDS: usize = 16;
+
+/// A candidate-keyed memo table sharded across several mutexes, so that
+/// concurrent solver workers hitting different candidates rarely contend on
+/// the same lock. Keys are the sorted source-id vectors of candidates.
+pub(crate) struct ShardedCache<V> {
+    shards: Vec<Mutex<HashMap<Vec<u32>, V>>>,
+}
+
+impl<V: Copy> ShardedCache<V> {
+    fn new() -> Self {
+        ShardedCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &[u32]) -> &Mutex<HashMap<Vec<u32>, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    fn get(&self, key: &[u32]) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .copied()
+    }
+
+    fn insert(&self, key: Vec<u32>, value: V) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+}
+
 /// A fully specified `µBE` optimization problem.
 pub struct Problem {
     universe: Arc<Universe>,
@@ -38,7 +95,13 @@ pub struct Problem {
     qefs: WeightedQefs,
     constraints: Constraints,
     ctx: EvalContext,
-    cache: Mutex<HashMap<Vec<u32>, f64>>,
+    /// Memoized overall objective values, `Q(S)` or [`INFEASIBLE_SCORE`].
+    cache: ShardedCache<f64>,
+    /// Memoized matcher outcomes: `Some(F1)` for feasible candidates,
+    /// `None` for infeasible ones. Shared by the full evaluation path and
+    /// the delta evaluator, so a candidate's matching runs at most once
+    /// across all portfolio workers.
+    match_summaries: ShardedCache<Option<f64>>,
 }
 
 /// The result of evaluating one candidate source set in full.
@@ -67,7 +130,8 @@ impl Problem {
             qefs,
             constraints,
             ctx,
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedCache::new(),
+            match_summaries: ShardedCache::new(),
         })
     }
 
@@ -96,19 +160,22 @@ impl Problem {
     pub fn set_constraints(&mut self, constraints: Constraints) -> Result<(), MubeError> {
         constraints.validate(&self.universe)?;
         self.constraints = constraints;
-        self.cache.lock().expect("cache lock poisoned").clear();
+        self.cache.clear();
+        self.match_summaries.clear();
         Ok(())
     }
 
-    /// Replaces the QEF weighting and invalidates the objective cache.
+    /// Replaces the QEF weighting and invalidates the objective cache. The
+    /// match-summary cache survives: matching depends on the constraints,
+    /// not the weights.
     pub fn set_qefs(&mut self, qefs: WeightedQefs) {
         self.qefs = qefs;
-        self.cache.lock().expect("cache lock poisoned").clear();
+        self.cache.clear();
     }
 
     /// Number of distinct candidates evaluated so far (cache size).
     pub fn distinct_evaluations(&self) -> usize {
-        self.cache.lock().expect("cache lock poisoned").len()
+        self.cache.len()
     }
 
     /// Runs the matcher on a candidate and applies the `β` bound: GAs that
@@ -153,6 +220,20 @@ impl Problem {
         Some((schema, quality))
     }
 
+    /// The matcher outcome of a candidate, reduced to the number the QEFs
+    /// need: `Some(F1)` if the candidate is feasible, `None` otherwise. The
+    /// result is memoized (the matcher is deterministic), so the delta
+    /// evaluator and the full path share one matcher run per candidate.
+    pub(crate) fn match_quality_of(&self, sources: &BTreeSet<SourceId>) -> Option<f64> {
+        let key: Vec<u32> = sources.iter().map(|s| s.0).collect();
+        if let Some(summary) = self.match_summaries.get(&key) {
+            return summary;
+        }
+        let summary = self.match_and_filter(sources).map(|(_, quality)| quality);
+        self.match_summaries.insert(key, summary);
+        summary
+    }
+
     /// Fully evaluates one candidate: matching, β filtering, QEF scoring.
     pub fn evaluate(&self, sources: &BTreeSet<SourceId>) -> CandidateEval {
         let Some((schema, match_quality)) = self.match_and_filter(sources) else {
@@ -178,17 +259,14 @@ impl Problem {
     /// [`INFEASIBLE_SCORE`] otherwise.
     pub fn objective(&self, sources: &BTreeSet<SourceId>) -> f64 {
         let key: Vec<u32> = sources.iter().map(|s| s.0).collect();
-        if let Some(&v) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+        if let Some(v) = self.cache.get(&key) {
             return v;
         }
         let v = match self.evaluate(sources) {
             CandidateEval::Feasible(sol) => sol.quality,
             CandidateEval::Infeasible => INFEASIBLE_SCORE,
         };
-        self.cache
-            .lock()
-            .expect("cache lock poisoned")
-            .insert(key, v);
+        self.cache.insert(key, v);
         v
     }
 
@@ -297,6 +375,18 @@ impl SubsetObjective for Problem {
     fn score(&self, selected: &[usize]) -> f64 {
         let sources: BTreeSet<SourceId> = selected.iter().map(|&i| SourceId(i as u32)).collect();
         self.objective(&sources)
+    }
+
+    fn worker_view(&self) -> Option<Box<dyn SubsetObjective + '_>> {
+        // With an opaque (schema-reading) QEF in play the delta evaluator
+        // would fall back to uncached full evaluations; sharing `self` (and
+        // its sharded objective cache) across workers is then faster.
+        let all_incremental = self
+            .qefs
+            .iter()
+            .all(|(q, _)| q.delta_class() != crate::qef::DeltaClass::Opaque);
+        all_incremental
+            .then(|| Box::new(crate::delta::DeltaObjective::new(self)) as Box<dyn SubsetObjective>)
     }
 }
 
@@ -444,6 +534,54 @@ mod tests {
         let b = p.objective(&s);
         assert_eq!(a, b);
         assert_eq!(p.distinct_evaluations(), before);
+    }
+
+    /// Contention regression test for the sharded objective cache: many
+    /// threads scoring overlapping candidate sets concurrently must all see
+    /// the single-threaded values, and the cache must end up with exactly
+    /// one entry per distinct candidate.
+    #[test]
+    fn concurrent_objective_calls_agree_with_serial() {
+        let p = problem(8, 3);
+        let candidates: Vec<BTreeSet<SourceId>> = (0..8u32)
+            .flat_map(|a| (0..8u32).map(move |b| [SourceId(a), SourceId(b)].into()))
+            .collect();
+        let expected: Vec<f64> = candidates.iter().map(|c| p.objective(c)).collect();
+        let distinct_before = p.distinct_evaluations();
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let p = &p;
+                let candidates = &candidates;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for round in 0..20 {
+                        for i in 0..candidates.len() {
+                            let k = (i + t * 7 + round) % candidates.len();
+                            assert_eq!(
+                                p.objective(&candidates[k]).to_bits(),
+                                expected[k].to_bits()
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(p.distinct_evaluations(), distinct_before);
+    }
+
+    #[test]
+    fn match_summaries_survive_reweighting() {
+        let mut p = problem(5, 3);
+        let s: BTreeSet<_> = [SourceId(0), SourceId(1)].into();
+        let q1 = p.match_quality_of(&s);
+        p.set_qefs(data_only_qefs());
+        assert_eq!(p.distinct_evaluations(), 0, "objective cache cleared");
+        assert_eq!(p.match_quality_of(&s), q1, "summary cache retained");
+        p.set_constraints(Constraints::with_max_sources(4).beta(1))
+            .unwrap();
+        // Constraints affect matching, so the summary cache must go too —
+        // recomputing under the new constraints still succeeds.
+        assert!(p.match_quality_of(&s).is_some());
     }
 
     #[test]

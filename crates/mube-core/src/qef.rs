@@ -79,6 +79,34 @@ pub struct EvalInput<'a> {
     pub match_quality: f64,
 }
 
+/// How a QEF's score can be maintained incrementally under add-source /
+/// drop-source moves. [`crate::delta::DeltaEval`] uses this to pick, per
+/// QEF, a running-state update rule whose result is bitwise-identical to
+/// calling [`Qef::evaluate`] from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaClass {
+    /// Reads only `input.match_quality` (F1). The delta layer supplies the
+    /// memoized matcher output.
+    MatchQuality,
+    /// A ratio of the selection's summed tuple counts over the universe
+    /// total (F2). Maintained as an exact `u64` running sum.
+    SelectedCardinality,
+    /// A PCSA-union distinct estimate over the universe distinct count
+    /// (F3). Maintained as an incrementally OR-ed signature.
+    UnionCoverage,
+    /// The duplicated-mass score derived from the cooperating sources'
+    /// union estimate (F4). Shares the running union with coverage.
+    UnionRedundancy,
+    /// Depends only on the selected source ids and the universe — never on
+    /// the mediated schema or match quality. Re-evaluated directly at
+    /// `O(|S|)` (`|S| ≤ m`), which is already independent of the schema
+    /// work the delta layer avoids.
+    SelectionOnly,
+    /// May read anything, including the mediated schema. Forces the delta
+    /// layer down the full evaluation path for the whole candidate.
+    Opaque,
+}
+
 /// A quality dimension. Implementations must return values in `[0, 1]`.
 pub trait Qef: Send + Sync {
     /// Stable name used for weight lookup and reporting ("matching",
@@ -87,6 +115,15 @@ pub trait Qef: Send + Sync {
 
     /// Scores one candidate.
     fn evaluate(&self, ctx: &EvalContext, input: &EvalInput<'_>) -> f64;
+
+    /// Declares which incremental update rule reproduces this QEF exactly.
+    /// The conservative default forces full re-evaluation; built-in QEFs
+    /// override it. Implementations must only claim a class whose
+    /// contract they actually satisfy — the differential test harness in
+    /// `tests/solver_differential.rs` checks bitwise agreement.
+    fn delta_class(&self) -> DeltaClass {
+        DeltaClass::Opaque
+    }
 }
 
 /// A weighted set of QEFs defining the overall quality `Q(S)`.

@@ -4,7 +4,7 @@
 //! universe's total tuple count held by the selection. Uses the cardinality
 //! each source reports; sources that report nothing contribute zero.
 
-use crate::qef::{EvalContext, EvalInput, Qef};
+use crate::qef::{DeltaClass, EvalContext, EvalInput, Qef};
 
 /// The cardinality QEF (`Card(S)` in the paper).
 #[derive(Debug, Clone, Copy, Default)]
@@ -13,6 +13,10 @@ pub struct CardinalityQef;
 impl Qef for CardinalityQef {
     fn name(&self) -> &str {
         "cardinality"
+    }
+
+    fn delta_class(&self) -> DeltaClass {
+        DeltaClass::SelectedCardinality
     }
 
     fn evaluate(&self, ctx: &EvalContext, input: &EvalInput<'_>) -> f64 {

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use crate::qef::{EvalContext, EvalInput, Qef};
+use crate::qef::{DeltaClass, EvalContext, EvalInput, Qef};
 
 /// Aggregates normalized characteristic values of a selection into `[0, 1]`.
 ///
@@ -124,6 +124,10 @@ impl CharacteristicQef {
 impl Qef for CharacteristicQef {
     fn name(&self) -> &str {
         &self.qef_name
+    }
+
+    fn delta_class(&self) -> DeltaClass {
+        DeltaClass::SelectionOnly
     }
 
     fn evaluate(&self, ctx: &EvalContext, input: &EvalInput<'_>) -> f64 {

@@ -10,7 +10,7 @@
 use mube_sketch::PcsaSignature;
 
 use crate::ids::SourceId;
-use crate::qef::{EvalContext, EvalInput, Qef};
+use crate::qef::{DeltaClass, EvalContext, EvalInput, Qef};
 use crate::source::Universe;
 
 /// The coverage QEF (`Coverage(S)` in the paper).
@@ -76,6 +76,10 @@ pub fn forfeited_coverage(
 impl Qef for CoverageQef {
     fn name(&self) -> &str {
         "coverage"
+    }
+
+    fn delta_class(&self) -> DeltaClass {
+        DeltaClass::UnionCoverage
     }
 
     fn evaluate(&self, ctx: &EvalContext, input: &EvalInput<'_>) -> f64 {

@@ -5,7 +5,7 @@
 //! the best intra-GA pair similarity, §3); this QEF simply surfaces that
 //! number into the weighted quality framework.
 
-use crate::qef::{EvalContext, EvalInput, Qef};
+use crate::qef::{DeltaClass, EvalContext, EvalInput, Qef};
 
 /// The matching-quality QEF (`F_1` in the paper).
 #[derive(Debug, Clone, Copy, Default)]
@@ -14,6 +14,10 @@ pub struct MatchingQualityQef;
 impl Qef for MatchingQualityQef {
     fn name(&self) -> &str {
         "matching"
+    }
+
+    fn delta_class(&self) -> DeltaClass {
+        DeltaClass::MatchQuality
     }
 
     fn evaluate(&self, _ctx: &EvalContext, input: &EvalInput<'_>) -> f64 {

@@ -18,7 +18,7 @@
 //! Selections with no cooperating source score 0 (the paper assigns
 //! uncooperative sources the worst redundancy).
 
-use crate::qef::{EvalContext, EvalInput, Qef};
+use crate::qef::{DeltaClass, EvalContext, EvalInput, Qef};
 
 use super::coverage::union_signature;
 
@@ -29,6 +29,10 @@ pub struct RedundancyQef;
 impl Qef for RedundancyQef {
     fn name(&self) -> &str {
         "redundancy"
+    }
+
+    fn delta_class(&self) -> DeltaClass {
+        DeltaClass::UnionRedundancy
     }
 
     fn evaluate(&self, _ctx: &EvalContext, input: &EvalInput<'_>) -> f64 {

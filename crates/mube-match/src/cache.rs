@@ -32,9 +32,33 @@ pub struct SimilarityCache {
     measure_name: String,
 }
 
+/// Below this many distinct names the matrix is so small that thread
+/// spawn overhead dominates; [`SimilarityCache::build_parallel`] falls
+/// back to the serial fill.
+const PARALLEL_BUILD_MIN_NAMES: usize = 64;
+
 impl SimilarityCache {
     /// Computes the cache for a universe under a similarity measure.
+    ///
+    /// Once built, the cache is immutable: every read path
+    /// ([`SimilarityCache::attr_sim`] and friends) is a plain indexed load
+    /// with no locking, so a single cache can be shared freely across
+    /// solver threads (it is `Send + Sync`; the portfolio solver and the
+    /// server's catalog store rely on this).
     pub fn build(universe: &Universe, measure: &dyn Similarity) -> Self {
+        Self::build_with_threads(universe, measure, 1)
+    }
+
+    /// Like [`SimilarityCache::build`], filling the similarity matrix with
+    /// up to `threads` OS threads. The result is byte-identical to the
+    /// serial build: each upper-triangle cell is computed by exactly one
+    /// thread and mirrored afterwards, exactly as the serial fill defines
+    /// `sim(j,i) := sim(i,j)`.
+    pub fn build_parallel(universe: &Universe, measure: &dyn Similarity, threads: usize) -> Self {
+        Self::build_with_threads(universe, measure, threads.max(1))
+    }
+
+    fn build_with_threads(universe: &Universe, measure: &dyn Similarity, threads: usize) -> Self {
         let mut intern: HashMap<&str, u32> = HashMap::new();
         let mut names: Vec<&str> = Vec::new();
         let mut name_ids: Vec<Vec<u32>> = Vec::with_capacity(universe.len());
@@ -53,12 +77,42 @@ impl SimilarityCache {
         }
         let distinct = names.len();
         let mut matrix = vec![0.0f32; distinct * distinct];
-        for i in 0..distinct {
-            matrix[i * distinct + i] = 1.0;
-            for j in (i + 1)..distinct {
-                let s = measure.similarity(names[i], names[j]) as f32;
-                matrix[i * distinct + j] = s;
-                matrix[j * distinct + i] = s;
+        if threads <= 1 || distinct < PARALLEL_BUILD_MIN_NAMES {
+            for i in 0..distinct {
+                matrix[i * distinct + i] = 1.0;
+                for j in (i + 1)..distinct {
+                    let s = measure.similarity(names[i], names[j]) as f32;
+                    matrix[i * distinct + j] = s;
+                    matrix[j * distinct + i] = s;
+                }
+            }
+        } else {
+            // Split the matrix into contiguous row bands, one scoped thread
+            // per band, each filling its rows' diagonal-and-above cells in
+            // place — bands are disjoint `&mut` slices, so no cell is ever
+            // written twice.
+            let rows_per_band = distinct.div_ceil(threads);
+            let names = &names;
+            std::thread::scope(|scope| {
+                for (band_idx, band) in matrix.chunks_mut(rows_per_band * distinct).enumerate() {
+                    let first_row = band_idx * rows_per_band;
+                    scope.spawn(move || {
+                        for (r, row) in band.chunks_mut(distinct).enumerate() {
+                            let i = first_row + r;
+                            row[i] = 1.0;
+                            for (j, cell) in row.iter_mut().enumerate().skip(i + 1) {
+                                *cell = measure.similarity(names[i], names[j]) as f32;
+                            }
+                        }
+                    });
+                }
+            });
+            // Mirror the upper triangle below the diagonal; symmetry is the
+            // cache's contract, not necessarily the measure's.
+            for i in 0..distinct {
+                for j in (i + 1)..distinct {
+                    matrix[j * distinct + i] = matrix[i * distinct + j];
+                }
             }
         }
         SimilarityCache {
@@ -248,6 +302,81 @@ mod tests {
         b.add_source(SourceSpec::new("b", Schema::new(["zzzzzz"])));
         let u = b.build().unwrap();
         assert_eq!(theta_upper_bound(&u, &JaccardNGram::trigram()), 0.0);
+    }
+
+    /// A universe wide enough to exceed the parallel-build threshold.
+    fn wide_universe() -> Universe {
+        let mut b = Universe::builder();
+        for s in 0..10u32 {
+            let attrs: Vec<String> = (0..12).map(|a| format!("field {s} {a} name")).collect();
+            b.add_source(SourceSpec::new(format!("src{s}"), Schema::new(attrs)));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_build_is_bitwise_identical_to_serial() {
+        let u = wide_universe();
+        let measure = JaccardNGram::trigram();
+        let serial = SimilarityCache::build(&u, &measure);
+        assert!(serial.distinct_names() >= super::PARALLEL_BUILD_MIN_NAMES);
+        for threads in [2, 3, 8] {
+            let parallel = SimilarityCache::build_parallel(&u, &measure, threads);
+            assert_eq!(parallel.distinct_names(), serial.distinct_names());
+            let d = serial.distinct_names() as u32;
+            for i in 0..d {
+                for j in 0..d {
+                    assert_eq!(
+                        parallel.sim_by_name_id(i, j).to_bits(),
+                        serial.sim_by_name_id(i, j).to_bits(),
+                        "cell ({i},{j}) diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimilarityCache>();
+    }
+
+    /// Contention regression test for the portfolio solver: many threads
+    /// hammering the read path concurrently must observe exactly the values
+    /// a single-threaded reader sees — reads are plain loads on an immutable
+    /// matrix, with no lock to contend on or corrupt.
+    #[test]
+    fn concurrent_reads_match_serial_reads() {
+        let u = wide_universe();
+        let cache = std::sync::Arc::new(SimilarityCache::build(&u, &JaccardNGram::trigram()));
+        let d = cache.distinct_names() as u32;
+        let expected: Vec<f64> = (0..d)
+            .flat_map(|i| (0..d).map(move |j| (i, j)))
+            .map(|(i, j)| cache.sim_by_name_id(i, j))
+            .collect();
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let cache = std::sync::Arc::clone(&cache);
+            let expected = expected.clone();
+            handles.push(std::thread::spawn(move || {
+                // Each thread walks the matrix from a different offset so the
+                // threads are always reading different cells at once.
+                for round in 0..50u32 {
+                    for i in 0..d {
+                        for j in 0..d {
+                            let ii = (i + t + round) % d;
+                            let got = cache.sim_by_name_id(ii, j);
+                            let want = expected[(ii * d + j) as usize];
+                            assert_eq!(got.to_bits(), want.to_bits());
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("reader thread panicked");
+        }
     }
 
     #[test]

@@ -34,12 +34,16 @@
 //! ```
 
 pub mod anneal;
+pub mod portfolio;
 pub mod problem;
 pub mod pso;
 pub mod sls;
 pub mod tabu;
 
 pub use anneal::SimulatedAnnealing;
+pub use portfolio::{
+    budgeted_member, default_member, parse_portfolio_spec, MemberRun, Portfolio, PortfolioRun,
+};
 pub use problem::{SolveResult, SubsetObjective, SubsetSolver};
 pub use pso::ParticleSwarm;
 pub use sls::StochasticLocalSearch;

@@ -1,0 +1,560 @@
+//! A parallel multi-start solver portfolio.
+//!
+//! Runs N independently-seeded member solvers (any mix of tabu, SLS,
+//! annealing, PSO) against one objective, spread across OS threads, and
+//! returns the best result. The portfolio is the repo's answer to two
+//! facts about metaheuristics on the `µBE` problem: restarts with different
+//! seeds escape different local optima, and the member runs are
+//! embarrassingly parallel.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed `(seed, member list)` the outcome is **byte-identical no
+//! matter how many threads run it**:
+//!
+//! * every member `w` gets its own seed stream derived from `(seed, w)` by
+//!   a SplitMix64-style mix — thread scheduling never touches RNG state;
+//! * the shared champion (atomic epoch + mutex-guarded best) is
+//!   *observational only*: members never read it to steer their search, so
+//!   racing updates cannot leak timing into results;
+//! * the winner is chosen after all members finish, by highest score with
+//!   ties broken toward the lowest worker id — a total order independent
+//!   of completion order.
+//!
+//! Threads only decide *when* each member runs, never *what* it computes.
+//!
+//! Workers ask the objective for a [`SubsetObjective::worker_view`] — a
+//! worker-local incremental evaluator when the objective provides one
+//! (`mube_core::Problem` does) — and fall back to sharing the objective
+//! directly otherwise.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::anneal::SimulatedAnnealing;
+use crate::problem::{debug_validate_result, SolveResult, SubsetObjective, SubsetSolver};
+use crate::pso::ParticleSwarm;
+use crate::sls::StochasticLocalSearch;
+use crate::tabu::TabuSearch;
+
+/// One member's completed run.
+#[derive(Debug, Clone)]
+pub struct MemberRun {
+    /// The member's index in the portfolio (its worker id).
+    pub worker: usize,
+    /// The member solver's name.
+    pub solver: String,
+    /// The member's own best result.
+    pub result: SolveResult,
+}
+
+/// The full outcome of a portfolio run: the aggregate result plus every
+/// member's incumbent and the champion-improvement trace.
+#[derive(Debug, Clone)]
+pub struct PortfolioRun {
+    /// Index (worker id) of the winning member.
+    pub winner: usize,
+    /// The winner's selection and score; `evaluations`/`iterations` are
+    /// summed across all members (the work the portfolio actually did).
+    pub result: SolveResult,
+    /// Every member's run, in worker order.
+    pub members: Vec<MemberRun>,
+    /// `(worker, score)` at each champion improvement, in update order.
+    /// Scores are monotone non-decreasing. The *order* entries arrived in
+    /// depends on thread scheduling (the trace observes the race; it never
+    /// influences results).
+    pub champion_trace: Vec<(usize, f64)>,
+}
+
+/// Shared best-so-far incumbent. Updated under the mutex; the epoch counter
+/// lets observers detect improvements without taking the lock.
+struct Champion {
+    score: f64,
+    worker: usize,
+    trace: Vec<(usize, f64)>,
+}
+
+/// What kind of start each member performs.
+enum Mode<'a> {
+    Cold,
+    Warm(&'a [usize]),
+    Within(&'a [usize], usize),
+}
+
+/// A parallel multi-start portfolio of subset solvers.
+pub struct Portfolio {
+    members: Vec<Box<dyn SubsetSolver>>,
+    threads: usize,
+    label: String,
+}
+
+/// Canonicalizes a `tabu,sls,anneal` spec into member solver names.
+/// Accepted tokens: `tabu`, `sls`, `anneal`/`annealing`, `pso`.
+pub fn parse_portfolio_spec(spec: &str) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for raw in spec.split(',') {
+        let tok = raw.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        let canon = match tok {
+            "tabu" => "tabu",
+            "sls" => "sls",
+            "anneal" | "annealing" => "annealing",
+            "pso" => "pso",
+            other => {
+                return Err(format!(
+                    "unknown portfolio member `{other}` (expected tabu, sls, anneal, or pso)"
+                ))
+            }
+        };
+        names.push(canon.to_string());
+    }
+    if names.is_empty() {
+        return Err("empty portfolio spec".into());
+    }
+    Ok(names)
+}
+
+/// A default-configured solver by canonical name (as produced by
+/// [`parse_portfolio_spec`]).
+pub fn default_member(name: &str) -> Option<Box<dyn SubsetSolver>> {
+    match name {
+        "tabu" => Some(Box::new(TabuSearch::default())),
+        "sls" => Some(Box::new(StochasticLocalSearch::default())),
+        "annealing" => Some(Box::new(SimulatedAnnealing::default())),
+        "pso" => Some(Box::new(ParticleSwarm::default())),
+        _ => None,
+    }
+}
+
+/// Like [`default_member`], with the member's evaluation budget capped at
+/// `max_evaluations` — for callers (like the session server) that bound
+/// per-solve latency.
+pub fn budgeted_member(name: &str, max_evaluations: u64) -> Option<Box<dyn SubsetSolver>> {
+    match name {
+        "tabu" => Some(Box::new(TabuSearch {
+            max_evaluations,
+            ..TabuSearch::default()
+        })),
+        "sls" => Some(Box::new(StochasticLocalSearch {
+            max_evaluations,
+            ..Default::default()
+        })),
+        "annealing" => Some(Box::new(SimulatedAnnealing {
+            max_evaluations,
+            ..Default::default()
+        })),
+        "pso" => Some(Box::new(ParticleSwarm {
+            max_evaluations,
+            ..Default::default()
+        })),
+        _ => None,
+    }
+}
+
+impl Portfolio {
+    /// Builds a portfolio over explicit members. The member list (order
+    /// included) is part of the determinism contract.
+    ///
+    /// # Panics
+    /// If `members` is empty.
+    pub fn new(members: Vec<Box<dyn SubsetSolver>>) -> Self {
+        assert!(!members.is_empty(), "a portfolio needs at least one member");
+        let names: Vec<&str> = members.iter().map(|m| m.name()).collect();
+        let label = format!("portfolio({})", names.join(","));
+        Portfolio {
+            members,
+            threads: 1,
+            label,
+        }
+    }
+
+    /// Builds a portfolio from a comma-separated spec, with each listed
+    /// member repeated `restarts` times (different seed streams per copy).
+    /// `restarts` is clamped to at least 1.
+    pub fn from_spec(spec: &str, restarts: usize) -> Result<Self, String> {
+        let names = parse_portfolio_spec(spec)?;
+        let mut members: Vec<Box<dyn SubsetSolver>> = Vec::new();
+        for _ in 0..restarts.max(1) {
+            for name in &names {
+                members.push(default_member(name).expect("spec names are canonical"));
+            }
+        }
+        Ok(Portfolio::new(members))
+    }
+
+    /// Sets the number of OS threads the members are spread over (clamped
+    /// to at least 1). Affects wall-clock only, never results.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Number of members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The seed stream for member `worker`: a `SplitMix64` finalizer over the
+    /// run seed and the worker id, so streams are decorrelated and depend
+    /// only on `(seed, worker)`.
+    pub fn worker_seed(seed: u64, worker: u64) -> u64 {
+        let mut z = seed ^ worker.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Runs every member and returns the full outcome.
+    pub fn run(&self, objective: &dyn SubsetObjective, seed: u64) -> PortfolioRun {
+        self.run_mode(objective, seed, &Mode::Cold)
+    }
+
+    /// Like [`Portfolio::run`], warm-starting every member from `warm`.
+    pub fn run_from(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+    ) -> PortfolioRun {
+        self.run_mode(objective, seed, &Mode::Warm(warm))
+    }
+
+    /// Like [`Portfolio::run_from`], bounding each member's drift from the
+    /// warm start to `radius` (for members that support trust regions).
+    pub fn run_within(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+        radius: usize,
+    ) -> PortfolioRun {
+        self.run_mode(objective, seed, &Mode::Within(warm, radius))
+    }
+
+    fn run_mode(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        mode: &Mode<'_>,
+    ) -> PortfolioRun {
+        let n = self.members.len();
+        let next_job = AtomicUsize::new(0);
+        let epoch = AtomicU64::new(0);
+        let champion = Mutex::new(Champion {
+            score: f64::NEG_INFINITY,
+            worker: usize::MAX,
+            trace: Vec::new(),
+        });
+        let slots: Vec<OnceLock<SolveResult>> = (0..n).map(|_| OnceLock::new()).collect();
+
+        let workers = self.threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // One incremental view per OS thread; members running on
+                    // the same thread reuse it (repositioning is cheap).
+                    let view = objective.worker_view();
+                    let obj: &dyn SubsetObjective = view.as_deref().unwrap_or(objective);
+                    loop {
+                        let w = next_job.fetch_add(1, Ordering::Relaxed);
+                        if w >= n {
+                            break;
+                        }
+                        let wseed = Portfolio::worker_seed(seed, w as u64);
+                        let result = match *mode {
+                            Mode::Cold => self.members[w].solve(obj, wseed),
+                            Mode::Warm(warm) => self.members[w].solve_from(obj, wseed, warm),
+                            Mode::Within(warm, radius) => {
+                                self.members[w].solve_within(obj, wseed, warm, radius)
+                            }
+                        };
+                        // Publish to the shared champion. Strictly-better
+                        // (score, then lowest worker) replacement makes the
+                        // final champion independent of arrival order.
+                        {
+                            let mut ch = champion.lock().expect("champion lock poisoned");
+                            let better = result.score > ch.score
+                                || (result.score == ch.score && w < ch.worker);
+                            if better {
+                                ch.score = result.score;
+                                ch.worker = w;
+                                ch.trace.push((w, result.score));
+                                epoch.fetch_add(1, Ordering::Release);
+                            }
+                        }
+                        slots[w].set(result).expect("each job index runs once");
+                    }
+                });
+            }
+        });
+
+        let members: Vec<MemberRun> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(w, slot)| MemberRun {
+                worker: w,
+                solver: self.members[w].name().to_string(),
+                result: slot.into_inner().expect("scope joined all workers"),
+            })
+            .collect();
+
+        // Deterministic winner: highest score, first (lowest) worker on
+        // ties. Scanning in worker order keeps the tie-break implicit.
+        let mut winner = 0;
+        for (i, m) in members.iter().enumerate().skip(1) {
+            if m.result
+                .score
+                .total_cmp(&members[winner].result.score)
+                .is_gt()
+            {
+                winner = i;
+            }
+        }
+        let mut result = members[winner].result.clone();
+        result.evaluations = members.iter().map(|m| m.result.evaluations).sum();
+        result.iterations = members.iter().map(|m| m.result.iterations).sum();
+        debug_validate_result(objective, &result);
+
+        let champion = champion.into_inner().expect("champion lock poisoned");
+        debug_assert_eq!(
+            champion.worker, winner,
+            "racing champion folds to the same winner as the ordered scan"
+        );
+        PortfolioRun {
+            winner,
+            result,
+            members,
+            champion_trace: champion.trace,
+        }
+    }
+}
+
+impl SubsetSolver for Portfolio {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn solve(&self, objective: &dyn SubsetObjective, seed: u64) -> SolveResult {
+        self.run(objective, seed).result
+    }
+
+    fn solve_from(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+    ) -> SolveResult {
+        self.run_from(objective, seed, warm).result
+    }
+
+    fn solve_within(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+        radius: usize,
+    ) -> SolveResult {
+        self.run_within(objective, seed, warm, radius).result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sum-of-values toy objective with a rugged twist: a parity bonus so
+    /// different members plausibly land in different optima.
+    struct Toy {
+        values: Vec<f64>,
+        max: usize,
+        required: Vec<usize>,
+    }
+
+    impl SubsetObjective for Toy {
+        fn universe_size(&self) -> usize {
+            self.values.len()
+        }
+        fn max_selected(&self) -> usize {
+            self.max
+        }
+        fn required(&self) -> Vec<usize> {
+            self.required.clone()
+        }
+        fn score(&self, selected: &[usize]) -> f64 {
+            let base: f64 = selected.iter().map(|&i| self.values[i]).sum();
+            let parity_bonus = if selected.len().is_multiple_of(2) { 0.5 } else { 0.0 };
+            base + parity_bonus
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy {
+            values: (0..20).map(|i| (i as f64 * 7.3) % 5.0).collect(),
+            max: 6,
+            required: vec![3],
+        }
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(
+            parse_portfolio_spec("tabu,sls,anneal").unwrap(),
+            vec!["tabu", "sls", "annealing"]
+        );
+        assert_eq!(
+            parse_portfolio_spec(" pso , tabu ").unwrap(),
+            vec!["pso", "tabu"]
+        );
+        assert!(parse_portfolio_spec("").is_err());
+        assert!(parse_portfolio_spec("tabu,genetic").is_err());
+    }
+
+    #[test]
+    fn from_spec_repeats_members() {
+        let p = Portfolio::from_spec("tabu,sls", 3).unwrap();
+        assert_eq!(p.member_count(), 6);
+        assert_eq!(p.name(), "portfolio(tabu,sls,tabu,sls,tabu,sls)");
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let obj = toy();
+        let runs: Vec<PortfolioRun> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&t| {
+                Portfolio::from_spec("tabu,sls,anneal,pso", 2)
+                    .unwrap()
+                    .threads(t)
+                    .run(&obj, 7)
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(r.result, runs[0].result);
+            assert_eq!(r.winner, runs[0].winner);
+            for (a, b) in r.members.iter().zip(&runs[0].members) {
+                assert_eq!(a.result, b.result, "member {} diverged", a.worker);
+            }
+        }
+    }
+
+    #[test]
+    fn winner_is_best_member_lowest_worker_on_ties() {
+        let obj = toy();
+        let p = Portfolio::from_spec("tabu", 4).unwrap().threads(2);
+        let run = p.run(&obj, 11);
+        let best = run
+            .members
+            .iter()
+            .map(|m| m.result.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(run.result.score, best);
+        let first_best = run
+            .members
+            .iter()
+            .position(|m| m.result.score == best)
+            .unwrap();
+        assert_eq!(run.winner, first_best);
+    }
+
+    #[test]
+    fn champion_trace_is_monotone() {
+        let obj = toy();
+        let run = Portfolio::from_spec("tabu,sls,anneal,pso", 4)
+            .unwrap()
+            .threads(8)
+            .run(&obj, 3);
+        assert!(!run.champion_trace.is_empty());
+        for w in run.champion_trace.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1,
+                "trace regressed: {:?}",
+                run.champion_trace
+            );
+        }
+        let (_, last) = *run.champion_trace.last().unwrap();
+        assert_eq!(last, run.result.score);
+    }
+
+    #[test]
+    fn evaluations_aggregate_across_members() {
+        let obj = toy();
+        let run = Portfolio::from_spec("tabu,sls", 1)
+            .unwrap()
+            .threads(2)
+            .run(&obj, 5);
+        let sum: u64 = run.members.iter().map(|m| m.result.evaluations).sum();
+        assert_eq!(run.result.evaluations, sum);
+        assert!(sum > 0);
+    }
+
+    #[test]
+    fn warm_start_passthrough_is_deterministic() {
+        let obj = toy();
+        let p = Portfolio::from_spec("tabu,sls,anneal", 1)
+            .unwrap()
+            .threads(3);
+        let warm = vec![3, 5, 9];
+        let a = p.run_from(&obj, 13, &warm);
+        let b = Portfolio::from_spec("tabu,sls,anneal", 1)
+            .unwrap()
+            .threads(1)
+            .run_from(&obj, 13, &warm);
+        assert_eq!(a.result, b.result);
+        let c = p.run_within(&obj, 13, &warm, 2);
+        let d = Portfolio::from_spec("tabu,sls,anneal", 1)
+            .unwrap()
+            .threads(1)
+            .run_within(&obj, 13, &warm, 2);
+        assert_eq!(c.result, d.result);
+    }
+
+    #[test]
+    fn worker_seeds_are_decorrelated() {
+        let mut seen = std::collections::BTreeSet::new();
+        for w in 0..64 {
+            assert!(seen.insert(Portfolio::worker_seed(42, w)));
+        }
+        assert_ne!(Portfolio::worker_seed(42, 0), 42, "seed 0 is mixed too");
+    }
+
+    /// An objective whose worker views log their creation, proving the
+    /// portfolio requests one per OS thread.
+    struct Counting {
+        inner: Toy,
+        views: AtomicUsize,
+    }
+
+    impl SubsetObjective for Counting {
+        fn universe_size(&self) -> usize {
+            self.inner.universe_size()
+        }
+        fn max_selected(&self) -> usize {
+            self.inner.max_selected()
+        }
+        fn required(&self) -> Vec<usize> {
+            self.inner.required()
+        }
+        fn score(&self, selected: &[usize]) -> f64 {
+            self.inner.score(selected)
+        }
+        fn worker_view(&self) -> Option<Box<dyn SubsetObjective + '_>> {
+            self.views.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    #[test]
+    fn one_worker_view_per_thread() {
+        let obj = Counting {
+            inner: toy(),
+            views: AtomicUsize::new(0),
+        };
+        Portfolio::from_spec("tabu,sls,anneal,pso", 1)
+            .unwrap()
+            .threads(3)
+            .run(&obj, 1);
+        assert_eq!(obj.views.load(Ordering::Relaxed), 3);
+    }
+}

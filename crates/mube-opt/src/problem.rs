@@ -22,6 +22,19 @@ pub trait SubsetObjective: Sync {
 
     /// Scores a candidate subset. `selected` is sorted and duplicate-free.
     fn score(&self, selected: &[usize]) -> f64;
+
+    /// Returns a worker-local view of this objective, if one exists.
+    ///
+    /// A portfolio runs several solvers concurrently against one objective;
+    /// an implementation that keeps incremental per-candidate state (e.g.
+    /// `mube_core`'s delta evaluator) can hand each worker its own view so
+    /// that state is never contended across threads. Views must score
+    /// *identically* to the parent objective — callers treat them as pure
+    /// performance artifacts. The default has no such state and returns
+    /// `None`, which makes workers share `self` directly.
+    fn worker_view(&self) -> Option<Box<dyn SubsetObjective + '_>> {
+        None
+    }
 }
 
 /// Outcome of one solver run.

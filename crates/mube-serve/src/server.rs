@@ -33,7 +33,7 @@ use mube_exec::{
 };
 use mube_match::{ClusterMatcher, JaccardNGram, SimilarityCache};
 use mube_opt::{
-    ParticleSwarm, SimulatedAnnealing, StochasticLocalSearch, SubsetSolver, TabuSearch,
+    ParticleSwarm, Portfolio, SimulatedAnnealing, StochasticLocalSearch, SubsetSolver, TabuSearch,
 };
 
 use crate::http::{self, HttpError, Request};
@@ -568,7 +568,61 @@ fn create_session(state: &ServerState, req: &Request) -> Result<(u16, String), A
         .and_then(Json::as_str)
         .unwrap_or("tabu")
         .to_string();
-    let solver = make_solver(&solver_name, state.config.max_solve_evaluations);
+
+    // Portfolio mode: `portfolio` names the members; `threads` alone (or
+    // `restarts` > 1) engages the default spec so thread-count comparisons
+    // exercise the same code path.
+    let threads = match body.get("threads") {
+        Some(v) => {
+            let n = v.as_usize().filter(|&n| n >= 1).ok_or_else(|| {
+                ApiError::new(400, "bad_request", "`threads` must be a positive integer")
+            })?;
+            Some(n)
+        }
+        None => None,
+    };
+    let restarts = match body.get("restarts") {
+        Some(v) => v.as_usize().filter(|&n| n >= 1).ok_or_else(|| {
+            ApiError::new(400, "bad_request", "`restarts` must be a positive integer")
+        })?,
+        None => 1,
+    };
+    let mut portfolio_spec = match body.get("portfolio") {
+        Some(v) => {
+            let spec = v.as_str().ok_or_else(|| {
+                ApiError::new(400, "bad_request", "`portfolio` must be a spec string")
+            })?;
+            Some(spec.to_string())
+        }
+        None => None,
+    };
+    if portfolio_spec.is_none() && (threads.is_some() || restarts > 1) {
+        portfolio_spec = Some("tabu,sls,anneal,pso".to_string());
+    }
+    let (solver, solver_name): (Box<dyn SubsetSolver>, String) = match portfolio_spec {
+        Some(spec) => {
+            // Members carry the server's per-solve evaluation cap, same as
+            // single-solver sessions, so portfolio solves stay bounded.
+            let names = mube_opt::parse_portfolio_spec(&spec)
+                .map_err(|e| ApiError::new(422, "invalid_parameter", &e))?;
+            let mut members: Vec<Box<dyn SubsetSolver>> = Vec::new();
+            for _ in 0..restarts {
+                for name in &names {
+                    members.push(
+                        mube_opt::budgeted_member(name, state.config.max_solve_evaluations)
+                            .expect("spec names are canonical"),
+                    );
+                }
+            }
+            let pf = Portfolio::new(members).threads(threads.unwrap_or(1));
+            let label = pf.name().to_string();
+            (Box::new(pf), label)
+        }
+        None => (
+            make_solver(&solver_name, state.config.max_solve_evaluations),
+            solver_name,
+        ),
+    };
     let mut session = Session::new(problem, solver, seed);
     if body.get("continuity").and_then(Json::as_bool) == Some(true) {
         session = session.with_continuity();

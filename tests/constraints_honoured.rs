@@ -1,11 +1,15 @@
 //! Constraint-enforcement tests across the whole stack: every kind of user
 //! constraint from §2.4 must be honoured by the returned solutions.
 
+use std::collections::BTreeSet;
+
 use mube_core::constraints::Constraints;
 use mube_core::ga::GlobalAttribute;
+use mube_core::problem::CandidateEval;
+use mube_core::validate::SolutionValidator;
 use mube_core::AttrId;
 use mube_core::SourceId;
-use mube_integration::{ci_tabu, Fixture};
+use mube_integration::{ci_portfolio, ci_tabu, Fixture};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -96,6 +100,55 @@ fn beta_bound_holds_for_nonuser_gas() {
     let solution = problem.solve(&ci_tabu(), 24).expect("feasible");
     for ga in solution.schema.gas() {
         assert!(ga.len() >= 3, "GA below β=3: {:?}", ga);
+    }
+}
+
+#[test]
+fn every_portfolio_member_incumbent_honours_constraints() {
+    // Pins, m, θ, β all active at once: not just the portfolio's winner but
+    // *every member's* incumbent must describe a solution the independent
+    // post-solve validator accepts.
+    let fx = Fixture::new(30, 28);
+    let mut rng = StdRng::seed_from_u64(28);
+    let pinned = fx.synth.random_unperturbed(2, &mut rng);
+    let mut constraints = Constraints::with_max_sources(8).theta(0.6).beta(2);
+    constraints.required_sources = pinned.clone();
+    let problem = fx.problem(constraints);
+    let validator = SolutionValidator::for_problem(&problem);
+
+    let run = ci_portfolio(2, 4).run(&problem, 28);
+    assert_eq!(run.members.len(), 8);
+    for member in &run.members {
+        let selection: BTreeSet<SourceId> = member
+            .result
+            .selected
+            .iter()
+            .map(|&i| SourceId(i as u32))
+            .collect();
+        let CandidateEval::Feasible(solution) = problem.evaluate(&selection) else {
+            panic!(
+                "member {} ({}) ended on an infeasible incumbent {selection:?}",
+                member.worker, member.solver
+            );
+        };
+        assert!(
+            solution.sources.len() <= 8,
+            "member {} broke m: {selection:?}",
+            member.worker
+        );
+        for p in &pinned {
+            assert!(
+                solution.sources.contains(p),
+                "member {} dropped pinned {p}",
+                member.worker
+            );
+        }
+        validator.validate(&solution).unwrap_or_else(|e| {
+            panic!(
+                "member {} ({}) fails post-solve validation: {e:?}",
+                member.worker, member.solver
+            )
+        });
     }
 }
 

@@ -8,7 +8,9 @@ use mube_core::qefs::paper_default_qefs;
 use mube_core::session::Session;
 use mube_match::similarity::JaccardNGram;
 use mube_match::ClusterMatcher;
-use mube_opt::TabuSearch;
+use mube_opt::{
+    ParticleSwarm, Portfolio, SimulatedAnnealing, StochasticLocalSearch, SubsetSolver, TabuSearch,
+};
 use mube_synth::{generate, SynthConfig, SynthUniverse};
 
 /// A generated universe, the matcher over it, and the generator's output.
@@ -55,4 +57,32 @@ pub fn ci_tabu() -> TabuSearch {
         max_iterations: 200,
         ..TabuSearch::default()
     }
+}
+
+/// A CI-budgeted portfolio: `copies` rounds of tabu/SLS/annealing/PSO
+/// (so `4 * copies` members) spread over `threads` OS threads. The
+/// determinism contract does not depend on budgets, so tests stress the
+/// portfolio cheaply through this instead of the 20k-evaluation defaults.
+pub fn ci_portfolio(copies: usize, threads: usize) -> Portfolio {
+    let mut members: Vec<Box<dyn SubsetSolver>> = Vec::new();
+    for _ in 0..copies.max(1) {
+        members.push(Box::new(TabuSearch {
+            max_evaluations: 300,
+            max_iterations: 60,
+            ..TabuSearch::default()
+        }));
+        members.push(Box::new(StochasticLocalSearch {
+            max_evaluations: 300,
+            ..Default::default()
+        }));
+        members.push(Box::new(SimulatedAnnealing {
+            max_evaluations: 300,
+            ..Default::default()
+        }));
+        members.push(Box::new(ParticleSwarm {
+            max_evaluations: 300,
+            ..Default::default()
+        }));
+    }
+    Portfolio::new(members).threads(threads)
 }

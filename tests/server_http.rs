@@ -429,6 +429,57 @@ fn concurrent_sessions_do_not_interfere() {
 }
 
 #[test]
+fn portfolio_sessions_are_thread_count_invariant() {
+    let (handle, join) = spawn(4);
+    let addr = handle.addr();
+    let catalog_id = upload_catalog(addr, 10, 41);
+
+    // Two sessions, same catalog/seed/portfolio, differing only in threads.
+    let mut solutions = Vec::new();
+    for threads in [1u64, 8] {
+        let body = format!(
+            "{{\"catalog\":{catalog_id},\"seed\":7,\"max_sources\":4,\
+             \"threads\":{threads},\"portfolio\":\"tabu,sls,anneal\"}}"
+        );
+        let (status, v) = request(addr, "POST", "/sessions", &body);
+        assert_eq!(status, 201, "{v:?}");
+        assert_eq!(
+            v.get("solver").and_then(Json::as_str),
+            Some("portfolio(tabu,sls,annealing)"),
+            "{v:?}"
+        );
+        let session = v.get("session").and_then(Json::as_u64).expect("session id");
+        let (status, solved) = request(addr, "POST", &format!("/sessions/{session}/solve"), "");
+        assert_eq!(status, 200, "{solved:?}");
+        solutions.push(format!("{:?}", solved.get("solution")));
+    }
+    assert_eq!(
+        solutions[0], solutions[1],
+        "thread count changed the solution"
+    );
+
+    // `restarts` alone engages the default portfolio; bad specs are 422,
+    // bad thread counts 400.
+    let body = format!("{{\"catalog\":{catalog_id},\"restarts\":2}}");
+    let (status, v) = request(addr, "POST", "/sessions", &body);
+    assert_eq!(status, 201, "{v:?}");
+    assert_eq!(
+        v.get("solver").and_then(Json::as_str),
+        Some("portfolio(tabu,sls,annealing,pso,tabu,sls,annealing,pso)"),
+        "{v:?}"
+    );
+    let body = format!("{{\"catalog\":{catalog_id},\"portfolio\":\"tabu,genetic\"}}");
+    let (status, v) = request(addr, "POST", "/sessions", &body);
+    assert_eq!(status, 422, "{v:?}");
+    let body = format!("{{\"catalog\":{catalog_id},\"threads\":0}}");
+    let (status, v) = request(addr, "POST", "/sessions", &body);
+    assert_eq!(status, 400, "{v:?}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
 fn sessions_serialize_but_do_not_block_each_other() {
     // Two clients hammer the SAME session while a third uses its own:
     // same-session solves must serialize (iterations strictly increase,
