@@ -1,0 +1,129 @@
+//! Durability-layer micro-benchmarks for the `mube-serve` session journal.
+//!
+//! Two costs bound a deployment's choices: the per-request tax of
+//! journaling an event (WAL append, by fsync policy — `never` isolates the
+//! encode+write path, `always` shows the full durability price), and the
+//! restart tax of replaying the log (snapshot + tail decode at 1k and 10k
+//! events, with and without compaction having folded the tail away).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mube_serve::{Event, FsyncPolicy, Journal};
+
+/// A typical feedback body, sized like real traffic.
+const BODY: &str = "{\"actions\":[{\"op\":\"pin\",\"source\":\"site0042\"},\
+                    {\"op\":\"weight\",\"qef\":\"coverage\",\"value\":0.4}]}";
+
+/// A fresh per-measurement journal directory.
+fn fresh_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "mube-persist-bench-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn event(i: u64) -> Event {
+    Event::Feedback {
+        session: 1 + (i % 8),
+        body: BODY.to_string(),
+    }
+}
+
+/// Seeds a journal with `n` events plus the session-create records that
+/// keep them live through compaction, then drops the handle.
+fn seed_journal(dir: &Path, n: u64, snapshot_every: u64) {
+    let (journal, _, _) = Journal::open(dir, FsyncPolicy::Never, snapshot_every).unwrap();
+    for s in 1..=8u64 {
+        journal
+            .append(Event::SessionCreate {
+                id: s,
+                catalog_id: 1,
+                body: "{\"catalog\":1,\"seed\":7}".to_string(),
+            })
+            .unwrap();
+    }
+    for i in 0..n {
+        journal.append(event(i)).unwrap();
+    }
+    journal.flush().unwrap();
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    group.sample_size(10);
+    for (policy, name) in [
+        (FsyncPolicy::Never, "fsync-never"),
+        (FsyncPolicy::Always, "fsync-always"),
+    ] {
+        let dir = fresh_dir(name);
+        // One long-lived journal; compaction disabled so the measurement is
+        // pure append, not amortized snapshot work.
+        let (journal, _, _) = Journal::open(&dir, policy, u64::MAX).unwrap();
+        let mut i = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                journal.append(event(i)).unwrap();
+                i += 1;
+                i
+            });
+        });
+        drop(journal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal_replay");
+    group.sample_size(10);
+    for n in [1_000u64, 10_000] {
+        // All events in the tail: replay pays a full scan+decode.
+        let tail_dir = fresh_dir("tail");
+        seed_journal(&tail_dir, n, u64::MAX);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}-events-tail")),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let (journal, events, report) =
+                        Journal::open(&tail_dir, FsyncPolicy::Never, u64::MAX).unwrap();
+                    assert!(report.corruption.is_none());
+                    assert_eq!(events.len() as u64, n + 8);
+                    drop(journal);
+                    events.len()
+                });
+            },
+        );
+        let _ = std::fs::remove_dir_all(&tail_dir);
+
+        // Compaction ran while seeding: replay reads mostly the snapshot.
+        let snap_dir = fresh_dir("snap");
+        seed_journal(&snap_dir, n, 256);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}-events-snapshotted")),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let (journal, events, report) =
+                        Journal::open(&snap_dir, FsyncPolicy::Never, u64::MAX).unwrap();
+                    assert!(report.corruption.is_none());
+                    assert!(report.snapshot_events > 0, "seeding should have compacted");
+                    assert_eq!(events.len() as u64, n + 8);
+                    drop(journal);
+                    events.len()
+                });
+            },
+        );
+        let _ = std::fs::remove_dir_all(&snap_dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_append, bench_replay);
+criterion_main!(benches);

@@ -57,6 +57,10 @@ pub enum Command {
         /// How many times the portfolio spec is repeated (independent seed
         /// streams per copy).
         restarts: usize,
+        /// Wall-clock budget in milliseconds; the solve stops at the
+        /// deadline and reports the best incumbent found (anytime
+        /// semantics). `None` runs to the evaluation budget.
+        time_budget_ms: Option<u64>,
         /// Source names to pin (source constraints).
         pins: Vec<String>,
         /// `(qef, weight)` overrides.
@@ -120,6 +124,10 @@ pub enum Command {
         addr: String,
         /// Worker threads.
         threads: usize,
+        /// Durable session journal directory (`None` = in-memory only).
+        data_dir: Option<String>,
+        /// Journal fsync policy (`always`, `interval[:MS]`, or `never`).
+        fsync: mube_serve::FsyncPolicy,
     },
     /// `mube help`.
     Help,
@@ -242,6 +250,7 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
             let mut threads_given = false;
             let mut portfolio: Option<String> = None;
             let mut restarts = 1usize;
+            let mut time_budget_ms: Option<u64> = None;
             let mut pins = Vec::new();
             let mut weights = Vec::new();
             let mut explain = false;
@@ -296,6 +305,13 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                             return Err(bad("--restarts must be at least 1"));
                         }
                     }
+                    "--time-budget" => {
+                        time_budget_ms = Some(
+                            take_value(flag, &mut iter)?
+                                .parse()
+                                .map_err(|_| bad("--time-budget needs milliseconds"))?,
+                        );
+                    }
                     "--pin" => pins.push(take_value(flag, &mut iter)?.to_string()),
                     "--weight" => {
                         let spec = take_value(flag, &mut iter)?;
@@ -330,6 +346,7 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                 threads,
                 portfolio,
                 restarts,
+                time_budget_ms,
                 pins,
                 weights,
                 explain,
@@ -483,6 +500,8 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
         "serve" => {
             let mut addr = "127.0.0.1:7207".to_string();
             let mut threads = 4usize;
+            let mut data_dir: Option<String> = None;
+            let mut fsync = mube_serve::FsyncPolicy::default();
             while let Some(flag) = iter.next() {
                 match flag {
                     "--addr" => addr = take_value(flag, &mut iter)?.to_string(),
@@ -494,10 +513,20 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                             return Err(bad("--threads must be at least 1"));
                         }
                     }
+                    "--data-dir" => data_dir = Some(take_value(flag, &mut iter)?.to_string()),
+                    "--fsync" => {
+                        fsync = mube_serve::FsyncPolicy::parse(take_value(flag, &mut iter)?)
+                            .map_err(bad)?;
+                    }
                     other => return Err(bad(format!("unknown flag `{other}` for serve"))),
                 }
             }
-            Ok(Command::Serve { addr, threads })
+            Ok(Command::Serve {
+                addr,
+                threads,
+                data_dir,
+                fsync,
+            })
         }
         other => Err(bad(format!("unknown command `{other}`"))),
     }
@@ -851,17 +880,58 @@ mod tests {
             p(&["serve"]).unwrap(),
             Command::Serve {
                 addr: "127.0.0.1:7207".into(),
-                threads: 4
+                threads: 4,
+                data_dir: None,
+                fsync: mube_serve::FsyncPolicy::default(),
             }
         );
         assert_eq!(
             p(&["serve", "--addr", "0.0.0.0:8080", "--threads", "8"]).unwrap(),
             Command::Serve {
                 addr: "0.0.0.0:8080".into(),
-                threads: 8
+                threads: 8,
+                data_dir: None,
+                fsync: mube_serve::FsyncPolicy::default(),
             }
         );
         assert!(p(&["serve", "--threads", "0"]).is_err());
         assert!(p(&["serve", "--port", "80"]).is_err());
+    }
+
+    #[test]
+    fn serve_persistence_flags() {
+        let cmd = p(&["serve", "--data-dir", "/tmp/mube", "--fsync", "always"]).unwrap();
+        match cmd {
+            Command::Serve {
+                data_dir, fsync, ..
+            } => {
+                assert_eq!(data_dir.as_deref(), Some("/tmp/mube"));
+                assert_eq!(fsync, mube_serve::FsyncPolicy::Always);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match p(&["serve", "--fsync", "interval:50"]).unwrap() {
+            Command::Serve { fsync, .. } => assert_eq!(
+                fsync,
+                mube_serve::FsyncPolicy::Interval(std::time::Duration::from_millis(50))
+            ),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(p(&["serve", "--fsync", "sometimes"]).is_err());
+        assert!(p(&["serve", "--data-dir"]).is_err());
+    }
+
+    #[test]
+    fn solve_time_budget_flag() {
+        match p(&["solve", "cat.catalog", "--time-budget", "250"]).unwrap() {
+            Command::Solve { time_budget_ms, .. } => assert_eq!(time_budget_ms, Some(250)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p(&["solve", "cat.catalog"]).unwrap() {
+            Command::Solve { time_budget_ms, .. } => assert_eq!(time_budget_ms, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(p(&["solve", "cat.catalog", "--time-budget", "soon"]).is_err());
+        assert!(p(&["solve", "cat.catalog", "--time-budget"]).is_err());
     }
 }

@@ -164,6 +164,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             threads,
             portfolio,
             restarts,
+            time_budget_ms,
             pins,
             weights,
             explain: want_explain,
@@ -209,11 +210,26 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 }
                 None => make_solver(&solver),
             };
-            let solution = problem.solve(solver.as_ref(), seed)?;
+            let solution = match time_budget_ms {
+                Some(ms) => {
+                    let cancel = mube_opt::CancelToken::after(std::time::Duration::from_millis(ms));
+                    problem.solve_cancel(solver.as_ref(), seed, &cancel)?
+                }
+                None => problem.solve(solver.as_ref(), seed)?,
+            };
             if json {
                 return Ok(solution.to_json(&universe));
             }
-            let mut out = solution.display(&universe).to_string();
+            let mut out = String::new();
+            if solution.timed_out {
+                writeln!(
+                    out,
+                    "(time budget hit: best solution found within {}ms)",
+                    time_budget_ms.unwrap_or(0)
+                )
+                .expect("string write");
+            }
+            write!(out, "{}", solution.display(&universe)).expect("string write");
             if want_explain {
                 writeln!(out, "Why each source (leave-one-out ΔQ):").expect("string write");
                 let explanation = explain::explain(&problem, &solution);
@@ -222,10 +238,17 @@ pub fn run(command: Command) -> Result<String, CliError> {
             Ok(out)
         }
         exec @ Command::Exec { .. } => exec_command(exec),
-        Command::Serve { addr, threads } => {
+        Command::Serve {
+            addr,
+            threads,
+            data_dir,
+            fsync,
+        } => {
             let config = mube_serve::ServeConfig {
                 addr,
                 threads,
+                data_dir,
+                fsync,
                 ..mube_serve::ServeConfig::default()
             };
             let server = mube_serve::Server::bind(config)?;

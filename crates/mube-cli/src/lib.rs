@@ -32,7 +32,7 @@ USAGE:
     mube solve    FILE [--max M] [--theta T] [--beta B] [--seed S]
                        [--solver tabu|sls|annealing|pso]
                        [--threads N] [--portfolio tabu,sls,anneal[,pso]]
-                       [--restarts R]
+                       [--restarts R] [--time-budget MS]
                        [--pin NAME]... [--weight QEF=W]...
                        [--explain | --json]
     mube lint     FILE [--max M] [--theta T] [--beta B]
@@ -43,6 +43,7 @@ USAGE:
                        [--faults SPEC] [--fault-seed S] [--query LO..HI]
                        [--json | --resolve]
     mube serve    [--addr HOST:PORT] [--threads N]
+                       [--data-dir DIR] [--fsync always|interval[:MS]|never]
     mube help
 
 COMMANDS:
@@ -51,7 +52,9 @@ COMMANDS:
                for the paper's cardinalities)
     validate   Parse a catalog and print per-source statistics
     match      Run schema matching over sources (no selection)
-    solve      Select at most --max sources and mediate a schema
+    solve      Select at most --max sources and mediate a schema;
+               --time-budget MS stops at the deadline and reports the
+               best solution found so far (anytime)
     lint       Statically audit a catalog + constraints before solving;
                exits 2 when MUBE0xx errors (or, with --deny-warnings,
                any finding) are reported
@@ -61,5 +64,6 @@ COMMANDS:
                slow=..); prints the degradation report, and with
                --resolve re-probes and re-solves around failing sources
     serve      Run the HTTP/JSON session server (default 127.0.0.1:7207;
-               see PROTOCOL.md for endpoints)
+               see PROTOCOL.md for endpoints); --data-dir journals
+               sessions durably and replays them on restart
     help       Show this message";

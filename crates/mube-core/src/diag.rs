@@ -79,11 +79,15 @@ pub enum DiagCode {
     /// MUBE014: no attribute of this source reaches similarity `θ` with any
     /// attribute of another source, so it can never join a (non-seed) GA.
     IsolatedSource,
+    /// MUBE015: a request asked for more compute than the server allows
+    /// (`threads`, `restarts`, portfolio members, or `time_budget_ms`
+    /// beyond the documented bound).
+    ResourceBoundExceeded,
 }
 
 impl DiagCode {
     /// Every code, for catalogs and docs.
-    pub const ALL: [DiagCode; 14] = [
+    pub const ALL: [DiagCode; 15] = [
         DiagCode::RequiredSourcesExceedMax,
         DiagCode::GaUnknownAttribute,
         DiagCode::GaConstraintsUnmergeable,
@@ -98,6 +102,7 @@ impl DiagCode {
         DiagCode::ZeroCardinalitySource,
         DiagCode::DuplicateSourceNames,
         DiagCode::IsolatedSource,
+        DiagCode::ResourceBoundExceeded,
     ];
 
     /// The stable `MUBE0xx` identifier.
@@ -117,6 +122,7 @@ impl DiagCode {
             DiagCode::ZeroCardinalitySource => "MUBE012",
             DiagCode::DuplicateSourceNames => "MUBE013",
             DiagCode::IsolatedSource => "MUBE014",
+            DiagCode::ResourceBoundExceeded => "MUBE015",
         }
     }
 
@@ -129,7 +135,8 @@ impl DiagCode {
             | DiagCode::InvalidQefWeight
             | DiagCode::UnknownRequiredSource
             | DiagCode::ThetaOutOfRange
-            | DiagCode::ZeroMaxSources => Severity::Error,
+            | DiagCode::ZeroMaxSources
+            | DiagCode::ResourceBoundExceeded => Severity::Error,
             DiagCode::ThetaUnsatisfiable
             | DiagCode::BetaExceedsFeasibleGa
             | DiagCode::AttrInMultipleRequiredGas
@@ -157,6 +164,7 @@ impl DiagCode {
             DiagCode::ZeroCardinalitySource => "zero-cardinality-source",
             DiagCode::DuplicateSourceNames => "duplicate-source-names",
             DiagCode::IsolatedSource => "isolated-source",
+            DiagCode::ResourceBoundExceeded => "resource-bound-exceeded",
         }
     }
 
@@ -212,6 +220,10 @@ impl DiagCode {
                 "the source can still be selected for its data, but it will \
                  never share a GA; lower theta or bridge it with a GA \
                  constraint"
+            }
+            DiagCode::ResourceBoundExceeded => {
+                "lower the requested threads/restarts/portfolio size or time \
+                 budget; the server's bounds are listed in PROTOCOL.md"
             }
         }
     }
@@ -334,6 +346,7 @@ mod tests {
         }
         assert_eq!(DiagCode::RequiredSourcesExceedMax.code(), "MUBE001");
         assert_eq!(DiagCode::IsolatedSource.code(), "MUBE014");
+        assert_eq!(DiagCode::ResourceBoundExceeded.code(), "MUBE015");
     }
 
     #[test]
@@ -347,7 +360,7 @@ mod tests {
             .filter(|c| c.severity() == Severity::Warning)
             .count();
         assert_eq!(errors + warnings, DiagCode::ALL.len());
-        assert_eq!(errors, 7);
+        assert_eq!(errors, 8);
     }
 
     #[test]

@@ -252,6 +252,7 @@ impl Problem {
             quality,
             qef_scores,
             evaluations: 0,
+            timed_out: false,
         })
     }
 
@@ -274,6 +275,18 @@ impl Problem {
     /// feasible solution.
     pub fn solve(&self, solver: &dyn SubsetSolver, seed: u64) -> Result<Solution, MubeError> {
         self.finish(solver.solve(self, seed), solver)
+    }
+
+    /// Like [`Problem::solve`], polling `cancel` between evaluations: when
+    /// the token fires (deadline or explicit cancel) the best-so-far
+    /// incumbent is returned with [`Solution::timed_out`] set.
+    pub fn solve_cancel(
+        &self,
+        solver: &dyn SubsetSolver,
+        seed: u64,
+        cancel: &mube_opt::CancelToken,
+    ) -> Result<Solution, MubeError> {
+        self.finish(solver.solve_cancel(self, seed, cancel), solver)
     }
 
     /// Solves warm-started from a previous solution's source set (only
@@ -301,6 +314,22 @@ impl Problem {
     ) -> Result<Solution, MubeError> {
         let indices: Vec<usize> = warm.iter().map(|s| s.index()).collect();
         self.finish(solver.solve_within(self, seed, &indices, radius), solver)
+    }
+
+    /// Cancellable form of [`Problem::solve_near`].
+    pub fn solve_near_cancel(
+        &self,
+        solver: &dyn SubsetSolver,
+        seed: u64,
+        warm: &BTreeSet<SourceId>,
+        radius: usize,
+        cancel: &mube_opt::CancelToken,
+    ) -> Result<Solution, MubeError> {
+        let indices: Vec<usize> = warm.iter().map(|s| s.index()).collect();
+        self.finish(
+            solver.solve_within_cancel(self, seed, &indices, radius, cancel),
+            solver,
+        )
     }
 
     /// Solves with tabu search and returns up to `k` of the best *distinct
@@ -343,6 +372,7 @@ impl Problem {
         match self.evaluate(&sources) {
             CandidateEval::Feasible(mut sol) => {
                 sol.evaluations = result.evaluations;
+                sol.timed_out = result.timed_out;
                 Ok(sol)
             }
             CandidateEval::Infeasible => Err(MubeError::ConstraintConflict {

@@ -92,6 +92,13 @@ impl Session {
     /// and the iteration number, so re-running after feedback explores anew
     /// but the session as a whole stays reproducible.
     pub fn run(&mut self) -> Result<&Solution, MubeError> {
+        self.run_cancel(&mube_opt::CancelToken::none())
+    }
+
+    /// Like [`Session::run`], bounded by a [`mube_opt::CancelToken`]: when
+    /// the token fires mid-solve, the best-so-far incumbent is validated,
+    /// recorded, and returned with [`Solution::timed_out`] set.
+    pub fn run_cancel(&mut self, cancel: &mube_opt::CancelToken) -> Result<&Solution, MubeError> {
         let seed = self.seed.wrapping_add(self.history.len() as u64);
         let warm = if self.continuity {
             self.history.last().map(|s| s.sources.clone())
@@ -104,9 +111,11 @@ impl Session {
                     .drift_limit
                     .unwrap_or_else(|| (self.problem.constraints().max_sources / 3).max(2));
                 self.problem
-                    .solve_near(self.solver.as_ref(), seed, &warm, radius)?
+                    .solve_near_cancel(self.solver.as_ref(), seed, &warm, radius, cancel)?
             }
-            None => self.problem.solve(self.solver.as_ref(), seed)?,
+            None => self
+                .problem
+                .solve_cancel(self.solver.as_ref(), seed, cancel)?,
         };
         // Defense-in-depth: independently audit the returned solution
         // against the full constraint set and QEF bounds before recording
@@ -115,6 +124,22 @@ impl Session {
         SolutionValidator::for_problem(&self.problem).validate(&solution)?;
         self.history.push(solution);
         Ok(self.history.last().expect("just pushed"))
+    }
+
+    /// Installs a previously computed solution as the next history entry
+    /// without re-running the solver.
+    ///
+    /// This is the replay path for durable session journals: a deadline-cut
+    /// solve is *not* reproducible from its seed (wall-clock cancellation is
+    /// outside the deterministic state), so recovery replays the recorded
+    /// solution itself. The solution is still validated against the current
+    /// constraints, and the iteration counter advances exactly as if
+    /// [`Session::run`] had produced it — keeping future seed derivation and
+    /// continuity warm-starts byte-identical to the uninterrupted session.
+    pub fn restore_solution(&mut self, solution: Solution) -> Result<(), MubeError> {
+        SolutionValidator::for_problem(&self.problem).validate(&solution)?;
+        self.history.push(solution);
+        Ok(())
     }
 
     /// The most recent solution, if any iteration has run.

@@ -27,6 +27,10 @@ pub struct Solution {
     pub qef_scores: Vec<(String, f64, f64)>,
     /// Objective evaluations the optimizer spent finding this solution.
     pub evaluations: u64,
+    /// True if the solve was cut short by a deadline or explicit
+    /// cancellation; the solution is then the best incumbent found up to
+    /// that point (anytime semantics), still fully evaluated and feasible.
+    pub timed_out: bool,
 }
 
 impl Solution {
@@ -74,7 +78,7 @@ impl Solution {
     /// `mube solve --json` and the `mube-serve` HTTP API:
     ///
     /// ```json
-    /// {"quality":0.93,"evaluations":1234,
+    /// {"quality":0.93,"evaluations":1234,"timed_out":false,
     ///  "sources":[{"id":3,"name":"site0003","cardinality":1000}],
     ///  "qefs":[{"name":"matching","weight":0.25,"score":0.9}],
     ///  "schema":[{"ga":0,"attrs":[{"source":"site0003","attr":"title"}]}]}
@@ -87,6 +91,7 @@ impl Solution {
         j.begin_obj();
         j.key("quality").num_value(self.quality);
         j.key("evaluations").uint_value(self.evaluations);
+        j.key("timed_out").bool_value(self.timed_out);
         j.key("sources").begin_arr();
         for &s in &self.sources {
             j.begin_obj();
@@ -204,6 +209,7 @@ mod tests {
             quality,
             qef_scores: vec![("matching".into(), 1.0, quality)],
             evaluations: 0,
+            timed_out: false,
         }
     }
 

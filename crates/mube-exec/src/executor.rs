@@ -553,6 +553,7 @@ mod tests {
             quality: 1.0,
             qef_scores: vec![],
             evaluations: 0,
+            timed_out: false,
         };
         let report = executor.execute_solution(&solution, &Query::range(0, u64::MAX).project([0]));
         assert_eq!(report.unanswerable, vec![SourceId(2)]);

@@ -9,6 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::cancel::CancelToken;
 use crate::problem::{
     random_feasible, random_move, Incumbent, SolveResult, SubsetObjective, SubsetSolver,
 };
@@ -43,6 +44,15 @@ impl SubsetSolver for SimulatedAnnealing {
     }
 
     fn solve(&self, objective: &dyn SubsetObjective, seed: u64) -> SolveResult {
+        self.solve_cancel(objective, seed, &CancelToken::none())
+    }
+
+    fn solve_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> SolveResult {
         let mut rng = StdRng::seed_from_u64(seed);
         let required = {
             let mut r = objective.required();
@@ -50,7 +60,8 @@ impl SubsetSolver for SimulatedAnnealing {
             r.dedup();
             r
         };
-        let mut incumbent = Incumbent::new(objective, self.max_evaluations);
+        let mut incumbent =
+            Incumbent::new(objective, self.max_evaluations).with_cancel(cancel.clone());
         let mut current = random_feasible(objective, &mut rng);
         let mut current_score = incumbent.score(&current);
         let mut temperature = self.initial_temperature;

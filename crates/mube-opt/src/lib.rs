@@ -34,6 +34,7 @@
 //! ```
 
 pub mod anneal;
+pub mod cancel;
 pub mod portfolio;
 pub mod problem;
 pub mod pso;
@@ -41,8 +42,10 @@ pub mod sls;
 pub mod tabu;
 
 pub use anneal::SimulatedAnnealing;
+pub use cancel::{CancelClock, CancelToken, ManualClock, MonotonicClock};
 pub use portfolio::{
-    budgeted_member, default_member, parse_portfolio_spec, MemberRun, Portfolio, PortfolioRun,
+    budgeted_member, default_member, member_panics_total, parse_portfolio_spec, MemberRun,
+    Portfolio, PortfolioRun,
 };
 pub use problem::{SolveResult, SubsetObjective, SubsetSolver};
 pub use pso::ParticleSwarm;

@@ -28,14 +28,29 @@
 //! (`mube_core::Problem` does) — and fall back to sharing the objective
 //! directly otherwise.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use crate::anneal::SimulatedAnnealing;
+use crate::cancel::CancelToken;
 use crate::problem::{debug_validate_result, SolveResult, SubsetObjective, SubsetSolver};
 use crate::pso::ParticleSwarm;
 use crate::sls::StochasticLocalSearch;
 use crate::tabu::TabuSearch;
+
+/// Process-wide count of portfolio member panics contained by
+/// [`Portfolio`] runs (see [`member_panics_total`]).
+static MEMBER_PANICS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative number of member panics contained across every portfolio run
+/// in this process. A member that panics is dropped from its run (the
+/// champion among the survivors still wins); this counter surfaces the
+/// failures for monitoring, e.g. the `member_panics` field in
+/// `mube-serve`'s `/metrics`.
+pub fn member_panics_total() -> u64 {
+    MEMBER_PANICS_TOTAL.load(Ordering::Relaxed)
+}
 
 /// One member's completed run.
 #[derive(Debug, Clone)]
@@ -52,18 +67,23 @@ pub struct MemberRun {
 /// member's incumbent and the champion-improvement trace.
 #[derive(Debug, Clone)]
 pub struct PortfolioRun {
-    /// Index (worker id) of the winning member.
+    /// Worker id of the winning member.
     pub winner: usize,
     /// The winner's selection and score; `evaluations`/`iterations` are
-    /// summed across all members (the work the portfolio actually did).
+    /// summed across all members (the work the portfolio actually did), and
+    /// `timed_out` is set if *any* member was cut short by the cancel token.
     pub result: SolveResult,
-    /// Every member's run, in worker order.
+    /// Every surviving member's run, in worker order. Members whose solver
+    /// panicked are absent (their panic is contained and counted in
+    /// [`PortfolioRun::member_panics`]).
     pub members: Vec<MemberRun>,
     /// `(worker, score)` at each champion improvement, in update order.
     /// Scores are monotone non-decreasing. The *order* entries arrived in
     /// depends on thread scheduling (the trace observes the race; it never
     /// influences results).
     pub champion_trace: Vec<(usize, f64)>,
+    /// Number of members whose solver panicked during this run.
+    pub member_panics: u64,
 }
 
 /// Shared best-so-far incumbent. Updated under the mutex; the epoch counter
@@ -208,7 +228,7 @@ impl Portfolio {
 
     /// Runs every member and returns the full outcome.
     pub fn run(&self, objective: &dyn SubsetObjective, seed: u64) -> PortfolioRun {
-        self.run_mode(objective, seed, &Mode::Cold)
+        self.run_mode(objective, seed, &Mode::Cold, &CancelToken::none())
     }
 
     /// Like [`Portfolio::run`], warm-starting every member from `warm`.
@@ -218,7 +238,7 @@ impl Portfolio {
         seed: u64,
         warm: &[usize],
     ) -> PortfolioRun {
-        self.run_mode(objective, seed, &Mode::Warm(warm))
+        self.run_mode(objective, seed, &Mode::Warm(warm), &CancelToken::none())
     }
 
     /// Like [`Portfolio::run_from`], bounding each member's drift from the
@@ -230,7 +250,46 @@ impl Portfolio {
         warm: &[usize],
         radius: usize,
     ) -> PortfolioRun {
-        self.run_mode(objective, seed, &Mode::Within(warm, radius))
+        self.run_mode(
+            objective,
+            seed,
+            &Mode::Within(warm, radius),
+            &CancelToken::none(),
+        )
+    }
+
+    /// Like [`Portfolio::run`], with a shared [`CancelToken`] every member
+    /// polls between evaluations — one deadline bounds the whole portfolio.
+    pub fn run_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> PortfolioRun {
+        self.run_mode(objective, seed, &Mode::Cold, cancel)
+    }
+
+    /// Cancellable form of [`Portfolio::run_from`].
+    pub fn run_from_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+        cancel: &CancelToken,
+    ) -> PortfolioRun {
+        self.run_mode(objective, seed, &Mode::Warm(warm), cancel)
+    }
+
+    /// Cancellable form of [`Portfolio::run_within`].
+    pub fn run_within_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+        radius: usize,
+        cancel: &CancelToken,
+    ) -> PortfolioRun {
+        self.run_mode(objective, seed, &Mode::Within(warm, radius), cancel)
     }
 
     fn run_mode(
@@ -238,6 +297,7 @@ impl Portfolio {
         objective: &dyn SubsetObjective,
         seed: u64,
         mode: &Mode<'_>,
+        cancel: &CancelToken,
     ) -> PortfolioRun {
         let n = self.members.len();
         let next_job = AtomicUsize::new(0);
@@ -248,6 +308,7 @@ impl Portfolio {
             trace: Vec::new(),
         });
         let slots: Vec<OnceLock<SolveResult>> = (0..n).map(|_| OnceLock::new()).collect();
+        let panics = AtomicU64::new(0);
 
         let workers = self.threads.min(n);
         std::thread::scope(|scope| {
@@ -255,19 +316,36 @@ impl Portfolio {
                 scope.spawn(|| {
                     // One incremental view per OS thread; members running on
                     // the same thread reuse it (repositioning is cheap).
-                    let view = objective.worker_view();
-                    let obj: &dyn SubsetObjective = view.as_deref().unwrap_or(objective);
+                    let mut view = objective.worker_view();
                     loop {
                         let w = next_job.fetch_add(1, Ordering::Relaxed);
                         if w >= n {
                             break;
                         }
                         let wseed = Portfolio::worker_seed(seed, w as u64);
-                        let result = match *mode {
-                            Mode::Cold => self.members[w].solve(obj, wseed),
-                            Mode::Warm(warm) => self.members[w].solve_from(obj, wseed, warm),
-                            Mode::Within(warm, radius) => {
-                                self.members[w].solve_within(obj, wseed, warm, radius)
+                        let obj: &dyn SubsetObjective = view.as_deref().unwrap_or(objective);
+                        // Contain member panics: a panicking member forfeits
+                        // its slot, the survivors' champion still wins, and
+                        // the failure is counted instead of poisoning the
+                        // whole portfolio (and the server worker above it).
+                        let outcome = catch_unwind(AssertUnwindSafe(|| match *mode {
+                            Mode::Cold => self.members[w].solve_cancel(obj, wseed, cancel),
+                            Mode::Warm(warm) => {
+                                self.members[w].solve_from_cancel(obj, wseed, warm, cancel)
+                            }
+                            Mode::Within(warm, radius) => self.members[w]
+                                .solve_within_cancel(obj, wseed, warm, radius, cancel),
+                        }));
+                        let result = match outcome {
+                            Ok(result) => result,
+                            Err(_) => {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                                MEMBER_PANICS_TOTAL.fetch_add(1, Ordering::Relaxed);
+                                // The incremental view was unwound through;
+                                // its internal state is suspect. Replace it
+                                // before the next job.
+                                view = objective.worker_view();
+                                continue;
                             }
                         };
                         // Publish to the shared champion. Strictly-better
@@ -293,28 +371,36 @@ impl Portfolio {
         let members: Vec<MemberRun> = slots
             .into_iter()
             .enumerate()
-            .map(|(w, slot)| MemberRun {
-                worker: w,
-                solver: self.members[w].name().to_string(),
-                result: slot.into_inner().expect("scope joined all workers"),
+            .filter_map(|(w, slot)| {
+                slot.into_inner().map(|result| MemberRun {
+                    worker: w,
+                    solver: self.members[w].name().to_string(),
+                    result,
+                })
             })
             .collect();
+        assert!(
+            !members.is_empty(),
+            "every portfolio member panicked; no result to return"
+        );
 
         // Deterministic winner: highest score, first (lowest) worker on
         // ties. Scanning in worker order keeps the tie-break implicit.
-        let mut winner = 0;
+        let mut best = 0;
         for (i, m) in members.iter().enumerate().skip(1) {
             if m.result
                 .score
-                .total_cmp(&members[winner].result.score)
+                .total_cmp(&members[best].result.score)
                 .is_gt()
             {
-                winner = i;
+                best = i;
             }
         }
-        let mut result = members[winner].result.clone();
+        let winner = members[best].worker;
+        let mut result = members[best].result.clone();
         result.evaluations = members.iter().map(|m| m.result.evaluations).sum();
         result.iterations = members.iter().map(|m| m.result.iterations).sum();
+        result.timed_out = members.iter().any(|m| m.result.timed_out);
         debug_validate_result(objective, &result);
 
         let champion = champion.into_inner().expect("champion lock poisoned");
@@ -327,6 +413,7 @@ impl Portfolio {
             result,
             members,
             champion_trace: champion.trace,
+            member_panics: panics.into_inner(),
         }
     }
 }
@@ -358,6 +445,37 @@ impl SubsetSolver for Portfolio {
     ) -> SolveResult {
         self.run_within(objective, seed, warm, radius).result
     }
+
+    fn solve_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> SolveResult {
+        self.run_cancel(objective, seed, cancel).result
+    }
+
+    fn solve_from_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+        cancel: &CancelToken,
+    ) -> SolveResult {
+        self.run_from_cancel(objective, seed, warm, cancel).result
+    }
+
+    fn solve_within_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+        radius: usize,
+        cancel: &CancelToken,
+    ) -> SolveResult {
+        self.run_within_cancel(objective, seed, warm, radius, cancel)
+            .result
+    }
 }
 
 #[cfg(test)]
@@ -384,7 +502,11 @@ mod tests {
         }
         fn score(&self, selected: &[usize]) -> f64 {
             let base: f64 = selected.iter().map(|&i| self.values[i]).sum();
-            let parity_bonus = if selected.len().is_multiple_of(2) { 0.5 } else { 0.0 };
+            let parity_bonus = if selected.len().is_multiple_of(2) {
+                0.5
+            } else {
+                0.0
+            };
             base + parity_bonus
         }
     }
@@ -556,5 +678,101 @@ mod tests {
             .threads(3)
             .run(&obj, 1);
         assert_eq!(obj.views.load(Ordering::Relaxed), 3);
+    }
+
+    /// A member that always panics, for containment tests.
+    struct PanickingSolver;
+
+    impl SubsetSolver for PanickingSolver {
+        fn name(&self) -> &str {
+            "boom"
+        }
+        fn solve(&self, _objective: &dyn SubsetObjective, _seed: u64) -> SolveResult {
+            panic!("deliberate member panic (containment test)");
+        }
+    }
+
+    #[test]
+    fn member_panic_is_contained_and_champion_survives() {
+        let obj = toy();
+        let members: Vec<Box<dyn SubsetSolver>> = vec![
+            Box::new(PanickingSolver),
+            Box::new(TabuSearch::default()),
+            Box::new(PanickingSolver),
+            Box::new(StochasticLocalSearch::default()),
+        ];
+        let run = Portfolio::new(members).threads(2).run(&obj, 21);
+        assert_eq!(run.member_panics, 2);
+        assert_eq!(run.members.len(), 2, "panicked members forfeit their slot");
+        let workers: Vec<usize> = run.members.iter().map(|m| m.worker).collect();
+        assert_eq!(workers, vec![1, 3]);
+        assert!(run.winner == 1 || run.winner == 3);
+        assert!(run.result.score.is_finite());
+        assert!(member_panics_total() >= 2);
+    }
+
+    #[test]
+    fn surviving_members_match_a_panic_free_run() {
+        // Containment must not perturb the survivors' determinism.
+        let obj = toy();
+        let mixed: Vec<Box<dyn SubsetSolver>> = vec![
+            Box::new(TabuSearch::default()),
+            Box::new(PanickingSolver),
+            Box::new(StochasticLocalSearch::default()),
+        ];
+        let run = Portfolio::new(mixed).threads(3).run(&obj, 9);
+        let tabu_alone = TabuSearch::default().solve(&obj, Portfolio::worker_seed(9, 0));
+        let sls_alone = StochasticLocalSearch::default().solve(&obj, Portfolio::worker_seed(9, 2));
+        assert_eq!(run.members[0].result, tabu_alone);
+        assert_eq!(run.members[1].result, sls_alone);
+    }
+
+    #[test]
+    #[should_panic(expected = "every portfolio member panicked")]
+    fn all_members_panicking_is_fatal() {
+        let obj = toy();
+        let members: Vec<Box<dyn SubsetSolver>> = vec![Box::new(PanickingSolver)];
+        Portfolio::new(members).run(&obj, 1);
+    }
+
+    #[test]
+    fn cancelled_portfolio_returns_best_so_far_flagged() {
+        use crate::cancel::{CancelToken, ManualClock};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let obj = toy();
+        let clock = Arc::new(ManualClock::new());
+        // Deadline already passed: every member gets exactly its guaranteed
+        // first evaluation and must still produce a feasible incumbent.
+        let token = CancelToken::with_deadline(clock, Duration::ZERO);
+        let p = Portfolio::from_spec("tabu,sls,anneal,pso", 1)
+            .unwrap()
+            .threads(2);
+        let run = p.run_cancel(&obj, 17, &token);
+        assert!(run.result.timed_out);
+        assert_eq!(run.members.len(), 4);
+        for m in &run.members {
+            assert!(m.result.timed_out, "member {} not flagged", m.worker);
+            assert!(
+                m.result.evaluations >= 1,
+                "anytime guarantee needs one eval"
+            );
+            assert!(m.result.selected.contains(&3), "required element kept");
+            assert!(m.result.selected.len() <= obj.max_selected());
+        }
+        // Without a token the same run is not flagged.
+        let clean = p.run(&obj, 17);
+        assert!(!clean.result.timed_out);
+    }
+
+    #[test]
+    fn uncancelled_token_matches_token_free_run() {
+        let obj = toy();
+        let p = Portfolio::from_spec("tabu,sls", 2).unwrap().threads(2);
+        let with_token = p.run_cancel(&obj, 31, &CancelToken::new());
+        let without = p.run(&obj, 31);
+        assert_eq!(with_token.result, without.result);
+        assert_eq!(with_token.winner, without.winner);
     }
 }

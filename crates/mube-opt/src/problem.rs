@@ -1,5 +1,6 @@
 //! The subset-selection problem interface and shared solver utilities.
 
+use crate::cancel::CancelToken;
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::Rng;
 
@@ -48,6 +49,10 @@ pub struct SolveResult {
     pub evaluations: u64,
     /// How many algorithm iterations ran.
     pub iterations: u64,
+    /// True if the run was cut short by a [`CancelToken`] (deadline or
+    /// explicit cancel) rather than finishing its budget; `selected` is then
+    /// the best incumbent found up to that point (anytime semantics).
+    pub timed_out: bool,
 }
 
 /// A subset-selection solver.
@@ -88,6 +93,46 @@ pub trait SubsetSolver: Send + Sync {
     ) -> SolveResult {
         self.solve_from(objective, seed, warm)
     }
+
+    /// Like [`SubsetSolver::solve`], but polls `cancel` between evaluations
+    /// and returns the best-so-far incumbent (flagged
+    /// [`SolveResult::timed_out`]) when it fires. The default ignores the
+    /// token so third-party solvers keep working unmodified; every solver in
+    /// this crate overrides it.
+    fn solve_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> SolveResult {
+        let _ = cancel;
+        self.solve(objective, seed)
+    }
+
+    /// Cancellable form of [`SubsetSolver::solve_from`].
+    fn solve_from_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+        cancel: &CancelToken,
+    ) -> SolveResult {
+        let _ = cancel;
+        self.solve_from(objective, seed, warm)
+    }
+
+    /// Cancellable form of [`SubsetSolver::solve_within`].
+    fn solve_within_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+        radius: usize,
+        cancel: &CancelToken,
+    ) -> SolveResult {
+        let _ = cancel;
+        self.solve_within(objective, seed, warm, radius)
+    }
 }
 
 /// Tracks the incumbent (best feasible solution seen) and evaluation counts
@@ -103,6 +148,10 @@ pub(crate) struct Incumbent<'a> {
     elite_capacity: usize,
     /// Best distinct candidates seen, sorted best-first.
     elites: Vec<(f64, Vec<usize>)>,
+    /// Cooperative cancellation handle, polled by `exhausted`.
+    cancel: CancelToken,
+    /// Set once `cancel` fires; copied into the final [`SolveResult`].
+    pub timed_out: bool,
 }
 
 impl<'a> Incumbent<'a> {
@@ -115,7 +164,15 @@ impl<'a> Incumbent<'a> {
             max_evaluations,
             elite_capacity: 0,
             elites: Vec::new(),
+            cancel: CancelToken::none(),
+            timed_out: false,
         }
+    }
+
+    /// Attaches a cancellation token, polled on every `exhausted` check.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Enables the elite archive: the `capacity` best *distinct* candidates
@@ -130,9 +187,21 @@ impl<'a> Incumbent<'a> {
         &mut self.elites
     }
 
-    /// True once the evaluation budget is spent.
-    pub fn exhausted(&self) -> bool {
-        self.evaluations >= self.max_evaluations
+    /// True once the evaluation budget is spent or the cancel token fired.
+    ///
+    /// Cancellation only takes effect after at least one evaluation: every
+    /// solver scores an initial candidate before its first `exhausted`
+    /// check, so even a zero-budget deadline yields a non-empty, feasible
+    /// incumbent (anytime guarantee).
+    pub fn exhausted(&mut self) -> bool {
+        if self.evaluations >= self.max_evaluations {
+            return true;
+        }
+        if self.evaluations > 0 && self.cancel.is_cancelled() {
+            self.timed_out = true;
+            return true;
+        }
+        false
     }
 
     /// Scores a candidate, updating the incumbent (and the elite archive,
@@ -164,6 +233,7 @@ impl<'a> Incumbent<'a> {
             score: self.best_score,
             evaluations: self.evaluations,
             iterations,
+            timed_out: self.timed_out,
         }
     }
 }
@@ -436,5 +506,27 @@ mod tests {
         inc.score(&[0]);
         inc.score(&[0]);
         assert!(inc.exhausted());
+        assert!(!inc.timed_out, "budget exhaustion is not a timeout");
+    }
+
+    #[test]
+    fn incumbent_cancellation_waits_for_first_evaluation() {
+        let toy = Toy {
+            values: vec![1.0, 2.0],
+            max: 1,
+            required: vec![],
+        };
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let mut inc = Incumbent::new(&toy, 100).with_cancel(cancel);
+        // Pre-cancelled token: the first exhausted check must still let one
+        // evaluation through so the incumbent is never empty.
+        assert!(!inc.exhausted());
+        inc.score(&[1]);
+        assert!(inc.exhausted());
+        assert!(inc.timed_out);
+        let result = inc.into_result(1);
+        assert_eq!(result.selected, vec![1]);
+        assert!(result.timed_out);
     }
 }

@@ -11,6 +11,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::cancel::CancelToken;
 use crate::problem::{Incumbent, SolveResult, SubsetObjective, SubsetSolver};
 
 /// Binary PSO configuration.
@@ -64,6 +65,15 @@ impl SubsetSolver for ParticleSwarm {
     }
 
     fn solve(&self, objective: &dyn SubsetObjective, seed: u64) -> SolveResult {
+        self.solve_cancel(objective, seed, &CancelToken::none())
+    }
+
+    fn solve_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> SolveResult {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = objective.universe_size();
         let m = objective.max_selected().min(n).max(1);
@@ -73,7 +83,8 @@ impl SubsetSolver for ParticleSwarm {
             r.dedup();
             r
         };
-        let mut incumbent = Incumbent::new(objective, self.max_evaluations);
+        let mut incumbent =
+            Incumbent::new(objective, self.max_evaluations).with_cancel(cancel.clone());
 
         // Initialize the swarm with random feasible positions.
         let mut swarm: Vec<Particle> = (0..self.particles)

@@ -10,6 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::cancel::CancelToken;
 use crate::problem::{
     random_feasible, random_move, Incumbent, SolveResult, SubsetObjective, SubsetSolver,
 };
@@ -44,6 +45,15 @@ impl SubsetSolver for StochasticLocalSearch {
     }
 
     fn solve(&self, objective: &dyn SubsetObjective, seed: u64) -> SolveResult {
+        self.solve_cancel(objective, seed, &CancelToken::none())
+    }
+
+    fn solve_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> SolveResult {
         let mut rng = StdRng::seed_from_u64(seed);
         let required = {
             let mut r = objective.required();
@@ -51,7 +61,8 @@ impl SubsetSolver for StochasticLocalSearch {
             r.dedup();
             r
         };
-        let mut incumbent = Incumbent::new(objective, self.max_evaluations);
+        let mut incumbent =
+            Incumbent::new(objective, self.max_evaluations).with_cancel(cancel.clone());
         let mut iterations = 0u64;
 
         'restarts: for _ in 0..self.restarts {

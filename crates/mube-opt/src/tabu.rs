@@ -20,6 +20,7 @@ use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::cancel::CancelToken;
 use crate::problem::{
     random_feasible, Incumbent, Move, SolveResult, SubsetObjective, SubsetSolver,
 };
@@ -94,11 +95,7 @@ impl SubsetSolver for TabuSearch {
         seed: u64,
         warm: &[usize],
     ) -> SolveResult {
-        let warmed = TabuSearch {
-            init: InitStrategy::Provided(warm.to_vec()),
-            ..self.clone()
-        };
-        warmed.solve(objective, seed)
+        self.solve_from_cancel(objective, seed, warm, &CancelToken::none())
     }
 
     fn solve_within(
@@ -108,16 +105,50 @@ impl SubsetSolver for TabuSearch {
         warm: &[usize],
         radius: usize,
     ) -> SolveResult {
+        self.solve_within_cancel(objective, seed, warm, radius, &CancelToken::none())
+    }
+
+    fn solve(&self, objective: &dyn SubsetObjective, seed: u64) -> SolveResult {
+        self.search(objective, seed, 0, &CancelToken::none()).0
+    }
+
+    fn solve_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> SolveResult {
+        self.search(objective, seed, 0, cancel).0
+    }
+
+    fn solve_from_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+        cancel: &CancelToken,
+    ) -> SolveResult {
+        let warmed = TabuSearch {
+            init: InitStrategy::Provided(warm.to_vec()),
+            ..self.clone()
+        };
+        warmed.search(objective, seed, 0, cancel).0
+    }
+
+    fn solve_within_cancel(
+        &self,
+        objective: &dyn SubsetObjective,
+        seed: u64,
+        warm: &[usize],
+        radius: usize,
+        cancel: &CancelToken,
+    ) -> SolveResult {
         let warmed = TabuSearch {
             init: InitStrategy::Provided(warm.to_vec()),
             trust_region: Some(radius),
             ..self.clone()
         };
-        warmed.solve(objective, seed)
-    }
-
-    fn solve(&self, objective: &dyn SubsetObjective, seed: u64) -> SolveResult {
-        self.search(objective, seed, 0).0
+        warmed.search(objective, seed, 0, cancel).0
     }
 }
 
@@ -133,7 +164,7 @@ impl TabuSearch {
         seed: u64,
         k: usize,
     ) -> (SolveResult, Vec<(f64, Vec<usize>)>) {
-        self.search(objective, seed, k)
+        self.search(objective, seed, k, &CancelToken::none())
     }
 
     fn search(
@@ -141,6 +172,7 @@ impl TabuSearch {
         objective: &dyn SubsetObjective,
         seed: u64,
         elite_capacity: usize,
+        cancel: &CancelToken,
     ) -> (SolveResult, Vec<(f64, Vec<usize>)>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let required = {
@@ -149,8 +181,9 @@ impl TabuSearch {
             r.dedup();
             r
         };
-        let mut incumbent =
-            Incumbent::new(objective, self.max_evaluations).with_elites(elite_capacity);
+        let mut incumbent = Incumbent::new(objective, self.max_evaluations)
+            .with_elites(elite_capacity)
+            .with_cancel(cancel.clone());
         let mut current = match &self.init {
             InitStrategy::Random => random_feasible(objective, &mut rng),
             InitStrategy::Greedy { sample } => {
@@ -367,7 +400,7 @@ fn greedy_construct(
     let budget_share = incumbent.max_evaluations / 2;
     let mut current_score = incumbent.score(&current);
     while current.len() < objective.max_selected().min(n) {
-        if incumbent.evaluations >= budget_share {
+        if incumbent.evaluations >= budget_share || incumbent.exhausted() {
             break;
         }
         let addable: Vec<usize> = (0..n)

@@ -30,12 +30,14 @@
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod persist;
 pub mod pool;
 pub mod server;
 pub mod store;
 
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, Metrics, ServerStats, BUCKETS};
+pub use persist::{Event, FsyncPolicy, Journal, JournalStats, RecoveryReport, SolutionRecord};
 pub use pool::WorkerPool;
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use store::{CatalogEntry, SessionEntry, Store, StoreError};

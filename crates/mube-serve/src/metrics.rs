@@ -11,6 +11,8 @@ use std::time::Duration;
 
 use mube_core::jsonw::JsonBuf;
 
+use crate::persist::JournalStats;
+
 /// Number of log-scale buckets: bucket `i` counts durations in
 /// `[2^i, 2^(i+1))` microseconds; the last bucket is unbounded above
 /// (≈ 2^19 µs ≈ 0.5 s and beyond).
@@ -75,6 +77,7 @@ struct Inner {
     sessions_created: u64,
     sessions_evicted: u64,
     solves_run: u64,
+    solves_timed_out: u64,
     executions_run: u64,
     exec_fetch_attempts: u64,
     exec_fetch_failures: u64,
@@ -105,6 +108,9 @@ pub struct ServerStats {
     pub sessions_evicted: u64,
     /// Solve iterations run.
     pub solves_run: u64,
+    /// Solves cut short by a deadline (answered with the best incumbent,
+    /// flagged `timed_out`).
+    pub solves_timed_out: u64,
     /// Query executions run (`POST /sessions/{id}/execute`).
     pub executions_run: u64,
     /// Fetch attempts across all executions (retries included).
@@ -120,6 +126,12 @@ pub struct ServerStats {
     /// Pool workers lost to job panics and respawned (filled in by the
     /// server; the pool owns that number).
     pub worker_panics: u64,
+    /// Portfolio member jobs lost to panics, process-wide (filled in by
+    /// the server from `mube_opt::member_panics_total`).
+    pub member_panics: u64,
+    /// Journal counters, when the server persists sessions (filled in by
+    /// the server; the journal owns these numbers).
+    pub journal: Option<JournalStats>,
     /// Whole-request latency histogram.
     pub request_hist: Histogram,
     /// Solver-only latency histogram.
@@ -147,10 +159,13 @@ impl Metrics {
         m.request_hist.record(elapsed);
     }
 
-    /// Records one finished solve.
-    pub fn record_solve(&self, elapsed: Duration) {
+    /// Records one finished solve and whether a deadline cut it short.
+    pub fn record_solve(&self, elapsed: Duration, timed_out: bool) {
         let mut m = self.locked();
         m.solves_run += 1;
+        if timed_out {
+            m.solves_timed_out += 1;
+        }
         m.solve_hist.record(elapsed);
     }
 
@@ -189,9 +204,16 @@ impl Metrics {
         self.locked().sessions_evicted += n;
     }
 
-    /// A consistent snapshot; `sessions_live` and `worker_panics` are
-    /// supplied by the caller (the store and pool own those numbers).
-    pub fn snapshot(&self, sessions_live: u64, worker_panics: u64) -> ServerStats {
+    /// A consistent snapshot; `sessions_live`, `worker_panics`,
+    /// `member_panics`, and `journal` are supplied by the caller (the
+    /// store, pool, solver layer, and journal own those numbers).
+    pub fn snapshot(
+        &self,
+        sessions_live: u64,
+        worker_panics: u64,
+        member_panics: u64,
+        journal: Option<JournalStats>,
+    ) -> ServerStats {
         let m = self.locked();
         ServerStats {
             requests: m.requests.clone(),
@@ -199,6 +221,7 @@ impl Metrics {
             sessions_created: m.sessions_created,
             sessions_evicted: m.sessions_evicted,
             solves_run: m.solves_run,
+            solves_timed_out: m.solves_timed_out,
             executions_run: m.executions_run,
             exec_fetch_attempts: m.exec_fetch_attempts,
             exec_fetch_failures: m.exec_fetch_failures,
@@ -206,6 +229,8 @@ impl Metrics {
             exec_sources_degraded: m.exec_sources_degraded,
             sessions_live,
             worker_panics,
+            member_panics,
+            journal,
             request_hist: m.request_hist.clone(),
             solve_hist: m.solve_hist.clone(),
             exec_hist: m.exec_hist.clone(),
@@ -246,7 +271,22 @@ impl ServerStats {
         j.key("sessions_evicted").uint_value(self.sessions_evicted);
         j.key("sessions_live").uint_value(self.sessions_live);
         j.key("solves_run").uint_value(self.solves_run);
+        j.key("solves_timed_out").uint_value(self.solves_timed_out);
         j.key("worker_panics").uint_value(self.worker_panics);
+        j.key("member_panics").uint_value(self.member_panics);
+        match &self.journal {
+            Some(s) => {
+                j.key("journal").begin_obj();
+                j.key("appends").uint_value(s.appends);
+                j.key("snapshots").uint_value(s.snapshots);
+                j.key("live_events").uint_value(s.live_events);
+                j.key("quarantined_bytes").uint_value(s.quarantined_bytes);
+                j.end_obj();
+            }
+            None => {
+                j.key("journal").null_value();
+            }
+        }
         j.key("exec").begin_obj();
         j.key("executions_run").uint_value(self.executions_run);
         j.key("fetch_attempts").uint_value(self.exec_fetch_attempts);
@@ -301,16 +341,20 @@ mod tests {
         m.record_request("GET /healthz", 200, Duration::from_micros(5));
         m.record_request("GET /healthz", 200, Duration::from_micros(7));
         m.record_request("POST /sessions", 422, Duration::from_micros(9));
-        m.record_solve(Duration::from_millis(2));
+        m.record_solve(Duration::from_millis(2), false);
+        m.record_solve(Duration::from_millis(1), true);
         m.catalog_created();
         m.session_created();
         m.sessions_evicted(3);
         m.record_execution(9, 4, 2, 1, Duration::from_millis(1));
-        let s = m.snapshot(4, 2);
+        let s = m.snapshot(4, 2, 5, Some(JournalStats::default()));
         assert_eq!(s.total_requests(), 3);
         assert_eq!(s.requests_for("GET /healthz"), 2);
         assert_eq!(s.requests[&("POST /sessions".to_string(), 422)], 1);
-        assert_eq!(s.solves_run, 1);
+        assert_eq!(s.solves_run, 2);
+        assert_eq!(s.solves_timed_out, 1);
+        assert_eq!(s.member_panics, 5);
+        assert!(s.journal.is_some());
         assert_eq!(s.sessions_evicted, 3);
         assert_eq!(s.sessions_live, 4);
         assert_eq!(s.worker_panics, 2);
@@ -320,7 +364,7 @@ mod tests {
         assert_eq!(s.exec_sources_failed, 2);
         assert_eq!(s.exec_sources_degraded, 1);
         assert_eq!(s.request_hist.total, 3);
-        assert_eq!(s.solve_hist.total, 1);
+        assert_eq!(s.solve_hist.total, 2);
         assert_eq!(s.exec_hist.total, 1);
     }
 
@@ -329,7 +373,7 @@ mod tests {
         let m = Metrics::new();
         m.record_request("GET /metrics", 200, Duration::from_micros(3));
         m.record_execution(5, 1, 1, 0, Duration::from_micros(40));
-        let json = m.snapshot(1, 0).to_json();
+        let json = m.snapshot(1, 0, 0, None).to_json();
         assert!(json.contains("\"endpoint\":\"GET /metrics\""), "{json}");
         assert!(json.contains("\"sessions_live\":1"), "{json}");
         assert!(json.contains("\"worker_panics\":0"), "{json}");

@@ -1,0 +1,1085 @@
+//! Durable session journal: a crash-safe write-ahead log for the [`Store`].
+//!
+//! `µBE`'s value is the *iterative* feedback loop — a session accumulates
+//! user guidance (pins, adopted GAs, reweights) over many solve rounds, and
+//! losing it to a process crash throws that work away. This module journals
+//! every state-changing session event to an append-only, CRC32-checksummed,
+//! length-prefixed WAL, periodically compacted into a snapshot, so a server
+//! restarted with the same `--data-dir` replays its sessions byte-
+//! identically.
+//!
+//! ## On-disk format
+//!
+//! Two files live in the data directory:
+//!
+//! * `journal.wal` — the append-only tail. Each record is a frame:
+//!
+//!   ```text
+//!   [len: u32 LE] [crc: u32 LE] [payload: len bytes]
+//!   payload = [lsn: u64 LE] [tag: u8] [body]
+//!   ```
+//!
+//!   `crc` is IEEE CRC-32 over the payload. `lsn` is a monotonically
+//!   increasing log sequence number shared by both files.
+//!
+//! * `snapshot.wal` — a compacted prefix of the log. Its first record is a
+//!   snapshot header (`tag 0`) carrying `through_lsn`; the rest are the
+//!   *live* events (deleted sessions dropped) with their original LSNs.
+//!   Snapshots are written to a temp file, fsynced, and atomically renamed,
+//!   so a crash never leaves a half snapshot. After a snapshot lands, the
+//!   tail is truncated; a crash *between* those two steps is benign because
+//!   boot skips tail records with `lsn <= through_lsn`.
+//!
+//! Torn or bit-flipped tail records are **quarantined, not fatal**: the
+//! corrupt suffix is copied to `quarantine-N.wal`, the tail is truncated to
+//! the last good record, and the server boots with everything up to that
+//! point. Durability of the suffix depends on the [`FsyncPolicy`].
+//!
+//! Solve events record the *resulting solution* (bit-exact f64s), not the
+//! solve parameters: a deadline-cut solve is not reproducible from its seed,
+//! but installing the recorded incumbent keeps the session history — and
+//! therefore every future seed derivation and warm start — byte-identical.
+
+use std::collections::BTreeSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mube_core::{AttrId, GlobalAttribute, MediatedSchema, Solution, SourceId};
+
+/// Records larger than this are treated as corruption (a torn length
+/// prefix would otherwise ask for gigabytes).
+const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Snapshot-header record tag (never appears in [`Event`]).
+const TAG_SNAPSHOT: u8 = 0;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `data` (the classic zlib/`cksum -o 3` polynomial).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Byte codec
+// ---------------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type DecodeResult<T> = Result<T, String>;
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "record truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> DecodeResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> DecodeResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn u64(&mut self) -> DecodeResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn bool(&mut self) -> DecodeResult<bool> {
+        Ok(self.u8()? != 0)
+    }
+    fn str(&mut self) -> DecodeResult<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid utf-8 in record: {e}"))
+    }
+    fn done(&self) -> DecodeResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after record body",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// A bit-exact, self-contained record of one solve's outcome: everything
+/// needed to rebuild the [`Solution`] on replay without re-running the
+/// solver (floats are stored as raw bit patterns so replay is byte-
+/// identical).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolutionRecord {
+    /// Selected source ids.
+    pub sources: Vec<u32>,
+    /// `Q(S)` as `f64::to_bits`.
+    pub quality_bits: u64,
+    /// Objective evaluations spent.
+    pub evaluations: u64,
+    /// Whether the solve was deadline-cut.
+    pub timed_out: bool,
+    /// Per-QEF `(name, weight bits, score bits)`.
+    pub qef_scores: Vec<(String, u64, u64)>,
+    /// Mediated schema: one inner vec per GA, each attr as
+    /// `(source id, attr index)`.
+    pub schema: Vec<Vec<(u32, u32)>>,
+}
+
+impl SolutionRecord {
+    /// Captures a solution for journaling.
+    pub fn from_solution(sol: &Solution) -> Self {
+        SolutionRecord {
+            sources: sol.sources.iter().map(|s| s.0).collect(),
+            quality_bits: sol.quality.to_bits(),
+            evaluations: sol.evaluations,
+            timed_out: sol.timed_out,
+            qef_scores: sol
+                .qef_scores
+                .iter()
+                .map(|(n, w, s)| (n.clone(), w.to_bits(), s.to_bits()))
+                .collect(),
+            schema: sol
+                .schema
+                .gas()
+                .iter()
+                .map(|ga| ga.attrs().iter().map(|a| (a.source.0, a.index)).collect())
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the solution. Fails only on a structurally invalid record
+    /// (e.g. an empty GA), which indicates corruption that slipped past the
+    /// CRC or a foreign writer.
+    pub fn into_solution(self) -> Result<Solution, String> {
+        let sources: BTreeSet<SourceId> = self.sources.iter().map(|&s| SourceId(s)).collect();
+        let mut gas = Vec::with_capacity(self.schema.len());
+        for attrs in &self.schema {
+            let ga = GlobalAttribute::try_new(
+                attrs
+                    .iter()
+                    .map(|&(s, i)| AttrId::new(SourceId(s), i))
+                    .collect::<Vec<_>>(),
+            )
+            .map_err(|e| format!("invalid GA in solve record: {e}"))?;
+            gas.push(ga);
+        }
+        Ok(Solution {
+            sources,
+            schema: MediatedSchema::new(gas),
+            quality: f64::from_bits(self.quality_bits),
+            qef_scores: self
+                .qef_scores
+                .into_iter()
+                .map(|(n, w, s)| (n, f64::from_bits(w), f64::from_bits(s)))
+                .collect(),
+            evaluations: self.evaluations,
+            timed_out: self.timed_out,
+        })
+    }
+}
+
+/// One journaled state change. Everything the boot-time replay needs to
+/// rebuild the `Store` is in here; requests are stored as their raw JSON
+/// bodies so replay reuses the exact handler validation path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A catalog upload (`POST /catalogs`), with the full catalog text.
+    CatalogCreate {
+        /// Assigned catalog id.
+        id: u64,
+        /// The raw catalog text as uploaded.
+        text: String,
+    },
+    /// A session creation (`POST /sessions`), with the raw request body.
+    SessionCreate {
+        /// Assigned session id.
+        id: u64,
+        /// The owning catalog.
+        catalog_id: u64,
+        /// The raw JSON request body.
+        body: String,
+    },
+    /// A feedback batch (`POST /sessions/{id}/feedback`), raw request body.
+    Feedback {
+        /// The session the feedback applied to.
+        session: u64,
+        /// The raw JSON request body.
+        body: String,
+    },
+    /// A completed solve and its exact outcome.
+    Solve {
+        /// The session that solved.
+        session: u64,
+        /// The resulting solution, bit-exact.
+        solution: SolutionRecord,
+    },
+    /// A session deletion (explicit `DELETE` or idle eviction).
+    SessionDelete {
+        /// The deleted session.
+        session: u64,
+    },
+}
+
+impl Event {
+    fn tag(&self) -> u8 {
+        match self {
+            Event::CatalogCreate { .. } => 1,
+            Event::SessionCreate { .. } => 2,
+            Event::Feedback { .. } => 3,
+            Event::Solve { .. } => 4,
+            Event::SessionDelete { .. } => 5,
+        }
+    }
+
+    fn encode_body(&self, e: &mut Enc) {
+        match self {
+            Event::CatalogCreate { id, text } => {
+                e.u64(*id);
+                e.str(text);
+            }
+            Event::SessionCreate {
+                id,
+                catalog_id,
+                body,
+            } => {
+                e.u64(*id);
+                e.u64(*catalog_id);
+                e.str(body);
+            }
+            Event::Feedback { session, body } => {
+                e.u64(*session);
+                e.str(body);
+            }
+            Event::Solve { session, solution } => {
+                e.u64(*session);
+                e.u32(solution.sources.len() as u32);
+                for &s in &solution.sources {
+                    e.u32(s);
+                }
+                e.u64(solution.quality_bits);
+                e.u64(solution.evaluations);
+                e.bool(solution.timed_out);
+                e.u32(solution.qef_scores.len() as u32);
+                for (name, w, s) in &solution.qef_scores {
+                    e.str(name);
+                    e.u64(*w);
+                    e.u64(*s);
+                }
+                e.u32(solution.schema.len() as u32);
+                for ga in &solution.schema {
+                    e.u32(ga.len() as u32);
+                    for &(src, idx) in ga {
+                        e.u32(src);
+                        e.u32(idx);
+                    }
+                }
+            }
+            Event::SessionDelete { session } => {
+                e.u64(*session);
+            }
+        }
+    }
+
+    fn decode_body(tag: u8, d: &mut Dec<'_>) -> DecodeResult<Event> {
+        let event = match tag {
+            1 => Event::CatalogCreate {
+                id: d.u64()?,
+                text: d.str()?,
+            },
+            2 => Event::SessionCreate {
+                id: d.u64()?,
+                catalog_id: d.u64()?,
+                body: d.str()?,
+            },
+            3 => Event::Feedback {
+                session: d.u64()?,
+                body: d.str()?,
+            },
+            4 => {
+                let session = d.u64()?;
+                let n_sources = d.u32()? as usize;
+                let mut sources = Vec::with_capacity(n_sources.min(65_536));
+                for _ in 0..n_sources {
+                    sources.push(d.u32()?);
+                }
+                let quality_bits = d.u64()?;
+                let evaluations = d.u64()?;
+                let timed_out = d.bool()?;
+                let n_qefs = d.u32()? as usize;
+                let mut qef_scores = Vec::with_capacity(n_qefs.min(65_536));
+                for _ in 0..n_qefs {
+                    qef_scores.push((d.str()?, d.u64()?, d.u64()?));
+                }
+                let n_gas = d.u32()? as usize;
+                let mut schema = Vec::with_capacity(n_gas.min(65_536));
+                for _ in 0..n_gas {
+                    let n_attrs = d.u32()? as usize;
+                    let mut ga = Vec::with_capacity(n_attrs.min(65_536));
+                    for _ in 0..n_attrs {
+                        ga.push((d.u32()?, d.u32()?));
+                    }
+                    schema.push(ga);
+                }
+                Event::Solve {
+                    session,
+                    solution: SolutionRecord {
+                        sources,
+                        quality_bits,
+                        evaluations,
+                        timed_out,
+                        qef_scores,
+                        schema,
+                    },
+                }
+            }
+            5 => Event::SessionDelete { session: d.u64()? },
+            other => return Err(format!("unknown record tag {other}")),
+        };
+        d.done()?;
+        Ok(event)
+    }
+
+    /// The session this event belongs to, if session-scoped.
+    fn session_id(&self) -> Option<u64> {
+        match self {
+            Event::CatalogCreate { .. } => None,
+            Event::SessionCreate { id, .. } => Some(*id),
+            Event::Feedback { session, .. }
+            | Event::Solve { session, .. }
+            | Event::SessionDelete { session } => Some(*session),
+        }
+    }
+}
+
+/// Encodes one frame: `[len][crc][lsn][tag][body]`.
+fn encode_frame(lsn: u64, tag: u8, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(9 + body.len());
+    payload.extend_from_slice(&lsn.to_le_bytes());
+    payload.push(tag);
+    payload.extend_from_slice(body);
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+fn encode_event_frame(lsn: u64, event: &Event) -> Vec<u8> {
+    let mut enc = Enc::new();
+    event.encode_body(&mut enc);
+    encode_frame(lsn, event.tag(), &enc.buf)
+}
+
+fn encode_snapshot_header(through_lsn: u64) -> Vec<u8> {
+    encode_frame(
+        through_lsn.wrapping_add(1),
+        TAG_SNAPSHOT,
+        &through_lsn.to_le_bytes(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// File scanning
+// ---------------------------------------------------------------------------
+
+/// One decoded record.
+enum Record {
+    Snapshot { through_lsn: u64 },
+    Event { lsn: u64, event: Event },
+}
+
+/// Result of scanning a WAL file up to the first corruption.
+struct Scan {
+    records: Vec<Record>,
+    /// Byte offset of the first corrupt record (== file length when clean).
+    good_len: u64,
+    /// Total file length.
+    file_len: u64,
+    /// Human-readable description of the corruption, if any.
+    corruption: Option<String>,
+}
+
+/// Scans a WAL file, stopping at the first torn or corrupt record.
+fn scan_wal(path: &Path) -> std::io::Result<Scan> {
+    let data = match fs::read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(Scan {
+                records: Vec::new(),
+                good_len: 0,
+                file_len: 0,
+                corruption: None,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut corruption = None;
+    while pos < data.len() {
+        if pos + 8 > data.len() {
+            corruption = Some("torn frame header".into());
+            break;
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if !(9..=MAX_RECORD_BYTES).contains(&len) {
+            corruption = Some(format!("implausible record length {len}"));
+            break;
+        }
+        let body_end = pos + 8 + len as usize;
+        if body_end > data.len() {
+            corruption = Some("torn record body".into());
+            break;
+        }
+        let payload = &data[pos + 8..body_end];
+        if crc32(payload) != crc {
+            corruption = Some("CRC mismatch".into());
+            break;
+        }
+        let lsn = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let tag = payload[8];
+        let body = &payload[9..];
+        if tag == TAG_SNAPSHOT {
+            let mut d = Dec::new(body);
+            match d.u64().and_then(|v| d.done().map(|()| v)) {
+                Ok(through_lsn) => records.push(Record::Snapshot { through_lsn }),
+                Err(e) => {
+                    corruption = Some(format!("bad snapshot header: {e}"));
+                    break;
+                }
+            }
+        } else {
+            match Event::decode_body(tag, &mut Dec::new(body)) {
+                Ok(event) => records.push(Record::Event { lsn, event }),
+                Err(e) => {
+                    corruption = Some(format!("undecodable record: {e}"));
+                    break;
+                }
+            }
+        }
+        pos = body_end;
+    }
+    Ok(Scan {
+        records,
+        good_len: pos as u64,
+        file_len: data.len() as u64,
+        corruption,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fsync policy
+// ---------------------------------------------------------------------------
+
+/// When journal appends are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: no acknowledged event is ever lost, at a
+    /// per-request latency cost.
+    Always,
+    /// `fsync` at most once per interval (plus on eviction, deletion, and
+    /// shutdown). A crash loses at most the last interval's events.
+    Interval(Duration),
+    /// Never `fsync` explicitly; the OS flushes when it pleases. Fastest,
+    /// weakest.
+    Never,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::Interval(Duration::from_millis(100))
+    }
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `never`, `interval`, or `interval:<ms>`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            "interval" => Ok(FsyncPolicy::default()),
+            other => match other.strip_prefix("interval:") {
+                Some(ms) => ms
+                    .parse::<u64>()
+                    .map(|ms| FsyncPolicy::Interval(Duration::from_millis(ms)))
+                    .map_err(|_| format!("invalid fsync interval `{ms}` (expected milliseconds)")),
+                None => Err(format!(
+                    "unknown fsync policy `{other}` (expected always, interval[:ms], or never)"
+                )),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+/// What boot-time recovery found in the data directory.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Events restored from the snapshot.
+    pub snapshot_events: u64,
+    /// Events restored from the journal tail.
+    pub tail_events: u64,
+    /// Bytes of corrupt suffix moved to a quarantine file (0 = clean).
+    pub quarantined_bytes: u64,
+    /// Path of the quarantine file, when corruption was found.
+    pub quarantine_file: Option<PathBuf>,
+    /// Description of the corruption, when found.
+    pub corruption: Option<String>,
+}
+
+/// Counters exposed through `/metrics`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JournalStats {
+    /// Events appended since boot.
+    pub appends: u64,
+    /// Snapshots written since boot.
+    pub snapshots: u64,
+    /// Events currently live (after compaction).
+    pub live_events: u64,
+    /// Bytes quarantined at boot.
+    pub quarantined_bytes: u64,
+}
+
+struct JournalInner {
+    tail: File,
+    policy: FsyncPolicy,
+    last_sync: Instant,
+    next_lsn: u64,
+    /// In-memory mirror of every live event (snapshot + tail), in LSN
+    /// order. Kept under the same lock as the tail file so compaction
+    /// never needs any other lock — handlers append and move on.
+    live: Vec<(u64, Event)>,
+    tail_records: u64,
+    snapshot_every: u64,
+    appends: u64,
+    snapshots: u64,
+    quarantined_bytes: u64,
+}
+
+/// The durable session journal. One per server; `append` is safe from any
+/// handler thread.
+pub struct Journal {
+    dir: PathBuf,
+    inner: Mutex<JournalInner>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal in `dir`, replaying the snapshot and
+    /// tail. Returns the journal, the live events in LSN order (for the
+    /// caller to rebuild its store from), and a recovery report. Corrupt
+    /// tail suffixes are quarantined, never fatal.
+    pub fn open(
+        dir: &Path,
+        policy: FsyncPolicy,
+        snapshot_every: u64,
+    ) -> std::io::Result<(Journal, Vec<Event>, RecoveryReport)> {
+        fs::create_dir_all(dir)?;
+        let mut report = RecoveryReport::default();
+
+        // Snapshot: atomically written, so corruption here is unexpected —
+        // but tolerated the same way (good prefix wins).
+        let snap_scan = scan_wal(&dir.join("snapshot.wal"))?;
+        let mut through_lsn = 0u64;
+        let mut live: Vec<(u64, Event)> = Vec::new();
+        for rec in snap_scan.records {
+            match rec {
+                Record::Snapshot { through_lsn: t } => through_lsn = t,
+                Record::Event { lsn, event } => {
+                    report.snapshot_events += 1;
+                    live.push((lsn, event));
+                }
+            }
+        }
+        if let Some(why) = &snap_scan.corruption {
+            report.corruption = Some(format!("snapshot: {why}"));
+        }
+
+        // Tail: skip records already covered by the snapshot (the crash
+        // window between snapshot rename and tail truncation), quarantine
+        // anything after the first corrupt byte.
+        let tail_path = dir.join("journal.wal");
+        let tail_scan = scan_wal(&tail_path)?;
+        let mut tail_records = 0u64;
+        for rec in tail_scan.records {
+            if let Record::Event { lsn, event } = rec {
+                if lsn <= through_lsn {
+                    continue;
+                }
+                report.tail_events += 1;
+                tail_records += 1;
+                live.push((lsn, event));
+            }
+        }
+        if let Some(why) = tail_scan.corruption {
+            let bad = tail_scan.file_len - tail_scan.good_len;
+            let qpath = quarantine_path(dir);
+            let data = fs::read(&tail_path)?;
+            fs::write(&qpath, &data[tail_scan.good_len as usize..])?;
+            let f = OpenOptions::new().write(true).open(&tail_path)?;
+            f.set_len(tail_scan.good_len)?;
+            f.sync_all()?;
+            report.quarantined_bytes = bad;
+            report.quarantine_file = Some(qpath);
+            report.corruption = Some(format!("tail: {why}"));
+        }
+
+        live.sort_by_key(|&(lsn, _)| lsn);
+        let next_lsn = live
+            .last()
+            .map_or(through_lsn, |&(lsn, _)| lsn.max(through_lsn))
+            + 1;
+        let events: Vec<Event> = live.iter().map(|(_, e)| e.clone()).collect();
+
+        let tail = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&tail_path)?;
+        let journal = Journal {
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(JournalInner {
+                tail,
+                policy,
+                last_sync: Instant::now(),
+                next_lsn,
+                live,
+                tail_records,
+                snapshot_every: snapshot_every.max(1),
+                appends: 0,
+                snapshots: 0,
+                quarantined_bytes: report.quarantined_bytes,
+            }),
+        };
+        Ok((journal, events, report))
+    }
+
+    /// Appends one event, applying the fsync policy, and compacts into a
+    /// fresh snapshot once the tail exceeds the snapshot cadence.
+    pub fn append(&self, event: Event) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().expect("journal lock poisoned");
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        let frame = encode_event_frame(lsn, &event);
+        inner.tail.write_all(&frame)?;
+        match inner.policy {
+            FsyncPolicy::Always => {
+                inner.tail.sync_data()?;
+                inner.last_sync = Instant::now();
+            }
+            FsyncPolicy::Interval(iv) => {
+                if inner.last_sync.elapsed() >= iv {
+                    inner.tail.sync_data()?;
+                    inner.last_sync = Instant::now();
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        inner.live.push((lsn, event));
+        inner.tail_records += 1;
+        inner.appends += 1;
+        if inner.tail_records >= inner.snapshot_every {
+            self.compact_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Forces buffered appends to stable storage — called before dropping
+    /// evicted sessions, on deletion, and at shutdown.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().expect("journal lock poisoned");
+        inner.tail.sync_data()?;
+        inner.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Current counters for `/metrics`.
+    pub fn stats(&self) -> JournalStats {
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        JournalStats {
+            appends: inner.appends,
+            snapshots: inner.snapshots,
+            live_events: inner.live.len() as u64,
+            quarantined_bytes: inner.quarantined_bytes,
+        }
+    }
+
+    /// Drops deleted sessions' events, writes a fresh snapshot atomically,
+    /// and truncates the tail. Caller holds the journal lock; no other lock
+    /// is touched, so compaction can never deadlock against handlers.
+    fn compact_locked(&self, inner: &mut JournalInner) -> std::io::Result<()> {
+        let deleted: std::collections::HashSet<u64> = inner
+            .live
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::SessionDelete { session } => Some(*session),
+                _ => None,
+            })
+            .collect();
+        inner.live.retain(|(_, e)| match e.session_id() {
+            Some(s) => !deleted.contains(&s),
+            None => true,
+        });
+
+        let through_lsn = inner.next_lsn - 1;
+        let tmp = self.dir.join("snapshot.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&encode_snapshot_header(through_lsn))?;
+            for (lsn, event) in &inner.live {
+                f.write_all(&encode_event_frame(*lsn, event))?;
+            }
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.dir.join("snapshot.wal"))?;
+        // Best-effort directory sync so the rename itself is durable.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        // Crash window here is benign: boot skips tail LSNs <= through_lsn.
+        inner.tail.set_len(0)?;
+        inner.tail.seek(SeekFrom::Start(0))?;
+        inner.tail.sync_all()?;
+        inner.last_sync = Instant::now();
+        inner.tail_records = 0;
+        inner.snapshots += 1;
+        Ok(())
+    }
+}
+
+/// First unused `quarantine-N.wal` path in `dir`.
+fn quarantine_path(dir: &Path) -> PathBuf {
+    for n in 0.. {
+        let p = dir.join(format!("quarantine-{n}.wal"));
+        if !p.exists() {
+            return p;
+        }
+    }
+    unreachable!("u64 quarantine indices exhausted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static TEST_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let n = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "mube-persist-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ev_catalog(id: u64) -> Event {
+        Event::CatalogCreate {
+            id,
+            text: format!("catalog-{id} text"),
+        }
+    }
+
+    fn ev_session(id: u64, catalog: u64) -> Event {
+        Event::SessionCreate {
+            id,
+            catalog_id: catalog,
+            body: format!("{{\"catalog\":{catalog},\"seed\":{id}}}"),
+        }
+    }
+
+    fn ev_solve(session: u64) -> Event {
+        Event::Solve {
+            session,
+            solution: SolutionRecord {
+                sources: vec![1, 4, 7],
+                quality_bits: 0.731_f64.to_bits(),
+                evaluations: 1234,
+                timed_out: session.is_multiple_of(2),
+                qef_scores: vec![("matching".into(), 0.25_f64.to_bits(), 0.9_f64.to_bits())],
+                schema: vec![vec![(1, 0), (4, 2)], vec![(7, 1)]],
+            },
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn event_roundtrip_through_frames() {
+        let events = [
+            ev_catalog(1),
+            ev_session(1, 1),
+            Event::Feedback {
+                session: 1,
+                body: "{\"actions\":[{\"op\":\"pin\",\"source\":\"s1\"}]}".into(),
+            },
+            ev_solve(1),
+            Event::SessionDelete { session: 1 },
+        ];
+        for (i, event) in events.iter().enumerate() {
+            let frame = encode_event_frame(i as u64 + 1, event);
+            let payload = &frame[8..];
+            assert_eq!(
+                crc32(payload),
+                u32::from_le_bytes(frame[4..8].try_into().unwrap())
+            );
+            let decoded = Event::decode_body(payload[8], &mut Dec::new(&payload[9..])).unwrap();
+            assert_eq!(&decoded, event);
+        }
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let dir = test_dir("roundtrip");
+        let written = vec![ev_catalog(1), ev_session(1, 1), ev_solve(1)];
+        {
+            let (j, replayed, report) = Journal::open(&dir, FsyncPolicy::Always, 1000).unwrap();
+            assert!(replayed.is_empty());
+            assert!(report.corruption.is_none());
+            for e in &written {
+                j.append(e.clone()).unwrap();
+            }
+        }
+        let (_, replayed, report) = Journal::open(&dir, FsyncPolicy::Always, 1000).unwrap();
+        assert_eq!(replayed, written);
+        assert_eq!(report.tail_events, 3);
+        assert_eq!(report.quarantined_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_snapshots_and_drops_deleted_sessions() {
+        let dir = test_dir("compact");
+        {
+            let (j, _, _) = Journal::open(&dir, FsyncPolicy::Never, 4).unwrap();
+            j.append(ev_catalog(1)).unwrap();
+            j.append(ev_session(1, 1)).unwrap();
+            j.append(ev_solve(1)).unwrap();
+            j.append(Event::SessionDelete { session: 1 }).unwrap(); // triggers compaction
+            assert_eq!(j.stats().snapshots, 1);
+            assert_eq!(j.stats().live_events, 1, "only the catalog survives");
+            j.append(ev_session(2, 1)).unwrap();
+            j.flush().unwrap();
+        }
+        let (_, replayed, report) = Journal::open(&dir, FsyncPolicy::Never, 4).unwrap();
+        assert_eq!(replayed, vec![ev_catalog(1), ev_session(2, 1)]);
+        assert_eq!(report.snapshot_events, 1);
+        assert_eq!(report.tail_events, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_survives_snapshot_plus_tail_lsn_overlap() {
+        // Simulate the crash window: snapshot written, tail NOT truncated.
+        let dir = test_dir("overlap");
+        fs::create_dir_all(&dir).unwrap();
+        // Tail holds events with LSN 1..=3.
+        let mut tail = Vec::new();
+        tail.extend_from_slice(&encode_event_frame(1, &ev_catalog(1)));
+        tail.extend_from_slice(&encode_event_frame(2, &ev_session(1, 1)));
+        tail.extend_from_slice(&encode_event_frame(3, &ev_solve(1)));
+        fs::write(dir.join("journal.wal"), &tail).unwrap();
+        // Snapshot covers LSN <= 2 and already contains those events.
+        let mut snap = encode_snapshot_header(2);
+        snap.extend_from_slice(&encode_event_frame(1, &ev_catalog(1)));
+        snap.extend_from_slice(&encode_event_frame(2, &ev_session(1, 1)));
+        fs::write(dir.join("snapshot.wal"), &snap).unwrap();
+
+        let (_, replayed, report) = Journal::open(&dir, FsyncPolicy::Never, 1000).unwrap();
+        assert_eq!(
+            replayed,
+            vec![ev_catalog(1), ev_session(1, 1), ev_solve(1)],
+            "overlapping tail records must not replay twice"
+        );
+        assert_eq!(report.snapshot_events, 2);
+        assert_eq!(report.tail_events, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_tail_is_quarantined_not_fatal() {
+        let dir = test_dir("corrupt");
+        {
+            let (j, _, _) = Journal::open(&dir, FsyncPolicy::Always, 1000).unwrap();
+            j.append(ev_catalog(1)).unwrap();
+            j.append(ev_session(1, 1)).unwrap();
+            j.append(ev_solve(1)).unwrap();
+        }
+        // Flip a bit inside the last record's body.
+        let path = dir.join("journal.wal");
+        let mut data = fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 3] ^= 0x40;
+        fs::write(&path, &data).unwrap();
+
+        let (_, replayed, report) = Journal::open(&dir, FsyncPolicy::Always, 1000).unwrap();
+        assert_eq!(replayed, vec![ev_catalog(1), ev_session(1, 1)]);
+        assert!(report.corruption.as_deref().unwrap().contains("CRC"));
+        assert!(report.quarantined_bytes > 0);
+        let qfile = report.quarantine_file.clone().unwrap();
+        assert!(qfile.exists());
+        assert_eq!(
+            fs::metadata(&qfile).unwrap().len(),
+            report.quarantined_bytes
+        );
+
+        // The journal stays usable: append after recovery, replay again.
+        let (j, _, _) = Journal::open(&dir, FsyncPolicy::Always, 1000).unwrap();
+        j.append(ev_solve(1)).unwrap();
+        drop(j);
+        let (_, replayed, report) = Journal::open(&dir, FsyncPolicy::Always, 1000).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert!(report.corruption.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_quarantined_not_fatal() {
+        let dir = test_dir("torn");
+        {
+            let (j, _, _) = Journal::open(&dir, FsyncPolicy::Always, 1000).unwrap();
+            j.append(ev_catalog(1)).unwrap();
+            j.append(ev_solve(7)).unwrap();
+        }
+        let path = dir.join("journal.wal");
+        let data = fs::read(&path).unwrap();
+        // Tear the last record in half.
+        fs::write(&path, &data[..data.len() - 11]).unwrap();
+
+        let (_, replayed, report) = Journal::open(&dir, FsyncPolicy::Always, 1000).unwrap();
+        assert_eq!(replayed, vec![ev_catalog(1)]);
+        assert!(report.corruption.as_deref().unwrap().contains("torn"));
+        assert!(report.quarantine_file.unwrap().exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn solution_record_roundtrips_bit_exactly() {
+        let rec = SolutionRecord {
+            sources: vec![0, 3, 9],
+            quality_bits: 0.123_456_789_f64.to_bits(),
+            evaluations: 999,
+            timed_out: true,
+            qef_scores: vec![
+                ("matching".into(), 0.25_f64.to_bits(), 0.91_f64.to_bits()),
+                ("coverage".into(), 0.75_f64.to_bits(), 0.33_f64.to_bits()),
+            ],
+            schema: vec![vec![(0, 1), (3, 0)]],
+        };
+        let sol = rec.clone().into_solution().unwrap();
+        assert_eq!(sol.quality.to_bits(), rec.quality_bits);
+        assert!(sol.timed_out);
+        assert_eq!(SolutionRecord::from_solution(&sol), rec);
+    }
+
+    #[test]
+    fn empty_ga_in_solve_record_is_rejected() {
+        let rec = SolutionRecord {
+            sources: vec![0],
+            quality_bits: 0,
+            evaluations: 0,
+            timed_out: false,
+            qef_scores: vec![],
+            schema: vec![vec![]],
+        };
+        assert!(rec.into_solution().is_err());
+    }
+
+    #[test]
+    fn fsync_policy_parsing() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(
+            FsyncPolicy::parse("interval:250").unwrap(),
+            FsyncPolicy::Interval(Duration::from_millis(250))
+        );
+        assert_eq!(
+            FsyncPolicy::parse("interval").unwrap(),
+            FsyncPolicy::default()
+        );
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert!(FsyncPolicy::parse("interval:abc").is_err());
+    }
+}

@@ -12,6 +12,7 @@
 //! accepted, including in-flight solves, completes before `run` returns.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -33,12 +34,14 @@ use mube_exec::{
 };
 use mube_match::{ClusterMatcher, JaccardNGram, SimilarityCache};
 use mube_opt::{
-    ParticleSwarm, Portfolio, SimulatedAnnealing, StochasticLocalSearch, SubsetSolver, TabuSearch,
+    CancelToken, ParticleSwarm, Portfolio, SimulatedAnnealing, StochasticLocalSearch, SubsetSolver,
+    TabuSearch,
 };
 
 use crate::http::{self, HttpError, Request};
 use crate::json::Json;
 use crate::metrics::{Metrics, ServerStats};
+use crate::persist::{Event, FsyncPolicy, Journal, SolutionRecord};
 use crate::pool::WorkerPool;
 use crate::store::{SessionEntry, Store, StoreError};
 
@@ -65,6 +68,19 @@ pub struct ServeConfig {
     /// cutoff (tabu search honors it exactly; the other solvers keep
     /// their own default caps, which are of the same order).
     pub max_solve_evaluations: u64,
+    /// Watchdog wall-clock ceiling per solve, in milliseconds. Every solve
+    /// is deadline-bounded by this; a request's `time_budget_ms` can only
+    /// shorten it. A cut-short solve still answers 200 with the best
+    /// incumbent found, flagged `timed_out`.
+    pub max_solve_millis: u64,
+    /// Directory for the durable session journal; `None` keeps sessions
+    /// in memory only (the pre-persistence behavior).
+    pub data_dir: Option<String>,
+    /// When journal appends reach stable storage (see
+    /// [`FsyncPolicy`]). Ignored without `data_dir`.
+    pub fsync: FsyncPolicy,
+    /// Compact the journal into a snapshot every this many tail records.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +94,10 @@ impl Default for ServeConfig {
             max_sessions: 64,
             idle_ttl: Duration::from_secs(15 * 60),
             max_solve_evaluations: 20_000,
+            max_solve_millis: 30_000,
+            data_dir: None,
+            fsync: FsyncPolicy::default(),
+            snapshot_every: 256,
         }
     }
 }
@@ -90,6 +110,8 @@ struct ServerState {
     draining: AtomicBool,
     /// The pool's panic counter (workers lost to job panics, respawned).
     worker_panics: Arc<AtomicU64>,
+    /// The durable session journal, when `--data-dir` is configured.
+    journal: Option<Journal>,
 }
 
 impl ServerState {
@@ -97,7 +119,31 @@ impl ServerState {
         self.metrics.snapshot(
             self.store.sessions_len() as u64,
             self.worker_panics.load(Ordering::SeqCst),
+            mube_opt::member_panics_total(),
+            self.journal.as_ref().map(Journal::stats),
         )
+    }
+
+    /// Appends to the journal if one is configured. Append failures are
+    /// logged, not fatal: the server keeps serving from memory (the same
+    /// availability-over-durability stance as the quarantine path).
+    fn journal_append(&self, event: Event) {
+        if let Some(j) = &self.journal {
+            if let Err(e) = j.append(event) {
+                eprintln!("mube-serve: journal append failed: {e}");
+            }
+        }
+    }
+
+    /// Forces journaled events to disk — called before sessions become
+    /// unreachable (deletion, eviction) so their final state survives a
+    /// crash no matter the fsync policy.
+    fn journal_flush(&self) {
+        if let Some(j) = &self.journal {
+            if let Err(e) = j.flush() {
+                eprintln!("mube-serve: journal flush failed: {e}");
+            }
+        }
     }
 }
 
@@ -116,15 +162,49 @@ pub struct ServerHandle {
 }
 
 impl Server {
-    /// Binds the listener and spawns the worker pool.
+    /// Binds the listener and spawns the worker pool. With a `data_dir`,
+    /// opens the journal and replays the persisted sessions before serving
+    /// (corrupt journal tails are quarantined, never fatal).
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let pool = WorkerPool::new(config.threads);
+        let store = Store::new(config.max_sessions, config.idle_ttl);
+        let journal = match &config.data_dir {
+            Some(dir) => {
+                let (journal, events, report) =
+                    Journal::open(Path::new(dir), config.fsync, config.snapshot_every)?;
+                if let Some(why) = &report.corruption {
+                    eprintln!(
+                        "mube-serve: journal corruption in {dir} ({why}); quarantined {} bytes{}",
+                        report.quarantined_bytes,
+                        report
+                            .quarantine_file
+                            .as_ref()
+                            .map(|p| format!(" to {}", p.display()))
+                            .unwrap_or_default()
+                    );
+                }
+                let summary = replay_events(&store, config.max_solve_evaluations, events);
+                eprintln!(
+                    "mube-serve: replayed {} catalogs, {} sessions, {} feedbacks, {} solves \
+                     ({} deletes, {} skipped) from {dir}",
+                    summary.catalogs,
+                    summary.sessions,
+                    summary.feedbacks,
+                    summary.solves,
+                    summary.deletes,
+                    summary.skipped
+                );
+                Some(journal)
+            }
+            None => None,
+        };
         let state = Arc::new(ServerState {
-            store: Store::new(config.max_sessions, config.idle_ttl),
+            store,
             metrics: Metrics::new(),
             draining: AtomicBool::new(false),
             worker_panics: pool.panic_counter(),
+            journal,
             config,
         });
         Ok(Server {
@@ -180,6 +260,8 @@ impl Server {
         }
         drop(self.listener);
         self.pool.shutdown();
+        // All workers are done; make their final appends durable.
+        self.state.journal_flush();
         Ok(())
     }
 }
@@ -367,11 +449,13 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
         ("GET", ["metrics"]) => Ok(metrics(state)),
         ("POST", ["catalogs"]) => create_catalog(state, req),
         ("POST", ["sessions"]) => create_session(state, req),
-        ("POST", ["sessions", id, "solve"]) => with_session(state, id, |e| solve(state, e)),
+        ("POST", ["sessions", id, "solve"]) => with_session(state, id, |e| solve(state, e, req)),
         ("POST", ["sessions", id, "execute"]) => {
             with_session(state, id, |e| execute_session(state, e, req))
         }
-        ("POST", ["sessions", id, "feedback"]) => with_session(state, id, |e| feedback(e, req)),
+        ("POST", ["sessions", id, "feedback"]) => {
+            with_session(state, id, |e| feedback(state, e, req))
+        }
         ("GET", ["sessions", id, "explain"]) => with_session(state, id, explain_session),
         ("GET", ["sessions", id, "lint"]) => with_session(state, id, lint_session),
         ("DELETE", ["sessions", id]) => delete_session(state, id),
@@ -454,6 +538,10 @@ fn create_catalog(state: &ServerState, req: &Request) -> Result<(u16, String), A
     let distinct = cache.distinct_names();
     let id = state.store.insert_catalog(Arc::clone(&universe), cache);
     state.metrics.catalog_created();
+    state.journal_append(Event::CatalogCreate {
+        id,
+        text: text.to_string(),
+    });
     let mut j = JsonBuf::new();
     j.begin_obj();
     j.key("catalog").uint_value(id);
@@ -477,13 +565,53 @@ fn make_solver(name: &str, max_evaluations: u64) -> Box<dyn SubsetSolver> {
     }
 }
 
-fn create_session(state: &ServerState, req: &Request) -> Result<(u16, String), ApiError> {
-    let body = parse_body(req)?;
+/// Upper bounds on the compute one `POST /sessions` may reserve. Exceeding
+/// any of them is a 422 `invalid_parameter` carrying lint code `MUBE015`
+/// (see PROTOCOL.md).
+const MAX_THREADS: usize = 64;
+/// Cap on `restarts`.
+const MAX_RESTARTS: usize = 64;
+/// Cap on total portfolio members (`|portfolio| × restarts`).
+const MAX_PORTFOLIO_MEMBERS: usize = 256;
+
+/// 422 for a parameter that exceeds a server resource bound, tagged with
+/// the stable `MUBE015` lint code.
+fn bound_error(field: &str, value: usize, max: usize) -> ApiError {
+    ApiError {
+        status: 422,
+        body: error_body(
+            "invalid_parameter",
+            &format!("`{field}` = {value} exceeds the server bound of {max}"),
+            |j| {
+                j.key("lint").begin_arr();
+                j.str_value(mube_core::DiagCode::ResourceBoundExceeded.code());
+                j.end_arr();
+            },
+        ),
+    }
+}
+
+/// Everything `POST /sessions` builds before touching the store.
+struct BuiltSession {
+    catalog_id: u64,
+    session: Session,
+    solver_name: String,
+    seed: u64,
+}
+
+/// Parses and validates a session-creation body into a ready [`Session`].
+/// Shared verbatim by the HTTP handler and journal replay, so a replayed
+/// session passes through exactly the validation its original request did.
+fn build_session_from_body(
+    store: &Store,
+    max_solve_evaluations: u64,
+    body: &Json,
+) -> Result<BuiltSession, ApiError> {
     let catalog_id = body
         .get("catalog")
         .and_then(Json::as_u64)
         .ok_or_else(|| ApiError::new(400, "bad_request", "missing integer field `catalog`"))?;
-    let entry = state.store.catalog(catalog_id).ok_or_else(|| {
+    let entry = store.catalog(catalog_id).ok_or_else(|| {
         ApiError::new(
             404,
             "unknown_catalog",
@@ -577,6 +705,9 @@ fn create_session(state: &ServerState, req: &Request) -> Result<(u16, String), A
             let n = v.as_usize().filter(|&n| n >= 1).ok_or_else(|| {
                 ApiError::new(400, "bad_request", "`threads` must be a positive integer")
             })?;
+            if n > MAX_THREADS {
+                return Err(bound_error("threads", n, MAX_THREADS));
+            }
             Some(n)
         }
         None => None,
@@ -587,6 +718,9 @@ fn create_session(state: &ServerState, req: &Request) -> Result<(u16, String), A
         })?,
         None => 1,
     };
+    if restarts > MAX_RESTARTS {
+        return Err(bound_error("restarts", restarts, MAX_RESTARTS));
+    }
     let mut portfolio_spec = match body.get("portfolio") {
         Some(v) => {
             let spec = v.as_str().ok_or_else(|| {
@@ -605,11 +739,19 @@ fn create_session(state: &ServerState, req: &Request) -> Result<(u16, String), A
             // single-solver sessions, so portfolio solves stay bounded.
             let names = mube_opt::parse_portfolio_spec(&spec)
                 .map_err(|e| ApiError::new(422, "invalid_parameter", &e))?;
+            let total_members = names.len() * restarts;
+            if total_members > MAX_PORTFOLIO_MEMBERS {
+                return Err(bound_error(
+                    "portfolio members (|portfolio| × restarts)",
+                    total_members,
+                    MAX_PORTFOLIO_MEMBERS,
+                ));
+            }
             let mut members: Vec<Box<dyn SubsetSolver>> = Vec::new();
             for _ in 0..restarts {
                 for name in &names {
                     members.push(
-                        mube_opt::budgeted_member(name, state.config.max_solve_evaluations)
+                        mube_opt::budgeted_member(name, max_solve_evaluations)
                             .expect("spec names are canonical"),
                     );
                 }
@@ -619,7 +761,7 @@ fn create_session(state: &ServerState, req: &Request) -> Result<(u16, String), A
             (Box::new(pf), label)
         }
         None => (
-            make_solver(&solver_name, state.config.max_solve_evaluations),
+            make_solver(&solver_name, max_solve_evaluations),
             solver_name,
         ),
     };
@@ -627,13 +769,25 @@ fn create_session(state: &ServerState, req: &Request) -> Result<(u16, String), A
     if body.get("continuity").and_then(Json::as_bool) == Some(true) {
         session = session.with_continuity();
     }
+    Ok(BuiltSession {
+        catalog_id,
+        session,
+        solver_name,
+        seed,
+    })
+}
+
+fn create_session(state: &ServerState, req: &Request) -> Result<(u16, String), ApiError> {
+    let body = parse_body(req)?;
+    let built = build_session_from_body(&state.store, state.config.max_solve_evaluations, &body)?;
+    let catalog_id = built.catalog_id;
 
     // Make room: sweep idle sessions first, then let the insert evict
     // more if the cap still binds.
     let swept = state.store.sweep_idle();
     let (id, evicted) = state
         .store
-        .insert_session(catalog_id, session)
+        .insert_session(catalog_id, built.session)
         .map_err(|e| match e {
             StoreError::UnknownCatalog => ApiError::new(
                 404,
@@ -647,15 +801,31 @@ fn create_session(state: &ServerState, req: &Request) -> Result<(u16, String), A
             ),
         })?;
     state.metrics.session_created();
-    state.metrics.sessions_evicted(swept + evicted);
+    let evicted_total = (swept.len() + evicted.len()) as u64;
+    state.metrics.sessions_evicted(evicted_total);
+
+    // Journal the creation (raw body, so replay re-runs this handler's
+    // exact validation) and the evictions it caused; flush so the evicted
+    // sessions' final state is durable before they become unreachable.
+    state.journal_append(Event::SessionCreate {
+        id,
+        catalog_id,
+        body: req.body_utf8().unwrap_or("{}").to_string(),
+    });
+    for &session in swept.iter().chain(evicted.iter()) {
+        state.journal_append(Event::SessionDelete { session });
+    }
+    if evicted_total > 0 {
+        state.journal_flush();
+    }
 
     let mut j = JsonBuf::new();
     j.begin_obj();
     j.key("session").uint_value(id);
     j.key("catalog").uint_value(catalog_id);
-    j.key("seed").uint_value(seed);
-    j.key("solver").str_value(&solver_name);
-    j.key("evicted").uint_value(swept + evicted);
+    j.key("seed").uint_value(built.seed);
+    j.key("solver").str_value(&built.solver_name);
+    j.key("evicted").uint_value(evicted_total);
     j.end_obj();
     Ok((201, j.finish()))
 }
@@ -666,22 +836,51 @@ fn source_name(universe: &Universe, id: mube_core::SourceId) -> String {
         .map_or_else(|| id.to_string(), |s| s.name().to_string())
 }
 
-fn solve(state: &ServerState, entry: &Arc<SessionEntry>) -> Result<(u16, String), ApiError> {
+fn solve(
+    state: &ServerState,
+    entry: &Arc<SessionEntry>,
+    req: &Request,
+) -> Result<(u16, String), ApiError> {
+    let body = parse_body(req)?;
+    let requested = match body.get("time_budget_ms") {
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            ApiError::new(
+                400,
+                "bad_request",
+                "`time_budget_ms` must be a non-negative integer",
+            )
+        })?),
+        None => None,
+    };
+    // The watchdog is always armed: every solve is bounded by the server's
+    // `max_solve_millis`; a request budget can only shorten the deadline.
+    let budget_ms = requested
+        .unwrap_or(state.config.max_solve_millis)
+        .min(state.config.max_solve_millis);
+    let cancel = CancelToken::after(Duration::from_millis(budget_ms));
+
     let mut session = entry.session.lock().expect("session lock poisoned");
     let t0 = Instant::now();
-    let result = session.run();
+    let result = session.run_cancel(&cancel);
     let elapsed = t0.elapsed();
     if let Err(e) = result {
         let constraints = session.constraints().clone();
         return Err(conflict_error(&e, session.universe(), &constraints));
     }
-    state.metrics.record_solve(elapsed);
+    let latest = session.latest().expect("run succeeded");
+    let timed_out = latest.timed_out;
+    state.metrics.record_solve(elapsed, timed_out);
+    state.journal_append(Event::Solve {
+        session: entry.id,
+        solution: SolutionRecord::from_solution(latest),
+    });
     let universe = session.universe();
     let solution_json = session.latest().expect("run succeeded").to_json(universe);
     let mut j = JsonBuf::new();
     j.begin_obj();
     j.key("session").uint_value(entry.id);
     j.key("iteration").uint_value(session.iterations() as u64);
+    j.key("timed_out").bool_value(timed_out);
     j.key("solution").raw_value(&solution_json);
     match session.last_diff() {
         Some(diff) => {
@@ -885,7 +1084,11 @@ fn apply_action(session: &mut Session, action: &Json) -> Result<(), ApiError> {
     Ok(())
 }
 
-fn feedback(entry: &Arc<SessionEntry>, req: &Request) -> Result<(u16, String), ApiError> {
+fn feedback(
+    state: &ServerState,
+    entry: &Arc<SessionEntry>,
+    req: &Request,
+) -> Result<(u16, String), ApiError> {
     let body = parse_body(req)?;
     let actions = body
         .get("actions")
@@ -924,6 +1127,12 @@ fn feedback(entry: &Arc<SessionEntry>, req: &Request) -> Result<(u16, String), A
             },
         })?;
     }
+    // Journal only after every action applied: replay applies the whole
+    // batch the same way, so a half-failed batch is never persisted.
+    state.journal_append(Event::Feedback {
+        session: entry.id,
+        body: req.body_utf8().unwrap_or("{}").to_string(),
+    });
     let constraints = session.constraints();
     let universe = session.universe();
     let mut j = JsonBuf::new();
@@ -998,10 +1207,8 @@ fn lint_session(entry: &Arc<SessionEntry>) -> Result<(u16, String), ApiError> {
 }
 
 fn delete_session(state: &ServerState, id: &str) -> Result<(u16, String), ApiError> {
-    let removed = id
-        .parse::<u64>()
-        .ok()
-        .is_some_and(|id| state.store.remove_session(id));
+    let parsed = id.parse::<u64>().ok();
+    let removed = parsed.is_some_and(|id| state.store.remove_session(id));
     if !removed {
         return Err(ApiError::new(
             404,
@@ -1009,11 +1216,108 @@ fn delete_session(state: &ServerState, id: &str) -> Result<(u16, String), ApiErr
             &format!("no session `{id}`"),
         ));
     }
+    state.journal_append(Event::SessionDelete {
+        session: parsed.expect("removed implies parsed"),
+    });
+    state.journal_flush();
     let mut j = JsonBuf::new();
     j.begin_obj();
     j.key("deleted").bool_value(true);
     j.end_obj();
     Ok((200, j.finish()))
+}
+
+// ---------------------------------------------------------------------
+// Journal replay
+// ---------------------------------------------------------------------
+
+/// What boot-time replay rebuilt, for the startup log line.
+#[derive(Debug, Default)]
+struct ReplaySummary {
+    catalogs: u64,
+    sessions: u64,
+    feedbacks: u64,
+    solves: u64,
+    deletes: u64,
+    /// Events that failed to apply (logged and skipped; a skipped event
+    /// never aborts the boot).
+    skipped: u64,
+}
+
+/// Rebuilds the store from journaled events, in LSN order. Individual
+/// failures are logged and skipped — recovering most sessions beats
+/// refusing to start.
+fn replay_events(store: &Store, max_solve_evaluations: u64, events: Vec<Event>) -> ReplaySummary {
+    let mut summary = ReplaySummary::default();
+    for event in events {
+        let counter = match &event {
+            Event::CatalogCreate { .. } => &mut summary.catalogs,
+            Event::SessionCreate { .. } => &mut summary.sessions,
+            Event::Feedback { .. } => &mut summary.feedbacks,
+            Event::Solve { .. } => &mut summary.solves,
+            Event::SessionDelete { .. } => &mut summary.deletes,
+        };
+        match replay_event(store, max_solve_evaluations, event) {
+            Ok(()) => *counter += 1,
+            Err(why) => {
+                eprintln!("mube-serve: replay skipped an event: {why}");
+                summary.skipped += 1;
+            }
+        }
+    }
+    summary
+}
+
+fn replay_event(store: &Store, max_solve_evaluations: u64, event: Event) -> Result<(), String> {
+    match event {
+        Event::CatalogCreate { id, text } => {
+            let universe =
+                Arc::new(catalog::from_text(&text).map_err(|e| format!("catalog {id}: {e}"))?);
+            let cache = Arc::new(SimilarityCache::build(&universe, &JaccardNGram::trigram()));
+            store.insert_catalog_with_id(id, universe, cache);
+        }
+        Event::SessionCreate { id, body, .. } => {
+            let json = Json::parse(&body).map_err(|e| format!("session {id}: {e}"))?;
+            let built = build_session_from_body(store, max_solve_evaluations, &json)
+                .map_err(|e| format!("session {id}: {}", e.body))?;
+            store
+                .insert_session_with_id(id, built.catalog_id, built.session)
+                .map_err(|_| format!("session {id}: catalog {} missing", built.catalog_id))?;
+        }
+        Event::Feedback { session, body } => {
+            let entry = store
+                .session(session)
+                .ok_or_else(|| format!("feedback for missing session {session}"))?;
+            let json = Json::parse(&body).map_err(|e| format!("session {session}: {e}"))?;
+            let actions = json
+                .get("actions")
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("session {session}: feedback without actions"))?;
+            let mut s = entry.session.lock().expect("session lock poisoned");
+            for action in actions {
+                apply_action(&mut s, action)
+                    .map_err(|e| format!("session {session}: {}", e.body))?;
+            }
+        }
+        Event::Solve { session, solution } => {
+            let entry = store
+                .session(session)
+                .ok_or_else(|| format!("solve for missing session {session}"))?;
+            let sol = solution
+                .into_solution()
+                .map_err(|e| format!("session {session}: {e}"))?;
+            entry
+                .session
+                .lock()
+                .expect("session lock poisoned")
+                .restore_solution(sol)
+                .map_err(|e| format!("session {session}: {e}"))?;
+        }
+        Event::SessionDelete { session } => {
+            store.remove_session(session);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -104,6 +104,22 @@ impl Store {
         id
     }
 
+    /// Registers a catalog under a *specific* id — the journal-replay path,
+    /// which must reproduce the ids the original run handed out. Bumps the
+    /// id counter past `id` so post-replay uploads never collide.
+    pub fn insert_catalog_with_id(
+        &self,
+        id: u64,
+        universe: Arc<Universe>,
+        cache: Arc<SimilarityCache>,
+    ) {
+        self.next_catalog_id.fetch_max(id + 1, Ordering::Relaxed);
+        self.catalogs
+            .write()
+            .expect("catalogs lock poisoned")
+            .insert(id, Arc::new(CatalogEntry { universe, cache }));
+    }
+
     /// Looks up a catalog.
     pub fn catalog(&self, id: u64) -> Option<Arc<CatalogEntry>> {
         self.catalogs
@@ -120,28 +136,27 @@ impl Store {
 
     /// Inserts a new session over `catalog_id`. At capacity, idle sessions
     /// are evicted first; if none qualify the creation is refused. Returns
-    /// `(session id, sessions evicted to make room)`.
+    /// the new session id and the ids evicted to make room (so the caller
+    /// can journal the deletions).
     pub fn insert_session(
         &self,
         catalog_id: u64,
         session: Session,
-    ) -> Result<(u64, u64), StoreError> {
+    ) -> Result<(u64, Vec<u64>), StoreError> {
         if self.catalog(catalog_id).is_none() {
             return Err(StoreError::UnknownCatalog);
         }
         let mut sessions = self.sessions.write().expect("sessions lock poisoned");
-        let mut evicted = 0u64;
+        let mut evicted = Vec::new();
         if sessions.len() >= self.max_sessions {
             let idle: Vec<u64> = sessions
                 .iter()
-                .filter(|(_, e)| e.idle_for() >= self.idle_ttl)
+                .filter(|(_, e)| Self::evictable(e, self.idle_ttl))
                 .map(|(&id, _)| id)
                 .collect();
             for id in idle {
-                // In-flight handlers still holding the Arc finish safely;
-                // the session just stops being addressable.
                 sessions.remove(&id);
-                evicted += 1;
+                evicted.push(id);
                 if sessions.len() < self.max_sessions {
                     break;
                 }
@@ -163,6 +178,45 @@ impl Store {
             }),
         );
         Ok((id, evicted))
+    }
+
+    /// Inserts a session under a *specific* id — the journal-replay path.
+    /// Skips capacity checks (replay precedes traffic and the journal never
+    /// holds more live sessions than the cap allowed) and bumps the id
+    /// counter past `id`.
+    pub fn insert_session_with_id(
+        &self,
+        id: u64,
+        catalog_id: u64,
+        session: Session,
+    ) -> Result<(), StoreError> {
+        if self.catalog(catalog_id).is_none() {
+            return Err(StoreError::UnknownCatalog);
+        }
+        self.next_session_id.fetch_max(id + 1, Ordering::Relaxed);
+        self.sessions
+            .write()
+            .expect("sessions lock poisoned")
+            .insert(
+                id,
+                Arc::new(SessionEntry {
+                    id,
+                    catalog_id,
+                    session: Mutex::new(session),
+                    last_used: Mutex::new(Instant::now()),
+                }),
+            );
+        Ok(())
+    }
+
+    /// Whether a session may be evicted: idle past the TTL *and* not
+    /// currently locked by an in-flight handler. The contention probe
+    /// closes a race where a long solve straddles the TTL — the session
+    /// looked idle (handlers touch on lookup, before the solve), got
+    /// evicted mid-solve, and the client's follow-up 404ed even though its
+    /// request had succeeded. A held mutex means someone is working; skip.
+    fn evictable(entry: &SessionEntry, ttl: Duration) -> bool {
+        entry.idle_for() >= ttl && entry.session.try_lock().is_ok()
     }
 
     /// Looks up a session (does not touch it).
@@ -188,20 +242,20 @@ impl Store {
         self.sessions.read().expect("sessions lock poisoned").len()
     }
 
-    /// Evicts every session idle for at least the TTL, returning how many
-    /// went. Called opportunistically by the server.
-    pub fn sweep_idle(&self) -> u64 {
+    /// Evicts every session idle for at least the TTL (and not held by an
+    /// in-flight handler — see [`Store::evictable`]), returning the evicted
+    /// ids. Called opportunistically by the server.
+    pub fn sweep_idle(&self) -> Vec<u64> {
         let mut sessions = self.sessions.write().expect("sessions lock poisoned");
         let idle: Vec<u64> = sessions
             .iter()
-            .filter(|(_, e)| e.idle_for() >= self.idle_ttl)
+            .filter(|(_, e)| Self::evictable(e, self.idle_ttl))
             .map(|(&id, _)| id)
             .collect();
-        let n = idle.len() as u64;
-        for id in idle {
+        for &id in &idle {
             sessions.remove(&id);
         }
-        n
+        idle
     }
 }
 
@@ -260,7 +314,7 @@ mod tests {
     fn session_lifecycle() {
         let (store, cid, u) = store_with_catalog(8, Duration::from_secs(60));
         let (sid, evicted) = store.insert_session(cid, session(&u)).unwrap();
-        assert_eq!(evicted, 0);
+        assert!(evicted.is_empty());
         assert_eq!(store.sessions_len(), 1);
         let entry = store.session(sid).unwrap();
         assert_eq!(entry.catalog_id, cid);
@@ -298,7 +352,8 @@ mod tests {
         let (second, _) = store.insert_session(cid, session(&u)).unwrap();
         std::thread::sleep(Duration::from_millis(5));
         let (third, evicted) = store.insert_session(cid, session(&u)).unwrap();
-        assert!(evicted >= 1, "evicted {evicted}");
+        assert!(!evicted.is_empty(), "evicted {evicted:?}");
+        assert!(evicted.iter().all(|id| [first, second].contains(id)));
         assert!(store.session(third).is_some());
         // At least one of the old pair went.
         let survivors = [first, second]
@@ -316,8 +371,67 @@ mod tests {
         let (fresh, _) = store.insert_session(cid, session(&u)).unwrap();
         store.session(fresh).unwrap().touch();
         let evicted = store.sweep_idle();
-        assert_eq!(evicted, 1);
+        assert_eq!(evicted, vec![old]);
         assert!(store.session(old).is_none());
         assert!(store.session(fresh).is_some());
+    }
+
+    #[test]
+    fn sweep_skips_sessions_with_in_flight_work() {
+        // Regression: an idle-by-the-clock session whose mutex is held by a
+        // long-running solve must NOT be evicted out from under the solve.
+        let (store, cid, u) = store_with_catalog(8, Duration::from_millis(1));
+        let (busy, _) = store.insert_session(cid, session(&u)).unwrap();
+        let (idle, _) = store.insert_session(cid, session(&u)).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+
+        let busy_entry = store.session(busy).unwrap();
+        let guard = busy_entry.session.lock().unwrap(); // simulated in-flight solve
+        let evicted = store.sweep_idle();
+        assert_eq!(evicted, vec![idle], "held session must survive the sweep");
+        assert!(store.session(busy).is_some());
+        drop(guard);
+
+        // Once the handler releases the lock, the session is fair game.
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(store.sweep_idle(), vec![busy]);
+    }
+
+    #[test]
+    fn insert_at_cap_skips_locked_sessions() {
+        let (store, cid, u) = store_with_catalog(1, Duration::from_millis(1));
+        let (busy, _) = store.insert_session(cid, session(&u)).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let busy_entry = store.session(busy).unwrap();
+        let guard = busy_entry.session.lock().unwrap();
+        // The only eviction candidate is locked → creation is refused
+        // rather than yanking a session mid-solve.
+        assert_eq!(
+            store.insert_session(cid, session(&u)),
+            Err(StoreError::TooManySessions { limit: 1 })
+        );
+        drop(guard);
+        let (_, evicted) = store.insert_session(cid, session(&u)).unwrap();
+        assert_eq!(evicted, vec![busy]);
+    }
+
+    #[test]
+    fn with_id_inserts_pin_ids_and_bump_counters() {
+        let store = Store::new(8, Duration::from_secs(60));
+        let u = universe();
+        let cache = Arc::new(SimilarityCache::build(&u, &JaccardNGram::trigram()));
+        store.insert_catalog_with_id(7, Arc::clone(&u), Arc::clone(&cache));
+        assert!(store.catalog(7).is_some());
+        // Fresh uploads continue past the replayed id.
+        assert_eq!(store.insert_catalog(Arc::clone(&u), cache), 8);
+
+        store.insert_session_with_id(42, 7, session(&u)).unwrap();
+        assert_eq!(store.session(42).unwrap().catalog_id, 7);
+        let (next, _) = store.insert_session(7, session(&u)).unwrap();
+        assert_eq!(next, 43);
+        assert_eq!(
+            store.insert_session_with_id(1, 999, session(&u)),
+            Err(StoreError::UnknownCatalog)
+        );
     }
 }

@@ -480,6 +480,110 @@ fn portfolio_sessions_are_thread_count_invariant() {
 }
 
 #[test]
+fn resource_bounds_are_refused_with_a_stable_lint_code() {
+    let (handle, join) = spawn(2);
+    let addr = handle.addr();
+    let catalog_id = upload_catalog(addr, 8, 13);
+
+    // Each oversubscription is a 422 `invalid_parameter` carrying the
+    // machine-readable MUBE015 lint code (PROTOCOL.md).
+    let cases = [
+        format!("{{\"catalog\":{catalog_id},\"threads\":100}}"),
+        format!("{{\"catalog\":{catalog_id},\"restarts\":100}}"),
+        // 5 members × 64 restarts = 320 total, over the 256 member cap
+        // even though both factors are individually in bounds.
+        format!("{{\"catalog\":{catalog_id},\"restarts\":64,\"portfolio\":\"tabu,tabu,tabu,tabu,tabu\"}}"),
+    ];
+    for body in &cases {
+        let (status, v) = request(addr, "POST", "/sessions", body);
+        assert_eq!(status, 422, "{body}: {v:?}");
+        let err = v.get("error").expect("error object");
+        assert_eq!(
+            err.get("code").and_then(Json::as_str),
+            Some("invalid_parameter"),
+            "{v:?}"
+        );
+        let lint = err
+            .get("lint")
+            .and_then(Json::as_array)
+            .expect("lint codes");
+        assert!(lint.iter().any(|c| c.as_str() == Some("MUBE015")), "{v:?}");
+    }
+
+    // In-bounds values still work: nothing was rejected spuriously.
+    let body = format!("{{\"catalog\":{catalog_id},\"threads\":2,\"restarts\":2}}");
+    let (status, v) = request(addr, "POST", "/sessions", &body);
+    assert_eq!(status, 201, "{v:?}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn solve_honours_time_budget_and_reports_timed_out() {
+    let (handle, join) = spawn(2);
+    let addr = handle.addr();
+    let catalog_id = upload_catalog(addr, 10, 17);
+    let session = create_session(addr, catalog_id, 7);
+
+    // A zero budget fires the deadline before the first check, but the
+    // anytime guarantee still yields a full, feasible solution.
+    let (status, v) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/solve"),
+        "{\"time_budget_ms\":0}",
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(v.get("timed_out").and_then(Json::as_bool), Some(true));
+    let solution = v.get("solution").expect("solution");
+    assert!(
+        !solution
+            .get("sources")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty(),
+        "deadline-cut solve must still select sources"
+    );
+    assert_eq!(
+        solution.get("timed_out").and_then(Json::as_bool),
+        Some(true),
+        "the solution itself carries the flag too"
+    );
+
+    // An ample budget completes normally.
+    let (status, v) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/solve"),
+        "{\"time_budget_ms\":60000}",
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(v.get("timed_out").and_then(Json::as_bool), Some(false));
+    assert_eq!(v.get("iteration").and_then(Json::as_u64), Some(2));
+
+    // Garbage budgets are a 400 before any work happens.
+    let (status, v) = request(
+        addr,
+        "POST",
+        &format!("/sessions/{session}/solve"),
+        "{\"time_budget_ms\":\"soon\"}",
+    );
+    assert_eq!(status, 400, "{v:?}");
+
+    // The metrics ledger separates cut solves from completed ones.
+    let stats = handle.stats();
+    assert_eq!(stats.solves_run, 2);
+    assert_eq!(stats.solves_timed_out, 1);
+    let (status, m) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(m.get("solves_timed_out").and_then(Json::as_u64), Some(1));
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
 fn sessions_serialize_but_do_not_block_each_other() {
     // Two clients hammer the SAME session while a third uses its own:
     // same-session solves must serialize (iterations strictly increase,
