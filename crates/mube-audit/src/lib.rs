@@ -138,7 +138,7 @@ impl<'a> Analyzer<'a> {
         AuditReport { diagnostics: out }
     }
 
-    /// Universe-only lints: MUBE011–MUBE013.
+    /// Universe-only lints: MUBE011–MUBE013, MUBE016.
     fn lint_catalog(&self, out: &mut Vec<Diagnostic>) {
         let mut by_name: BTreeMap<&str, Vec<SourceId>> = BTreeMap::new();
         for source in self.universe.sources() {
@@ -186,6 +186,41 @@ impl<'a> Analyzer<'a> {
                     Diagnostic::new(
                         DiagCode::DuplicateSourceNames,
                         format!("{} sources are named `{name}`", ids.len()),
+                    )
+                    .with_sources(ids),
+                );
+            }
+        }
+
+        // MUBE016: names that collapse to the same key once case and
+        // punctuation are dropped — `Movie DB` vs `movie_db`. Exact
+        // duplicates are already MUBE013; this fires only when the raw
+        // spellings differ, so `site0001`/`site0002` catalogs stay clean.
+        let mut by_norm: BTreeMap<String, (BTreeSet<&str>, Vec<SourceId>)> = BTreeMap::new();
+        for source in self.universe.sources() {
+            let key: String = source
+                .name()
+                .chars()
+                .filter(|c| c.is_alphanumeric())
+                .flat_map(char::to_lowercase)
+                .collect();
+            if key.is_empty() {
+                continue;
+            }
+            let slot = by_norm.entry(key).or_default();
+            slot.0.insert(source.name());
+            slot.1.push(source.id());
+        }
+        for (key, (raw_names, ids)) in by_norm {
+            if raw_names.len() > 1 {
+                let listed: Vec<String> = raw_names.iter().map(|n| format!("`{n}`")).collect();
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::NearDuplicateSourceNames,
+                        format!(
+                            "source names {} all normalize to `{key}`",
+                            listed.join(", ")
+                        ),
                     )
                     .with_sources(ids),
                 );
@@ -729,6 +764,47 @@ mod tests {
             report.diagnostics()[0].sources,
             vec![SourceId(0), SourceId(1)]
         );
+    }
+
+    #[test]
+    fn mube016_near_duplicate_source_names() {
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("Movie DB", Schema::new(["title"])).cardinality(1));
+        b.add_source(SourceSpec::new("movie_db", Schema::new(["name"])).cardinality(1));
+        let u = b.build().unwrap();
+        let report = Analyzer::new(&u).run();
+        assert_eq!(
+            codes(&report),
+            vec!["MUBE016"],
+            "{:?}",
+            report.diagnostics()
+        );
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.sources, vec![SourceId(0), SourceId(1)]);
+        assert!(d.message.contains("moviedb"), "{}", d.message);
+        assert!(!report.has_errors(), "suspicious but not infeasible");
+    }
+
+    #[test]
+    fn mube016_ignores_distinct_numbered_sites() {
+        // Synthetic catalogs name sources site0001, site0002, ... — those
+        // normalize to distinct keys and must not warn.
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("site0001", Schema::new(["x"])).cardinality(1));
+        b.add_source(SourceSpec::new("site0002", Schema::new(["x"])).cardinality(1));
+        let u = b.build().unwrap();
+        assert!(Analyzer::new(&u).run().is_clean());
+    }
+
+    #[test]
+    fn mube016_exact_duplicates_stay_mube013() {
+        // Identical raw spellings are the MUBE013 exact-duplicate case;
+        // MUBE016 reports only genuinely different spellings.
+        let mut b = Universe::builder();
+        b.add_source(SourceSpec::new("twin", Schema::new(["x"])).cardinality(1));
+        b.add_source(SourceSpec::new("twin", Schema::new(["y"])).cardinality(1));
+        let u = b.build().unwrap();
+        assert_eq!(codes(&Analyzer::new(&u).run()), vec!["MUBE013"]);
     }
 
     #[test]

@@ -1,0 +1,782 @@
+//! The bounded schedule explorer: a loom-style stateless model checker.
+//!
+//! A *model* is a closure that builds a small concurrent program out of the
+//! instrumented primitives in [`crate::sync`] and [`crate::thread`] and
+//! asserts its invariants with ordinary `assert!`s. [`Explorer::check`] runs
+//! the model over and over, each time forcing a different thread
+//! interleaving, until every schedule within the preemption bound has been
+//! explored (or an assertion fails, which stops the search and reports the
+//! offending schedule).
+//!
+//! ## How a run works
+//!
+//! Model threads execute as real OS threads, but *serialized*: exactly one
+//! runs at any moment. Every operation on a shim primitive (mutex lock,
+//! atomic load/store, spawn, join) is a **scheduling point**: the thread
+//! parks, hands control to the scheduler, and continues only when granted
+//! the next step. The scheduler therefore observes every thread parked at a
+//! decision point and can enumerate which thread moves next.
+//!
+//! Schedules are explored depth-first: the first run takes the default
+//! choice at every decision; subsequent runs replay a recorded prefix and
+//! deviate at the deepest decision with an unexplored alternative. Because
+//! model execution is deterministic given the schedule (models must not
+//! branch on wall-clock time or OS randomness), a prefix replays exactly.
+//!
+//! ## Preemption bound
+//!
+//! A *preemption* is a context switch away from a thread that could have
+//! kept running. Exhaustive search is exponential in schedule length, but
+//! most concurrency bugs need only a handful of preemptions (empirically 2
+//! — see CHESS), so the explorer only enumerates schedules with at most
+//! [`Explorer::preemption_bound`] preemptions. Switches away from a blocked
+//! or finished thread are free. Within the bound the search is exhaustive:
+//! [`Report::complete`] says so.
+//!
+//! ## What is modeled
+//!
+//! The explorer interleaves at sequential-consistency granularity: shim
+//! atomics execute as `SeqCst` regardless of the `Ordering` argument, so
+//! weak-memory reorderings are *not* explored — the tool targets logic
+//! races (atomicity violations, lock-order inversions, lost updates,
+//! check-then-act windows), not fence placement. `Ordering` arguments are
+//! accepted so models can mirror production code verbatim.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sentinel panic payload used to unwind model threads when a run aborts
+/// (assertion failure elsewhere, deadlock, or step-budget exhaustion). Not
+/// itself a failure.
+pub(crate) struct Abort;
+
+/// What a parked thread needs before its next operation can execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Blocker {
+    /// The shim mutex with this engine id must be free.
+    Mutex(usize),
+    /// The thread with this id must have finished.
+    Join(usize),
+}
+
+/// Lifecycle state of one model thread, as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Parked at a scheduling point whose operation can run any time.
+    Ready,
+    /// Parked at a scheduling point that needs its blocker satisfied.
+    Blocked(Blocker),
+    /// The thread's closure returned (or unwound).
+    Finished,
+}
+
+/// Who may run right now: the scheduler, or exactly one model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Scheduler,
+    Thread(usize),
+}
+
+#[derive(Debug)]
+struct ExecState {
+    turn: Turn,
+    threads: Vec<Status>,
+    mutex_owner: Vec<Option<usize>>,
+    abort: bool,
+    failure: Option<String>,
+}
+
+/// One controlled execution: shared state + condvar for the turn-taking
+/// protocol between the scheduler and the model threads.
+#[derive(Debug)]
+pub(crate) struct Engine {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Engine>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The engine controlling the current OS thread, if it is a model thread of
+/// an active exploration (`None` in ordinary code — shims pass through to
+/// `std` in that case).
+pub(crate) fn current() -> Option<(Arc<Engine>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+impl Engine {
+    fn new() -> Arc<Engine> {
+        Arc::new(Engine {
+            state: Mutex::new(ExecState {
+                turn: Turn::Scheduler,
+                threads: Vec::new(),
+                mutex_owner: Vec::new(),
+                abort: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state.lock().expect("engine state lock poisoned")
+    }
+
+    /// Registers a new shim mutex and returns its engine id.
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock_state();
+        st.mutex_owner.push(None);
+        st.mutex_owner.len() - 1
+    }
+
+    /// A scheduling point: parks the calling model thread until the
+    /// scheduler grants it the next step. On return the thread is the only
+    /// one running and (if it declared a mutex blocker) the mutex is free.
+    ///
+    /// # Panics
+    /// Unwinds with [`Abort`] if the run is aborting.
+    pub(crate) fn yield_op(&self, tid: usize, blocker: Option<Blocker>) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            std::panic::resume_unwind(Box::new(Abort));
+        }
+        st.threads[tid] = match blocker {
+            None => Status::Ready,
+            Some(b) => Status::Blocked(b),
+        };
+        st.turn = Turn::Scheduler;
+        self.cv.notify_all();
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::resume_unwind(Box::new(Abort));
+            }
+            if st.turn == Turn::Thread(tid) {
+                return;
+            }
+            st = self.cv.wait(st).expect("engine state lock poisoned");
+        }
+    }
+
+    /// Marks `id` owned by `tid`. Call only right after being granted a
+    /// `Blocker::Mutex(id)` yield (the scheduler guaranteed it was free).
+    pub(crate) fn acquire_mutex(&self, id: usize, tid: usize) {
+        let mut st = self.lock_state();
+        debug_assert!(st.mutex_owner[id].is_none(), "granted a held mutex");
+        st.mutex_owner[id] = Some(tid);
+    }
+
+    /// Non-blocking acquire for `try_lock`: true iff the mutex was free.
+    pub(crate) fn try_acquire_mutex(&self, id: usize, tid: usize) -> bool {
+        let mut st = self.lock_state();
+        if st.mutex_owner[id].is_none() {
+            st.mutex_owner[id] = Some(tid);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases a shim mutex. Never waits and never panics — it is called
+    /// from guard `Drop` impls, possibly while unwinding.
+    pub(crate) fn release_mutex(&self, id: usize) {
+        if let Ok(mut st) = self.state.lock() {
+            st.mutex_owner[id] = None;
+        }
+    }
+
+    /// Records an invariant failure (first one wins) and aborts the run:
+    /// every parked thread wakes and unwinds via [`Abort`].
+    pub(crate) fn record_failure(&self, msg: String) {
+        let mut st = self.lock_state();
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Spawns a model thread running `f`. Registered Ready; it runs only
+    /// when the scheduler grants it. Returns the new thread's id.
+    pub(crate) fn spawn_thread(self: &Arc<Self>, f: impl FnOnce() + Send + 'static) -> usize {
+        let tid = {
+            let mut st = self.lock_state();
+            st.threads.push(Status::Ready);
+            st.threads.len() - 1
+        };
+        let eng = Arc::clone(self);
+        let handle = std::thread::spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&eng), tid)));
+            if eng.initial_wait(tid) {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                    if payload.downcast_ref::<Abort>().is_none() {
+                        eng.record_failure(panic_message(payload.as_ref()));
+                    }
+                }
+            }
+            eng.finish_thread(tid);
+            CURRENT.with(|c| *c.borrow_mut() = None);
+        });
+        self.os_handles
+            .lock()
+            .expect("os handle list lock poisoned")
+            .push(handle);
+        tid
+    }
+
+    /// First wait of a fresh thread: no state change, just wait for the
+    /// first grant. Returns false when the run aborted before that.
+    fn initial_wait(&self, tid: usize) -> bool {
+        let mut st = self.lock_state();
+        loop {
+            if st.abort {
+                return false;
+            }
+            if st.turn == Turn::Thread(tid) {
+                return true;
+            }
+            st = self.cv.wait(st).expect("engine state lock poisoned");
+        }
+    }
+
+    fn finish_thread(&self, tid: usize) {
+        let mut st = self.lock_state();
+        st.threads[tid] = Status::Finished;
+        st.turn = Turn::Scheduler;
+        self.cv.notify_all();
+    }
+}
+
+/// One scheduler decision: the threads that were allowed to move (within
+/// the preemption budget) and which of them the current DFS path takes.
+#[derive(Debug, Clone)]
+struct Decision {
+    allowed: Vec<usize>,
+    idx: usize,
+}
+
+/// The failing schedule of a refuted model: the granted thread id at every
+/// scheduler step, in order. Feed it back through [`Explorer::replay`] to
+/// reproduce the exact interleaving (e.g. as a regression test).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// The assertion/panic message (or `deadlock: …` / step-budget report).
+    pub message: String,
+    /// Granted thread ids, one per scheduler step.
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} under schedule {:?}", self.message, self.schedule)
+    }
+}
+
+/// Outcome of one [`Explorer::check`] exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// The model's name, for messages.
+    pub model: String,
+    /// Number of complete schedules executed.
+    pub schedules: usize,
+    /// True when the state space within the preemption bound was exhausted
+    /// (always check this: an incomplete pass proves nothing).
+    pub complete: bool,
+    /// The first invariant violation found, if any (exploration stops
+    /// there).
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Asserts the exploration was exhaustive and found no violation.
+    ///
+    /// # Panics
+    /// With the model name, failing schedule, and message otherwise.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model `{}` refuted after {} schedules: {f}",
+                self.model, self.schedules
+            );
+        }
+        assert!(
+            self.complete,
+            "model `{}` exploration incomplete after {} schedules; raise max_schedules",
+            self.model, self.schedules
+        );
+    }
+
+    /// Asserts the exploration *did* find a violation (for known-buggy
+    /// models proving the checker can see the race) and returns it.
+    ///
+    /// # Panics
+    /// If the model survived every explored schedule.
+    pub fn expect_failure(&self) -> &Failure {
+        self.failure.as_ref().unwrap_or_else(|| {
+            panic!(
+                "model `{}` expected to be refuted but survived {} schedules (complete: {})",
+                self.model, self.schedules, self.complete
+            )
+        })
+    }
+}
+
+/// The DFS schedule explorer. See the module docs for the search strategy.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    preemption_bound: usize,
+    max_schedules: usize,
+    max_steps: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            preemption_bound: 2,
+            max_schedules: 100_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+impl Explorer {
+    /// An explorer with the default preemption bound (2) and schedule cap.
+    pub fn new() -> Self {
+        Explorer::default()
+    }
+
+    /// Sets the preemption bound (see module docs).
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Caps how many schedules one `check` may run before giving up with
+    /// `complete = false`.
+    pub fn max_schedules(mut self, cap: usize) -> Self {
+        self.max_schedules = cap.max(1);
+        self
+    }
+
+    /// Explores every schedule of `model` within the preemption bound.
+    /// `model` runs as thread 0 and may spawn more threads with
+    /// [`crate::thread::spawn`]; it must create all shared state *inside*
+    /// the closure (each schedule is a fresh execution).
+    pub fn check(&self, name: &str, model: impl Fn() + Send + Sync + 'static) -> Report {
+        let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+        let mut plan: Vec<Decision> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            let outcome = self.run_once(&model, &mut RunMode::Explore(&mut plan));
+            schedules += 1;
+            if let Some(failure) = outcome {
+                return Report {
+                    model: name.to_string(),
+                    schedules,
+                    complete: false,
+                    failure: Some(failure),
+                };
+            }
+            // DFS backtrack: drop exhausted tail decisions, advance the
+            // deepest one with an unexplored alternative.
+            loop {
+                match plan.last_mut() {
+                    None => {
+                        return Report {
+                            model: name.to_string(),
+                            schedules,
+                            complete: true,
+                            failure: None,
+                        }
+                    }
+                    Some(d) if d.idx + 1 < d.allowed.len() => {
+                        d.idx += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        plan.pop();
+                    }
+                }
+            }
+            if schedules >= self.max_schedules {
+                return Report {
+                    model: name.to_string(),
+                    schedules,
+                    complete: false,
+                    failure: None,
+                };
+            }
+        }
+    }
+
+    /// Re-runs `model` under one specific schedule (as recorded in
+    /// [`Failure::schedule`]) and returns the violation it reproduces, if
+    /// any. This is the regression-test entry point: commit the schedule a
+    /// `check` run found and replay it forever after.
+    pub fn replay(
+        &self,
+        schedule: &[usize],
+        model: impl Fn() + Send + Sync + 'static,
+    ) -> Result<(), Failure> {
+        let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+        match self.run_once(&model, &mut RunMode::Replay(schedule)) {
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs one schedule to completion. Returns the failure, if one fired.
+    fn run_once(
+        &self,
+        model: &Arc<dyn Fn() + Send + Sync>,
+        mode: &mut RunMode<'_>,
+    ) -> Option<Failure> {
+        let engine = Engine::new();
+        {
+            let m = Arc::clone(model);
+            engine.spawn_thread(move || m());
+        }
+        let mut prev: Option<usize> = None;
+        let mut preemptions = 0usize;
+        let mut step = 0usize;
+        let mut schedule: Vec<usize> = Vec::new();
+
+        loop {
+            let mut st = engine.lock_state();
+            while st.turn != Turn::Scheduler {
+                st = engine.cv.wait(st).expect("engine state lock poisoned");
+            }
+            if st.abort {
+                drop(st);
+                break;
+            }
+            let enabled: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| match s {
+                    Status::Ready => true,
+                    Status::Blocked(Blocker::Mutex(m)) => st.mutex_owner[*m].is_none(),
+                    Status::Blocked(Blocker::Join(t)) => st.threads[*t] == Status::Finished,
+                    Status::Finished => false,
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if st.threads.iter().all(|s| *s == Status::Finished) {
+                drop(st);
+                break;
+            }
+            if enabled.is_empty() {
+                let holders: Vec<String> = st
+                    .mutex_owner
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(m, o)| o.map(|t| format!("mutex {m} held by thread {t}")))
+                    .collect();
+                st.failure = Some(format!(
+                    "deadlock: no thread can run ({})",
+                    if holders.is_empty() {
+                        "all parked on unsatisfiable blockers".to_string()
+                    } else {
+                        holders.join(", ")
+                    }
+                ));
+                st.abort = true;
+                engine.cv.notify_all();
+                drop(st);
+                break;
+            }
+            if step >= self.max_steps {
+                st.failure = Some(format!(
+                    "model exceeded {} scheduler steps; does a thread loop without \
+                     reaching a scheduling point?",
+                    self.max_steps
+                ));
+                st.abort = true;
+                engine.cv.notify_all();
+                drop(st);
+                break;
+            }
+            let prev_enabled = prev.is_some_and(|p| enabled.contains(&p));
+            let allowed: Vec<usize> = if prev_enabled {
+                let p = prev.expect("prev_enabled implies prev");
+                if preemptions < self.preemption_bound {
+                    std::iter::once(p)
+                        .chain(enabled.iter().copied().filter(|&t| t != p))
+                        .collect()
+                } else {
+                    vec![p]
+                }
+            } else {
+                enabled
+            };
+            let tid = match mode {
+                RunMode::Explore(plan) => {
+                    let idx = if step < plan.len() {
+                        debug_assert_eq!(
+                            plan[step].allowed, allowed,
+                            "non-deterministic model: replayed prefix diverged at step {step}"
+                        );
+                        plan[step].idx
+                    } else {
+                        plan.push(Decision {
+                            allowed: allowed.clone(),
+                            idx: 0,
+                        });
+                        0
+                    };
+                    allowed[idx]
+                }
+                RunMode::Replay(forced) => {
+                    let want = forced.get(step).copied().unwrap_or(allowed[0]);
+                    if allowed.contains(&want) {
+                        want
+                    } else {
+                        // The replayed schedule no longer matches the model
+                        // (model changed shape); fall back to the default so
+                        // the run still terminates — the caller compares
+                        // outcomes, not schedules.
+                        allowed[0]
+                    }
+                }
+            };
+            if prev_enabled && Some(tid) != prev {
+                preemptions += 1;
+            }
+            schedule.push(tid);
+            prev = Some(tid);
+            st.threads[tid] = Status::Ready;
+            st.turn = Turn::Thread(tid);
+            engine.cv.notify_all();
+            drop(st);
+            step += 1;
+        }
+
+        // Wait for every thread to observe the abort (or finish) and join
+        // the OS threads so nothing leaks into the next schedule.
+        {
+            let mut st = engine.lock_state();
+            while !st.threads.iter().all(|s| *s == Status::Finished) {
+                st = engine.cv.wait(st).expect("engine state lock poisoned");
+            }
+        }
+        let handles = std::mem::take(
+            &mut *engine
+                .os_handles
+                .lock()
+                .expect("os handle list lock poisoned"),
+        );
+        for h in handles {
+            // A model thread that failed already recorded its message; the
+            // unwind itself is expected.
+            let _ = h.join();
+        }
+        let st = engine.lock_state();
+        st.failure
+            .clone()
+            .map(|message| Failure { message, schedule })
+    }
+}
+
+enum RunMode<'a> {
+    Explore(&'a mut Vec<Decision>),
+    Replay(&'a [usize]),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::AtomicU64;
+    use crate::thread;
+    use std::sync::atomic::Ordering;
+
+    /// A single child doing one op has exactly one schedule: every decision
+    /// point offers exactly one runnable thread.
+    #[test]
+    fn single_thread_model_has_one_schedule() {
+        let report = Explorer::new().check("single", || {
+            let a = Arc::new(AtomicU64::new(0));
+            let a2 = Arc::clone(&a);
+            let h = thread::spawn(move || {
+                a2.fetch_add(1, Ordering::SeqCst);
+            });
+            h.join().expect("child ok");
+            assert_eq!(a.load(Ordering::SeqCst), 1);
+        });
+        report.assert_ok();
+        assert_eq!(report.schedules, 1, "no branch point exists");
+    }
+
+    /// Two incrementing threads: the counter ends at 4 under *every*
+    /// schedule, and more than one schedule exists.
+    #[test]
+    fn counter_invariant_holds_across_all_schedules() {
+        let report = Explorer::new().preemption_bound(2).check("counter", || {
+            let a = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || {
+                        a.fetch_add(1, Ordering::SeqCst);
+                        a.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("child ok");
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 4);
+        });
+        report.assert_ok();
+        assert!(report.schedules > 1, "interleavings must branch");
+    }
+
+    /// Raising the preemption bound only grows the explored set.
+    #[test]
+    fn schedule_count_grows_with_preemption_bound() {
+        let count = |bound: usize| {
+            let report = Explorer::new().preemption_bound(bound).check("grow", || {
+                let a = Arc::new(AtomicU64::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let a = Arc::clone(&a);
+                        thread::spawn(move || {
+                            a.fetch_add(1, Ordering::SeqCst);
+                            a.fetch_add(1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("child ok");
+                }
+            });
+            report.assert_ok();
+            report.schedules
+        };
+        let (c0, c1, c2) = (count(0), count(1), count(2));
+        assert!(c0 <= c1 && c1 <= c2, "{c0} {c1} {c2}");
+        assert!(c2 > c0, "bound 2 must see schedules bound 0 cannot");
+    }
+
+    /// Exploration is deterministic: same model, same counts.
+    #[test]
+    fn exploration_is_deterministic() {
+        let run = || {
+            Explorer::new()
+                .preemption_bound(2)
+                .check("det", || {
+                    let a = Arc::new(AtomicU64::new(0));
+                    let handles: Vec<_> = (0..3)
+                        .map(|i| {
+                            let a = Arc::clone(&a);
+                            thread::spawn(move || {
+                                a.fetch_add(i + 1, Ordering::SeqCst);
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().expect("child ok");
+                    }
+                    assert_eq!(a.load(Ordering::SeqCst), 6);
+                })
+                .schedules
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// A classic lost update (load; add; store instead of `fetch_add`) is
+    /// found, and the reported schedule replays to the same violation.
+    #[test]
+    fn lost_update_is_found_and_replays() {
+        let model = || {
+            let a = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || {
+                        let v = a.load(Ordering::SeqCst);
+                        a.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("child ok");
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2, "increment lost");
+        };
+        let report = Explorer::new()
+            .preemption_bound(2)
+            .check("lost-update", model);
+        let failure = report.expect_failure().clone();
+        assert!(failure.message.contains("increment lost"), "{failure}");
+        let err = Explorer::new()
+            .replay(&failure.schedule, model)
+            .expect_err("replaying the found schedule reproduces the bug");
+        assert!(err.message.contains("increment lost"), "{err}");
+    }
+
+    /// ABBA lock-order inversion deadlocks under some schedule; the
+    /// explorer reports it instead of hanging.
+    #[test]
+    fn abba_deadlock_is_detected() {
+        use crate::sync::Mutex as ShimMutex;
+        let report = Explorer::new().preemption_bound(2).check("abba", || {
+            let a = Arc::new(ShimMutex::new(0u32));
+            let b = Arc::new(ShimMutex::new(0u32));
+            let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+            let h1 = thread::spawn(move || {
+                let _ga = a1.lock();
+                let _gb = b1.lock();
+            });
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h2 = thread::spawn(move || {
+                let _gb = b2.lock();
+                let _ga = a2.lock();
+            });
+            let _ = h1.join();
+            let _ = h2.join();
+        });
+        let failure = report.expect_failure();
+        assert!(failure.message.contains("deadlock"), "{failure}");
+    }
+
+    /// Mutexes actually provide mutual exclusion under exploration: a
+    /// non-atomic read-modify-write protected by the shim mutex never loses
+    /// an update, on any schedule.
+    #[test]
+    fn mutex_protects_critical_sections() {
+        use crate::sync::Mutex as ShimMutex;
+        let report = Explorer::new().preemption_bound(2).check("mutex-rmw", || {
+            let m = Arc::new(ShimMutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        let mut g = m.lock();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("child ok");
+            }
+            assert_eq!(*m.lock(), 2);
+        });
+        report.assert_ok();
+    }
+}

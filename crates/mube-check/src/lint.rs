@@ -1,0 +1,950 @@
+//! `mube lint-src`: a token-level source-invariant linter for the
+//! workspace's own Rust code.
+//!
+//! The compiler cannot enforce project rules like "solver code must use the
+//! injectable clock" or "`Ordering::Relaxed` needs a written justification".
+//! This module scans `crates/*/src/**/*.rs` with a small hand-rolled lexer
+//! (no external parser) and emits stable `MUBE1xx` codes — same contract as
+//! the catalog linter's `MUBE0xx` space: codes are never renumbered.
+//!
+//! | code | severity | rule |
+//! |------|----------|------|
+//! | MUBE101 | error | `Instant::now` / `SystemTime::now` / `thread::sleep` in solver/exec crates (use the injectable `VirtualClock`/`ManualClock`) |
+//! | MUBE102 | error | `.unwrap()` outside tests/benches (use `.expect("why")` or handle the error) |
+//! | MUBE103 | warning | `.expect("")` with an empty message |
+//! | MUBE104 | warning | `Ordering::Relaxed` without an adjacent `// ordering:` justification comment |
+//! | MUBE105 | error | `static mut` (use atomics or `OnceLock`) |
+//! | MUBE106 | warning | `println!`/`eprintln!` in library crates (return strings or use the server's log paths) |
+//!
+//! Suppression, narrowest first: a `// lint-src: allow(MUBE1xx)` comment on
+//! the offending line or the line above waives one site; an allowlist file
+//! (`lint-src.allow`, `CODE path-prefix` per line) waives a code for a file
+//! or directory. Code under `#[cfg(test)]` / `#[test]` is skipped entirely,
+//! as are `tests/`, `benches/`, and `examples/` trees.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Finding severity. `Error` always fails the gate; `Warning` fails only
+/// under `--deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style/justification problems; fail only under `--deny`.
+    Warning,
+    /// Hard project-rule violations; always fail.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label, as rendered.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// A lint rule's static description (the `MUBE1xx` table).
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable code, `MUBE101`..
+    pub code: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// Gate behavior.
+    pub severity: Severity,
+    /// One-line description for `--help`/docs.
+    pub summary: &'static str,
+}
+
+/// Every rule, in code order. Codes are stable: never renumber.
+pub const RULES: [Rule; 6] = [
+    Rule {
+        code: "MUBE101",
+        name: "wall-clock-in-solver",
+        severity: Severity::Error,
+        summary: "Instant/SystemTime/thread::sleep in solver or exec code; \
+                  inject VirtualClock/ManualClock instead",
+    },
+    Rule {
+        code: "MUBE102",
+        name: "unwrap-outside-tests",
+        severity: Severity::Error,
+        summary: ".unwrap() outside tests/benches; use .expect(\"why\") or \
+                  handle the error",
+    },
+    Rule {
+        code: "MUBE103",
+        name: "empty-expect-message",
+        severity: Severity::Warning,
+        summary: ".expect(\"\") carries no diagnostic; say what held the \
+                  invariant",
+    },
+    Rule {
+        code: "MUBE104",
+        name: "relaxed-ordering-unjustified",
+        severity: Severity::Warning,
+        summary: "Ordering::Relaxed without an adjacent `// ordering:` \
+                  justification comment",
+    },
+    Rule {
+        code: "MUBE105",
+        name: "static-mut",
+        severity: Severity::Error,
+        summary: "static mut is a data race waiting to happen; use atomics \
+                  or OnceLock",
+    },
+    Rule {
+        code: "MUBE106",
+        name: "print-in-library",
+        severity: Severity::Warning,
+        summary: "println!/eprintln! in a library crate; return strings or \
+                  use the server's log paths",
+    },
+];
+
+fn rule(code: &str) -> &'static Rule {
+    RULES
+        .iter()
+        .find(|r| r.code == code)
+        .expect("rule codes are static")
+}
+
+/// One lint finding at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule code.
+    pub code: &'static str,
+    /// Gate behavior of the rule.
+    pub severity: Severity,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description of the site.
+    pub message: String,
+}
+
+/// One allowlist entry: waives `code` for every file whose workspace
+/// relative path starts with `path_prefix`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The waived code (`MUBE1xx`).
+    pub code: String,
+    /// Path prefix, forward slashes (file or directory).
+    pub path_prefix: String,
+}
+
+/// Parses the allowlist format: one `CODE path-prefix` per line, `#`
+/// comments and blank lines ignored.
+///
+/// # Errors
+/// On a malformed line or an unknown code.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(code), Some(path)) = (parts.next(), parts.next()) else {
+            return Err(format!("allowlist line {}: want `CODE path`", idx + 1));
+        };
+        if parts.next().is_some() {
+            return Err(format!("allowlist line {}: trailing tokens", idx + 1));
+        }
+        if !RULES.iter().any(|r| r.code == code) {
+            return Err(format!("allowlist line {}: unknown code `{code}`", idx + 1));
+        }
+        entries.push(AllowEntry {
+            code: code.to_string(),
+            path_prefix: path.to_string(),
+        });
+    }
+    Ok(entries)
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokKind {
+    Ident,
+    Punct(char),
+    /// String literal (regular, raw, byte); `empty` = zero-length content.
+    Str {
+        empty: bool,
+    },
+    Num,
+    CharLit,
+    Lifetime,
+}
+
+#[derive(Debug, Clone)]
+struct Tok {
+    kind: TokKind,
+    /// Identifier text (empty for other kinds — the rules only compare
+    /// idents).
+    text: String,
+    line: usize,
+}
+
+struct Lexed {
+    toks: Vec<Tok>,
+    /// Concatenated comment text per 1-based line.
+    comments: BTreeMap<usize, String>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenizes Rust source. Whitespace-insensitive by construction: the token
+/// stream (and the line attribution of comments relative to code) is all
+/// the rules ever see.
+#[allow(clippy::too_many_lines)]
+fn lex(text: &str) -> Lexed {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments: BTreeMap<usize, String> = BTreeMap::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    let count_newlines = |from: usize, to: usize| -> usize {
+        bytes[from..to].iter().filter(|&&b| b == b'\n').count()
+    };
+
+    while i < n {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let entry = comments.entry(line).or_default();
+                entry.push(' ');
+                entry.push_str(&text[start..i]);
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_newlines(start, i);
+                let entry = comments.entry(start_line).or_default();
+                entry.push(' ');
+                entry.push_str(&text[start..i.min(n)]);
+            }
+            b'"' => {
+                let start = i;
+                let start_line = line;
+                i += 1;
+                while i < n {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                let empty = i == start + 2;
+                line += count_newlines(start, i.min(n));
+                toks.push(Tok {
+                    kind: TokKind::Str { empty },
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'a` followed by a non-quote is
+                // a lifetime; `'a'`, `'\n'`, `'"'` are char literals.
+                let next = bytes.get(i + 1).copied().unwrap_or(0);
+                let after = bytes.get(i + 2).copied().unwrap_or(0);
+                if next != b'\\' && is_ident_start(next) && after != b'\'' {
+                    i += 1;
+                    while i < n && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    while i < n {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::CharLit,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                while i < n {
+                    let c = bytes[i];
+                    if is_ident_continue(c) {
+                        i += 1;
+                    } else if c == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        // `1.5` continues the number; `1..2` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: String::new(),
+                    line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < n && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                let word = &text[start..i];
+                // Raw/byte string prefixes: r"..", r#".."#, b"..", br"..".
+                if matches!(word, "r" | "b" | "br" | "rb")
+                    && matches!(bytes.get(i), Some(b'"' | b'#'))
+                {
+                    let mut hashes = 0usize;
+                    while bytes.get(i + hashes) == Some(&b'#') {
+                        hashes += 1;
+                    }
+                    if bytes.get(i + hashes) == Some(&b'"') {
+                        let content_start = i + hashes + 1;
+                        let mut j = content_start;
+                        let closer: Vec<u8> = std::iter::once(b'"')
+                            .chain(std::iter::repeat_n(b'#', hashes))
+                            .collect();
+                        while j < n && !bytes[j..].starts_with(&closer) {
+                            j += 1;
+                        }
+                        let empty = j == content_start;
+                        let end = (j + closer.len()).min(n);
+                        let start_line = line;
+                        line += count_newlines(start, end);
+                        toks.push(Tok {
+                            kind: TokKind::Str { empty },
+                            text: String::new(),
+                            line: start_line,
+                        });
+                        i = end;
+                        continue;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: word.to_string(),
+                    line,
+                });
+            }
+            _ if b < 128 => {
+                toks.push(Tok {
+                    kind: TokKind::Punct(b as char),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+            _ => i += 1, // non-ASCII outside strings/comments: skip
+        }
+    }
+    Lexed { toks, comments }
+}
+
+// ---------------------------------------------------------------------------
+// Test-item stripping
+// ---------------------------------------------------------------------------
+
+fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
+    match toks.get(i)?.kind {
+        TokKind::Punct(c) => Some(c),
+        _ => None,
+    }
+}
+
+fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    let t = toks.get(i)?;
+    if t.kind == TokKind::Ident {
+        Some(&t.text)
+    } else {
+        None
+    }
+}
+
+/// From the index of the attribute's `[`, returns `(idents inside, index
+/// just past the matching `]`)`.
+fn attr_span(toks: &[Tok], open: usize) -> (Vec<String>, usize) {
+    debug_assert_eq!(punct_at(toks, open), Some('['));
+    let mut idents = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, i + 1);
+                }
+            }
+            TokKind::Ident => idents.push(toks[i].text.clone()),
+            _ => {}
+        }
+        i += 1;
+    }
+    (idents, toks.len())
+}
+
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]` — but *not*
+/// `#[cfg(not(test))]` (that is production code) and not `#[cfg_attr]`.
+fn is_test_attr(idents: &[String]) -> bool {
+    match idents.first().map(String::as_str) {
+        Some("test") if idents.len() == 1 => true,
+        Some("cfg") => idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not"),
+        _ => false,
+    }
+}
+
+/// Skips one item starting at `i` (after its attributes): to the matching
+/// `}` of its first brace block, or past a `;` that arrives first.
+fn skip_item(toks: &[Tok], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < toks.len() {
+        match punct_at(toks, i) {
+            Some(';') if depth == 0 => return i + 1,
+            Some('{') => depth += 1,
+            Some('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Removes test-only items (`#[cfg(test)] mod …`, `#[test] fn …`) from the
+/// token stream, so the rules only see production code.
+fn strip_test_items(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if punct_at(toks, i) == Some('#') {
+            // Inner attribute `#![…]`: keep, never an item gate.
+            if punct_at(toks, i + 1) == Some('!') && punct_at(toks, i + 2) == Some('[') {
+                let (_, end) = attr_span(toks, i + 2);
+                out.extend(toks[i..end].iter().cloned());
+                i = end;
+                continue;
+            }
+            if punct_at(toks, i + 1) == Some('[') {
+                let (idents, end) = attr_span(toks, i + 1);
+                if is_test_attr(&idents) {
+                    // Skip any further attributes, then the item itself.
+                    let mut j = end;
+                    while punct_at(toks, j) == Some('#') && punct_at(toks, j + 1) == Some('[') {
+                        let (_, e) = attr_span(toks, j + 1);
+                        j = e;
+                    }
+                    i = skip_item(toks, j);
+                    continue;
+                }
+                out.extend(toks[i..end].iter().cloned());
+                i = end;
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// Which crate a workspace-relative path belongs to, e.g. `mube-opt` for
+/// `crates/mube-opt/src/lib.rs`. `None` when not under `crates/*/src/`.
+fn crate_of(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    let (krate, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(krate)
+}
+
+/// Crates whose non-test code must use the injectable clock (MUBE101): the
+/// solver and executor, where wall-clock reads break replay determinism.
+const CLOCK_SCOPED: [&str; 2] = ["mube-opt", "mube-exec"];
+
+/// Crates exempt from MUBE106: binaries whose product *is* stdout, and the
+/// bench harness.
+const PRINT_EXEMPT: [&str; 2] = ["mube-cli", "mube-bench"];
+
+fn comment_near(comments: &BTreeMap<usize, String>, line: usize, needle: &str) -> bool {
+    if comments.get(&line).is_some_and(|c| c.contains(needle)) {
+        return true;
+    }
+    // Walk the contiguous block of comment lines immediately above — a
+    // justification may wrap over several `//` lines.
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        match comments.get(&l) {
+            Some(c) if c.contains(needle) => return true,
+            Some(_) => {}
+            None => return false,
+        }
+    }
+    false
+}
+
+/// Lints one file's text. `rel_path` is workspace-relative with forward
+/// slashes; it decides which rules apply. Inline `// lint-src: allow(..)`
+/// waivers are honored here; the allowlist file is applied by
+/// [`lint_workspace`].
+#[must_use]
+pub fn lint_file(rel_path: &str, text: &str) -> Vec<Finding> {
+    let Some(krate) = crate_of(rel_path) else {
+        return Vec::new();
+    };
+    if rel_path.contains("/tests/")
+        || rel_path.contains("/benches/")
+        || rel_path.contains("/examples/")
+    {
+        return Vec::new();
+    }
+    let lexed = lex(text);
+    let toks = strip_test_items(&lexed.toks);
+    let comments = &lexed.comments;
+    let mut findings = Vec::new();
+    let mut push = |code: &'static str, line: usize, message: String| {
+        let waiver = format!("lint-src: allow({code})");
+        if comment_near(comments, line, &waiver) {
+            return;
+        }
+        findings.push(Finding {
+            code,
+            severity: rule(code).severity,
+            file: rel_path.to_string(),
+            line,
+            message,
+        });
+    };
+
+    let clock_scoped = CLOCK_SCOPED.contains(&krate);
+    let print_exempt = PRINT_EXEMPT.contains(&krate)
+        || rel_path.contains("/bin/")
+        || rel_path.ends_with("/main.rs");
+    let bench_crate = krate == "mube-bench";
+
+    let path2 = |i: usize| -> Option<(&str, &str)> {
+        let a = ident_at(&toks, i)?;
+        if punct_at(&toks, i + 1) == Some(':') && punct_at(&toks, i + 2) == Some(':') {
+            Some((a, ident_at(&toks, i + 3)?))
+        } else {
+            None
+        }
+    };
+
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if clock_scoped {
+            if let Some((a, b)) = path2(i) {
+                let hit = matches!(
+                    (a, b),
+                    ("Instant" | "SystemTime", "now") | ("thread", "sleep")
+                );
+                if hit {
+                    push(
+                        "MUBE101",
+                        line,
+                        format!(
+                            "`{a}::{b}` in {krate}: inject the clock \
+                             (VirtualClock/ManualClock) so runs replay deterministically"
+                        ),
+                    );
+                }
+            }
+        }
+        if !bench_crate
+            && punct_at(&toks, i) == Some('.')
+            && ident_at(&toks, i + 1) == Some("unwrap")
+            && punct_at(&toks, i + 2) == Some('(')
+        {
+            push(
+                "MUBE102",
+                toks[i + 1].line,
+                "`.unwrap()` outside tests: use `.expect(\"why this holds\")` \
+                 or propagate the error"
+                    .to_string(),
+            );
+        }
+        if !bench_crate
+            && punct_at(&toks, i) == Some('.')
+            && ident_at(&toks, i + 1) == Some("expect")
+            && punct_at(&toks, i + 2) == Some('(')
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokKind::Str { empty: true })
+        {
+            push(
+                "MUBE103",
+                toks[i + 1].line,
+                "`.expect(\"\")` has no diagnostic value: say what upheld the invariant"
+                    .to_string(),
+            );
+        }
+        if let Some(("Ordering", "Relaxed")) = path2(i) {
+            if !comment_near(comments, line, "ordering:") {
+                push(
+                    "MUBE104",
+                    line,
+                    "`Ordering::Relaxed` without an adjacent `// ordering:` comment \
+                     justifying why relaxed is sufficient"
+                        .to_string(),
+                );
+            }
+        }
+        if ident_at(&toks, i) == Some("static") && ident_at(&toks, i + 1) == Some("mut") {
+            push(
+                "MUBE105",
+                line,
+                "`static mut` invites data races: use an atomic or `OnceLock`".to_string(),
+            );
+        }
+        if !print_exempt
+            && matches!(ident_at(&toks, i), Some("println" | "eprintln"))
+            && punct_at(&toks, i + 1) == Some('!')
+        {
+            let name = ident_at(&toks, i).expect("matched ident");
+            push(
+                "MUBE106",
+                line,
+                format!(
+                    "`{name}!` in library crate {krate}: return the text or use \
+                     the server's log paths"
+                ),
+            );
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk + reporting
+// ---------------------------------------------------------------------------
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `crates/*/src/**/*.rs` under `root`, applying `allow`
+/// entries. Findings are sorted by file then line.
+///
+/// # Errors
+/// On I/O failures walking or reading the tree.
+pub fn lint_workspace(root: &Path, allow: &[AllowEntry]) -> std::io::Result<Vec<Finding>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    if crates_dir.is_dir() {
+        collect_rs_files(&crates_dir, &mut files)?;
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&path)?;
+        findings.extend(lint_file(&rel, &text).into_iter().filter(|f| {
+            !allow
+                .iter()
+                .any(|a| a.code == f.code && f.file.starts_with(&a.path_prefix))
+        }));
+    }
+    Ok(findings)
+}
+
+/// Renders findings as the human-readable report (mirrors `mube lint`).
+#[must_use]
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        writeln!(
+            out,
+            "{}[{}]: {}:{}: {}",
+            f.severity.label(),
+            f.code,
+            f.file,
+            f.line,
+            f.message
+        )
+        .expect("string write");
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+    if findings.is_empty() {
+        out.push_str("mube lint-src: no findings\n");
+    } else {
+        writeln!(
+            out,
+            "mube lint-src: {} finding{} ({errors} error{}, {warnings} warning{})",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+        )
+        .expect("string write");
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a deterministic JSON array (machine consumers, CI).
+#[must_use]
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            f.code,
+            f.severity.label(),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        )
+        .expect("string write");
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FILE: &str = "crates/mube-opt/src/fake.rs";
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn clean_file_has_no_findings() {
+        let src = "pub fn add(a: u32, b: u32) -> u32 { a + b }\n";
+        assert!(lint_file(FILE, src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_only_in_scoped_crates() {
+        let src = "fn t() { let x = Instant::now(); std::thread::sleep(d); }\n";
+        assert_eq!(codes(&lint_file(FILE, src)), ["MUBE101", "MUBE101"]);
+        // Same text in an unscoped crate: clean.
+        assert!(lint_file("crates/mube-serve/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_and_empty_expect() {
+        let src = "fn t() { x.unwrap(); y.expect(\"\"); z.expect(\"held\"); }\n";
+        assert_eq!(codes(&lint_file(FILE, src)), ["MUBE102", "MUBE103"]);
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_skipped() {
+        let src =
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_file(FILE, src).is_empty());
+    }
+
+    #[test]
+    fn test_attr_fn_is_skipped_but_not_cfg_not_test() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\n";
+        assert!(lint_file(FILE, src).is_empty());
+        let src = "#[cfg(not(test))]\nfn t() { x.unwrap(); }\n";
+        assert_eq!(codes(&lint_file(FILE, src)), ["MUBE102"]);
+    }
+
+    #[test]
+    fn relaxed_needs_ordering_comment() {
+        let bare = "fn t() { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert_eq!(codes(&lint_file(FILE, bare)), ["MUBE104"]);
+        let above =
+            "fn t() {\n    // ordering: pure counter\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(lint_file(FILE, above).is_empty());
+        let inline = "fn t() { c.fetch_add(1, Ordering::Relaxed); // ordering: pure counter\n}\n";
+        assert!(lint_file(FILE, inline).is_empty());
+        // Spacing-insensitive: `Ordering :: Relaxed` still matches.
+        let spaced = "fn t() { c.fetch_add(1, Ordering :: Relaxed); }\n";
+        assert_eq!(codes(&lint_file(FILE, spaced)), ["MUBE104"]);
+    }
+
+    #[test]
+    fn static_mut_and_library_prints() {
+        let src = "static mut COUNTER: u32 = 0;\nfn t() { println!(\"x\"); eprintln!(\"y\"); }\n";
+        assert_eq!(
+            codes(&lint_file(FILE, src)),
+            ["MUBE105", "MUBE106", "MUBE106"]
+        );
+        // The CLI crate may print.
+        assert_eq!(
+            codes(&lint_file("crates/mube-cli/src/fake.rs", src)),
+            ["MUBE105"]
+        );
+    }
+
+    #[test]
+    fn inline_waiver_suppresses_one_site() {
+        let src =
+            "fn t() {\n    // lint-src: allow(MUBE102)\n    x.unwrap();\n    y.unwrap();\n}\n";
+        let found = lint_file(FILE, src);
+        assert_eq!(codes(&found), ["MUBE102"]);
+        assert_eq!(found[0].line, 4);
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = "fn t() -> &'static str { \"x.unwrap() Ordering::Relaxed static mut\" }\n// x.unwrap()\n/* println!(\"\") */\n";
+        assert!(lint_file(FILE, src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_lex() {
+        let src =
+            "fn t<'a>(x: &'a str) { let _ = r#\"has \".unwrap()\" inside\"#; let _ = 'c'; }\n";
+        assert!(lint_file(FILE, src).is_empty());
+    }
+
+    #[test]
+    fn non_crate_paths_are_ignored() {
+        assert!(lint_file("tests/foo.rs", "fn t() { x.unwrap(); }").is_empty());
+        assert!(lint_file("crates/mube-opt/tests/t.rs", "fn t() { x.unwrap(); }").is_empty());
+        assert!(lint_file("crates/mube-opt/benches/b.rs", "fn t() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects() {
+        let text = "# comment\nMUBE106 crates/mube-serve/src/server.rs\n\nMUBE104 crates/mube-opt # trailing comment\n";
+        let entries = parse_allowlist(text).expect("valid allowlist");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].code, "MUBE106");
+        assert_eq!(entries[1].path_prefix, "crates/mube-opt");
+        assert!(parse_allowlist("MUBE999 foo\n").is_err());
+        assert!(parse_allowlist("MUBE104\n").is_err());
+        assert!(parse_allowlist("MUBE104 a b\n").is_err());
+    }
+
+    #[test]
+    fn render_and_json_shapes() {
+        let findings = vec![Finding {
+            code: "MUBE105",
+            severity: Severity::Error,
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            message: "`static mut` invites data races".into(),
+        }];
+        let text = render(&findings);
+        assert!(
+            text.contains("error[MUBE105]: crates/x/src/lib.rs:3:"),
+            "{text}"
+        );
+        assert!(text.contains("1 finding (1 error, 0 warnings)"), "{text}");
+        let json = to_json(&findings);
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(json.contains("\"code\":\"MUBE105\""), "{json}");
+        assert_eq!(to_json(&[]), "[]");
+        assert!(render(&[]).contains("no findings"));
+    }
+
+    #[test]
+    fn rule_codes_are_stable_and_distinct() {
+        let codes: Vec<_> = RULES.iter().map(|r| r.code).collect();
+        assert_eq!(
+            codes,
+            ["MUBE101", "MUBE102", "MUBE103", "MUBE104", "MUBE105", "MUBE106"]
+        );
+        let errors = RULES
+            .iter()
+            .filter(|r| r.severity == Severity::Error)
+            .count();
+        assert_eq!(errors, 3, "101/102/105 are errors; the rest warn");
+    }
+}

@@ -1,0 +1,218 @@
+//! Model of the `HealthRegistry` circuit breaker (`mube-exec/src/health.rs`).
+//!
+//! Production contract: Closed → (failure streak ≥ threshold) → Open →
+//! (cooldown) → `HalfOpen`, where **at most one probe attempt is admitted**
+//! until its outcome is recorded; probe success closes the breaker, probe
+//! failure re-opens it.
+//!
+//! This model found a real bug: the pre-PR-6 `admit()` returned `true` for
+//! *every* caller in `HalfOpen`, so two concurrent executors could both be
+//! admitted as probes ([`run_half_open`] with `latch = false` reproduces
+//! it). The production fix is the `probe_in_flight` latch this model
+//! mirrors with `latch = true`.
+
+use crate::sync::Mutex;
+use crate::thread;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    /// `cooled` models "cooldown elapsed" without a clock.
+    Open {
+        cooled: bool,
+    },
+    HalfOpen,
+}
+
+struct Breaker {
+    state: State,
+    consecutive_failures: u32,
+    threshold: u32,
+    probe_in_flight: bool,
+    /// The modeled invariant: concurrently admitted probes.
+    probes_admitted: u32,
+    attempts: u32,
+    outcomes: u32,
+}
+
+impl Breaker {
+    fn admit(&mut self, latch: bool) -> bool {
+        match self.state {
+            State::Closed => {
+                self.attempts += 1;
+                true
+            }
+            State::Open { cooled: false } => false,
+            State::Open { cooled: true } => {
+                self.state = State::HalfOpen;
+                self.probe_in_flight = true;
+                self.probes_admitted += 1;
+                self.attempts += 1;
+                assert!(
+                    self.probes_admitted <= 1,
+                    "half-open breaker admitted {} concurrent probes",
+                    self.probes_admitted
+                );
+                true
+            }
+            State::HalfOpen => {
+                if latch && self.probe_in_flight {
+                    return false;
+                }
+                self.probe_in_flight = true;
+                self.probes_admitted += 1;
+                self.attempts += 1;
+                assert!(
+                    self.probes_admitted <= 1,
+                    "half-open breaker admitted {} concurrent probes",
+                    self.probes_admitted
+                );
+                true
+            }
+        }
+    }
+
+    fn record(&mut self, success: bool) {
+        self.outcomes += 1;
+        if self.state == State::HalfOpen {
+            self.probes_admitted = self.probes_admitted.saturating_sub(1);
+        }
+        self.probe_in_flight = false;
+        if success {
+            self.consecutive_failures = 0;
+            self.state = State::Closed;
+        } else {
+            self.consecutive_failures += 1;
+            if self.state == State::HalfOpen || self.consecutive_failures >= self.threshold {
+                self.state = State::Open { cooled: false };
+            }
+        }
+    }
+}
+
+/// Two executors race into a cooled-down open breaker; each, if admitted,
+/// records its probe outcome. With the latch at most one is admitted before
+/// an outcome lands; without it both can be (the historical bug).
+///
+/// # Panics
+/// When more than one probe is concurrently admitted, or accounting breaks.
+pub fn run_half_open(latch: bool) {
+    let breaker = Arc::new(Mutex::new(Breaker {
+        state: State::Open { cooled: true },
+        consecutive_failures: 3,
+        threshold: 3,
+        probe_in_flight: false,
+        probes_admitted: 0,
+        attempts: 0,
+        outcomes: 0,
+    }));
+
+    let handles: Vec<_> = [true, false]
+        .into_iter()
+        .map(|outcome| {
+            let breaker = Arc::clone(&breaker);
+            thread::spawn(move || {
+                let admitted = breaker.lock().admit(latch);
+                if admitted {
+                    // The probe request happens here, outside the lock.
+                    thread::yield_now();
+                    breaker.lock().record(outcome);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("executor finished");
+    }
+
+    let b = breaker.lock();
+    assert_eq!(b.attempts, b.outcomes, "admitted probe without an outcome");
+    assert!(!b.probe_in_flight, "probe latch leaked");
+    assert!(
+        matches!(b.state, State::Closed | State::Open { .. }),
+        "breaker stuck half-open after all outcomes: {:?}",
+        b.state
+    );
+}
+
+/// Three failures race into a closed breaker with threshold 3: under every
+/// schedule the breaker ends Open with a streak of exactly 3.
+///
+/// # Panics
+/// When the trip threshold misfires under some schedule.
+pub fn run_trip_threshold() {
+    let breaker = Arc::new(Mutex::new(Breaker {
+        state: State::Closed,
+        consecutive_failures: 0,
+        threshold: 3,
+        probe_in_flight: false,
+        probes_admitted: 0,
+        attempts: 0,
+        outcomes: 0,
+    }));
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            let breaker = Arc::clone(&breaker);
+            thread::spawn(move || {
+                if breaker.lock().admit(true) {
+                    thread::yield_now();
+                    breaker.lock().record(false);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("executor finished");
+    }
+    let b = breaker.lock();
+    // All three were admitted while Closed (admission precedes any trip in
+    // this model only when scheduled so; late arrivals may be rejected by
+    // an already-open breaker — both are legal). Whoever was admitted
+    // recorded a failure; ≥3 consecutive failures trip the breaker iff all
+    // three landed, and the streak never exceeds the number of outcomes.
+    assert!(b.consecutive_failures <= b.outcomes);
+    if b.outcomes == 3 {
+        assert_eq!(
+            b.state,
+            State::Open { cooled: false },
+            "threshold of 3 failures did not trip the breaker"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::Explorer;
+
+    /// With the probe latch, every schedule admits at most one concurrent
+    /// half-open probe.
+    #[test]
+    fn latched_half_open_admits_single_probe() {
+        let report = Explorer::new()
+            .preemption_bound(2)
+            .check("breaker-latched", || super::run_half_open(true));
+        report.assert_ok();
+        assert!(report.schedules > 1, "model must actually branch");
+    }
+
+    /// Without the latch (the pre-fix production code), the explorer finds
+    /// the double-probe schedule.
+    #[test]
+    fn unlatched_half_open_double_probe_is_found() {
+        let report = Explorer::new()
+            .preemption_bound(2)
+            .check("breaker-unlatched", || super::run_half_open(false));
+        let failure = report.expect_failure();
+        assert!(failure.message.contains("concurrent probes"), "{failure}");
+    }
+
+    /// The failure-streak trip is schedule-independent.
+    #[test]
+    fn trip_threshold_is_schedule_independent() {
+        Explorer::new()
+            .preemption_bound(2)
+            .check("breaker-trip", super::run_trip_threshold)
+            .assert_ok();
+    }
+}

@@ -1,0 +1,154 @@
+//! Model of the portfolio champion fold (`mube-opt/src/portfolio.rs`).
+//!
+//! Production kernel: portfolio workers pull member indices from a shared
+//! `next_job` counter, run their member, and fold results into a
+//! mutex-guarded champion cell (publishing an epoch tick per improvement).
+//! The documented contract is:
+//!
+//! 1. **Monotone**: the champion's score never decreases.
+//! 2. **Deterministic winner**: the final champion is the best score with
+//!    the lowest member index as tie-break, *independent of schedule*.
+//! 3. **Epoch accounting**: one epoch tick per champion improvement.
+//!
+//! The strict fold uses `score > best || (score == best && worker < best_worker)`;
+//! the buggy variant (`score >= best`) lets whichever tied member folds
+//! *last* win — a schedule-dependent champion the explorer refutes.
+
+use crate::sync::{AtomicU64, AtomicUsize, Mutex};
+use crate::thread;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+struct Champ {
+    score: i64,
+    member: usize,
+    trace: Vec<(usize, i64)>,
+}
+
+/// One schedule of the champion fold over `scores` with two workers.
+/// `strict` selects the production tie-break; `!strict` is the buggy fold.
+///
+/// # Panics
+/// When a champion-fold invariant is violated under the current schedule.
+pub fn run(scores: &[i64], strict: bool) {
+    let scores: Arc<Vec<i64>> = Arc::new(scores.to_vec());
+    let champion = Arc::new(Mutex::new(Champ {
+        score: i64::MIN,
+        member: usize::MAX,
+        trace: Vec::new(),
+    }));
+    // ordering: mirrors portfolio.rs — job indices only need atomicity;
+    // the checker executes SC regardless.
+    let next_job = Arc::new(AtomicUsize::new(0));
+    let epoch = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let scores = Arc::clone(&scores);
+            let champion = Arc::clone(&champion);
+            let next_job = Arc::clone(&next_job);
+            let epoch = Arc::clone(&epoch);
+            thread::spawn(move || loop {
+                // ordering: mirrors the portfolio's Relaxed job ticket.
+                let m = next_job.fetch_add(1, Ordering::Relaxed);
+                if m >= scores.len() {
+                    break;
+                }
+                let score = scores[m];
+                let mut ch = champion.lock();
+                let better = if strict {
+                    score > ch.score || (score == ch.score && m < ch.member)
+                } else {
+                    score >= ch.score
+                };
+                if better {
+                    assert!(
+                        score >= ch.score,
+                        "champion fold regressed: {} -> {score}",
+                        ch.score
+                    );
+                    ch.score = score;
+                    ch.member = m;
+                    ch.trace.push((m, score));
+                    // ordering: mirrors the Release epoch tick in
+                    // portfolio.rs (published under the champion mutex).
+                    epoch.fetch_add(1, Ordering::Release);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker finished");
+    }
+
+    let ch = champion.lock();
+    // Deterministic winner: best score, lowest member index on ties —
+    // whatever the schedule was.
+    let best = scores.iter().copied().max().expect("non-empty scores");
+    let want_member = scores
+        .iter()
+        .position(|&s| s == best)
+        .expect("winner exists");
+    assert_eq!(ch.score, best, "champion missed the best score");
+    assert_eq!(
+        ch.member, want_member,
+        "champion winner depends on the schedule"
+    );
+    // Monotone improvement trace.
+    for pair in ch.trace.windows(2) {
+        assert!(
+            pair[1].1 >= pair[0].1,
+            "champion trace not monotone: {:?}",
+            ch.trace
+        );
+    }
+    // Epoch accounting: exactly one tick per recorded improvement.
+    assert_eq!(
+        epoch.load(Ordering::Acquire),
+        ch.trace.len() as u64,
+        "epoch ticks diverge from improvements"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::Explorer;
+
+    /// Tie between members 1 and 2 — the strict fold picks member 1 under
+    /// every schedule within the bound.
+    #[test]
+    fn strict_fold_winner_is_schedule_independent() {
+        let report = Explorer::new()
+            .preemption_bound(2)
+            .check("champion-strict", || super::run(&[40, 90, 90], true));
+        report.assert_ok();
+        assert!(report.schedules > 1, "model must actually branch");
+    }
+
+    /// The `>=` fold is refuted: some schedule lets the tied member 2 fold
+    /// after member 1 and steal the championship.
+    #[test]
+    fn ge_fold_has_schedule_dependent_winner() {
+        let report = Explorer::new()
+            .preemption_bound(2)
+            .check("champion-ge", || super::run(&[40, 90, 90], false));
+        let failure = report.expect_failure();
+        assert!(
+            failure.message.contains("depends on the schedule"),
+            "{failure}"
+        );
+    }
+
+    /// No ties: both folds agree and both survive every schedule.
+    #[test]
+    fn distinct_scores_are_deterministic_either_way() {
+        for strict in [true, false] {
+            Explorer::new()
+                .preemption_bound(2)
+                .check("champion-distinct", move || {
+                    super::run(&[10, 70, 30], strict);
+                })
+                .assert_ok();
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Model of lock-free `SimilarityCache` publication (`mube-match`).
+//!
+//! Production kernel: the cache's score matrix is built (possibly by
+//! several band workers), then the structure is published and readers do
+//! plain indexed loads with no synchronization beyond the publish edge.
+//! The safety argument is *publication ordering*: every cell write happens
+//! before the publish flag flips, so a reader that observes the flag
+//! observes a fully built matrix.
+//!
+//! The model makes the publish edge explicit: a writer fills three cells
+//! and then raises `published`; two readers assert that observing the flag
+//! implies observing every cell. The buggy variant raises the flag one cell
+//! early — the explorer finds the reader that sees a half-built matrix.
+
+use crate::sync::{AtomicBool, AtomicU64};
+use crate::thread;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+const CELLS: usize = 3;
+
+/// One schedule of the publication protocol. `publish_early` moves the flag
+/// store before the last cell write (the bug).
+///
+/// # Panics
+/// When a reader observes `published == true` with an unwritten cell.
+pub fn run(publish_early: bool) {
+    let cells: Arc<Vec<AtomicU64>> = Arc::new((0..CELLS).map(|_| AtomicU64::new(0)).collect());
+    let published = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let cells = Arc::clone(&cells);
+        let published = Arc::clone(&published);
+        thread::spawn(move || {
+            for (i, cell) in cells.iter().enumerate() {
+                if publish_early && i + 1 == CELLS {
+                    // ordering: the bug under test — flag raised before the
+                    // matrix is complete.
+                    published.store(true, Ordering::Release);
+                }
+                // ordering: plain data write; the Release publish below is
+                // the edge that orders it for readers.
+                cell.store(i as u64 + 1, Ordering::Relaxed);
+            }
+            if !publish_early {
+                // ordering: mirrors the cache's publish edge — Release so
+                // every cell write happens-before the flag flip.
+                published.store(true, Ordering::Release);
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let cells = Arc::clone(&cells);
+            let published = Arc::clone(&published);
+            thread::spawn(move || {
+                // ordering: mirrors readers' Acquire on the publish flag.
+                if published.load(Ordering::Acquire) {
+                    for (i, cell) in cells.iter().enumerate() {
+                        assert_ne!(
+                            // ordering: data read ordered by the Acquire
+                            // load of the publish flag above.
+                            cell.load(Ordering::Relaxed),
+                            0,
+                            "published matrix has unwritten cell {i}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer finished");
+    for r in readers {
+        r.join().expect("reader finished");
+    }
+    // Quiescent state: fully built and published, on every schedule.
+    assert!(published.load(Ordering::Acquire));
+    for (i, cell) in cells.iter().enumerate() {
+        // ordering: quiescent read — every thread is already joined.
+        assert_eq!(cell.load(Ordering::Relaxed), i as u64 + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::Explorer;
+
+    /// Publish-after-build: no reader ever sees a half-built matrix.
+    #[test]
+    fn publish_last_is_safe_on_all_schedules() {
+        let report = Explorer::new()
+            .preemption_bound(2)
+            .check("simcache-publish", || super::run(false));
+        report.assert_ok();
+        assert!(report.schedules > 1, "model must actually branch");
+    }
+
+    /// Publish-before-build is refuted: some schedule lets a reader observe
+    /// the flag before the last cell write.
+    #[test]
+    fn early_publish_is_refuted() {
+        let report = Explorer::new()
+            .preemption_bound(2)
+            .check("simcache-early-publish", || super::run(true));
+        let failure = report.expect_failure();
+        assert!(failure.message.contains("unwritten cell"), "{failure}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Model of the store-eviction vs in-flight-session race
+//! (`mube-serve/src/store.rs`).
+//!
+//! Production kernel: the session store's insert path evicts idle sessions
+//! when over capacity. A session can look idle by the clock (handlers touch
+//! it at lookup, *before* a long solve) while a solve still holds its
+//! mutex. The PR-5 fix guards eviction with `session.try_lock().is_ok()`:
+//! a held session is never evicted, however idle it looks.
+//!
+//! Invariant modeled: **the sweeper never evicts a session whose mutex is
+//! held**. The buggy variant (clock check only, no `try_lock` guard) is the
+//! pre-PR-5 code; the explorer finds the mid-solve eviction, and the found
+//! schedule is committed as a replay regression test.
+
+use crate::engine::{Explorer, Failure, Report};
+use crate::sync::{AtomicBool, Mutex};
+use crate::thread;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// One schedule of worker-vs-sweeper. `guarded` selects the production
+/// `try_lock` eviction guard; `!guarded` is the pre-fix clock-only check.
+///
+/// # Panics
+/// When the sweeper evicts while the worker holds the session.
+pub fn run(guarded: bool) {
+    let session = Arc::new(Mutex::new(0u32));
+    let holding = Arc::new(AtomicBool::new(false));
+    let evicted = Arc::new(AtomicBool::new(false));
+
+    let worker = {
+        let session = Arc::clone(&session);
+        let holding = Arc::clone(&holding);
+        thread::spawn(move || {
+            let mut guard = session.lock();
+            holding.store(true, Ordering::SeqCst);
+            *guard += 1; // the long solve
+            thread::yield_now();
+            holding.store(false, Ordering::SeqCst);
+            drop(guard);
+        })
+    };
+
+    let sweeper = {
+        let session = Arc::clone(&session);
+        let holding = Arc::clone(&holding);
+        let evicted = Arc::clone(&evicted);
+        thread::spawn(move || {
+            // The idle-by-the-clock check passed by construction (the TTL
+            // expired mid-solve); what distinguishes fixed from buggy is
+            // the try_lock guard.
+            if guarded {
+                if let Some(_guard) = session.try_lock() {
+                    assert!(
+                        !holding.load(Ordering::SeqCst),
+                        "evicted a session with an in-flight solve"
+                    );
+                    evicted.store(true, Ordering::SeqCst);
+                }
+            } else {
+                assert!(
+                    !holding.load(Ordering::SeqCst),
+                    "evicted a session with an in-flight solve"
+                );
+                evicted.store(true, Ordering::SeqCst);
+            }
+        })
+    };
+
+    worker.join().expect("worker finished");
+    sweeper.join().expect("sweeper finished");
+}
+
+/// Explores the unguarded sweeper and returns the report (used by the
+/// regression test and by [`found_schedule`]).
+pub fn explore_unguarded() -> Report {
+    Explorer::new()
+        .preemption_bound(2)
+        .check("store-evict-unguarded", || run(false))
+}
+
+/// The schedule under which the unguarded sweeper evicts mid-solve, as
+/// found by a fresh exploration.
+///
+/// # Panics
+/// If the explorer can no longer find the historical bug (model drift).
+pub fn found_schedule() -> Failure {
+    explore_unguarded().expect_failure().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::Explorer;
+
+    /// The production `try_lock` guard survives every schedule.
+    #[test]
+    fn guarded_eviction_never_hits_inflight_solve() {
+        let report = Explorer::new()
+            .preemption_bound(2)
+            .check("store-evict-guarded", || super::run(true));
+        report.assert_ok();
+        assert!(report.schedules > 1, "model must actually branch");
+    }
+
+    /// The pre-fix clock-only sweeper is refuted.
+    #[test]
+    fn unguarded_eviction_is_refuted() {
+        let failure = super::found_schedule();
+        assert!(failure.message.contains("in-flight solve"), "{failure}");
+    }
+
+    /// Regression: the schedule the explorer found replays to the same
+    /// violation on the buggy variant and is harmless on the fixed one.
+    /// This pins the exact interleaving of the PR-5 store bug through the
+    /// shim layer, independent of future search-order changes.
+    #[test]
+    fn found_schedule_replays_bug_and_fix() {
+        let failure = super::found_schedule();
+        let again = Explorer::new()
+            .replay(&failure.schedule, || super::run(false))
+            .expect_err("buggy variant reproduces under the found schedule");
+        assert_eq!(again.message, failure.message);
+        Explorer::new()
+            .replay(&failure.schedule, || super::run(true))
+            .expect("fixed variant survives the same schedule");
+    }
+}

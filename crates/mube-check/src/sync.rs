@@ -1,0 +1,324 @@
+//! Instrumented drop-in replacements for `std::sync` primitives.
+//!
+//! Outside an exploration these delegate straight to `std` (same semantics,
+//! one branch of overhead) — that is what the differential tests in
+//! `tests/differential.rs` pin down. Inside [`crate::engine::Explorer::check`]
+//! every operation becomes a scheduling point, letting the explorer
+//! enumerate interleavings.
+//!
+//! Shim atomics execute as `SeqCst` under exploration regardless of the
+//! `Ordering` argument: the checker explores sequentially-consistent
+//! interleavings, not weak-memory reorderings (see the engine docs).
+//! Orderings are accepted so models can mirror production code verbatim.
+
+use crate::engine::{current, Blocker, Engine};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A mutex that the model checker can schedule around. API mirrors
+/// `std::sync::Mutex`, minus poisoning (a panicking model thread aborts the
+/// whole run, so poison can never be observed).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    model_id: std::sync::OnceLock<usize>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            model_id: std::sync::OnceLock::new(),
+        }
+    }
+
+    fn id(&self, eng: &Engine) -> usize {
+        *self.model_id.get_or_init(|| eng.register_mutex())
+    }
+
+    /// Acquires the mutex, parking at a scheduling point first when under
+    /// exploration.
+    ///
+    /// # Panics
+    /// If the underlying lock is poisoned (passthrough mode only).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match current() {
+            Some((eng, tid)) => {
+                let id = self.id(&eng);
+                eng.yield_op(tid, Some(Blocker::Mutex(id)));
+                eng.acquire_mutex(id, tid);
+                let guard = self
+                    .inner
+                    .try_lock()
+                    .expect("scheduler granted a mutex that std reports held");
+                MutexGuard {
+                    guard,
+                    model: Some((eng, id)),
+                }
+            }
+            None => MutexGuard {
+                guard: self.inner.lock().expect("mutex poisoned"),
+                model: None,
+            },
+        }
+    }
+
+    /// Attempts the lock without blocking; still a scheduling point under
+    /// exploration (both outcomes are explored across schedules).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match current() {
+            Some((eng, tid)) => {
+                let id = self.id(&eng);
+                eng.yield_op(tid, None);
+                if eng.try_acquire_mutex(id, tid) {
+                    let guard = self
+                        .inner
+                        .try_lock()
+                        .expect("scheduler granted a mutex that std reports held");
+                    Some(MutexGuard {
+                        guard,
+                        model: Some((eng, id)),
+                    })
+                } else {
+                    None
+                }
+            }
+            None => self
+                .inner
+                .try_lock()
+                .ok()
+                .map(|guard| MutexGuard { guard, model: None }),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    ///
+    /// # Panics
+    /// If the underlying lock is poisoned.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex poisoned")
+    }
+}
+
+/// RAII guard for [`Mutex`]. Releasing is *not* a scheduling point: it runs
+/// in `Drop`, possibly during unwinding, where parking could deadlock the
+/// abort protocol. The next scheduling point of this thread exposes the
+/// release to other schedules.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    guard: std::sync::MutexGuard<'a, T>,
+    model: Option<(Arc<Engine>, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((eng, id)) = &self.model {
+            eng.release_mutex(*id);
+        }
+    }
+}
+
+macro_rules! model_atomic {
+    ($(#[$meta:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(value: $prim) -> Self {
+                Self { inner: <$std>::new(value) }
+            }
+
+            fn at_schedule_point(&self) {
+                if let Some((eng, tid)) = current() {
+                    eng.yield_op(tid, None);
+                }
+            }
+
+            /// Loads the value (scheduling point under exploration).
+            pub fn load(&self, order: Ordering) -> $prim {
+                match current() {
+                    Some((eng, tid)) => {
+                        eng.yield_op(tid, None);
+                        self.inner.load(Ordering::SeqCst)
+                    }
+                    None => self.inner.load(order),
+                }
+            }
+
+            /// Stores a value (scheduling point under exploration).
+            pub fn store(&self, value: $prim, order: Ordering) {
+                match current() {
+                    Some((eng, tid)) => {
+                        eng.yield_op(tid, None);
+                        self.inner.store(value, Ordering::SeqCst);
+                    }
+                    None => self.inner.store(value, order),
+                }
+            }
+
+            /// Atomically adds, returning the previous value.
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                match current() {
+                    Some((eng, tid)) => {
+                        eng.yield_op(tid, None);
+                        self.inner.fetch_add(value, Ordering::SeqCst)
+                    }
+                    None => self.inner.fetch_add(value, order),
+                }
+            }
+
+            /// Atomically takes the maximum, returning the previous value.
+            pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                match current() {
+                    Some((eng, tid)) => {
+                        eng.yield_op(tid, None);
+                        self.inner.fetch_max(value, Ordering::SeqCst)
+                    }
+                    None => self.inner.fetch_max(value, order),
+                }
+            }
+
+            /// Atomically swaps the value, returning the previous one.
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                match current() {
+                    Some((eng, tid)) => {
+                        eng.yield_op(tid, None);
+                        self.inner.swap(value, Ordering::SeqCst)
+                    }
+                    None => self.inner.swap(value, order),
+                }
+            }
+
+            /// Compare-and-exchange, mirroring the std signature.
+            ///
+            /// # Errors
+            /// Returns the actual value when it differed from `expected`.
+            pub fn compare_exchange(
+                &self,
+                expected: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match current() {
+                    Some(_) => {
+                        self.at_schedule_point();
+                        self.inner.compare_exchange(
+                            expected,
+                            new,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                    }
+                    None => self.inner.compare_exchange(expected, new, success, failure),
+                }
+            }
+        }
+    };
+}
+
+model_atomic!(
+    /// Schedulable `AtomicU64`.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+model_atomic!(
+    /// Schedulable `AtomicUsize`.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+model_atomic!(
+    /// Schedulable `AtomicU32`.
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+
+/// Schedulable `AtomicBool` (separate from the macro: no `fetch_add`).
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic flag.
+    pub const fn new(value: bool) -> Self {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    /// Loads the flag (scheduling point under exploration).
+    pub fn load(&self, order: Ordering) -> bool {
+        match current() {
+            Some((eng, tid)) => {
+                eng.yield_op(tid, None);
+                self.inner.load(Ordering::SeqCst)
+            }
+            None => self.inner.load(order),
+        }
+    }
+
+    /// Stores the flag (scheduling point under exploration).
+    pub fn store(&self, value: bool, order: Ordering) {
+        match current() {
+            Some((eng, tid)) => {
+                eng.yield_op(tid, None);
+                self.inner.store(value, Ordering::SeqCst);
+            }
+            None => self.inner.store(value, order),
+        }
+    }
+
+    /// Atomically swaps the flag, returning the previous value.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        match current() {
+            Some((eng, tid)) => {
+                eng.yield_op(tid, None);
+                self.inner.swap(value, Ordering::SeqCst)
+            }
+            None => self.inner.swap(value, order),
+        }
+    }
+
+    /// Compare-and-exchange, mirroring the std signature.
+    ///
+    /// # Errors
+    /// Returns the actual value when it differed from `expected`.
+    pub fn compare_exchange(
+        &self,
+        expected: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match current() {
+            Some((eng, tid)) => {
+                eng.yield_op(tid, None);
+                self.inner
+                    .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+            None => self.inner.compare_exchange(expected, new, success, failure),
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Instrumented `thread::spawn`/`join` that the explorer can schedule.
+//!
+//! Outside an exploration these delegate to `std::thread`. Inside, spawn
+//! registers the child with the engine (the child runs only when granted)
+//! and join parks on a `Join` blocker.
+
+use crate::engine::{current, Blocker, Engine};
+use std::sync::Arc;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        eng: Arc<Engine>,
+        tid: usize,
+        result: Arc<std::sync::Mutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned model (or passthrough std) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Inner::Std(_) => f.write_str("JoinHandle(std)"),
+            Inner::Model { tid, .. } => write!(f, "JoinHandle(model thread {tid})"),
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result, mirroring
+    /// `std::thread::JoinHandle::join`. Under exploration a panicking child
+    /// aborts the entire run before `join` can return, so the `Err` case is
+    /// only reachable in passthrough mode.
+    ///
+    /// # Errors
+    /// The child's panic payload (passthrough mode).
+    ///
+    /// # Panics
+    /// If called under exploration from a non-model thread.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(handle) => handle.join(),
+            Inner::Model { eng, tid, result } => {
+                let (cur, my_tid) =
+                    current().expect("model JoinHandle joined outside its exploration");
+                debug_assert!(Arc::ptr_eq(&cur, &eng), "joined across explorations");
+                eng.yield_op(my_tid, Some(Blocker::Join(tid)));
+                let value = result
+                    .lock()
+                    .expect("model result slot poisoned")
+                    .take()
+                    .expect("joined model thread finished without a result");
+                Ok(value)
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Under exploration the spawn itself is a scheduling
+/// point and the child starts parked until the scheduler grants it.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match current() {
+        Some((eng, my_tid)) => {
+            eng.yield_op(my_tid, None);
+            let result = Arc::new(std::sync::Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let tid = eng.spawn_thread(move || {
+                let value = f();
+                *slot.lock().expect("model result slot poisoned") = Some(value);
+            });
+            JoinHandle {
+                inner: Inner::Model { eng, tid, result },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+    }
+}
+
+/// An explicit scheduling point (passthrough: `std::thread::yield_now`).
+/// Models use it to mark "work happens here" windows the scheduler may
+/// interleave into.
+pub fn yield_now() {
+    match current() {
+        Some((eng, tid)) => eng.yield_op(tid, None),
+        None => std::thread::yield_now(),
+    }
+}

@@ -1,0 +1,124 @@
+//! Differential tests: outside an exploration the shims in
+//! `mube_check::sync` / `mube_check::thread` must behave exactly like the
+//! `std` primitives they wrap, so a model body is ordinary Rust that can
+//! run un-checked. Each test exercises a shim and its `std` twin on the
+//! same workload and compares outcomes.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use mube_check::sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex};
+use mube_check::thread;
+
+#[test]
+fn mutex_counter_matches_std() {
+    const THREADS: usize = 4;
+    const INCREMENTS: usize = 250;
+
+    let shim = Arc::new(Mutex::new(0u64));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let shim = Arc::clone(&shim);
+            thread::spawn(move || {
+                for _ in 0..INCREMENTS {
+                    *shim.lock() += 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker finished");
+    }
+
+    let std_mutex = std::sync::Mutex::new(0u64);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..INCREMENTS {
+                    *std_mutex.lock().expect("not poisoned") += 1;
+                }
+            });
+        }
+    });
+    let expected = std_mutex.into_inner().expect("not poisoned");
+    assert_eq!(*shim.lock(), expected);
+    assert_eq!(expected, (THREADS * INCREMENTS) as u64);
+}
+
+#[test]
+fn atomic_rmw_results_match_std() {
+    let shim = AtomicU64::new(7);
+    let real = std::sync::atomic::AtomicU64::new(7);
+
+    for order in [Ordering::Relaxed, Ordering::SeqCst] {
+        assert_eq!(shim.fetch_add(5, order), real.fetch_add(5, order));
+        assert_eq!(shim.fetch_max(3, order), real.fetch_max(3, order));
+        assert_eq!(shim.fetch_max(99, order), real.fetch_max(99, order));
+        assert_eq!(shim.swap(11, order), real.swap(11, order));
+        assert_eq!(shim.load(order), real.load(order));
+    }
+
+    // compare_exchange: success and failure arms both mirror std.
+    assert_eq!(
+        shim.compare_exchange(11, 20, Ordering::SeqCst, Ordering::SeqCst),
+        real.compare_exchange(11, 20, Ordering::SeqCst, Ordering::SeqCst),
+    );
+    assert_eq!(
+        shim.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst),
+        real.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst),
+    );
+    assert_eq!(shim.load(Ordering::SeqCst), real.load(Ordering::SeqCst));
+}
+
+#[test]
+fn atomic_bool_and_usize_match_std() {
+    let shim = AtomicBool::new(false);
+    let real = std::sync::atomic::AtomicBool::new(false);
+    assert_eq!(
+        shim.swap(true, Ordering::SeqCst),
+        real.swap(true, Ordering::SeqCst)
+    );
+    assert_eq!(
+        shim.compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst),
+        real.compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst),
+    );
+    assert_eq!(shim.load(Ordering::SeqCst), real.load(Ordering::SeqCst));
+
+    let n = AtomicUsize::new(0);
+    n.store(41, Ordering::SeqCst);
+    assert_eq!(n.fetch_add(1, Ordering::SeqCst), 41);
+    assert_eq!(n.load(Ordering::SeqCst), 42);
+}
+
+#[test]
+fn try_lock_contention_matches_std() {
+    let m = Mutex::new(1);
+    {
+        let _held = m.lock();
+        assert!(m.try_lock().is_none(), "shim try_lock must fail while held");
+    }
+    assert!(
+        m.try_lock().is_some(),
+        "shim try_lock must succeed when free"
+    );
+
+    let s = std::sync::Mutex::new(1);
+    {
+        let _held = s.lock().expect("not poisoned");
+        assert!(s.try_lock().is_err());
+    }
+    assert!(s.try_lock().is_ok());
+}
+
+#[test]
+fn spawn_returns_value_and_propagates_panics() {
+    let ok = thread::spawn(|| 6 * 7).join();
+    assert_eq!(ok.expect("clean thread"), 42);
+
+    let err = thread::spawn(|| panic!("boom")).join();
+    assert!(err.is_err(), "panic must surface as Err, like std");
+
+    // std twin for the panic path.
+    let std_err = std::thread::spawn(|| panic!("boom")).join();
+    assert_eq!(err.is_err(), std_err.is_err());
+}

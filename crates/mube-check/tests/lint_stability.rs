@@ -1,0 +1,113 @@
+//! Property test: `lint_file` findings are stable under token-preserving
+//! reformatting. The linter is a token-level scanner, so stretching
+//! whitespace between tokens, appending trailing spaces, or inserting
+//! blank lines (where that cannot break comment adjacency) must leave the
+//! multiset of finding codes unchanged — only line numbers may move.
+
+use mube_check::lint::lint_file;
+use proptest::prelude::*;
+
+/// Corpus of sources that together exercise every `MUBE1xx` rule, the
+/// inline waivers, and the justification comments. None contain
+/// multi-line string literals, so line-level reformatting is
+/// token-preserving by construction.
+const CORPUS: &[&str] = &[
+    // MUBE101 (wall-clock in a clock-scoped crate) + MUBE102.
+    "pub fn slow() -> u64 {\n    let t = std::time::Instant::now();\n    t.elapsed().as_nanos().try_into().unwrap()\n}\n",
+    // Waived MUBE101, plus a justified Relaxed.
+    "pub fn f(c: &AtomicU64) -> u64 {\n    // lint-src: allow(MUBE101) — production clock impl\n    let _t = Instant::now();\n    // ordering: monotone counter\n    c.load(Ordering::Relaxed)\n}\n",
+    // MUBE104 (bare Relaxed) + MUBE105 + MUBE106.
+    "static mut GLOBAL: u64 = 0;\npub fn g(c: &AtomicU64) {\n    c.store(1, Ordering::Relaxed);\n    println!(\"done\");\n}\n",
+    // MUBE103: empty expect message; clean expect alongside.
+    "pub fn h(x: Option<u8>) -> u8 {\n    let a = x.expect(\"\");\n    let b = x.expect(\"x is set\");\n    a + b\n}\n",
+    // Test items are stripped: unwrap inside #[test] is fine.
+    "pub fn ok() {}\n\n#[test]\nfn inner() {\n    Some(1).unwrap();\n}\n",
+    // Multi-line justification block above the use.
+    "pub fn j(c: &AtomicU64) -> u64 {\n    // ordering: the counter is advisory and read\n    // by metrics only, never for synchronization.\n    c.load(Ordering::Relaxed)\n}\n",
+];
+
+/// Lints under a path inside a clock-scoped, print-linted crate so every
+/// rule is armed.
+const FILE: &str = "crates/mube-opt/src/generated.rs";
+
+fn codes(text: &str) -> Vec<&'static str> {
+    let mut c: Vec<&'static str> = lint_file(FILE, text).into_iter().map(|f| f.code).collect();
+    c.sort_unstable();
+    c
+}
+
+/// Is this line part of a `//` comment (possibly a justification block)?
+fn is_comment_line(line: &str) -> bool {
+    line.trim_start().starts_with("//")
+}
+
+/// Applies a token-preserving reformat driven by `seed`:
+/// * doubles the indentation of some lines,
+/// * appends trailing spaces to some lines,
+/// * inserts blank lines, but only where the *preceding* line is not a
+///   comment (a blank line after a comment would detach it from the code
+///   it justifies, which is a real finding change, not a formatting one).
+fn reformat(text: &str, seed: u64) -> String {
+    let mut state = seed | 1;
+    let mut roll = move |modulus: u64| {
+        // LCG; constants from Numerical Recipes.
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % modulus
+    };
+    let mut out = String::new();
+    let mut prev_was_comment = false;
+    for line in text.lines() {
+        if !prev_was_comment && roll(3) == 0 {
+            out.push('\n');
+        }
+        if roll(3) == 0 {
+            let indent: String = line.chars().take_while(|c| *c == ' ').collect();
+            out.push_str(&indent);
+        }
+        out.push_str(line);
+        if roll(3) == 0 && !line.is_empty() {
+            out.push_str("   ");
+        }
+        out.push('\n');
+        prev_was_comment = is_comment_line(line);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn findings_survive_reformatting(seed in any::<u64>()) {
+        for (i, src) in CORPUS.iter().enumerate() {
+            let before = codes(src);
+            let after = codes(&reformat(src, seed ^ i as u64));
+            prop_assert_eq!(
+                &before, &after,
+                "corpus[{}] changed findings under reformat(seed={})", i, seed
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_exercises_every_rule() {
+    let mut seen: Vec<&'static str> = CORPUS.iter().flat_map(|s| codes(s)).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(
+        seen,
+        ["MUBE101", "MUBE102", "MUBE103", "MUBE104", "MUBE105", "MUBE106"],
+        "corpus must cover the full rule set"
+    );
+}
+
+#[test]
+fn reformat_is_not_a_noop() {
+    // Guard the property test against vacuity: the reformatter must
+    // actually change the text for typical seeds.
+    let changed = (0..8u64).any(|s| reformat(CORPUS[0], s) != CORPUS[0]);
+    assert!(changed, "reformatter never altered the input");
+}

@@ -118,6 +118,18 @@ pub enum Command {
         /// sources.
         resolve: bool,
     },
+    /// `mube lint-src`.
+    LintSrc {
+        /// Workspace root to scan (its `crates/` tree is walked).
+        root: String,
+        /// Treat warnings as failures (errors always fail).
+        deny: bool,
+        /// Emit the findings as JSON instead of text.
+        json: bool,
+        /// Allowlist file (`CODE path-prefix` lines); defaults to
+        /// `ROOT/lint-src.allow` when that file exists.
+        allowlist: Option<String>,
+    },
     /// `mube serve`.
     Serve {
         /// Bind address (`host:port`; port 0 picks an ephemeral port).
@@ -497,6 +509,29 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                 resolve,
             })
         }
+        "lint-src" => {
+            let mut root: Option<String> = None;
+            let mut deny = false;
+            let mut json = false;
+            let mut allowlist: Option<String> = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--deny" => deny = true,
+                    "--json" => json = true,
+                    "--allowlist" => allowlist = Some(take_value(flag, &mut iter)?.to_string()),
+                    other if !other.starts_with("--") && root.is_none() => {
+                        root = Some(other.to_string());
+                    }
+                    other => return Err(bad(format!("unknown flag `{other}` for lint-src"))),
+                }
+            }
+            Ok(Command::LintSrc {
+                root: root.unwrap_or_else(|| ".".to_string()),
+                deny,
+                json,
+                allowlist,
+            })
+        }
         "serve" => {
             let mut addr = "127.0.0.1:7207".to_string();
             let mut threads = 4usize;
@@ -872,6 +907,40 @@ mod tests {
         assert!(p(&["exec", "--solver", "oracle"]).is_err());
         assert!(p(&["exec", "--json", "--resolve"]).is_err());
         assert!(p(&["exec", "--fault-seed", "soon"]).is_err());
+    }
+
+    #[test]
+    fn lint_src_defaults_and_flags() {
+        assert_eq!(
+            p(&["lint-src"]).unwrap(),
+            Command::LintSrc {
+                root: ".".into(),
+                deny: false,
+                json: false,
+                allowlist: None,
+            }
+        );
+        assert_eq!(
+            p(&[
+                "lint-src",
+                "/repo",
+                "--deny",
+                "--json",
+                "--allowlist",
+                "custom.allow"
+            ])
+            .unwrap(),
+            Command::LintSrc {
+                root: "/repo".into(),
+                deny: true,
+                json: true,
+                allowlist: Some("custom.allow".into()),
+            }
+        );
+        // One positional root at most; unknown flags rejected.
+        assert!(p(&["lint-src", "a", "b"]).is_err());
+        assert!(p(&["lint-src", "--deny-warnings"]).is_err());
+        assert!(p(&["lint-src", "--allowlist"]).is_err());
     }
 
     #[test]

@@ -328,6 +328,46 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 Ok(rendered)
             }
         }
+        Command::LintSrc {
+            root,
+            deny,
+            json,
+            allowlist,
+        } => {
+            use mube_check::lint;
+
+            let root_path = std::path::Path::new(&root);
+            // An explicit --allowlist must exist; the conventional
+            // ROOT/lint-src.allow is picked up only when present.
+            let allow_path = match allowlist {
+                Some(p) => Some(std::path::PathBuf::from(p)),
+                None => {
+                    let conventional = root_path.join("lint-src.allow");
+                    conventional.exists().then_some(conventional)
+                }
+            };
+            let allow = match &allow_path {
+                Some(p) => {
+                    let text = std::fs::read_to_string(p)?;
+                    lint::parse_allowlist(&text)
+                        .map_err(|e| CliError::Usage(format!("{}: {e}", p.display())))?
+                }
+                None => Vec::new(),
+            };
+            let findings = lint::lint_workspace(root_path, &allow)?;
+            let rendered = if json {
+                lint::to_json(&findings)
+            } else {
+                lint::render(&findings)
+            };
+            let failed = findings.iter().any(|f| f.severity == lint::Severity::Error)
+                || (deny && !findings.is_empty());
+            if failed {
+                Err(CliError::Lint(rendered))
+            } else {
+                Ok(rendered)
+            }
+        }
     }
 }
 
@@ -730,6 +770,20 @@ mod tests {
             CliError::Lint(report) => assert!(report.contains("MUBE011"), "{report}"),
             other => panic!("expected lint failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn lint_fixture_flags_near_duplicate_names() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../fixtures/neardup.catalog"
+        )
+        .to_string();
+        let report = run(parse(&["lint", &path]).unwrap()).unwrap();
+        assert!(report.contains("warning[MUBE016]"), "{report}");
+        assert!(report.contains("moviedb"), "{report}");
+        assert!(report.contains("0 errors"), "{report}");
+        assert!(run(parse(&["lint", &path, "--deny-warnings"]).unwrap()).is_err());
     }
 
     #[test]

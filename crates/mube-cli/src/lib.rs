@@ -38,6 +38,7 @@ USAGE:
     mube lint     FILE [--max M] [--theta T] [--beta B]
                        [--pin NAME]... [--weight QEF=W]...
                        [--deny-warnings] [--json]
+    mube lint-src [ROOT] [--deny] [--json] [--allowlist FILE]
     mube exec     [--sources N] [--seed S] [--domain D] [--max M]
                        [--theta T] [--beta B] [--solver NAME]
                        [--faults SPEC] [--fault-seed S] [--query LO..HI]
@@ -58,6 +59,11 @@ COMMANDS:
     lint       Statically audit a catalog + constraints before solving;
                exits 2 when MUBE0xx errors (or, with --deny-warnings,
                any finding) are reported
+    lint-src   Scan the workspace's own Rust sources under ROOT/crates
+               (default `.`) for project invariants — wall-clock in
+               solver code, bare unwrap, unjustified Relaxed orderings
+               (MUBE1xx codes); exits 2 on errors (or, with --deny, any
+               finding); `ROOT/lint-src.allow` grants path-level waivers
     exec       Generate, solve, then execute a query over the selected
                sources — optionally injecting faults (--faults rate=0.3,
                auto[:SCALE], or unavailable=..,timeout=..,partial=..,

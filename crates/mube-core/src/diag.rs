@@ -83,11 +83,15 @@ pub enum DiagCode {
     /// (`threads`, `restarts`, portfolio members, or `time_budget_ms`
     /// beyond the documented bound).
     ResourceBoundExceeded,
+    /// MUBE016: two sources have names that normalize to the same key
+    /// (case/punctuation variants of one name); likely the same source
+    /// ingested twice, and name-based lookups will silently pick one.
+    NearDuplicateSourceNames,
 }
 
 impl DiagCode {
     /// Every code, for catalogs and docs.
-    pub const ALL: [DiagCode; 15] = [
+    pub const ALL: [DiagCode; 16] = [
         DiagCode::RequiredSourcesExceedMax,
         DiagCode::GaUnknownAttribute,
         DiagCode::GaConstraintsUnmergeable,
@@ -103,6 +107,7 @@ impl DiagCode {
         DiagCode::DuplicateSourceNames,
         DiagCode::IsolatedSource,
         DiagCode::ResourceBoundExceeded,
+        DiagCode::NearDuplicateSourceNames,
     ];
 
     /// The stable `MUBE0xx` identifier.
@@ -123,6 +128,7 @@ impl DiagCode {
             DiagCode::DuplicateSourceNames => "MUBE013",
             DiagCode::IsolatedSource => "MUBE014",
             DiagCode::ResourceBoundExceeded => "MUBE015",
+            DiagCode::NearDuplicateSourceNames => "MUBE016",
         }
     }
 
@@ -143,7 +149,8 @@ impl DiagCode {
             | DiagCode::DuplicateAttributeNames
             | DiagCode::ZeroCardinalitySource
             | DiagCode::DuplicateSourceNames
-            | DiagCode::IsolatedSource => Severity::Warning,
+            | DiagCode::IsolatedSource
+            | DiagCode::NearDuplicateSourceNames => Severity::Warning,
         }
     }
 
@@ -165,6 +172,7 @@ impl DiagCode {
             DiagCode::DuplicateSourceNames => "duplicate-source-names",
             DiagCode::IsolatedSource => "isolated-source",
             DiagCode::ResourceBoundExceeded => "resource-bound-exceeded",
+            DiagCode::NearDuplicateSourceNames => "near-duplicate-source-names",
         }
     }
 
@@ -224,6 +232,11 @@ impl DiagCode {
             DiagCode::ResourceBoundExceeded => {
                 "lower the requested threads/restarts/portfolio size or time \
                  budget; the server's bounds are listed in PROTOCOL.md"
+            }
+            DiagCode::NearDuplicateSourceNames => {
+                "the names differ only in case or punctuation; if they are \
+                 the same source, drop one; if distinct, rename one so \
+                 name-based pins cannot be misread"
             }
         }
     }
@@ -347,6 +360,7 @@ mod tests {
         assert_eq!(DiagCode::RequiredSourcesExceedMax.code(), "MUBE001");
         assert_eq!(DiagCode::IsolatedSource.code(), "MUBE014");
         assert_eq!(DiagCode::ResourceBoundExceeded.code(), "MUBE015");
+        assert_eq!(DiagCode::NearDuplicateSourceNames.code(), "MUBE016");
     }
 
     #[test]

@@ -73,6 +73,11 @@ struct SourceHealth {
     /// Sum of observed fetch latencies (successes only), for the mean.
     latency_sum: Duration,
     state: State,
+    /// Half-open probe latch: set when a probe is admitted, cleared when
+    /// its outcome is recorded. Guarantees at most one in-flight probe —
+    /// without it, concurrent executors racing into a cooled-down breaker
+    /// were all admitted (found by the `mube-check` breaker model).
+    probe_in_flight: bool,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -137,16 +142,29 @@ impl HealthRegistry {
 
     /// Should the executor attempt a fetch of `source` right now?
     ///
-    /// Closed and half-open admit; open admits (transitioning to
-    /// half-open) only once the cooldown has elapsed on the virtual clock.
+    /// Closed admits freely. Open admits (transitioning to half-open) only
+    /// once the cooldown has elapsed on the virtual clock. Half-open admits
+    /// **at most one** probe at a time: the probe latch set here is cleared
+    /// only when [`Self::record_success`]/[`Self::record_failure`] lands,
+    /// so concurrent callers racing into a cooled-down breaker cannot all
+    /// be admitted as probes.
     pub fn admit(&self, source: SourceId) -> bool {
         let mut inner = self.inner.lock().expect("health lock");
         let health = inner.entry(source).or_default();
         match health.state {
-            State::Closed | State::HalfOpen => true,
+            State::Closed => true,
+            State::HalfOpen => {
+                if health.probe_in_flight {
+                    false
+                } else {
+                    health.probe_in_flight = true;
+                    true
+                }
+            }
             State::Open { at } => {
                 if self.clock.now() >= at + self.config.cooldown {
                     health.state = State::HalfOpen;
+                    health.probe_in_flight = true;
                     true
                 } else {
                     false
@@ -165,6 +183,7 @@ impl HealthRegistry {
         health.consecutive_failures = 0;
         health.latency_sum += latency;
         health.state = State::Closed;
+        health.probe_in_flight = false;
     }
 
     /// Records a failed fetch: a half-open probe failure re-opens
@@ -176,6 +195,7 @@ impl HealthRegistry {
         let health = inner.entry(source).or_default();
         health.attempts += 1;
         health.consecutive_failures += 1;
+        health.probe_in_flight = false;
         match health.state {
             State::HalfOpen => health.state = State::Open { at: now },
             State::Open { .. } => {}
@@ -334,6 +354,37 @@ mod tests {
         reg.record_failure(s);
         reg.record_failure(s);
         assert_eq!(reg.state(s), BreakerState::Closed);
+    }
+
+    /// Regression for the half-open double-admit race found by the
+    /// `mube-check` breaker model: while one probe is in flight, further
+    /// `admit` calls must be rejected until its outcome lands.
+    #[test]
+    fn half_open_admits_single_probe() {
+        let (reg, clock) = registry(3, 30);
+        let s = SourceId(0);
+        for _ in 0..3 {
+            reg.record_failure(s);
+        }
+        assert_eq!(reg.state(s), BreakerState::Open);
+        clock.advance(Duration::from_secs(31));
+        // First caller wins the probe slot; racers are rejected.
+        assert!(reg.admit(s));
+        assert_eq!(reg.state(s), BreakerState::HalfOpen);
+        assert!(!reg.admit(s), "second concurrent probe must be rejected");
+        assert!(!reg.admit(s));
+        // Probe failure clears the latch and re-opens (new cooldown).
+        reg.record_failure(s);
+        assert_eq!(reg.state(s), BreakerState::Open);
+        assert!(!reg.admit(s));
+        clock.advance(Duration::from_secs(31));
+        assert!(reg.admit(s));
+        assert!(!reg.admit(s), "latch re-arms on the next half-open probe");
+        // Probe success closes the breaker; admission is free again.
+        reg.record_success(s, Duration::from_millis(5));
+        assert_eq!(reg.state(s), BreakerState::Closed);
+        assert!(reg.admit(s));
+        assert!(reg.admit(s), "closed breaker admits concurrent fetches");
     }
 
     #[test]

@@ -35,6 +35,8 @@ impl MonotonicClock {
     /// Creates a clock whose origin is "now".
     pub fn new() -> Self {
         MonotonicClock {
+            // lint-src: allow(MUBE101) — this *is* the injectable clock's
+            // production implementation; everything else routes through it.
             origin: Instant::now(),
         }
     }
@@ -69,13 +71,15 @@ impl ManualClock {
     /// Advances the clock by `delta`.
     pub fn advance(&self, delta: Duration) {
         let d = delta.as_nanos().min(u128::from(u64::MAX)) as u64;
+        // ordering: single monotone counter; deadline checks tolerate a
+        // stale read (they just cancel one poll later).
         self.nanos.fetch_add(d, Ordering::Relaxed);
     }
 }
 
 impl CancelClock for ManualClock {
     fn now_nanos(&self) -> u64 {
-        self.nanos.load(Ordering::Relaxed)
+        self.nanos.load(Ordering::Relaxed) // ordering: see `advance`
     }
 }
 
@@ -104,6 +108,7 @@ impl std::fmt::Debug for CancelToken {
             None => write!(f, "CancelToken::none"),
             Some(i) => f
                 .debug_struct("CancelToken")
+                // ordering: advisory snapshot for Debug output only.
                 .field("cancelled", &i.flag.load(Ordering::Relaxed))
                 .field("has_deadline", &i.deadline.is_some())
                 .finish(),
@@ -151,6 +156,8 @@ impl CancelToken {
     /// Requests cancellation. Idempotent; a no-op on [`CancelToken::none`].
     pub fn cancel(&self) {
         if let Some(inner) = &self.inner {
+            // ordering: one-way latch carrying no payload; solvers poll it
+            // and only need the `true` to become visible eventually.
             inner.flag.store(true, Ordering::Relaxed);
         }
     }
@@ -161,11 +168,13 @@ impl CancelToken {
         let Some(inner) = &self.inner else {
             return false;
         };
+        // ordering: polling the latch; see `cancel`.
         if inner.flag.load(Ordering::Relaxed) {
             return true;
         }
         if let Some((clock, deadline)) = &inner.deadline {
             if clock.now_nanos() >= *deadline {
+                // ordering: latching the already-passed deadline; see `cancel`.
                 inner.flag.store(true, Ordering::Relaxed);
                 return true;
             }

@@ -49,6 +49,8 @@ static MEMBER_PANICS_TOTAL: AtomicU64 = AtomicU64::new(0);
 /// failures for monitoring, e.g. the `member_panics` field in
 /// `mube-serve`'s `/metrics`.
 pub fn member_panics_total() -> u64 {
+    // ordering: monotone event counter read for metrics; no other memory
+    // depends on its value, so a stale read is harmless.
     MEMBER_PANICS_TOTAL.load(Ordering::Relaxed)
 }
 
@@ -318,6 +320,10 @@ impl Portfolio {
                     // the same thread reuse it (repositioning is cheap).
                     let mut view = objective.worker_view();
                     loop {
+                        // ordering: job-ticket counter; fetch_add's
+                        // atomicity alone guarantees each index is handed
+                        // out once, and results flow back through the
+                        // channel (whose lock orders them).
                         let w = next_job.fetch_add(1, Ordering::Relaxed);
                         if w >= n {
                             break;
@@ -339,11 +345,14 @@ impl Portfolio {
                         let result = match outcome {
                             Ok(result) => result,
                             Err(_) => {
+                                // ordering: pure event counters; readers
+                                // only need eventual totals, never a
+                                // happens-before edge.
                                 panics.fetch_add(1, Ordering::Relaxed);
-                                MEMBER_PANICS_TOTAL.fetch_add(1, Ordering::Relaxed);
-                                // The incremental view was unwound through;
-                                // its internal state is suspect. Replace it
-                                // before the next job.
+                                MEMBER_PANICS_TOTAL.fetch_add(1, Ordering::Relaxed); // ordering: ditto
+                                                                                     // The incremental view was unwound through;
+                                                                                     // its internal state is suspect. Replace it
+                                                                                     // before the next job.
                                 view = objective.worker_view();
                                 continue;
                             }

@@ -96,6 +96,8 @@ impl Store {
 
     /// Registers an uploaded catalog, returning its id.
     pub fn insert_catalog(&self, universe: Arc<Universe>, cache: Arc<SimilarityCache>) -> u64 {
+        // ordering: id allocator; fetch_add's atomicity guarantees
+        // uniqueness, and the entry itself publishes via the RwLock.
         let id = self.next_catalog_id.fetch_add(1, Ordering::Relaxed);
         self.catalogs
             .write()
@@ -113,6 +115,8 @@ impl Store {
         universe: Arc<Universe>,
         cache: Arc<SimilarityCache>,
     ) {
+        // ordering: raises the id floor during replay; only the atomic
+        // max matters, not inter-thread ordering.
         self.next_catalog_id.fetch_max(id + 1, Ordering::Relaxed);
         self.catalogs
             .write()
@@ -167,6 +171,7 @@ impl Store {
                 });
             }
         }
+        // ordering: id allocator, same contract as `insert_catalog`.
         let id = self.next_session_id.fetch_add(1, Ordering::Relaxed);
         sessions.insert(
             id,
@@ -193,6 +198,8 @@ impl Store {
         if self.catalog(catalog_id).is_none() {
             return Err(StoreError::UnknownCatalog);
         }
+        // ordering: replay-time id floor, same contract as
+        // `insert_catalog_with_id`.
         self.next_session_id.fetch_max(id + 1, Ordering::Relaxed);
         self.sessions
             .write()
