@@ -49,7 +49,7 @@ use mube_core::constraints::Constraints;
 use mube_core::diag::{DiagCode, Diagnostic, Severity};
 use mube_core::ids::{AttrId, SourceId};
 use mube_core::qef::WeightedQefs;
-use mube_core::source::Universe;
+use mube_core::source::{canonical_name_key, Universe};
 use mube_match::similarity::Similarity;
 use mube_match::SimilarityCache;
 
@@ -67,6 +67,8 @@ pub struct Analyzer<'a> {
     qefs: Option<&'a WeightedQefs>,
     raw_weights: Option<&'a [(String, f64)]>,
     similarity: Option<&'a dyn Similarity>,
+    scale_threshold: Option<usize>,
+    pruning_enabled: bool,
 }
 
 impl<'a> Analyzer<'a> {
@@ -78,7 +80,26 @@ impl<'a> Analyzer<'a> {
             qefs: None,
             raw_weights: None,
             similarity: None,
+            scale_threshold: None,
+            pruning_enabled: false,
         }
+    }
+
+    /// Sets the source-count threshold above which an unpruned catalog is
+    /// flagged (MUBE017). Flat solvers score every source per move, so past
+    /// a few thousand sources a solve without the `mube-scale` pruning front
+    /// end burns its budget going nowhere. Disabled when unset.
+    pub fn scale_threshold(mut self, threshold: usize) -> Self {
+        self.scale_threshold = Some(threshold);
+        self
+    }
+
+    /// Declares that a pruning front end (e.g. `mube scale-solve` or the
+    /// `prune` block on `POST /sessions`) is active for this run, which
+    /// suppresses MUBE017 regardless of catalog size.
+    pub fn pruning_enabled(mut self, enabled: bool) -> Self {
+        self.pruning_enabled = enabled;
+        self
     }
 
     /// Adds the constraint set to audit (builder style).
@@ -138,8 +159,21 @@ impl<'a> Analyzer<'a> {
         AuditReport { diagnostics: out }
     }
 
-    /// Universe-only lints: MUBE011–MUBE013, MUBE016.
+    /// Universe-only lints: MUBE011–MUBE013, MUBE016, MUBE017.
     fn lint_catalog(&self, out: &mut Vec<Diagnostic>) {
+        if let Some(threshold) = self.scale_threshold {
+            if self.universe.len() > threshold && !self.pruning_enabled {
+                out.push(Diagnostic::new(
+                    DiagCode::UnprunedLargeCatalog,
+                    format!(
+                        "catalog has {} sources, above the scale threshold of \
+                         {threshold}, and no pruning front end is enabled; a \
+                         flat solve will be slow — consider `mube scale-solve`",
+                        self.universe.len()
+                    ),
+                ));
+            }
+        }
         let mut by_name: BTreeMap<&str, Vec<SourceId>> = BTreeMap::new();
         for source in self.universe.sources() {
             by_name.entry(source.name()).or_default().push(source.id());
@@ -198,12 +232,7 @@ impl<'a> Analyzer<'a> {
         // spellings differ, so `site0001`/`site0002` catalogs stay clean.
         let mut by_norm: BTreeMap<String, (BTreeSet<&str>, Vec<SourceId>)> = BTreeMap::new();
         for source in self.universe.sources() {
-            let key: String = source
-                .name()
-                .chars()
-                .filter(|c| c.is_alphanumeric())
-                .flat_map(char::to_lowercase)
-                .collect();
+            let key = canonical_name_key(source.name());
             if key.is_empty() {
                 continue;
             }
@@ -805,6 +834,72 @@ mod tests {
         b.add_source(SourceSpec::new("twin", Schema::new(["y"])).cardinality(1));
         let u = b.build().unwrap();
         assert_eq!(codes(&Analyzer::new(&u).run()), vec!["MUBE013"]);
+    }
+
+    #[test]
+    fn mube017_unpruned_large_catalog() {
+        let u = universe(); // 3 sources
+        let report = Analyzer::new(&u).scale_threshold(2).run();
+        assert_eq!(
+            codes(&report),
+            vec!["MUBE017"],
+            "{:?}",
+            report.diagnostics()
+        );
+        assert!(!report.has_errors(), "slow but not infeasible");
+        let d = &report.diagnostics()[0];
+        assert!(d.message.contains("3 sources"), "{}", d.message);
+        assert!(d.message.contains("threshold of 2"), "{}", d.message);
+    }
+
+    #[test]
+    fn mube017_suppressed_by_pruning_or_threshold() {
+        let u = universe();
+        // Pruning front end active: the size is fine.
+        let report = Analyzer::new(&u)
+            .scale_threshold(2)
+            .pruning_enabled(true)
+            .run();
+        assert!(report.is_clean(), "{:?}", report.diagnostics());
+        // Catalog at or below the threshold: fine.
+        let report = Analyzer::new(&u).scale_threshold(3).run();
+        assert!(report.is_clean(), "{:?}", report.diagnostics());
+        // No threshold configured: never fires.
+        let report = Analyzer::new(&u).run();
+        assert!(report.is_clean(), "{:?}", report.diagnostics());
+    }
+
+    #[test]
+    fn mube016_matches_shared_canonical_key() {
+        // Regression: MUBE016 and the mube-scale LSH blocking front end both
+        // key on mube_core::canonical_name_key. If MUBE016 groups two names,
+        // the shared helper must map them to one key, and vice versa.
+        let names = ["Movie DB", "movie_db", "MOVIE-DB", "film.db", "site0001"];
+        let mut b = Universe::builder();
+        for n in names {
+            b.add_source(SourceSpec::new(n, Schema::new(["x"])).cardinality(1));
+        }
+        let u = b.build().unwrap();
+        let report = Analyzer::new(&u).run();
+        let grouped: Vec<SourceId> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == DiagCode::NearDuplicateSourceNames)
+            .flat_map(|d| d.sources.iter().copied())
+            .collect();
+        let expected: Vec<SourceId> = u
+            .sources()
+            .filter(|s| {
+                let key = mube_core::canonical_name_key(s.name());
+                u.sources()
+                    .filter(|t| mube_core::canonical_name_key(t.name()) == key)
+                    .count()
+                    > 1
+            })
+            .map(mube_core::Source::id)
+            .collect();
+        assert_eq!(grouped, expected);
+        assert_eq!(grouped, vec![SourceId(0), SourceId(1), SourceId(2)]);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Scale benchmarks: LSH bucketing throughput and cluster-level
+//! (hierarchical) vs flat solving at 1k/10k/100k sources.
+//!
+//! Besides the usual per-iteration timings, this bench writes
+//! `BENCH_scale.json` at the workspace root: one single-shot wall-clock
+//! comparison per universe size, flat (materialize everything, one
+//! `Problem`) against the `mube-scale` pipeline (streaming ingest →
+//! relevance pruning → LSH blocking → two-level solve). The flat path pays
+//! for every tuple in the catalog up front; the pipeline's costs are
+//! bounded by `top_k`, which is why it wins from 10k sources on.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mube_core::constraints::Constraints;
+use mube_core::problem::Problem;
+use mube_core::qefs::paper_default_qefs;
+use mube_core::source::Universe;
+use mube_match::similarity::JaccardNGram;
+use mube_match::ClusterMatcher;
+use mube_opt::{CancelToken, TabuSearch};
+use mube_scale::SourceStream as _;
+use mube_scale::{block, scale_solve, LshConfig, ScaleOptions, SourceRecord, SynthStream};
+use mube_synth::{StreamingUniverse, SynthConfig};
+
+const SEED: u64 = 0x1CDE_2007;
+/// Total evaluation budget per comparison arm. The flat arm spends it in
+/// one solve; the hierarchical arm splits it across its two levels, so
+/// both arms evaluate the same number of candidate subsets.
+const EVALS: u64 = 400;
+/// Final selection size `m`.
+const MAX_SOURCES: usize = 10;
+
+fn solver(max_evaluations: u64) -> TabuSearch {
+    TabuSearch {
+        max_evaluations,
+        ..TabuSearch::default()
+    }
+}
+
+/// Streams the first `n` records of an `n`-source scale universe without
+/// forcing signatures — the exact input the blocking stage sees.
+fn records(n: usize) -> Vec<SourceRecord> {
+    let stream = SynthStream::new(StreamingUniverse::new(SynthConfig::scale(n), SEED));
+    (0..stream.len()).map(|i| stream.get(i)).collect()
+}
+
+fn bench_lsh_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsh_block");
+    for survivors in [500usize, 1_500] {
+        let recs = records(survivors);
+        group.bench_with_input(BenchmarkId::from_parameter(survivors), &recs, |b, recs| {
+            b.iter(|| block(recs, &LshConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+/// Flat baseline: materialize the whole streamed universe (every tuple
+/// pool → PCSA signature), build one `Problem`, solve. Returns wall-clock
+/// milliseconds and solution quality.
+fn flat_solve(n: usize) -> (f64, f64) {
+    let t0 = Instant::now();
+    let streamed = StreamingUniverse::new(SynthConfig::scale(n), SEED);
+    let mut builder = Universe::builder();
+    for source in streamed.iter() {
+        builder.add_source(source.into_spec());
+    }
+    let universe = Arc::new(builder.build().expect("streamed specs are valid"));
+    let matcher = Arc::new(ClusterMatcher::new(
+        Arc::clone(&universe),
+        JaccardNGram::trigram(),
+    ));
+    let constraints = Constraints::with_max_sources(MAX_SOURCES)
+        .theta(0.75)
+        .beta(2);
+    let problem = Problem::new(universe, matcher, paper_default_qefs("mttf"), constraints)
+        .expect("flat problem");
+    let solution = problem.solve(&solver(EVALS), SEED).expect("flat solve");
+    (t0.elapsed().as_secs_f64() * 1000.0, solution.quality)
+}
+
+/// Cluster-level path: the full `mube-scale` pipeline over the same
+/// streamed universe. Signatures are synthesized only for the `top_k`
+/// relevance survivors.
+fn hierarchical_solve(n: usize) -> (f64, f64) {
+    let t0 = Instant::now();
+    let stream = SynthStream::new(StreamingUniverse::new(SynthConfig::scale(n), SEED));
+    let mut opts = ScaleOptions::new(MAX_SOURCES);
+    opts.seed = SEED;
+    opts.lsh_threads = 4;
+    // Half the total budget per level: coarse + fine together spend EVALS.
+    let report =
+        scale_solve(&stream, &opts, &solver(EVALS / 2), &CancelToken::none()).expect("scale solve");
+    (t0.elapsed().as_secs_f64() * 1000.0, report.solution.quality)
+}
+
+fn bench_solve_1k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_1k");
+    group.sample_size(10);
+    group.bench_function("flat", |b| b.iter(|| flat_solve(1_000)));
+    group.bench_function("cluster", |b| b.iter(|| hierarchical_solve(1_000)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_lsh_block, bench_solve_1k);
+
+/// Single-shot comparison at 1k/10k/100k, written to `BENCH_scale.json`.
+fn write_bench_json() {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut rows = String::new();
+    for (i, &n) in [1_000usize, 10_000, 100_000].iter().enumerate() {
+        let block_ms = {
+            let recs = records(n.min(1_500));
+            let t0 = Instant::now();
+            let blocks = block(&recs, &LshConfig::default());
+            let ms = t0.elapsed().as_secs_f64() * 1000.0;
+            eprintln!(
+                "scale json: blocked {} survivors into {} clusters in {ms:.1} ms",
+                recs.len(),
+                blocks.clusters.len()
+            );
+            ms
+        };
+        let (flat_ms, flat_q) = flat_solve(n);
+        let (hier_ms, hier_q) = hierarchical_solve(n);
+        eprintln!(
+            "scale json: n={n} flat {flat_ms:.0} ms (Q={flat_q:.4}) \
+             vs cluster {hier_ms:.0} ms (Q={hier_q:.4})"
+        );
+        if i > 0 {
+            rows.push(',');
+        }
+        write!(
+            rows,
+            "{{\"sources\":{n},\"lsh_block_ms\":{block_ms:.2},\
+             \"flat_ms\":{flat_ms:.2},\"flat_quality\":{flat_q:.4},\
+             \"cluster_ms\":{hier_ms:.2},\"cluster_quality\":{hier_q:.4}}}"
+        )
+        .expect("string write");
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"generated_unix\": {unix_secs},\n  \
+         \"seed\": {SEED},\n  \"solver\": \"tabu\",\n  \"max_evaluations\": {EVALS},\n  \
+         \"max_sources\": {MAX_SOURCES},\n  \"top_k\": 1500,\n  \"rows\": [{rows}]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, json).expect("write BENCH_scale.json");
+    eprintln!("scale json: wrote {path}");
+}
+
+fn main() {
+    benches();
+    write_bench_json();
+}

@@ -84,9 +84,47 @@ pub enum Command {
         pins: Vec<String>,
         /// `(qef, weight)` overrides.
         weights: Vec<(String, f64)>,
+        /// Warn (MUBE017) when the catalog exceeds this many sources,
+        /// since a flat solve without a pruning front end will be slow.
+        scale_threshold: Option<usize>,
         /// Treat warnings as failures.
         deny_warnings: bool,
         /// Emit the findings as JSON instead of text.
+        json: bool,
+    },
+    /// `mube scale-solve`.
+    ScaleSolve {
+        /// Sources in the synthetic streaming universe.
+        sources: usize,
+        /// Wall-clock budget in milliseconds for the whole pipeline
+        /// (anytime semantics); `None` runs to the evaluation budgets.
+        budget_ms: Option<u64>,
+        /// Schema domain.
+        domain: DomainKind,
+        /// Maximum sources `m` in the final solution.
+        max: usize,
+        /// Matching threshold θ (both levels).
+        theta: f64,
+        /// Minimum GA size β (both levels).
+        beta: usize,
+        /// Relevance survivors kept by the pruning front end.
+        top_k: usize,
+        /// Generator + solver seed.
+        seed: u64,
+        /// Relevance keywords matched against source/attribute names.
+        keywords: Vec<String>,
+        /// Source names that must survive pruning and be selected.
+        pins: Vec<String>,
+        /// Which solver to use.
+        solver: String,
+        /// OS threads for the portfolio (results never depend on this).
+        threads: usize,
+        /// Portfolio member spec; `None` unless portfolio mode was
+        /// requested.
+        portfolio: Option<String>,
+        /// Portfolio restart copies.
+        restarts: usize,
+        /// Emit the pipeline report as deterministic JSON.
         json: bool,
     },
     /// `mube exec`.
@@ -375,6 +413,7 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
             let mut beta = 2usize;
             let mut pins = Vec::new();
             let mut weights = Vec::new();
+            let mut scale_threshold: Option<usize> = None;
             let mut deny_warnings = false;
             let mut json = false;
             while let Some(flag) = iter.next() {
@@ -384,6 +423,13 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                             take_value(flag, &mut iter)?
                                 .parse()
                                 .map_err(|_| bad("--max needs an integer"))?,
+                        );
+                    }
+                    "--scale-threshold" => {
+                        scale_threshold = Some(
+                            take_value(flag, &mut iter)?
+                                .parse()
+                                .map_err(|_| bad("--scale-threshold needs an integer"))?,
                         );
                     }
                     "--theta" => {
@@ -417,7 +463,128 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                 beta,
                 pins,
                 weights,
+                scale_threshold,
                 deny_warnings,
+                json,
+            })
+        }
+        "scale-solve" => {
+            let mut sources = 100_000usize;
+            let mut budget_ms: Option<u64> = None;
+            let mut domain = DomainKind::Books;
+            let mut max = 10usize;
+            let mut theta = 0.75f64;
+            let mut beta = 2usize;
+            let mut top_k = 1_500usize;
+            let mut seed = 2007u64;
+            let mut keywords = Vec::new();
+            let mut pins = Vec::new();
+            let mut solver = "tabu".to_string();
+            let mut threads = 1usize;
+            let mut threads_given = false;
+            let mut portfolio: Option<String> = None;
+            let mut restarts = 1usize;
+            let mut json = false;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--sources" => {
+                        sources = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--sources needs an integer"))?;
+                        if sources == 0 {
+                            return Err(bad("--sources must be at least 1"));
+                        }
+                    }
+                    "--budget" => {
+                        budget_ms = Some(
+                            take_value(flag, &mut iter)?
+                                .parse()
+                                .map_err(|_| bad("--budget needs milliseconds"))?,
+                        );
+                    }
+                    "--domain" => domain = parse_domain(take_value(flag, &mut iter)?)?,
+                    "--max" => {
+                        max = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--max needs an integer"))?;
+                    }
+                    "--theta" => {
+                        theta = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--theta needs a number"))?;
+                    }
+                    "--beta" => {
+                        beta = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--beta needs an integer"))?;
+                    }
+                    "--top-k" => {
+                        top_k = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--top-k needs an integer"))?;
+                        if top_k == 0 {
+                            return Err(bad("--top-k must be at least 1"));
+                        }
+                    }
+                    "--seed" => {
+                        seed = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--seed needs an integer"))?;
+                    }
+                    "--keyword" => keywords.push(take_value(flag, &mut iter)?.to_string()),
+                    "--pin" => pins.push(take_value(flag, &mut iter)?.to_string()),
+                    "--solver" => {
+                        solver = take_value(flag, &mut iter)?.to_string();
+                        if !["tabu", "sls", "annealing", "pso"].contains(&solver.as_str()) {
+                            return Err(bad(format!("unknown solver `{solver}`")));
+                        }
+                    }
+                    "--threads" => {
+                        threads = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--threads needs an integer"))?;
+                        if threads == 0 {
+                            return Err(bad("--threads must be at least 1"));
+                        }
+                        threads_given = true;
+                    }
+                    "--portfolio" => {
+                        let spec = take_value(flag, &mut iter)?;
+                        mube_opt::parse_portfolio_spec(spec).map_err(bad)?;
+                        portfolio = Some(spec.to_string());
+                    }
+                    "--restarts" => {
+                        restarts = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--restarts needs an integer"))?;
+                        if restarts == 0 {
+                            return Err(bad("--restarts must be at least 1"));
+                        }
+                    }
+                    "--json" => json = true,
+                    other => return Err(bad(format!("unknown flag `{other}` for scale-solve"))),
+                }
+            }
+            // Same convention as `solve`: --threads/--restarts imply the
+            // full default portfolio mix.
+            if portfolio.is_none() && (threads_given || restarts > 1) {
+                portfolio = Some("tabu,sls,anneal,pso".to_string());
+            }
+            Ok(Command::ScaleSolve {
+                sources,
+                budget_ms,
+                domain,
+                max,
+                theta,
+                beta,
+                top_k,
+                seed,
+                keywords,
+                pins,
+                solver,
+                threads,
+                portfolio,
+                restarts,
                 json,
             })
         }
@@ -713,6 +880,7 @@ mod tests {
                 beta: 2,
                 pins: vec![],
                 weights: vec![],
+                scale_threshold: None,
                 deny_warnings: false,
                 json: false,
             }
@@ -762,6 +930,124 @@ mod tests {
         assert!(p(&["lint", "a.cat", "--max", "many"]).is_err());
         assert!(p(&["lint", "a.cat", "--warn-deny"]).is_err());
         assert!(p(&["lint", "a.cat", "--weight", "coverage"]).is_err());
+        assert!(p(&["lint", "a.cat", "--scale-threshold", "huge"]).is_err());
+    }
+
+    #[test]
+    fn lint_scale_threshold_flag() {
+        match p(&["lint", "a.cat", "--scale-threshold", "5000"]).unwrap() {
+            Command::Lint {
+                scale_threshold, ..
+            } => assert_eq!(scale_threshold, Some(5000)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_solve_defaults_and_flags() {
+        match p(&["scale-solve"]).unwrap() {
+            Command::ScaleSolve {
+                sources,
+                budget_ms,
+                max,
+                theta,
+                beta,
+                top_k,
+                seed,
+                keywords,
+                pins,
+                solver,
+                portfolio,
+                json,
+                ..
+            } => {
+                assert_eq!(sources, 100_000);
+                assert_eq!(budget_ms, None);
+                assert_eq!(max, 10);
+                assert_eq!(theta, 0.75);
+                assert_eq!(beta, 2);
+                assert_eq!(top_k, 1_500);
+                assert_eq!(seed, 2007);
+                assert!(keywords.is_empty() && pins.is_empty());
+                assert_eq!(solver, "tabu");
+                assert_eq!(portfolio, None);
+                assert!(!json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match p(&[
+            "scale-solve",
+            "--sources",
+            "100000",
+            "--budget",
+            "60000",
+            "--domain",
+            "movies",
+            "--max",
+            "6",
+            "--theta",
+            "0.4",
+            "--beta",
+            "3",
+            "--top-k",
+            "800",
+            "--seed",
+            "9",
+            "--keyword",
+            "title",
+            "--keyword",
+            "director",
+            "--pin",
+            "site0042",
+            "--threads",
+            "4",
+            "--json",
+        ])
+        .unwrap()
+        {
+            Command::ScaleSolve {
+                sources,
+                budget_ms,
+                domain,
+                max,
+                theta,
+                beta,
+                top_k,
+                seed,
+                keywords,
+                pins,
+                threads,
+                portfolio,
+                json,
+                ..
+            } => {
+                assert_eq!(sources, 100_000);
+                assert_eq!(budget_ms, Some(60_000));
+                assert_eq!(domain, DomainKind::Movies);
+                assert_eq!(max, 6);
+                assert_eq!(theta, 0.4);
+                assert_eq!(beta, 3);
+                assert_eq!(top_k, 800);
+                assert_eq!(seed, 9);
+                assert_eq!(keywords, vec!["title", "director"]);
+                assert_eq!(pins, vec!["site0042"]);
+                assert_eq!(threads, 4);
+                // --threads engages the default portfolio mix.
+                assert_eq!(portfolio.as_deref(), Some("tabu,sls,anneal,pso"));
+                assert!(json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_solve_rejects_bad_input() {
+        assert!(p(&["scale-solve", "--sources", "0"]).is_err());
+        assert!(p(&["scale-solve", "--top-k", "0"]).is_err());
+        assert!(p(&["scale-solve", "--budget", "soon"]).is_err());
+        assert!(p(&["scale-solve", "--solver", "oracle"]).is_err());
+        assert!(p(&["scale-solve", "--threads", "0"]).is_err());
+        assert!(p(&["scale-solve", "--out", "x"]).is_err());
     }
 
     #[test]

@@ -259,6 +259,108 @@ pub fn run(command: Command) -> Result<String, CliError> {
             server.run()?;
             Ok(String::new())
         }
+        Command::ScaleSolve {
+            sources,
+            budget_ms,
+            domain,
+            max,
+            theta,
+            beta,
+            top_k,
+            seed,
+            keywords,
+            pins,
+            solver,
+            threads,
+            portfolio,
+            restarts,
+            json,
+        } => {
+            use mube_scale::{scale_solve, ScaleOptions, SynthStream};
+            use mube_synth::StreamingUniverse;
+
+            let mut config = SynthConfig::scale(sources);
+            config.schema.domain = domain;
+            let stream = SynthStream::new(StreamingUniverse::new(config, seed));
+
+            let mut opts = ScaleOptions::new(max);
+            opts.top_k = top_k;
+            opts.theta = theta;
+            opts.beta = beta;
+            opts.seed = seed;
+            opts.pins = pins;
+            opts.query.keywords = keywords;
+            opts.query.prefer_characteristics = vec!["mttf".to_string()];
+            // Blocking is byte-deterministic in the thread count, so the
+            // portfolio's --threads safely accelerates the sketches too.
+            opts.lsh_threads = threads;
+
+            let solver: Box<dyn SubsetSolver> = match portfolio {
+                Some(spec) => Box::new(
+                    Portfolio::from_spec(&spec, restarts)
+                        .map_err(CliError::Usage)?
+                        .threads(threads),
+                ),
+                None => make_solver(&solver),
+            };
+            let cancel = match budget_ms {
+                Some(ms) => mube_opt::CancelToken::after(std::time::Duration::from_millis(ms)),
+                None => mube_opt::CancelToken::none(),
+            };
+            let report = scale_solve(&stream, &opts, solver.as_ref(), &cancel)?;
+
+            if json {
+                let clusters: Vec<String> = report
+                    .selected_clusters
+                    .iter()
+                    .map(|c| format!("\"{c}\""))
+                    .collect();
+                return Ok(format!(
+                    "{{\"catalog_sources\":{},\"survivors\":{},\"clusters\":{},\
+                     \"selected_clusters\":[{}],\"expanded\":{},\"coarse_quality\":{:.6},\
+                     \"solution\":{}}}",
+                    report.catalog_sources,
+                    report.survivors,
+                    report.clusters,
+                    clusters.join(","),
+                    report.expanded,
+                    report.coarse_quality,
+                    report.solution.to_json(&report.universe),
+                ));
+            }
+            let mut out = String::new();
+            writeln!(
+                out,
+                "scale-solve: {} sources → {} survivors → {} clusters",
+                report.catalog_sources, report.survivors, report.clusters
+            )
+            .expect("string write");
+            writeln!(
+                out,
+                "coarse: selected {} cluster{} (objective {:.4}): {}",
+                report.selected_clusters.len(),
+                if report.selected_clusters.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+                report.coarse_quality,
+                report.selected_clusters.join(", "),
+            )
+            .expect("string write");
+            writeln!(out, "fine: expanded {} member sources", report.expanded)
+                .expect("string write");
+            if report.solution.timed_out {
+                writeln!(
+                    out,
+                    "(time budget hit: best solution found within {}ms)",
+                    budget_ms.unwrap_or(0)
+                )
+                .expect("string write");
+            }
+            write!(out, "{}", report.solution.display(&report.universe)).expect("string write");
+            Ok(out)
+        }
         Command::Lint {
             file,
             max,
@@ -266,6 +368,7 @@ pub fn run(command: Command) -> Result<String, CliError> {
             beta,
             pins,
             weights,
+            scale_threshold,
             deny_warnings,
             json,
         } => {
@@ -307,11 +410,14 @@ pub fn run(command: Command) -> Result<String, CliError> {
             }
 
             let measure = JaccardNGram::trigram();
-            let mut report = Analyzer::new(&universe)
+            let mut analyzer = Analyzer::new(&universe)
                 .constraints(&constraints)
                 .raw_weights(&weights)
-                .similarity(&measure)
-                .run();
+                .similarity(&measure);
+            if let Some(threshold) = scale_threshold {
+                analyzer = analyzer.scale_threshold(threshold);
+            }
+            let mut report = analyzer.run();
             for diagnostic in unresolved {
                 report.push(diagnostic);
             }
@@ -744,6 +850,121 @@ mod tests {
             "/../../fixtures/infeasible.catalog"
         )
         .to_string()
+    }
+
+    #[test]
+    fn scale_solve_end_to_end_text_and_json() {
+        let argv = [
+            "scale-solve",
+            "--sources",
+            "300",
+            "--top-k",
+            "60",
+            "--max",
+            "4",
+            "--theta",
+            "0.3",
+            "--seed",
+            "7",
+        ];
+        let text = run(parse(&argv).unwrap()).unwrap();
+        assert!(text.contains("scale-solve: 300 sources"), "{text}");
+        assert!(text.contains("clusters"), "{text}");
+        assert!(text.contains("Overall quality"), "{text}");
+
+        let mut json_argv: Vec<&str> = argv.to_vec();
+        json_argv.push("--json");
+        let json = run(parse(&json_argv).unwrap()).unwrap();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"catalog_sources\":300"), "{json}");
+        assert!(json.contains("\"selected_clusters\":["), "{json}");
+        assert!(json.contains("\"solution\":{"), "{json}");
+        // Same seed, same document.
+        let again = run(parse(&json_argv).unwrap()).unwrap();
+        assert_eq!(json, again);
+    }
+
+    #[test]
+    fn scale_solve_pins_are_selected() {
+        let report = run(parse(&[
+            "scale-solve",
+            "--sources",
+            "300",
+            "--top-k",
+            "40",
+            "--max",
+            "4",
+            "--theta",
+            "0.3",
+            "--pin",
+            "site0242",
+        ])
+        .unwrap())
+        .unwrap();
+        assert!(report.contains("site0242"), "{report}");
+    }
+
+    #[test]
+    fn scale_solve_budget_is_anytime() {
+        // A 0ms budget is already expired when the solves start; the
+        // anytime guarantee still yields a feasible solution.
+        let report = run(parse(&[
+            "scale-solve",
+            "--sources",
+            "200",
+            "--top-k",
+            "40",
+            "--max",
+            "4",
+            "--theta",
+            "0.3",
+            "--budget",
+            "0",
+        ])
+        .unwrap())
+        .unwrap();
+        assert!(report.contains("time budget hit"), "{report}");
+        assert!(report.contains("Overall quality"), "{report}");
+    }
+
+    #[test]
+    fn scale_solve_rejects_unknown_pin() {
+        let err = run(parse(&[
+            "scale-solve",
+            "--sources",
+            "50",
+            "--top-k",
+            "20",
+            "--theta",
+            "0.3",
+            "--pin",
+            "ghost",
+        ])
+        .unwrap())
+        .unwrap_err();
+        assert!(matches!(err, CliError::Engine(_)), "{err:?}");
+    }
+
+    #[test]
+    fn lint_scale_threshold_warns_unpruned() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../fixtures/unpruned.catalog"
+        )
+        .to_string();
+        // Without a threshold the catalog lints clean...
+        let report = run(parse(&["lint", &path]).unwrap()).unwrap();
+        assert!(report.contains("no problems found"), "{report}");
+        // ...above the threshold MUBE017 fires as a warning...
+        let report = run(parse(&["lint", &path, "--scale-threshold", "8"]).unwrap()).unwrap();
+        assert!(report.contains("warning[MUBE017]"), "{report}");
+        assert!(report.contains("scale-solve"), "{report}");
+        assert!(report.contains("0 errors"), "{report}");
+        // ...and --deny-warnings promotes it to a failure.
+        assert!(
+            run(parse(&["lint", &path, "--scale-threshold", "8", "--deny-warnings"]).unwrap())
+                .is_err()
+        );
     }
 
     #[test]

@@ -35,9 +35,14 @@ USAGE:
                        [--restarts R] [--time-budget MS]
                        [--pin NAME]... [--weight QEF=W]...
                        [--explain | --json]
+    mube scale-solve   [--sources N] [--budget MS] [--domain D]
+                       [--max M] [--theta T] [--beta B] [--top-k K]
+                       [--seed S] [--keyword W]... [--pin NAME]...
+                       [--solver tabu|sls|annealing|pso] [--threads N]
+                       [--portfolio SPEC] [--restarts R] [--json]
     mube lint     FILE [--max M] [--theta T] [--beta B]
                        [--pin NAME]... [--weight QEF=W]...
-                       [--deny-warnings] [--json]
+                       [--scale-threshold N] [--deny-warnings] [--json]
     mube lint-src [ROOT] [--deny] [--json] [--allowlist FILE]
     mube exec     [--sources N] [--seed S] [--domain D] [--max M]
                        [--theta T] [--beta B] [--solver NAME]
@@ -56,9 +61,16 @@ COMMANDS:
     solve      Select at most --max sources and mediate a schema;
                --time-budget MS stops at the deadline and reports the
                best solution found so far (anytime)
+    scale-solve  Stream a 100k+-source synthetic universe and solve it
+               hierarchically: relevance pruning keeps --top-k
+               survivors, MinHash/LSH blocking condenses them into
+               clusters, a coarse solve picks cluster families, and a
+               fine solve over the expanded winners emits a validated
+               solution; --budget MS bounds the whole pipeline
     lint       Statically audit a catalog + constraints before solving;
                exits 2 when MUBE0xx errors (or, with --deny-warnings,
-               any finding) are reported
+               any finding) are reported; --scale-threshold N warns
+               (MUBE017) on catalogs too large for a flat solve
     lint-src   Scan the workspace's own Rust sources under ROOT/crates
                (default `.`) for project invariants — wall-clock in
                solver code, bare unwrap, unjustified Relaxed orderings

@@ -87,11 +87,15 @@ pub enum DiagCode {
     /// (case/punctuation variants of one name); likely the same source
     /// ingested twice, and name-based lookups will silently pick one.
     NearDuplicateSourceNames,
+    /// MUBE017: the catalog exceeds the configured source-count threshold
+    /// but no pruning front end is enabled; a flat solve over a universe
+    /// this large will spend its entire budget scoring candidates.
+    UnprunedLargeCatalog,
 }
 
 impl DiagCode {
     /// Every code, for catalogs and docs.
-    pub const ALL: [DiagCode; 16] = [
+    pub const ALL: [DiagCode; 17] = [
         DiagCode::RequiredSourcesExceedMax,
         DiagCode::GaUnknownAttribute,
         DiagCode::GaConstraintsUnmergeable,
@@ -108,6 +112,7 @@ impl DiagCode {
         DiagCode::IsolatedSource,
         DiagCode::ResourceBoundExceeded,
         DiagCode::NearDuplicateSourceNames,
+        DiagCode::UnprunedLargeCatalog,
     ];
 
     /// The stable `MUBE0xx` identifier.
@@ -129,6 +134,7 @@ impl DiagCode {
             DiagCode::IsolatedSource => "MUBE014",
             DiagCode::ResourceBoundExceeded => "MUBE015",
             DiagCode::NearDuplicateSourceNames => "MUBE016",
+            DiagCode::UnprunedLargeCatalog => "MUBE017",
         }
     }
 
@@ -150,7 +156,8 @@ impl DiagCode {
             | DiagCode::ZeroCardinalitySource
             | DiagCode::DuplicateSourceNames
             | DiagCode::IsolatedSource
-            | DiagCode::NearDuplicateSourceNames => Severity::Warning,
+            | DiagCode::NearDuplicateSourceNames
+            | DiagCode::UnprunedLargeCatalog => Severity::Warning,
         }
     }
 
@@ -173,6 +180,7 @@ impl DiagCode {
             DiagCode::IsolatedSource => "isolated-source",
             DiagCode::ResourceBoundExceeded => "resource-bound-exceeded",
             DiagCode::NearDuplicateSourceNames => "near-duplicate-source-names",
+            DiagCode::UnprunedLargeCatalog => "unpruned-large-catalog",
         }
     }
 
@@ -237,6 +245,11 @@ impl DiagCode {
                 "the names differ only in case or punctuation; if they are \
                  the same source, drop one; if distinct, rename one so \
                  name-based pins cannot be misread"
+            }
+            DiagCode::UnprunedLargeCatalog => {
+                "enable the mube-scale pruning front end (`mube scale-solve`, \
+                 or the `prune` block on POST /sessions) or raise the \
+                 threshold if a flat solve over this many sources is intended"
             }
         }
     }
@@ -361,6 +374,7 @@ mod tests {
         assert_eq!(DiagCode::IsolatedSource.code(), "MUBE014");
         assert_eq!(DiagCode::ResourceBoundExceeded.code(), "MUBE015");
         assert_eq!(DiagCode::NearDuplicateSourceNames.code(), "MUBE016");
+        assert_eq!(DiagCode::UnprunedLargeCatalog.code(), "MUBE017");
     }
 
     #[test]

@@ -93,5 +93,5 @@ pub use qef::{DeltaClass, EvalContext, EvalInput, Qef, WeightedQefs};
 pub use schema::{Attribute, Schema};
 pub use session::Session;
 pub use solution::{Solution, SolutionDiff};
-pub use source::{Source, SourceSpec, Universe, UniverseBuilder};
+pub use source::{canonical_name_key, Source, SourceSpec, Universe, UniverseBuilder};
 pub use validate::{SolutionValidator, Violation};

@@ -20,6 +20,22 @@ use crate::schema::Schema;
 /// magnitude; QEF aggregation functions normalize them (§5).
 pub type Characteristics = BTreeMap<String, f64>;
 
+/// The canonical form of a source name: lowercase with everything but
+/// letters and digits dropped, so case and punctuation variants of one name
+/// (`Movie DB`, `movie_db`, `MOVIE-DB`) collapse to the same key.
+///
+/// This is the *single* definition of name equivalence used across the
+/// workspace: the MUBE016 near-duplicate diagnostic in `mube-audit` and the
+/// LSH blocking front end in `mube-scale` both derive their keys from it, so
+/// the two near-duplicate detectors can never disagree about which names are
+/// "the same". Returns an empty string for names with no alphanumerics.
+pub fn canonical_name_key(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
 /// One data source.
 #[derive(Debug, Clone)]
 pub struct Source {
@@ -338,6 +354,19 @@ mod tests {
         let u = b.build().unwrap();
         assert!(u.source(SourceId(0)).cooperates());
         assert!(!u.source(SourceId(1)).cooperates());
+    }
+
+    #[test]
+    fn canonical_name_key_collapses_variants() {
+        for variant in ["Movie DB", "movie_db", "MOVIE-DB", "movie.db", "movie db"] {
+            assert_eq!(canonical_name_key(variant), "moviedb", "{variant}");
+        }
+        assert_ne!(
+            canonical_name_key("site0001"),
+            canonical_name_key("site0002")
+        );
+        assert_eq!(canonical_name_key("___"), "");
+        assert_eq!(canonical_name_key("Straße"), "straße");
     }
 
     #[test]

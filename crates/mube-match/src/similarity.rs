@@ -48,7 +48,14 @@ impl JaccardNGram {
         JaccardNGram::new(3)
     }
 
-    fn grams(&self, s: &str) -> BTreeSet<Vec<char>> {
+    /// The n-gram set of one name: every length-`n` character window, or
+    /// the whole name as a single gram when it is shorter than `n`.
+    ///
+    /// Public so the MinHash/LSH blocking front end in `mube-scale` shingles
+    /// attribute names with *exactly* the gram definition the matcher's
+    /// Jaccard measure scores with — keeping the blocking recall argument
+    /// honest (LSH approximates the same set-Jaccard the matcher computes).
+    pub fn grams(&self, s: &str) -> BTreeSet<Vec<char>> {
         let chars: Vec<char> = s.chars().collect();
         if chars.is_empty() {
             return BTreeSet::new();

@@ -35,6 +35,7 @@
 
 pub mod anneal;
 pub mod cancel;
+pub mod hierarchy;
 pub mod portfolio;
 pub mod problem;
 pub mod pso;
@@ -43,6 +44,7 @@ pub mod tabu;
 
 pub use anneal::SimulatedAnnealing;
 pub use cancel::{CancelClock, CancelToken, ManualClock, MonotonicClock};
+pub use hierarchy::{solve_two_level, RestrictedObjective, TwoLevelResult};
 pub use portfolio::{
     budgeted_member, default_member, member_panics_total, parse_portfolio_spec, MemberRun,
     Portfolio, PortfolioRun,

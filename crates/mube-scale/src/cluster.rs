@@ -1,0 +1,227 @@
+//! Per-cluster representatives and the coarse cluster universe.
+//!
+//! After LSH blocking, each cluster of near-duplicate sources is condensed
+//! into one representative pseudo-source the coarse solve can treat like
+//! any other [`mube_core::source::Source`]:
+//!
+//! * **schema** — the most frequent attribute names across members (count
+//!   desc, name asc), capped at the largest member schema, so the coarse
+//!   matcher sees the family's consensus vocabulary;
+//! * **signature** — the PCSA union of member signatures. PCSA unions are
+//!   exactly the sketch of the union of the member tuple sets, so coverage
+//!   and redundancy QEFs score the cluster as "all members combined";
+//! * **cardinality** — the sum of member cardinalities (the union's upper
+//!   bound, consistent with how a cluster would report itself);
+//! * **characteristics** — per-name means over the members that report
+//!   them.
+//!
+//! Representative names are `c{cluster:04}~{exemplar}` where the exemplar
+//! is the smallest-index member — unique by construction and readable in
+//! reports.
+
+use mube_core::error::MubeError;
+use mube_core::schema::Schema;
+use mube_core::source::{Characteristics, SourceSpec, Universe};
+use mube_sketch::PcsaSignature;
+
+use crate::lsh::Blocks;
+use crate::stream::SourceRecord;
+
+/// One cluster's representative, plus the bookkeeping to expand it again.
+pub struct ClusterRep {
+    /// Positions (into the survivor record slice) of the members.
+    pub members: Vec<usize>,
+    /// Unique display name.
+    pub name: String,
+    /// Consensus schema.
+    pub schema: Schema,
+    /// Summed member cardinality.
+    pub cardinality: u64,
+    /// PCSA union of the cooperating members' signatures.
+    pub signature: Option<PcsaSignature>,
+    /// Per-name mean characteristics.
+    pub characteristics: Characteristics,
+}
+
+/// Builds one representative per cluster. Forces member signatures — call
+/// only on the (bounded) survivor set, never the raw catalog.
+///
+/// # Panics
+///
+/// Panics if a cluster references a position outside `records`, or if two
+/// members carry PCSA signatures with mismatched configurations (the
+/// streaming generators and catalog loader both enforce one shared config).
+pub fn build_representatives(records: &[SourceRecord], blocks: &Blocks) -> Vec<ClusterRep> {
+    blocks
+        .clusters
+        .iter()
+        .enumerate()
+        .map(|(ci, members)| {
+            assert!(!members.is_empty(), "clusters are never empty");
+            let exemplar = &records[members[0]];
+
+            // Attribute-name frequency across members; deterministic order.
+            let mut counts: std::collections::BTreeMap<&str, usize> =
+                std::collections::BTreeMap::new();
+            let mut max_len = 0usize;
+            for &m in members {
+                let schema = &records[m].schema;
+                max_len = max_len.max(schema.len());
+                for (_, attr) in schema.iter() {
+                    *counts.entry(attr.name()).or_default() += 1;
+                }
+            }
+            let mut names: Vec<(&str, usize)> = counts.into_iter().collect();
+            names.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+            let schema = Schema::new(
+                names
+                    .into_iter()
+                    .take(max_len)
+                    .map(|(name, _)| name.to_string()),
+            );
+
+            let mut cardinality = 0u64;
+            let mut signature: Option<PcsaSignature> = None;
+            let mut sums: Characteristics = Characteristics::new();
+            let mut counts_ch: std::collections::BTreeMap<String, u64> =
+                std::collections::BTreeMap::new();
+            for &m in members {
+                let r = &records[m];
+                cardinality += r.cardinality;
+                if let Some(sig) = r.signature.force() {
+                    match &mut signature {
+                        None => signature = Some(sig),
+                        Some(acc) => acc
+                            .union_assign(&sig)
+                            .expect("survivors share one PCSA config"),
+                    }
+                }
+                for (name, value) in &r.characteristics {
+                    *sums.entry(name.clone()).or_default() += value;
+                    *counts_ch.entry(name.clone()).or_default() += 1;
+                }
+            }
+            let characteristics: Characteristics = sums
+                .into_iter()
+                .map(|(name, sum)| {
+                    let n = counts_ch[&name];
+                    (name, sum / n as f64)
+                })
+                .collect();
+
+            ClusterRep {
+                members: members.clone(),
+                name: format!("c{ci:04}~{}", exemplar.name),
+                schema,
+                cardinality,
+                signature,
+                characteristics,
+            }
+        })
+        .collect()
+}
+
+/// Materializes the coarse universe: cluster `i` becomes source id `i`.
+pub fn cluster_universe(reps: &[ClusterRep]) -> Result<Universe, MubeError> {
+    let mut builder = Universe::builder();
+    for rep in reps {
+        let mut spec =
+            SourceSpec::new(rep.name.clone(), rep.schema.clone()).cardinality(rep.cardinality);
+        if let Some(sig) = &rep.signature {
+            spec = spec.signature(sig.clone());
+        }
+        for (name, value) in &rep.characteristics {
+            spec = spec.characteristic(name.clone(), *value);
+        }
+        builder.add_source(spec);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsh::{block, LshConfig};
+    use crate::stream::{SourceStream, UniverseStream};
+    use mube_sketch::pcsa::PcsaConfig;
+
+    fn sig(keys: std::ops::Range<u64>) -> PcsaSignature {
+        let mut s = PcsaSignature::new(PcsaConfig::new(64, 32, 7));
+        for k in keys {
+            s.insert(k);
+        }
+        s
+    }
+
+    fn records() -> Vec<SourceRecord> {
+        let mut b = Universe::builder();
+        b.add_source(
+            SourceSpec::new(
+                "m1",
+                Schema::new(["movie title", "director name", "release year"]),
+            )
+            .cardinality(100)
+            .signature(sig(0..100))
+            .characteristic("mttf", 100.0),
+        );
+        b.add_source(
+            SourceSpec::new(
+                "m2",
+                Schema::new(["movie title", "director name", "running time"]),
+            )
+            .cardinality(200)
+            .signature(sig(50..250))
+            .characteristic("mttf", 50.0),
+        );
+        b.add_source(
+            SourceSpec::new("b1", Schema::new(["hardback price", "publisher city"]))
+                .cardinality(50)
+                .signature(sig(500..550)),
+        );
+        let u = b.build().unwrap();
+        let stream = UniverseStream::new(&u);
+        (0..stream.len()).map(|i| stream.get(i)).collect()
+    }
+
+    #[test]
+    fn representatives_condense_clusters() {
+        let records = records();
+        let blocks = block(&records, &LshConfig::default());
+        assert_eq!(blocks.clusters, vec![vec![0, 1], vec![2]]);
+        let reps = build_representatives(&records, &blocks);
+        assert_eq!(reps.len(), 2);
+        let movies = &reps[0];
+        assert_eq!(movies.members, vec![0, 1]);
+        assert_eq!(movies.cardinality, 300);
+        assert!(movies.name.starts_with("c0000~m1"), "{}", movies.name);
+        // Consensus schema: shared names first, capped at max member size.
+        let names: Vec<&str> = movies.schema.iter().map(|(_, a)| a.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert_eq!(&names[..2], &["director name", "movie title"]);
+        // Mean characteristic over reporting members only.
+        assert_eq!(movies.characteristics.get("mttf"), Some(&75.0));
+    }
+
+    #[test]
+    fn representative_signature_is_the_member_union() {
+        let records = records();
+        let blocks = block(&records, &LshConfig::default());
+        let reps = build_representatives(&records, &blocks);
+        let est = reps[0].signature.as_ref().unwrap().estimate();
+        // Members cover tuple ids 0..250 (union 250); the PCSA estimate of
+        // the union must be far closer to 250 than to the sum 300.
+        let direct = sig(0..250).estimate();
+        assert!((est - direct).abs() < 1e-9, "union is exact on registers");
+    }
+
+    #[test]
+    fn cluster_universe_is_buildable_and_dense() {
+        let records = records();
+        let blocks = block(&records, &LshConfig::default());
+        let reps = build_representatives(&records, &blocks);
+        let u = cluster_universe(&reps).unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.source(mube_core::SourceId(0)).cardinality(), 300);
+        assert!(u.source(mube_core::SourceId(0)).cooperates());
+    }
+}

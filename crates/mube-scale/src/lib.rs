@@ -1,0 +1,56 @@
+//! # mube-scale — internet-scale source selection for `µBE`
+//!
+//! The paper solves source selection over hundreds of sources; the
+//! dataspace it motivates has hundreds of thousands. This crate is the
+//! front end that closes that gap, turning a massive catalog into a
+//! tractable problem in three stages:
+//!
+//! 1. **streaming ingest** ([`stream`]) — a [`stream::SourceStream`]
+//!    yields one source record at a time, with the `O(cardinality)` PCSA
+//!    signature deferred behind [`stream::LazySignature`]; backed by
+//!    `mube-synth`'s `StreamingUniverse` (on-demand synthesis from seeds)
+//!    or an already-materialized universe. Peak memory never depends on
+//!    the catalog's total tuple count.
+//! 2. **candidate pruning** ([`relevance`], [`lsh`], [`cluster`]) — a
+//!    cheap scoring-table pass keeps the `top_k` most relevant sources,
+//!    then MinHash/LSH blocking over attribute-name 3-grams (the exact
+//!    gram definition the matcher scores with) groups near-duplicates into
+//!    clusters, each condensed to a representative with a PCSA-union
+//!    signature. Sources whose names collapse under
+//!    [`mube_core::canonical_name_key`] — the MUBE016 normalization — are
+//!    guaranteed to co-cluster.
+//! 3. **hierarchical two-level solve** ([`solve`]) — a coarse `Problem`
+//!    over the cluster universe picks the best families under the existing
+//!    solver/DeltaEval machinery, the winners expand back to their
+//!    members, and a fine sub-universe `Problem` produces the final
+//!    [`mube_core::Solution`], which the unchanged `SolutionValidator`
+//!    must (and does) accept.
+//!
+//! ```
+//! use mube_opt::{CancelToken, TabuSearch};
+//! use mube_scale::{scale_solve, ScaleOptions, SynthStream};
+//! use mube_synth::{StreamingUniverse, SynthConfig};
+//!
+//! let stream = SynthStream::new(StreamingUniverse::new(SynthConfig::small(50), 7));
+//! let mut opts = ScaleOptions::new(4);
+//! opts.top_k = 30;
+//! opts.theta = 0.3;
+//! let report = scale_solve(&stream, &opts, &TabuSearch::default(), &CancelToken::none())
+//!     .expect("feasible");
+//! assert!(report.solution.sources.len() <= 4);
+//! assert!(report.survivors <= 30);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod lsh;
+pub mod relevance;
+pub mod solve;
+pub mod stream;
+
+pub use cluster::{build_representatives, cluster_universe, ClusterRep};
+pub use lsh::{block, block_with_threads, Blocks, LshConfig};
+pub use relevance::{score, top_k, RelevanceQuery, Scored, ScoringTable};
+pub use solve::{scale_solve, ScaleOptions, ScaleReport};
+pub use stream::{LazySignature, SourceRecord, SourceStream, SynthStream, UniverseStream};

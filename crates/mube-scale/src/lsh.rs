@@ -1,0 +1,373 @@
+//! MinHash/LSH blocking over attribute-name 3-gram sets.
+//!
+//! The second pruning stage groups *near-duplicate* sources — perturbed
+//! copies of the same base schema, mirrors under slightly different names —
+//! into clusters, so the coarse solve selects among schema families instead
+//! of among individual mirrors. Similarity here is the Jaccard coefficient
+//! between the union of each source's attribute-name 3-gram sets, estimated
+//! by `MinHash`: `P[minhash_i(A) = minhash_i(B)] = J(A, B)`. Banding the
+//! signature turns that into a locality-sensitive hash: sources agreeing on
+//! *all* rows of at least one band land in the same bucket, and co-bucketed
+//! sources merge via union–find.
+//!
+//! Two deliberate alignments with the rest of the workspace:
+//!
+//! * the 3-gram shingles are [`JaccardNGram::grams`] — byte-for-byte the
+//!   gram definition the matcher's similarity measure scores with, so LSH
+//!   recall approximates the same Jaccard the matcher later computes;
+//! * an extra *name band* buckets sources by
+//!   [`mube_core::canonical_name_key`], the MUBE016 normalization — two
+//!   sources the audit calls near-duplicates by name can never land in
+//!   different clusters.
+//!
+//! Signature computation is embarrassingly parallel and
+//! [`block_with_threads`] exploits that with scoped threads writing
+//! disjoint chunks of a preallocated signature table; bucketing and
+//! union–find are then sequential over the table in index order, so the
+//! result is **byte-identical for every thread count**.
+
+use std::collections::BTreeMap;
+
+use mube_core::canonical_name_key;
+use mube_match::JaccardNGram;
+use mube_sketch::hash::{fnv1a64, Mix64};
+
+use crate::stream::SourceRecord;
+
+/// MinHash/LSH parameters.
+#[derive(Debug, Clone)]
+pub struct LshConfig {
+    /// Signature length: `bands × rows_per_band`.
+    pub num_hashes: usize,
+    /// Number of bands. More bands (fewer rows each) lowers the similarity
+    /// threshold at which sources start colliding (`t ≈ (1/b)^(1/r)`).
+    pub bands: usize,
+    /// Seed of the `MinHash` function family.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    /// 32 hashes in 8 bands of 4 rows: collision threshold ≈ 0.6 Jaccard,
+    /// tuned for "perturbed copy of the same base schema".
+    fn default() -> Self {
+        LshConfig {
+            num_hashes: 32,
+            bands: 8,
+            seed: 0x006C_7368, // "lsh"
+        }
+    }
+}
+
+impl LshConfig {
+    fn rows_per_band(&self) -> usize {
+        assert!(
+            self.bands > 0 && self.num_hashes > 0,
+            "degenerate LSH config"
+        );
+        assert!(
+            self.num_hashes.is_multiple_of(self.bands),
+            "num_hashes must be divisible by bands"
+        );
+        self.num_hashes / self.bands
+    }
+}
+
+/// The blocking outcome: a partition of record positions into clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blocks {
+    /// Clusters of positions into the record slice handed to [`block`].
+    /// Each cluster is sorted ascending; clusters are sorted by their
+    /// smallest member. Singletons are included — every input position
+    /// appears exactly once.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+/// One record's `MinHash` signature plus its canonical-name key hash.
+struct RecordSketch {
+    minhash: Vec<u64>,
+    name_key: Option<u64>,
+}
+
+/// The 3-gram set of a record: the union of its attribute names' grams,
+/// each gram folded to a `u64`. Uses the matcher's gram definition.
+fn gram_hashes(record: &SourceRecord, grams: &JaccardNGram) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (_, attr) in record.schema.iter() {
+        for gram in grams.grams(attr.name()) {
+            let text: String = gram.into_iter().collect();
+            out.push(fnv1a64(text.as_bytes()));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn sketch(record: &SourceRecord, cfg: &LshConfig, grams: &JaccardNGram) -> RecordSketch {
+    let hashes = gram_hashes(record, grams);
+    let minhash = (0..cfg.num_hashes)
+        .map(|i| {
+            let h = Mix64::new(cfg.seed.wrapping_add(i as u64));
+            hashes
+                .iter()
+                .map(|&g| h.hash_u64(g))
+                .min()
+                .unwrap_or(u64::MAX)
+        })
+        .collect();
+    let key = canonical_name_key(&record.name);
+    RecordSketch {
+        minhash,
+        name_key: (!key.is_empty()).then(|| fnv1a64(key.as_bytes())),
+    }
+}
+
+/// Disjoint-set forest with path halving; union by smaller root so cluster
+/// representatives are always the smallest member (determinism).
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Blocks records into near-duplicate clusters. Sequential form of
+/// [`block_with_threads`].
+pub fn block(records: &[SourceRecord], cfg: &LshConfig) -> Blocks {
+    block_with_threads(records, cfg, 1)
+}
+
+/// Blocks records into near-duplicate clusters, computing `MinHash`
+/// signatures with up to `threads` OS threads.
+///
+/// Determinism contract: the returned [`Blocks`] are byte-identical for
+/// every `threads` value — each record's signature is a pure function of
+/// the record and the seed, threads write disjoint signature slots, and
+/// everything after the signature table is sequential in index order.
+pub fn block_with_threads(records: &[SourceRecord], cfg: &LshConfig, threads: usize) -> Blocks {
+    let rows = cfg.rows_per_band();
+    let grams = JaccardNGram::trigram();
+    let n = records.len();
+    if n == 0 {
+        return Blocks {
+            clusters: Vec::new(),
+        };
+    }
+
+    let mut sketches: Vec<Option<RecordSketch>> = Vec::with_capacity(n);
+    sketches.resize_with(n, || None);
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        for (slot, record) in sketches.iter_mut().zip(records) {
+            *slot = Some(sketch(record, cfg, &grams));
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (slots, recs) in sketches.chunks_mut(chunk).zip(records.chunks(chunk)) {
+                let grams = &grams;
+                scope.spawn(move || {
+                    for (slot, record) in slots.iter_mut().zip(recs) {
+                        *slot = Some(sketch(record, cfg, grams));
+                    }
+                });
+            }
+        });
+    }
+
+    // Band buckets: key = (band index, hash of the band's rows). BTreeMap
+    // iteration order is irrelevant for the result (union-find is
+    // order-insensitive given smallest-root union), but deterministic
+    // anyway.
+    let mut buckets: BTreeMap<(usize, u64), Vec<usize>> = BTreeMap::new();
+    for (i, slot) in sketches.iter().enumerate() {
+        let s = slot.as_ref().expect("every slot filled above");
+        for band in 0..cfg.bands {
+            let row_slice = &s.minhash[band * rows..(band + 1) * rows];
+            let mut bytes = Vec::with_capacity(rows * 8);
+            for v in row_slice {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            buckets.entry((band, fnv1a64(&bytes))).or_default().push(i);
+        }
+        // The canonical-name band: MUBE016-equal names always co-bucket.
+        if let Some(key) = s.name_key {
+            buckets.entry((cfg.bands, key)).or_default().push(i);
+        }
+    }
+
+    let mut uf = UnionFind::new(n);
+    for members in buckets.values() {
+        for window in members.windows(2) {
+            uf.union(window[0], window[1]);
+        }
+    }
+
+    let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..n {
+        let root = uf.find(i);
+        by_root.entry(root).or_default().push(i);
+    }
+    Blocks {
+        clusters: by_root.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::LazySignature;
+    use mube_core::schema::Schema;
+    use mube_core::source::Characteristics;
+
+    fn rec(index: usize, name: &str, attrs: &[&str]) -> SourceRecord {
+        SourceRecord {
+            index,
+            name: name.to_string(),
+            schema: Schema::new(attrs.iter().map(|a| (*a).to_string())),
+            cardinality: 10,
+            characteristics: Characteristics::new(),
+            signature: LazySignature::Absent,
+        }
+    }
+
+    #[test]
+    fn identical_schemas_cluster_together() {
+        let records = vec![
+            rec(0, "a", &["book title", "author name", "isbn number"]),
+            rec(1, "b", &["book title", "author name", "isbn number"]),
+            rec(2, "c", &["departure airport", "arrival airport", "fare"]),
+        ];
+        let blocks = block(&records, &LshConfig::default());
+        assert_eq!(blocks.clusters, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn lightly_perturbed_schemas_cluster() {
+        let records = vec![
+            rec(
+                0,
+                "a",
+                &["book title", "author name", "isbn number", "price"],
+            ),
+            rec(
+                1,
+                "b",
+                &["book title", "author name", "isbn number", "publisher"],
+            ),
+            rec(2, "c", &["wingspan", "altitude", "fuel capacity"]),
+        ];
+        let blocks = block(&records, &LshConfig::default());
+        assert_eq!(blocks.clusters.len(), 2, "{:?}", blocks.clusters);
+        assert_eq!(blocks.clusters[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn canonical_name_band_forces_mube016_pairs_together() {
+        // Disjoint schemas (no gram collisions) but MUBE016-equal names.
+        let records = vec![
+            rec(0, "Movie DB", &["departure airport"]),
+            rec(1, "movie_db", &["hardback price"]),
+        ];
+        let blocks = block(&records, &LshConfig::default());
+        assert_eq!(blocks.clusters, vec![vec![0, 1]]);
+        // Sanity: distinct names with the same disjoint schemas stay apart.
+        let records = vec![
+            rec(0, "alpha", &["departure airport"]),
+            rec(1, "beta", &["hardback price"]),
+        ];
+        let blocks = block(&records, &LshConfig::default());
+        assert_eq!(blocks.clusters.len(), 2);
+    }
+
+    #[test]
+    fn every_position_appears_exactly_once() {
+        let records: Vec<SourceRecord> = (0..40)
+            .map(|i| {
+                rec(
+                    i,
+                    &format!("s{i}"),
+                    &[["title", "author"], ["fare", "airline"]][i % 2],
+                )
+            })
+            .collect();
+        let blocks = block(&records, &LshConfig::default());
+        let mut seen: Vec<usize> = blocks.clusters.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
+        // Clusters sorted by smallest member, members sorted.
+        for c in &blocks.clusters {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(blocks.clusters.windows(2).all(|w| w[0][0] < w[1][0]));
+    }
+
+    #[test]
+    fn byte_deterministic_across_thread_counts() {
+        let records: Vec<SourceRecord> = (0..64)
+            .map(|i| {
+                let attrs: Vec<String> = (0..4).map(|j| format!("attr {} {}", i % 7, j)).collect();
+                SourceRecord {
+                    index: i,
+                    name: format!("site{i:04}"),
+                    schema: Schema::new(attrs),
+                    cardinality: i as u64,
+                    characteristics: Characteristics::new(),
+                    signature: LazySignature::Absent,
+                }
+            })
+            .collect();
+        let cfg = LshConfig::default();
+        let reference = block_with_threads(&records, &cfg, 1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(
+                block_with_threads(&records, &cfg, threads),
+                reference,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_changes_bucketing_potential() {
+        // Different seeds give a different hash family; the *partition* may
+        // coincide on easy inputs, but the underlying sketches must differ.
+        let r = rec(0, "x", &["book title", "author name"]);
+        let a = sketch(&r, &LshConfig::default(), &JaccardNGram::trigram());
+        let b = sketch(
+            &r,
+            &LshConfig {
+                seed: 999,
+                ..LshConfig::default()
+            },
+            &JaccardNGram::trigram(),
+        );
+        assert_ne!(a.minhash, b.minhash);
+    }
+
+    #[test]
+    fn empty_input_yields_no_clusters() {
+        assert!(block(&[], &LshConfig::default()).clusters.is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! Cheap linear relevance scoring — the first pruning stage.
+//!
+//! Before any similarity computation or signature synthesis, every streamed
+//! source gets a score from a fixed table of additive components: keyword
+//! hits against the source name and attribute names, desirable
+//! characteristics, and a logarithmic cardinality prior. One pass over the
+//! stream with a bounded min-heap keeps the top `k` — memory is `O(k)`, not
+//! `O(catalog)`.
+//!
+//! The table weights follow the classic "scoring table" idiom for source
+//! ranking front ends: exact matches dominate partial matches, name hits
+//! dominate attribute hits, and the data-volume prior only breaks ties
+//! between otherwise indistinguishable sources. Scores are *not* qualities
+//! in `[0, 1]`; they only need a total order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::stream::{SourceRecord, SourceStream};
+
+/// What the user is looking for, in keyword form.
+#[derive(Debug, Clone, Default)]
+pub struct RelevanceQuery {
+    /// Terms matched (case-insensitively) against source and attribute
+    /// names. Empty is allowed: scoring then degenerates to the
+    /// characteristic and cardinality priors.
+    pub keywords: Vec<String>,
+    /// Characteristics whose *presence* makes a source preferable (e.g.
+    /// `mttf`: the source advertises a fault profile).
+    pub prefer_characteristics: Vec<String>,
+}
+
+/// Scoring-table weights. The defaults encode exact ≫ partial and
+/// name ≫ attribute; override for experiments.
+#[derive(Debug, Clone)]
+pub struct ScoringTable {
+    /// Source name equals a keyword (canonicalized).
+    pub name_exact: f64,
+    /// Source name contains a keyword.
+    pub name_partial: f64,
+    /// An attribute name equals a keyword.
+    pub attr_exact: f64,
+    /// An attribute name contains a keyword.
+    pub attr_partial: f64,
+    /// A preferred characteristic is present.
+    pub characteristic_present: f64,
+    /// Weight on `ln(1 + cardinality)` — the volume prior.
+    pub log_cardinality: f64,
+}
+
+impl Default for ScoringTable {
+    fn default() -> Self {
+        ScoringTable {
+            name_exact: 10.0,
+            name_partial: 5.0,
+            attr_exact: 3.0,
+            attr_partial: 2.0,
+            characteristic_present: 1.0,
+            log_cardinality: 0.1,
+        }
+    }
+}
+
+/// Scores one record against a query. Pure and allocation-light: the hot
+/// path of the 100k-source scan.
+pub fn score(record: &SourceRecord, query: &RelevanceQuery, table: &ScoringTable) -> f64 {
+    let mut total = table.log_cardinality * (1.0 + record.cardinality as f64).ln();
+    let name = record.name.to_lowercase();
+    for keyword in &query.keywords {
+        let kw = keyword.to_lowercase();
+        if kw.is_empty() {
+            continue;
+        }
+        if name == kw {
+            total += table.name_exact;
+        } else if name.contains(&kw) {
+            total += table.name_partial;
+        }
+        for (_, attr) in record.schema.iter() {
+            let attr_name = attr.name().to_lowercase();
+            if attr_name == kw {
+                total += table.attr_exact;
+            } else if attr_name.contains(&kw) {
+                total += table.attr_partial;
+            }
+        }
+    }
+    for characteristic in &query.prefer_characteristics {
+        if record.characteristics.contains_key(characteristic) {
+            total += table.characteristic_present;
+        }
+    }
+    total
+}
+
+/// A survivor of the relevance stage.
+pub struct Scored {
+    /// The record itself.
+    pub record: SourceRecord,
+    /// Its relevance score.
+    pub score: f64,
+}
+
+/// Heap entry ordered worst-first so the binary heap pops the weakest
+/// survivor. Ties break toward *keeping* the lower stream index, making the
+/// survivor set deterministic for any scan order.
+struct HeapEntry {
+    score: f64,
+    record: SourceRecord,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap pops the greatest element; define "greatest" as the
+        // *worst* survivor — lowest score, ties broken toward the higher
+        // stream index — so popping evicts exactly the record we want gone.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.record.index.cmp(&other.record.index))
+    }
+}
+
+/// One streaming pass keeping the `k` best-scoring records (plus every
+/// record whose name is in `force_keep`, regardless of score — pinned
+/// sources must survive pruning). Survivors return sorted by stream index.
+pub fn top_k(
+    stream: &dyn SourceStream,
+    query: &RelevanceQuery,
+    table: &ScoringTable,
+    k: usize,
+    force_keep: &[String],
+) -> Vec<Scored> {
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    let mut forced: Vec<Scored> = Vec::new();
+    stream.visit(&mut |record| {
+        let s = score(&record, query, table);
+        if force_keep.contains(&record.name) {
+            forced.push(Scored { record, score: s });
+            return;
+        }
+        if k == 0 {
+            return;
+        }
+        heap.push(HeapEntry { score: s, record });
+        if heap.len() > k {
+            heap.pop(); // discard the current worst
+        }
+    });
+    let mut out: Vec<Scored> = heap
+        .into_iter()
+        .map(|e| Scored {
+            score: e.score,
+            record: e.record,
+        })
+        .collect();
+    out.extend(forced);
+    out.sort_by_key(|s| s.record.index);
+    out.dedup_by_key(|s| s.record.index);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::UniverseStream;
+    use mube_core::schema::Schema;
+    use mube_core::source::{SourceSpec, Universe};
+
+    fn universe() -> Universe {
+        let mut b = Universe::builder();
+        b.add_source(
+            SourceSpec::new("movies", Schema::new(["title", "director"]))
+                .cardinality(1000)
+                .characteristic("mttf", 80.0),
+        );
+        b.add_source(SourceSpec::new("books", Schema::new(["title", "author"])).cardinality(100));
+        b.add_source(SourceSpec::new("airfares", Schema::new(["fare", "airline"])).cardinality(10));
+        b.add_source(SourceSpec::new("moviedb", Schema::new(["movie title"])).cardinality(10));
+        b.build().unwrap()
+    }
+
+    fn query(words: &[&str]) -> RelevanceQuery {
+        RelevanceQuery {
+            keywords: words.iter().map(|s| (*s).to_string()).collect(),
+            prefer_characteristics: vec!["mttf".to_string()],
+        }
+    }
+
+    #[test]
+    fn keyword_hits_dominate_priors() {
+        let u = universe();
+        let stream = UniverseStream::new(&u);
+        let table = ScoringTable::default();
+        let q = query(&["movie"]);
+        let scores: Vec<f64> = (0..stream.len())
+            .map(|i| score(&stream.get(i), &q, &table))
+            .collect();
+        // "movies" (partial name hit + mttf) and "moviedb" (partial name +
+        // partial attr) outrank "books"/"airfares" despite cardinalities.
+        assert!(scores[0] > scores[1], "{scores:?}");
+        assert!(scores[3] > scores[2], "{scores:?}");
+    }
+
+    #[test]
+    fn exact_beats_partial() {
+        let u = universe();
+        let stream = UniverseStream::new(&u);
+        let table = ScoringTable::default();
+        let exact = score(&stream.get(1), &query(&["books"]), &table);
+        let partial = score(&stream.get(1), &query(&["book"]), &table);
+        assert!(exact > partial);
+    }
+
+    #[test]
+    fn top_k_is_bounded_and_sorted() {
+        let u = universe();
+        let stream = UniverseStream::new(&u);
+        let survivors = top_k(
+            &stream,
+            &query(&["title"]),
+            &ScoringTable::default(),
+            2,
+            &[],
+        );
+        assert_eq!(survivors.len(), 2);
+        assert!(survivors
+            .windows(2)
+            .all(|w| w[0].record.index < w[1].record.index));
+        // "title" is an exact attribute of sources 0 and 1.
+        let kept: Vec<usize> = survivors.iter().map(|s| s.record.index).collect();
+        assert_eq!(kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn force_keep_overrides_score() {
+        let u = universe();
+        let stream = UniverseStream::new(&u);
+        let survivors = top_k(
+            &stream,
+            &query(&["title"]),
+            &ScoringTable::default(),
+            1,
+            &["airfares".to_string()],
+        );
+        let kept: Vec<&str> = survivors.iter().map(|s| s.record.name.as_str()).collect();
+        assert!(kept.contains(&"airfares"), "{kept:?}");
+        assert_eq!(survivors.len(), 2, "1 scored + 1 forced");
+    }
+
+    #[test]
+    fn equal_scores_keep_lower_indices() {
+        // Four identical sources, k = 2: the survivor set must be the two
+        // lowest indices, deterministically.
+        let mut b = Universe::builder();
+        for i in 0..4 {
+            b.add_source(SourceSpec::new(format!("s{i}"), Schema::new(["x"])).cardinality(5));
+        }
+        let u = b.build().unwrap();
+        let stream = UniverseStream::new(&u);
+        let survivors = top_k(
+            &stream,
+            &RelevanceQuery::default(),
+            &ScoringTable::default(),
+            2,
+            &[],
+        );
+        let kept: Vec<usize> = survivors.iter().map(|s| s.record.index).collect();
+        assert_eq!(kept, vec![0, 1]);
+    }
+}

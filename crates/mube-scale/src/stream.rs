@@ -1,0 +1,266 @@
+//! Streaming catalog ingest.
+//!
+//! At internet scale the catalog cannot be a materialized [`Universe`]: a
+//! million [`mube_core::source::Source`]s with PCSA signatures is gigabytes
+//! of state, almost all of it belonging to sources the pruning front end
+//! will discard unseen. This module defines the ingest contract the rest of
+//! the pipeline works against: a [`SourceStream`] yields *records* — name,
+//! schema, cardinality, characteristics — one at a time, and defers the
+//! expensive part (the `O(cardinality)` PCSA signature) behind a
+//! [`LazySignature`] that is only forced for sources that survive pruning.
+//!
+//! Two implementations ship: [`SynthStream`] over `mube-synth`'s
+//! [`StreamingUniverse`] (on-demand synthesis from seeds; peak memory
+//! independent of the total tuple count) and [`UniverseStream`] over an
+//! already-materialized universe (the `mube-serve` `prune` path, where the
+//! catalog was uploaded in full).
+
+use mube_core::schema::Schema;
+use mube_core::source::{Characteristics, SourceSpec, Universe};
+use mube_sketch::pcsa::PcsaConfig;
+use mube_sketch::PcsaSignature;
+use mube_synth::data_gen::TupleWindows;
+use mube_synth::universe::StreamingUniverse;
+
+/// A PCSA signature that may not have been synthesized yet.
+///
+/// Forcing a signature costs `O(cardinality)` hashing for the
+/// [`LazySignature::Windows`] form, so the pipeline only does it for the
+/// (bounded) survivor set — and memoizes the result, since survivors are
+/// forced once for the cluster-representative union and again when they
+/// materialize into the fine sub-universe.
+#[derive(Debug, Clone)]
+pub enum LazySignature {
+    /// Already materialized (catalog uploads).
+    Ready(PcsaSignature),
+    /// Synthesizable on demand from interval-compressed tuple windows.
+    Windows {
+        /// The source's tuple windows.
+        windows: TupleWindows,
+        /// The PCSA configuration to synthesize under.
+        pcsa: PcsaConfig,
+        /// Synthesized at most once per record (clones carry the cache).
+        cache: std::sync::OnceLock<PcsaSignature>,
+    },
+    /// The source is uncooperative: no signature exists.
+    Absent,
+}
+
+impl LazySignature {
+    /// Wraps tuple windows for on-demand synthesis under `pcsa`.
+    pub fn windows(windows: TupleWindows, pcsa: PcsaConfig) -> Self {
+        LazySignature::Windows {
+            windows,
+            pcsa,
+            cache: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Forces the signature, synthesizing it (once) if needed. `None` for
+    /// uncooperative sources.
+    pub fn force(&self) -> Option<PcsaSignature> {
+        match self {
+            LazySignature::Ready(sig) => Some(sig.clone()),
+            LazySignature::Windows {
+                windows,
+                pcsa,
+                cache,
+            } => Some(
+                cache
+                    .get_or_init(|| windows.signature(pcsa.clone()))
+                    .clone(),
+            ),
+            LazySignature::Absent => None,
+        }
+    }
+}
+
+/// One source as seen by the pruning front end: everything cheap, with the
+/// signature deferred.
+#[derive(Debug, Clone)]
+pub struct SourceRecord {
+    /// Position in the stream (`0..stream.len()`); the stable identity the
+    /// pipeline uses until a sub-universe is built.
+    pub index: usize,
+    /// Source name.
+    pub name: String,
+    /// The source's schema.
+    pub schema: Schema,
+    /// Reported tuple count.
+    pub cardinality: u64,
+    /// Non-functional characteristics.
+    pub characteristics: Characteristics,
+    /// The deferred PCSA signature.
+    pub signature: LazySignature,
+}
+
+impl SourceRecord {
+    /// Converts into a [`SourceSpec`], forcing the signature (for survivor
+    /// sources entering a sub-universe).
+    pub fn into_spec(self) -> SourceSpec {
+        let mut spec = SourceSpec::new(self.name, self.schema).cardinality(self.cardinality);
+        if let Some(sig) = self.signature.force() {
+            spec = spec.signature(sig);
+        }
+        for (name, value) in &self.characteristics {
+            spec = spec.characteristic(name.clone(), *value);
+        }
+        spec
+    }
+}
+
+/// A finite, indexable stream of source records.
+///
+/// `get` must be pure: calling it twice with the same index yields the same
+/// record (the pipeline relies on this to re-fetch survivors by index
+/// instead of holding every record in memory). Object-safe, so pipelines
+/// take `&dyn SourceStream`.
+pub trait SourceStream {
+    /// Number of sources in the stream.
+    fn len(&self) -> usize;
+
+    /// True if the stream has no sources.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Synthesizes or fetches the record at `index` (`< len`).
+    fn get(&self, index: usize) -> SourceRecord;
+
+    /// Visits every record in index order, one at a time. The default
+    /// drives [`SourceStream::get`]; implementations with cheaper
+    /// sequential access may override.
+    fn visit(&self, f: &mut dyn FnMut(SourceRecord)) {
+        for i in 0..self.len() {
+            f(self.get(i));
+        }
+    }
+}
+
+/// Streams a [`StreamingUniverse`]: constant-memory on-demand synthesis.
+pub struct SynthStream {
+    inner: StreamingUniverse,
+}
+
+impl SynthStream {
+    /// Wraps a streaming synthetic universe.
+    pub fn new(inner: StreamingUniverse) -> Self {
+        SynthStream { inner }
+    }
+
+    /// The wrapped generator.
+    pub fn inner(&self) -> &StreamingUniverse {
+        &self.inner
+    }
+}
+
+impl SourceStream for SynthStream {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn get(&self, index: usize) -> SourceRecord {
+        let src = self.inner.source(index);
+        let characteristics: Characteristics = src
+            .characteristics
+            .iter()
+            .map(|&(name, value)| (name.to_string(), value))
+            .collect();
+        SourceRecord {
+            index,
+            name: src.name,
+            schema: src.schema,
+            cardinality: src.cardinality,
+            characteristics,
+            signature: LazySignature::windows(src.windows, self.inner.pcsa().clone()),
+        }
+    }
+}
+
+/// Streams an already-materialized [`Universe`] — the ingest adapter for
+/// catalogs that were uploaded in full (the server's `prune` path).
+pub struct UniverseStream<'a> {
+    universe: &'a Universe,
+}
+
+impl<'a> UniverseStream<'a> {
+    /// Wraps a universe.
+    pub fn new(universe: &'a Universe) -> Self {
+        UniverseStream { universe }
+    }
+}
+
+impl SourceStream for UniverseStream<'_> {
+    fn len(&self) -> usize {
+        self.universe.len()
+    }
+
+    fn get(&self, index: usize) -> SourceRecord {
+        let src = self.universe.source(mube_core::SourceId(index as u32));
+        SourceRecord {
+            index,
+            name: src.name().to_string(),
+            schema: src.schema().clone(),
+            cardinality: src.cardinality(),
+            characteristics: src.characteristics().clone(),
+            signature: src
+                .signature()
+                .map_or(LazySignature::Absent, |s| LazySignature::Ready(s.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_core::source::SourceSpec;
+    use mube_synth::SynthConfig;
+
+    #[test]
+    fn synth_stream_defers_signatures() {
+        let stream = SynthStream::new(StreamingUniverse::new(SynthConfig::small(10), 3));
+        assert_eq!(stream.len(), 10);
+        let rec = stream.get(4);
+        assert_eq!(rec.index, 4);
+        assert!(matches!(rec.signature, LazySignature::Windows { .. }));
+        let sig = rec.signature.force().expect("synthesizable");
+        // Forcing twice is deterministic.
+        let again = stream.get(4).signature.force().expect("synthesizable");
+        assert_eq!(sig.estimate().to_bits(), again.estimate().to_bits());
+    }
+
+    #[test]
+    fn visit_covers_every_index_in_order() {
+        let stream = SynthStream::new(StreamingUniverse::new(SynthConfig::small(7), 1));
+        let mut seen = Vec::new();
+        stream.visit(&mut |rec| seen.push(rec.index));
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn universe_stream_roundtrips_records() {
+        let mut b = Universe::builder();
+        b.add_source(
+            SourceSpec::new("alpha", Schema::new(["title"]))
+                .cardinality(10)
+                .characteristic("mttf", 50.0),
+        );
+        b.add_source(SourceSpec::new("beta", Schema::new(["name"])).cardinality(20));
+        let u = b.build().unwrap();
+        let stream = UniverseStream::new(&u);
+        assert_eq!(stream.len(), 2);
+        let rec = stream.get(0);
+        assert_eq!(rec.name, "alpha");
+        assert_eq!(rec.cardinality, 10);
+        assert_eq!(rec.characteristics.get("mttf"), Some(&50.0));
+        assert!(matches!(rec.signature, LazySignature::Absent));
+        // Records rebuild into specs that produce an equivalent universe.
+        let mut b2 = Universe::builder();
+        stream.visit(&mut |rec| {
+            b2.add_source(rec.into_spec());
+        });
+        let u2 = b2.build().unwrap();
+        assert_eq!(u2.len(), 2);
+        assert_eq!(u2.source_by_name("beta").unwrap().cardinality(), 20);
+    }
+}

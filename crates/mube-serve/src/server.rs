@@ -597,6 +597,140 @@ struct BuiltSession {
     session: Session,
     solver_name: String,
     seed: u64,
+    pruned: Option<PruneStats>,
+}
+
+/// What the optional `prune` block did, echoed in the 201 response.
+struct PruneStats {
+    /// Sources in the uploaded catalog.
+    catalog_sources: usize,
+    /// Survivors of the relevance stage.
+    survivors: usize,
+    /// LSH near-duplicate clusters over the survivors.
+    clusters: usize,
+    /// Sources in the session's working universe after (optional) dedup.
+    kept: usize,
+}
+
+/// Applies the `prune: {…}` block: one relevance pass keeps the `top_k`
+/// best-scoring sources (pinned names are always kept), then MinHash/LSH
+/// blocking groups near-duplicates; with `"dedup": true` only each
+/// cluster's best-scoring member (plus pinned members) survives. Returns
+/// the reduced universe the session's problem is built over.
+fn prune_universe(
+    universe: &Universe,
+    spec: &Json,
+    pins: Option<&Json>,
+) -> Result<(Universe, PruneStats), ApiError> {
+    use mube_scale::{block, top_k, LshConfig, RelevanceQuery, ScoringTable, UniverseStream};
+
+    if spec.as_object().is_none() {
+        return Err(ApiError::new(
+            400,
+            "bad_request",
+            "`prune` must be an object",
+        ));
+    }
+    let k = match spec.get("top_k") {
+        Some(v) => v.as_usize().filter(|&n| n >= 1).ok_or_else(|| {
+            ApiError::new(
+                400,
+                "bad_request",
+                "`prune.top_k` must be a positive integer",
+            )
+        })?,
+        None => 1_500,
+    };
+    let keywords = match spec.get("keywords") {
+        Some(v) => {
+            let arr = v.as_array().ok_or_else(|| {
+                ApiError::new(400, "bad_request", "`prune.keywords` must be an array")
+            })?;
+            let mut out = Vec::new();
+            for w in arr {
+                out.push(
+                    w.as_str()
+                        .ok_or_else(|| {
+                            ApiError::new(
+                                400,
+                                "bad_request",
+                                "`prune.keywords` entries must be strings",
+                            )
+                        })?
+                        .to_string(),
+                );
+            }
+            out
+        }
+        None => Vec::new(),
+    };
+    let dedup = match spec.get("dedup") {
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| ApiError::new(400, "bad_request", "`prune.dedup` must be a boolean"))?,
+        None => false,
+    };
+    // Pinned names are force-kept; unknown names surface as 422s when the
+    // pins resolve against the pruned universe below.
+    let pin_names: Vec<String> = pins
+        .and_then(Json::as_array)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|p| p.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let stream = UniverseStream::new(universe);
+    let query = RelevanceQuery {
+        keywords,
+        prefer_characteristics: vec!["mttf".to_string()],
+    };
+    let survivors = top_k(&stream, &query, &ScoringTable::default(), k, &pin_names);
+    let scores: Vec<f64> = survivors.iter().map(|s| s.score).collect();
+    let records: Vec<mube_scale::SourceRecord> = survivors.into_iter().map(|s| s.record).collect();
+    let blocks = block(&records, &LshConfig::default());
+
+    let kept: Vec<usize> = if dedup {
+        let mut kept = Vec::new();
+        for members in &blocks.clusters {
+            let mut best = members[0];
+            for &m in members {
+                if scores[m] > scores[best] {
+                    best = m;
+                }
+            }
+            kept.push(best);
+            for &m in members {
+                if m != best && pin_names.iter().any(|n| *n == records[m].name) {
+                    kept.push(m);
+                }
+            }
+        }
+        kept.sort_unstable();
+        kept
+    } else {
+        (0..records.len()).collect()
+    };
+
+    let stats = PruneStats {
+        catalog_sources: universe.len(),
+        survivors: records.len(),
+        clusters: blocks.clusters.len(),
+        kept: kept.len(),
+    };
+    let mut builder = Universe::builder();
+    for &p in &kept {
+        builder.add_source(records[p].clone().into_spec());
+    }
+    let pruned = builder.build().map_err(|e| {
+        ApiError::new(
+            422,
+            "invalid_parameter",
+            &format!("pruning left no usable catalog: {e}"),
+        )
+    })?;
+    Ok((pruned, stats))
 }
 
 /// Parses and validates a session-creation body into a ready [`Session`].
@@ -619,6 +753,20 @@ fn build_session_from_body(
         )
     })?;
     let universe = Arc::clone(&entry.universe);
+
+    // Optional pruning front end (see PROTOCOL.md `prune`): reduce the
+    // catalog to a relevant, deduplicated candidate set before the problem
+    // is built. Runs inside this shared builder, so journal replay
+    // re-prunes deterministically from the recorded request body.
+    let mut pruned_stats: Option<PruneStats> = None;
+    let universe = match body.get("prune") {
+        Some(spec) => {
+            let (pruned, stats) = prune_universe(&universe, spec, body.get("pins"))?;
+            pruned_stats = Some(stats);
+            Arc::new(pruned)
+        }
+        None => universe,
+    };
 
     let max_sources = match body.get("max_sources") {
         Some(v) => v.as_usize().ok_or_else(|| {
@@ -683,10 +831,19 @@ fn build_session_from_body(
         }
     }
 
-    let matcher: Arc<dyn MatchOperator> = Arc::new(ClusterMatcher::with_cache(
-        &universe,
-        Arc::clone(&entry.cache),
-    ));
+    // The catalog entry's similarity cache was interned over the *full*
+    // universe; a pruned session gets a fresh matcher over its own subset.
+    let matcher: Arc<dyn MatchOperator> = if pruned_stats.is_some() {
+        Arc::new(ClusterMatcher::new(
+            Arc::clone(&universe),
+            JaccardNGram::trigram(),
+        ))
+    } else {
+        Arc::new(ClusterMatcher::with_cache(
+            &universe,
+            Arc::clone(&entry.cache),
+        ))
+    };
     let problem = Problem::new(Arc::clone(&universe), matcher, qefs, constraints.clone())
         .map_err(|e| conflict_error(&e, &universe, &constraints))?;
 
@@ -774,6 +931,7 @@ fn build_session_from_body(
         session,
         solver_name,
         seed,
+        pruned: pruned_stats,
     })
 }
 
@@ -826,6 +984,15 @@ fn create_session(state: &ServerState, req: &Request) -> Result<(u16, String), A
     j.key("seed").uint_value(built.seed);
     j.key("solver").str_value(&built.solver_name);
     j.key("evicted").uint_value(evicted_total);
+    if let Some(p) = &built.pruned {
+        j.key("pruned").begin_obj();
+        j.key("catalog_sources")
+            .uint_value(p.catalog_sources as u64);
+        j.key("survivors").uint_value(p.survivors as u64);
+        j.key("clusters").uint_value(p.clusters as u64);
+        j.key("kept").uint_value(p.kept as u64);
+        j.end_obj();
+    }
     j.end_obj();
     Ok((201, j.finish()))
 }

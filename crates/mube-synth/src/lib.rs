@@ -49,4 +49,6 @@ pub mod universe;
 
 pub use domains::DomainKind;
 pub use ground_truth::{GaQualityReport, GroundTruth};
-pub use universe::{generate, generate_mixed, SynthConfig, SynthUniverse};
+pub use universe::{
+    generate, generate_mixed, StreamedSource, StreamingUniverse, SynthConfig, SynthUniverse,
+};

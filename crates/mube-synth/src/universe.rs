@@ -112,6 +112,20 @@ impl SynthConfig {
         }
     }
 
+    /// A configuration sized for the internet-scale experiments: 100k–1M
+    /// sources with modest per-source cardinalities, so a full streaming
+    /// scan (including on-demand PCSA synthesis for the survivors of
+    /// pruning) stays within a CI time budget.
+    pub fn scale(num_sources: usize) -> Self {
+        SynthConfig {
+            num_sources,
+            min_cardinality: 100,
+            max_cardinality: 5_000,
+            pool: PoolLayout::new(100_000),
+            ..SynthConfig::paper(num_sources)
+        }
+    }
+
     /// The PCSA configuration all sources share.
     pub fn pcsa(&self) -> PcsaConfig {
         PcsaConfig::new(self.pcsa_maps, self.pcsa_bits, self.pcsa_seed)
@@ -293,6 +307,229 @@ pub fn generate_mixed(
     }
 }
 
+/// Stream-constant separating each source's *content* draw (schema,
+/// cardinality, tuple windows) from the shared setup stream. Odd, so the
+/// multiplied per-source offsets never collide.
+const CONTENT_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
+/// Stream-constant for the per-source *fault profile* draw, matching the
+/// derivation [`generate_mixed`] uses for its fault characteristics.
+const FAULT_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One source emitted by a [`StreamingUniverse`].
+///
+/// Carries everything cheap to synthesize — name, schema, cardinality,
+/// interval-compressed tuple windows, characteristics — but *not* the PCSA
+/// signature, whose construction is `O(cardinality)` hashing. Call
+/// [`StreamedSource::signature`] (or [`StreamedSource::into_spec`], which
+/// does it for you) only for sources that survive pruning; a streaming scan
+/// over the whole catalog then costs schema synthesis only.
+#[derive(Debug, Clone)]
+pub struct StreamedSource {
+    /// The source's position in the stream (`0..len`).
+    pub index: usize,
+    /// Source name, `site{index:04}` like the materializing generator.
+    pub name: String,
+    /// The source's schema.
+    pub schema: Schema,
+    /// Realized distinct-tuple count (after window merging).
+    pub cardinality: u64,
+    /// Interval-compressed tuple windows — `O(1)` memory per source.
+    pub windows: TupleWindows,
+    /// Whether the schema is a perturbed copy of a base schema.
+    pub perturbed: bool,
+    /// Non-functional characteristics: mttf, latency, availability.
+    pub characteristics: Vec<(&'static str, f64)>,
+    pcsa: PcsaConfig,
+}
+
+impl StreamedSource {
+    /// Synthesizes the source's PCSA signature from its tuple windows.
+    /// `O(cardinality)` time, `O(signature)` memory.
+    pub fn signature(&self) -> mube_sketch::PcsaSignature {
+        self.windows.signature(self.pcsa.clone())
+    }
+
+    /// Converts into a [`SourceSpec`] (synthesizing the signature), ready
+    /// for a [`mube_core::source::UniverseBuilder`].
+    pub fn into_spec(self) -> SourceSpec {
+        let signature = self.signature();
+        let mut spec = SourceSpec::new(self.name, self.schema)
+            .cardinality(self.cardinality)
+            .signature(signature);
+        for (name, value) in self.characteristics {
+            spec = spec.characteristic(name, value);
+        }
+        spec
+    }
+}
+
+/// A synthetic universe that is never materialized: sources are synthesized
+/// on demand from per-source seed streams, so iterating 100k–1M sources
+/// holds only the (bounded) base-schema pool plus one source at a time in
+/// memory — peak memory is independent of the total tuple count.
+///
+/// Unlike [`generate`], which interleaves every source's draws on one RNG
+/// stream, each streamed source draws from its own stream derived from
+/// `(seed, index)`. That makes [`StreamingUniverse::source`] `O(1)` random
+/// access (plus schema-synthesis cost) and the stream trivially resumable,
+/// at the price of not being byte-identical with the materializing
+/// generator. Determinism contract: identical `(config, domains, seed)`
+/// produce identical sources at every index, on any machine and from any
+/// number of threads.
+pub struct StreamingUniverse {
+    config: SynthConfig,
+    domains: Vec<crate::domains::DomainKind>,
+    seed: u64,
+    bases_by_domain: Vec<Vec<crate::schema_gen::GeneratedSchema>>,
+    zipf: BoundedZipf,
+    pcsa: PcsaConfig,
+}
+
+impl StreamingUniverse {
+    /// Sets up a single-domain stream (the domain in `config.schema`).
+    pub fn new(config: SynthConfig, seed: u64) -> Self {
+        let domain = config.schema.domain;
+        Self::mixed(config, &[domain], seed)
+    }
+
+    /// Sets up a stream whose sources cycle through several BAMM domains,
+    /// mirroring [`generate_mixed`].
+    pub fn mixed(config: SynthConfig, domains: &[crate::domains::DomainKind], seed: u64) -> Self {
+        assert!(config.num_sources > 0, "need at least one source");
+        assert!(!domains.is_empty(), "need at least one domain");
+        assert!(
+            config.max_cardinality <= config.pool.pool_size(),
+            "cardinalities cannot exceed the General pool"
+        );
+        // The base-schema pool is the only up-front state; it is bounded by
+        // `num_base_schemas × domains`, not by the universe size.
+        let mut setup_rng = StdRng::seed_from_u64(seed);
+        let bases_by_domain = domains
+            .iter()
+            .map(|&domain| {
+                let cfg = SchemaGenConfig {
+                    domain,
+                    ..config.schema.clone()
+                };
+                base_schemas(&cfg, &mut setup_rng)
+            })
+            .collect();
+        let zipf = BoundedZipf::new(
+            config.min_cardinality,
+            config.max_cardinality,
+            config.zipf_alpha,
+        );
+        let pcsa = config.pcsa();
+        StreamingUniverse {
+            config,
+            domains: domains.to_vec(),
+            seed,
+            bases_by_domain,
+            zipf,
+            pcsa,
+        }
+    }
+
+    /// Number of sources the stream emits.
+    pub fn len(&self) -> usize {
+        self.config.num_sources
+    }
+
+    /// True if the stream is empty (never: construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.config.num_sources == 0
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// The PCSA configuration shared by all emitted signatures.
+    pub fn pcsa(&self) -> &PcsaConfig {
+        &self.pcsa
+    }
+
+    /// Synthesizes source `index` from its seed stream. `O(1)` in the
+    /// universe size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn source(&self, index: usize) -> StreamedSource {
+        assert!(index < self.len(), "source index {index} out of range");
+        let i = index;
+        let domain_idx = i % self.domains.len();
+        let bases = &self.bases_by_domain[domain_idx];
+        let domain_cfg = SchemaGenConfig {
+            domain: self.domains[domain_idx],
+            ..self.config.schema.clone()
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed ^ CONTENT_STREAM.wrapping_mul(i as u64 + 1));
+        // Same conformant-prefix rule as generate_mixed: the first
+        // |bases| × |domains| sources are unperturbed bases.
+        let generated = if i < bases.len() * self.domains.len() {
+            bases[i / self.domains.len()].clone()
+        } else {
+            let base = &bases[rng.random_range(0..bases.len())];
+            perturb(base, &domain_cfg, &mut rng)
+        };
+
+        let cardinality = self.zipf.sample(&mut rng);
+        let is_specialty = rng.random::<f64>() < self.config.specialty_source_fraction;
+        let specialty_len = if is_specialty {
+            ((cardinality as f64 * self.config.specialty_tuple_fraction) as u64).max(1)
+        } else {
+            0
+        };
+        let general_len = cardinality - specialty_len;
+        let mut intervals = self.config.pool.window(
+            Pool::General,
+            rng.random_range(0..self.config.pool.pool_size()),
+            general_len,
+        );
+        if specialty_len > 0 {
+            intervals.extend(self.config.pool.window(
+                Pool::Specialty,
+                rng.random_range(0..self.config.pool.pool_size()),
+                specialty_len,
+            ));
+        }
+        let windows = TupleWindows::new(intervals);
+        let realized = windows.cardinality();
+
+        let mttf_days =
+            Normal::new(self.config.mttf_mean, self.config.mttf_std).sample_at_least(&mut rng, 1.0);
+        let mut fault_rng =
+            StdRng::seed_from_u64(self.seed ^ FAULT_STREAM.wrapping_mul(i as u64 + 1));
+        let latency_ms = Normal::new(self.config.latency_mean_ms, self.config.latency_std_ms)
+            .sample_at_least(&mut fault_rng, 5.0);
+        let downtime = Normal::new(self.config.downtime_mean, self.config.downtime_std)
+            .sample_at_least(&mut fault_rng, 0.1);
+        let availability = mttf_days / (mttf_days + downtime);
+
+        StreamedSource {
+            index: i,
+            name: format!("site{i:04}"),
+            schema: Schema::new(generated.names().map(str::to_string)),
+            cardinality: realized,
+            windows,
+            perturbed: generated.perturbed,
+            characteristics: vec![
+                ("mttf", mttf_days),
+                ("latency", latency_ms),
+                ("availability", availability),
+            ],
+            pcsa: self.pcsa.clone(),
+        }
+    }
+
+    /// Iterates over all sources in index order, synthesizing one at a time.
+    pub fn iter(&self) -> impl Iterator<Item = StreamedSource> + '_ {
+        (0..self.len()).map(move |i| self.source(i))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +668,127 @@ mod tests {
         let mut cfg = SynthConfig::small(5);
         cfg.max_cardinality = cfg.pool.pool_size() + 1;
         let _ = generate(&cfg, 0);
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use crate::domains::DomainKind;
+
+    #[test]
+    fn random_access_matches_iteration() {
+        let s = StreamingUniverse::new(SynthConfig::small(30), 11);
+        for (i, from_iter) in s.iter().enumerate() {
+            let direct = s.source(i);
+            assert_eq!(direct.name, from_iter.name);
+            assert_eq!(direct.schema, from_iter.schema);
+            assert_eq!(direct.cardinality, from_iter.cardinality);
+            assert_eq!(direct.windows.intervals(), from_iter.windows.intervals());
+            assert_eq!(direct.characteristics, from_iter.characteristics);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_index() {
+        let a = StreamingUniverse::new(SynthConfig::small(25), 3);
+        let b = StreamingUniverse::new(SynthConfig::small(25), 3);
+        // Out-of-order access on `b` must reproduce in-order access on `a`.
+        for i in [24usize, 0, 13, 7, 13] {
+            let sa = a.source(i);
+            let sb = b.source(i);
+            assert_eq!(sa.name, sb.name);
+            assert_eq!(sa.schema, sb.schema);
+            assert_eq!(sa.cardinality, sb.cardinality);
+            assert_eq!(sa.characteristics, sb.characteristics);
+            assert_eq!(
+                sa.signature().estimate().to_bits(),
+                sb.signature().estimate().to_bits()
+            );
+        }
+        let c = StreamingUniverse::new(SynthConfig::small(25), 4);
+        assert_ne!(a.source(5).cardinality, 0);
+        assert!(
+            (0..25).any(|i| a.source(i).cardinality != c.source(i).cardinality),
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn streamed_specs_build_a_valid_universe() {
+        let s = StreamingUniverse::new(SynthConfig::small(12), 8);
+        let mut b = Universe::builder();
+        for src in s.iter() {
+            b.add_source(src.into_spec());
+        }
+        let u = b.build().unwrap();
+        assert_eq!(u.len(), 12);
+        for src in u.sources() {
+            assert!(src.cooperates());
+            assert!(src.cardinality() >= 1);
+            assert!(src.characteristic("mttf").is_some());
+            assert!(src.characteristic("availability").is_some());
+        }
+    }
+
+    #[test]
+    fn signature_estimates_track_cardinality() {
+        let s = StreamingUniverse::new(SynthConfig::small(20), 2);
+        for src in s.iter() {
+            let est = src.signature().estimate();
+            let truth = src.cardinality as f64;
+            let err = (est - truth).abs() / truth;
+            assert!(err < 0.5, "source {}: est={est} truth={truth}", src.index);
+        }
+    }
+
+    #[test]
+    fn conformant_prefix_is_unperturbed() {
+        let cfg = SynthConfig::small(30); // 10 bases
+        let s = StreamingUniverse::new(cfg, 5);
+        for i in 0..10 {
+            assert!(!s.source(i).perturbed, "source {i} should be a base");
+        }
+        assert!(
+            (10..30).any(|i| s.source(i).perturbed),
+            "tail should contain perturbed copies"
+        );
+    }
+
+    #[test]
+    fn mixed_streaming_cycles_domains() {
+        let cfg = SynthConfig::small(20);
+        let s = StreamingUniverse::mixed(cfg, &[DomainKind::Books, DomainKind::Movies], 6);
+        assert_eq!(s.len(), 20);
+        // Base schemas of distinct domains have distinct attribute pools;
+        // spot-check that consecutive sources draw from different domains.
+        let names0: Vec<String> = s
+            .source(0)
+            .schema
+            .iter()
+            .map(|(_, a)| a.name().to_string())
+            .collect();
+        let names1: Vec<String> = s
+            .source(1)
+            .schema
+            .iter()
+            .map(|(_, a)| a.name().to_string())
+            .collect();
+        assert_ne!(names0, names1);
+    }
+
+    #[test]
+    fn scale_config_is_streamable() {
+        // A slice of the 100k-source scale config: constant-memory synthesis
+        // with modest cardinalities.
+        let cfg = SynthConfig::scale(100_000);
+        let s = StreamingUniverse::new(cfg, 1);
+        assert_eq!(s.len(), 100_000);
+        for i in [0usize, 42_000, 99_999] {
+            let src = s.source(i);
+            assert!(src.cardinality <= 5_000);
+            assert!(src.windows.intervals().len() <= 4);
+        }
     }
 }
 

@@ -1,0 +1,108 @@
+//! Soundness properties of the `mube-scale` pipeline: the hierarchical
+//! two-level solve must track a flat solve on universes small enough to
+//! solve flat, and LSH blocking must be byte-deterministic regardless of
+//! how many threads compute the sketches.
+
+use std::sync::Arc;
+
+use mube_core::constraints::Constraints;
+use mube_core::problem::Problem;
+use mube_core::qefs::paper_default_qefs;
+use mube_core::source::Universe;
+use mube_match::similarity::JaccardNGram;
+use mube_match::ClusterMatcher;
+use mube_opt::{CancelToken, TabuSearch};
+use mube_scale::{block_with_threads, scale_solve, LshConfig, ScaleOptions, SynthStream};
+use mube_scale::{SourceRecord, SourceStream as _};
+use mube_synth::{StreamingUniverse, SynthConfig};
+use proptest::prelude::*;
+
+/// Quality slack allowed between the hierarchical and the flat solve.
+/// Overridable for stricter (or more lenient) sweeps without recompiling
+/// the expectation into the test.
+fn epsilon() -> f64 {
+    std::env::var("MUBE_SCALE_EPSILON")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15)
+}
+
+fn config() -> ProptestConfig {
+    ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    }
+}
+
+/// Flat reference: materialize the whole streamed universe and solve one
+/// `Problem` with the same solver, seed, and constraints.
+fn flat_quality(stream: &SynthStream, m: usize, theta: f64, seed: u64) -> f64 {
+    let mut builder = Universe::builder();
+    stream.visit(&mut |record| {
+        builder.add_source(record.into_spec());
+    });
+    let universe = Arc::new(builder.build().expect("streamed specs are valid"));
+    let matcher = Arc::new(ClusterMatcher::new(
+        Arc::clone(&universe),
+        JaccardNGram::trigram(),
+    ));
+    let constraints = Constraints::with_max_sources(m).theta(theta).beta(2);
+    let problem = Problem::new(universe, matcher, paper_default_qefs("mttf"), constraints)
+        .expect("flat problem");
+    problem
+        .solve(&TabuSearch::default(), seed)
+        .expect("flat solve")
+        .quality
+}
+
+proptest! {
+    #![proptest_config(config())]
+
+    /// With pruning configured to keep every source (`top_k` ≥ n), the
+    /// hierarchical solve explores a restriction of the flat search space;
+    /// its quality must stay within ε of the flat optimum found under the
+    /// same budget.
+    #[test]
+    fn hierarchical_tracks_flat_within_epsilon(
+        seed in 0u64..200,
+        n in 30usize..60,
+        m in 4usize..7,
+    ) {
+        let theta = 0.3;
+        let stream = SynthStream::new(StreamingUniverse::new(SynthConfig::small(n), seed));
+        let flat = flat_quality(&stream, m, theta, seed);
+
+        let mut opts = ScaleOptions::new(m);
+        opts.top_k = n; // pruning keeps everything
+        opts.theta = theta;
+        opts.seed = seed;
+        let report = scale_solve(&stream, &opts, &TabuSearch::default(), &CancelToken::none())
+            .expect("hierarchical solve");
+        prop_assert_eq!(report.survivors, n);
+
+        let eps = epsilon();
+        prop_assert!(
+            report.solution.quality >= flat - eps,
+            "hierarchical {} fell more than ε={} below flat {}",
+            report.solution.quality, eps, flat
+        );
+    }
+
+    /// Blocking is a pure function of (records, config): the clusters are
+    /// byte-identical whichever thread count computed the sketches.
+    #[test]
+    fn lsh_blocking_deterministic_across_thread_counts(
+        seed in 0u64..500,
+        n in 20usize..120,
+        lsh_seed in 0u64..16,
+    ) {
+        let stream = SynthStream::new(StreamingUniverse::new(SynthConfig::small(n), seed));
+        let records: Vec<SourceRecord> = (0..stream.len()).map(|i| stream.get(i)).collect();
+        let cfg = LshConfig { seed: lsh_seed, ..LshConfig::default() };
+        let reference = block_with_threads(&records, &cfg, 1);
+        for threads in [2usize, 4, 8] {
+            let other = block_with_threads(&records, &cfg, threads);
+            prop_assert_eq!(&reference, &other, "thread count {} diverged", threads);
+        }
+    }
+}

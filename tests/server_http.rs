@@ -626,3 +626,58 @@ fn sessions_serialize_but_do_not_block_each_other() {
     handle.shutdown();
     join.join().unwrap().unwrap();
 }
+
+#[test]
+fn prune_block_reduces_the_session_universe() {
+    let (handle, join) = spawn(2);
+    let addr = handle.addr();
+    let catalog_id = upload_catalog(addr, 24, 2007);
+
+    // Prune to 10 relevance survivors, deduplicating LSH near-duplicates.
+    let body = format!(
+        "{{\"catalog\":{catalog_id},\"seed\":7,\"max_sources\":4,\"theta\":0.3,\
+         \"prune\":{{\"top_k\":10,\"dedup\":true}}}}"
+    );
+    let (status, v) = request(addr, "POST", "/sessions", &body);
+    assert_eq!(status, 201, "{v:?}");
+    let pruned = v.get("pruned").expect("201 echoes the prune stats");
+    assert_eq!(
+        pruned.get("catalog_sources").and_then(Json::as_u64),
+        Some(24)
+    );
+    assert_eq!(pruned.get("survivors").and_then(Json::as_u64), Some(10));
+    let clusters = pruned.get("clusters").and_then(Json::as_u64).unwrap();
+    let kept = pruned.get("kept").and_then(Json::as_u64).unwrap();
+    assert!(clusters <= 10 && kept <= 10, "{v:?}");
+    let session = v.get("session").and_then(Json::as_u64).unwrap();
+
+    // The pruned session still solves end to end.
+    let (status, sol) = request(addr, "POST", &format!("/sessions/{session}/solve"), "");
+    assert_eq!(status, 200, "{sol:?}");
+    let selected = sol
+        .get("solution")
+        .and_then(|s| s.get("sources"))
+        .and_then(Json::as_array)
+        .expect("solution sources");
+    assert!(!selected.is_empty() && selected.len() <= 4);
+
+    // Pinned names survive pruning even with a tiny top_k.
+    let body = format!(
+        "{{\"catalog\":{catalog_id},\"seed\":7,\"max_sources\":4,\"theta\":0.3,\
+         \"pins\":[\"site0021\"],\"prune\":{{\"top_k\":2,\"dedup\":true}}}}"
+    );
+    let (status, v) = request(addr, "POST", "/sessions", &body);
+    assert_eq!(status, 201, "pinned source must survive pruning: {v:?}");
+
+    // A malformed block is a 400, an unknown pinned name a 422.
+    let body = format!("{{\"catalog\":{catalog_id},\"prune\":7}}");
+    let (status, _) = request(addr, "POST", "/sessions", &body);
+    assert_eq!(status, 400);
+    let body =
+        format!("{{\"catalog\":{catalog_id},\"pins\":[\"ghost\"],\"prune\":{{\"top_k\":5}}}}");
+    let (status, v) = request(addr, "POST", "/sessions", &body);
+    assert_eq!(status, 422, "{v:?}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
