@@ -15,6 +15,7 @@
 //! | MUBE104 | warning | `Ordering::Relaxed` without an adjacent `// ordering:` justification comment |
 //! | MUBE105 | error | `static mut` (use atomics or `OnceLock`) |
 //! | MUBE106 | warning | `println!`/`eprintln!` in library crates (return strings or use the server's log paths) |
+//! | MUBE107 | error | blocking socket read/connect in network code (`repl.rs`/`http.rs`) without an adjacent `// deadline:` comment naming the bound |
 //!
 //! Suppression, narrowest first: a `// lint-src: allow(MUBE1xx)` comment on
 //! the offending line or the line above waives one site; an allowlist file
@@ -61,7 +62,7 @@ pub struct Rule {
 }
 
 /// Every rule, in code order. Codes are stable: never renumber.
-pub const RULES: [Rule; 6] = [
+pub const RULES: [Rule; 7] = [
     Rule {
         code: "MUBE101",
         name: "wall-clock-in-solver",
@@ -103,6 +104,13 @@ pub const RULES: [Rule; 6] = [
         severity: Severity::Warning,
         summary: "println!/eprintln! in a library crate; return strings or \
                   use the server's log paths",
+    },
+    Rule {
+        code: "MUBE107",
+        name: "unbounded-network-read",
+        severity: Severity::Error,
+        summary: "blocking read/connect in replication or HTTP code without \
+                  an adjacent `// deadline:` comment naming the bound",
     },
 ];
 
@@ -576,6 +584,8 @@ pub fn lint_file(rel_path: &str, text: &str) -> Vec<Finding> {
     };
 
     let clock_scoped = CLOCK_SCOPED.contains(&krate);
+    let net_scoped =
+        krate == "mube-serve" && (rel_path.ends_with("/repl.rs") || rel_path.ends_with("/http.rs"));
     let print_exempt = PRINT_EXEMPT.contains(&krate)
         || rel_path.contains("/bin/")
         || rel_path.ends_with("/main.rs");
@@ -655,6 +665,28 @@ pub fn lint_file(rel_path: &str, text: &str) -> Vec<Finding> {
                 line,
                 "`static mut` invites data races: use an atomic or `OnceLock`".to_string(),
             );
+        }
+        if net_scoped {
+            let method_read = punct_at(&toks, i) == Some('.')
+                && matches!(
+                    ident_at(&toks, i + 1),
+                    Some("read" | "read_exact" | "read_to_end" | "read_to_string")
+                )
+                && punct_at(&toks, i + 2) == Some('(');
+            let connect = matches!(path2(i), Some(("TcpStream", "connect")));
+            if method_read || connect {
+                let at = if method_read { toks[i + 1].line } else { line };
+                if !comment_near(comments, at, "deadline:") {
+                    push(
+                        "MUBE107",
+                        at,
+                        "blocking network call without an adjacent `// deadline:` \
+                         comment naming the timeout that bounds it (slowloris \
+                         and dead-peer hangs start here)"
+                            .to_string(),
+                    );
+                }
+            }
         }
         if !print_exempt
             && matches!(ident_at(&toks, i), Some("println" | "eprintln"))
@@ -939,12 +971,41 @@ mod tests {
         let codes: Vec<_> = RULES.iter().map(|r| r.code).collect();
         assert_eq!(
             codes,
-            ["MUBE101", "MUBE102", "MUBE103", "MUBE104", "MUBE105", "MUBE106"]
+            ["MUBE101", "MUBE102", "MUBE103", "MUBE104", "MUBE105", "MUBE106", "MUBE107"]
         );
         let errors = RULES
             .iter()
             .filter(|r| r.severity == Severity::Error)
             .count();
-        assert_eq!(errors, 3, "101/102/105 are errors; the rest warn");
+        assert_eq!(errors, 4, "101/102/105/107 are errors; the rest warn");
+    }
+
+    #[test]
+    fn mube107_flags_bare_network_reads_in_net_files() {
+        const NET: &str = "crates/mube-serve/src/repl.rs";
+        let bare = "fn pump(s: &mut TcpStream) {\n    let mut b = [0u8; 8];\n    \
+                    s.read_exact(&mut b).ok();\n}\n";
+        let found = lint_file(NET, bare);
+        assert_eq!(codes(&found), ["MUBE107"]);
+        assert_eq!(found[0].severity, Severity::Error);
+
+        let justified = "fn pump(s: &mut TcpStream) {\n    let mut b = [0u8; 8];\n    \
+                         // deadline: socket read timeout set by the caller\n    \
+                         s.read_exact(&mut b).ok();\n}\n";
+        assert!(lint_file(NET, justified).is_empty());
+
+        let connect = "fn dial() {\n    let s = TcpStream::connect(\"x:1\");\n}\n";
+        assert_eq!(codes(&lint_file(NET, connect)), ["MUBE107"]);
+
+        // Other mube-serve files (and other crates) are out of scope: the
+        // rule is about the replication/HTTP network paths specifically.
+        assert!(lint_file("crates/mube-serve/src/server.rs", bare).is_empty());
+        assert!(lint_file("crates/mube-exec/src/probe.rs", bare).is_empty());
+
+        // The inline waiver works like every other rule's.
+        let waived = "fn pump(s: &mut TcpStream) {\n    \
+                      // lint-src: allow(MUBE107)\n    \
+                      s.read_to_end(&mut Vec::new()).ok();\n}\n";
+        assert!(lint_file(NET, waived).is_empty());
     }
 }

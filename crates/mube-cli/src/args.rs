@@ -178,6 +178,22 @@ pub enum Command {
         data_dir: Option<String>,
         /// Journal fsync policy (`always`, `interval[:MS]`, or `never`).
         fsync: mube_serve::FsyncPolicy,
+        /// Leader address to follow (`host:port` of its replication
+        /// port); makes this node a read-only replica.
+        follow: Option<String>,
+        /// Replication listen address for followers to connect to.
+        repl_addr: Option<String>,
+        /// Semi-sync: mutating requests only succeed once a follower has
+        /// durably applied their event.
+        repl_sync: bool,
+        /// Auto-promote after this long without leader contact
+        /// (`None` = manual promotion only).
+        promote_timeout: Option<std::time::Duration>,
+    },
+    /// `mube promote` — ask a follower to become the leader.
+    Promote {
+        /// The follower's HTTP address (`host:port`).
+        addr: String,
     },
     /// `mube help`.
     Help,
@@ -704,6 +720,10 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
             let mut threads = 4usize;
             let mut data_dir: Option<String> = None;
             let mut fsync = mube_serve::FsyncPolicy::default();
+            let mut follow: Option<String> = None;
+            let mut repl_addr: Option<String> = None;
+            let mut repl_sync = false;
+            let mut promote_timeout: Option<std::time::Duration> = None;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--addr" => addr = take_value(flag, &mut iter)?.to_string(),
@@ -720,15 +740,51 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                         fsync = mube_serve::FsyncPolicy::parse(take_value(flag, &mut iter)?)
                             .map_err(bad)?;
                     }
+                    "--follow" => follow = Some(take_value(flag, &mut iter)?.to_string()),
+                    "--repl-addr" => repl_addr = Some(take_value(flag, &mut iter)?.to_string()),
+                    "--repl-sync" => repl_sync = true,
+                    "--promote-timeout" => {
+                        let ms: u64 = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--promote-timeout needs milliseconds"))?;
+                        if ms == 0 {
+                            return Err(bad("--promote-timeout must be at least 1 ms"));
+                        }
+                        promote_timeout = Some(std::time::Duration::from_millis(ms));
+                    }
                     other => return Err(bad(format!("unknown flag `{other}` for serve"))),
                 }
+            }
+            if (follow.is_some() || repl_addr.is_some()) && data_dir.is_none() {
+                return Err(bad("--follow / --repl-addr require --data-dir"));
+            }
+            if promote_timeout.is_some() && follow.is_none() {
+                return Err(bad("--promote-timeout only makes sense with --follow"));
             }
             Ok(Command::Serve {
                 addr,
                 threads,
                 data_dir,
                 fsync,
+                follow,
+                repl_addr,
+                repl_sync,
+                promote_timeout,
             })
+        }
+        "promote" => {
+            let mut addr: Option<String> = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--addr" => addr = Some(take_value(flag, &mut iter)?.to_string()),
+                    other if !other.starts_with('-') && addr.is_none() => {
+                        addr = Some(other.to_string());
+                    }
+                    other => return Err(bad(format!("unknown flag `{other}` for promote"))),
+                }
+            }
+            let addr = addr.ok_or_else(|| bad("promote needs the follower's address"))?;
+            Ok(Command::Promote { addr })
         }
         other => Err(bad(format!("unknown command `{other}`"))),
     }
@@ -1238,6 +1294,10 @@ mod tests {
                 threads: 4,
                 data_dir: None,
                 fsync: mube_serve::FsyncPolicy::default(),
+                follow: None,
+                repl_addr: None,
+                repl_sync: false,
+                promote_timeout: None,
             }
         );
         assert_eq!(
@@ -1247,6 +1307,10 @@ mod tests {
                 threads: 8,
                 data_dir: None,
                 fsync: mube_serve::FsyncPolicy::default(),
+                follow: None,
+                repl_addr: None,
+                repl_sync: false,
+                promote_timeout: None,
             }
         );
         assert!(p(&["serve", "--threads", "0"]).is_err());
@@ -1274,6 +1338,84 @@ mod tests {
         }
         assert!(p(&["serve", "--fsync", "sometimes"]).is_err());
         assert!(p(&["serve", "--data-dir"]).is_err());
+    }
+
+    #[test]
+    fn serve_replication_flags() {
+        match p(&[
+            "serve",
+            "--data-dir",
+            "/tmp/f",
+            "--follow",
+            "127.0.0.1:9000",
+            "--repl-sync",
+            "--promote-timeout",
+            "1500",
+        ])
+        .unwrap()
+        {
+            Command::Serve {
+                follow,
+                repl_sync,
+                promote_timeout,
+                ..
+            } => {
+                assert_eq!(follow.as_deref(), Some("127.0.0.1:9000"));
+                assert!(repl_sync);
+                assert_eq!(
+                    promote_timeout,
+                    Some(std::time::Duration::from_millis(1500))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match p(&[
+            "serve",
+            "--data-dir",
+            "/tmp/l",
+            "--repl-addr",
+            "127.0.0.1:0",
+        ])
+        .unwrap()
+        {
+            Command::Serve { repl_addr, .. } => {
+                assert_eq!(repl_addr.as_deref(), Some("127.0.0.1:0"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Replication without a journal has nothing to ship or replay.
+        assert!(p(&["serve", "--follow", "x:1"]).is_err());
+        assert!(p(&["serve", "--repl-addr", "x:1"]).is_err());
+        // Auto-promotion is a follower concept.
+        assert!(p(&["serve", "--data-dir", "/tmp/l", "--promote-timeout", "500"]).is_err());
+        assert!(p(&[
+            "serve",
+            "--data-dir",
+            "/tmp/f",
+            "--follow",
+            "x:1",
+            "--promote-timeout",
+            "0"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn promote_parses_addr() {
+        assert_eq!(
+            p(&["promote", "127.0.0.1:7207"]).unwrap(),
+            Command::Promote {
+                addr: "127.0.0.1:7207".into()
+            }
+        );
+        assert_eq!(
+            p(&["promote", "--addr", "10.0.0.2:80"]).unwrap(),
+            Command::Promote {
+                addr: "10.0.0.2:80".into()
+            }
+        );
+        assert!(p(&["promote"]).is_err());
+        assert!(p(&["promote", "--bogus", "x"]).is_err());
     }
 
     #[test]

@@ -243,22 +243,35 @@ pub fn run(command: Command) -> Result<String, CliError> {
             threads,
             data_dir,
             fsync,
+            follow,
+            repl_addr,
+            repl_sync,
+            promote_timeout,
         } => {
             let config = mube_serve::ServeConfig {
                 addr,
                 threads,
                 data_dir,
                 fsync,
+                follow,
+                repl_addr,
+                repl_sync,
+                promote_timeout: promote_timeout.unwrap_or(std::time::Duration::ZERO),
                 ..mube_serve::ServeConfig::default()
             };
             let server = mube_serve::Server::bind(config)?;
             let bound = server.local_addr()?;
             // Print the resolved address before blocking so scripts binding
-            // port 0 can pick it up.
+            // port 0 can pick it up. The first line's shape is a contract
+            // (tests parse it); replication details go on a second line.
             println!("mube-serve listening on http://{bound} ({threads} worker threads)");
+            if let Some(repl) = server.repl_addr() {
+                println!("mube-serve replication on {repl}");
+            }
             server.run()?;
             Ok(String::new())
         }
+        Command::Promote { addr } => promote_command(&addr),
         Command::ScaleSolve {
             sources,
             budget_ms,
@@ -474,6 +487,54 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 Ok(rendered)
             }
         }
+    }
+}
+
+/// `mube promote`: POST `/admin/promote` to a follower and relay the
+/// response. A tiny hand-rolled HTTP client (the workspace takes no
+/// dependencies) with connect/read/write timeouts throughout.
+fn promote_command(addr: &str) -> Result<String, CliError> {
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpStream, ToSocketAddrs};
+    use std::time::Duration;
+
+    let target = addr
+        .to_socket_addrs()
+        .map_err(CliError::Io)?
+        .next()
+        .ok_or_else(|| CliError::Usage(format!("`{addr}` resolves to no address")))?;
+    // deadline: every socket operation below is bounded.
+    let stream =
+        TcpStream::connect_timeout(&target, Duration::from_secs(5)).map_err(CliError::Io)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(CliError::Io)?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .map_err(CliError::Io)?;
+    let mut stream = stream;
+    stream
+        .write_all(
+            format!("POST /admin/promote HTTP/1.1\r\nhost: {addr}\r\ncontent-length: 0\r\nconnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(CliError::Io)?;
+    let mut response = String::new();
+    // deadline: bounded by the read timeout above; the server closes
+    // after one response.
+    stream.read_to_string(&mut response).map_err(CliError::Io)?;
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| CliError::Usage(format!("`{addr}` returned a non-HTTP response")))?;
+    let body = response.split_once("\r\n\r\n").map_or("", |(_, b)| b);
+    if status == 200 {
+        Ok(format!("promoted: {body}\n"))
+    } else {
+        Err(CliError::Usage(format!(
+            "promotion refused (HTTP {status}): {body}"
+        )))
     }
 }
 

@@ -50,6 +50,9 @@ USAGE:
                        [--json | --resolve]
     mube serve    [--addr HOST:PORT] [--threads N]
                        [--data-dir DIR] [--fsync always|interval[:MS]|never]
+                       [--repl-addr HOST:PORT] [--follow HOST:PORT]
+                       [--repl-sync] [--promote-timeout MS]
+    mube promote  HOST:PORT
     mube help
 
 COMMANDS:
@@ -83,5 +86,11 @@ COMMANDS:
                --resolve re-probes and re-solves around failing sources
     serve      Run the HTTP/JSON session server (default 127.0.0.1:7207;
                see PROTOCOL.md for endpoints); --data-dir journals
-               sessions durably and replays them on restart
+               sessions durably and replays them on restart;
+               --repl-addr ships the journal to followers, --follow
+               runs a read-only replica of a leader (--repl-sync gates
+               mutating responses on follower acks, --promote-timeout
+               auto-promotes after MS without leader contact)
+    promote    Ask a follower to become the leader (checked: refuses
+               when its state diverged from the leader's)
     help       Show this message";

@@ -12,6 +12,11 @@ use std::io::{Read, Write};
 /// Upper bound on the request line + headers, in bytes.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 
+/// Upper bound on the number of header lines. A head can fit thousands of
+/// tiny headers under [`MAX_HEAD_BYTES`]; capping the count bounds the
+/// per-request allocation independent of header sizes.
+const MAX_HEADERS: usize = 64;
+
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -46,7 +51,8 @@ impl Request {
 pub enum HttpError {
     /// Protocol violation; the reason phrase to report.
     Malformed(&'static str),
-    /// Request line + headers exceeded [`MAX_HEAD_BYTES`].
+    /// Request line + headers exceeded [`MAX_HEAD_BYTES`] or
+    /// [`MAX_HEADERS`] (rendered as 431).
     HeadTooLarge,
     /// Declared `Content-Length` exceeded the server's body cap.
     BodyTooLarge {
@@ -89,6 +95,9 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
         if buf.len() > MAX_HEAD_BYTES {
             return Err(HttpError::HeadTooLarge);
         }
+        // deadline: the caller wraps the stream in a deadline-bounded
+        // reader (server::DeadlineStream) or sets socket timeouts, so this
+        // read cannot block past the request deadline.
         let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
         if n == 0 {
             if buf.is_empty() {
@@ -126,6 +135,9 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
         if line.is_empty() {
             continue;
         }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadTooLarge);
+        }
         let (name, value) = line
             .split_once(':')
             .ok_or(HttpError::Malformed("header without colon"))?;
@@ -152,6 +164,8 @@ pub fn read_request<S: Read>(stream: &mut S, max_body: usize) -> Result<Request,
     let mut body = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
         let want = (content_length - body.len()).min(chunk.len());
+        // deadline: same contract as the head read — the caller's
+        // deadline-bounded stream caps the total time here.
         let n = stream.read(&mut chunk[..want]).map_err(HttpError::Io)?;
         if n == 0 {
             return Err(HttpError::Malformed("connection closed mid-body"));
@@ -185,6 +199,7 @@ pub fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -267,6 +282,16 @@ mod tests {
     fn rejects_oversized_head() {
         let huge = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(32 * 1024));
         assert!(matches!(parse(&huge), Err(HttpError::HeadTooLarge)));
+    }
+
+    #[test]
+    fn rejects_too_many_headers() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..100 {
+            raw.push_str(&format!("x-{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(parse(&raw), Err(HttpError::HeadTooLarge)));
     }
 
     #[test]

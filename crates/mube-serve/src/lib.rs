@@ -14,8 +14,15 @@
 //! | `GET /sessions/{id}/explain` | leave-one-out contributions |
 //! | `GET /sessions/{id}/lint` | `mube-audit` diagnostics for the session |
 //! | `DELETE /sessions/{id}` | drop a session |
-//! | `GET /metrics` | counters + latency histograms |
-//! | `GET /healthz` | liveness + drain state |
+//! | `GET /metrics` | counters + latency histograms + replication stats |
+//! | `GET /healthz` | liveness, drain state, role, applied LSN + digest |
+//! | `POST /admin/promote` | checked failover: promote a follower to leader |
+//!
+//! With a journal (`data_dir`) the server can also replicate: a leader
+//! (`repl_addr`) ships committed journal frames to followers (`follow`),
+//! which apply them through the same replay handlers crash recovery
+//! uses and serve read-only traffic — see [`repl`] and `PROTOCOL.md`
+//! ("Replication & failover").
 //!
 //! Everything is hand-rolled on `std` (the workspace takes no external
 //! dependencies): the HTTP parser in [`http`], the JSON reader in [`json`]
@@ -32,6 +39,7 @@ pub mod json;
 pub mod metrics;
 pub mod persist;
 pub mod pool;
+pub mod repl;
 pub mod server;
 pub mod store;
 
@@ -39,5 +47,6 @@ pub use json::{Json, JsonError};
 pub use metrics::{Histogram, Metrics, ServerStats, BUCKETS};
 pub use persist::{Event, FsyncPolicy, Journal, JournalStats, RecoveryReport, SolutionRecord};
 pub use pool::WorkerPool;
+pub use repl::ReplStats;
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use store::{CatalogEntry, SessionEntry, Store, StoreError};

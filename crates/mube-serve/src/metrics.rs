@@ -12,6 +12,7 @@ use std::time::Duration;
 use mube_core::jsonw::JsonBuf;
 
 use crate::persist::JournalStats;
+use crate::repl::ReplStats;
 
 /// Number of log-scale buckets: bucket `i` counts durations in
 /// `[2^i, 2^(i+1))` microseconds; the last bucket is unbounded above
@@ -78,6 +79,7 @@ struct Inner {
     sessions_evicted: u64,
     solves_run: u64,
     solves_timed_out: u64,
+    requests_shed: u64,
     executions_run: u64,
     exec_fetch_attempts: u64,
     exec_fetch_failures: u64,
@@ -111,6 +113,9 @@ pub struct ServerStats {
     /// Solves cut short by a deadline (answered with the best incumbent,
     /// flagged `timed_out`).
     pub solves_timed_out: u64,
+    /// Connections shed by admission control (503 + Retry-After before a
+    /// worker ever saw them).
+    pub requests_shed: u64,
     /// Query executions run (`POST /sessions/{id}/execute`).
     pub executions_run: u64,
     /// Fetch attempts across all executions (retries included).
@@ -132,6 +137,9 @@ pub struct ServerStats {
     /// Journal counters, when the server persists sessions (filled in by
     /// the server; the journal owns these numbers).
     pub journal: Option<JournalStats>,
+    /// Replication role/lag counters, when replication is configured
+    /// (filled in by the server; the replication layer owns these).
+    pub repl: Option<ReplStats>,
     /// Whole-request latency histogram.
     pub request_hist: Histogram,
     /// Solver-only latency histogram.
@@ -204,15 +212,22 @@ impl Metrics {
         self.locked().sessions_evicted += n;
     }
 
+    /// Counts a connection shed by admission control.
+    pub fn record_shed(&self) {
+        self.locked().requests_shed += 1;
+    }
+
     /// A consistent snapshot; `sessions_live`, `worker_panics`,
-    /// `member_panics`, and `journal` are supplied by the caller (the
-    /// store, pool, solver layer, and journal own those numbers).
+    /// `member_panics`, `journal`, and `repl` are supplied by the caller
+    /// (the store, pool, solver layer, journal, and replication layer own
+    /// those numbers).
     pub fn snapshot(
         &self,
         sessions_live: u64,
         worker_panics: u64,
         member_panics: u64,
         journal: Option<JournalStats>,
+        repl: Option<ReplStats>,
     ) -> ServerStats {
         let m = self.locked();
         ServerStats {
@@ -222,6 +237,7 @@ impl Metrics {
             sessions_evicted: m.sessions_evicted,
             solves_run: m.solves_run,
             solves_timed_out: m.solves_timed_out,
+            requests_shed: m.requests_shed,
             executions_run: m.executions_run,
             exec_fetch_attempts: m.exec_fetch_attempts,
             exec_fetch_failures: m.exec_fetch_failures,
@@ -231,6 +247,7 @@ impl Metrics {
             worker_panics,
             member_panics,
             journal,
+            repl,
             request_hist: m.request_hist.clone(),
             solve_hist: m.solve_hist.clone(),
             exec_hist: m.exec_hist.clone(),
@@ -274,6 +291,7 @@ impl ServerStats {
         j.key("solves_timed_out").uint_value(self.solves_timed_out);
         j.key("worker_panics").uint_value(self.worker_panics);
         j.key("member_panics").uint_value(self.member_panics);
+        j.key("requests_shed").uint_value(self.requests_shed);
         match &self.journal {
             Some(s) => {
                 j.key("journal").begin_obj();
@@ -285,6 +303,38 @@ impl ServerStats {
             }
             None => {
                 j.key("journal").null_value();
+            }
+        }
+        match &self.repl {
+            Some(r) => {
+                j.key("repl").begin_obj();
+                j.key("role").str_value(r.role);
+                j.key("last_lsn").uint_value(r.last_lsn);
+                j.key("followers").uint_value(r.followers);
+                j.key("acked_lsn").uint_value(r.acked_lsn);
+                j.key("lag").uint_value(r.lag);
+                match r.ack_age_ms {
+                    Some(ms) => j.key("ack_age_ms").uint_value(ms),
+                    None => j.key("ack_age_ms").null_value(),
+                };
+                j.key("frames_shipped").uint_value(r.frames_shipped);
+                j.key("heartbeats").uint_value(r.heartbeats);
+                j.key("resets").uint_value(r.resets);
+                match &r.leader {
+                    Some(addr) => j.key("leader").str_value(addr),
+                    None => j.key("leader").null_value(),
+                };
+                j.key("verified_lsn").uint_value(r.verified_lsn);
+                j.key("digest_failures").uint_value(r.digest_failures);
+                j.key("diverged").bool_value(r.diverged);
+                match r.last_contact_ms {
+                    Some(ms) => j.key("last_contact_ms").uint_value(ms),
+                    None => j.key("last_contact_ms").null_value(),
+                };
+                j.end_obj();
+            }
+            None => {
+                j.key("repl").null_value();
             }
         }
         j.key("exec").begin_obj();
@@ -347,12 +397,14 @@ mod tests {
         m.session_created();
         m.sessions_evicted(3);
         m.record_execution(9, 4, 2, 1, Duration::from_millis(1));
-        let s = m.snapshot(4, 2, 5, Some(JournalStats::default()));
+        m.record_shed();
+        let s = m.snapshot(4, 2, 5, Some(JournalStats::default()), None);
         assert_eq!(s.total_requests(), 3);
         assert_eq!(s.requests_for("GET /healthz"), 2);
         assert_eq!(s.requests[&("POST /sessions".to_string(), 422)], 1);
         assert_eq!(s.solves_run, 2);
         assert_eq!(s.solves_timed_out, 1);
+        assert_eq!(s.requests_shed, 1);
         assert_eq!(s.member_panics, 5);
         assert!(s.journal.is_some());
         assert_eq!(s.sessions_evicted, 3);
@@ -373,10 +425,12 @@ mod tests {
         let m = Metrics::new();
         m.record_request("GET /metrics", 200, Duration::from_micros(3));
         m.record_execution(5, 1, 1, 0, Duration::from_micros(40));
-        let json = m.snapshot(1, 0, 0, None).to_json();
+        let json = m.snapshot(1, 0, 0, None, None).to_json();
         assert!(json.contains("\"endpoint\":\"GET /metrics\""), "{json}");
         assert!(json.contains("\"sessions_live\":1"), "{json}");
         assert!(json.contains("\"worker_panics\":0"), "{json}");
+        assert!(json.contains("\"requests_shed\":0"), "{json}");
+        assert!(json.contains("\"repl\":null"), "{json}");
         assert!(
             json.contains("\"exec\":{\"executions_run\":1,\"fetch_attempts\":5"),
             "{json}"

@@ -51,10 +51,10 @@ use mube_core::{AttrId, GlobalAttribute, MediatedSchema, Solution, SourceId};
 
 /// Records larger than this are treated as corruption (a torn length
 /// prefix would otherwise ask for gigabytes).
-const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
+pub(crate) const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
 
 /// Snapshot-header record tag (never appears in [`Event`]).
-const TAG_SNAPSHOT: u8 = 0;
+pub(crate) const TAG_SNAPSHOT: u8 = 0;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
@@ -293,7 +293,7 @@ pub enum Event {
 }
 
 impl Event {
-    fn tag(&self) -> u8 {
+    pub(crate) fn tag(&self) -> u8 {
         match self {
             Event::CatalogCreate { .. } => 1,
             Event::SessionCreate { .. } => 2,
@@ -350,6 +350,15 @@ impl Event {
                 e.u64(*session);
             }
         }
+    }
+
+    pub fn decode_frame_payload(payload: &[u8]) -> Result<(u64, Event), String> {
+        if payload.len() < 9 {
+            return Err(format!("payload too short: {} bytes", payload.len()));
+        }
+        let lsn = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let event = Event::decode_body(payload[8], &mut Dec::new(&payload[9..]))?;
+        Ok((lsn, event))
     }
 
     fn decode_body(tag: u8, d: &mut Dec<'_>) -> DecodeResult<Event> {
@@ -412,7 +421,7 @@ impl Event {
     }
 
     /// The session this event belongs to, if session-scoped.
-    fn session_id(&self) -> Option<u64> {
+    pub(crate) fn session_id(&self) -> Option<u64> {
         match self {
             Event::CatalogCreate { .. } => None,
             Event::SessionCreate { id, .. } => Some(*id),
@@ -424,7 +433,7 @@ impl Event {
 }
 
 /// Encodes one frame: `[len][crc][lsn][tag][body]`.
-fn encode_frame(lsn: u64, tag: u8, body: &[u8]) -> Vec<u8> {
+pub(crate) fn encode_frame(lsn: u64, tag: u8, body: &[u8]) -> Vec<u8> {
     let mut payload = Vec::with_capacity(9 + body.len());
     payload.extend_from_slice(&lsn.to_le_bytes());
     payload.push(tag);
@@ -436,7 +445,7 @@ fn encode_frame(lsn: u64, tag: u8, body: &[u8]) -> Vec<u8> {
     frame
 }
 
-fn encode_event_frame(lsn: u64, event: &Event) -> Vec<u8> {
+pub fn encode_event_frame(lsn: u64, event: &Event) -> Vec<u8> {
     let mut enc = Enc::new();
     event.encode_body(&mut enc);
     encode_frame(lsn, event.tag(), &enc.buf)
@@ -630,6 +639,11 @@ struct JournalInner {
     appends: u64,
     snapshots: u64,
     quarantined_bytes: u64,
+    /// `through_lsn` of the most recent compaction that actually *dropped*
+    /// events. A replication follower whose ack is behind this horizon can
+    /// no longer be caught up frame-by-frame (the dropped frames are gone)
+    /// and must full-resync instead.
+    last_drop_through: u64,
 }
 
 /// The durable session journal. One per server; `append` is safe from any
@@ -723,6 +737,9 @@ impl Journal {
                 appends: 0,
                 snapshots: 0,
                 quarantined_bytes: report.quarantined_bytes,
+                // Conservative: an on-disk snapshot may have dropped events
+                // before this boot, so treat its horizon as the drop line.
+                last_drop_through: through_lsn,
             }),
         };
         Ok((journal, events, report))
@@ -731,9 +748,44 @@ impl Journal {
     /// Appends one event, applying the fsync policy, and compacts into a
     /// fresh snapshot once the tail exceeds the snapshot cadence.
     pub fn append(&self, event: Event) -> std::io::Result<()> {
+        self.append_frame(event).map(|_| ())
+    }
+
+    /// Like [`Journal::append`], but also returns the assigned LSN and the
+    /// encoded wire frame, so a replication hub can ship the exact bytes
+    /// that hit the local disk.
+    pub fn append_frame(&self, event: Event) -> std::io::Result<(u64, Vec<u8>)> {
         let mut inner = self.inner.lock().expect("journal lock poisoned");
         let lsn = inner.next_lsn;
-        inner.next_lsn += 1;
+        self.append_locked(&mut inner, lsn, event)
+    }
+
+    /// Appends one event at an *explicit* LSN — the follower apply path,
+    /// which must preserve the leader's numbering so state digests are
+    /// computed over identical `(lsn, event)` streams. `lsn` must be at
+    /// least `next_lsn`; gaps are allowed (the leader may have compacted),
+    /// regressions are not.
+    pub fn append_at(&self, lsn: u64, event: Event) -> std::io::Result<(u64, Vec<u8>)> {
+        let mut inner = self.inner.lock().expect("journal lock poisoned");
+        if lsn < inner.next_lsn {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "replicated LSN {lsn} regresses below local next LSN {}",
+                    inner.next_lsn
+                ),
+            ));
+        }
+        self.append_locked(&mut inner, lsn, event)
+    }
+
+    fn append_locked(
+        &self,
+        inner: &mut JournalInner,
+        lsn: u64,
+        event: Event,
+    ) -> std::io::Result<(u64, Vec<u8>)> {
+        inner.next_lsn = lsn + 1;
         let frame = encode_event_frame(lsn, &event);
         inner.tail.write_all(&frame)?;
         match inner.policy {
@@ -753,8 +805,102 @@ impl Journal {
         inner.tail_records += 1;
         inner.appends += 1;
         if inner.tail_records >= inner.snapshot_every {
-            self.compact_locked(&mut inner)?;
+            self.compact_locked(inner)?;
         }
+        Ok((lsn, frame))
+    }
+
+    /// The highest LSN assigned so far (0 when the journal is empty).
+    pub fn last_lsn(&self) -> u64 {
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        inner.next_lsn - 1
+    }
+
+    /// A deterministic digest of the replayed store: FNV-1a 64 over the
+    /// live `(lsn, tag, body)` stream *after* dropping deleted sessions'
+    /// events. The filter makes the digest invariant under compaction
+    /// timing — leader and follower agree at a common LSN no matter when
+    /// each of them last compacted — and because the store is a pure
+    /// function of these events (byte-identical replay), equal digests at
+    /// equal LSNs mean byte-identical stores. Returns `(last_lsn, digest)`.
+    pub fn state_digest(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        let deleted: std::collections::HashSet<u64> = inner
+            .live
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::SessionDelete { session } => Some(*session),
+                _ => None,
+            })
+            .collect();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut fnv = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        let mut enc = Enc::new();
+        for (lsn, event) in &inner.live {
+            if event.session_id().is_some_and(|s| deleted.contains(&s)) {
+                continue;
+            }
+            enc.buf.clear();
+            event.encode_body(&mut enc);
+            fnv(&lsn.to_le_bytes());
+            fnv(&[event.tag()]);
+            fnv(&enc.buf);
+        }
+        (inner.next_lsn - 1, hash)
+    }
+
+    /// Encoded wire frames for every live event with `lsn > after`, in LSN
+    /// order — the catch-up backlog for a follower acked at `after`.
+    /// Returns `None` when `after` is behind the drop horizon of a past
+    /// compaction: frames the follower never saw are gone, so it must
+    /// full-resync instead.
+    pub fn frames_after(&self, after: u64) -> Option<Vec<Vec<u8>>> {
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        if after < inner.last_drop_through {
+            return None;
+        }
+        Some(
+            inner
+                .live
+                .iter()
+                .filter(|&&(lsn, _)| lsn > after)
+                .map(|(lsn, event)| encode_event_frame(*lsn, event))
+                .collect(),
+        )
+    }
+
+    /// Encoded wire frames for the entire live set — the full-resync
+    /// payload sent after a `RESET`.
+    pub fn all_frames(&self) -> Vec<Vec<u8>> {
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        inner
+            .live
+            .iter()
+            .map(|(lsn, event)| encode_event_frame(*lsn, event))
+            .collect()
+    }
+
+    /// Discards all local state (live events, tail, snapshot) ahead of a
+    /// full resync from the leader. The caller must clear its store too.
+    pub fn reset(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().expect("journal lock poisoned");
+        inner.live.clear();
+        inner.next_lsn = 1;
+        inner.tail_records = 0;
+        inner.last_drop_through = 0;
+        let snap = self.dir.join("snapshot.wal");
+        if snap.exists() {
+            fs::remove_file(&snap)?;
+        }
+        inner.tail.set_len(0)?;
+        inner.tail.seek(SeekFrom::Start(0))?;
+        inner.tail.sync_all()?;
+        inner.last_sync = Instant::now();
         Ok(())
     }
 
@@ -790,12 +936,17 @@ impl Journal {
                 _ => None,
             })
             .collect();
+        let before = inner.live.len();
         inner.live.retain(|(_, e)| match e.session_id() {
             Some(s) => !deleted.contains(&s),
             None => true,
         });
-
         let through_lsn = inner.next_lsn - 1;
+        if inner.live.len() < before {
+            // Events are gone for good: followers acked before this horizon
+            // can no longer catch up incrementally.
+            inner.last_drop_through = through_lsn;
+        }
         let tmp = self.dir.join("snapshot.tmp");
         {
             let mut f = File::create(&tmp)?;
@@ -1065,6 +1216,103 @@ mod tests {
             schema: vec![vec![]],
         };
         assert!(rec.into_solution().is_err());
+    }
+
+    #[test]
+    fn state_digest_is_invariant_under_compaction_timing() {
+        // Two journals fed the same event stream, one compacting eagerly
+        // (every 2 appends) and one never, must agree on (lsn, digest).
+        let d1 = test_dir("digest-eager");
+        let d2 = test_dir("digest-lazy");
+        let (eager, _, _) = Journal::open(&d1, FsyncPolicy::Never, 2).unwrap();
+        let (lazy, _, _) = Journal::open(&d2, FsyncPolicy::Never, 100_000).unwrap();
+        let stream = [
+            ev_catalog(1),
+            ev_session(1, 1),
+            ev_solve(1),
+            ev_session(2, 1),
+            Event::SessionDelete { session: 1 },
+            ev_solve(2),
+        ];
+        for e in &stream {
+            eager.append(e.clone()).unwrap();
+            lazy.append(e.clone()).unwrap();
+        }
+        assert_eq!(eager.state_digest(), lazy.state_digest());
+        assert_eq!(eager.last_lsn(), stream.len() as u64);
+        fs::remove_dir_all(&d1).unwrap();
+        fs::remove_dir_all(&d2).unwrap();
+    }
+
+    #[test]
+    fn state_digest_differs_on_divergent_streams() {
+        let d1 = test_dir("digest-a");
+        let d2 = test_dir("digest-b");
+        let (a, _, _) = Journal::open(&d1, FsyncPolicy::Never, 1000).unwrap();
+        let (b, _, _) = Journal::open(&d2, FsyncPolicy::Never, 1000).unwrap();
+        a.append(ev_catalog(1)).unwrap();
+        b.append(ev_catalog(2)).unwrap();
+        assert_eq!(a.last_lsn(), b.last_lsn());
+        assert_ne!(a.state_digest().1, b.state_digest().1);
+        fs::remove_dir_all(&d1).unwrap();
+        fs::remove_dir_all(&d2).unwrap();
+    }
+
+    #[test]
+    fn append_at_preserves_leader_lsns_and_rejects_regression() {
+        let dir = test_dir("append-at");
+        let (j, _, _) = Journal::open(&dir, FsyncPolicy::Never, 1000).unwrap();
+        j.append_at(3, ev_catalog(1)).unwrap();
+        j.append_at(7, ev_session(1, 1)).unwrap(); // gap: leader compacted
+        assert_eq!(j.last_lsn(), 7);
+        assert!(j.append_at(5, ev_solve(1)).is_err(), "LSN regression");
+        // Digest covers the *leader's* LSNs, not a local renumbering.
+        let (lsn, _) = j.state_digest();
+        assert_eq!(lsn, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn frames_after_returns_backlog_or_demands_resync() {
+        let dir = test_dir("frames-after");
+        let (j, _, _) = Journal::open(&dir, FsyncPolicy::Never, 3).unwrap();
+        j.append(ev_catalog(1)).unwrap();
+        j.append(ev_session(1, 1)).unwrap();
+        let frames = j.frames_after(1).unwrap();
+        assert_eq!(frames.len(), 1);
+        let (lsn, event) = Event::decode_frame_payload(&frames[0][8..]).unwrap();
+        assert_eq!(lsn, 2);
+        assert_eq!(event, ev_session(1, 1));
+        // Trigger a dropping compaction (delete makes the 3rd tail record).
+        j.append(Event::SessionDelete { session: 1 }).unwrap();
+        assert!(
+            j.frames_after(1).is_none(),
+            "acks behind the drop horizon must force a resync"
+        );
+        assert_eq!(j.frames_after(3).unwrap().len(), 0);
+        assert_eq!(j.all_frames().len(), 1, "only the catalog survives");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_clears_journal_for_full_resync() {
+        let dir = test_dir("reset");
+        {
+            let (j, _, _) = Journal::open(&dir, FsyncPolicy::Never, 2).unwrap();
+            j.append(ev_catalog(1)).unwrap();
+            j.append(ev_session(1, 1)).unwrap(); // compacts -> snapshot.wal
+            j.append(ev_solve(1)).unwrap();
+            j.reset().unwrap();
+            assert_eq!(j.last_lsn(), 0);
+            assert!(!dir.join("snapshot.wal").exists());
+            // Usable immediately after reset, at leader-assigned LSNs.
+            j.append_at(4, ev_catalog(9)).unwrap();
+            j.flush().unwrap();
+        }
+        let (_, replayed, report) = Journal::open(&dir, FsyncPolicy::Never, 2).unwrap();
+        assert_eq!(replayed, vec![ev_catalog(9)]);
+        assert!(report.corruption.is_none());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

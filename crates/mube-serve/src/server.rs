@@ -11,9 +11,10 @@
 //! which stops accepting and drains the pool — every request already
 //! accepted, including in-flight solves, completes before `run` returns.
 
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -43,6 +44,7 @@ use crate::json::Json;
 use crate::metrics::{Metrics, ServerStats};
 use crate::persist::{Event, FsyncPolicy, Journal, SolutionRecord};
 use crate::pool::WorkerPool;
+use crate::repl::{self, FollowerState, ReplHub, ROLE_FOLLOWER, ROLE_LEADER};
 use crate::store::{SessionEntry, Store, StoreError};
 
 /// Server configuration. [`ServeConfig::default`] is suitable for tests
@@ -81,6 +83,32 @@ pub struct ServeConfig {
     pub fsync: FsyncPolicy,
     /// Compact the journal into a snapshot every this many tail records.
     pub snapshot_every: u64,
+    /// Run as a replication follower of this leader address (requires
+    /// `data_dir`): apply its WAL stream, serve reads, refuse writes with
+    /// a 409 + leader hint until promoted.
+    pub follow: Option<String>,
+    /// Serve the WAL replication stream to followers on this address
+    /// (requires `data_dir`).
+    pub repl_addr: Option<String>,
+    /// Semi-sync replication: a mutating request is not acknowledged
+    /// until a follower has durably applied its journal frame (or the
+    /// response degrades to a 503 after `repl_sync_timeout`).
+    pub repl_sync: bool,
+    /// How long a semi-sync response waits for a follower ack.
+    pub repl_sync_timeout: Duration,
+    /// A follower self-promotes after the leader has been silent this
+    /// long. Zero (the default) means promotion is manual-only
+    /// (`POST /admin/promote`).
+    pub promote_timeout: Duration,
+    /// Leader heartbeat cadence on idle replication connections.
+    pub heartbeat_interval: Duration,
+    /// Admission control: when this many jobs are already waiting in the
+    /// worker queue, new connections are shed with a 503 + `Retry-After`
+    /// before they consume a worker. Zero disables shedding.
+    pub queue_high_water: usize,
+    /// Total wall-clock budget for reading one request (head + body). A
+    /// slowloris trickling bytes cannot hold a worker past this.
+    pub request_deadline: Duration,
 }
 
 impl Default for ServeConfig {
@@ -98,20 +126,37 @@ impl Default for ServeConfig {
             data_dir: None,
             fsync: FsyncPolicy::default(),
             snapshot_every: 256,
+            follow: None,
+            repl_addr: None,
+            repl_sync: false,
+            repl_sync_timeout: Duration::from_secs(5),
+            promote_timeout: Duration::ZERO,
+            heartbeat_interval: Duration::from_millis(500),
+            queue_high_water: 128,
+            request_deadline: Duration::from_secs(15),
         }
     }
 }
 
-/// Shared state behind every worker: config, store, metrics, drain flag.
-struct ServerState {
-    config: ServeConfig,
-    store: Store,
-    metrics: Metrics,
-    draining: AtomicBool,
+/// Shared state behind every worker: config, store, metrics, drain flag,
+/// and — when replicated — the role byte and the replication endpoints.
+pub(crate) struct ServerState {
+    pub(crate) config: ServeConfig,
+    pub(crate) store: Store,
+    pub(crate) metrics: Metrics,
+    pub(crate) draining: AtomicBool,
     /// The pool's panic counter (workers lost to job panics, respawned).
-    worker_panics: Arc<AtomicU64>,
+    pub(crate) worker_panics: Arc<AtomicU64>,
     /// The durable session journal, when `--data-dir` is configured.
-    journal: Option<Journal>,
+    pub(crate) journal: Option<Journal>,
+    /// This node's replication role (leader/follower/candidate).
+    pub(crate) role: AtomicU8,
+    /// Fan-out point for committed WAL frames, when `--repl-addr` is set.
+    pub(crate) repl_hub: Option<Arc<ReplHub>>,
+    /// Follower-side replication state, when `--follow` is set.
+    pub(crate) follower: Option<Arc<FollowerState>>,
+    /// The bound replication listener address, when `--repl-addr` is set.
+    pub(crate) repl_bound: Option<SocketAddr>,
 }
 
 impl ServerState {
@@ -121,16 +166,23 @@ impl ServerState {
             self.worker_panics.load(Ordering::SeqCst),
             mube_opt::member_panics_total(),
             self.journal.as_ref().map(Journal::stats),
+            repl::repl_stats(self),
         )
     }
 
-    /// Appends to the journal if one is configured. Append failures are
+    /// Appends to the journal if one is configured, publishing the
+    /// committed frame to any connected followers. Append failures are
     /// logged, not fatal: the server keeps serving from memory (the same
     /// availability-over-durability stance as the quarantine path).
     fn journal_append(&self, event: Event) {
         if let Some(j) = &self.journal {
-            if let Err(e) = j.append(event) {
-                eprintln!("mube-serve: journal append failed: {e}");
+            match j.append_frame(event) {
+                Ok((_, frame)) => {
+                    if let Some(hub) = &self.repl_hub {
+                        hub.publish(&frame);
+                    }
+                }
+                Err(e) => eprintln!("mube-serve: journal append failed: {e}"),
             }
         }
     }
@@ -166,7 +218,21 @@ impl Server {
     /// opens the journal and replays the persisted sessions before serving
     /// (corrupt journal tails are quarantined, never fatal).
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        if (config.follow.is_some() || config.repl_addr.is_some()) && config.data_dir.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "replication (--follow / --repl-addr) requires --data-dir",
+            ));
+        }
         let listener = TcpListener::bind(&config.addr)?;
+        let repl_listener = match &config.repl_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let repl_bound = match &repl_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let pool = WorkerPool::new(config.threads);
         let store = Store::new(config.max_sessions, config.idle_ttl);
         let journal = match &config.data_dir {
@@ -199,14 +265,59 @@ impl Server {
             }
             None => None,
         };
+        let follower = config.follow.clone().map(|leader| {
+            // A data dir quarantined by a past digest failure stays
+            // quarantined across restarts until the operator removes the
+            // marker: promotion from it must keep being refused.
+            let diverged = config
+                .data_dir
+                .as_ref()
+                .is_some_and(|d| Path::new(d).join(repl::DIVERGED_MARKER).exists());
+            if diverged {
+                eprintln!(
+                    "mube-serve: data dir carries a divergence marker ({}); \
+                     this follower will not be promotable",
+                    repl::DIVERGED_MARKER
+                );
+            }
+            let f = FollowerState::new(leader, diverged);
+            // A restarted follower resumes from its replayed journal: the
+            // hello re-requests from here, not from zero.
+            f.applied.store(
+                journal.as_ref().map_or(0, Journal::last_lsn),
+                Ordering::SeqCst,
+            );
+            Arc::new(f)
+        });
+        let role = if follower.is_some() {
+            ROLE_FOLLOWER
+        } else {
+            ROLE_LEADER
+        };
         let state = Arc::new(ServerState {
             store,
             metrics: Metrics::new(),
             draining: AtomicBool::new(false),
             worker_panics: pool.panic_counter(),
             journal,
+            role: AtomicU8::new(role),
+            repl_hub: repl_listener.as_ref().map(|_| Arc::new(ReplHub::new())),
+            follower,
+            repl_bound,
             config,
         });
+        if let Some(repl_listener) = repl_listener {
+            let st = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("mube-repl-acceptor".to_string())
+                .spawn(move || repl::run_leader_acceptor(repl_listener, st))?;
+        }
+        if state.follower.is_some() {
+            let st = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("mube-repl-follower".to_string())
+                .spawn(move || repl::run_follower(st))?;
+        }
         Ok(Server {
             listener,
             state,
@@ -217,6 +328,11 @@ impl Server {
     /// The bound address (resolves `:0` to the actual port).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound replication address, when `--repl-addr` is configured.
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.state.repl_bound
     }
 
     /// A handle for stats and shutdown, usable from other threads.
@@ -248,11 +364,31 @@ impl Server {
             if self.state.draining.load(Ordering::SeqCst) {
                 break;
             }
-            let Ok(stream) = conn else {
+            let Ok(mut stream) = conn else {
                 // Transient accept error (e.g. the peer vanished between
                 // accept and here); keep serving.
                 continue;
             };
+            // Admission control: past the queue high-water mark, shed the
+            // connection here — a canned 503 written on the acceptor — so
+            // overload never grows the queue without bound. The short
+            // write timeout keeps a dead peer from stalling accepts.
+            let high_water = self.state.config.queue_high_water;
+            if high_water > 0 && self.pool.queued() >= high_water {
+                self.state.metrics.record_shed();
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                let body = error_body("overloaded", "worker queue is full", |_| {});
+                let _ = http::write_response_with(
+                    &mut stream,
+                    503,
+                    &[("retry-after", RETRY_AFTER_SECS)],
+                    &body,
+                );
+                self.state
+                    .metrics
+                    .record_request("SHED", 503, Duration::ZERO);
+                continue;
+            }
             let state = Arc::clone(&self.state);
             if !self.pool.execute(move || handle_connection(stream, &state)) {
                 break;
@@ -262,6 +398,15 @@ impl Server {
         self.pool.shutdown();
         // All workers are done; make their final appends durable.
         self.state.journal_flush();
+        // Graceful drain ships the final frame batch: wake the replication
+        // writers (they flush their queues, then send a last heartbeat)
+        // and wait — bounded — for a follower to ack the journal's tip.
+        if let (Some(hub), Some(journal)) = (&self.state.repl_hub, &self.state.journal) {
+            hub.wake_all();
+            if hub.live_followers() > 0 {
+                let _ = hub.wait_acked(journal.last_lsn(), Duration::from_secs(2));
+            }
+        }
         Ok(())
     }
 }
@@ -289,6 +434,21 @@ impl ServerHandle {
         self.state.draining.store(true, Ordering::SeqCst);
         // Wake the acceptor so it observes the flag even with no traffic.
         let _ = TcpStream::connect(self.addr);
+        // Wake the replication acceptor the same way.
+        if let Some(addr) = self.state.repl_bound {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    /// The bound replication address, when `--repl-addr` is configured.
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.state.repl_bound
+    }
+
+    /// This node's current replication role (`leader`, `follower`, or
+    /// `candidate`).
+    pub fn role(&self) -> &'static str {
+        repl::role_str(self.state.role.load(Ordering::SeqCst))
     }
 }
 
@@ -300,12 +460,48 @@ impl ServerHandle {
 /// responses.
 const RETRY_AFTER_SECS: &str = "1";
 
+/// A read adapter that bounds the *total* time spent reading one request.
+///
+/// Per-read socket timeouts alone do not stop a slowloris: a client
+/// trickling one byte per interval resets the timer forever. Each read
+/// through this wrapper re-arms the socket timeout to the smaller of the
+/// per-read timeout and the remaining request budget, so the whole
+/// head+body read is over within `request_deadline` no matter the drip
+/// rate.
+struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+    per_read: Duration,
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request read deadline exceeded",
+            ));
+        }
+        self.stream
+            .set_read_timeout(Some(remaining.min(self.per_read)))?;
+        (&mut &*self.stream).read(buf)
+    }
+}
+
 fn handle_connection(stream: TcpStream, state: &ServerState) {
     let start = Instant::now();
-    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
     let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+    let result = {
+        let mut reader = DeadlineStream {
+            stream: &stream,
+            deadline: start + state.config.request_deadline,
+            per_read: state.config.read_timeout,
+        };
+        http::read_request(&mut reader, state.config.max_body_bytes)
+    };
     let mut stream = stream;
-    match http::read_request(&mut stream, state.config.max_body_bytes) {
+    match result {
         Ok(req) => {
             let label = endpoint_label(&req.method, &req.path);
             let (status, body) = route(state, &req);
@@ -325,9 +521,8 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
         Err(HttpError::EmptyConnection) => {}
         Err(e) => {
             let (status, code) = match &e {
-                HttpError::HeadTooLarge | HttpError::BodyTooLarge { .. } => {
-                    (413, "payload_too_large")
-                }
+                HttpError::HeadTooLarge => (431, "headers_too_large"),
+                HttpError::BodyTooLarge { .. } => (413, "payload_too_large"),
                 HttpError::Io(_) => (408, "timeout"),
                 _ => (400, "bad_request"),
             };
@@ -355,6 +550,7 @@ fn endpoint_label(method: &str, path: &str) -> String {
         ["sessions", _, "feedback"] => "/sessions/{id}/feedback",
         ["sessions", _, "explain"] => "/sessions/{id}/explain",
         ["sessions", _, "lint"] => "/sessions/{id}/lint",
+        ["admin", "promote"] => "/admin/promote",
         _ => "/unknown",
     };
     format!("{method} {norm}")
@@ -444,6 +640,23 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
             error_body("draining", "server is shutting down", |_| {}),
         );
     }
+    // Followers (and candidates mid-promotion) are read-only replicas:
+    // anything mutating is refused with a hint at who the leader is, so
+    // clients behind a naive load balancer can redirect themselves.
+    let role = state.role.load(Ordering::SeqCst);
+    if role != ROLE_LEADER && req.method != "GET" && segs.as_slice() != ["admin", "promote"] {
+        let leader = state.config.follow.clone();
+        return (
+            409,
+            error_body("not_leader", "this node is a read-only replica", |j| {
+                j.key("role").str_value(repl::role_str(role));
+                match &leader {
+                    Some(addr) => j.key("leader").str_value(addr),
+                    None => j.key("leader").null_value(),
+                };
+            }),
+        );
+    }
     let result = match (req.method.as_str(), segs.as_slice()) {
         ("GET", ["healthz"]) => Ok(healthz(state, draining)),
         ("GET", ["metrics"]) => Ok(metrics(state)),
@@ -459,6 +672,7 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
         ("GET", ["sessions", id, "explain"]) => with_session(state, id, explain_session),
         ("GET", ["sessions", id, "lint"]) => with_session(state, id, lint_session),
         ("DELETE", ["sessions", id]) => delete_session(state, id),
+        ("POST", ["admin", "promote"]) => admin_promote(state),
         (
             _,
             ["healthz"]
@@ -466,7 +680,8 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
             | ["catalogs"]
             | ["sessions"]
             | ["sessions", _]
-            | ["sessions", _, "solve" | "execute" | "feedback" | "explain" | "lint"],
+            | ["sessions", _, "solve" | "execute" | "feedback" | "explain" | "lint"]
+            | ["admin", "promote"],
         ) => Err(ApiError::new(
             405,
             "method_not_allowed",
@@ -478,10 +693,29 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
             &format!("no route for {}", req.path),
         )),
     };
-    match result {
+    let (status, body) = match result {
         Ok(ok) => ok,
         Err(e) => (e.status, e.body),
+    };
+    // Semi-sync replication: a mutating request only succeeds once a
+    // follower has durably applied its journal event. On timeout the
+    // write is still locally durable, but the client learns replication
+    // lagged instead of being handed an unreplicated success.
+    if state.config.repl_sync && req.method != "GET" && (200..300).contains(&status) {
+        if let (Some(hub), Some(journal)) = (&state.repl_hub, &state.journal) {
+            if !hub.wait_acked(journal.last_lsn(), state.config.repl_sync_timeout) {
+                return (
+                    503,
+                    error_body(
+                        "replication_timeout",
+                        "write is locally durable but no follower acked in time",
+                        |_| {},
+                    ),
+                );
+            }
+        }
     }
+    (status, body)
 }
 
 fn parse_body(req: &Request) -> Result<Json, ApiError> {
@@ -519,8 +753,59 @@ fn healthz(state: &ServerState, draining: bool) -> (u16, String) {
     j.key("draining").bool_value(draining);
     j.key("sessions")
         .uint_value(state.store.sessions_len() as u64);
+    j.key("role")
+        .str_value(repl::role_str(state.role.load(Ordering::SeqCst)));
+    if let Some(journal) = &state.journal {
+        let (lsn, digest) = journal.state_digest();
+        j.key("lsn").uint_value(lsn);
+        j.key("digest").str_value(&format!("{digest:016x}"));
+    }
+    if let Some(follower) = &state.follower {
+        j.key("follower").begin_obj();
+        j.key("leader").str_value(&follower.leader);
+        j.key("applied")
+            .uint_value(follower.applied.load(Ordering::SeqCst));
+        j.key("diverged")
+            .bool_value(follower.diverged.load(Ordering::SeqCst));
+        j.end_obj();
+    }
     j.end_obj();
     (200, j.finish())
+}
+
+/// `POST /admin/promote`: checked failover. Refuses when this node is
+/// already the leader or has been quarantined by a digest mismatch;
+/// otherwise stops following, flips the role, and reports the state
+/// digest the operator can compare against the old leader's replay.
+fn admin_promote(state: &ServerState) -> Result<(u16, String), ApiError> {
+    match repl::promote(state) {
+        Ok((lsn, digest)) => {
+            let verified = state
+                .follower
+                .as_ref()
+                .map_or(0, |f| f.verified.load(Ordering::SeqCst));
+            let mut j = JsonBuf::new();
+            j.begin_obj();
+            j.key("promoted").bool_value(true);
+            j.key("role").str_value("leader");
+            j.key("lsn").uint_value(lsn);
+            j.key("digest").str_value(&format!("{digest:016x}"));
+            j.key("verified_lsn").uint_value(verified);
+            j.end_obj();
+            Ok((200, j.finish()))
+        }
+        Err("diverged") => Err(ApiError::new(
+            409,
+            "diverged",
+            "follower state diverged from the leader and is quarantined; \
+             refusing to promote",
+        )),
+        Err(_) => Err(ApiError::new(
+            409,
+            "already_leader",
+            "this node is already the leader",
+        )),
+    }
 }
 
 fn metrics(state: &ServerState) -> (u16, String) {
@@ -1435,7 +1720,11 @@ fn replay_events(store: &Store, max_solve_evaluations: u64, events: Vec<Event>) 
     summary
 }
 
-fn replay_event(store: &Store, max_solve_evaluations: u64, event: Event) -> Result<(), String> {
+pub(crate) fn replay_event(
+    store: &Store,
+    max_solve_evaluations: u64,
+    event: Event,
+) -> Result<(), String> {
     match event {
         Event::CatalogCreate { id, text } => {
             let universe =

@@ -249,6 +249,21 @@ impl Store {
         self.sessions.read().expect("sessions lock poisoned").len()
     }
 
+    /// Drops every catalog and session. The replication follower calls
+    /// this on a full-resync RESET before replaying the leader's complete
+    /// frame set; id counters stay monotone so ids handed out after a
+    /// resync never collide with journaled ones.
+    pub fn clear(&self) {
+        self.catalogs
+            .write()
+            .expect("catalogs lock poisoned")
+            .clear();
+        self.sessions
+            .write()
+            .expect("sessions lock poisoned")
+            .clear();
+    }
+
     /// Evicts every session idle for at least the TTL (and not held by an
     /// in-flight handler — see [`Store::evictable`]), returning the evicted
     /// ids. Called opportunistically by the server.
@@ -420,6 +435,21 @@ mod tests {
         drop(guard);
         let (_, evicted) = store.insert_session(cid, session(&u)).unwrap();
         assert_eq!(evicted, vec![busy]);
+    }
+
+    #[test]
+    fn clear_empties_both_maps_but_keeps_ids_monotone() {
+        let (store, cid, u) = store_with_catalog(8, Duration::from_secs(60));
+        let (sid, _) = store.insert_session(cid, session(&u)).unwrap();
+        store.clear();
+        assert_eq!(store.catalogs_len(), 0);
+        assert_eq!(store.sessions_len(), 0);
+        assert!(store.catalog(cid).is_none());
+        assert!(store.session(sid).is_none());
+        // Ids keep counting up — a post-clear upload never reuses cid.
+        let cache = Arc::new(SimilarityCache::build(&u, &JaccardNGram::trigram()));
+        let fresh = store.insert_catalog(Arc::clone(&u), cache);
+        assert!(fresh > cid);
     }
 
     #[test]

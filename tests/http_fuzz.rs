@@ -1,0 +1,191 @@
+//! Property fuzzing of the two wire decoders in `mube-serve`: the HTTP/1.1
+//! request parser and the replication frame reader. Both sit on untrusted
+//! network input, so the contracts are strict — never panic, never accept
+//! corrupt input, and for the frame reader: decode the good prefix of a
+//! torn or corrupted stream, then stop cleanly.
+
+use std::io::Cursor;
+
+use mube_serve::persist::encode_event_frame;
+use mube_serve::repl::{encode_heartbeat, encode_reset, FrameReader, TAG_HEARTBEAT, TAG_RESET};
+use mube_serve::{http, Event};
+use proptest::prelude::*;
+
+const MAX_BODY: usize = 1 << 20;
+
+fn config() -> ProptestConfig {
+    ProptestConfig {
+        cases: 192,
+        ..ProptestConfig::default()
+    }
+}
+
+/// Renders one replication frame from a `(selector, lsn, digest, text)`
+/// tuple: event, heartbeat, or reset.
+fn render_frame(selector: u8, lsn: u64, digest: u64, text: &str) -> Vec<u8> {
+    match selector % 3 {
+        0 => {
+            let id = lsn % 1000 + 1;
+            encode_event_frame(
+                id,
+                &Event::CatalogCreate {
+                    id,
+                    text: text.to_string(),
+                },
+            )
+        }
+        1 => encode_heartbeat(lsn, digest),
+        _ => encode_reset(),
+    }
+}
+
+/// A stream of well-formed replication frames (events + control frames).
+fn frame_stream() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec((0u8..3, 1u64..1000, any::<u64>(), "[ -~]{0,40}"), 1..8).prop_map(
+        |specs| {
+            specs
+                .iter()
+                .flat_map(|(sel, lsn, digest, text)| render_frame(*sel, *lsn, *digest, text))
+                .collect()
+        },
+    )
+}
+
+/// Decodes everything the reader can produce; panics bubble up to proptest.
+fn drain(reader: &mut FrameReader) -> (usize, bool) {
+    let mut decoded = 0;
+    loop {
+        match reader.next_frame() {
+            Ok(Some(_)) => decoded += 1,
+            Ok(None) => return (decoded, false),
+            Err(_) => return (decoded, true),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(config())]
+
+    /// The HTTP parser never panics on arbitrary bytes: every input is
+    /// either a parsed request or a typed `HttpError` that maps to a 4xx.
+    #[test]
+    fn http_parser_never_panics(input in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = http::read_request(&mut Cursor::new(input), MAX_BODY);
+    }
+
+    /// Hostile-but-structured request heads also never panic, and header
+    /// floods are rejected rather than accepted.
+    #[test]
+    fn http_parser_survives_request_soup(
+        method in "[A-Z]{0,10}",
+        path in "[ -~]{0,40}",
+        headers in proptest::collection::vec(("[a-zA-Z-]{1,20}", "[ -~]{0,40}"), 0..80),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // The parser stores up to 64 headers and rejects the 65th.
+        let flood = headers.len() > 64;
+        let mut raw = format!("{method} {path} HTTP/1.1\r\n");
+        for (name, value) in &headers {
+            raw.push_str(&format!("{name}: {value}\r\n"));
+        }
+        raw.push_str("\r\n");
+        let mut bytes = raw.into_bytes();
+        bytes.extend_from_slice(&body);
+        let parsed = http::read_request(&mut Cursor::new(bytes), MAX_BODY);
+        if flood {
+            prop_assert!(parsed.is_err(), "header floods must be rejected");
+        }
+    }
+
+    /// A mutated byte inside a valid request never causes a panic.
+    #[test]
+    fn http_parser_survives_single_byte_mutations(
+        at in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        let mut raw = b"POST /sessions HTTP/1.1\r\nhost: a\r\ncontent-length: 2\r\n\r\n{}".to_vec();
+        let at = (at as usize) % raw.len();
+        raw[at] = byte;
+        let _ = http::read_request(&mut Cursor::new(raw), MAX_BODY);
+    }
+
+    /// A torn stream (cut at any offset) decodes exactly the frames whose
+    /// bytes fully arrived, then reports "need more" — never an error,
+    /// never a partial frame.
+    #[test]
+    fn frame_reader_decodes_the_good_prefix_of_a_torn_stream(
+        stream in frame_stream(),
+        cut in any::<u64>(),
+    ) {
+        let cut = (cut as usize) % (stream.len() + 1);
+        let mut whole = FrameReader::new();
+        whole.feed(&stream);
+        let (total, err) = drain(&mut whole);
+        prop_assert!(!err, "well-formed stream must decode cleanly");
+
+        let mut torn = FrameReader::new();
+        torn.feed(&stream[..cut]);
+        let (decoded, err) = drain(&mut torn);
+        prop_assert!(!err, "a torn tail is incomplete, not corrupt");
+        prop_assert!(decoded <= total);
+        if cut == stream.len() {
+            prop_assert_eq!(decoded, total);
+        }
+    }
+
+    /// A flipped byte is either detected (CRC/length error) or lands in a
+    /// frame after the good prefix — the reader never panics and never
+    /// yields more frames than the stream held.
+    #[test]
+    fn frame_reader_rejects_or_bounds_corruption(
+        stream in frame_stream(),
+        at in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut corrupt = stream.clone();
+        let at = (at as usize) % corrupt.len();
+        corrupt[at] ^= flip;
+
+        let mut whole = FrameReader::new();
+        whole.feed(&stream);
+        let (total, _) = drain(&mut whole);
+
+        let mut reader = FrameReader::new();
+        reader.feed(&corrupt);
+        let (decoded, _) = drain(&mut reader);
+        prop_assert!(decoded <= total, "corruption must never invent frames");
+    }
+
+    /// Frames delivered one byte at a time decode identically to frames
+    /// delivered in one burst.
+    #[test]
+    fn frame_reader_is_chunking_invariant(stream in frame_stream()) {
+        let mut whole = FrameReader::new();
+        whole.feed(&stream);
+        let (total, err) = drain(&mut whole);
+        prop_assert!(!err);
+
+        let mut dribble = FrameReader::new();
+        let mut decoded = 0;
+        for byte in &stream {
+            dribble.feed(std::slice::from_ref(byte));
+            while let Ok(Some(_)) = dribble.next_frame() {
+                decoded += 1;
+            }
+        }
+        prop_assert_eq!(decoded, total);
+    }
+}
+
+/// Control frames round-trip through the reader with their tags intact.
+#[test]
+fn control_frames_round_trip() {
+    let mut reader = FrameReader::new();
+    reader.feed(&encode_heartbeat(42, 0xdead_beef));
+    reader.feed(&encode_reset());
+    let hb = reader.next_frame().unwrap().expect("heartbeat");
+    assert_eq!((hb.lsn, hb.tag), (42, TAG_HEARTBEAT));
+    let reset = reader.next_frame().unwrap().expect("reset");
+    assert_eq!((reset.lsn, reset.tag), (0, TAG_RESET));
+    assert!(reader.next_frame().unwrap().is_none());
+}
