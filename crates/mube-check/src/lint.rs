@@ -16,6 +16,7 @@
 //! | MUBE105 | error | `static mut` (use atomics or `OnceLock`) |
 //! | MUBE106 | warning | `println!`/`eprintln!` in library crates (return strings or use the server's log paths) |
 //! | MUBE107 | error | blocking socket read/connect in network code (`repl.rs`/`http.rs`) without an adjacent `// deadline:` comment naming the bound |
+//! | MUBE108 | error | `sync_all`/`sync_data`/`flush` result discarded in durability code (`persist.rs`/`repl.rs`/`fsck.rs`) without an adjacent `// durability:` justification |
 //!
 //! Suppression, narrowest first: a `// lint-src: allow(MUBE1xx)` comment on
 //! the offending line or the line above waives one site; an allowlist file
@@ -62,7 +63,7 @@ pub struct Rule {
 }
 
 /// Every rule, in code order. Codes are stable: never renumber.
-pub const RULES: [Rule; 7] = [
+pub const RULES: [Rule; 8] = [
     Rule {
         code: "MUBE101",
         name: "wall-clock-in-solver",
@@ -111,6 +112,13 @@ pub const RULES: [Rule; 7] = [
         severity: Severity::Error,
         summary: "blocking read/connect in replication or HTTP code without \
                   an adjacent `// deadline:` comment naming the bound",
+    },
+    Rule {
+        code: "MUBE108",
+        name: "discarded-durability-result",
+        severity: Severity::Error,
+        summary: "sync_all/sync_data/flush result discarded in durability \
+                  code without an adjacent `// durability:` justification",
     },
 ];
 
@@ -532,6 +540,10 @@ const CLOCK_SCOPED: [&str; 2] = ["mube-opt", "mube-exec"];
 /// bench harness.
 const PRINT_EXEMPT: [&str; 2] = ["mube-cli", "mube-bench"];
 
+/// mube-serve files whose fsync/flush results carry a durability promise
+/// (MUBE108): the journal, the replication pump, and the offline checker.
+const DURABILITY_SCOPED: [&str; 3] = ["/persist.rs", "/repl.rs", "/fsck.rs"];
+
 fn comment_near(comments: &BTreeMap<usize, String>, line: usize, needle: &str) -> bool {
     if comments.get(&line).is_some_and(|c| c.contains(needle)) {
         return true;
@@ -586,6 +598,8 @@ pub fn lint_file(rel_path: &str, text: &str) -> Vec<Finding> {
     let clock_scoped = CLOCK_SCOPED.contains(&krate);
     let net_scoped =
         krate == "mube-serve" && (rel_path.ends_with("/repl.rs") || rel_path.ends_with("/http.rs"));
+    let durability_scoped =
+        krate == "mube-serve" && DURABILITY_SCOPED.iter().any(|f| rel_path.ends_with(f));
     let print_exempt = PRINT_EXEMPT.contains(&krate)
         || rel_path.contains("/bin/")
         || rel_path.ends_with("/main.rs");
@@ -686,6 +700,60 @@ pub fn lint_file(rel_path: &str, text: &str) -> Vec<Finding> {
                             .to_string(),
                     );
                 }
+            }
+        }
+        if durability_scoped
+            && punct_at(&toks, i) == Some('.')
+            && matches!(
+                ident_at(&toks, i + 1),
+                Some("sync_all" | "sync_data" | "flush")
+            )
+            && punct_at(&toks, i + 2) == Some('(')
+        {
+            let name = ident_at(&toks, i + 1).expect("matched ident");
+            let at = toks[i + 1].line;
+            // Scan to the call's matching close paren.
+            let mut depth = 0usize;
+            let mut j = i + 2;
+            while j < toks.len() {
+                match punct_at(&toks, j) {
+                    Some('(') => depth += 1,
+                    Some(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let after = punct_at(&toks, j + 1);
+            // `f.sync_all();` drops the Result on the floor; `let _ = …`
+            // launders it past the compiler's must_use warning. `?`, a
+            // continued method chain, or any other consumer counts as
+            // handling — except a chain whose whole value is bound to `_`.
+            let discarded_stmt = after == Some(';');
+            let let_discarded = after != Some('?') && {
+                let mut k = i;
+                while k > 0 && !matches!(punct_at(&toks, k - 1), Some(';' | '{' | '}')) {
+                    k -= 1;
+                }
+                ident_at(&toks, k) == Some("let")
+                    && ident_at(&toks, k + 1) == Some("_")
+                    && punct_at(&toks, k + 2) == Some('=')
+            };
+            if (discarded_stmt || let_discarded) && !comment_near(comments, at, "durability:") {
+                push(
+                    "MUBE108",
+                    at,
+                    format!(
+                        "`.{name}()` result discarded in durability-critical code: \
+                         an unreported fsync failure silently voids the journal's \
+                         crash promise; check it, propagate it, or justify with an \
+                         adjacent `// durability:` comment"
+                    ),
+                );
             }
         }
         if !print_exempt
@@ -971,13 +1039,16 @@ mod tests {
         let codes: Vec<_> = RULES.iter().map(|r| r.code).collect();
         assert_eq!(
             codes,
-            ["MUBE101", "MUBE102", "MUBE103", "MUBE104", "MUBE105", "MUBE106", "MUBE107"]
+            [
+                "MUBE101", "MUBE102", "MUBE103", "MUBE104", "MUBE105", "MUBE106", "MUBE107",
+                "MUBE108"
+            ]
         );
         let errors = RULES
             .iter()
             .filter(|r| r.severity == Severity::Error)
             .count();
-        assert_eq!(errors, 4, "101/102/105/107 are errors; the rest warn");
+        assert_eq!(errors, 5, "101/102/105/107/108 are errors; the rest warn");
     }
 
     #[test]
@@ -1007,5 +1078,44 @@ mod tests {
                       // lint-src: allow(MUBE107)\n    \
                       s.read_to_end(&mut Vec::new()).ok();\n}\n";
         assert!(lint_file(NET, waived).is_empty());
+    }
+
+    #[test]
+    fn mube108_flags_discarded_sync_results_in_durability_files() {
+        const DUR: &str = "crates/mube-serve/src/persist.rs";
+
+        // A bare statement and a `let _ =` both drop the Result.
+        let bare = "fn seal(f: &File) {\n    f.sync_all();\n}\n";
+        let found = lint_file(DUR, bare);
+        assert_eq!(codes(&found), ["MUBE108"]);
+        assert_eq!(found[0].severity, Severity::Error);
+        let laundered = "fn seal(f: &File) {\n    let _ = f.sync_all();\n}\n";
+        assert_eq!(codes(&lint_file(DUR, laundered)), ["MUBE108"]);
+        let chained_away = "fn seal(f: &File) {\n    let _ = f.flush().ok();\n}\n";
+        assert_eq!(codes(&lint_file(DUR, chained_away)), ["MUBE108"]);
+
+        // Propagating or consuming the Result is handling it.
+        let propagated =
+            "fn seal(f: &File) -> std::io::Result<()> {\n    f.sync_all()?;\n    Ok(())\n}\n";
+        assert!(lint_file(DUR, propagated).is_empty());
+        let let_propagated =
+            "fn seal(f: &File) -> std::io::Result<()> {\n    let _ = f.sync_data()?;\n    Ok(())\n}\n";
+        assert!(lint_file(DUR, let_propagated).is_empty());
+        let consumed = "fn seal(f: &File) -> bool {\n    f.sync_all().is_ok()\n}\n";
+        assert!(lint_file(DUR, consumed).is_empty());
+
+        // An adjacent `// durability:` comment justifies a best-effort sync.
+        let justified = "fn seal(f: &File) {\n    \
+                         // durability: directory fsync is best-effort; data files are synced\n    \
+                         let _ = f.sync_all();\n}\n";
+        assert!(lint_file(DUR, justified).is_empty());
+
+        // Scope: repl.rs and fsck.rs are in; other files/crates are not.
+        assert_eq!(
+            codes(&lint_file("crates/mube-serve/src/fsck.rs", bare)),
+            ["MUBE108"]
+        );
+        assert!(lint_file("crates/mube-serve/src/server.rs", bare).is_empty());
+        assert!(lint_file("crates/mube-core/src/persist.rs", bare).is_empty());
     }
 }

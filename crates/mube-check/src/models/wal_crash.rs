@@ -19,8 +19,18 @@
 //! A second pass flips one bit at every byte position and asserts replay
 //! still yields a strict prefix (detected via CRC, length sanity, or torn
 //! body — never a decoded garbage record).
+//!
+//! A third family of checks leaves the model codec behind and drives the
+//! **real** recovery path: it seeds a data directory through the production
+//! [`Journal`], then truncates `snapshot.wal` at every byte offset (and
+//! flips every bit) and calls the production [`Journal::open`] on the
+//! mutilated directory. For every mutation, open must return `Ok`, never
+//! panic, report the corruption, recover exactly a prefix of the sealed
+//! snapshot plus the surviving tail, stay writable, and recover the same
+//! state again on a second open.
 
-use mube_serve::persist::crc32;
+use mube_serve::persist::{crc32, Event, FsyncPolicy, Journal};
+use std::path::Path;
 
 /// Mirrors the production `MAX_RECORD_BYTES` length-sanity bound.
 const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
@@ -184,6 +194,201 @@ pub fn check_all_bit_flips() -> usize {
     explored
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot crash points, against the production recovery path
+// ---------------------------------------------------------------------------
+
+/// Committed history for the snapshot explorer: five events with varied
+/// body shapes. No `SessionDelete` — compaction prunes deleted sessions
+/// from the snapshot, which would break the strict-prefix oracle below.
+fn snapshot_model_events() -> Vec<Event> {
+    vec![
+        Event::CatalogCreate {
+            id: 1,
+            text: "site0001|books|title,author,publisher\n".to_string(),
+        },
+        Event::SessionCreate {
+            id: 1,
+            catalog_id: 1,
+            body: "{\"max\":4,\"theta\":0.5}".to_string(),
+        },
+        Event::Feedback {
+            session: 1,
+            body: "{\"pin\":[\"site0001\"],\"weight\":{\"coverage\":0.4}}".to_string(),
+        },
+        Event::SessionCreate {
+            id: 2,
+            catalog_id: 1,
+            body: "{\"max\":8}".to_string(),
+        },
+        Event::CatalogCreate {
+            id: 2,
+            text: "site0002|airfares|from,to,fare\n".to_string(),
+        },
+    ]
+}
+
+/// Opens `dir` with the production recovery path and asserts the snapshot
+/// crash invariant: recovery succeeds, yields `committed[..k]` for some `k`
+/// plus the surviving tail suffix, reports corruption honestly
+/// (`expect_members` = `Some(k)` pins a clean image that must recover
+/// exactly `k` members without a corruption report; `None` expects a
+/// report), stays writable, and is deterministic across a second open.
+fn assert_snapshot_recovery(
+    dir: &Path,
+    committed: &[Event],
+    label: &str,
+    expect_members: Option<usize>,
+) {
+    let (journal, events, report) =
+        Journal::open(dir, FsyncPolicy::Never, 1000).unwrap_or_else(|e| {
+            panic!("{label}: production open must tolerate snapshot damage, got Err({e})")
+        });
+    // The tail's events survive every snapshot mutation; snapshot members
+    // survive as a strict prefix. So the recovered list must be
+    // committed[..k] ++ committed[4..] for some k <= 4.
+    let tail_suffix = &committed[4..];
+    assert!(
+        events.len() >= tail_suffix.len() && events.ends_with(tail_suffix),
+        "{label}: journal tail lost (recovered {} events)",
+        events.len()
+    );
+    let k = events.len() - tail_suffix.len();
+    assert!(
+        k <= 4 && events[..k] == committed[..k],
+        "{label}: recovered members are not a prefix of the sealed snapshot"
+    );
+    match expect_members {
+        Some(want) => {
+            assert!(
+                report.corruption.is_none(),
+                "{label}: clean image reported corruption {:?}",
+                report.corruption
+            );
+            assert_eq!(k, want, "{label}: clean image lost snapshot members");
+        }
+        None => assert!(
+            report.corruption.is_some(),
+            "{label}: damage recovered silently (k = {k})"
+        ),
+    }
+    // Recovery is deterministic: drop the journal, open again, same state.
+    drop(journal);
+    let (journal2, events2, _) = Journal::open(dir, FsyncPolicy::Never, 1000)
+        .unwrap_or_else(|e| panic!("{label}: second open failed: {e}"));
+    assert_eq!(events, events2, "{label}: recovery is not deterministic");
+    // The recovered journal stays writable past the damage.
+    journal2
+        .append(Event::SessionDelete { session: 99 })
+        .unwrap_or_else(|e| panic!("{label}: recovered journal rejected an append: {e}"));
+}
+
+/// Seeds a real data dir whose `snapshot.wal` seals the first four events
+/// (cadence 2 compacts at LSNs 2 and 4) and whose tail holds the fifth;
+/// returns the committed events plus both files' bytes.
+fn seed_snapshot_dir(dir: &Path) -> (Vec<Event>, Vec<u8>, Vec<u8>) {
+    let committed = snapshot_model_events();
+    let (journal, _, _) = Journal::open(dir, FsyncPolicy::Never, 2).expect("seed dir opens clean");
+    for event in &committed {
+        journal.append(event.clone()).expect("seed append");
+    }
+    journal.flush().expect("seed flush");
+    drop(journal);
+    let snap = std::fs::read(dir.join("snapshot.wal")).expect("seed snapshot exists");
+    let tail = std::fs::read(dir.join("journal.wal")).expect("seed tail exists");
+    assert!(snap.len() > 100, "seed snapshot too small to explore");
+    assert!(
+        !tail.is_empty(),
+        "seed tail empty: cadence did not land at 4"
+    );
+    (committed, snap, tail)
+}
+
+/// Runs `mutate` over every index in `0..=snap.len()`, building a fresh
+/// data dir with the mutated snapshot and the intact tail, and asserts
+/// [`assert_snapshot_recovery`] on each. Returns the images explored.
+fn explore_snapshot_images(
+    what: &str,
+    mutate: impl Fn(&[u8], usize) -> Option<(Vec<u8>, Option<usize>)>,
+) -> usize {
+    let base = std::env::temp_dir().join(format!(
+        "mube-check-snapcrash-{what}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    let seed = base.join("seed");
+    std::fs::create_dir_all(&seed).expect("create seed dir");
+    let (committed, snap, tail) = seed_snapshot_dir(&seed);
+
+    let mut explored = 0usize;
+    let work = base.join("work");
+    for i in 0..=snap.len() {
+        let Some((image, expect_members)) = mutate(&snap, i) else {
+            continue;
+        };
+        let _ = std::fs::remove_dir_all(&work);
+        std::fs::create_dir_all(&work).expect("create work dir");
+        std::fs::write(work.join("snapshot.wal"), &image).expect("write mutated snapshot");
+        std::fs::write(work.join("journal.wal"), &tail).expect("write tail");
+        assert_snapshot_recovery(
+            &work,
+            &committed,
+            &format!("{what} at byte {i}"),
+            expect_members,
+        );
+        explored += 1;
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    explored
+}
+
+/// Truncates a production-written `snapshot.wal` at every byte offset and
+/// asserts the production `Journal::open` recovers a consistent prefix (or
+/// an honestly-reported corruption) every time. Returns the cuts explored.
+///
+/// # Panics
+/// When any cut panics recovery, loses the tail, invents state, or
+/// misreports corruption.
+pub fn check_all_snapshot_crash_points() -> usize {
+    explore_snapshot_images("cut", |snap, cut| {
+        // A cut on a frame boundary leaves a well-formed (if shorter)
+        // snapshot holding however many member frames fit before the cut
+        // (the first frame is the header); everything else must be
+        // reported as corruption.
+        let mut boundary = (cut == 0).then_some(0usize);
+        let mut pos = 0usize;
+        let mut frames = 0usize;
+        while pos + 8 <= snap.len() {
+            let len = u32::from_le_bytes(snap[pos..pos + 4].try_into().expect("4 bytes"));
+            pos += 8 + len as usize;
+            frames += 1;
+            if pos == cut {
+                boundary = Some(frames.saturating_sub(1)); // minus the header
+            }
+        }
+        Some((snap[..cut].to_vec(), boundary))
+    })
+}
+
+/// Flips one bit at every byte of a production-written `snapshot.wal` and
+/// asserts the production `Journal::open` contains the damage every time.
+/// Returns the corruptions explored.
+///
+/// # Panics
+/// When any flip panics recovery, leaks garbage into the recovered state,
+/// or goes unreported.
+pub fn check_all_snapshot_bit_flips() -> usize {
+    explore_snapshot_images("flip", |snap, i| {
+        if i == snap.len() {
+            return None;
+        }
+        let mut image = snap.to_vec();
+        image[i] ^= 0x40;
+        // CRC-32 catches every single-bit error, so no flip is clean.
+        Some((image, None))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     /// Every byte-offset truncation restores a prefix-consistent state or
@@ -199,6 +404,23 @@ mod tests {
     fn every_bit_flip_is_contained() {
         let explored = super::check_all_bit_flips();
         assert!(explored > 200, "model WAL too small: {explored} flips");
+    }
+
+    /// Every byte-offset truncation of a real `snapshot.wal` recovers a
+    /// consistent prefix through the production `Journal::open` — never a
+    /// panic, never invented state, never a lost tail.
+    #[test]
+    fn every_snapshot_crash_point_recovers_through_production_open() {
+        let explored = super::check_all_snapshot_crash_points();
+        assert!(explored > 100, "seed snapshot too small: {explored} cuts");
+    }
+
+    /// Every single-bit flip in a real `snapshot.wal` is reported and
+    /// contained by the production `Journal::open`.
+    #[test]
+    fn every_snapshot_bit_flip_is_contained_by_production_open() {
+        let explored = super::check_all_snapshot_bit_flips();
+        assert!(explored > 100, "seed snapshot too small: {explored} flips");
     }
 
     /// The model's codec is byte-identical to production for a frame the

@@ -189,11 +189,31 @@ pub enum Command {
         /// Auto-promote after this long without leader contact
         /// (`None` = manual promotion only).
         promote_timeout: Option<std::time::Duration>,
+        /// Background-scrub cadence (`None` = server default; zero
+        /// disables scrubbing).
+        scrub_interval: Option<std::time::Duration>,
+        /// Quarantine retention cap (`None` = server default).
+        quarantine_keep: Option<u64>,
     },
     /// `mube promote` — ask a follower to become the leader.
     Promote {
         /// The follower's HTTP address (`host:port`).
         addr: String,
+    },
+    /// `mube resync` — rebuild a (diverged) follower from its leader.
+    Resync {
+        /// The follower's HTTP address (`host:port`).
+        addr: String,
+    },
+    /// `mube fsck` — offline data-dir integrity check and repair.
+    Fsck {
+        /// The data directory to check.
+        dir: String,
+        /// Quarantine corrupt ranges, salvage past them, and rebuild a
+        /// clean snapshot.
+        repair: bool,
+        /// Emit the report as JSON instead of text.
+        json: bool,
     },
     /// `mube help`.
     Help,
@@ -724,6 +744,8 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
             let mut repl_addr: Option<String> = None;
             let mut repl_sync = false;
             let mut promote_timeout: Option<std::time::Duration> = None;
+            let mut scrub_interval: Option<std::time::Duration> = None;
+            let mut quarantine_keep: Option<u64> = None;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--addr" => addr = take_value(flag, &mut iter)?.to_string(),
@@ -752,6 +774,19 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                         }
                         promote_timeout = Some(std::time::Duration::from_millis(ms));
                     }
+                    "--scrub-interval" => {
+                        let ms: u64 = take_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| bad("--scrub-interval needs milliseconds"))?;
+                        scrub_interval = Some(std::time::Duration::from_millis(ms));
+                    }
+                    "--quarantine-keep" => {
+                        quarantine_keep = Some(
+                            take_value(flag, &mut iter)?
+                                .parse()
+                                .map_err(|_| bad("--quarantine-keep needs an integer"))?,
+                        );
+                    }
                     other => return Err(bad(format!("unknown flag `{other}` for serve"))),
                 }
             }
@@ -760,6 +795,11 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
             }
             if promote_timeout.is_some() && follow.is_none() {
                 return Err(bad("--promote-timeout only makes sense with --follow"));
+            }
+            if (scrub_interval.is_some() || quarantine_keep.is_some()) && data_dir.is_none() {
+                return Err(bad(
+                    "--scrub-interval / --quarantine-keep require --data-dir",
+                ));
             }
             Ok(Command::Serve {
                 addr,
@@ -770,6 +810,8 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
                 repl_addr,
                 repl_sync,
                 promote_timeout,
+                scrub_interval,
+                quarantine_keep,
             })
         }
         "promote" => {
@@ -785,6 +827,37 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, CliError> {
             }
             let addr = addr.ok_or_else(|| bad("promote needs the follower's address"))?;
             Ok(Command::Promote { addr })
+        }
+        "resync" => {
+            let mut addr: Option<String> = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--addr" => addr = Some(take_value(flag, &mut iter)?.to_string()),
+                    other if !other.starts_with('-') && addr.is_none() => {
+                        addr = Some(other.to_string());
+                    }
+                    other => return Err(bad(format!("unknown flag `{other}` for resync"))),
+                }
+            }
+            let addr = addr.ok_or_else(|| bad("resync needs the follower's address"))?;
+            Ok(Command::Resync { addr })
+        }
+        "fsck" => {
+            let mut dir: Option<String> = None;
+            let mut repair = false;
+            let mut json = false;
+            for flag in iter.by_ref() {
+                match flag {
+                    "--repair" => repair = true,
+                    "--json" => json = true,
+                    other if !other.starts_with('-') && dir.is_none() => {
+                        dir = Some(other.to_string());
+                    }
+                    other => return Err(bad(format!("unknown flag `{other}` for fsck"))),
+                }
+            }
+            let dir = dir.ok_or_else(|| bad("fsck needs a data directory"))?;
+            Ok(Command::Fsck { dir, repair, json })
         }
         other => Err(bad(format!("unknown command `{other}`"))),
     }
@@ -1298,6 +1371,8 @@ mod tests {
                 repl_addr: None,
                 repl_sync: false,
                 promote_timeout: None,
+                scrub_interval: None,
+                quarantine_keep: None,
             }
         );
         assert_eq!(
@@ -1311,6 +1386,8 @@ mod tests {
                 repl_addr: None,
                 repl_sync: false,
                 promote_timeout: None,
+                scrub_interval: None,
+                quarantine_keep: None,
             }
         );
         assert!(p(&["serve", "--threads", "0"]).is_err());
@@ -1398,6 +1475,82 @@ mod tests {
             "0"
         ])
         .is_err());
+    }
+
+    #[test]
+    fn serve_integrity_flags() {
+        match p(&[
+            "serve",
+            "--data-dir",
+            "/tmp/s",
+            "--scrub-interval",
+            "250",
+            "--quarantine-keep",
+            "3",
+        ])
+        .unwrap()
+        {
+            Command::Serve {
+                scrub_interval,
+                quarantine_keep,
+                ..
+            } => {
+                assert_eq!(scrub_interval, Some(std::time::Duration::from_millis(250)));
+                assert_eq!(quarantine_keep, Some(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Zero disables the scrubber rather than erroring.
+        match p(&["serve", "--data-dir", "/tmp/s", "--scrub-interval", "0"]).unwrap() {
+            Command::Serve { scrub_interval, .. } => {
+                assert_eq!(scrub_interval, Some(std::time::Duration::ZERO));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Integrity flags act on a journal; without one they are a typo.
+        assert!(p(&["serve", "--scrub-interval", "250"]).is_err());
+        assert!(p(&["serve", "--quarantine-keep", "3"]).is_err());
+        assert!(p(&["serve", "--data-dir", "/tmp/s", "--quarantine-keep", "x"]).is_err());
+    }
+
+    #[test]
+    fn fsck_parses_dir_and_flags() {
+        assert_eq!(
+            p(&["fsck", "/tmp/data"]).unwrap(),
+            Command::Fsck {
+                dir: "/tmp/data".into(),
+                repair: false,
+                json: false,
+            }
+        );
+        assert_eq!(
+            p(&["fsck", "/tmp/data", "--repair", "--json"]).unwrap(),
+            Command::Fsck {
+                dir: "/tmp/data".into(),
+                repair: true,
+                json: true,
+            }
+        );
+        assert!(p(&["fsck"]).is_err());
+        assert!(p(&["fsck", "/tmp/data", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn resync_parses_addr() {
+        assert_eq!(
+            p(&["resync", "127.0.0.1:7208"]).unwrap(),
+            Command::Resync {
+                addr: "127.0.0.1:7208".into()
+            }
+        );
+        assert_eq!(
+            p(&["resync", "--addr", "10.0.0.2:80"]).unwrap(),
+            Command::Resync {
+                addr: "10.0.0.2:80".into()
+            }
+        );
+        assert!(p(&["resync"]).is_err());
+        assert!(p(&["resync", "--bogus", "x"]).is_err());
     }
 
     #[test]

@@ -247,7 +247,10 @@ pub fn run(command: Command) -> Result<String, CliError> {
             repl_addr,
             repl_sync,
             promote_timeout,
+            scrub_interval,
+            quarantine_keep,
         } => {
+            let defaults = mube_serve::ServeConfig::default();
             let config = mube_serve::ServeConfig {
                 addr,
                 threads,
@@ -257,7 +260,9 @@ pub fn run(command: Command) -> Result<String, CliError> {
                 repl_addr,
                 repl_sync,
                 promote_timeout: promote_timeout.unwrap_or(std::time::Duration::ZERO),
-                ..mube_serve::ServeConfig::default()
+                scrub_interval: scrub_interval.unwrap_or(defaults.scrub_interval),
+                quarantine_keep: quarantine_keep.unwrap_or(defaults.quarantine_keep),
+                ..defaults
             };
             let server = mube_serve::Server::bind(config)?;
             let bound = server.local_addr()?;
@@ -272,6 +277,8 @@ pub fn run(command: Command) -> Result<String, CliError> {
             Ok(String::new())
         }
         Command::Promote { addr } => promote_command(&addr),
+        Command::Resync { addr } => resync_command(&addr),
+        Command::Fsck { dir, repair, json } => fsck_command(&dir, repair, json),
         Command::ScaleSolve {
             sources,
             budget_ms,
@@ -490,10 +497,10 @@ pub fn run(command: Command) -> Result<String, CliError> {
     }
 }
 
-/// `mube promote`: POST `/admin/promote` to a follower and relay the
-/// response. A tiny hand-rolled HTTP client (the workspace takes no
-/// dependencies) with connect/read/write timeouts throughout.
-fn promote_command(addr: &str) -> Result<String, CliError> {
+/// POSTs an empty body to an admin path on a running server and returns
+/// `(status, body)`. A tiny hand-rolled HTTP client (the workspace takes
+/// no dependencies) with connect/read/write timeouts throughout.
+fn admin_post(addr: &str, path: &str) -> Result<(u16, String), CliError> {
     use std::io::{Read as _, Write as _};
     use std::net::{TcpStream, ToSocketAddrs};
     use std::time::Duration;
@@ -515,7 +522,7 @@ fn promote_command(addr: &str) -> Result<String, CliError> {
     let mut stream = stream;
     stream
         .write_all(
-            format!("POST /admin/promote HTTP/1.1\r\nhost: {addr}\r\ncontent-length: 0\r\nconnection: close\r\n\r\n")
+            format!("POST {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: 0\r\nconnection: close\r\n\r\n")
                 .as_bytes(),
         )
         .map_err(CliError::Io)?;
@@ -529,12 +536,55 @@ fn promote_command(addr: &str) -> Result<String, CliError> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| CliError::Usage(format!("`{addr}` returned a non-HTTP response")))?;
     let body = response.split_once("\r\n\r\n").map_or("", |(_, b)| b);
+    Ok((status, body.to_string()))
+}
+
+/// `mube promote`: POST `/admin/promote` to a follower and relay the
+/// response.
+fn promote_command(addr: &str) -> Result<String, CliError> {
+    let (status, body) = admin_post(addr, "/admin/promote")?;
     if status == 200 {
         Ok(format!("promoted: {body}\n"))
     } else {
         Err(CliError::Usage(format!(
             "promotion refused (HTTP {status}): {body}"
         )))
+    }
+}
+
+/// `mube resync`: POST `/admin/resync` to a follower and relay the
+/// response — the anti-entropy road back for a quarantined replica.
+fn resync_command(addr: &str) -> Result<String, CliError> {
+    let (status, body) = admin_post(addr, "/admin/resync")?;
+    if status == 200 {
+        Ok(format!("resyncing: {body}\n"))
+    } else {
+        Err(CliError::Usage(format!(
+            "resync refused (HTTP {status}): {body}"
+        )))
+    }
+}
+
+/// `mube fsck`: offline integrity check (and `--repair`) of a data dir.
+/// Exits nonzero when the directory is not clean, so scripts can gate a
+/// restart on it.
+fn fsck_command(dir: &str, repair: bool, json: bool) -> Result<String, CliError> {
+    let opts = mube_serve::FsckOptions {
+        repair,
+        ..mube_serve::FsckOptions::default()
+    };
+    let report = mube_serve::fsck(std::path::Path::new(dir), &opts).map_err(CliError::Io)?;
+    let rendered = if json {
+        let mut s = report.to_json();
+        s.push('\n');
+        s
+    } else {
+        report.render()
+    };
+    if report.clean {
+        Ok(rendered)
+    } else {
+        Err(CliError::Lint(rendered))
     }
 }
 
@@ -784,6 +834,29 @@ mod tests {
         let cmd = parse(&["gen", "--sources", &n.to_string(), "--out", &path]).unwrap();
         run(cmd).unwrap();
         path
+    }
+
+    #[test]
+    fn fsck_reports_clean_and_flags_corruption() {
+        let clean = tmp("fsck-clean-dir");
+        std::fs::create_dir_all(&clean).expect("fsck dir");
+        let out = run(parse(&["fsck", &clean]).unwrap()).unwrap();
+        assert!(out.contains("status: clean"), "{out}");
+
+        let bad = tmp("fsck-bad-dir");
+        std::fs::create_dir_all(&bad).expect("fsck dir");
+        std::fs::write(
+            std::path::Path::new(&bad).join("journal.wal"),
+            b"this is not a WAL frame",
+        )
+        .expect("write corrupt journal");
+        match run(parse(&["fsck", &bad, "--json"]).unwrap()) {
+            Err(CliError::Lint(json)) => {
+                assert!(json.contains("\"clean\":false"), "{json}");
+                assert!(json.contains("journal.wal"), "{json}");
+            }
+            other => panic!("expected fsck to fail on corruption, got {other:?}"),
+        }
     }
 
     #[test]

@@ -52,7 +52,10 @@ USAGE:
                        [--data-dir DIR] [--fsync always|interval[:MS]|never]
                        [--repl-addr HOST:PORT] [--follow HOST:PORT]
                        [--repl-sync] [--promote-timeout MS]
+                       [--scrub-interval MS] [--quarantine-keep K]
     mube promote  HOST:PORT
+    mube resync   HOST:PORT
+    mube fsck     DIR [--repair] [--json]
     mube help
 
 COMMANDS:
@@ -90,7 +93,17 @@ COMMANDS:
                --repl-addr ships the journal to followers, --follow
                runs a read-only replica of a leader (--repl-sync gates
                mutating responses on follower acks, --promote-timeout
-               auto-promotes after MS without leader contact)
+               auto-promotes after MS without leader contact);
+               --scrub-interval MS re-verifies the journal on disk
+               against served state in the background (0 disables),
+               --quarantine-keep K caps retained quarantine files
     promote    Ask a follower to become the leader (checked: refuses
                when its state diverged from the leader's)
+    resync     Ask a follower (diverged or not) to archive its journal
+               and take a fresh full copy from its leader
+    fsck       Check a --data-dir journal offline: CRCs, LSN order,
+               snapshot/tail overlap, replay digest; --repair truncates
+               torn tails, salvages readable records past corruption,
+               and rebuilds a clean snapshot (evidence is quarantined);
+               exits 2 when the directory is not clean
     help       Show this message";

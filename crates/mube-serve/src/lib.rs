@@ -17,6 +17,7 @@
 //! | `GET /metrics` | counters + latency histograms + replication stats |
 //! | `GET /healthz` | liveness, drain state, role, applied LSN + digest |
 //! | `POST /admin/promote` | checked failover: promote a follower to leader |
+//! | `POST /admin/resync` | un-quarantine a diverged follower via full resync |
 //!
 //! With a journal (`data_dir`) the server can also replicate: a leader
 //! (`repl_addr`) ships committed journal frames to followers (`follow`),
@@ -34,6 +35,7 @@
 //! similarities. See `PROTOCOL.md` at the repo root for the full wire
 //! reference.
 
+pub mod fsck;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -43,9 +45,13 @@ pub mod repl;
 pub mod server;
 pub mod store;
 
+pub use fsck::{fsck, FsckFile, FsckOptions, FsckReport};
 pub use json::{Json, JsonError};
-pub use metrics::{Histogram, Metrics, ServerStats, BUCKETS};
-pub use persist::{Event, FsyncPolicy, Journal, JournalStats, RecoveryReport, SolutionRecord};
+pub use metrics::{Histogram, Metrics, ScrubStats, ServerStats, BUCKETS};
+pub use persist::{
+    Event, FsyncPolicy, Journal, JournalStats, RecoveryReport, ScrubReport, SolutionRecord,
+    DEFAULT_QUARANTINE_KEEP,
+};
 pub use pool::WorkerPool;
 pub use repl::ReplStats;
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -14,6 +14,21 @@ use mube_core::jsonw::JsonBuf;
 use crate::persist::JournalStats;
 use crate::repl::ReplStats;
 
+/// Background-scrubber status, filled in by the server (the scrubber
+/// owns these numbers). Present whenever a journal is configured, even
+/// before the first scrub completes.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubStats {
+    /// Completed scrub passes.
+    pub runs: u64,
+    /// Passes that found corruption or a memory/disk digest mismatch.
+    pub failures: u64,
+    /// LSN covered by the last completed pass.
+    pub last_lsn: u64,
+    /// What the last failed pass found (`None` while healthy).
+    pub last_error: Option<String>,
+}
+
 /// Number of log-scale buckets: bucket `i` counts durations in
 /// `[2^i, 2^(i+1))` microseconds; the last bucket is unbounded above
 /// (≈ 2^19 µs ≈ 0.5 s and beyond).
@@ -140,6 +155,12 @@ pub struct ServerStats {
     /// Replication role/lag counters, when replication is configured
     /// (filled in by the server; the replication layer owns these).
     pub repl: Option<ReplStats>,
+    /// Background-scrubber status, when a journal is configured (filled
+    /// in by the server; the scrubber owns these).
+    pub scrub: Option<ScrubStats>,
+    /// Whether the node has fenced itself read-only (a failed scrub
+    /// found disk disagreeing with served state).
+    pub read_only: bool,
     /// Whole-request latency histogram.
     pub request_hist: Histogram,
     /// Solver-only latency histogram.
@@ -221,6 +242,9 @@ impl Metrics {
     /// `member_panics`, `journal`, and `repl` are supplied by the caller
     /// (the store, pool, solver layer, journal, and replication layer own
     /// those numbers).
+    // Each argument is a distinct subsystem's self-reported state; a
+    // params struct would just re-spell this signature with extra steps.
+    #[allow(clippy::too_many_arguments)]
     pub fn snapshot(
         &self,
         sessions_live: u64,
@@ -228,6 +252,8 @@ impl Metrics {
         member_panics: u64,
         journal: Option<JournalStats>,
         repl: Option<ReplStats>,
+        scrub: Option<ScrubStats>,
+        read_only: bool,
     ) -> ServerStats {
         let m = self.locked();
         ServerStats {
@@ -248,6 +274,8 @@ impl Metrics {
             member_panics,
             journal,
             repl,
+            scrub,
+            read_only,
             request_hist: m.request_hist.clone(),
             solve_hist: m.solve_hist.clone(),
             exec_hist: m.exec_hist.clone(),
@@ -299,6 +327,7 @@ impl ServerStats {
                 j.key("snapshots").uint_value(s.snapshots);
                 j.key("live_events").uint_value(s.live_events);
                 j.key("quarantined_bytes").uint_value(s.quarantined_bytes);
+                j.key("quarantine_files").uint_value(s.quarantine_files);
                 j.end_obj();
             }
             None => {
@@ -337,6 +366,23 @@ impl ServerStats {
                 j.key("repl").null_value();
             }
         }
+        match &self.scrub {
+            Some(s) => {
+                j.key("scrub").begin_obj();
+                j.key("runs").uint_value(s.runs);
+                j.key("failures").uint_value(s.failures);
+                j.key("last_lsn").uint_value(s.last_lsn);
+                match &s.last_error {
+                    Some(e) => j.key("last_error").str_value(e),
+                    None => j.key("last_error").null_value(),
+                };
+                j.end_obj();
+            }
+            None => {
+                j.key("scrub").null_value();
+            }
+        }
+        j.key("read_only").bool_value(self.read_only);
         j.key("exec").begin_obj();
         j.key("executions_run").uint_value(self.executions_run);
         j.key("fetch_attempts").uint_value(self.exec_fetch_attempts);
@@ -398,7 +444,15 @@ mod tests {
         m.sessions_evicted(3);
         m.record_execution(9, 4, 2, 1, Duration::from_millis(1));
         m.record_shed();
-        let s = m.snapshot(4, 2, 5, Some(JournalStats::default()), None);
+        let s = m.snapshot(
+            4,
+            2,
+            5,
+            Some(JournalStats::default()),
+            None,
+            Some(ScrubStats::default()),
+            false,
+        );
         assert_eq!(s.total_requests(), 3);
         assert_eq!(s.requests_for("GET /healthz"), 2);
         assert_eq!(s.requests[&("POST /sessions".to_string(), 422)], 1);
@@ -407,6 +461,8 @@ mod tests {
         assert_eq!(s.requests_shed, 1);
         assert_eq!(s.member_panics, 5);
         assert!(s.journal.is_some());
+        assert!(s.scrub.is_some());
+        assert!(!s.read_only);
         assert_eq!(s.sessions_evicted, 3);
         assert_eq!(s.sessions_live, 4);
         assert_eq!(s.worker_panics, 2);
@@ -425,17 +481,51 @@ mod tests {
         let m = Metrics::new();
         m.record_request("GET /metrics", 200, Duration::from_micros(3));
         m.record_execution(5, 1, 1, 0, Duration::from_micros(40));
-        let json = m.snapshot(1, 0, 0, None, None).to_json();
+        let json = m.snapshot(1, 0, 0, None, None, None, false).to_json();
         assert!(json.contains("\"endpoint\":\"GET /metrics\""), "{json}");
         assert!(json.contains("\"sessions_live\":1"), "{json}");
         assert!(json.contains("\"worker_panics\":0"), "{json}");
         assert!(json.contains("\"requests_shed\":0"), "{json}");
         assert!(json.contains("\"repl\":null"), "{json}");
+        assert!(json.contains("\"scrub\":null"), "{json}");
+        assert!(json.contains("\"read_only\":false"), "{json}");
         assert!(
             json.contains("\"exec\":{\"executions_run\":1,\"fetch_attempts\":5"),
             "{json}"
         );
         assert!(json.contains("\"exec_latency\""), "{json}");
         assert!(json.contains("\"buckets_micros_pow2\""), "{json}");
+    }
+
+    #[test]
+    fn scrub_block_renders_status_and_fences_read_only() {
+        let m = Metrics::new();
+        let scrub = ScrubStats {
+            runs: 7,
+            failures: 1,
+            last_lsn: 42,
+            last_error: Some("snapshot.wal: CRC mismatch at byte 9".to_string()),
+        };
+        let json = m
+            .snapshot(
+                0,
+                0,
+                0,
+                Some(JournalStats::default()),
+                None,
+                Some(scrub),
+                true,
+            )
+            .to_json();
+        assert!(
+            json.contains("\"scrub\":{\"runs\":7,\"failures\":1,\"last_lsn\":42"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"last_error\":\"snapshot.wal: CRC mismatch"),
+            "{json}"
+        );
+        assert!(json.contains("\"read_only\":true"), "{json}");
+        assert!(json.contains("\"quarantine_files\":0"), "{json}");
     }
 }

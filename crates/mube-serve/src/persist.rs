@@ -451,7 +451,7 @@ pub fn encode_event_frame(lsn: u64, event: &Event) -> Vec<u8> {
     encode_frame(lsn, event.tag(), &enc.buf)
 }
 
-fn encode_snapshot_header(through_lsn: u64) -> Vec<u8> {
+pub(crate) fn encode_snapshot_header(through_lsn: u64) -> Vec<u8> {
     encode_frame(
         through_lsn.wrapping_add(1),
         TAG_SNAPSHOT,
@@ -464,24 +464,24 @@ fn encode_snapshot_header(through_lsn: u64) -> Vec<u8> {
 // ---------------------------------------------------------------------------
 
 /// One decoded record.
-enum Record {
+pub(crate) enum Record {
     Snapshot { through_lsn: u64 },
     Event { lsn: u64, event: Event },
 }
 
 /// Result of scanning a WAL file up to the first corruption.
-struct Scan {
-    records: Vec<Record>,
+pub(crate) struct Scan {
+    pub(crate) records: Vec<Record>,
     /// Byte offset of the first corrupt record (== file length when clean).
-    good_len: u64,
+    pub(crate) good_len: u64,
     /// Total file length.
-    file_len: u64,
+    pub(crate) file_len: u64,
     /// Human-readable description of the corruption, if any.
-    corruption: Option<String>,
+    pub(crate) corruption: Option<String>,
 }
 
 /// Scans a WAL file, stopping at the first torn or corrupt record.
-fn scan_wal(path: &Path) -> std::io::Result<Scan> {
+pub(crate) fn scan_wal(path: &Path) -> std::io::Result<Scan> {
     let data = match fs::read(path) {
         Ok(d) => d,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -494,6 +494,12 @@ fn scan_wal(path: &Path) -> std::io::Result<Scan> {
         }
         Err(e) => return Err(e),
     };
+    Ok(scan_bytes(&data))
+}
+
+/// [`scan_wal`] over an in-memory image — shared with `mube fsck`, which
+/// holds the raw bytes anyway (it quarantines and salvages suffixes).
+pub(crate) fn scan_bytes(data: &[u8]) -> Scan {
     let mut records = Vec::new();
     let mut pos = 0usize;
     let mut corruption = None;
@@ -541,12 +547,12 @@ fn scan_wal(path: &Path) -> std::io::Result<Scan> {
         }
         pos = body_end;
     }
-    Ok(Scan {
+    Scan {
         records,
         good_len: pos as u64,
         file_len: data.len() as u64,
         corruption,
-    })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -623,6 +629,28 @@ pub struct JournalStats {
     pub live_events: u64,
     /// Bytes quarantined at boot.
     pub quarantined_bytes: u64,
+    /// `quarantine-N.wal` files currently on disk (after retention).
+    pub quarantine_files: u64,
+}
+
+/// Default retention for `quarantine-N.wal` evidence files (newest kept).
+pub const DEFAULT_QUARANTINE_KEEP: u64 = 8;
+
+/// One background-scrub pass over the on-disk files, compared against the
+/// in-memory journal mirror. `ok` is the only field the caller must act
+/// on: `false` means the disk no longer replays to the state being served.
+#[derive(Debug, Clone)]
+pub struct ScrubReport {
+    /// LSN of the in-memory journal at scrub time.
+    pub last_lsn: u64,
+    /// Digest of the in-memory live event stream.
+    pub memory_digest: u64,
+    /// Digest of the live event stream re-read from disk.
+    pub disk_digest: u64,
+    /// First corruption found re-reading the files, if any.
+    pub corruption: Option<String>,
+    /// Whether the disk matches the served state.
+    pub ok: bool,
 }
 
 struct JournalInner {
@@ -662,6 +690,17 @@ impl Journal {
         dir: &Path,
         policy: FsyncPolicy,
         snapshot_every: u64,
+    ) -> std::io::Result<(Journal, Vec<Event>, RecoveryReport)> {
+        Journal::open_with(dir, policy, snapshot_every, DEFAULT_QUARANTINE_KEEP)
+    }
+
+    /// [`Journal::open`] with an explicit quarantine retention cap (keep
+    /// the newest `quarantine_keep` evidence files, prune the rest).
+    pub fn open_with(
+        dir: &Path,
+        policy: FsyncPolicy,
+        snapshot_every: u64,
+        quarantine_keep: u64,
     ) -> std::io::Result<(Journal, Vec<Event>, RecoveryReport)> {
         fs::create_dir_all(dir)?;
         let mut report = RecoveryReport::default();
@@ -712,6 +751,9 @@ impl Journal {
             report.quarantine_file = Some(qpath);
             report.corruption = Some(format!("tail: {why}"));
         }
+        // Bound the corruption-evidence footprint: keep the newest few
+        // quarantine files, prune the rest.
+        prune_quarantines(dir, quarantine_keep);
 
         live.sort_by_key(|&(lsn, _)| lsn);
         let next_lsn = live
@@ -825,33 +867,7 @@ impl Journal {
     /// equal LSNs mean byte-identical stores. Returns `(last_lsn, digest)`.
     pub fn state_digest(&self) -> (u64, u64) {
         let inner = self.inner.lock().expect("journal lock poisoned");
-        let deleted: std::collections::HashSet<u64> = inner
-            .live
-            .iter()
-            .filter_map(|(_, e)| match e {
-                Event::SessionDelete { session } => Some(*session),
-                _ => None,
-            })
-            .collect();
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        let mut fnv = |bytes: &[u8]| {
-            for &b in bytes {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
-        let mut enc = Enc::new();
-        for (lsn, event) in &inner.live {
-            if event.session_id().is_some_and(|s| deleted.contains(&s)) {
-                continue;
-            }
-            enc.buf.clear();
-            event.encode_body(&mut enc);
-            fnv(&lsn.to_le_bytes());
-            fnv(&[event.tag()]);
-            fnv(&enc.buf);
-        }
-        (inner.next_lsn - 1, hash)
+        (inner.next_lsn - 1, digest_events(&inner.live))
     }
 
     /// Encoded wire frames for every live event with `lsn > after`, in LSN
@@ -921,7 +937,59 @@ impl Journal {
             snapshots: inner.snapshots,
             live_events: inner.live.len() as u64,
             quarantined_bytes: inner.quarantined_bytes,
+            quarantine_files: quarantine_files(&self.dir).len() as u64,
         }
+    }
+
+    /// One scrub pass: re-reads `snapshot.wal` and `journal.wal` from disk,
+    /// rebuilds the live event stream exactly as boot recovery would, and
+    /// compares its digest against the in-memory mirror. Runs under the
+    /// journal lock, so the files are quiescent for the duration (appends
+    /// briefly queue behind it) and the comparison is exact, not racy.
+    ///
+    /// This is the detection half of the self-healing story: a bit flip
+    /// that lands *after* boot — when the snapshot is otherwise only ever
+    /// read again at the next restart — is caught here while the node is
+    /// still serving, instead of at the next crash.
+    pub fn scrub(&self) -> std::io::Result<ScrubReport> {
+        let inner = self.inner.lock().expect("journal lock poisoned");
+        let snap_scan = scan_wal(&self.dir.join("snapshot.wal"))?;
+        let tail_scan = scan_wal(&self.dir.join("journal.wal"))?;
+        let mut corruption: Option<String> = None;
+        if let Some(why) = &snap_scan.corruption {
+            corruption = Some(format!(
+                "snapshot.wal: {why} at byte {}",
+                snap_scan.good_len
+            ));
+        } else if let Some(why) = &tail_scan.corruption {
+            corruption = Some(format!("journal.wal: {why} at byte {}", tail_scan.good_len));
+        }
+        let mut through_lsn = 0u64;
+        let mut disk: Vec<(u64, Event)> = Vec::new();
+        for rec in snap_scan.records {
+            match rec {
+                Record::Snapshot { through_lsn: t } => through_lsn = t,
+                Record::Event { lsn, event } => disk.push((lsn, event)),
+            }
+        }
+        for rec in tail_scan.records {
+            if let Record::Event { lsn, event } = rec {
+                if lsn > through_lsn {
+                    disk.push((lsn, event));
+                }
+            }
+        }
+        disk.sort_by_key(|&(lsn, _)| lsn);
+        let disk_digest = digest_events(&disk);
+        let memory_digest = digest_events(&inner.live);
+        let ok = corruption.is_none() && disk_digest == memory_digest;
+        Ok(ScrubReport {
+            last_lsn: inner.next_lsn - 1,
+            memory_digest,
+            disk_digest,
+            corruption,
+            ok,
+        })
     }
 
     /// Drops deleted sessions' events, writes a fresh snapshot atomically,
@@ -957,8 +1025,10 @@ impl Journal {
             f.sync_all()?;
         }
         fs::rename(&tmp, self.dir.join("snapshot.wal"))?;
-        // Best-effort directory sync so the rename itself is durable.
         if let Ok(d) = File::open(&self.dir) {
+            // durability: directory sync is best-effort — some filesystems
+            // refuse fsync on a directory handle, and losing only the rename
+            // is the benign crash window below (boot replays the tail).
             let _ = d.sync_all();
         }
         // Crash window here is benign: boot skips tail LSNs <= through_lsn.
@@ -972,8 +1042,41 @@ impl Journal {
     }
 }
 
+/// FNV-1a 64 over the deleted-filtered `(lsn, tag, body)` stream — the
+/// shared digest kernel behind [`Journal::state_digest`], the background
+/// scrubber, and `mube fsck`. Equal digests over equal LSN ranges mean
+/// byte-identical replayed stores.
+pub(crate) fn digest_events(live: &[(u64, Event)]) -> u64 {
+    let deleted: std::collections::HashSet<u64> = live
+        .iter()
+        .filter_map(|(_, e)| match e {
+            Event::SessionDelete { session } => Some(*session),
+            _ => None,
+        })
+        .collect();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut fnv = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let mut enc = Enc::new();
+    for (lsn, event) in live {
+        if event.session_id().is_some_and(|s| deleted.contains(&s)) {
+            continue;
+        }
+        enc.buf.clear();
+        event.encode_body(&mut enc);
+        fnv(&lsn.to_le_bytes());
+        fnv(&[event.tag()]);
+        fnv(&enc.buf);
+    }
+    hash
+}
+
 /// First unused `quarantine-N.wal` path in `dir`.
-fn quarantine_path(dir: &Path) -> PathBuf {
+pub(crate) fn quarantine_path(dir: &Path) -> PathBuf {
     for n in 0.. {
         let p = dir.join(format!("quarantine-{n}.wal"));
         if !p.exists() {
@@ -981,6 +1084,43 @@ fn quarantine_path(dir: &Path) -> PathBuf {
         }
     }
     unreachable!("u64 quarantine indices exhausted")
+}
+
+/// The `quarantine-N.wal` files currently in `dir`, sorted by `N`.
+pub(crate) fn quarantine_files(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(n) = name
+            .strip_prefix("quarantine-")
+            .and_then(|rest| rest.strip_suffix(".wal"))
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            out.push((n, entry.path()));
+        }
+    }
+    out.sort_by_key(|&(n, _)| n);
+    out
+}
+
+/// Retention cap on quarantined corruption evidence: keeps the newest
+/// `keep` `quarantine-N.wal` files (highest `N`), deletes the rest, and
+/// returns how many were pruned. Unbounded corruption on a flapping disk
+/// must not eat the volume that also holds the live journal.
+pub(crate) fn prune_quarantines(dir: &Path, keep: u64) -> u64 {
+    let files = quarantine_files(dir);
+    let excess = files.len().saturating_sub(keep as usize);
+    let mut pruned = 0u64;
+    for (_, path) in files.into_iter().take(excess) {
+        if fs::remove_file(&path).is_ok() {
+            pruned += 1;
+        }
+    }
+    pruned
 }
 
 #[cfg(test)]
@@ -1312,6 +1452,85 @@ mod tests {
         let (_, replayed, report) = Journal::open(&dir, FsyncPolicy::Never, 2).unwrap();
         assert_eq!(replayed, vec![ev_catalog(9)]);
         assert!(report.corruption.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_passes_on_a_healthy_journal_and_catches_bit_flips() {
+        let dir = test_dir("scrub");
+        let (j, _, _) = Journal::open(&dir, FsyncPolicy::Always, 2).unwrap();
+        j.append(ev_catalog(1)).unwrap();
+        j.append(ev_session(1, 1)).unwrap(); // compacts -> snapshot.wal
+        j.append(ev_solve(1)).unwrap(); // lives in the tail
+        let clean = j.scrub().unwrap();
+        assert!(clean.ok, "healthy dir must scrub clean: {clean:?}");
+        assert_eq!(clean.memory_digest, clean.disk_digest);
+        assert_eq!(clean.last_lsn, 3);
+
+        // Flip one bit inside the sealed snapshot — the file a running
+        // server would otherwise never read again before its next boot.
+        let snap = dir.join("snapshot.wal");
+        let mut data = fs::read(&snap).unwrap();
+        let n = data.len();
+        data[n - 3] ^= 0x20;
+        fs::write(&snap, &data).unwrap();
+        let dirty = j.scrub().unwrap();
+        assert!(!dirty.ok);
+        assert!(
+            dirty
+                .corruption
+                .as_deref()
+                .unwrap()
+                .contains("snapshot.wal"),
+            "{dirty:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_catches_tail_corruption() {
+        let dir = test_dir("scrub-tail");
+        let (j, _, _) = Journal::open(&dir, FsyncPolicy::Always, 1000).unwrap();
+        j.append(ev_catalog(1)).unwrap();
+        j.append(ev_solve(1)).unwrap();
+        let path = dir.join("journal.wal");
+        let mut data = fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0x01;
+        fs::write(&path, &data).unwrap();
+        let report = j.scrub().unwrap();
+        assert!(!report.ok);
+        assert!(
+            report
+                .corruption
+                .as_deref()
+                .unwrap()
+                .contains("journal.wal"),
+            "{report:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_retention_keeps_newest_k() {
+        let dir = test_dir("quarantine-cap");
+        fs::create_dir_all(&dir).unwrap();
+        for n in 0..6 {
+            fs::write(dir.join(format!("quarantine-{n}.wal")), [n as u8]).unwrap();
+        }
+        assert_eq!(prune_quarantines(&dir, 2), 4);
+        let left = quarantine_files(&dir);
+        assert_eq!(
+            left.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            vec![4, 5],
+            "newest files survive"
+        );
+        // Opening a journal applies the cap too.
+        for n in 6..10 {
+            fs::write(dir.join(format!("quarantine-{n}.wal")), [n as u8]).unwrap();
+        }
+        let (j, _, _) = Journal::open_with(&dir, FsyncPolicy::Never, 1000, 3).unwrap();
+        assert_eq!(j.stats().quarantine_files, 3);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -85,6 +85,10 @@ const RECONNECT_DELAY: Duration = Duration::from_millis(200);
 /// Connect timeout for the follower's dial to the leader.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// How long a draining leader holds a follower socket open waiting for the
+/// journal tip to be acked before closing it anyway.
+const DRAIN_ACK_TIMEOUT: Duration = Duration::from_secs(5);
+
 // ---------------------------------------------------------------------------
 // Incremental frame reader
 // ---------------------------------------------------------------------------
@@ -468,8 +472,19 @@ fn serve_follower(stream: TcpStream, state: &ServerState) {
                 }
                 hub.heartbeats_sent.fetch_add(1, Ordering::SeqCst);
                 if draining {
-                    // Final frame batch + heartbeat are out; the drain
-                    // path's wait_acked picks up from here.
+                    // Final frame batch + heartbeat are out. Hold the
+                    // socket open — bounded — until the follower acks the
+                    // tip: closing immediately would kill the ack channel
+                    // the drain path's wait_acked depends on, and could cut
+                    // off a follower still reading the shipped tail.
+                    let tip = journal.last_lsn();
+                    let deadline = Instant::now() + DRAIN_ACK_TIMEOUT;
+                    while conn.acked.load(Ordering::SeqCst) < tip
+                        && !conn.dead.load(Ordering::SeqCst)
+                        && Instant::now() < deadline
+                    {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
                     break 'writer;
                 }
             }
@@ -822,6 +837,116 @@ pub(crate) fn promote(state: &ServerState) -> Result<(u64, u64), &'static str> {
         None => (0, 0),
     };
     Ok((lsn, digest))
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy resync
+// ---------------------------------------------------------------------------
+
+/// Why a resync was refused or aborted.
+#[derive(Debug)]
+pub(crate) enum ResyncError {
+    /// This node has no follower state (it is, or has become, a leader).
+    NotFollower,
+    /// The archive/reset phase failed; the node keeps its pre-resync
+    /// state (nothing is wiped before archival succeeds).
+    Io(std::io::Error),
+}
+
+/// What `/admin/resync` did.
+#[derive(Debug)]
+pub(crate) struct ResyncOutcome {
+    /// Quarantine files holding the pre-resync journal, for forensics.
+    pub(crate) archived: Vec<std::path::PathBuf>,
+    /// Whether the node was under divergence quarantine when resynced.
+    pub(crate) was_diverged: bool,
+}
+
+/// Un-quarantines a replica by rebuilding it from its leader. The order
+/// matters:
+///
+/// 1. stop and join the replication thread (divergence already made it
+///    exit; a live one stops within a read timeout) so nothing appends
+///    while the journal is rebuilt;
+/// 2. archive the local journal into quarantine files — `fs::copy`, not
+///    rename, because [`Journal::reset`] truncates through its held file
+///    handle and would hollow out a renamed archive;
+/// 3. wipe: clear the store, reset the journal, drop the divergence
+///    marker, rewind `applied`/`verified` to 0;
+/// 4. rejoin: flip the role back to follower (auto-promotion may have
+///    left it a candidate), un-fence reads/writes gated on `read_only`,
+///    and spawn a fresh replication thread whose LSN-0 hello pulls the
+///    leader's full history through the normal frame machinery.
+///
+/// Divergence is *not* required: resyncing a healthy follower is a
+/// harmless (if wasteful) full re-pull, and an operator who distrusts a
+/// replica should not have to wait for a digest round to fail.
+pub(crate) fn resync(state: &Arc<ServerState>) -> Result<ResyncOutcome, ResyncError> {
+    let follower = state.follower.as_ref().ok_or(ResyncError::NotFollower)?;
+    if state.role.load(Ordering::SeqCst) == ROLE_LEADER {
+        return Err(ResyncError::NotFollower);
+    }
+    let journal = state.journal.as_ref().ok_or(ResyncError::NotFollower)?;
+    let dir = std::path::PathBuf::from(
+        state
+            .config
+            .data_dir
+            .as_ref()
+            .ok_or(ResyncError::NotFollower)?,
+    );
+    let was_diverged = follower.diverged.load(Ordering::SeqCst);
+
+    follower.stop.store(true, Ordering::SeqCst);
+    let old_thread = state
+        .follower_thread
+        .lock()
+        .expect("follower thread lock poisoned")
+        .take();
+    if let Some(handle) = old_thread {
+        // Bounded: every socket read in run_follower carries a timeout,
+        // so the thread observes `stop` within one timeout.
+        let _ = handle.join();
+    }
+
+    // Make everything on disk durable first so the archive is a faithful
+    // copy of what this replica believed.
+    journal.flush().map_err(ResyncError::Io)?;
+    let mut archived = Vec::new();
+    for name in ["snapshot.wal", "journal.wal"] {
+        let src = dir.join(name);
+        let has_bytes = std::fs::metadata(&src).is_ok_and(|m| m.len() > 0);
+        if has_bytes {
+            let dst = crate::persist::quarantine_path(&dir);
+            std::fs::copy(&src, &dst).map_err(ResyncError::Io)?;
+            archived.push(dst);
+        }
+    }
+    crate::persist::prune_quarantines(&dir, state.config.quarantine_keep);
+
+    state.store.clear();
+    journal.reset().map_err(ResyncError::Io)?;
+    let _ = std::fs::remove_file(dir.join(DIVERGED_MARKER));
+    follower.applied.store(0, Ordering::SeqCst);
+    follower.verified.store(0, Ordering::SeqCst);
+    follower.diverged.store(false, Ordering::SeqCst);
+    follower.resyncs.fetch_add(1, Ordering::SeqCst);
+    state.role.store(ROLE_FOLLOWER, Ordering::SeqCst);
+    state.read_only.store(false, Ordering::SeqCst);
+    follower.stop.store(false, Ordering::SeqCst);
+
+    let st = Arc::clone(state);
+    let handle = std::thread::Builder::new()
+        .name("mube-repl-follower".to_string())
+        .spawn(move || run_follower(st))
+        .map_err(ResyncError::Io)?;
+    *state
+        .follower_thread
+        .lock()
+        .expect("follower thread lock poisoned") = Some(handle);
+    Ok(ResyncOutcome {
+        archived,
+        was_diverged,
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -109,6 +109,13 @@ pub struct ServeConfig {
     /// Total wall-clock budget for reading one request (head + body). A
     /// slowloris trickling bytes cannot hold a worker past this.
     pub request_deadline: Duration,
+    /// Background-scrub cadence: re-read the on-disk journal against the
+    /// served state digest this often (requires `data_dir`). Zero
+    /// disables the scrubber. A failed scrub fences the node read-only.
+    pub scrub_interval: Duration,
+    /// Quarantine retention: keep the newest this many
+    /// `quarantine-N.wal` evidence files, prune the rest.
+    pub quarantine_keep: u64,
 }
 
 impl Default for ServeConfig {
@@ -134,8 +141,24 @@ impl Default for ServeConfig {
             heartbeat_interval: Duration::from_millis(500),
             queue_high_water: 128,
             request_deadline: Duration::from_secs(15),
+            scrub_interval: Duration::from_secs(60),
+            quarantine_keep: crate::persist::DEFAULT_QUARANTINE_KEEP,
         }
     }
+}
+
+/// Background-scrubber counters, updated by the scrub thread and read by
+/// `/metrics` / `/healthz`.
+#[derive(Debug, Default)]
+pub(crate) struct ScrubState {
+    /// Completed scrub passes.
+    pub(crate) runs: AtomicU64,
+    /// Passes that found corruption or a digest mismatch.
+    pub(crate) failures: AtomicU64,
+    /// LSN covered by the last completed pass.
+    pub(crate) last_lsn: AtomicU64,
+    /// What the last failed pass found (`None` while healthy).
+    pub(crate) last_error: std::sync::Mutex<Option<String>>,
 }
 
 /// Shared state behind every worker: config, store, metrics, drain flag,
@@ -155,18 +178,39 @@ pub(crate) struct ServerState {
     pub(crate) repl_hub: Option<Arc<ReplHub>>,
     /// Follower-side replication state, when `--follow` is set.
     pub(crate) follower: Option<Arc<FollowerState>>,
+    /// The replication thread's handle, so `/admin/resync` can join the
+    /// old incarnation before spawning a fresh one.
+    pub(crate) follower_thread: std::sync::Mutex<Option<std::thread::JoinHandle<()>>>,
     /// The bound replication listener address, when `--repl-addr` is set.
     pub(crate) repl_bound: Option<SocketAddr>,
+    /// Background-scrubber status (meaningful only with a journal).
+    pub(crate) scrub: ScrubState,
+    /// Set by a failed scrub: the node stops accepting mutations (503)
+    /// until an operator repairs the data dir or resyncs the replica.
+    pub(crate) read_only: AtomicBool,
 }
 
 impl ServerState {
     fn stats(&self) -> ServerStats {
+        let scrub = self.journal.as_ref().map(|_| crate::metrics::ScrubStats {
+            runs: self.scrub.runs.load(Ordering::SeqCst),
+            failures: self.scrub.failures.load(Ordering::SeqCst),
+            last_lsn: self.scrub.last_lsn.load(Ordering::SeqCst),
+            last_error: self
+                .scrub
+                .last_error
+                .lock()
+                .expect("scrub lock poisoned")
+                .clone(),
+        });
         self.metrics.snapshot(
             self.store.sessions_len() as u64,
             self.worker_panics.load(Ordering::SeqCst),
             mube_opt::member_panics_total(),
             self.journal.as_ref().map(Journal::stats),
             repl::repl_stats(self),
+            scrub,
+            self.read_only.load(Ordering::SeqCst),
         )
     }
 
@@ -237,8 +281,12 @@ impl Server {
         let store = Store::new(config.max_sessions, config.idle_ttl);
         let journal = match &config.data_dir {
             Some(dir) => {
-                let (journal, events, report) =
-                    Journal::open(Path::new(dir), config.fsync, config.snapshot_every)?;
+                let (journal, events, report) = Journal::open_with(
+                    Path::new(dir),
+                    config.fsync,
+                    config.snapshot_every,
+                    config.quarantine_keep,
+                )?;
                 if let Some(why) = &report.corruption {
                     eprintln!(
                         "mube-serve: journal corruption in {dir} ({why}); quarantined {} bytes{}",
@@ -303,7 +351,10 @@ impl Server {
             role: AtomicU8::new(role),
             repl_hub: repl_listener.as_ref().map(|_| Arc::new(ReplHub::new())),
             follower,
+            follower_thread: std::sync::Mutex::new(None),
             repl_bound,
+            scrub: ScrubState::default(),
+            read_only: AtomicBool::new(false),
             config,
         });
         if let Some(repl_listener) = repl_listener {
@@ -314,9 +365,19 @@ impl Server {
         }
         if state.follower.is_some() {
             let st = Arc::clone(&state);
-            std::thread::Builder::new()
+            let handle = std::thread::Builder::new()
                 .name("mube-repl-follower".to_string())
                 .spawn(move || repl::run_follower(st))?;
+            *state
+                .follower_thread
+                .lock()
+                .expect("follower thread lock poisoned") = Some(handle);
+        }
+        if state.journal.is_some() && !state.config.scrub_interval.is_zero() {
+            let st = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("mube-scrubber".to_string())
+                .spawn(move || run_scrubber(&st))?;
         }
         Ok(Server {
             listener,
@@ -404,7 +465,7 @@ impl Server {
         if let (Some(hub), Some(journal)) = (&self.state.repl_hub, &self.state.journal) {
             hub.wake_all();
             if hub.live_followers() > 0 {
-                let _ = hub.wait_acked(journal.last_lsn(), Duration::from_secs(2));
+                let _ = hub.wait_acked(journal.last_lsn(), Duration::from_secs(5));
             }
         }
         Ok(())
@@ -453,6 +514,73 @@ impl ServerHandle {
 }
 
 // ---------------------------------------------------------------------
+// Background scrubbing
+// ---------------------------------------------------------------------
+
+/// The background scrub loop: every `scrub_interval`, re-read the
+/// on-disk snapshot + journal tail and compare their replay digest to
+/// the digest of the state being served. A mismatch (or on-disk
+/// corruption) fences the node read-only — serving stale-but-correct
+/// reads beats accepting writes on top of state that can no longer be
+/// made durable truthfully.
+fn run_scrubber(state: &ServerState) {
+    let interval = state.config.scrub_interval;
+    loop {
+        // Sleep in short slices so a drain stops the scrubber promptly.
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if state.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            let slice = Duration::from_millis(50).min(interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        if state.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(journal) = &state.journal else {
+            return;
+        };
+        state.scrub.runs.fetch_add(1, Ordering::SeqCst);
+        match journal.scrub() {
+            Ok(report) => {
+                state
+                    .scrub
+                    .last_lsn
+                    .store(report.last_lsn, Ordering::SeqCst);
+                if report.ok {
+                    *state.scrub.last_error.lock().expect("scrub lock poisoned") = None;
+                } else {
+                    let why = report.corruption.clone().unwrap_or_else(|| {
+                        format!(
+                            "state digest mismatch at lsn {}: memory {:#018x}, disk {:#018x}",
+                            report.last_lsn, report.memory_digest, report.disk_digest
+                        )
+                    });
+                    state.scrub.failures.fetch_add(1, Ordering::SeqCst);
+                    *state.scrub.last_error.lock().expect("scrub lock poisoned") =
+                        Some(why.clone());
+                    if !state.read_only.swap(true, Ordering::SeqCst) {
+                        eprintln!(
+                            "mube-serve: SCRUB FAILURE: {why}; node is now read-only \
+                             (stop it and run `mube fsck --repair` on the data dir)"
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                // An I/O error reading our own files is recorded but does
+                // not fence the node: the served state is not implicated.
+                state.scrub.failures.fetch_add(1, Ordering::SeqCst);
+                *state.scrub.last_error.lock().expect("scrub lock poisoned") =
+                    Some(format!("scrub I/O error: {e}"));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Connection handling and routing
 // ---------------------------------------------------------------------
 
@@ -489,7 +617,7 @@ impl Read for DeadlineStream<'_> {
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &ServerState) {
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
     let start = Instant::now();
     let _ = stream.set_write_timeout(Some(state.config.write_timeout));
     let result = {
@@ -551,6 +679,7 @@ fn endpoint_label(method: &str, path: &str) -> String {
         ["sessions", _, "explain"] => "/sessions/{id}/explain",
         ["sessions", _, "lint"] => "/sessions/{id}/lint",
         ["admin", "promote"] => "/admin/promote",
+        ["admin", "resync"] => "/admin/resync",
         _ => "/unknown",
     };
     format!("{method} {norm}")
@@ -631,7 +760,7 @@ fn conflict_error(e: &MubeError, universe: &Universe, constraints: &Constraints)
     }
 }
 
-fn route(state: &ServerState, req: &Request) -> (u16, String) {
+fn route(state: &Arc<ServerState>, req: &Request) -> (u16, String) {
     let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let draining = state.draining.load(Ordering::SeqCst);
     if draining && req.method != "GET" {
@@ -640,11 +769,32 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
             error_body("draining", "server is shutting down", |_| {}),
         );
     }
+    // A failed scrub fences the node: reads keep flowing (memory state is
+    // still self-consistent), mutations are refused because they could no
+    // longer be made durable truthfully. Admin endpoints stay reachable —
+    // they are the way out.
+    if state.read_only.load(Ordering::SeqCst)
+        && req.method != "GET"
+        && segs.first() != Some(&"admin")
+    {
+        return (
+            503,
+            error_body(
+                "read_only",
+                "a scrub found disk disagreeing with served state; this node \
+                 is fenced read-only until repaired",
+                |_| {},
+            ),
+        );
+    }
     // Followers (and candidates mid-promotion) are read-only replicas:
     // anything mutating is refused with a hint at who the leader is, so
     // clients behind a naive load balancer can redirect themselves.
     let role = state.role.load(Ordering::SeqCst);
-    if role != ROLE_LEADER && req.method != "GET" && segs.as_slice() != ["admin", "promote"] {
+    if role != ROLE_LEADER
+        && req.method != "GET"
+        && !matches!(segs.as_slice(), ["admin", "promote" | "resync"])
+    {
         let leader = state.config.follow.clone();
         return (
             409,
@@ -673,6 +823,7 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
         ("GET", ["sessions", id, "lint"]) => with_session(state, id, lint_session),
         ("DELETE", ["sessions", id]) => delete_session(state, id),
         ("POST", ["admin", "promote"]) => admin_promote(state),
+        ("POST", ["admin", "resync"]) => admin_resync(state),
         (
             _,
             ["healthz"]
@@ -681,7 +832,7 @@ fn route(state: &ServerState, req: &Request) -> (u16, String) {
             | ["sessions"]
             | ["sessions", _]
             | ["sessions", _, "solve" | "execute" | "feedback" | "explain" | "lint"]
-            | ["admin", "promote"],
+            | ["admin", "promote" | "resync"],
         ) => Err(ApiError::new(
             405,
             "method_not_allowed",
@@ -755,10 +906,30 @@ fn healthz(state: &ServerState, draining: bool) -> (u16, String) {
         .uint_value(state.store.sessions_len() as u64);
     j.key("role")
         .str_value(repl::role_str(state.role.load(Ordering::SeqCst)));
+    j.key("read_only")
+        .bool_value(state.read_only.load(Ordering::SeqCst));
     if let Some(journal) = &state.journal {
         let (lsn, digest) = journal.state_digest();
         j.key("lsn").uint_value(lsn);
         j.key("digest").str_value(&format!("{digest:016x}"));
+        j.key("quarantine_files")
+            .uint_value(journal.stats().quarantine_files);
+        let failures = state.scrub.failures.load(Ordering::SeqCst);
+        j.key("scrub").begin_obj();
+        j.key("runs")
+            .uint_value(state.scrub.runs.load(Ordering::SeqCst));
+        j.key("failures").uint_value(failures);
+        j.key("last_lsn")
+            .uint_value(state.scrub.last_lsn.load(Ordering::SeqCst));
+        j.key("ok").bool_value(
+            state
+                .scrub
+                .last_error
+                .lock()
+                .expect("scrub lock poisoned")
+                .is_none(),
+        );
+        j.end_obj();
     }
     if let Some(follower) = &state.follower {
         j.key("follower").begin_obj();
@@ -804,6 +975,41 @@ fn admin_promote(state: &ServerState) -> Result<(u16, String), ApiError> {
             409,
             "already_leader",
             "this node is already the leader",
+        )),
+    }
+}
+
+/// `POST /admin/resync`: anti-entropy repair for a quarantined (or
+/// merely suspect) follower. Archives the local journal for forensics,
+/// wipes the replica's state, clears the divergence marker, and rejoins
+/// the leader from LSN 0 — the full history streams back through the
+/// normal frame machinery, after which the digest rounds prove the copy
+/// and promotion eligibility is restored.
+fn admin_resync(state: &Arc<ServerState>) -> Result<(u16, String), ApiError> {
+    match repl::resync(state) {
+        Ok(outcome) => {
+            let mut j = JsonBuf::new();
+            j.begin_obj();
+            j.key("resync").bool_value(true);
+            j.key("role").str_value("follower");
+            j.key("was_diverged").bool_value(outcome.was_diverged);
+            j.key("archived").begin_arr();
+            for p in &outcome.archived {
+                j.str_value(&p.display().to_string());
+            }
+            j.end_arr();
+            j.end_obj();
+            Ok((200, j.finish()))
+        }
+        Err(repl::ResyncError::NotFollower) => Err(ApiError::new(
+            409,
+            "not_follower",
+            "resync only applies to a replica (--follow); this node is a leader",
+        )),
+        Err(repl::ResyncError::Io(e)) => Err(ApiError::new(
+            500,
+            "resync_failed",
+            &format!("resync aborted: {e}"),
         )),
     }
 }
@@ -1790,6 +1996,10 @@ mod tests {
         assert_eq!(
             endpoint_label("DELETE", "/sessions/7"),
             "DELETE /sessions/{id}"
+        );
+        assert_eq!(
+            endpoint_label("POST", "/admin/resync"),
+            "POST /admin/resync"
         );
         assert_eq!(endpoint_label("GET", "/x/y/z/w"), "GET /unknown");
     }

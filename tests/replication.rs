@@ -172,13 +172,26 @@ fn follower_applies_the_leader_stream_and_refuses_writes() {
     );
 
     // Read endpoints work on the follower; the replicated session explains.
-    let (status, explain) = request(
-        follower.addr(),
-        "GET",
-        &format!("/sessions/{sid}/explain"),
-        "",
-    );
-    assert_eq!(status, 200, "{explain:?}");
+    // Polled: the follower journals a frame (which advances healthz lsn and
+    // digest) before replaying it into the store, so a read landing in that
+    // window still sees the pre-apply session for an instant.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, explain) = request(
+            follower.addr(),
+            "GET",
+            &format!("/sessions/{sid}/explain"),
+            "",
+        );
+        if status == 200 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replicated session never became readable: {status} {explain:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
 
     // Writes are refused with the leader hint.
     let (status, refused) = request(follower.addr(), "POST", "/catalogs", "{\"catalog\":\"x\"}");

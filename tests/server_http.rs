@@ -746,13 +746,16 @@ fn overload_is_shed_with_503_and_counted() {
 
     // Occupy the single worker and the one queue slot with held-open
     // connections that never complete a request.
-    let holders: Vec<TcpStream> = (0..2)
-        .map(|_| {
-            let mut s = TcpStream::connect(addr).unwrap();
-            s.write_all(b"GET /metrics HT").unwrap();
-            s
-        })
-        .collect();
+    let hold = |n: usize| -> Vec<TcpStream> {
+        (0..n)
+            .map(|_| {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.write_all(b"GET /metrics HT").unwrap();
+                s
+            })
+            .collect()
+    };
+    let mut holders: Vec<TcpStream> = hold(2);
 
     // Past the high-water mark, bursts are shed by the acceptor itself —
     // immediately, since no worker is free to write these responses. The
@@ -777,13 +780,20 @@ fn overload_is_shed_with_503_and_counted() {
         String::from_utf8_lossy(&raw).into_owned()
     };
     let mut shed = None;
-    for _ in 0..20 {
+    let probe_deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while std::time::Instant::now() < probe_deadline {
         let raw = lossy_request("/healthz");
         if raw.starts_with("HTTP/1.1 503 ") {
             shed = Some(raw);
             break;
         }
+        // A non-shed probe means the overload collapsed — the holders can
+        // expire at the request deadline (and a queued probe blocks long
+        // enough to eat that whole window under machine load) — so re-arm
+        // it before the next attempt. Surplus holders are themselves shed
+        // or held, either of which keeps the queue past the mark.
         std::thread::sleep(Duration::from_millis(20));
+        holders.extend(hold(2));
     }
     let raw = shed.expect("no request was shed past the high-water mark");
     assert!(raw.contains("retry-after: 1\r\n"), "{raw:?}");
